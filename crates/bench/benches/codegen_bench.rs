@@ -1,0 +1,21 @@
+//! Experiment A8 (supplementary): code-generation throughput on the full
+//! TUTMAC model — the Figure 2 "code generation" stage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_codegen(c: &mut Criterion) {
+    let system = tut_bench::paper_system();
+    let mut group = c.benchmark_group("codegen");
+    group.sample_size(20);
+    group.bench_function("generate_tutmac_project", |b| {
+        b.iter(|| tut_codegen::generate_project(&system).expect("generate"))
+    });
+    group.finish();
+
+    let files = tut_codegen::generate_project(&system).expect("generate");
+    let lines: usize = files.iter().map(|f| f.contents.lines().count()).sum();
+    println!("\nA8: generated {} files, {} lines of C for TUTMAC", files.len(), lines);
+}
+
+criterion_group!(benches, bench_codegen);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Experiment A7: CRC-32 in "hardware" (table-driven accelerator model)
+//! vs the bitwise software reference — the computation the paper offloads
+//! to `accelerator1`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tut_platform::Crc32Accelerator;
+use tut_uml::action::crc32_bitwise;
+
+fn bench_crc(c: &mut Criterion) {
+    let accelerator = Crc32Accelerator::new();
+    let mut group = c.benchmark_group("crc32");
+    for size in [64usize, 256, 1500] {
+        let data: Vec<u8> = (0..size).map(|i| (i * 31) as u8).collect();
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("software_bitwise", size), &data, |b, d| {
+            b.iter(|| crc32_bitwise(d))
+        });
+        group.bench_with_input(BenchmarkId::new("hardware_table", size), &data, |b, d| {
+            b.iter(|| accelerator.compute(d))
+        });
+    }
+    group.finish();
+
+    // Modelled hardware timing (cycles) for the paper's frame sizes.
+    println!("\nA7: modelled accelerator cycles: 256B frame = {} cycles, 1500B MSDU = {} cycles",
+        accelerator.cycles(256), accelerator.cycles(1500));
+}
+
+criterion_group!(benches, bench_crc);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Experiment A2: grouping quality and cost — the paper's Figure 6
+//! grouping vs a worst-case grouping vs the `tut-explore` partitioner,
+//! scored by inter-group signal volume (the quantity §4.1 minimises).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tut_explore::{partition, CommGraph, GroupingOptions};
+
+/// The TUTMAC communication graph measured from a profiling run.
+fn tutmac_graph() -> CommGraph {
+    let system = tut_bench::paper_system();
+    let report = tut_bench::profile(&system);
+    CommGraph::from_report(&report)
+}
+
+fn paper_assignment(graph: &CommGraph) -> Vec<usize> {
+    // Figure 6: group1 = {rca, mng, rmng}, group2 = {msduRec, msduDel},
+    // group3 = {frag, defrag}, group4 = {crc}; environment -> group 4
+    // bucketed separately (group index 4).
+    graph
+        .nodes()
+        .iter()
+        .map(|name| match name.as_str() {
+            "rca" | "mng" | "rmng" => 0,
+            "ui.msduRec" | "ui.msduDel" => 1,
+            "dp.frag" | "dp.defrag" => 2,
+            "dp.crc" => 3,
+            _ => 4, // environment
+        })
+        .collect()
+}
+
+fn worst_assignment(graph: &CommGraph) -> Vec<usize> {
+    // Round-robin scatter: communicating neighbours always split.
+    (0..graph.len()).map(|i| i % 5).collect()
+}
+
+fn bench_grouping(c: &mut Criterion) {
+    let graph = tutmac_graph();
+    let paper = paper_assignment(&graph);
+    let worst = worst_assignment(&graph);
+    // Pin the environment processes into their own part so the optimiser
+    // solves the same problem the designer did.
+    let pinned: Vec<(usize, usize)> = graph
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.as_str() == "user" || n.as_str() == "channel")
+        .map(|(i, _)| (i, 4))
+        .collect();
+    let options = GroupingOptions {
+        groups: 5,
+        balance_weight: 0.0,
+        pinned,
+        ..GroupingOptions::default()
+    };
+    let optimised = partition(&graph, &options);
+
+    println!("\nA2: inter-group signal volume (lower is better)");
+    println!("  worst-case scatter : {}", graph.cut_weight(&worst));
+    println!("  paper (figure 6)   : {}", graph.cut_weight(&paper));
+    println!("  explore partition  : {}", optimised.cut_weight);
+
+    let mut group = c.benchmark_group("grouping");
+    group.sample_size(10);
+    group.bench_function("partition_tutmac", |b| {
+        b.iter(|| partition(&graph, &options))
+    });
+    group.finish();
+
+    // Scaling on synthetic graphs: rings of communities.
+    let mut group = c.benchmark_group("grouping_scaling");
+    group.sample_size(10);
+    for communities in [4usize, 8, 16] {
+        let mut g = CommGraph::default();
+        let per = 6;
+        for community in 0..communities {
+            for node in 0..per {
+                g.intern(&format!("c{community}n{node}"));
+            }
+        }
+        for community in 0..communities {
+            let base = community * per;
+            for a in 0..per {
+                for b in (a + 1)..per {
+                    g.add_edge(base + a, base + b, 20);
+                }
+            }
+            let next = ((community + 1) % communities) * per;
+            g.add_edge(base, next, 1);
+        }
+        let options = GroupingOptions {
+            groups: communities,
+            balance_weight: 0.0,
+            annealing_iterations: 5_000,
+            ..GroupingOptions::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("partition", format!("{}nodes", communities * per)),
+            &g,
+            |b, g| b.iter(|| partition(g, &options)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grouping);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Experiment A1: HIBI arbitration schemes under contention — priority
+//! vs round-robin vs TDMA on one saturated segment (cycle-accurate), plus
+//! the reservation-layer transfer throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tut_hibi::arbiter::{simulate_contention, ContentionConfig};
+use tut_hibi::topology::{Arbitration, NetworkBuilder, SegmentConfig, WrapperConfig};
+
+fn bench_contention(c: &mut Criterion) {
+    let config = ContentionConfig {
+        agents: 4,
+        cycles: 100_000,
+        burst_words: 16,
+        period_cycles: 50, // saturated
+        max_time: 16,
+    };
+    // Print the qualitative comparison once; Criterion measures the cost.
+    println!("\nA1: single-segment contention, 4 agents, saturated load");
+    println!(
+        "{:<12} {:>12} {:>12} {:>10} {:>10}",
+        "scheme", "words", "mean wait", "max wait", "fairness"
+    );
+    for scheme in [Arbitration::Priority, Arbitration::RoundRobin, Arbitration::Tdma] {
+        let report = simulate_contention(scheme, config);
+        println!(
+            "{:<12} {:>12} {:>12.1} {:>10} {:>10.3}",
+            scheme.to_string(),
+            report.total_words,
+            report.mean_wait(),
+            report.max_wait(),
+            report.fairness
+        );
+    }
+
+    let mut group = c.benchmark_group("hibi_contention");
+    group.sample_size(20);
+    for scheme in [Arbitration::Priority, Arbitration::RoundRobin, Arbitration::Tdma] {
+        group.bench_with_input(
+            BenchmarkId::new("simulate", scheme.to_string()),
+            &scheme,
+            |b, &scheme| b.iter(|| simulate_contention(scheme, config)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_transfers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hibi_transfers");
+    for arbitration in [Arbitration::Priority, Arbitration::RoundRobin] {
+        group.bench_with_input(
+            BenchmarkId::new("1000_transfers", arbitration.to_string()),
+            &arbitration,
+            |b, &arbitration| {
+                b.iter_batched(
+                    || {
+                        let mut builder = NetworkBuilder::new();
+                        let seg = builder.add_segment(
+                            "seg",
+                            SegmentConfig {
+                                arbitration,
+                                ..SegmentConfig::default()
+                            },
+                        );
+                        let a0 = builder.add_agent(seg, WrapperConfig::new(1));
+                        let a1 = builder.add_agent(seg, WrapperConfig::new(2));
+                        (builder.build().expect("network"), a0, a1)
+                    },
+                    |(mut network, a0, a1)| {
+                        let mut t = 0;
+                        for i in 0..1000u64 {
+                            let result = network.transfer(a0, a1, 64 + (i % 512), t);
+                            t = result.completion_ns;
+                        }
+                        t
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_contention, bench_transfers);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Experiment A3: mapping quality — the paper's Figure 8 mapping vs
+//! all-on-one-processor vs the exhaustive-search optimum, scored by the
+//! bottleneck processing-element busy time over a fixed workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tut_bench::{bottleneck_busy_ns, system_with_mapping, MappingVariant};
+use tut_sim::SimConfig;
+
+fn bench_mapping(c: &mut Criterion) {
+    let config = SimConfig::with_horizon_ns(10_000_000);
+    println!("\nA3: bottleneck busy time over 10 ms of protocol traffic (lower is better)");
+    for variant in MappingVariant::ALL {
+        let system = system_with_mapping(variant);
+        let busy = bottleneck_busy_ns(&system, config.clone());
+        println!("  {:<22}: {busy} ns", variant.label());
+    }
+
+    let mut group = c.benchmark_group("mapping");
+    group.sample_size(10);
+    group.bench_function("optimise_exhaustive", |b| {
+        let system = tut_bench::paper_system();
+        let report = tut_bench::profile(&system);
+        let (problem, _, _) =
+            tut_explore::mapping::problem_from_system(&system, &report).expect("problem");
+        let options = tut_explore::mapping::MappingOptions::default();
+        b.iter(|| tut_explore::optimise_mapping(&problem, &options))
+    });
+    group.bench_function("evaluate_by_simulation", |b| {
+        let system = system_with_mapping(MappingVariant::Paper);
+        b.iter(|| bottleneck_busy_ns(&system, SimConfig::with_horizon_ns(2_000_000)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Experiment A5: model interchange throughput — XMI serialisation and
+//! parsing, scaling with model size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tut_uml::model::ConnectorEnd;
+use tut_uml::Model;
+
+/// A synthetic model with `n` classes in a communication chain.
+fn synthetic_model(n: usize) -> Model {
+    let mut m = Model::new(format!("Synthetic{n}"));
+    let sig = m.add_signal("Data");
+    m.signal_mut(sig).add_param("payload", tut_uml::DataType::Bytes);
+    let top = m.add_class("Top");
+    let mut previous: Option<(tut_uml::PropertyId, tut_uml::PortId)> = None;
+    for i in 0..n {
+        let class = m.add_class(format!("Stage{i}"));
+        let pin = m.add_port(class, "in");
+        let pout = m.add_port(class, "out");
+        m.port_mut(pin).add_provided(sig);
+        m.port_mut(pout).add_required(sig);
+        let part = m.add_part(top, format!("s{i}"), class);
+        if let Some((prev_part, prev_out)) = previous {
+            m.add_connector(
+                top,
+                format!("w{i}"),
+                ConnectorEnd {
+                    part: Some(prev_part),
+                    port: prev_out,
+                },
+                ConnectorEnd {
+                    part: Some(part),
+                    port: pin,
+                },
+            );
+        }
+        previous = Some((part, pout));
+    }
+    m
+}
+
+fn bench_model_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_interchange");
+    group.sample_size(20);
+    for n in [10usize, 100, 500] {
+        let model = synthetic_model(n);
+        let xml = tut_uml::xmi::to_xml(&model);
+        group.throughput(Throughput::Bytes(xml.len() as u64));
+        group.bench_with_input(BenchmarkId::new("serialize", n), &model, |b, m| {
+            b.iter(|| tut_uml::xmi::to_xml(m))
+        });
+        group.bench_with_input(BenchmarkId::new("parse", n), &xml, |b, text| {
+            b.iter(|| tut_uml::xmi::from_xml(text).expect("parse"))
+        });
+    }
+    // The real case-study model with the full profile application.
+    let system = tut_bench::paper_system();
+    let xml = system.to_xml();
+    group.throughput(Throughput::Bytes(xml.len() as u64));
+    group.bench_function("tutmac_roundtrip", |b| {
+        b.iter(|| tut_profile::SystemModel::from_xml(&xml).expect("parse"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_parse);
+criterion_main!(benches);

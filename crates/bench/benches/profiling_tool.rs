@@ -1,0 +1,41 @@
+//! Experiment A4: profiling-tool throughput — log-file parsing and the
+//! combine/analyse stage, as a function of log size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_profiling_tool(c: &mut Criterion) {
+    let system = tut_bench::paper_system();
+    let groups = tut_profiling::groups::parse_model_xml(&system.to_xml()).expect("groups");
+
+    let mut group = c.benchmark_group("profiling_tool");
+    group.sample_size(10);
+    for horizon_ms in [5u64, 20] {
+        let report = tut_sim::Simulation::from_system(
+            &system,
+            tut_sim::SimConfig::with_horizon_ns(horizon_ms * 1_000_000),
+        )
+        .expect("build")
+        .run()
+        .expect("run");
+        let log_text = report.log.to_text();
+        group.throughput(Throughput::Bytes(log_text.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("parse_log", format!("{horizon_ms}ms")),
+            &log_text,
+            |b, text| b.iter(|| tut_sim::SimLog::parse(text).expect("parse")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("analyze", format!("{horizon_ms}ms")),
+            &log_text,
+            |b, text| b.iter(|| tut_profiling::analyze(&groups, text).expect("analyze")),
+        );
+    }
+    group.bench_function("parse_model_xml", |b| {
+        let xml = system.to_xml();
+        b.iter(|| tut_profiling::groups::parse_model_xml(&xml).expect("groups"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_profiling_tool);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Experiment A9: the RTOS scheduling model (the paper's named future
+//! work) on the TUTMAC case study — dispatch policy and context-switch
+//! cost vs protocol response times.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tut_sim::config::{SchedPolicy, Scheduler};
+use tut_sim::SimConfig;
+
+fn run(policy: SchedPolicy, context_switch_cycles: u64) -> tut_sim::SimReport {
+    let system = tut_bench::paper_system();
+    let config = SimConfig {
+        scheduler: Scheduler {
+            policy,
+            context_switch_cycles,
+        },
+        ..SimConfig::with_horizon_ns(10_000_000)
+    };
+    tut_sim::Simulation::from_system(&system, config)
+        .expect("build")
+        .run()
+        .expect("run")
+}
+
+fn bench_rtos(c: &mut Criterion) {
+    println!("\nA9: TUTMAC under RTOS scheduling variants (10 ms of traffic)");
+    println!(
+        "{:<28} {:>14} {:>16} {:>14}",
+        "variant", "total cycles", "rca mean wait", "rca max wait"
+    );
+    for (label, policy, ctx) in [
+        ("priority, free switch", SchedPolicy::Priority, 0u64),
+        ("priority, 200-cyc switch", SchedPolicy::Priority, 200),
+        ("round-robin, free switch", SchedPolicy::RoundRobin, 0),
+        ("round-robin, 200-cyc switch", SchedPolicy::RoundRobin, 200),
+    ] {
+        let report = run(policy, ctx);
+        let rca = report.process("rca").expect("rca stats");
+        println!(
+            "{label:<28} {:>14} {:>13.0} ns {:>11} ns",
+            report.total_cycles(),
+            rca.mean_queue_wait_ns(),
+            rca.max_queue_wait_ns
+        );
+    }
+
+    let mut group = c.benchmark_group("rtos");
+    group.sample_size(10);
+    for policy in [SchedPolicy::Priority, SchedPolicy::RoundRobin] {
+        group.bench_with_input(
+            BenchmarkId::new("simulate_10ms", format!("{policy:?}")),
+            &policy,
+            |b, &policy| b.iter(|| run(policy, 200).total_steps),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rtos);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Experiment A6: simulation-kernel throughput — run-to-completion steps
+//! per second as the process count grows (synthetic token-ring
+//! applications, all processes on one processor).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tut_profile::application::ProcessType;
+use tut_profile::platform::ComponentKind;
+use tut_profile::SystemModel;
+use tut_uml::action::{CostClass, Expr, Statement};
+use tut_uml::model::ConnectorEnd;
+use tut_uml::statemachine::{StateMachine, Trigger};
+
+/// A ring of `n` processes passing a token; the first process injects it.
+fn token_ring(n: usize) -> SystemModel {
+    let mut s = SystemModel::new(format!("Ring{n}"));
+    let top = s.model.add_class("Top");
+    s.apply(top, |t| t.application).unwrap();
+    let token = s.model.add_signal("Token");
+    s.model.signal_mut(token).add_param("hops", tut_uml::DataType::Int);
+
+    let mut parts = Vec::new();
+    let mut ports = Vec::new();
+    for i in 0..n {
+        let class = s.model.add_class(format!("Node{i}"));
+        s.apply(class, |t| t.application_component).unwrap();
+        let pin = s.model.add_port(class, "in");
+        let pout = s.model.add_port(class, "out");
+        s.model.port_mut(pin).add_provided(token);
+        s.model.port_mut(pout).add_required(token);
+        let mut sm = StateMachine::new(format!("Node{i}B"));
+        let run = if i == 0 {
+            sm.add_state_with_entry(
+                "Run",
+                vec![Statement::Send {
+                    port: "out".into(),
+                    signal: token,
+                    args: vec![Expr::int(0)],
+                }],
+            )
+        } else {
+            sm.add_state("Run")
+        };
+        sm.set_initial(run);
+        sm.add_transition(
+            run,
+            run,
+            Trigger::Signal(token),
+            None,
+            vec![
+                Statement::Compute {
+                    class: CostClass::Control,
+                    amount: Expr::int(10),
+                },
+                Statement::Send {
+                    port: "out".into(),
+                    signal: token,
+                    args: vec![Expr::param("hops").bin(tut_uml::action::BinOp::Add, Expr::int(1))],
+                },
+            ],
+        );
+        s.model.add_state_machine(class, sm);
+        let part = s.model.add_part(top, format!("n{i}"), class);
+        s.apply(part, |t| t.application_process).unwrap();
+        parts.push(part);
+        ports.push((pin, pout));
+    }
+    for i in 0..n {
+        let next = (i + 1) % n;
+        s.model.add_connector(
+            top,
+            format!("ring{i}"),
+            ConnectorEnd {
+                part: Some(parts[i]),
+                port: ports[i].1,
+            },
+            ConnectorEnd {
+                part: Some(parts[next]),
+                port: ports[next].0,
+            },
+        );
+    }
+    // One group on one processor: pure kernel throughput.
+    let group = s.add_process_group("ring", false, ProcessType::General);
+    for &part in &parts {
+        s.assign_to_group(part, group);
+    }
+    let platform = s.model.add_class("Plat");
+    s.apply(platform, |t| t.platform).unwrap();
+    let cpu = s.add_platform_component("Cpu", ComponentKind::General, 1000, 1.0, 0.1);
+    let instance = s.add_platform_instance(platform, "cpu", cpu, 1, 0);
+    s.map_group(group, instance, false);
+    s
+}
+
+fn bench_sim_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_kernel");
+    group.sample_size(10);
+    for n in [4usize, 16, 64] {
+        let system = token_ring(n);
+        let config = tut_sim::SimConfig {
+            max_time_ns: u64::MAX / 2,
+            max_steps: 20_000,
+            ..tut_sim::SimConfig::default()
+        };
+        group.throughput(Throughput::Elements(20_000));
+        group.bench_with_input(
+            BenchmarkId::new("steps_20k", format!("{n}proc")),
+            &system,
+            |b, system| {
+                b.iter(|| {
+                    tut_sim::Simulation::from_system(system, config.clone())
+                        .expect("build")
+                        .run()
+                        .expect("run")
+                        .total_steps
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_kernel);
+criterion_main!(benches);

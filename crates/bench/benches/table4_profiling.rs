@@ -1,0 +1,58 @@
+//! Experiment: Table 4 — the full design-and-profiling pipeline
+//! (model → XML → groups; model → simulation → log; combine → report)
+//! at increasing simulation horizons.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let system = tut_bench::paper_system();
+    let mut group = c.benchmark_group("table4_pipeline");
+    group.sample_size(10);
+    for horizon_ms in [2u64, 5, 10] {
+        group.bench_with_input(
+            BenchmarkId::new("profile_system", format!("{horizon_ms}ms")),
+            &horizon_ms,
+            |b, &ms| {
+                b.iter(|| {
+                    tut_profiling::profile_system(
+                        &system,
+                        tut_sim::SimConfig::with_horizon_ns(ms * 1_000_000),
+                    )
+                    .expect("pipeline")
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Stage split: simulation alone vs analysis alone.
+    let mut group = c.benchmark_group("table4_stages");
+    group.sample_size(10);
+    group.bench_function("simulate_10ms", |b| {
+        b.iter(|| {
+            tut_sim::Simulation::from_system(
+                &system,
+                tut_sim::SimConfig::with_horizon_ns(10_000_000),
+            )
+            .expect("build")
+            .run()
+            .expect("run")
+        })
+    });
+    let report = tut_sim::Simulation::from_system(
+        &system,
+        tut_sim::SimConfig::with_horizon_ns(10_000_000),
+    )
+    .expect("build")
+    .run()
+    .expect("run");
+    let log_text = report.log.to_text();
+    let groups = tut_profiling::groups::parse_model_xml(&system.to_xml()).expect("groups");
+    group.bench_function("analyze_10ms_log", |b| {
+        b.iter(|| tut_profiling::analyze(&groups, &log_text).expect("analyze"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

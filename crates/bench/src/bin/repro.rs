@@ -1,0 +1,126 @@
+//! Regenerates every table and figure of the paper from the live
+//! implementation.
+//!
+//! ```text
+//! cargo run -p tut-bench --bin repro -- all
+//! cargo run -p tut-bench --bin repro -- table4
+//! cargo run -p tut-bench --bin repro -- fig6 fig8
+//! ```
+
+use tut_bench::figures;
+use tut_profile::{tables, TutProfile};
+use tut_profiling::render_table4;
+
+fn print_fig1() {
+    println!("Figure 1. Design flow with TUT-Profile.");
+    println!();
+    println!("  UML 2.0 (TUT-Profile) -> tools -> prototype");
+    println!("  tools: this repository replaces Telelogic TAU G2 + the TCL profiling tool;");
+    println!("  the physical Altera FPGA prototype is replaced by the tut-sim / tut-hibi");
+    println!("  co-simulation (see DESIGN.md section 2 for the substitution table).");
+    println!();
+    println!("{}", tut_profile::flow::render_flow());
+}
+
+fn print_fig2() {
+    println!("Figure 2. TUT-Profile design and profiling flow — executed live:");
+    println!();
+    let system = tut_bench::paper_system();
+
+    // Stage: validation.
+    let findings = system.validate();
+    println!("  [validate]     {} findings (errors: {})", findings.len(),
+        findings.iter().filter(|f| f.starts_with("[error]")).count());
+
+    // Stage: model parsing (XML text boundary).
+    let xml = system.to_xml();
+    let groups = tut_profiling::groups::parse_model_xml(&xml).expect("model parses");
+    println!(
+        "  [model parse]  {} bytes of XML -> {} groups, {} processes",
+        xml.len(),
+        groups.groups.len(),
+        groups.process_count()
+    );
+
+    // Stage: code generation.
+    let files = tut_codegen::generate_project(&system).expect("codegen");
+    let loc: usize = files.iter().map(|f| f.contents.lines().count()).sum();
+    println!("  [codegen]      {} C files, {} lines", files.len(), loc);
+
+    // Stage: simulation.
+    let report = tut_sim::Simulation::from_system(&system, tut_bench::table4_config())
+        .expect("sim builds")
+        .run()
+        .expect("sim runs");
+    println!("  [simulate]     {}", report.summary());
+    let log_text = report.log.to_text();
+    println!("  [log-file]     {} bytes, {} records", log_text.len(), report.log.len());
+
+    // Stage: profiling.
+    let profile = tut_profiling::analyze(&groups, &log_text).expect("analysis");
+    println!(
+        "  [profile]      {} groups, dominant: {}",
+        profile.group_exec.len(),
+        profile
+            .dominant_group()
+            .map(|g| g.group.as_str())
+            .unwrap_or("-")
+    );
+    for suggestion in tut_profiling::suggest::suggest(&profile, 0.85) {
+        println!("  [suggest]      {suggestion}");
+    }
+}
+
+fn print_table4() {
+    let system = tut_bench::paper_system();
+    let report = tut_bench::profile(&system);
+    println!("{}", render_table4(&report));
+    println!("Paper reference (Table 4a): Group1 92.1 %, Group2 5.2 %, Group3 2.5 %,");
+    println!("Group4 0.2 %, Environment 0.0 % — compare the Proportion column above.");
+}
+
+fn print_transfers() {
+    let system = tut_bench::paper_system();
+    let report = tut_bench::profile(&system);
+    println!("{}", tut_profiling::report::render_transfers(&report));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "fig1", "fig2", "fig3", "table1", "table2", "table3", "fig4", "fig5", "fig6",
+            "fig7", "fig8", "table4",
+        ]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    let tut = TutProfile::new();
+    for (index, item) in selected.iter().enumerate() {
+        if index > 0 {
+            println!("\n{}\n", "=".repeat(72));
+        }
+        match *item {
+            "fig1" => print_fig1(),
+            "fig2" => print_fig2(),
+            "fig3" => println!("{}", tut.hierarchy()),
+            "table1" => println!("{}", tables::table1(&tut)),
+            "table2" => println!("{}", tables::table2(&tut)),
+            "table3" => println!("{}", tables::table3(&tut)),
+            "fig4" => println!("{}", figures::fig4()),
+            "fig5" => println!("{}", figures::fig5()),
+            "fig6" => println!("{}", figures::fig6()),
+            "fig7" => println!("{}", figures::fig7()),
+            "fig8" => println!("{}", figures::fig8()),
+            "table4" => print_table4(),
+            "transfers" => print_transfers(),
+            other => {
+                eprintln!(
+                    "unknown item `{other}`; known: fig1..fig8, table1..table4, transfers, all"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Text renderings of the paper's figures, generated from the live model.
+
+use tut_profile::SystemModel;
+use tut_uml::diagram::{self, DiagramOptions};
+
+use crate::paper_system_with_handles;
+
+fn label_options(system: &SystemModel) -> DiagramOptions<'_> {
+    DiagramOptions::with_labels(move |element| system.stereotype_label(element))
+}
+
+/// Figure 4: the TUTMAC class diagram.
+pub fn fig4() -> String {
+    let (system, handles) = paper_system_with_handles();
+    let mut out = String::from("Figure 4. TUTMAC class diagram of an application.\n\n");
+    out.push_str(&diagram::class_diagram(
+        &system.model,
+        handles.protocol,
+        &label_options(&system),
+    ));
+    out
+}
+
+/// Figure 5: the composite structure of `Tutmac_Protocol`.
+pub fn fig5() -> String {
+    let (system, handles) = paper_system_with_handles();
+    let mut out = String::from(
+        "Figure 5. Composite structure diagram of Tutmac_Protocol class in the TUTMAC application.\n\n",
+    );
+    out.push_str(&diagram::composite_structure_diagram(
+        &system.model,
+        handles.protocol,
+        &label_options(&system),
+    ));
+    out
+}
+
+/// Figure 6: the TUTMAC process grouping.
+pub fn fig6() -> String {
+    let (system, _) = paper_system_with_handles();
+    let mut out =
+        String::from("Figure 6. TUTMAC process grouping using composite structure diagram.\n\n");
+    for group in system.application().groups() {
+        let fixed = if group.fixed { " (fixed)" } else { "" };
+        out.push_str(&format!(
+            "  \u{ab}ProcessGroup\u{bb} {}:ProcessGroup [{}]{}\n",
+            group.name, group.process_type, fixed
+        ));
+        for member in &group.members {
+            let prop = system.model.property(*member);
+            let owner = system.model.class(prop.owner()).name();
+            out.push_str(&format!(
+                "    ...::{}::{}\n",
+                owner,
+                prop.name()
+            ));
+        }
+    }
+    out.push_str("  (user, channel remain in the environment)\n");
+    out
+}
+
+/// Figure 7: the TUTWLAN platform composite structure.
+pub fn fig7() -> String {
+    let (system, _) = paper_system_with_handles();
+    let platform = system.platform();
+    let mut out = String::from(
+        "Figure 7. Stereotyped composite structure diagram for the TUTWLAN platform.\n\n",
+    );
+    for segment in platform.segments() {
+        out.push_str(&format!(
+            "  \u{ab}HIBISegment\u{bb} {}: {} MHz, {} bit, {} arbitration\n",
+            segment.name, segment.frequency, segment.data_width, segment.arbitration
+        ));
+        for attachment in platform.attachments() {
+            if attachment.segment != segment.part {
+                continue;
+            }
+            let instance = platform.instance(attachment.pe).expect("attachment pe exists");
+            out.push_str(&format!(
+                "    \u{ab}PlatformComponentInstance\u{bb} {}: {} ({} MHz) via \u{ab}HIBIWrapper\u{bb} {} @{:#x}\n",
+                instance.name,
+                system.model.class(instance.component).name(),
+                instance.frequency,
+                attachment.wrapper.name,
+                attachment.wrapper.address.unwrap_or(0),
+            ));
+        }
+    }
+    for bridge in platform.bridges() {
+        out.push_str(&format!(
+            "  bridge: {} <-> {}\n",
+            system.model.property(bridge.a).name(),
+            system.model.property(bridge.b).name()
+        ));
+    }
+    out
+}
+
+/// Figure 8: the mapping of TUTMAC groups onto the TUTWLAN platform.
+pub fn fig8() -> String {
+    let (system, _) = paper_system_with_handles();
+    let mut out =
+        String::from("Figure 8. Mapping the TUTMAC protocol to TUTWLAN platform.\n\n");
+    for mapping in system.mapping().mappings() {
+        let group = system.model.class(mapping.group).name();
+        let instance = system.model.property(mapping.instance);
+        let component = system.model.class(instance.type_()).name();
+        let fixed = if mapping.fixed { " (fixed)" } else { "" };
+        out.push_str(&format!(
+            "  \u{ab}ProcessGroup\u{bb} {group} --\u{ab}PlatformMapping\u{bb}{fixed}--> \u{ab}PlatformComponentInstance\u{bb} {}: {component}\n",
+            instance.name(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_names_the_protocol_and_components() {
+        let text = fig4();
+        assert!(text.contains("Tutmac_Protocol"));
+        assert!(text.contains("\u{ab}Application\u{bb}"));
+        assert!(text.contains("part rca : RadioChannelAccess"));
+        assert!(text.contains("part ui : UserInterface"));
+    }
+
+    #[test]
+    fn fig5_lists_connectors() {
+        let text = fig5();
+        assert!(text.contains("connector dpToRca"));
+        assert!(text.contains("connector mngToRca"));
+        assert!(text.contains("part mng : Management"));
+    }
+
+    #[test]
+    fn fig6_reproduces_the_grouping() {
+        let text = fig6();
+        assert!(text.contains("group1:ProcessGroup"));
+        assert!(text.contains("...::Tutmac_Protocol::rca"));
+        assert!(text.contains("...::UserInterface::msduRec"));
+        assert!(text.contains("...::DataProcessing::frag"));
+        assert!(text.contains("group4"));
+    }
+
+    #[test]
+    fn fig7_reproduces_the_platform() {
+        let text = fig7();
+        assert!(text.contains("hibisegment1"));
+        assert!(text.contains("processor1"));
+        assert!(text.contains("accelerator1"));
+        assert!(text.contains("bridge"));
+    }
+
+    #[test]
+    fn fig8_reproduces_the_mapping() {
+        let text = fig8();
+        assert!(text.contains("group1"));
+        assert!(text.contains("processor1"));
+        assert!(text.contains("accelerator1"));
+        assert!(text.contains("(fixed)"));
+    }
+}

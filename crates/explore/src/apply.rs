@@ -1,0 +1,167 @@
+//! Rewriting a system model with a new grouping or mapping.
+//!
+//! §3.3: "When the mapping is fixed (indicated by a tagged value), it
+//! cannot be changed automatically by profiling tools during the design
+//! process." These functions are those profiling tools — fixed groupings
+//! and mappings are left untouched, everything else is rewritten.
+
+use tut_profile::SystemModel;
+use tut_profile_core::TagValue;
+use tut_uml::ids::{ClassId, PropertyId};
+
+/// Rewrites the `«PlatformMapping»` dependencies: every *non-fixed* group
+/// in `groups` is re-mapped to `instances[assignment[i]]`; fixed mappings
+/// are preserved.
+///
+/// Returns the number of mappings changed.
+///
+/// # Panics
+///
+/// Panics if `assignment` and `groups` lengths differ or an assignment
+/// index is out of range.
+pub fn apply_mapping(
+    system: &mut SystemModel,
+    groups: &[ClassId],
+    instances: &[PropertyId],
+    assignment: &[usize],
+) -> usize {
+    assert_eq!(groups.len(), assignment.len(), "one element per group");
+    let existing = system.mapping().mappings();
+    let mut changed = 0;
+    for (index, &group) in groups.iter().enumerate() {
+        let target = instances[assignment[index]];
+        let current = existing.iter().find(|m| m.group == group);
+        if let Some(mapping) = current {
+            if mapping.fixed {
+                continue; // §3.3: fixed mappings are off limits.
+            }
+            if mapping.instance == target {
+                continue;
+            }
+            system.unmap(mapping.dependency);
+        }
+        system.map_group(group, target, false);
+        changed += 1;
+    }
+    changed
+}
+
+/// Rewrites the `«ProcessGrouping»` dependencies: every process in
+/// `parts` is re-assigned to `groups[assignment[i]]`, except processes
+/// whose current grouping is fixed or whose current group is fixed.
+///
+/// Returns the number of processes moved.
+///
+/// # Panics
+///
+/// Panics on length mismatches or out-of-range assignments.
+pub fn apply_grouping(
+    system: &mut SystemModel,
+    parts: &[PropertyId],
+    groups: &[ClassId],
+    assignment: &[usize],
+) -> usize {
+    assert_eq!(parts.len(), assignment.len(), "one group per process");
+    let mut moved = 0;
+    for (index, &part) in parts.iter().enumerate() {
+        let target = groups[assignment[index]];
+        let app = system.application();
+        let current_group = app.group_of(part);
+        if current_group == Some(target) {
+            continue;
+        }
+        // Respect fixed groupings and fixed groups.
+        if let Some(dep) = app.grouping_dependency(part) {
+            let grouping_fixed = system
+                .tag_value(dep, system.tut.process_grouping, "Fixed")
+                .and_then(TagValue::as_bool)
+                .unwrap_or(false);
+            let group_fixed = current_group
+                .and_then(|g| {
+                    system
+                        .tag_value(g, system.tut.process_group, "Fixed")
+                        .and_then(TagValue::as_bool)
+                })
+                .unwrap_or(false);
+            if grouping_fixed || group_fixed {
+                continue;
+            }
+            system.apps.clear_element(dep);
+        }
+        system.assign_to_group(part, target);
+        moved += 1;
+    }
+    moved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tut_profile::application::ProcessType;
+    use tut_profile::platform::ComponentKind;
+
+    fn sample() -> (SystemModel, Vec<ClassId>, Vec<PropertyId>, Vec<PropertyId>) {
+        let mut s = SystemModel::new("S");
+        let top = s.model.add_class("Top");
+        s.apply(top, |t| t.application).unwrap();
+        let comp = s.model.add_class("Worker");
+        s.apply(comp, |t| t.application_component).unwrap();
+        let p1 = s.model.add_part(top, "p1", comp);
+        let p2 = s.model.add_part(top, "p2", comp);
+        for p in [p1, p2] {
+            s.apply(p, |t| t.application_process).unwrap();
+        }
+        let g1 = s.add_process_group("g1", false, ProcessType::General);
+        let g2 = s.add_process_group("g2", false, ProcessType::General);
+        s.assign_to_group(p1, g1);
+        s.assign_to_group(p2, g2);
+
+        let platform = s.model.add_class("Plat");
+        s.apply(platform, |t| t.platform).unwrap();
+        let nios = s.add_platform_component("Nios", ComponentKind::General, 50, 1.0, 0.1);
+        let cpu1 = s.add_platform_instance(platform, "cpu1", nios, 1, 0);
+        let cpu2 = s.add_platform_instance(platform, "cpu2", nios, 2, 0);
+        s.map_group(g1, cpu1, false);
+        s.map_group(g2, cpu2, true); // fixed!
+        (s, vec![g1, g2], vec![p1, p2], vec![cpu1, cpu2])
+    }
+
+    #[test]
+    fn apply_mapping_moves_non_fixed_only() {
+        let (mut s, groups, _parts, cpus) = sample();
+        // Try to put everything on cpu2.
+        let changed = apply_mapping(&mut s, &groups, &cpus, &[1, 0]);
+        assert_eq!(changed, 1, "only g1 moves; g2 is fixed");
+        let view = s.mapping();
+        assert_eq!(view.instance_of(groups[0]), Some(cpus[1]));
+        assert_eq!(view.instance_of(groups[1]), Some(cpus[1]), "fixed stays on cpu2");
+    }
+
+    #[test]
+    fn apply_mapping_is_idempotent() {
+        let (mut s, groups, _parts, cpus) = sample();
+        assert_eq!(apply_mapping(&mut s, &groups, &cpus, &[0, 1]), 0);
+    }
+
+    #[test]
+    fn apply_grouping_moves_processes() {
+        let (mut s, groups, parts, _) = sample();
+        let moved = apply_grouping(&mut s, &parts, &groups, &[1, 1]);
+        assert_eq!(moved, 1, "p1 moves to g2; p2 already there");
+        let app = s.application();
+        assert_eq!(app.group_of(parts[0]), Some(groups[1]));
+    }
+
+    #[test]
+    fn fixed_group_membership_is_preserved() {
+        let (mut s, mut groups, parts, _) = sample();
+        let fixed_group = s.add_process_group("locked", true, ProcessType::General);
+        groups.push(fixed_group);
+        // Move p1 into the fixed group, then try to move it out.
+        apply_grouping(&mut s, &[parts[0]], &groups, &[2]);
+        assert_eq!(s.application().group_of(parts[0]), Some(fixed_group));
+        let moved = apply_grouping(&mut s, &[parts[0]], &groups, &[0]);
+        assert_eq!(moved, 0, "fixed group keeps its member");
+        assert_eq!(s.application().group_of(parts[0]), Some(fixed_group));
+    }
+}

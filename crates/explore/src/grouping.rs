@@ -1,0 +1,351 @@
+//! Grouping optimisation: partition the communication graph into K
+//! groups minimising inter-group communication.
+//!
+//! The paper lists the grouping criteria (§3.1): "preliminary scheduling
+//! …, workload distribution, communication between process groups,
+//! dependencies between process groups, and size of a process group". The
+//! objective here combines the two quantitative ones: cut weight
+//! (communication) plus a load-imbalance penalty (workload distribution).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::commgraph::CommGraph;
+
+/// Options for [`partition`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct GroupingOptions {
+    /// Number of groups to form.
+    pub groups: usize,
+    /// Relative weight of the load-imbalance penalty against the cut
+    /// weight (0 = communication only).
+    pub balance_weight: f64,
+    /// Nodes pinned to a group (`Fixed` processes): `(node index, group)`.
+    pub pinned: Vec<(usize, usize)>,
+    /// Simulated-annealing iterations (0 disables the annealing pass).
+    pub annealing_iterations: u32,
+    /// RNG seed for the annealing pass (runs are reproducible).
+    pub seed: u64,
+}
+
+impl Default for GroupingOptions {
+    fn default() -> Self {
+        GroupingOptions {
+            groups: 4,
+            balance_weight: 0.2,
+            pinned: Vec::new(),
+            annealing_iterations: 20_000,
+            seed: 0x7075_7475,
+        }
+    }
+}
+
+/// A grouping result.
+#[derive(Clone, PartialEq, Debug)]
+pub struct GroupingSolution {
+    /// `assignment[node] = group`.
+    pub assignment: Vec<usize>,
+    /// The solution's cut weight (inter-group communication).
+    pub cut_weight: u64,
+    /// The solution's combined objective value.
+    pub objective: f64,
+}
+
+fn objective(graph: &CommGraph, assignment: &[usize], options: &GroupingOptions) -> f64 {
+    let cut = graph.cut_weight(assignment) as f64;
+    if options.balance_weight == 0.0 {
+        return cut;
+    }
+    let mut loads = vec![0u64; options.groups];
+    for (node, &group) in assignment.iter().enumerate() {
+        // Unknown loads fall back to 1 so balance still means "node
+        // count" for static graphs.
+        loads[group] += graph.loads()[node].max(1);
+    }
+    let total: u64 = loads.iter().sum();
+    let mean = total as f64 / options.groups as f64;
+    let imbalance: f64 = loads
+        .iter()
+        .map(|&l| (l as f64 - mean).abs())
+        .sum::<f64>()
+        / options.groups as f64;
+    cut + options.balance_weight * imbalance
+}
+
+/// Partitions the graph into `options.groups` groups.
+///
+/// Three phases:
+/// 1. **Greedy agglomeration** — start with every node alone, repeatedly
+///    merge the cluster pair joined by the heaviest inter-cluster weight
+///    until `groups` clusters remain (respecting pins: clusters pinned to
+///    different groups never merge).
+/// 2. **Refinement** — single-node moves while they improve the
+///    objective (a Kernighan–Lin-style pass).
+/// 3. **Annealing** — seeded simulated annealing over single-node moves,
+///    keeping the best solution seen.
+///
+/// # Panics
+///
+/// Panics if `options.groups` is 0, a pin is out of range, or two pins
+/// contradict each other.
+pub fn partition(graph: &CommGraph, options: &GroupingOptions) -> GroupingSolution {
+    assert!(options.groups > 0, "need at least one group");
+    let n = graph.len();
+    if n == 0 {
+        return GroupingSolution {
+            assignment: Vec::new(),
+            cut_weight: 0,
+            objective: 0.0,
+        };
+    }
+
+    // Pin table: node -> Some(group).
+    let mut pinned: Vec<Option<usize>> = vec![None; n];
+    for &(node, group) in &options.pinned {
+        assert!(node < n, "pinned node out of range");
+        assert!(group < options.groups, "pinned group out of range");
+        assert!(
+            pinned[node].is_none() || pinned[node] == Some(group),
+            "contradictory pins for node {node}"
+        );
+        pinned[node] = Some(group);
+    }
+
+    // ---- Phase 1: greedy agglomeration ---------------------------------
+    // cluster id per node; clusters carry an optional pinned group.
+    let mut cluster: Vec<usize> = (0..n).collect();
+    let mut cluster_pin: Vec<Option<usize>> = pinned.clone();
+    let mut cluster_count = n;
+    while cluster_count > options.groups {
+        // Heaviest inter-cluster edge whose clusters may merge.
+        let mut best: Option<(usize, usize, u64)> = None;
+        for (a, b, w) in graph.edges() {
+            let (ca, cb) = (cluster[a], cluster[b]);
+            if ca == cb {
+                continue;
+            }
+            let compatible = match (cluster_pin[ca], cluster_pin[cb]) {
+                (Some(x), Some(y)) => x == y,
+                _ => true,
+            };
+            if compatible && w > best.map(|(_, _, bw)| bw).unwrap_or(0) {
+                best = Some((ca, cb, w));
+            }
+        }
+        let (ca, cb) = match best {
+            Some((ca, cb, _)) => (ca, cb),
+            None => {
+                // No weighted merge available: merge two arbitrary
+                // compatible clusters (unconnected components).
+                let mut ids: Vec<usize> = cluster.clone();
+                ids.sort_unstable();
+                ids.dedup();
+                let mut found = None;
+                'outer: for (i, &ca) in ids.iter().enumerate() {
+                    for &cb in &ids[i + 1..] {
+                        let ok = match (cluster_pin[ca], cluster_pin[cb]) {
+                            (Some(x), Some(y)) => x == y,
+                            _ => true,
+                        };
+                        if ok {
+                            found = Some((ca, cb));
+                            break 'outer;
+                        }
+                    }
+                }
+                match found {
+                    Some(pair) => pair,
+                    None => break, // only mutually-pinned clusters remain
+                }
+            }
+        };
+        let merged_pin = cluster_pin[ca].or(cluster_pin[cb]);
+        for c in cluster.iter_mut() {
+            if *c == cb {
+                *c = ca;
+            }
+        }
+        cluster_pin[ca] = merged_pin;
+        cluster_count -= 1;
+    }
+
+    // Normalise cluster ids to 0..groups, honouring pins.
+    let mut ids: Vec<usize> = cluster.clone();
+    ids.sort_unstable();
+    ids.dedup();
+    let mut id_to_group: std::collections::HashMap<usize, usize> = Default::default();
+    let mut used = vec![false; options.groups];
+    for &id in &ids {
+        if let Some(g) = cluster_pin[id] {
+            id_to_group.insert(id, g);
+            used[g] = true;
+        }
+    }
+    let mut next_free = 0usize;
+    for &id in &ids {
+        if id_to_group.contains_key(&id) {
+            continue;
+        }
+        while next_free < options.groups && used[next_free] {
+            next_free += 1;
+        }
+        let g = if next_free < options.groups {
+            used[next_free] = true;
+            next_free
+        } else {
+            // More clusters than groups (pin deadlock): overflow into
+            // group 0.
+            0
+        };
+        id_to_group.insert(id, g);
+    }
+    let mut assignment: Vec<usize> = cluster.iter().map(|c| id_to_group[c]).collect();
+
+    // ---- Phase 2: greedy single-node refinement -------------------------
+    let mut current = objective(graph, &assignment, options);
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for node in 0..n {
+            if pinned[node].is_some() {
+                continue;
+            }
+            let original = assignment[node];
+            for group in 0..options.groups {
+                if group == original {
+                    continue;
+                }
+                assignment[node] = group;
+                let candidate = objective(graph, &assignment, options);
+                if candidate < current {
+                    current = candidate;
+                    improved = true;
+                } else {
+                    assignment[node] = original;
+                }
+            }
+        }
+    }
+
+    // ---- Phase 3: simulated annealing -----------------------------------
+    let mut best_assignment = assignment.clone();
+    let mut best = current;
+    if options.annealing_iterations > 0 && n > 1 && options.groups > 1 {
+        let mut rng = StdRng::seed_from_u64(options.seed);
+        let mut temperature = (best / n as f64).max(1.0);
+        for _ in 0..options.annealing_iterations {
+            let node = rng.gen_range(0..n);
+            if pinned[node].is_some() {
+                continue;
+            }
+            let original = assignment[node];
+            let group = rng.gen_range(0..options.groups);
+            if group == original {
+                continue;
+            }
+            assignment[node] = group;
+            let candidate = objective(graph, &assignment, options);
+            let accept = candidate <= current
+                || rng.gen::<f64>() < ((current - candidate) / temperature).exp();
+            if accept {
+                current = candidate;
+                if candidate < best {
+                    best = candidate;
+                    best_assignment = assignment.clone();
+                }
+            } else {
+                assignment[node] = original;
+            }
+            temperature = (temperature * 0.9997).max(0.01);
+        }
+    }
+
+    GroupingSolution {
+        cut_weight: graph.cut_weight(&best_assignment),
+        objective: best,
+        assignment: best_assignment,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two 3-cliques joined by one light edge.
+    fn two_communities() -> CommGraph {
+        let mut g = CommGraph::default();
+        for name in ["a0", "a1", "a2", "b0", "b1", "b2"] {
+            g.intern(name);
+        }
+        g.add_edge(0, 1, 10);
+        g.add_edge(1, 2, 10);
+        g.add_edge(0, 2, 10);
+        g.add_edge(3, 4, 10);
+        g.add_edge(4, 5, 10);
+        g.add_edge(3, 5, 10);
+        g.add_edge(2, 3, 1);
+        g
+    }
+
+    #[test]
+    fn partition_finds_the_natural_cut() {
+        let g = two_communities();
+        let solution = partition(
+            &g,
+            &GroupingOptions {
+                groups: 2,
+                balance_weight: 0.0,
+                ..GroupingOptions::default()
+            },
+        );
+        assert_eq!(solution.cut_weight, 1, "only the bridge edge crosses");
+        assert_eq!(solution.assignment[0], solution.assignment[1]);
+        assert_eq!(solution.assignment[0], solution.assignment[2]);
+        assert_eq!(solution.assignment[3], solution.assignment[4]);
+        assert_ne!(solution.assignment[0], solution.assignment[3]);
+    }
+
+    #[test]
+    fn pins_are_respected() {
+        let g = two_communities();
+        let solution = partition(
+            &g,
+            &GroupingOptions {
+                groups: 2,
+                balance_weight: 0.0,
+                pinned: vec![(0, 1), (3, 0)],
+                ..GroupingOptions::default()
+            },
+        );
+        assert_eq!(solution.assignment[0], 1);
+        assert_eq!(solution.assignment[3], 0);
+    }
+
+    #[test]
+    fn single_group_collapses_everything() {
+        let g = two_communities();
+        let solution = partition(
+            &g,
+            &GroupingOptions {
+                groups: 1,
+                ..GroupingOptions::default()
+            },
+        );
+        assert!(solution.assignment.iter().all(|&g| g == 0));
+        assert_eq!(solution.cut_weight, 0);
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let g = two_communities();
+        let options = GroupingOptions::default();
+        assert_eq!(partition(&g, &options), partition(&g, &options));
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = CommGraph::default();
+        let solution = partition(&g, &GroupingOptions::default());
+        assert!(solution.assignment.is_empty());
+    }
+}

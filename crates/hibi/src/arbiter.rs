@@ -1,0 +1,415 @@
+//! Cycle-accurate single-segment arbitration.
+//!
+//! The reservation model in [`crate::transfer`] summarises arbitration as
+//! a per-burst overhead. This module simulates a single segment cycle by
+//! cycle under contention, so the three `Arbitration` schemes of Table 3
+//! can be compared head-to-head (bench A1) and the overhead constants
+//! validated.
+
+use crate::topology::Arbitration;
+
+/// A bus arbiter: given the set of requesting agents, picks at most one
+/// winner per arbitration round.
+pub trait Arbiter: Send {
+    /// Scheme name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Picks the winning agent index among `requests` (true = requesting)
+    /// at the given bus cycle, or `None` if no grant is possible.
+    fn grant(&mut self, cycle: u64, requests: &[bool]) -> Option<usize>;
+
+    /// Extra idle cycles an agent pays when (re-)acquiring the bus.
+    fn overhead_cycles(&self) -> u64 {
+        1
+    }
+}
+
+/// Fixed-priority arbitration: the lowest agent index (lowest wrapper
+/// address) always wins.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PriorityArbiter;
+
+impl Arbiter for PriorityArbiter {
+    fn name(&self) -> &'static str {
+        "priority"
+    }
+
+    fn grant(&mut self, _cycle: u64, requests: &[bool]) -> Option<usize> {
+        requests.iter().position(|&r| r)
+    }
+}
+
+/// Round-robin arbitration: the grant pointer rotates past the last
+/// winner.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoundRobinArbiter {
+    next: usize,
+}
+
+impl Arbiter for RoundRobinArbiter {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn grant(&mut self, _cycle: u64, requests: &[bool]) -> Option<usize> {
+        let n = requests.len();
+        for offset in 0..n {
+            let candidate = (self.next + offset) % n;
+            if requests[candidate] {
+                self.next = (candidate + 1) % n;
+                return Some(candidate);
+            }
+        }
+        None
+    }
+
+    fn overhead_cycles(&self) -> u64 {
+        2
+    }
+}
+
+/// TDMA arbitration: cycle time is divided into fixed slots owned by the
+/// agents in turn; an agent may only transmit during its own slot.
+#[derive(Clone, Copy, Debug)]
+pub struct TdmaArbiter {
+    /// Length of one slot in cycles.
+    pub slot_cycles: u64,
+    /// Number of slots in the schedule (= number of agents it serves).
+    pub slots: usize,
+}
+
+impl Arbiter for TdmaArbiter {
+    fn name(&self) -> &'static str {
+        "tdma"
+    }
+
+    fn grant(&mut self, cycle: u64, requests: &[bool]) -> Option<usize> {
+        let owner = ((cycle / self.slot_cycles) as usize) % self.slots;
+        (owner < requests.len() && requests[owner]).then_some(owner)
+    }
+
+    fn overhead_cycles(&self) -> u64 {
+        0
+    }
+}
+
+/// Builds the arbiter for a scheme.
+pub fn make_arbiter(kind: Arbitration, agents: usize, slot_cycles: u64) -> Box<dyn Arbiter> {
+    match kind {
+        Arbitration::Priority => Box::new(PriorityArbiter),
+        Arbitration::RoundRobin => Box::new(RoundRobinArbiter::default()),
+        Arbitration::Tdma => Box::new(TdmaArbiter {
+            slot_cycles: slot_cycles.max(1),
+            slots: agents.max(1),
+        }),
+    }
+}
+
+/// Workload for the contention simulator: every agent injects a
+/// fixed-size burst periodically.
+#[derive(Clone, Copy, Debug)]
+pub struct ContentionConfig {
+    /// Number of agents on the segment.
+    pub agents: usize,
+    /// Simulated bus cycles.
+    pub cycles: u64,
+    /// Words per injected burst.
+    pub burst_words: u64,
+    /// Cycles between injections per agent (equal offered load per
+    /// agent).
+    pub period_cycles: u64,
+    /// Maximum consecutive cycles one grant may hold the bus.
+    pub max_time: u64,
+}
+
+impl Default for ContentionConfig {
+    fn default() -> Self {
+        ContentionConfig {
+            agents: 4,
+            cycles: 100_000,
+            burst_words: 16,
+            period_cycles: 100,
+            max_time: 16,
+        }
+    }
+}
+
+/// Per-agent outcome of a contention run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AgentOutcome {
+    /// Bursts fully transmitted.
+    pub bursts_served: u64,
+    /// Words transmitted.
+    pub words: u64,
+    /// Sum of per-burst waiting times (arrival to first word), in cycles.
+    pub total_wait_cycles: u64,
+    /// Worst-case per-burst waiting time in cycles.
+    pub max_wait_cycles: u64,
+}
+
+impl AgentOutcome {
+    /// Mean waiting time per served burst.
+    pub fn mean_wait(&self) -> f64 {
+        if self.bursts_served == 0 {
+            0.0
+        } else {
+            self.total_wait_cycles as f64 / self.bursts_served as f64
+        }
+    }
+}
+
+/// Aggregate outcome of a contention run.
+#[derive(Clone, Debug)]
+pub struct ContentionReport {
+    /// Scheme simulated.
+    pub scheme: Arbitration,
+    /// Per-agent outcomes.
+    pub agents: Vec<AgentOutcome>,
+    /// Total words moved.
+    pub total_words: u64,
+    /// Bus utilisation in `[0, 1]`.
+    pub utilisation: f64,
+    /// Jain fairness index over per-agent throughput, in `(0, 1]`.
+    pub fairness: f64,
+}
+
+impl ContentionReport {
+    /// Mean waiting time across all served bursts.
+    pub fn mean_wait(&self) -> f64 {
+        let bursts: u64 = self.agents.iter().map(|a| a.bursts_served).sum();
+        if bursts == 0 {
+            return 0.0;
+        }
+        let wait: u64 = self.agents.iter().map(|a| a.total_wait_cycles).sum();
+        wait as f64 / bursts as f64
+    }
+
+    /// Worst per-burst wait over all agents.
+    pub fn max_wait(&self) -> u64 {
+        self.agents.iter().map(|a| a.max_wait_cycles).max().unwrap_or(0)
+    }
+}
+
+/// Simulates one segment cycle-by-cycle under the given scheme and
+/// workload.
+pub fn simulate_contention(scheme: Arbitration, config: ContentionConfig) -> ContentionReport {
+    #[derive(Clone, Copy)]
+    struct Burst {
+        arrived: u64,
+        remaining: u64,
+        first_word_sent: bool,
+    }
+    let n = config.agents.max(1);
+    let mut arbiter = make_arbiter(scheme, n, config.max_time.max(1));
+    let mut queues: Vec<std::collections::VecDeque<Burst>> =
+        vec![std::collections::VecDeque::new(); n];
+    let mut outcomes = vec![AgentOutcome::default(); n];
+    let mut busy_cycles = 0u64;
+
+    // Current bus owner and how long it may still hold the bus.
+    let mut owner: Option<usize> = None;
+    let mut hold_left = 0u64;
+    let mut overhead_left = 0u64;
+
+    for cycle in 0..config.cycles {
+        // Periodic injections, staggered so agents don't all arrive at
+        // once (agent i offset by i cycles).
+        for (agent, queue) in queues.iter_mut().enumerate() {
+            if cycle % config.period_cycles == (agent as u64) % config.period_cycles {
+                queue.push_back(Burst {
+                    arrived: cycle,
+                    remaining: config.burst_words,
+                    first_word_sent: false,
+                });
+            }
+        }
+
+        if overhead_left > 0 {
+            overhead_left -= 1;
+            continue;
+        }
+
+        // (Re-)arbitrate when the bus has no owner or the hold expired.
+        let owner_done = owner
+            .map(|o| queues[o].front().is_none() || hold_left == 0)
+            .unwrap_or(true);
+        if owner_done {
+            let requests: Vec<bool> = queues.iter().map(|q| !q.is_empty()).collect();
+            let previous = owner;
+            owner = arbiter.grant(cycle, &requests);
+            hold_left = config.max_time.max(1);
+            if owner.is_some() && owner != previous {
+                overhead_left = arbiter.overhead_cycles();
+                if overhead_left > 0 {
+                    overhead_left -= 1; // this cycle counts as overhead
+                    continue;
+                }
+            }
+        }
+
+        // Transmit one word for the owner.
+        if let Some(agent) = owner {
+            if let Some(burst) = queues[agent].front_mut() {
+                if !burst.first_word_sent {
+                    burst.first_word_sent = true;
+                    let wait = cycle - burst.arrived;
+                    outcomes[agent].total_wait_cycles += wait;
+                    outcomes[agent].max_wait_cycles =
+                        outcomes[agent].max_wait_cycles.max(wait);
+                }
+                burst.remaining -= 1;
+                outcomes[agent].words += 1;
+                busy_cycles += 1;
+                hold_left = hold_left.saturating_sub(1);
+                if burst.remaining == 0 {
+                    outcomes[agent].bursts_served += 1;
+                    queues[agent].pop_front();
+                }
+            }
+        }
+    }
+
+    let total_words: u64 = outcomes.iter().map(|a| a.words).sum();
+    let fairness = jain_index(&outcomes.iter().map(|a| a.words as f64).collect::<Vec<_>>());
+    ContentionReport {
+        scheme,
+        agents: outcomes,
+        total_words,
+        utilisation: busy_cycles as f64 / config.cycles.max(1) as f64,
+        fairness,
+    }
+}
+
+/// Jain's fairness index: `(Σx)² / (n·Σx²)`; 1.0 = perfectly fair.
+pub fn jain_index(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let squares: f64 = values.iter().map(|v| v * v).sum();
+    if squares == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (values.len() as f64 * squares)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_always_grants_lowest_index() {
+        let mut arb = PriorityArbiter;
+        assert_eq!(arb.grant(0, &[false, true, true]), Some(1));
+        assert_eq!(arb.grant(1, &[true, true, true]), Some(0));
+        assert_eq!(arb.grant(2, &[false, false, false]), None);
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut arb = RoundRobinArbiter::default();
+        assert_eq!(arb.grant(0, &[true, true, true]), Some(0));
+        assert_eq!(arb.grant(1, &[true, true, true]), Some(1));
+        assert_eq!(arb.grant(2, &[true, true, true]), Some(2));
+        assert_eq!(arb.grant(3, &[true, true, true]), Some(0));
+        // Skips non-requesting agents.
+        assert_eq!(arb.grant(4, &[false, false, true]), Some(2));
+    }
+
+    #[test]
+    fn tdma_respects_slot_ownership() {
+        let mut arb = TdmaArbiter {
+            slot_cycles: 10,
+            slots: 2,
+        };
+        // Cycles 0..10 belong to agent 0, 10..20 to agent 1.
+        assert_eq!(arb.grant(5, &[true, true]), Some(0));
+        assert_eq!(arb.grant(15, &[true, true]), Some(1));
+        assert_eq!(arb.grant(15, &[true, false]), None);
+    }
+
+    #[test]
+    fn contention_saturated_bus_serves_all_words_somewhere() {
+        let config = ContentionConfig {
+            agents: 4,
+            cycles: 50_000,
+            burst_words: 16,
+            period_cycles: 40, // offered load 4*16/40 = 1.6 words/cycle > 1: saturated
+            max_time: 16,
+        };
+        let report = simulate_contention(Arbitration::Priority, config);
+        assert!(report.utilisation > 0.9, "saturated bus should be busy");
+        // Under priority, agent 0 must starve the others.
+        assert!(report.agents[0].words > report.agents[3].words);
+        assert!(report.fairness < 0.99);
+    }
+
+    #[test]
+    fn round_robin_is_fairer_than_priority_under_saturation() {
+        let config = ContentionConfig {
+            agents: 4,
+            cycles: 50_000,
+            burst_words: 16,
+            period_cycles: 40,
+            max_time: 16,
+        };
+        let prio = simulate_contention(Arbitration::Priority, config);
+        let rr = simulate_contention(Arbitration::RoundRobin, config);
+        assert!(
+            rr.fairness > prio.fairness,
+            "round-robin fairness {} should beat priority {}",
+            rr.fairness,
+            prio.fairness
+        );
+    }
+
+    #[test]
+    fn tdma_bounds_worst_case_wait_under_light_load() {
+        let config = ContentionConfig {
+            agents: 4,
+            cycles: 50_000,
+            burst_words: 8,
+            period_cycles: 400, // light load
+            max_time: 16,
+        };
+        let tdma = simulate_contention(Arbitration::Tdma, config);
+        // Worst case is bounded by one full TDMA frame plus a burst.
+        let frame = 16 * 4;
+        assert!(
+            tdma.max_wait() <= frame + config.burst_words,
+            "tdma max wait {} exceeds frame bound {}",
+            tdma.max_wait(),
+            frame + config.burst_words
+        );
+    }
+
+    #[test]
+    fn light_load_all_schemes_serve_everyone() {
+        let config = ContentionConfig {
+            agents: 3,
+            cycles: 30_000,
+            burst_words: 4,
+            period_cycles: 300,
+            max_time: 8,
+        };
+        for scheme in [Arbitration::Priority, Arbitration::RoundRobin, Arbitration::Tdma] {
+            let report = simulate_contention(scheme, config);
+            for (i, agent) in report.agents.iter().enumerate() {
+                assert!(
+                    agent.bursts_served > 50,
+                    "{scheme}: agent {i} served only {} bursts",
+                    agent.bursts_served
+                );
+            }
+            assert!(report.fairness > 0.95, "{scheme} unfair under light load");
+        }
+    }
+
+    #[test]
+    fn jain_index_properties() {
+        assert!((jain_index(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!(jain_index(&[1.0, 0.0, 0.0]) < 0.4);
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+}

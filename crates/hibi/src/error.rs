@@ -1,0 +1,52 @@
+//! Error type for the HIBI simulator.
+
+use std::fmt;
+
+/// Errors produced while building or driving a HIBI network.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum HibiError {
+    /// Two wrappers declared the same bus address.
+    DuplicateAddress {
+        /// The clashing address.
+        address: u64,
+    },
+    /// The segment graph is disconnected: no route between two agents.
+    NoRoute {
+        /// Source agent address.
+        from: u64,
+        /// Destination agent address.
+        to: u64,
+    },
+    /// A configuration value is out of range.
+    BadConfig(String),
+}
+
+impl fmt::Display for HibiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HibiError::DuplicateAddress { address } => {
+                write!(f, "duplicate wrapper address {address:#x}")
+            }
+            HibiError::NoRoute { from, to } => {
+                write!(f, "no route from agent {from:#x} to agent {to:#x}")
+            }
+            HibiError::BadConfig(msg) => write!(f, "bad hibi configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HibiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = HibiError::DuplicateAddress { address: 0x20 };
+        assert!(e.to_string().contains("0x20"));
+        let e = HibiError::NoRoute { from: 1, to: 2 };
+        assert!(e.to_string().contains("no route"));
+    }
+}

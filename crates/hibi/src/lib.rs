@@ -1,0 +1,49 @@
+//! A HIBI v2 on-chip interconnection network simulator.
+//!
+//! The paper's platform communicates over the HIBI bus (Salminen et al.,
+//! "HIBI v.2 Interconnection for System-on-Chip" — reference 5 of the
+//! paper): processing elements attach to *segments* through *wrappers*,
+//! segments join into a hierarchical bus through *bridges*, and each
+//! segment arbitrates its agents by priority, round-robin, or a TDMA
+//! schedule — exactly the `«CommunicationSegment»` /
+//! `«CommunicationWrapper»` parameters of Table 3.
+//!
+//! Two complementary layers:
+//!
+//! * [`topology`] + [`transfer`] — the network used during co-simulation:
+//!   a reservation-based timing model that routes each transfer across the
+//!   segment graph, accounts arbitration overhead, burst splitting
+//!   (`MaxTime`), bridge store-and-forward, and per-segment utilisation.
+//! * [`arbiter`] — a cycle-accurate single-segment arbitration simulator
+//!   used by the arbitration ablation bench and for validating the
+//!   overhead constants of the transfer layer.
+//!
+//! # Example
+//!
+//! ```
+//! use tut_hibi::topology::{NetworkBuilder, SegmentConfig, WrapperConfig};
+//!
+//! let mut b = NetworkBuilder::new();
+//! let seg = b.add_segment("seg0", SegmentConfig::default());
+//! let a0 = b.add_agent(seg, WrapperConfig::new(0x10));
+//! let a1 = b.add_agent(seg, WrapperConfig::new(0x20));
+//! let mut network = b.build()?;
+//! let done = network.transfer(a0, a1, 64, 0);
+//! assert!(done.completion_ns > 0);
+//! # Ok::<(), tut_hibi::HibiError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbiter;
+pub mod error;
+pub mod stats;
+pub mod topology;
+pub mod transfer;
+
+pub use error::HibiError;
+pub use topology::{
+    AgentId, Arbitration, Network, NetworkBuilder, SegmentConfig, SegmentId, WrapperConfig,
+};
+pub use transfer::TransferResult;

@@ -1,0 +1,58 @@
+//! Per-segment transfer statistics.
+
+/// Counters accumulated per segment during transfer scheduling; read them
+/// back with [`crate::Network::segment_stats`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SegmentStats {
+    /// Number of (burst) reservations granted.
+    pub reservations: u64,
+    /// Total payload bytes moved across the segment.
+    pub bytes: u64,
+    /// Total nanoseconds the segment was occupied by data beats.
+    pub busy_ns: u64,
+    /// Total nanoseconds transfers waited for the segment to become free
+    /// (queueing delay).
+    pub wait_ns: u64,
+    /// Total nanoseconds spent on arbitration overhead (and TDMA slot
+    /// alignment).
+    pub arbitration_ns: u64,
+}
+
+impl SegmentStats {
+    /// Utilisation of the segment over `horizon_ns` of simulated time, in
+    /// `[0, 1]`.
+    pub fn utilisation(&self, horizon_ns: u64) -> f64 {
+        if horizon_ns == 0 {
+            return 0.0;
+        }
+        self.busy_ns as f64 / horizon_ns as f64
+    }
+
+    /// Mean queueing delay per reservation in nanoseconds.
+    pub fn mean_wait_ns(&self) -> f64 {
+        if self.reservations == 0 {
+            return 0.0;
+        }
+        self.wait_ns as f64 / self.reservations as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilisation_and_wait() {
+        let stats = SegmentStats {
+            reservations: 4,
+            bytes: 1024,
+            busy_ns: 500,
+            wait_ns: 100,
+            arbitration_ns: 20,
+        };
+        assert!((stats.utilisation(1000) - 0.5).abs() < 1e-12);
+        assert!((stats.mean_wait_ns() - 25.0).abs() < 1e-12);
+        assert_eq!(SegmentStats::default().mean_wait_ns(), 0.0);
+        assert_eq!(SegmentStats::default().utilisation(0), 0.0);
+    }
+}

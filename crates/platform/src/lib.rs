@@ -1,0 +1,37 @@
+//! The platform component library: processing-element models, execution
+//! cost model, hardware accelerators, and memory budgets.
+//!
+//! The paper's platform is "Altera Stratix FPGA with soft processor cores"
+//! plus "implementations of some time critical algorithms, such as Cyclic
+//! Redundancy Check (CRC), that can be used for hardware acceleration"
+//! (§4). This crate provides the simulation-side equivalents:
+//!
+//! * [`pe::PeDescriptor`] — a parameterised processing element (kind,
+//!   frequency, internal memory), built from the Table 3 tagged values;
+//! * [`cost::CostModel`] — converts action-language execution weight and
+//!   `Compute` workload units into cycles, with a kind-vs-workload match
+//!   matrix (a DSP runs `dsp` work fast, a CPU runs `bit` work slowly,
+//!   the accelerator runs `bit` work very fast and anything else not at
+//!   all well);
+//! * [`accel::Crc32Accelerator`] — a table-driven CRC-32 engine that is
+//!   bit-exact with the software reference
+//!   ([`tut_uml::action::crc32_bitwise`]) but with hardware-like timing;
+//! * [`memory::MemoryBudget`] — internal-memory accounting against the
+//!   `IntMemory` / `CodeMemory` / `DataMemory` tagged values;
+//! * [`library::ComponentLibrary`] — the named catalogue a designer picks
+//!   components from (§4.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accel;
+pub mod cost;
+pub mod library;
+pub mod memory;
+pub mod pe;
+
+pub use accel::Crc32Accelerator;
+pub use cost::CostModel;
+pub use library::ComponentLibrary;
+pub use memory::MemoryBudget;
+pub use pe::{PeDescriptor, PeKind};

@@ -1,0 +1,117 @@
+//! The named component catalogue a designer instantiates platforms from.
+//!
+//! "When describing hardware platform, the designer selects suitable
+//! components from the TUT-Profile library and connects components
+//! together" (§4.2). [`ComponentLibrary::tut_defaults`] is that library
+//! for this reproduction: Nios-class soft cores, a DSP core, and the
+//! CRC-32 accelerator.
+
+use std::collections::BTreeMap;
+
+use crate::pe::{PeDescriptor, PeKind};
+
+/// A named catalogue of processing-element templates.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct ComponentLibrary {
+    entries: BTreeMap<String, PeDescriptor>,
+}
+
+impl ComponentLibrary {
+    /// An empty library.
+    pub fn new() -> ComponentLibrary {
+        ComponentLibrary::default()
+    }
+
+    /// The default TUT library: `nios/50` general CPU, `nios/100` fast
+    /// general CPU, `dsp/100` DSP core, and `crc32` accelerator.
+    pub fn tut_defaults() -> ComponentLibrary {
+        let mut lib = ComponentLibrary::new();
+        let mut nios50 = PeDescriptor::new("nios50", PeKind::GeneralCpu, 50);
+        nios50.area = 2.0;
+        nios50.power = 0.50;
+        lib.register(nios50);
+
+        let mut nios100 = PeDescriptor::new("nios100", PeKind::GeneralCpu, 100);
+        nios100.area = 2.6;
+        nios100.power = 0.95;
+        lib.register(nios100);
+
+        let mut dsp = PeDescriptor::new("dsp100", PeKind::DspCpu, 100);
+        dsp.area = 3.4;
+        dsp.power = 1.10;
+        lib.register(dsp);
+
+        let mut crc = PeDescriptor::new("crc32", PeKind::HwAccelerator, 100);
+        crc.area = 0.2;
+        crc.power = 0.05;
+        crc.int_memory_bytes = 4 * 1024;
+        lib.register(crc);
+        lib
+    }
+
+    /// Adds (or replaces) a template under its own name.
+    pub fn register(&mut self, descriptor: PeDescriptor) {
+        self.entries.insert(descriptor.name.clone(), descriptor);
+    }
+
+    /// Looks up a template by name.
+    pub fn get(&self, name: &str) -> Option<&PeDescriptor> {
+        self.entries.get(name)
+    }
+
+    /// Instantiates a template under a new instance name.
+    pub fn instantiate(&self, template: &str, instance_name: &str) -> Option<PeDescriptor> {
+        self.entries.get(template).map(|d| {
+            let mut instance = d.clone();
+            instance.name = instance_name.to_owned();
+            instance
+        })
+    }
+
+    /// Iterates the templates in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &PeDescriptor> + '_ {
+        self.entries.values()
+    }
+
+    /// Number of templates.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no templates are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_cover_the_paper_platform() {
+        let lib = ComponentLibrary::tut_defaults();
+        assert_eq!(lib.len(), 4);
+        assert_eq!(lib.get("nios50").unwrap().kind, PeKind::GeneralCpu);
+        assert_eq!(lib.get("crc32").unwrap().kind, PeKind::HwAccelerator);
+        assert!(lib.get("missing").is_none());
+    }
+
+    #[test]
+    fn instantiate_renames() {
+        let lib = ComponentLibrary::tut_defaults();
+        let pe = lib.instantiate("nios50", "processor1").unwrap();
+        assert_eq!(pe.name, "processor1");
+        assert_eq!(pe.frequency_mhz, 50);
+        assert!(lib.instantiate("bogus", "x").is_none());
+    }
+
+    #[test]
+    fn register_replaces() {
+        let mut lib = ComponentLibrary::new();
+        lib.register(PeDescriptor::new("cpu", PeKind::GeneralCpu, 50));
+        lib.register(PeDescriptor::new("cpu", PeKind::GeneralCpu, 100));
+        assert_eq!(lib.len(), 1);
+        assert_eq!(lib.get("cpu").unwrap().frequency_mhz, 100);
+    }
+}

@@ -1,0 +1,143 @@
+//! Internal-memory accounting against the profile's memory tagged values.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Tracks allocations of one processing element's internal memory
+/// (`IntMemory` tag) by the code/data requirements of the processes mapped
+/// onto it (`CodeMemory` / `DataMemory` tags).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MemoryBudget {
+    capacity: u64,
+    allocations: BTreeMap<String, u64>,
+}
+
+/// Error returned when an allocation exceeds the remaining capacity.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AllocateMemoryError {
+    /// The requesting allocation name.
+    pub name: String,
+    /// Bytes requested.
+    pub requested: u64,
+    /// Bytes remaining before the request.
+    pub available: u64,
+}
+
+impl fmt::Display for AllocateMemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "allocation `{}` of {} bytes exceeds the {} bytes available",
+            self.name, self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for AllocateMemoryError {}
+
+impl MemoryBudget {
+    /// A budget of `capacity` bytes.
+    pub fn new(capacity: u64) -> MemoryBudget {
+        MemoryBudget {
+            capacity,
+            allocations: BTreeMap::new(),
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.allocations.values().sum()
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> u64 {
+        self.capacity - self.used()
+    }
+
+    /// Records a named allocation (replacing a previous allocation of the
+    /// same name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocateMemoryError`] when the allocation does not fit;
+    /// the budget is left unchanged.
+    pub fn allocate(&mut self, name: impl Into<String>, bytes: u64) -> Result<(), AllocateMemoryError> {
+        let name = name.into();
+        let existing = self.allocations.get(&name).copied().unwrap_or(0);
+        let available = self.available() + existing;
+        if bytes > available {
+            return Err(AllocateMemoryError {
+                name,
+                requested: bytes,
+                available,
+            });
+        }
+        self.allocations.insert(name, bytes);
+        Ok(())
+    }
+
+    /// Removes a named allocation, returning its size.
+    pub fn release(&mut self, name: &str) -> Option<u64> {
+        self.allocations.remove(name)
+    }
+
+    /// The allocations by name.
+    pub fn allocations(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.allocations.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Fraction of capacity used, in `[0, 1]`.
+    pub fn utilisation(&self) -> f64 {
+        if self.capacity == 0 {
+            return if self.used() > 0 { 1.0 } else { 0.0 };
+        }
+        self.used() as f64 / self.capacity as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_release() {
+        let mut budget = MemoryBudget::new(1000);
+        budget.allocate("proc1.code", 400).unwrap();
+        budget.allocate("proc1.data", 300).unwrap();
+        assert_eq!(budget.used(), 700);
+        assert_eq!(budget.available(), 300);
+        assert!((budget.utilisation() - 0.7).abs() < 1e-12);
+        assert_eq!(budget.release("proc1.code"), Some(400));
+        assert_eq!(budget.used(), 300);
+        assert_eq!(budget.release("proc1.code"), None);
+    }
+
+    #[test]
+    fn over_allocation_rejected_without_mutation() {
+        let mut budget = MemoryBudget::new(100);
+        budget.allocate("a", 80).unwrap();
+        let err = budget.allocate("b", 30).unwrap_err();
+        assert_eq!(err.available, 20);
+        assert_eq!(budget.used(), 80, "failed allocation must not change state");
+    }
+
+    #[test]
+    fn reallocation_replaces() {
+        let mut budget = MemoryBudget::new(100);
+        budget.allocate("a", 80).unwrap();
+        // Shrinking "a" is fine even though 90 > remaining 20.
+        budget.allocate("a", 90).unwrap();
+        assert_eq!(budget.used(), 90);
+    }
+
+    #[test]
+    fn zero_capacity_edge() {
+        let budget = MemoryBudget::new(0);
+        assert_eq!(budget.utilisation(), 0.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Design-rule framework: constraints evaluated over a model and its
+//! stereotype applications.
+//!
+//! The paper's profile comes with "strict rules how to use" the
+//! stereotypes (§2.2). Those rules are values of types implementing
+//! [`Constraint`], grouped into a [`ConstraintSet`]; the TUT-Profile rule
+//! catalogue lives in the `tut-profile` crate.
+
+use std::fmt;
+
+use tut_uml::ids::ElementRef;
+use tut_uml::Model;
+
+use crate::apply::Applications;
+use crate::profile::Profile;
+
+/// How serious a rule violation is.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum Severity {
+    /// Advisory: the model is usable but suspicious.
+    Warning,
+    /// The model violates the profile and must be fixed before code
+    /// generation / simulation.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// A single design-rule violation.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RuleViolation {
+    /// Name of the rule that fired.
+    pub rule: String,
+    /// Severity of the violation.
+    pub severity: Severity,
+    /// The element at fault, when attributable.
+    pub element: Option<ElementRef>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for RuleViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.element {
+            Some(e) => write!(f, "[{}] {} ({e}): {}", self.severity, self.rule, self.message),
+            None => write!(f, "[{}] {}: {}", self.severity, self.rule, self.message),
+        }
+    }
+}
+
+/// A profile design rule.
+pub trait Constraint: Send + Sync {
+    /// Stable rule name, e.g. `"process-instantiates-component"`.
+    fn name(&self) -> &str;
+
+    /// Short description of what the rule enforces.
+    fn description(&self) -> &str;
+
+    /// Evaluates the rule, appending violations to `out`.
+    fn check(
+        &self,
+        model: &Model,
+        profile: &Profile,
+        applications: &Applications,
+        out: &mut Vec<RuleViolation>,
+    );
+}
+
+/// An ordered collection of constraints evaluated together.
+#[derive(Default)]
+pub struct ConstraintSet {
+    constraints: Vec<Box<dyn Constraint>>,
+}
+
+impl ConstraintSet {
+    /// Creates an empty set.
+    pub fn new() -> ConstraintSet {
+        ConstraintSet::default()
+    }
+
+    /// Adds a constraint.
+    pub fn push(&mut self, constraint: impl Constraint + 'static) -> &mut Self {
+        self.constraints.push(Box::new(constraint));
+        self
+    }
+
+    /// Number of constraints in the set.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Iterates over the constraints.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Constraint> + '_ {
+        self.constraints.iter().map(Box::as_ref)
+    }
+
+    /// Runs every constraint and returns all violations, in rule order.
+    pub fn check_all(
+        &self,
+        model: &Model,
+        profile: &Profile,
+        applications: &Applications,
+    ) -> Vec<RuleViolation> {
+        let mut out = Vec::new();
+        for c in &self.constraints {
+            c.check(model, profile, applications, &mut out);
+        }
+        out
+    }
+
+    /// Runs every constraint and returns `Ok(warnings)` when no
+    /// error-severity violation fired.
+    ///
+    /// # Errors
+    ///
+    /// Returns the full violation list (errors and warnings) as `Err` when
+    /// at least one error-severity violation fired.
+    pub fn enforce(
+        &self,
+        model: &Model,
+        profile: &Profile,
+        applications: &Applications,
+    ) -> Result<Vec<RuleViolation>, Vec<RuleViolation>> {
+        let violations = self.check_all(model, profile, applications);
+        if violations.iter().any(|v| v.severity == Severity::Error) {
+            Err(violations)
+        } else {
+            Ok(violations)
+        }
+    }
+}
+
+impl fmt::Debug for ConstraintSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ConstraintSet")
+            .field("rules", &self.constraints.iter().map(|c| c.name()).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// A constraint built from a closure; handy for one-off rules and tests.
+pub struct FnConstraint<F> {
+    name: String,
+    description: String,
+    check: F,
+}
+
+impl<F> FnConstraint<F>
+where
+    F: Fn(&Model, &Profile, &Applications, &mut Vec<RuleViolation>) + Send + Sync,
+{
+    /// Wraps a closure as a [`Constraint`].
+    pub fn new(name: impl Into<String>, description: impl Into<String>, check: F) -> Self {
+        FnConstraint {
+            name: name.into(),
+            description: description.into(),
+            check,
+        }
+    }
+}
+
+impl<F> Constraint for FnConstraint<F>
+where
+    F: Fn(&Model, &Profile, &Applications, &mut Vec<RuleViolation>) + Send + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn description(&self) -> &str {
+        &self.description
+    }
+
+    fn check(
+        &self,
+        model: &Model,
+        profile: &Profile,
+        applications: &Applications,
+        out: &mut Vec<RuleViolation>,
+    ) {
+        (self.check)(model, profile, applications, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_empty_model_rule() -> impl Constraint {
+        FnConstraint::new(
+            "non-empty-model",
+            "models must declare at least one class",
+            |model: &Model, _p: &Profile, _a: &Applications, out: &mut Vec<RuleViolation>| {
+                if model.classes().count() == 0 {
+                    out.push(RuleViolation {
+                        rule: "non-empty-model".into(),
+                        severity: Severity::Error,
+                        element: None,
+                        message: "model has no classes".into(),
+                    });
+                }
+            },
+        )
+    }
+
+    #[test]
+    fn constraint_set_collects_violations() {
+        let mut set = ConstraintSet::new();
+        set.push(no_empty_model_rule());
+        let model = Model::new("Empty");
+        let profile = Profile::new("P");
+        let apps = Applications::new();
+        let violations = set.check_all(&model, &profile, &apps);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].to_string().contains("non-empty-model"));
+        assert!(set.enforce(&model, &profile, &apps).is_err());
+    }
+
+    #[test]
+    fn enforce_passes_clean_model_with_warnings() {
+        let mut set = ConstraintSet::new();
+        set.push(FnConstraint::new(
+            "advice",
+            "always warns",
+            |_m: &Model, _p: &Profile, _a: &Applications, out: &mut Vec<RuleViolation>| {
+                out.push(RuleViolation {
+                    rule: "advice".into(),
+                    severity: Severity::Warning,
+                    element: None,
+                    message: "just so you know".into(),
+                });
+            },
+        ));
+        let model = Model::new("M");
+        let profile = Profile::new("P");
+        let apps = Applications::new();
+        let warnings = set.enforce(&model, &profile, &apps).unwrap();
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(warnings[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn debug_lists_rule_names() {
+        let mut set = ConstraintSet::new();
+        set.push(no_empty_model_rule());
+        assert!(format!("{set:?}").contains("non-empty-model"));
+        assert_eq!(set.len(), 1);
+        assert!(!set.is_empty());
+    }
+}

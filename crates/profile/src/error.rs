@@ -1,0 +1,135 @@
+//! Error type for the profile mechanism.
+
+use std::fmt;
+
+use tut_uml::ids::{ElementRef, Metaclass};
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, ProfileError>;
+
+/// Errors produced while defining or applying profiles.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum ProfileError {
+    /// A stereotype was applied to an element of the wrong metaclass.
+    MetaclassMismatch {
+        /// The stereotype name.
+        stereotype: String,
+        /// The metaclass the stereotype extends.
+        expected: Metaclass,
+        /// The metaclass of the element it was applied to.
+        found: Metaclass,
+        /// The offending element.
+        element: ElementRef,
+    },
+    /// A stereotype name failed to resolve in the profile.
+    UnknownStereotype(String),
+    /// A tag name does not exist on the stereotype (or its ancestors).
+    UnknownTag {
+        /// The stereotype name.
+        stereotype: String,
+        /// The unknown tag name.
+        tag: String,
+    },
+    /// A tagged value does not match the declared tag type.
+    TagTypeMismatch {
+        /// The stereotype name.
+        stereotype: String,
+        /// The tag name.
+        tag: String,
+        /// Description of the expected type.
+        expected: String,
+        /// Description of the supplied value.
+        found: String,
+    },
+    /// A tagged value was set on an element that does not carry the
+    /// stereotype.
+    NotApplied {
+        /// The stereotype name.
+        stereotype: String,
+        /// The element missing the application.
+        element: ElementRef,
+    },
+    /// The same stereotype was applied twice to one element.
+    AlreadyApplied {
+        /// The stereotype name.
+        stereotype: String,
+        /// The element.
+        element: ElementRef,
+    },
+    /// Interchange (XML) decoding failed.
+    Interchange(String),
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::MetaclassMismatch {
+                stereotype,
+                expected,
+                found,
+                element,
+            } => write!(
+                f,
+                "stereotype `{stereotype}` extends {expected} but was applied to {element} ({found})"
+            ),
+            ProfileError::UnknownStereotype(name) => {
+                write!(f, "unknown stereotype `{name}`")
+            }
+            ProfileError::UnknownTag { stereotype, tag } => {
+                write!(f, "stereotype `{stereotype}` has no tag `{tag}`")
+            }
+            ProfileError::TagTypeMismatch {
+                stereotype,
+                tag,
+                expected,
+                found,
+            } => write!(
+                f,
+                "tag `{stereotype}::{tag}` expects {expected}, got {found}"
+            ),
+            ProfileError::NotApplied {
+                stereotype,
+                element,
+            } => write!(f, "stereotype `{stereotype}` is not applied to {element}"),
+            ProfileError::AlreadyApplied {
+                stereotype,
+                element,
+            } => write!(f, "stereotype `{stereotype}` is already applied to {element}"),
+            ProfileError::Interchange(msg) => write!(f, "profile interchange error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+impl From<tut_uml::Error> for ProfileError {
+    fn from(err: tut_uml::Error) -> Self {
+        ProfileError::Interchange(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tut_uml::ids::ClassId;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = ProfileError::MetaclassMismatch {
+            stereotype: "Mapping".into(),
+            expected: Metaclass::Dependency,
+            found: Metaclass::Class,
+            element: ElementRef::Class(ClassId::from_index(0)),
+        };
+        let text = e.to_string();
+        assert!(text.contains("Mapping"));
+        assert!(text.contains("Dependency"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ProfileError>();
+    }
+}

@@ -1,0 +1,328 @@
+//! XML interchange for profiles and stereotype applications.
+//!
+//! [`write_document`] produces one XML document holding the UML model *and*
+//! its profile application — the artefact the paper's profiling tool parses
+//! ("the XML presentation of the UML 2.0 model is parsed to gather process
+//! group information", §4.4). [`read_document`] parses it back.
+
+use tut_uml::ids::Metaclass;
+use tut_uml::xml::XmlNode;
+use tut_uml::Model;
+
+use crate::apply::Applications;
+use crate::error::{ProfileError, Result};
+use crate::profile::Profile;
+use crate::stereotype::{TagType, TagValue};
+
+/// Serialises the stereotype applications as an XML subtree
+/// (`<profileApplication>`).
+pub fn applications_to_xml_node(profile: &Profile, applications: &Applications) -> XmlNode {
+    let mut root = XmlNode::new("profileApplication");
+    root.set_attr("profile", profile.name());
+    for (element, applied) in applications.iter() {
+        let node = root.add_child(XmlNode::new("appliedStereotype"));
+        node.set_attr("element", element.to_string());
+        node.set_attr("stereotype", profile.get(applied.stereotype).name());
+        for (tag, value) in &applied.values {
+            let v = node.add_child(XmlNode::new("taggedValue"));
+            v.set_attr("name", tag.as_str());
+            v.set_attr("type", value.type_name());
+            v.set_attr("data", value.to_string());
+        }
+    }
+    root
+}
+
+/// Decodes stereotype applications from the subtree produced by
+/// [`applications_to_xml_node`].
+///
+/// # Errors
+///
+/// Returns [`ProfileError`] when stereotype names don't resolve in
+/// `profile`, elements are malformed, or tagged values fail type checks.
+pub fn applications_from_xml_node(
+    profile: &Profile,
+    node: &XmlNode,
+) -> Result<Applications> {
+    if node.name != "profileApplication" {
+        return Err(ProfileError::Interchange(format!(
+            "expected `profileApplication`, found `{}`",
+            node.name
+        )));
+    }
+    let mut applications = Applications::new();
+    for applied in node.children_named("appliedStereotype") {
+        let element = tut_uml::xmi::parse_element_ref(applied.required_attr("element")?)?;
+        let stereotype = profile.require(applied.required_attr("stereotype")?)?;
+        applications.apply(profile, element, stereotype)?;
+        for tagged in applied.children_named("taggedValue") {
+            let name = tagged.required_attr("name")?;
+            let value = decode_tag_value(
+                profile
+                    .tag_def(stereotype, name)
+                    .map(|d| &d.tag_type),
+                tagged.required_attr("type")?,
+                tagged.required_attr("data")?,
+            )?;
+            applications.set_tag(profile, element, stereotype, name, value)?;
+        }
+    }
+    Ok(applications)
+}
+
+fn decode_tag_value(
+    declared: Option<&TagType>,
+    type_name: &str,
+    data: &str,
+) -> Result<TagValue> {
+    let value = match type_name {
+        "Int" => TagValue::Int(data.parse().map_err(|_| {
+            ProfileError::Interchange(format!("bad Int tagged value `{data}`"))
+        })?),
+        "Bool" => TagValue::Bool(data == "true"),
+        "Str" => TagValue::Str(data.to_owned()),
+        "Real" => TagValue::Real(data.parse().map_err(|_| {
+            ProfileError::Interchange(format!("bad Real tagged value `{data}`"))
+        })?),
+        "Enum" => TagValue::Enum(data.to_owned()),
+        other => {
+            return Err(ProfileError::Interchange(format!(
+                "unknown tagged-value type `{other}`"
+            )))
+        }
+    };
+    // When the profile declares the tag, double-check conformance early so
+    // errors point at the document rather than a later query.
+    if let Some(ty) = declared {
+        if !ty.admits(&value) {
+            return Err(ProfileError::Interchange(format!(
+                "tagged value `{data}` does not conform to declared type {ty}"
+            )));
+        }
+    }
+    Ok(value)
+}
+
+/// Serialises a model together with its stereotype applications into one
+/// XML document.
+pub fn write_document(
+    model: &Model,
+    profile: &Profile,
+    applications: &Applications,
+) -> String {
+    let mut root = tut_uml::xmi::to_xml_node(model);
+    root.add_child(applications_to_xml_node(profile, applications));
+    root.to_xml_string()
+}
+
+/// Parses a document produced by [`write_document`].
+///
+/// # Errors
+///
+/// Returns [`ProfileError`] on malformed XML, unknown stereotypes, or
+/// tagged-value mismatches.
+pub fn read_document(text: &str, profile: &Profile) -> Result<(Model, Applications)> {
+    let root = XmlNode::parse(text)?;
+    let model = tut_uml::xmi::from_xml_node(&root)?;
+    let applications = match root.child("profileApplication") {
+        Some(node) => applications_from_xml_node(profile, node)?,
+        None => Applications::new(),
+    };
+    Ok((model, applications))
+}
+
+/// Renders the profile definition itself as XML (stereotypes, extended
+/// metaclasses, tag definitions) — a machine-readable Table 1 + 2 + 3.
+pub fn profile_to_xml(profile: &Profile) -> String {
+    let mut root = XmlNode::new("uml:Profile");
+    root.set_attr("name", profile.name());
+    for (_, st) in profile.stereotypes() {
+        let node = root.add_child(XmlNode::new("ownedStereotype"));
+        node.set_attr("name", st.name());
+        node.set_attr("extends", st.extends().name());
+        if !st.description().is_empty() {
+            node.set_attr("description", st.description());
+        }
+        if let Some(parent) = st.specializes() {
+            node.set_attr("specializes", profile.get(parent).name());
+        }
+        for tag in st.own_tags() {
+            let t = node.add_child(XmlNode::new("ownedTag"));
+            t.set_attr("name", tag.name.as_str());
+            t.set_attr("type", tag.tag_type.describe());
+            if let Some(default) = &tag.default {
+                t.set_attr("default", default.to_string());
+            }
+            if !tag.description.is_empty() {
+                t.set_attr("description", tag.description.as_str());
+            }
+        }
+    }
+    root.to_xml_string()
+}
+
+/// Parses a profile definition from the XML produced by
+/// [`profile_to_xml`]. Enum tag types serialise as `Enum(a|b|c)`.
+///
+/// # Errors
+///
+/// Returns [`ProfileError::Interchange`] on structural problems.
+pub fn profile_from_xml(text: &str) -> Result<Profile> {
+    let root = XmlNode::parse(text)?;
+    if root.name != "uml:Profile" {
+        return Err(ProfileError::Interchange(format!(
+            "expected `uml:Profile`, found `{}`",
+            root.name
+        )));
+    }
+    let mut profile = Profile::new(root.required_attr("name")?);
+    for node in root.children_named("ownedStereotype") {
+        let name = node.required_attr("name")?;
+        let metaclass_name = node.required_attr("extends")?;
+        let metaclass = Metaclass::from_name(metaclass_name).ok_or_else(|| {
+            ProfileError::Interchange(format!("unknown metaclass `{metaclass_name}`"))
+        })?;
+        let mut builder = match node.attr("specializes") {
+            Some(parent_name) => {
+                let parent = profile.require(parent_name)?;
+                profile.specialize(name, parent)
+            }
+            None => profile.stereotype(name, metaclass),
+        };
+        if let Some(description) = node.attr("description") {
+            builder = builder.describe(description);
+        }
+        for tag in node.children_named("ownedTag") {
+            let tag_type = parse_tag_type(tag.required_attr("type")?)?;
+            let default = tag
+                .attr("default")
+                .map(|d| decode_tag_value(Some(&tag_type), default_type_name(&tag_type), d))
+                .transpose()?;
+            builder = builder.tag_full(
+                tag.required_attr("name")?,
+                tag_type,
+                default,
+                tag.attr("description").unwrap_or(""),
+            );
+        }
+        builder.finish();
+    }
+    Ok(profile)
+}
+
+fn default_type_name(ty: &TagType) -> &'static str {
+    match ty {
+        TagType::Int => "Int",
+        TagType::Bool => "Bool",
+        TagType::Str => "Str",
+        TagType::Real => "Real",
+        TagType::Enum(_) => "Enum",
+    }
+}
+
+fn parse_tag_type(text: &str) -> Result<TagType> {
+    let ty = match text {
+        "Int" => TagType::Int,
+        "Bool" => TagType::Bool,
+        "Str" => TagType::Str,
+        "Real" => TagType::Real,
+        other => {
+            let literals = other
+                .strip_prefix("Enum(")
+                .and_then(|rest| rest.strip_suffix(')'))
+                .ok_or_else(|| {
+                    ProfileError::Interchange(format!("unknown tag type `{other}`"))
+                })?;
+            TagType::Enum(literals.split('|').map(str::to_owned).collect())
+        }
+    };
+    Ok(ty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tut_uml::ids::Metaclass;
+
+    fn sample() -> (Model, Profile, Applications) {
+        let mut profile = Profile::new("TUT");
+        let comp = profile
+            .stereotype("Component", Metaclass::Class)
+            .describe("a platform component")
+            .tag_with_default("Area", TagType::Real, 1.0)
+            .tag(
+                "Type",
+                TagType::Enum(vec!["general".into(), "dsp".into(), "hw".into()]),
+            )
+            .finish();
+        let cpu = profile
+            .specialize("Processor", comp)
+            .tag("Frequency", TagType::Int)
+            .finish();
+
+        let mut model = Model::new("M");
+        let class = model.add_class("Nios");
+        let other = model.add_class("Crc");
+
+        let mut apps = Applications::new();
+        apps.apply(&profile, class, cpu).unwrap();
+        apps.set_tag(&profile, class, cpu, "Frequency", 50i64).unwrap();
+        apps.set_tag(&profile, class, cpu, "Type", TagValue::Enum("general".into()))
+            .unwrap();
+        apps.apply(&profile, other, comp).unwrap();
+        apps.set_tag(&profile, other, comp, "Area", 0.25).unwrap();
+        (model, profile, apps)
+    }
+
+    #[test]
+    fn document_round_trips() {
+        let (model, profile, apps) = sample();
+        let text = write_document(&model, &profile, &apps);
+        let (model2, apps2) = read_document(&text, &profile).unwrap();
+        assert_eq!(model2, model);
+        assert_eq!(apps2, apps);
+    }
+
+    #[test]
+    fn document_without_applications_reads_empty() {
+        let model = Model::new("Plain");
+        let profile = Profile::new("P");
+        let text = tut_uml::xmi::to_xml(&model);
+        let (_, apps) = read_document(&text, &profile).unwrap();
+        assert!(apps.is_empty());
+    }
+
+    #[test]
+    fn unknown_stereotype_in_document_rejected() {
+        let (model, profile, apps) = sample();
+        let text = write_document(&model, &profile, &apps);
+        let other_profile = Profile::new("Empty");
+        assert!(read_document(&text, &other_profile).is_err());
+    }
+
+    #[test]
+    fn profile_definition_round_trips() {
+        let (_, profile, _) = sample();
+        let text = profile_to_xml(&profile);
+        let parsed = profile_from_xml(&text).unwrap();
+        assert_eq!(parsed, profile);
+    }
+
+    #[test]
+    fn tag_type_parsing() {
+        assert_eq!(parse_tag_type("Int").unwrap(), TagType::Int);
+        assert_eq!(
+            parse_tag_type("Enum(a|b)").unwrap(),
+            TagType::Enum(vec!["a".into(), "b".into()])
+        );
+        assert!(parse_tag_type("Float").is_err());
+    }
+
+    #[test]
+    fn nonconforming_tagged_value_rejected() {
+        let (model, profile, apps) = sample();
+        let text = write_document(&model, &profile, &apps)
+            .replace("data=\"general\"", "data=\"quantum\"");
+        assert!(read_document(&text, &profile).is_err());
+    }
+}

@@ -1,0 +1,58 @@
+//! The UML 2.0 profile mechanism: stereotypes, tagged values, and profile
+//! application — "second-class extensibility" (§2 of the paper).
+//!
+//! A [`Profile`] is a set of [`Stereotype`]s. Each stereotype *extends* one
+//! UML metaclass and declares typed *tagged values* ([`TagDef`]). A
+//! stereotype may *specialise* another stereotype, inheriting its tag
+//! definitions — this is how the paper derives `«HIBISegment»` from
+//! `«CommunicationSegment»` (§4.2).
+//!
+//! Stereotypes are *applied* to model elements through an
+//! [`Applications`] value kept alongside the [`tut_uml::Model`]; applying a
+//! stereotype to an element of the wrong metaclass is rejected, and tagged
+//! values are type-checked against their definitions.
+//!
+//! Profile-specific design rules are expressed as [`constraint::Constraint`]s
+//! and evaluated over a model + applications pair.
+//!
+//! # Example
+//!
+//! ```
+//! use tut_profile_core::{Profile, TagType, TagValue, Applications};
+//! use tut_uml::ids::Metaclass;
+//! use tut_uml::Model;
+//!
+//! let mut profile = Profile::new("Mini");
+//! let comp = profile
+//!     .stereotype("Component", Metaclass::Class)
+//!     .tag("Area", TagType::Real)
+//!     .finish();
+//!
+//! let mut model = Model::new("M");
+//! let class = model.add_class("Cpu");
+//!
+//! let mut apps = Applications::new();
+//! apps.apply(&profile, class, comp)?;
+//! apps.set_tag(&profile, class, comp, "Area", TagValue::Real(1.5))?;
+//! assert_eq!(
+//!     apps.tag_value(&profile, class, comp, "Area"),
+//!     Some(&TagValue::Real(1.5))
+//! );
+//! # Ok::<(), tut_profile_core::ProfileError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apply;
+pub mod constraint;
+pub mod error;
+pub mod interchange;
+pub mod profile;
+pub mod stereotype;
+
+pub use apply::{AppliedStereotype, Applications};
+pub use constraint::{Constraint, ConstraintSet, RuleViolation, Severity};
+pub use error::{ProfileError, Result};
+pub use profile::{Profile, StereotypeBuilder};
+pub use stereotype::{Stereotype, StereotypeId, TagDef, TagType, TagValue};

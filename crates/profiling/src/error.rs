@@ -1,0 +1,38 @@
+//! Error type for the profiling tool.
+
+use std::fmt;
+
+/// Errors produced by the profiling tool's stages.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum ProfilingError {
+    /// The model XML failed to parse or decode.
+    Model(String),
+    /// The log-file text failed to parse.
+    Log(String),
+    /// The simulation stage failed (pipeline convenience path).
+    Simulation(String),
+}
+
+impl fmt::Display for ProfilingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfilingError::Model(msg) => write!(f, "model parsing failed: {msg}"),
+            ProfilingError::Log(msg) => write!(f, "log parsing failed: {msg}"),
+            ProfilingError::Simulation(msg) => write!(f, "simulation failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProfilingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert!(ProfilingError::Model("x".into()).to_string().contains("model"));
+        assert!(ProfilingError::Log("y".into()).to_string().contains("log"));
+    }
+}

@@ -1,0 +1,119 @@
+//! End-to-end convenience: the full Figure 2 loop in one call.
+
+use tut_profile::SystemModel;
+use tut_sim::{SimConfig, Simulation};
+
+use crate::analyze::analyze;
+use crate::error::ProfilingError;
+use crate::groups::parse_model_xml;
+use crate::report::ProfilingReport;
+
+/// Runs the complete design-and-profiling pipeline on a system model:
+///
+/// 1. serialise the model to XML and parse the process-group information
+///    back out of the text (stage 1 of §4.4),
+/// 2. simulate the system with `tut-sim`, producing the log-file text,
+/// 3. combine and analyse (stage 3 of §4.4).
+///
+/// Both intermediate artefacts cross the honest text boundaries (XML and
+/// log-file), exactly like the paper's TCL tooling.
+///
+/// # Errors
+///
+/// Returns [`ProfilingError`] when any stage fails.
+pub fn profile_system(
+    system: &SystemModel,
+    config: SimConfig,
+) -> Result<ProfilingReport, ProfilingError> {
+    let xml = system.to_xml();
+    let groups = parse_model_xml(&xml)?;
+
+    let simulation = Simulation::from_system(system, config)
+        .map_err(|e| ProfilingError::Simulation(e.to_string()))?;
+    let report = simulation
+        .run()
+        .map_err(|e| ProfilingError::Simulation(e.to_string()))?;
+    let log_text = report.log.to_text();
+
+    analyze(&groups, &log_text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tut_profile::application::ProcessType;
+    use tut_uml::action::{CostClass, Expr, Statement};
+    use tut_uml::statemachine::{StateMachine, Trigger};
+
+    /// A single self-driving process in one group: it computes on a
+    /// timer tick a few times.
+    fn ticking_system() -> SystemModel {
+        let mut s = SystemModel::new("Tick");
+        let top = s.model.add_class("Top");
+        s.apply(top, |t| t.application).unwrap();
+        let comp = s.model.add_class("Ticker");
+        s.apply(comp, |t| t.application_component).unwrap();
+        let mut sm = StateMachine::new("B");
+        let run = sm.add_state_with_entry(
+            "Run",
+            vec![Statement::SetTimer {
+                name: "tick".into(),
+                duration: Expr::int(1000),
+            }],
+        );
+        sm.set_initial(run);
+        sm.add_transition(
+            run,
+            run,
+            Trigger::Timer("tick".into()),
+            None,
+            vec![
+                Statement::Compute {
+                    class: CostClass::Control,
+                    amount: Expr::int(100),
+                },
+                Statement::SetTimer {
+                    name: "tick".into(),
+                    duration: Expr::int(1000),
+                },
+            ],
+        );
+        s.model.add_state_machine(comp, sm);
+        let part = s.model.add_part(top, "ticker", comp);
+        s.apply(part, |t| t.application_process).unwrap();
+        let g = s.add_process_group("group1", false, ProcessType::General);
+        s.assign_to_group(part, g);
+        s
+    }
+
+    #[test]
+    fn end_to_end_pipeline_produces_table4() {
+        let system = ticking_system();
+        let config = SimConfig::with_horizon_ns(50_000);
+        let report = profile_system(&system, config).unwrap();
+        // The single (unmapped-platform) group runs on the environment?
+        // No: grouped processes without a platform mapping still execute
+        // on the environment element, but they are *grouped*, so their
+        // cycles are zero only if on the env PE. The group label must be
+        // present either way.
+        assert!(report.group("group1").is_some());
+        assert!(report.horizon_ns > 0);
+    }
+
+    #[test]
+    fn report_attributes_cycles_when_mapped() {
+        use tut_profile::platform::ComponentKind;
+        let mut system = ticking_system();
+        let platform = system.model.add_class("Plat");
+        system.apply(platform, |t| t.platform).unwrap();
+        let nios = system.add_platform_component("Nios", ComponentKind::General, 50, 1.0, 0.1);
+        let cpu = system.add_platform_instance(platform, "cpu1", nios, 1, 0);
+        let group = system.model.find_class("group1").unwrap();
+        system.map_group(group, cpu, false);
+
+        let report = profile_system(&system, SimConfig::with_horizon_ns(50_000)).unwrap();
+        let g1 = report.group("group1").unwrap();
+        assert!(g1.cycles > 0, "mapped group must accumulate cycles");
+        assert!((g1.proportion - 1.0).abs() < 1e-9, "only group running");
+    }
+}

@@ -1,0 +1,193 @@
+//! Improvement suggestions derived from a profiling report.
+//!
+//! "The report is used for improving the application. The process groups
+//! and mapping are modified to improve performance including amount of
+//! communication and the division of workload between application
+//! processes." (§4.4). This module turns a [`ProfilingReport`] into the
+//! concrete observations a designer (or the exploration tools in
+//! `tut-explore`) acts on.
+
+use crate::report::ProfilingReport;
+
+/// One machine-readable improvement suggestion.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Suggestion {
+    /// Two groups exchange many signals; co-mapping them to one
+    /// processing element removes that bus traffic.
+    CoMapGroups {
+        /// First group.
+        a: String,
+        /// Second group.
+        b: String,
+        /// Signals exchanged (both directions).
+        signals: u64,
+    },
+    /// One group dominates execution; consider splitting it or moving it
+    /// to a faster element.
+    RebalanceGroup {
+        /// The dominating group.
+        group: String,
+        /// Its share of total cycles, in `[0, 1]`.
+        proportion: f64,
+    },
+    /// Dropped signals point at missing transitions or mis-wired ports.
+    InvestigateDrops {
+        /// Total dropped signals.
+        drops: u64,
+    },
+    /// Lost signals point at unconnected ports.
+    InvestigateLosses {
+        /// Total lost signals.
+        losses: u64,
+    },
+}
+
+impl std::fmt::Display for Suggestion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Suggestion::CoMapGroups { a, b, signals } => write!(
+                f,
+                "groups `{a}` and `{b}` exchange {signals} signals; map them to the same processing element"
+            ),
+            Suggestion::RebalanceGroup { group, proportion } => write!(
+                f,
+                "group `{group}` uses {:.1}% of all cycles; consider splitting it or a faster element",
+                proportion * 100.0
+            ),
+            Suggestion::InvestigateDrops { drops } => {
+                write!(f, "{drops} signals were discarded with no enabled transition")
+            }
+            Suggestion::InvestigateLosses { losses } => {
+                write!(f, "{losses} signals had no connected receiver")
+            }
+        }
+    }
+}
+
+/// Derives suggestions from a report.
+///
+/// * The group pair with the largest bidirectional signal exchange is
+///   proposed for co-mapping (when it exchanges anything at all).
+/// * A group using more than `dominance_threshold` of all cycles is
+///   flagged for rebalancing.
+/// * Any drops or losses are surfaced.
+pub fn suggest(report: &ProfilingReport, dominance_threshold: f64) -> Vec<Suggestion> {
+    let mut suggestions = Vec::new();
+    let matrix = &report.signal_matrix;
+    let mut best: Option<(usize, usize, u64)> = None;
+    for i in 0..matrix.labels.len() {
+        for j in (i + 1)..matrix.labels.len() {
+            // Skip the synthetic environment row: it cannot be mapped.
+            if matrix.labels[i] == crate::groups::ENVIRONMENT
+                || matrix.labels[j] == crate::groups::ENVIRONMENT
+            {
+                continue;
+            }
+            let exchanged = matrix.counts[i][j] + matrix.counts[j][i];
+            if exchanged > best.map(|(_, _, s)| s).unwrap_or(0) {
+                best = Some((i, j, exchanged));
+            }
+        }
+    }
+    if let Some((i, j, signals)) = best {
+        suggestions.push(Suggestion::CoMapGroups {
+            a: matrix.labels[i].clone(),
+            b: matrix.labels[j].clone(),
+            signals,
+        });
+    }
+    for group in &report.group_exec {
+        if group.proportion > dominance_threshold {
+            suggestions.push(Suggestion::RebalanceGroup {
+                group: group.group.clone(),
+                proportion: group.proportion,
+            });
+        }
+    }
+    if report.drops > 0 {
+        suggestions.push(Suggestion::InvestigateDrops {
+            drops: report.drops,
+        });
+    }
+    if report.losses > 0 {
+        suggestions.push(Suggestion::InvestigateLosses {
+            losses: report.losses,
+        });
+    }
+    suggestions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{GroupExec, SignalMatrix};
+
+    fn report() -> ProfilingReport {
+        ProfilingReport {
+            horizon_ns: 1000,
+            total_cycles: 1000,
+            group_exec: vec![
+                GroupExec {
+                    group: "g1".into(),
+                    cycles: 950,
+                    busy_ns: 950,
+                    proportion: 0.95,
+                },
+                GroupExec {
+                    group: "g2".into(),
+                    cycles: 50,
+                    busy_ns: 50,
+                    proportion: 0.05,
+                },
+                GroupExec {
+                    group: "Environment".into(),
+                    cycles: 0,
+                    busy_ns: 0,
+                    proportion: 0.0,
+                },
+            ],
+            signal_matrix: SignalMatrix {
+                labels: vec!["g1".into(), "g2".into(), "Environment".into()],
+                counts: vec![vec![0, 30, 99], vec![12, 0, 0], vec![99, 0, 0]],
+            },
+            process_transfers: vec![],
+            process_cycles: vec![],
+            drops: 2,
+            losses: 0,
+            mean_signal_latency_ns: 0.0,
+        }
+    }
+
+    #[test]
+    fn co_map_skips_environment() {
+        let suggestions = suggest(&report(), 0.9);
+        match &suggestions[0] {
+            Suggestion::CoMapGroups { a, b, signals } => {
+                assert_eq!((a.as_str(), b.as_str()), ("g1", "g2"));
+                assert_eq!(*signals, 42);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dominance_and_drops_flagged() {
+        let suggestions = suggest(&report(), 0.9);
+        assert!(suggestions
+            .iter()
+            .any(|s| matches!(s, Suggestion::RebalanceGroup { group, .. } if group == "g1")));
+        assert!(suggestions
+            .iter()
+            .any(|s| matches!(s, Suggestion::InvestigateDrops { drops: 2 })));
+        assert!(!suggestions
+            .iter()
+            .any(|s| matches!(s, Suggestion::InvestigateLosses { .. })));
+    }
+
+    #[test]
+    fn suggestions_render() {
+        for s in suggest(&report(), 0.5) {
+            assert!(!s.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Simulation configuration.
+
+use tut_platform::CostModel;
+
+/// The per-processor scheduling policy — the paper's conclusion names
+/// "real-time operating system will be used in system processors" as
+/// future work; this is that RTOS model at run-to-completion granularity
+/// (EFSM steps are atomic critical sections, as in SDL-style RTOSes).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SchedPolicy {
+    /// Fixed-priority dispatch: the ready process with the highest
+    /// `Priority` tagged value runs first (default; matches the profile's
+    /// `Priority` semantics).
+    #[default]
+    Priority,
+    /// Round-robin dispatch: ready processes take turns regardless of
+    /// priority (a fairness baseline for the RTOS ablation).
+    RoundRobin,
+}
+
+/// RTOS parameters of the processing elements.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Scheduler {
+    /// Dispatch policy.
+    pub policy: SchedPolicy,
+    /// Cycles charged when a processing element switches from one process
+    /// to a different one (context save/restore). Zero models a bare-metal
+    /// single loop.
+    pub context_switch_cycles: u64,
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Scheduler {
+            policy: SchedPolicy::Priority,
+            context_switch_cycles: 0,
+        }
+    }
+}
+
+/// Tunables of one simulation run.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SimConfig {
+    /// Stop once simulated time passes this horizon (nanoseconds).
+    pub max_time_ns: u64,
+    /// Stop after this many run-to-completion steps (runaway guard).
+    pub max_steps: u64,
+    /// The execution cost model.
+    pub cost_model: CostModel,
+    /// Delivery latency for signals between processes on the same
+    /// processing element (local queue push), nanoseconds.
+    pub local_latency_ns: u64,
+    /// Delivery latency for signals crossing the environment boundary
+    /// (traffic sources, radio channel), nanoseconds.
+    pub env_latency_ns: u64,
+    /// Protocol header bytes added to every signal payload on the bus.
+    pub header_bytes: u64,
+    /// Sender-side copy cost: one `mem` workload unit per this many
+    /// payload bytes.
+    pub bytes_per_mem_unit: u64,
+    /// The RTOS scheduling model of the processing elements.
+    pub scheduler: Scheduler,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            max_time_ns: 10_000_000, // 10 ms
+            max_steps: 2_000_000,
+            cost_model: CostModel::paper_defaults(),
+            local_latency_ns: 20,
+            env_latency_ns: 1_000,
+            header_bytes: 8,
+            bytes_per_mem_unit: 4,
+            scheduler: Scheduler::default(),
+        }
+    }
+}
+
+impl SimConfig {
+    /// A configuration with the given time horizon and defaults for the
+    /// rest.
+    pub fn with_horizon_ns(max_time_ns: u64) -> SimConfig {
+        SimConfig {
+            max_time_ns,
+            ..SimConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = SimConfig::default();
+        assert!(c.max_time_ns > 0);
+        assert!(c.max_steps > 0);
+        assert!(c.bytes_per_mem_unit > 0);
+    }
+
+    #[test]
+    fn with_horizon() {
+        let c = SimConfig::with_horizon_ns(123);
+        assert_eq!(c.max_time_ns, 123);
+    }
+}

@@ -1,0 +1,1122 @@
+//! The discrete-event simulation engine.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use tut_hibi::topology::{
+    Arbitration as HibiArbitration, BridgeConfig, NetworkBuilder, SegmentConfig, WrapperConfig,
+};
+use tut_hibi::{AgentId, Network};
+use tut_platform::{PeDescriptor, PeKind};
+use tut_profile::platform::{Arbitration, ComponentKind};
+use tut_profile::SystemModel;
+use tut_uml::action::{self, Effect, Env};
+use tut_uml::ids::{ClassId, PropertyId, SignalId, StateId, StateMachineId};
+use tut_uml::instances::{InstanceIndex, InstanceTree, RoutingTable};
+use tut_uml::statemachine::Trigger;
+use tut_uml::Value;
+
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::log::{LogRecord, SimLog};
+use crate::report::{PeStats, ProcessStats, SimReport};
+
+/// Index of a processing element inside a [`Simulation`].
+type PeIndex = usize;
+/// Index of a process inside a [`Simulation`].
+type ProcIndex = usize;
+
+#[derive(Clone, Debug)]
+enum QueueEntry {
+    /// Pseudo-entry that runs the initial step (entry actions of the
+    /// initial state and completion transitions).
+    Start,
+    Signal {
+        signal: SignalId,
+        values: Vec<Value>,
+    },
+    Timer {
+        name: String,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct ProcessRt {
+    /// Index into the instance tree.
+    instance: InstanceIndex,
+    /// Dotted display name (log identity).
+    name: String,
+    class: ClassId,
+    sm: StateMachineId,
+    state: StateId,
+    vars: HashMap<String, Value>,
+    /// Pending inputs with their enqueue timestamps (for response-time
+    /// accounting).
+    queue: VecDeque<(u64, QueueEntry)>,
+    pe: PeIndex,
+    priority: i64,
+    /// Monotonic generation per timer name; a fired event with a stale
+    /// generation was cancelled or re-armed.
+    timer_gens: HashMap<String, u64>,
+    stats: ProcessStats,
+}
+
+#[derive(Clone, Debug)]
+struct PeRt {
+    descriptor: PeDescriptor,
+    /// HIBI agent of this element, if attached to the network.
+    agent: Option<AgentId>,
+    /// The process that ran last (for context-switch accounting).
+    last_process: Option<ProcIndex>,
+    /// Round-robin pointer for the RoundRobin policy.
+    rr_next: ProcIndex,
+    free_at_ns: u64,
+    busy_ns: u64,
+    busy_cycles: u64,
+    is_env: bool,
+}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum EventKind {
+    Deliver {
+        target: ProcIndex,
+        entry_kind: DeliverKind,
+    },
+    TimerFired {
+        target: ProcIndex,
+        name: String,
+        generation: u64,
+    },
+    /// The processing element finished a step; dispatch the next ready
+    /// process.
+    PeFree {
+        pe: PeIndex,
+    },
+}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum DeliverKind {
+    Start,
+    Signal {
+        signal: SignalId,
+        values: Vec<Value>,
+        sender_name: String,
+        bytes: u64,
+        sent_at_ns: u64,
+    },
+}
+
+// Manual ordering impls: earliest time first, then insertion sequence for
+// determinism.
+#[derive(Debug)]
+struct Event {
+    time_ns: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time_ns == other.time_ns && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time_ns, self.seq).cmp(&(other.time_ns, other.seq))
+    }
+}
+
+/// A runnable co-simulation built from a [`SystemModel`].
+pub struct Simulation {
+    system: SystemModel,
+    config: SimConfig,
+    routing: RoutingTable,
+    processes: Vec<ProcessRt>,
+    /// Instance index -> process index.
+    by_instance: HashMap<InstanceIndex, ProcIndex>,
+    pes: Vec<PeRt>,
+    network: Network,
+    events: BinaryHeap<Reverse<Event>>,
+    next_seq: u64,
+    now_ns: u64,
+    steps: u64,
+    log: SimLog,
+}
+
+impl Simulation {
+    /// Builds a simulation from a validated system model.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::NoApplication`] when no class carries
+    ///   `«Application»`.
+    /// * [`SimError::MissingBehaviour`] when an instantiated functional
+    ///   component has no state machine.
+    /// * [`SimError::BadModel`] / [`SimError::Network`] for structural
+    ///   problems.
+    pub fn from_system(system: &SystemModel, config: SimConfig) -> Result<Simulation, SimError> {
+        let app = system.application();
+        let top = app.top().ok_or(SimError::NoApplication)?;
+        let tree = InstanceTree::build(&system.model, top)
+            .map_err(|e| SimError::BadModel(e.to_string()))?;
+        let routing = RoutingTable::build(&system.model, &tree);
+
+        // ---- Platform: processing elements + HIBI network --------------
+        let platform = system.platform();
+        let mut pes: Vec<PeRt> = Vec::new();
+        // PE 0 is the environment element: infinitely fast, not on the bus.
+        pes.push(PeRt {
+            descriptor: PeDescriptor::new("environment", PeKind::GeneralCpu, 1_000_000),
+            agent: None,
+            last_process: None,
+            rr_next: 0,
+            free_at_ns: 0,
+            busy_ns: 0,
+            busy_cycles: 0,
+            is_env: true,
+        });
+
+        let mut builder = NetworkBuilder::new();
+        let mut segment_ids = HashMap::new();
+        for segment in platform.segments() {
+            let id = builder.add_segment(
+                segment.name.clone(),
+                SegmentConfig {
+                    data_width_bits: segment.data_width as u32,
+                    frequency_mhz: segment.frequency as u32,
+                    arbitration: match segment.arbitration {
+                        Arbitration::Priority => HibiArbitration::Priority,
+                        Arbitration::RoundRobin => HibiArbitration::RoundRobin,
+                        Arbitration::Tdma => HibiArbitration::Tdma,
+                    },
+                    tdma_slots: segment.tdma_slots as u32,
+                },
+            );
+            segment_ids.insert(segment.part, id);
+        }
+        let attachments = platform.attachments();
+        let mut pe_index_by_part: HashMap<PropertyId, PeIndex> = HashMap::new();
+        let mut next_auto_address = 0x1000u64;
+        for info in platform.instances() {
+            let kind = match info.kind {
+                ComponentKind::General => PeKind::GeneralCpu,
+                ComponentKind::Dsp => PeKind::DspCpu,
+                ComponentKind::HwAccelerator => PeKind::HwAccelerator,
+            };
+            let mut descriptor = PeDescriptor::new(info.name.clone(), kind, info.frequency as u32);
+            descriptor.int_memory_bytes = info.int_memory.max(0) as u64;
+            descriptor.priority = info.priority;
+            descriptor.area = info.area.unwrap_or(1.0);
+            descriptor.power = info.power.unwrap_or(0.1);
+            let agent = attachments
+                .iter()
+                .find(|a| a.pe == info.part)
+                .and_then(|a| {
+                    let segment = *segment_ids.get(&a.segment)?;
+                    let address = a.wrapper.address.map(|x| x as u64).unwrap_or_else(|| {
+                        next_auto_address += 1;
+                        next_auto_address
+                    });
+                    Some(builder.add_agent(
+                        segment,
+                        WrapperConfig {
+                            address,
+                            buffer_size: a.wrapper.buffer_size as u32,
+                            max_time: a.wrapper.max_time.max(1) as u32,
+                        },
+                    ))
+                });
+            pe_index_by_part.insert(info.part, pes.len());
+            pes.push(PeRt {
+                descriptor,
+                agent,
+                last_process: None,
+                rr_next: 0,
+                free_at_ns: 0,
+                busy_ns: 0,
+                busy_cycles: 0,
+                is_env: false,
+            });
+        }
+        for bridge in platform.bridges() {
+            if let (Some(&a), Some(&b)) =
+                (segment_ids.get(&bridge.a), segment_ids.get(&bridge.b))
+            {
+                builder.add_bridge(a, b, BridgeConfig::default());
+            }
+        }
+        let network = builder.build()?;
+
+        // ---- Processes --------------------------------------------------
+        let mapping = system.mapping();
+        let mut processes = Vec::new();
+        let mut by_instance = HashMap::new();
+        for instance in tree.active_instances(&system.model) {
+            let node = tree.node(instance);
+            let class = node.class;
+            let sm = system
+                .model
+                .class(class)
+                .behavior()
+                .ok_or_else(|| SimError::MissingBehaviour {
+                    class: system.model.class(class).name().to_owned(),
+                })?;
+            let machine = system.model.state_machine(sm);
+            let initial = machine.initial().ok_or_else(|| {
+                SimError::BadModel(format!(
+                    "state machine `{}` has no initial state",
+                    machine.name()
+                ))
+            })?;
+            let part = node.path.last().copied();
+            let (pe, priority) = match part {
+                Some(part) => {
+                    let info = app.process(part);
+                    let pe = mapping
+                        .instance_of_process(part)
+                        .and_then(|platform_part| pe_index_by_part.get(&platform_part).copied())
+                        .unwrap_or(0);
+                    (pe, info.as_ref().map(|i| i.priority).unwrap_or(0))
+                }
+                None => (0, 0),
+            };
+            let vars = machine
+                .variables()
+                .iter()
+                .map(|v| (v.name.clone(), v.init.clone()))
+                .collect();
+            by_instance.insert(instance, processes.len());
+            processes.push(ProcessRt {
+                instance,
+                name: tree.display_name(&system.model, instance),
+                class,
+                sm,
+                state: initial,
+                vars,
+                queue: VecDeque::new(),
+                pe,
+                priority,
+                timer_gens: HashMap::new(),
+                stats: ProcessStats::default(),
+            });
+        }
+        if processes.is_empty() {
+            return Err(SimError::BadModel(
+                "application has no active process instances".into(),
+            ));
+        }
+
+        let mut sim = Simulation {
+            system: system.clone(),
+            config,
+            routing,
+            processes,
+            by_instance,
+            pes,
+            network,
+            events: BinaryHeap::new(),
+            next_seq: 0,
+            now_ns: 0,
+            steps: 0,
+            log: SimLog::new(),
+        };
+        // Every process performs its Start step at t=0.
+        for index in 0..sim.processes.len() {
+            sim.processes[index].queue.push_back((0, QueueEntry::Start));
+            sim.schedule(
+                0,
+                EventKind::Deliver {
+                    target: index,
+                    entry_kind: DeliverKind::Start,
+                },
+            );
+        }
+        Ok(sim)
+    }
+
+    fn schedule(&mut self, time_ns: u64, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(Reverse(Event { time_ns, seq, kind }));
+    }
+
+    /// Runs to completion (event queue drained, time horizon passed, or
+    /// step bound hit) and returns the report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Runtime`] when an action-language error occurs
+    /// inside a process step.
+    pub fn run(mut self) -> Result<SimReport, SimError> {
+        while let Some(Reverse(event)) = self.events.pop() {
+            if event.time_ns > self.config.max_time_ns || self.steps >= self.config.max_steps {
+                break;
+            }
+            self.now_ns = event.time_ns;
+            match event.kind {
+                EventKind::Deliver { target, entry_kind } => {
+                    match entry_kind {
+                        DeliverKind::Start => {
+                            // Start entries were enqueued at construction.
+                        }
+                        DeliverKind::Signal {
+                            signal,
+                            values,
+                            sender_name,
+                            bytes,
+                            sent_at_ns,
+                        } => {
+                            let receiver = self.processes[target].name.clone();
+                            let signal_name =
+                                self.system.model.signal(signal).name().to_owned();
+                            self.log.push(LogRecord::Sig {
+                                time_ns: self.now_ns,
+                                sender: sender_name,
+                                receiver,
+                                signal: signal_name,
+                                bytes,
+                                latency_ns: self.now_ns.saturating_sub(sent_at_ns),
+                            });
+                            self.processes[target].stats.signals_received += 1;
+                            let now = self.now_ns;
+                            self.processes[target]
+                                .queue
+                                .push_back((now, QueueEntry::Signal { signal, values }));
+                        }
+                    }
+                    let pe = self.processes[target].pe;
+                    self.try_dispatch(pe)?;
+                }
+                EventKind::TimerFired {
+                    target,
+                    name,
+                    generation,
+                } => {
+                    let current = self.processes[target]
+                        .timer_gens
+                        .get(&name)
+                        .copied()
+                        .unwrap_or(0);
+                    if current == generation {
+                        let now = self.now_ns;
+                        self.processes[target]
+                            .queue
+                            .push_back((now, QueueEntry::Timer { name }));
+                        let pe = self.processes[target].pe;
+                        self.try_dispatch(pe)?;
+                    }
+                }
+                EventKind::PeFree { pe } => {
+                    self.try_dispatch(pe)?;
+                }
+            }
+        }
+        Ok(self.into_report())
+    }
+
+    /// Runs one step on `pe` if it is free and a process is ready.
+    fn try_dispatch(&mut self, pe: PeIndex) -> Result<(), SimError> {
+        if self.pes[pe].free_at_ns > self.now_ns {
+            return Ok(());
+        }
+        let ready: Vec<ProcIndex> = self
+            .processes
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.pe == pe && !p.queue.is_empty())
+            .map(|(index, _)| index)
+            .collect();
+        if ready.is_empty() {
+            return Ok(());
+        }
+        let proc_index = match self.config.scheduler.policy {
+            // Highest priority first; ties broken by process index for
+            // determinism.
+            crate::config::SchedPolicy::Priority => ready
+                .iter()
+                .copied()
+                .max_by_key(|&index| (self.processes[index].priority, Reverse(index)))
+                .expect("ready is non-empty"),
+            // Fair rotation: first ready process at or after the rotating
+            // pointer.
+            crate::config::SchedPolicy::RoundRobin => {
+                let start = self.pes[pe].rr_next;
+                let chosen = ready
+                    .iter()
+                    .copied()
+                    .find(|&index| index >= start)
+                    .unwrap_or(ready[0]);
+                self.pes[pe].rr_next = chosen + 1;
+                chosen
+            }
+        };
+        self.execute_step(proc_index)?;
+        Ok(())
+    }
+
+    /// Executes one run-to-completion step of `proc_index` at `now_ns`.
+    fn execute_step(&mut self, proc_index: ProcIndex) -> Result<(), SimError> {
+        self.steps += 1;
+        let (enqueued_ns, entry) = self.processes[proc_index]
+            .queue
+            .pop_front()
+            .expect("dispatch only picks non-empty queues");
+        let pe_index = self.processes[proc_index].pe;
+        let start_ns = self.now_ns;
+        // Response-time accounting: delivery -> dispatch.
+        let waited = start_ns.saturating_sub(enqueued_ns);
+        {
+            let stats = &mut self.processes[proc_index].stats;
+            stats.queue_wait_ns += waited;
+            stats.max_queue_wait_ns = stats.max_queue_wait_ns.max(waited);
+        }
+
+        let sm_id = self.processes[proc_index].sm;
+        let machine = self.system.model.state_machine(sm_id).clone();
+        let from_state = self.processes[proc_index].state;
+
+        let mut env = Env {
+            vars: self.processes[proc_index].vars.clone(),
+            params: HashMap::new(),
+        };
+        let mut effects: Vec<Effect> = Vec::new();
+        let mut weight: u64 = 0;
+        let mut to_state = from_state;
+        let mut fired = false;
+
+        let trigger_label;
+        match &entry {
+            QueueEntry::Start => {
+                trigger_label = "start".to_owned();
+                fired = true;
+                let state = machine.state(from_state);
+                action::execute(state.entry(), &mut env, &mut effects, &mut weight)
+                    .map_err(|e| self.runtime_error(proc_index, e))?;
+            }
+            QueueEntry::Signal { signal, values } => {
+                trigger_label = self.system.model.signal(*signal).name().to_owned();
+                // Bind signal parameters positionally.
+                let params = self.system.model.signal(*signal).params();
+                for (param, value) in params.iter().zip(values.iter()) {
+                    env.params.insert(param.name.clone(), value.clone());
+                }
+                let transition = machine
+                    .transitions_from(from_state)
+                    .find(|(_, t)| match t.trigger() {
+                        Trigger::Signal(s) if s == signal => match t.guard() {
+                            Some(guard) => guard
+                                .eval(&env)
+                                .map(|v| v.is_truthy())
+                                .unwrap_or(false),
+                            None => true,
+                        },
+                        _ => false,
+                    });
+                if let Some((_, t)) = transition {
+                    fired = true;
+                    action::execute(t.actions(), &mut env, &mut effects, &mut weight)
+                        .map_err(|e| self.runtime_error(proc_index, e))?;
+                    to_state = t.target();
+                    if to_state != from_state {
+                        let state = machine.state(to_state);
+                        action::execute(state.entry(), &mut env, &mut effects, &mut weight)
+                            .map_err(|e| self.runtime_error(proc_index, e))?;
+                    }
+                }
+            }
+            QueueEntry::Timer { name } => {
+                trigger_label = format!("timer:{name}");
+                let transition = machine
+                    .transitions_from(from_state)
+                    .find(|(_, t)| match t.trigger() {
+                        Trigger::Timer(n) if n == name => match t.guard() {
+                            Some(guard) => guard
+                                .eval(&env)
+                                .map(|v| v.is_truthy())
+                                .unwrap_or(false),
+                            None => true,
+                        },
+                        _ => false,
+                    });
+                if let Some((_, t)) = transition {
+                    fired = true;
+                    action::execute(t.actions(), &mut env, &mut effects, &mut weight)
+                        .map_err(|e| self.runtime_error(proc_index, e))?;
+                    to_state = t.target();
+                    if to_state != from_state {
+                        let state = machine.state(to_state);
+                        action::execute(state.entry(), &mut env, &mut effects, &mut weight)
+                            .map_err(|e| self.runtime_error(proc_index, e))?;
+                    }
+                }
+            }
+        }
+
+        if !fired {
+            // Discarded input: log and charge only the dispatch overhead.
+            let signal_name = match &entry {
+                QueueEntry::Signal { signal, .. } => {
+                    self.system.model.signal(*signal).name().to_owned()
+                }
+                QueueEntry::Timer { name } => format!("timer:{name}"),
+                QueueEntry::Start => "start".to_owned(),
+            };
+            self.log.push(LogRecord::Drop {
+                time_ns: start_ns,
+                process: self.processes[proc_index].name.clone(),
+                signal: signal_name,
+            });
+            self.processes[proc_index].stats.drops += 1;
+            self.finish_step(proc_index, pe_index, start_ns, 0, from_state, from_state, "drop");
+            return Ok(());
+        }
+
+        // Completion transitions fire within the same step, bounded to
+        // avoid livelock on a mis-modelled machine.
+        env.params.clear();
+        for _ in 0..64 {
+            let transition = machine
+                .transitions_from(to_state)
+                .find(|(_, t)| match t.trigger() {
+                    Trigger::Completion => match t.guard() {
+                        Some(guard) => guard.eval(&env).map(|v| v.is_truthy()).unwrap_or(false),
+                        None => true,
+                    },
+                    _ => false,
+                });
+            let Some((_, t)) = transition else { break };
+            action::execute(t.actions(), &mut env, &mut effects, &mut weight)
+                .map_err(|e| self.runtime_error(proc_index, e))?;
+            let next = t.target();
+            if next != to_state {
+                let state = machine.state(next);
+                action::execute(state.entry(), &mut env, &mut effects, &mut weight)
+                    .map_err(|e| self.runtime_error(proc_index, e))?;
+                to_state = next;
+            } else {
+                to_state = next;
+                break;
+            }
+        }
+
+        // ---- Cost accounting -------------------------------------------
+        let pe_kind = self.pes[pe_index].descriptor.kind;
+        let cost_model = &self.config.cost_model;
+        let mut cycles = cost_model.step_overhead_cycles(pe_kind)
+            + cost_model.weight_cycles(pe_kind, weight);
+        let mut send_bytes_total = 0u64;
+        for effect in &effects {
+            match effect {
+                Effect::Compute { class, units } => {
+                    cycles += cost_model.compute_cycles(pe_kind, *class, *units);
+                }
+                Effect::Send { values, .. } => {
+                    let bytes: u64 = self.config.header_bytes
+                        + values.iter().map(|v| v.size_bytes() as u64).sum::<u64>();
+                    send_bytes_total += bytes;
+                }
+                _ => {}
+            }
+        }
+        let mem_units = send_bytes_total / self.config.bytes_per_mem_unit.max(1);
+        cycles += cost_model.compute_cycles(pe_kind, tut_uml::action::CostClass::Mem, mem_units);
+        // RTOS context switch: charged when the element switches to a
+        // different process than the one that ran last.
+        if self.pes[pe_index].last_process != Some(proc_index) {
+            if self.pes[pe_index].last_process.is_some() {
+                cycles += self.config.scheduler.context_switch_cycles;
+            }
+            self.pes[pe_index].last_process = Some(proc_index);
+        }
+        if self.pes[pe_index].is_env {
+            cycles = 0;
+        }
+        let duration_ns = self.pes[pe_index].descriptor.ns_for_cycles(cycles);
+        let end_ns = start_ns + duration_ns;
+
+        // Persist process state.
+        self.processes[proc_index].vars = env.vars;
+        self.processes[proc_index].state = to_state;
+
+        // ---- Effects ---------------------------------------------------
+        for effect in effects {
+            match effect {
+                Effect::Send {
+                    port,
+                    signal,
+                    values,
+                } => {
+                    self.dispatch_send(proc_index, &port, signal, values, end_ns);
+                }
+                Effect::SetTimer { name, duration } => {
+                    let generation = {
+                        let gens = &mut self.processes[proc_index].timer_gens;
+                        let g = gens.entry(name.clone()).or_insert(0);
+                        *g += 1;
+                        *g
+                    };
+                    self.schedule(
+                        end_ns + duration,
+                        EventKind::TimerFired {
+                            target: proc_index,
+                            name,
+                            generation,
+                        },
+                    );
+                }
+                Effect::CancelTimer { name } => {
+                    let gens = &mut self.processes[proc_index].timer_gens;
+                    *gens.entry(name).or_insert(0) += 1;
+                }
+                Effect::Log(message) => {
+                    self.log.push(LogRecord::User {
+                        time_ns: end_ns,
+                        process: self.processes[proc_index].name.clone(),
+                        message,
+                    });
+                }
+                Effect::Compute { .. } => {}
+            }
+        }
+
+        let (from_name, to_name) = (
+            machine.state(from_state).name().to_owned(),
+            machine.state(to_state).name().to_owned(),
+        );
+        self.finish_step(
+            proc_index,
+            pe_index,
+            start_ns,
+            cycles,
+            from_state,
+            to_state,
+            &trigger_label,
+        );
+        // Re-use names for the EXEC record written by finish_step: done
+        // there to keep record layout in one place.
+        let _ = (from_name, to_name);
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish_step(
+        &mut self,
+        proc_index: ProcIndex,
+        pe_index: PeIndex,
+        start_ns: u64,
+        cycles: u64,
+        from_state: StateId,
+        to_state: StateId,
+        trigger: &str,
+    ) {
+        let duration_ns = self.pes[pe_index].descriptor.ns_for_cycles(cycles);
+        let end_ns = start_ns + duration_ns;
+        let machine = self.system.model.state_machine(self.processes[proc_index].sm);
+        self.log.push(LogRecord::Exec {
+            time_ns: start_ns,
+            process: self.processes[proc_index].name.clone(),
+            cycles,
+            duration_ns,
+            from_state: machine.state(from_state).name().to_owned(),
+            to_state: machine.state(to_state).name().to_owned(),
+            trigger: trigger.to_owned(),
+        });
+        let stats = &mut self.processes[proc_index].stats;
+        stats.steps += 1;
+        stats.cycles += cycles;
+        stats.busy_ns += duration_ns;
+        let pe = &mut self.pes[pe_index];
+        pe.free_at_ns = end_ns;
+        pe.busy_ns += duration_ns;
+        pe.busy_cycles += cycles;
+        self.schedule(end_ns, EventKind::PeFree { pe: pe_index });
+    }
+
+    /// Routes a sent signal to its receivers and schedules deliveries.
+    fn dispatch_send(
+        &mut self,
+        sender: ProcIndex,
+        port_name: &str,
+        signal: SignalId,
+        values: Vec<Value>,
+        send_time_ns: u64,
+    ) {
+        let sender_instance = self.processes[sender].instance;
+        let sender_class = self.processes[sender].class;
+        let Some(port) = self.system.model.find_port(sender_class, port_name) else {
+            self.log.push(LogRecord::Lost {
+                time_ns: send_time_ns,
+                process: self.processes[sender].name.clone(),
+                port: port_name.to_owned(),
+                signal: self.system.model.signal(signal).name().to_owned(),
+            });
+            return;
+        };
+        let receivers: Vec<_> = self
+            .routing
+            .receivers(sender_instance, port, signal)
+            .to_vec();
+        if receivers.is_empty() {
+            self.log.push(LogRecord::Lost {
+                time_ns: send_time_ns,
+                process: self.processes[sender].name.clone(),
+                port: port_name.to_owned(),
+                signal: self.system.model.signal(signal).name().to_owned(),
+            });
+            return;
+        }
+        let bytes: u64 = self.config.header_bytes
+            + values.iter().map(|v| v.size_bytes() as u64).sum::<u64>();
+        self.processes[sender].stats.signals_sent += receivers.len() as u64;
+        self.processes[sender].stats.bytes_sent += bytes * receivers.len() as u64;
+        for endpoint in receivers {
+            let Some(&target) = self.by_instance.get(&endpoint.instance) else {
+                continue;
+            };
+            let sender_pe = self.processes[sender].pe;
+            let target_pe = self.processes[target].pe;
+            let delivery_ns = if sender_pe == target_pe {
+                send_time_ns + self.config.local_latency_ns
+            } else if self.pes[sender_pe].is_env || self.pes[target_pe].is_env {
+                send_time_ns + self.config.env_latency_ns
+            } else {
+                match (self.pes[sender_pe].agent, self.pes[target_pe].agent) {
+                    (Some(from), Some(to)) => {
+                        self.network.transfer(from, to, bytes, send_time_ns).completion_ns
+                    }
+                    _ => send_time_ns + self.config.local_latency_ns,
+                }
+            };
+            let sender_name = self.processes[sender].name.clone();
+            self.schedule(
+                delivery_ns,
+                EventKind::Deliver {
+                    target,
+                    entry_kind: DeliverKind::Signal {
+                        signal,
+                        values: values.clone(),
+                        sender_name,
+                        bytes,
+                        sent_at_ns: send_time_ns,
+                    },
+                },
+            );
+        }
+    }
+
+    fn runtime_error(&self, proc_index: ProcIndex, err: tut_uml::Error) -> SimError {
+        SimError::Runtime {
+            process: self.processes[proc_index].name.clone(),
+            message: err.to_string(),
+        }
+    }
+
+    fn into_report(self) -> SimReport {
+        let mut report = SimReport {
+            end_time_ns: self.now_ns,
+            total_steps: self.steps,
+            log: self.log,
+            processes: Vec::new(),
+            pes: Vec::new(),
+        };
+        for process in self.processes {
+            report.processes.push((process.name, process.stats));
+        }
+        for pe in self.pes {
+            report.pes.push((
+                pe.descriptor.name.clone(),
+                PeStats {
+                    busy_ns: pe.busy_ns,
+                    busy_cycles: pe.busy_cycles,
+                    is_env: pe.is_env,
+                },
+            ));
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tut_profile::application::ProcessType;
+    use tut_profile::platform::ComponentKind;
+    use tut_profile_core::TagValue;
+    use tut_uml::action::{BinOp, CostClass, Expr, Statement};
+    use tut_uml::statemachine::StateMachine;
+    use tut_uml::value::DataType;
+
+    /// A ping-pong system: two processes exchanging a counter signal,
+    /// mapped to two CPUs on one HIBI segment.
+    fn ping_pong(count: i64, same_pe: bool) -> SystemModel {
+        let mut s = SystemModel::new("PingPong");
+        let top = s.model.add_class("Top");
+        s.apply(top, |t| t.application).unwrap();
+
+        let ping_sig = s.model.add_signal("Ping");
+        s.model.signal_mut(ping_sig).add_param("n", DataType::Int);
+        let pong_sig = s.model.add_signal("Pong");
+        s.model.signal_mut(pong_sig).add_param("n", DataType::Int);
+
+        // Pinger: starts the exchange, counts down.
+        let pinger = s.model.add_class("Pinger");
+        s.apply(pinger, |t| t.application_component).unwrap();
+        let p_out = s.model.add_port(pinger, "out");
+        let p_in = s.model.add_port(pinger, "in");
+        s.model.port_mut(p_out).add_required(ping_sig);
+        s.model.port_mut(p_in).add_provided(pong_sig);
+        let mut sm = StateMachine::new("PingerB");
+        let idle = sm.add_state_with_entry(
+            "Idle",
+            vec![Statement::Send {
+                port: "out".into(),
+                signal: ping_sig,
+                args: vec![Expr::int(count)],
+            }],
+        );
+        let wait = sm.add_state("Wait");
+        sm.set_initial(idle);
+        sm.add_transition(
+            idle,
+            wait,
+            Trigger::Completion,
+            None,
+            vec![],
+        );
+        // On Pong with n > 0 send another Ping.
+        sm.add_transition(
+            wait,
+            wait,
+            Trigger::Signal(pong_sig),
+            Some(Expr::param("n").bin(BinOp::Gt, Expr::int(0))),
+            vec![
+                Statement::Compute {
+                    class: CostClass::Control,
+                    amount: Expr::int(10),
+                },
+                Statement::Send {
+                    port: "out".into(),
+                    signal: ping_sig,
+                    args: vec![Expr::param("n")],
+                },
+            ],
+        );
+        s.model.add_state_machine(pinger, sm);
+
+        // Ponger: replies with n-1.
+        let ponger = s.model.add_class("Ponger");
+        s.apply(ponger, |t| t.application_component).unwrap();
+        let q_in = s.model.add_port(ponger, "in");
+        let q_out = s.model.add_port(ponger, "out");
+        s.model.port_mut(q_in).add_provided(ping_sig);
+        s.model.port_mut(q_out).add_required(pong_sig);
+        let mut sm = StateMachine::new("PongerB");
+        let st = sm.add_state("S");
+        sm.set_initial(st);
+        sm.add_transition(
+            st,
+            st,
+            Trigger::Signal(ping_sig),
+            None,
+            vec![
+                Statement::Compute {
+                    class: CostClass::Control,
+                    amount: Expr::int(50),
+                },
+                Statement::Send {
+                    port: "out".into(),
+                    signal: pong_sig,
+                    args: vec![Expr::param("n").bin(BinOp::Sub, Expr::int(1))],
+                },
+            ],
+        );
+        s.model.add_state_machine(ponger, sm);
+
+        let ping_part = s.model.add_part(top, "pinger", pinger);
+        let pong_part = s.model.add_part(top, "ponger", ponger);
+        for part in [ping_part, pong_part] {
+            s.apply(part, |t| t.application_process).unwrap();
+        }
+        s.model.add_connector(
+            top,
+            "ping_wire",
+            tut_uml::model::ConnectorEnd {
+                part: Some(ping_part),
+                port: p_out,
+            },
+            tut_uml::model::ConnectorEnd {
+                part: Some(pong_part),
+                port: q_in,
+            },
+        );
+        s.model.add_connector(
+            top,
+            "pong_wire",
+            tut_uml::model::ConnectorEnd {
+                part: Some(pong_part),
+                port: q_out,
+            },
+            tut_uml::model::ConnectorEnd {
+                part: Some(ping_part),
+                port: p_in,
+            },
+        );
+
+        // Groups + platform + mapping.
+        let g1 = s.add_process_group("group1", false, ProcessType::General);
+        let g2 = s.add_process_group("group2", false, ProcessType::General);
+        s.assign_to_group(ping_part, g1);
+        s.assign_to_group(pong_part, g2);
+
+        let platform = s.model.add_class("Platform");
+        s.apply(platform, |t| t.platform).unwrap();
+        let nios = s.add_platform_component("Nios", ComponentKind::General, 50, 2.0, 0.5);
+        let cpu1 = s.add_platform_instance(platform, "cpu1", nios, 1, 0);
+        let cpu2 = s.add_platform_instance(platform, "cpu2", nios, 2, 0);
+
+        // One segment with two wrappers.
+        let seg_class = s.model.add_class("Seg");
+        s.apply(seg_class, |t| t.hibi_segment).unwrap();
+        let wrap_class = s.model.add_class("Wrap");
+        s.apply_with(wrap_class, |t| t.hibi_wrapper, [("Address", TagValue::Int(16))])
+            .unwrap();
+        let wrap_class2 = s.model.add_class("Wrap2");
+        s.apply_with(wrap_class2, |t| t.hibi_wrapper, [("Address", TagValue::Int(32))])
+            .unwrap();
+        let seg = s.model.add_part(platform, "seg", seg_class);
+        let seg_port = s.model.add_port(seg_class, "agents");
+        let nios_port = s.model.add_port(nios, "hibi");
+        for (cpu, wc, name) in [(cpu1, wrap_class, "w1"), (cpu2, wrap_class2, "w2")] {
+            let wp = s.model.add_port(wc, "pe");
+            let wb = s.model.add_port(wc, "bus");
+            let w = s.model.add_part(platform, name, wc);
+            s.model.add_connector(
+                platform,
+                &format!("{name}_pe"),
+                tut_uml::model::ConnectorEnd {
+                    part: Some(w),
+                    port: wp,
+                },
+                tut_uml::model::ConnectorEnd {
+                    part: Some(cpu),
+                    port: nios_port,
+                },
+            );
+            s.model.add_connector(
+                platform,
+                &format!("{name}_bus"),
+                tut_uml::model::ConnectorEnd {
+                    part: Some(w),
+                    port: wb,
+                },
+                tut_uml::model::ConnectorEnd {
+                    part: Some(seg),
+                    port: seg_port,
+                },
+            );
+        }
+
+        s.map_group(g1, cpu1, false);
+        if same_pe {
+            s.map_group(g2, cpu1, false);
+        } else {
+            s.map_group(g2, cpu2, false);
+        }
+        s
+    }
+
+    #[test]
+    fn ping_pong_completes_expected_rounds() {
+        let system = ping_pong(5, false);
+        let sim = Simulation::from_system(&system, SimConfig::default()).unwrap();
+        let report = sim.run().unwrap();
+        // 5 pings, 5 pongs (n = 5..1), final pong n=0 consumed without send.
+        let sig_count = report
+            .log
+            .records
+            .iter()
+            .filter(|r| matches!(r, LogRecord::Sig { .. }))
+            .count();
+        assert_eq!(sig_count, 10, "log: {}", report.log.to_text());
+        // Ponger did 5 compute-heavy steps.
+        let ponger = report
+            .processes
+            .iter()
+            .find(|(name, _)| name == "ponger")
+            .unwrap();
+        assert_eq!(ponger.1.signals_received, 5);
+        assert!(ponger.1.cycles > 0);
+        assert!(report.end_time_ns > 0);
+    }
+
+    #[test]
+    fn same_pe_mapping_avoids_the_bus() {
+        let cross = Simulation::from_system(&ping_pong(20, false), SimConfig::default())
+            .unwrap()
+            .run()
+            .unwrap();
+        let local = Simulation::from_system(&ping_pong(20, true), SimConfig::default())
+            .unwrap()
+            .run()
+            .unwrap();
+        // Paper §4.1: grouping to minimise communication between PEs
+        // improves performance; local mapping should finish sooner.
+        assert!(
+            local.end_time_ns < cross.end_time_ns,
+            "local {} vs cross {}",
+            local.end_time_ns,
+            cross.end_time_ns
+        );
+    }
+
+    #[test]
+    fn deterministic_runs_produce_identical_logs() {
+        let a = Simulation::from_system(&ping_pong(10, false), SimConfig::default())
+            .unwrap()
+            .run()
+            .unwrap();
+        let b = Simulation::from_system(&ping_pong(10, false), SimConfig::default())
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(a.log, b.log);
+        assert_eq!(a.end_time_ns, b.end_time_ns);
+    }
+
+    #[test]
+    fn missing_application_rejected() {
+        let s = SystemModel::new("Empty");
+        assert!(matches!(
+            Simulation::from_system(&s, SimConfig::default()),
+            Err(SimError::NoApplication)
+        ));
+    }
+
+    #[test]
+    fn log_round_trips_through_text() {
+        let report = Simulation::from_system(&ping_pong(3, false), SimConfig::default())
+            .unwrap()
+            .run()
+            .unwrap();
+        let text = report.log.to_text();
+        let parsed = SimLog::parse(&text).unwrap();
+        assert_eq!(parsed, report.log);
+    }
+
+    #[test]
+    fn step_bound_stops_runaway_models() {
+        let mut config = SimConfig::default();
+        config.max_steps = 7;
+        let report = Simulation::from_system(&ping_pong(1_000_000, false), config)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(report.total_steps <= 7);
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type for the simulator.
+
+use std::fmt;
+
+/// Errors produced while building or running a simulation.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The system model has no `«Application»` top-level class.
+    NoApplication,
+    /// A functional component lacks a state machine.
+    MissingBehaviour {
+        /// The class name.
+        class: String,
+    },
+    /// The model failed a structural precondition.
+    BadModel(String),
+    /// The platform model could not be turned into a HIBI network.
+    Network(String),
+    /// An action-language runtime error inside a process step.
+    Runtime {
+        /// The process that faulted.
+        process: String,
+        /// The underlying action error.
+        message: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoApplication => {
+                f.write_str("model has no \u{ab}Application\u{bb} top-level class")
+            }
+            SimError::MissingBehaviour { class } => {
+                write!(f, "functional component `{class}` has no state machine")
+            }
+            SimError::BadModel(msg) => write!(f, "bad model: {msg}"),
+            SimError::Network(msg) => write!(f, "platform network error: {msg}"),
+            SimError::Runtime { process, message } => {
+                write!(f, "runtime error in process `{process}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<tut_hibi::HibiError> for SimError {
+    fn from(err: tut_hibi::HibiError) -> Self {
+        SimError::Network(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert!(SimError::NoApplication.to_string().contains("Application"));
+        let e = SimError::Runtime {
+            process: "rca".into(),
+            message: "division by zero".into(),
+        };
+        assert!(e.to_string().contains("rca"));
+    }
+}

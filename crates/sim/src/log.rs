@@ -1,0 +1,381 @@
+//! The simulation log-file: line-oriented records.
+//!
+//! The paper's flow passes a *log file* from the simulation to the
+//! profiling tool (§4.4: "the automatically generated application code is
+//! complemented with custom C functions to create simulation log-file
+//! during simulations"). To keep that tool boundary honest, the log has a
+//! canonical **text form**; the profiling crate parses the text, not the
+//! in-memory structs.
+//!
+//! Record lines (whitespace-separated, one record per line):
+//!
+//! ```text
+//! EXEC <time_ns> <process> <cycles> <duration_ns> <from_state> <to_state> <trigger>
+//! SIG  <time_ns> <sender> <receiver> <signal> <bytes> <latency_ns>
+//! DROP <time_ns> <process> <signal>
+//! LOST <time_ns> <process> <port> <signal>
+//! USER <time_ns> <process> <message…>
+//! ```
+
+use std::fmt;
+
+/// One record of the simulation log.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LogRecord {
+    /// A run-to-completion step executed.
+    Exec {
+        /// Step start time (ns).
+        time_ns: u64,
+        /// Process instance name (dotted path, e.g. `ui.msduRec`).
+        process: String,
+        /// Cycles charged on the processing element.
+        cycles: u64,
+        /// Wall-clock duration on the element (ns).
+        duration_ns: u64,
+        /// State before the step.
+        from_state: String,
+        /// State after the step.
+        to_state: String,
+        /// What triggered the step (signal name, `timer:<name>`, or
+        /// `start`).
+        trigger: String,
+    },
+    /// A signal was delivered from one process to another.
+    Sig {
+        /// Delivery time (ns).
+        time_ns: u64,
+        /// Sending process instance name.
+        sender: String,
+        /// Receiving process instance name.
+        receiver: String,
+        /// Signal type name.
+        signal: String,
+        /// Payload bytes (including header).
+        bytes: u64,
+        /// End-to-end latency from send to delivery (ns).
+        latency_ns: u64,
+    },
+    /// A delivered signal found no enabled transition and was discarded.
+    Drop {
+        /// Time of the discard (ns).
+        time_ns: u64,
+        /// The discarding process.
+        process: String,
+        /// The discarded signal.
+        signal: String,
+    },
+    /// A sent signal had no connected receiver.
+    Lost {
+        /// Send time (ns).
+        time_ns: u64,
+        /// The sending process.
+        process: String,
+        /// The port it was sent through.
+        port: String,
+        /// The signal type name.
+        signal: String,
+    },
+    /// A `Log` action emitted by the model itself.
+    User {
+        /// Emission time (ns).
+        time_ns: u64,
+        /// The emitting process.
+        process: String,
+        /// The rendered message.
+        message: String,
+    },
+}
+
+impl LogRecord {
+    /// The record's canonical text line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            LogRecord::Exec {
+                time_ns,
+                process,
+                cycles,
+                duration_ns,
+                from_state,
+                to_state,
+                trigger,
+            } => format!(
+                "EXEC {time_ns} {process} {cycles} {duration_ns} {from_state} {to_state} {trigger}"
+            ),
+            LogRecord::Sig {
+                time_ns,
+                sender,
+                receiver,
+                signal,
+                bytes,
+                latency_ns,
+            } => format!("SIG {time_ns} {sender} {receiver} {signal} {bytes} {latency_ns}"),
+            LogRecord::Drop {
+                time_ns,
+                process,
+                signal,
+            } => format!("DROP {time_ns} {process} {signal}"),
+            LogRecord::Lost {
+                time_ns,
+                process,
+                port,
+                signal,
+            } => format!("LOST {time_ns} {process} {port} {signal}"),
+            LogRecord::User {
+                time_ns,
+                process,
+                message,
+            } => format!("USER {time_ns} {process} {}", message.replace('\n', " ")),
+        }
+    }
+
+    /// Parses one log line.
+    ///
+    /// Returns `None` for blank lines and lines starting with `#`
+    /// (comments); malformed records produce an error string naming the
+    /// problem.
+    pub fn parse_line(line: &str) -> Result<Option<LogRecord>, String> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(None);
+        }
+        let mut fields = line.split_whitespace();
+        let kind = fields.next().expect("non-empty line has a first field");
+        let mut next = |what: &str| -> Result<&str, String> {
+            fields
+                .next()
+                .ok_or_else(|| format!("{kind} record is missing its {what} field"))
+        };
+        let parse_u64 = |text: &str, what: &str| -> Result<u64, String> {
+            text.parse()
+                .map_err(|_| format!("bad {what} value `{text}` in {kind} record"))
+        };
+        let record = match kind {
+            "EXEC" => {
+                let time_ns = parse_u64(next("time")?, "time")?;
+                let process = next("process")?.to_owned();
+                let cycles = parse_u64(next("cycles")?, "cycles")?;
+                let duration_ns = parse_u64(next("duration")?, "duration")?;
+                let from_state = next("from_state")?.to_owned();
+                let to_state = next("to_state")?.to_owned();
+                let trigger = next("trigger")?.to_owned();
+                LogRecord::Exec {
+                    time_ns,
+                    process,
+                    cycles,
+                    duration_ns,
+                    from_state,
+                    to_state,
+                    trigger,
+                }
+            }
+            "SIG" => {
+                let time_ns = parse_u64(next("time")?, "time")?;
+                let sender = next("sender")?.to_owned();
+                let receiver = next("receiver")?.to_owned();
+                let signal = next("signal")?.to_owned();
+                let bytes = parse_u64(next("bytes")?, "bytes")?;
+                let latency_ns = parse_u64(next("latency")?, "latency")?;
+                LogRecord::Sig {
+                    time_ns,
+                    sender,
+                    receiver,
+                    signal,
+                    bytes,
+                    latency_ns,
+                }
+            }
+            "DROP" => LogRecord::Drop {
+                time_ns: parse_u64(next("time")?, "time")?,
+                process: next("process")?.to_owned(),
+                signal: next("signal")?.to_owned(),
+            },
+            "LOST" => LogRecord::Lost {
+                time_ns: parse_u64(next("time")?, "time")?,
+                process: next("process")?.to_owned(),
+                port: next("port")?.to_owned(),
+                signal: next("signal")?.to_owned(),
+            },
+            "USER" => {
+                let time_ns = parse_u64(next("time")?, "time")?;
+                let process = next("process")?.to_owned();
+                let message = fields.collect::<Vec<_>>().join(" ");
+                LogRecord::User {
+                    time_ns,
+                    process,
+                    message,
+                }
+            }
+            other => return Err(format!("unknown log record kind `{other}`")),
+        };
+        Ok(Some(record))
+    }
+
+    /// The record's timestamp.
+    pub fn time_ns(&self) -> u64 {
+        match self {
+            LogRecord::Exec { time_ns, .. }
+            | LogRecord::Sig { time_ns, .. }
+            | LogRecord::Drop { time_ns, .. }
+            | LogRecord::Lost { time_ns, .. }
+            | LogRecord::User { time_ns, .. } => *time_ns,
+        }
+    }
+}
+
+impl fmt::Display for LogRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_line())
+    }
+}
+
+/// The full simulation log.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SimLog {
+    /// Records in emission order.
+    pub records: Vec<LogRecord>,
+}
+
+impl SimLog {
+    /// An empty log.
+    pub fn new() -> SimLog {
+        SimLog::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: LogRecord) {
+        self.records.push(record);
+    }
+
+    /// Renders the whole log as its canonical text form.
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(self.records.len() * 48);
+        out.push_str("# TUT-Profile simulation log-file v1\n");
+        for record in &self.records {
+            out.push_str(&record.to_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a log from its text form.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first malformed line's error, prefixed with its line
+    /// number.
+    pub fn parse(text: &str) -> Result<SimLog, String> {
+        let mut log = SimLog::new();
+        for (number, line) in text.lines().enumerate() {
+            match LogRecord::parse_line(line) {
+                Ok(Some(record)) => log.push(record),
+                Ok(None) => {}
+                Err(err) => return Err(format!("line {}: {err}", number + 1)),
+            }
+        }
+        Ok(log)
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<LogRecord> {
+        vec![
+            LogRecord::Exec {
+                time_ns: 100,
+                process: "ui.msduRec".into(),
+                cycles: 420,
+                duration_ns: 8400,
+                from_state: "Idle".into(),
+                to_state: "Busy".into(),
+                trigger: "MsduRequest".into(),
+            },
+            LogRecord::Sig {
+                time_ns: 8600,
+                sender: "ui.msduRec".into(),
+                receiver: "dp.frag".into(),
+                signal: "Msdu".into(),
+                bytes: 1508,
+                latency_ns: 200,
+            },
+            LogRecord::Drop {
+                time_ns: 9000,
+                process: "mng".into(),
+                signal: "Beacon".into(),
+            },
+            LogRecord::Lost {
+                time_ns: 9100,
+                process: "rca".into(),
+                port: "pPhy".into(),
+                signal: "TxFrame".into(),
+            },
+            LogRecord::User {
+                time_ns: 9200,
+                process: "rca".into(),
+                message: "sent 3 frames".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_text() {
+        let mut log = SimLog::new();
+        for r in sample_records() {
+            log.push(r);
+        }
+        let text = log.to_text();
+        let parsed = SimLog::parse(&text).unwrap();
+        assert_eq!(parsed, log);
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blanks() {
+        let log = SimLog::parse("# header\n\nDROP 5 p S\n").unwrap();
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn parse_reports_line_numbers() {
+        let err = SimLog::parse("DROP 5 p S\nEXEC nonsense\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        assert!(LogRecord::parse_line("WAT 1 2 3").is_err());
+    }
+
+    #[test]
+    fn user_messages_keep_spaces_and_strip_newlines() {
+        let record = LogRecord::User {
+            time_ns: 1,
+            process: "p".into(),
+            message: "hello embedded\nworld".into(),
+        };
+        let line = record.to_line();
+        assert!(!line.contains('\n'));
+        let parsed = LogRecord::parse_line(&line).unwrap().unwrap();
+        match parsed {
+            LogRecord::User { message, .. } => assert_eq!(message, "hello embedded world"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timestamps_accessible() {
+        for r in sample_records() {
+            assert!(r.time_ns() > 0);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Simulation results: per-process and per-element statistics plus the
+//! log.
+
+use crate::log::SimLog;
+
+/// Per-process counters accumulated during a run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ProcessStats {
+    /// Run-to-completion steps executed.
+    pub steps: u64,
+    /// Total cycles charged on the process's processing element.
+    pub cycles: u64,
+    /// Total busy time in nanoseconds.
+    pub busy_ns: u64,
+    /// Signals sent (counted per receiver).
+    pub signals_sent: u64,
+    /// Signals received.
+    pub signals_received: u64,
+    /// Payload bytes sent (including headers, counted per receiver).
+    pub bytes_sent: u64,
+    /// Inputs discarded with no enabled transition.
+    pub drops: u64,
+    /// Total time inputs waited in the queue before dispatch (response
+    /// time accounting, ns).
+    pub queue_wait_ns: u64,
+    /// Worst-case single-input queueing delay (ns).
+    pub max_queue_wait_ns: u64,
+}
+
+impl ProcessStats {
+    /// Mean queueing delay per step in nanoseconds.
+    pub fn mean_queue_wait_ns(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.queue_wait_ns as f64 / self.steps as f64
+        }
+    }
+}
+
+/// Per-processing-element counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PeStats {
+    /// Total busy time in nanoseconds.
+    pub busy_ns: u64,
+    /// Total cycles executed.
+    pub busy_cycles: u64,
+    /// True for the implicit environment element.
+    pub is_env: bool,
+}
+
+/// The result of a simulation run.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SimReport {
+    /// Simulated time at the last processed event (ns).
+    pub end_time_ns: u64,
+    /// Total run-to-completion steps.
+    pub total_steps: u64,
+    /// The simulation log (write `log.to_text()` to produce the log-file
+    /// for the profiling tool).
+    pub log: SimLog,
+    /// `(process name, stats)` in process order.
+    pub processes: Vec<(String, ProcessStats)>,
+    /// `(element name, stats)` in element order; index 0 is the
+    /// environment.
+    pub pes: Vec<(String, PeStats)>,
+}
+
+impl SimReport {
+    /// Total cycles across all non-environment elements.
+    pub fn total_cycles(&self) -> u64 {
+        self.pes
+            .iter()
+            .filter(|(_, s)| !s.is_env)
+            .map(|(_, s)| s.busy_cycles)
+            .sum()
+    }
+
+    /// Stats for one process by name.
+    pub fn process(&self, name: &str) -> Option<&ProcessStats> {
+        self.processes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
+    }
+
+    /// Utilisation of one element over the simulated horizon.
+    pub fn pe_utilisation(&self, name: &str) -> Option<f64> {
+        if self.end_time_ns == 0 {
+            return None;
+        }
+        self.pes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s.busy_ns as f64 / self.end_time_ns as f64)
+    }
+
+    /// One-paragraph human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "simulated {} steps to t={} ns; {} log records; {} processes on {} elements; total {} cycles",
+            self.total_steps,
+            self.end_time_ns,
+            self.log.len(),
+            self.processes.len(),
+            self.pes.len(),
+            self.total_cycles(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimReport {
+        SimReport {
+            end_time_ns: 1000,
+            total_steps: 10,
+            log: SimLog::new(),
+            processes: vec![(
+                "p1".into(),
+                ProcessStats {
+                    steps: 10,
+                    cycles: 500,
+                    busy_ns: 600,
+                    ..ProcessStats::default()
+                },
+            )],
+            pes: vec![
+                (
+                    "environment".into(),
+                    PeStats {
+                        busy_ns: 0,
+                        busy_cycles: 0,
+                        is_env: true,
+                    },
+                ),
+                (
+                    "cpu1".into(),
+                    PeStats {
+                        busy_ns: 600,
+                        busy_cycles: 500,
+                        is_env: false,
+                    },
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn totals_exclude_environment() {
+        let r = sample();
+        assert_eq!(r.total_cycles(), 500);
+    }
+
+    #[test]
+    fn lookups() {
+        let r = sample();
+        assert_eq!(r.process("p1").unwrap().cycles, 500);
+        assert!(r.process("nope").is_none());
+        assert!((r.pe_utilisation("cpu1").unwrap() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_mentions_counts() {
+        let text = sample().summary();
+        assert!(text.contains("10 steps"));
+        assert!(text.contains("500 cycles"));
+    }
+}

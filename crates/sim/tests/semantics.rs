@@ -1,0 +1,289 @@
+//! EFSM execution-semantics edge cases: timer cancellation and re-arming,
+//! guard-based discards, and completion-transition chaining.
+
+use tut_profile::SystemModel;
+use tut_sim::{LogRecord, SimConfig, Simulation};
+use tut_uml::action::{BinOp, Expr, Statement};
+use tut_uml::statemachine::{StateMachine, Trigger};
+use tut_uml::value::DataType;
+
+/// Builds a one-process system from a machine-builder closure.
+fn single_process(build: impl FnOnce(&mut SystemModel) -> StateMachine) -> SystemModel {
+    let mut s = SystemModel::new("Edge");
+    let top = s.model.add_class("Top");
+    s.apply(top, |t| t.application).unwrap();
+    let class = s.model.add_class("Proc");
+    s.apply(class, |t| t.application_component).unwrap();
+    let sm = build(&mut s);
+    s.model.add_state_machine(class, sm);
+    let part = s.model.add_part(top, "proc", class);
+    s.apply(part, |t| t.application_process).unwrap();
+    s
+}
+
+fn run(system: &SystemModel) -> tut_sim::SimReport {
+    Simulation::from_system(system, SimConfig::with_horizon_ns(5_000_000))
+        .expect("build")
+        .run()
+        .expect("run")
+}
+
+fn user_logs(report: &tut_sim::SimReport) -> Vec<String> {
+    report
+        .log
+        .records
+        .iter()
+        .filter_map(|r| match r {
+            LogRecord::User { message, .. } => Some(message.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn cancelled_timer_never_fires() {
+    let system = single_process(|_| {
+        let mut sm = StateMachine::new("B");
+        let run = sm.add_state_with_entry(
+            "Run",
+            vec![
+                Statement::SetTimer {
+                    name: "doomed".into(),
+                    duration: Expr::int(1000),
+                },
+                Statement::CancelTimer {
+                    name: "doomed".into(),
+                },
+                Statement::SetTimer {
+                    name: "kept".into(),
+                    duration: Expr::int(1000),
+                },
+            ],
+        );
+        sm.set_initial(run);
+        sm.add_transition(
+            run,
+            run,
+            Trigger::Timer("doomed".into()),
+            None,
+            vec![Statement::Log {
+                message: "doomed fired".into(),
+                args: vec![],
+            }],
+        );
+        sm.add_transition(
+            run,
+            run,
+            Trigger::Timer("kept".into()),
+            None,
+            vec![Statement::Log {
+                message: "kept fired".into(),
+                args: vec![],
+            }],
+        );
+        sm
+    });
+    let report = run(&system);
+    let logs = user_logs(&report);
+    assert!(logs.contains(&"kept fired".to_owned()));
+    assert!(!logs.iter().any(|m| m.contains("doomed")), "{logs:?}");
+}
+
+#[test]
+fn rearmed_timer_fires_once_at_the_new_deadline() {
+    // Arm at 1000, immediately re-arm at 3000: exactly one firing.
+    let system = single_process(|_| {
+        let mut sm = StateMachine::new("B");
+        sm.add_variable("fired", DataType::Int, 0i64.into());
+        let run = sm.add_state_with_entry(
+            "Run",
+            vec![
+                Statement::SetTimer {
+                    name: "t".into(),
+                    duration: Expr::int(1000),
+                },
+                Statement::SetTimer {
+                    name: "t".into(),
+                    duration: Expr::int(3000),
+                },
+            ],
+        );
+        sm.set_initial(run);
+        sm.add_transition(
+            run,
+            run,
+            Trigger::Timer("t".into()),
+            None,
+            vec![
+                Statement::Assign {
+                    var: "fired".into(),
+                    expr: Expr::var("fired").bin(BinOp::Add, Expr::int(1)),
+                },
+                Statement::Log {
+                    message: "fired {}".into(),
+                    args: vec![Expr::var("fired")],
+                },
+            ],
+        );
+        sm
+    });
+    let report = run(&system);
+    let logs = user_logs(&report);
+    assert_eq!(logs, vec!["fired 1".to_owned()], "stale arming must be suppressed");
+}
+
+#[test]
+fn guard_false_input_is_dropped_with_a_record() {
+    // A process whose only transition requires $n > 0; the environment
+    // sends n = 0 and the input must be discarded (SDL-style).
+    let mut s = SystemModel::new("Guarded");
+    let top = s.model.add_class("Top");
+    s.apply(top, |t| t.application).unwrap();
+    let sig = s.model.add_signal("N");
+    s.model.signal_mut(sig).add_param("n", DataType::Int);
+
+    let recv = s.model.add_class("Receiver");
+    s.apply(recv, |t| t.application_component).unwrap();
+    let pin = s.model.add_port(recv, "in");
+    s.model.port_mut(pin).add_provided(sig);
+    let mut sm = StateMachine::new("RecvB");
+    let st = sm.add_state("S");
+    sm.set_initial(st);
+    sm.add_transition(
+        st,
+        st,
+        Trigger::Signal(sig),
+        Some(Expr::param("n").bin(BinOp::Gt, Expr::int(0))),
+        vec![Statement::Log {
+            message: "accepted".into(),
+            args: vec![],
+        }],
+    );
+    s.model.add_state_machine(recv, sm);
+
+    let send = s.model.add_class("Sender");
+    s.apply(send, |t| t.application_component).unwrap();
+    let pout = s.model.add_port(send, "out");
+    s.model.port_mut(pout).add_required(sig);
+    let mut sm = StateMachine::new("SendB");
+    let st = sm.add_state_with_entry(
+        "S",
+        vec![
+            Statement::Send {
+                port: "out".into(),
+                signal: sig,
+                args: vec![Expr::int(0)],
+            },
+            Statement::Send {
+                port: "out".into(),
+                signal: sig,
+                args: vec![Expr::int(7)],
+            },
+        ],
+    );
+    sm.set_initial(st);
+    s.model.add_state_machine(send, sm);
+
+    let r_part = s.model.add_part(top, "receiver", recv);
+    let s_part = s.model.add_part(top, "sender", send);
+    s.apply(r_part, |t| t.application_process).unwrap();
+    s.apply(s_part, |t| t.application_process).unwrap();
+    s.model.add_connector(
+        top,
+        "wire",
+        tut_uml::model::ConnectorEnd {
+            part: Some(s_part),
+            port: pout,
+        },
+        tut_uml::model::ConnectorEnd {
+            part: Some(r_part),
+            port: pin,
+        },
+    );
+
+    let report = run(&s);
+    let drops = report
+        .log
+        .records
+        .iter()
+        .filter(|r| matches!(r, LogRecord::Drop { process, .. } if process == "receiver"))
+        .count();
+    assert_eq!(drops, 1, "n=0 dropped; log:\n{}", report.log.to_text());
+    assert_eq!(user_logs(&report), vec!["accepted".to_owned()]);
+    assert_eq!(report.process("receiver").unwrap().drops, 1);
+}
+
+#[test]
+fn completion_transitions_chain_within_one_step() {
+    // Init enters A; completion transitions hop A -> B -> C in the same
+    // step, executing each entry action.
+    let system = single_process(|_| {
+        let mut sm = StateMachine::new("B");
+        let a = sm.add_state_with_entry(
+            "A",
+            vec![Statement::Log {
+                message: "in A".into(),
+                args: vec![],
+            }],
+        );
+        let b = sm.add_state_with_entry(
+            "B",
+            vec![Statement::Log {
+                message: "in B".into(),
+                args: vec![],
+            }],
+        );
+        let c = sm.add_state_with_entry(
+            "C",
+            vec![Statement::Log {
+                message: "in C".into(),
+                args: vec![],
+            }],
+        );
+        sm.set_initial(a);
+        sm.add_transition(a, b, Trigger::Completion, None, vec![]);
+        sm.add_transition(b, c, Trigger::Completion, None, vec![]);
+        sm
+    });
+    let report = run(&system);
+    assert_eq!(
+        user_logs(&report),
+        vec!["in A".to_owned(), "in B".to_owned(), "in C".to_owned()]
+    );
+    // One EXEC record: the chain is a single run-to-completion step.
+    let execs = report
+        .log
+        .records
+        .iter()
+        .filter(|r| matches!(r, LogRecord::Exec { .. }))
+        .count();
+    assert_eq!(execs, 1);
+    // And it ends in state C.
+    match &report.log.records.iter().find(|r| matches!(r, LogRecord::Exec { .. })) {
+        Some(LogRecord::Exec { to_state, .. }) => assert_eq!(to_state, "C"),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn runtime_errors_carry_the_process_name() {
+    let system = single_process(|_| {
+        let mut sm = StateMachine::new("B");
+        let run = sm.add_state_with_entry(
+            "Run",
+            vec![Statement::Assign {
+                var: "x".into(),
+                expr: Expr::int(1).bin(BinOp::Div, Expr::int(0)),
+            }],
+        );
+        sm.set_initial(run);
+        sm
+    });
+    let err = Simulation::from_system(&system, SimConfig::default())
+        .expect("build")
+        .run()
+        .expect_err("division by zero must surface");
+    let text = err.to_string();
+    assert!(text.contains("proc"), "{text}");
+    assert!(text.contains("division by zero"), "{text}");
+}

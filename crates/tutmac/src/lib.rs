@@ -1,0 +1,53 @@
+//! The paper's case study: the **TUTMAC** WLAN MAC protocol on the
+//! **TUTWLAN** terminal platform (§4 of the paper).
+//!
+//! [`build_tutmac_system`] constructs the complete [`SystemModel`]:
+//!
+//! * **Application** (Figures 4–5): the `Tutmac_Protocol` top-level class
+//!   with the functional components `Management`, `RadioManagement`, and
+//!   `RadioChannelAccess` and the structural components `UserInterface`
+//!   (containing the `msduRec` / `msduDel` processes) and
+//!   `DataProcessing` (containing `frag`, `defrag`, and `crc`), all wired
+//!   with ports and connectors including delegation through the
+//!   structural-component boundaries.
+//! * **Behaviour**: each functional component is an asynchronous EFSM —
+//!   MSDU fragmentation with a byte-queue backlog, CRC-32 generation and
+//!   checking, stop-and-wait ARQ with ack timeout and bounded
+//!   retransmission, periodic beaconing, and link-quality estimation.
+//! * **Environment**: `user` (traffic source/sink) and `channel` (radio
+//!   channel with deterministic loss and remote-terminal traffic) are
+//!   modelled as ungrouped processes — they appear as the paper's
+//!   `Environment` row with zero execution cycles. (The paper keeps the
+//!   environment outside the UML model in TAU; we put it inside the
+//!   top-level structure, which changes nothing observable.)
+//! * **Grouping** (Figure 6): `group1` = {rca, mng, rmng}, `group2` =
+//!   {ui.msduRec, ui.msduDel}, `group3` = {dp.frag, dp.defrag},
+//!   `group4` = {dp.crc} (hardware type).
+//! * **Platform** (Figure 7): three Nios-class processors and a CRC-32
+//!   accelerator on two HIBI segments joined by a bridge segment.
+//! * **Mapping** (Figure 8): group1 and group3 → processor1, group2 →
+//!   processor2, group4 → accelerator1; processor3 is the spare the
+//!   exploration tools may use.
+//!
+//! # Example
+//!
+//! ```
+//! use tutmac::{build_tutmac_system, TutmacConfig};
+//!
+//! let system = build_tutmac_system(&TutmacConfig::default())?;
+//! assert!(system.validate_errors().is_empty());
+//! # Ok::<(), tutmac::BuildTutmacError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod behavior;
+pub mod config;
+pub mod model;
+pub mod platform_model;
+pub mod signals;
+
+pub use config::TutmacConfig;
+pub use model::{build_tutmac_system, BuildTutmacError, TutmacHandles};
+pub use tut_profile::SystemModel;

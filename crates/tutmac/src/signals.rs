@@ -1,0 +1,112 @@
+//! The signal alphabet of the TUTMAC protocol.
+
+use tut_uml::value::DataType;
+use tut_uml::{Model, SignalId};
+
+/// Handles to every signal type used by the case study.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Signals {
+    /// User → `msduRec`: a data unit to transmit (`payload`).
+    pub msdu_req: SignalId,
+    /// `msduDel` → user: a received data unit (`payload`).
+    pub msdu_ind: SignalId,
+    /// `msduRec` → `frag`: accepted MSDU (`payload`).
+    pub msdu: SignalId,
+    /// `frag` → `crc`: one fragment to protect (`payload`, `seq`).
+    pub tx_pdu: SignalId,
+    /// `crc` → `rca`: protected frame (`frame`, `seq`).
+    pub tx_frame: SignalId,
+    /// `rca` → `frag`: the current fragment completed (acked or given
+    /// up); send the next one (`seq`).
+    pub pdu_done: SignalId,
+    /// `rca` → `crc`: received frame to check (`frame`).
+    pub rx_frame: SignalId,
+    /// `crc` → `defrag`: verified payload (`payload`).
+    pub rx_pdu: SignalId,
+    /// `defrag` → `msduDel`: reassembled data unit (`payload`).
+    pub msdu_out: SignalId,
+    /// `mng` → `rca`: beacon to broadcast (`frame`).
+    pub beacon_req: SignalId,
+    /// `rca` → channel: frame on the air (`frame`, `seq`).
+    pub air_frame: SignalId,
+    /// channel → `rca`: frame from the air (`frame`).
+    pub air_rx: SignalId,
+    /// channel → `rca`: acknowledgement (`seq`).
+    pub ack: SignalId,
+    /// channel → `rmng`: link-quality indication (`rssi`).
+    pub quality_ind: SignalId,
+}
+
+impl Signals {
+    /// Declares every signal in `model`.
+    pub fn declare(model: &mut Model) -> Signals {
+        fn bytes_signal(model: &mut Model, name: &str, param: &str) -> SignalId {
+            let id = model.add_signal(name);
+            model.signal_mut(id).add_param(param, DataType::Bytes);
+            id
+        }
+        let msdu_req = bytes_signal(model, "MsduReq", "payload");
+        let msdu_ind = bytes_signal(model, "MsduInd", "payload");
+        let msdu = bytes_signal(model, "Msdu", "payload");
+
+        let tx_pdu = model.add_signal("TxPdu");
+        model.signal_mut(tx_pdu).add_param("payload", DataType::Bytes);
+        model.signal_mut(tx_pdu).add_param("seq", DataType::Int);
+
+        let tx_frame = model.add_signal("TxFrame");
+        model.signal_mut(tx_frame).add_param("frame", DataType::Bytes);
+        model.signal_mut(tx_frame).add_param("seq", DataType::Int);
+
+        let pdu_done = model.add_signal("PduDone");
+        model.signal_mut(pdu_done).add_param("seq", DataType::Int);
+
+        let rx_frame = bytes_signal(model, "RxFrame", "frame");
+        let rx_pdu = bytes_signal(model, "RxPdu", "payload");
+        let msdu_out = bytes_signal(model, "MsduOut", "payload");
+        let beacon_req = bytes_signal(model, "BeaconReq", "frame");
+
+        let air_frame = model.add_signal("AirFrame");
+        model.signal_mut(air_frame).add_param("frame", DataType::Bytes);
+        model.signal_mut(air_frame).add_param("seq", DataType::Int);
+
+        let air_rx = bytes_signal(model, "AirRx", "frame");
+
+        let ack = model.add_signal("Ack");
+        model.signal_mut(ack).add_param("seq", DataType::Int);
+
+        let quality_ind = model.add_signal("QualityInd");
+        model.signal_mut(quality_ind).add_param("rssi", DataType::Int);
+
+        Signals {
+            msdu_req,
+            msdu_ind,
+            msdu,
+            tx_pdu,
+            tx_frame,
+            pdu_done,
+            rx_frame,
+            rx_pdu,
+            msdu_out,
+            beacon_req,
+            air_frame,
+            air_rx,
+            ack,
+            quality_ind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declares_all_signals_with_params() {
+        let mut m = Model::new("S");
+        let signals = Signals::declare(&mut m);
+        assert_eq!(m.signal(signals.msdu_req).name(), "MsduReq");
+        assert_eq!(m.signal(signals.tx_pdu).params().len(), 2);
+        assert_eq!(m.signal(signals.ack).params()[0].name, "seq");
+        assert_eq!(m.signals().count(), 14);
+    }
+}

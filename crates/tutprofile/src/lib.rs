@@ -1,0 +1,48 @@
+//! **TUT-Profile** — the paper's contribution: a UML 2.0 profile for
+//! embedded system design (Kukkala et al., DATE 2005).
+//!
+//! The profile classifies a design into three models:
+//!
+//! * **Application** (§3.1) — `«Application»`, `«ApplicationComponent»`,
+//!   `«ApplicationProcess»`, `«ProcessGroup»`, `«ProcessGrouping»`.
+//! * **Platform** (§3.2) — `«Platform»`, `«PlatformComponent»`,
+//!   `«PlatformComponentInstance»`, `«CommunicationSegment»`,
+//!   `«CommunicationWrapper»`, plus the HIBI specialisations
+//!   `«HIBISegment»` and `«HIBIWrapper»` (§4.2).
+//! * **Mapping** (§3.3) — `«PlatformMapping»`.
+//!
+//! [`TutProfile`] builds the full profile with every stereotype of Table 1
+//! and every tagged value of Tables 2–3. [`SystemModel`] bundles a UML
+//! model with its stereotype applications and exposes typed views:
+//! [`application::ApplicationView`], [`platform::PlatformView`],
+//! [`mapping::MappingView`]. [`rules`] is the profile's design-rule
+//! catalogue ("strict rules how to use them", §2.2) as a
+//! [`tut_profile_core::ConstraintSet`].
+//!
+//! # Example
+//!
+//! ```
+//! use tut_profile::SystemModel;
+//!
+//! let mut system = SystemModel::new("Demo");
+//! let app = system.model.add_class("MyApp");
+//! system.apply(app, |tut| tut.application)?;
+//! let tut = &system.tut;
+//! assert!(system.apps.has_stereotype(tut.profile(), app, tut.application));
+//! # Ok::<(), tut_profile_core::ProfileError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod application;
+pub mod flow;
+pub mod mapping;
+pub mod platform;
+pub mod profile_def;
+pub mod rules;
+pub mod system;
+pub mod tables;
+
+pub use profile_def::TutProfile;
+pub use system::SystemModel;

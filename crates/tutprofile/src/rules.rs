@@ -1,0 +1,733 @@
+//! The TUT-Profile design-rule catalogue.
+//!
+//! The paper defines "various stereotypes and strict rules how to use them"
+//! (§2.2). This module encodes those rules as constraints over the model
+//! and its stereotype applications; [`tut_profile_rules`] returns the full
+//! catalogue as a [`ConstraintSet`].
+
+use tut_profile_core::constraint::FnConstraint;
+use tut_profile_core::{Applications, ConstraintSet, Profile, RuleViolation, Severity};
+use tut_uml::ids::ElementRef;
+use tut_uml::Model;
+
+use crate::profile_def::TutProfile;
+
+fn violation(
+    rule: &str,
+    severity: Severity,
+    element: impl Into<Option<ElementRef>>,
+    message: impl Into<String>,
+) -> RuleViolation {
+    RuleViolation {
+        rule: rule.to_owned(),
+        severity,
+        element: element.into(),
+        message: message.into(),
+    }
+}
+
+/// Builds the complete TUT-Profile rule catalogue.
+///
+/// Rules (E = error, W = warning):
+///
+/// 1.  E `application-top-unique` — at most one `«Application»` class.
+/// 2.  E `component-has-behaviour` — every `«ApplicationComponent»` class
+///     is active with a classifier behaviour.
+/// 3.  E `process-instantiates-component` — every `«ApplicationProcess»`
+///     part is typed by an `«ApplicationComponent»` class (only functional
+///     components can be instantiated as processes, §3.1).
+/// 4.  W `structural-components-passive` — classes used as part types in
+///     the application that are *not* `«ApplicationComponent»` must be
+///     passive (structural components "do not have behavior", §3.1).
+/// 5.  E `grouping-endpoints` — `«ProcessGrouping»` dependencies run from
+///     an `«ApplicationProcess»` part to a `«ProcessGroup»` class.
+/// 6.  E `process-in-one-group` — a process belongs to at most one group.
+/// 7.  W `process-grouped` — every process belongs to some group (needed
+///     before mapping).
+/// 8.  W `group-type-homogeneous` — member `ProcessType` matches the
+///     group's declared `ProcessType`.
+/// 9.  E `mapping-endpoints` — `«PlatformMapping»` dependencies run from a
+///     `«ProcessGroup»` class to a `«PlatformComponentInstance»` part.
+/// 10. E `group-mapped-once` — a group is mapped to at most one instance;
+///     W when a group is unmapped.
+/// 11. E `instance-ids-unique` — `«PlatformComponentInstance»` `ID` tags
+///     are present and unique.
+/// 12. W `hardware-group-on-accelerator` — groups with
+///     `ProcessType = hardware` map to `hw_accelerator` components.
+/// 13. W `wrapper-addresses-unique` — `«CommunicationWrapper»` addresses
+///     are unique where declared.
+/// 14. W `instance-attached-to-segment` — in a platform with segments,
+///     every instance reaches a segment through a wrapper.
+/// 15. E `instance-memory-fits` — the `CodeMemory`+`DataMemory` of every
+///     process mapped onto an instance (process tags, falling back to the
+///     component's) fits the instance's `IntMemory`.
+pub fn tut_profile_rules(tut: &TutProfile) -> ConstraintSet {
+    let mut set = ConstraintSet::new();
+
+    let t = tut.clone();
+    set.push(FnConstraint::new(
+        "application-top-unique",
+        "at most one class carries \u{ab}Application\u{bb}",
+        move |model: &Model, p: &Profile, apps: &Applications, out: &mut Vec<RuleViolation>| {
+            let tops: Vec<_> = model
+                .classes()
+                .map(|(id, _)| id)
+                .filter(|&id| apps.has_stereotype(p, id, t.application))
+                .collect();
+            if tops.len() > 1 {
+                for &extra in &tops[1..] {
+                    out.push(violation(
+                        "application-top-unique",
+                        Severity::Error,
+                        ElementRef::Class(extra),
+                        format!(
+                            "`{}` is a second \u{ab}Application\u{bb} top-level class",
+                            model.class(extra).name()
+                        ),
+                    ));
+                }
+            }
+        },
+    ));
+
+    let t = tut.clone();
+    set.push(FnConstraint::new(
+        "component-has-behaviour",
+        "\u{ab}ApplicationComponent\u{bb} classes are active with behaviour",
+        move |model: &Model, p: &Profile, apps: &Applications, out: &mut Vec<RuleViolation>| {
+            for (id, class) in model.classes() {
+                if apps.has_stereotype(p, id, t.application_component)
+                    && class.behavior().is_none()
+                {
+                    out.push(violation(
+                        "component-has-behaviour",
+                        Severity::Error,
+                        ElementRef::Class(id),
+                        format!(
+                            "functional component `{}` has no classifier behaviour",
+                            class.name()
+                        ),
+                    ));
+                }
+            }
+        },
+    ));
+
+    let t = tut.clone();
+    set.push(FnConstraint::new(
+        "process-instantiates-component",
+        "\u{ab}ApplicationProcess\u{bb} parts are typed by \u{ab}ApplicationComponent\u{bb} classes",
+        move |model: &Model, p: &Profile, apps: &Applications, out: &mut Vec<RuleViolation>| {
+            for (id, prop) in model.properties() {
+                if apps.has_stereotype(p, id, t.application_process)
+                    && !apps.has_stereotype(p, prop.type_(), t.application_component)
+                {
+                    out.push(violation(
+                        "process-instantiates-component",
+                        Severity::Error,
+                        ElementRef::Property(id),
+                        format!(
+                            "process `{}` instantiates `{}`, which is not an \u{ab}ApplicationComponent\u{bb}",
+                            prop.name(),
+                            model.class(prop.type_()).name()
+                        ),
+                    ));
+                }
+            }
+        },
+    ));
+
+    let t = tut.clone();
+    set.push(FnConstraint::new(
+        "structural-components-passive",
+        "non-component classes in the application are passive",
+        move |model: &Model, p: &Profile, apps: &Applications, out: &mut Vec<RuleViolation>| {
+            // Scope: classes reachable as part types under the «Application» top.
+            let Some(top) = model
+                .classes()
+                .map(|(id, _)| id)
+                .find(|&id| apps.has_stereotype(p, id, t.application))
+            else {
+                return;
+            };
+            let Ok(tree) = tut_uml::instances::InstanceTree::build(model, top) else {
+                return;
+            };
+            for node in tree.nodes() {
+                let class = model.class(node.class);
+                if class.is_active()
+                    && !apps.has_stereotype(p, node.class, t.application_component)
+                {
+                    out.push(violation(
+                        "structural-components-passive",
+                        Severity::Warning,
+                        ElementRef::Class(node.class),
+                        format!(
+                            "active class `{}` in the application is not stereotyped \u{ab}ApplicationComponent\u{bb}",
+                            class.name()
+                        ),
+                    ));
+                }
+            }
+        },
+    ));
+
+    let t = tut.clone();
+    set.push(FnConstraint::new(
+        "grouping-endpoints",
+        "\u{ab}ProcessGrouping\u{bb} runs from a process part to a group class",
+        move |model: &Model, p: &Profile, apps: &Applications, out: &mut Vec<RuleViolation>| {
+            for (id, dep) in model.dependencies() {
+                if !apps.has_stereotype(p, id, t.process_grouping) {
+                    continue;
+                }
+                let client_ok = matches!(dep.client(), ElementRef::Property(part)
+                    if apps.has_stereotype(p, part, t.application_process));
+                let supplier_ok = matches!(dep.supplier(), ElementRef::Class(class)
+                    if apps.has_stereotype(p, class, t.process_group));
+                if !client_ok || !supplier_ok {
+                    out.push(violation(
+                        "grouping-endpoints",
+                        Severity::Error,
+                        ElementRef::Dependency(id),
+                        "grouping must run from an \u{ab}ApplicationProcess\u{bb} part to a \u{ab}ProcessGroup\u{bb} class",
+                    ));
+                }
+            }
+        },
+    ));
+
+    let t = tut.clone();
+    set.push(FnConstraint::new(
+        "process-in-one-group",
+        "a process belongs to at most one group",
+        move |model: &Model, p: &Profile, apps: &Applications, out: &mut Vec<RuleViolation>| {
+            for (part_id, prop) in model.properties() {
+                if !apps.has_stereotype(p, part_id, t.application_process) {
+                    continue;
+                }
+                let memberships = model
+                    .dependencies()
+                    .filter(|(dep_id, dep)| {
+                        apps.has_stereotype(p, *dep_id, t.process_grouping)
+                            && dep.client() == ElementRef::Property(part_id)
+                    })
+                    .count();
+                if memberships > 1 {
+                    out.push(violation(
+                        "process-in-one-group",
+                        Severity::Error,
+                        ElementRef::Property(part_id),
+                        format!(
+                            "process `{}` belongs to {memberships} groups",
+                            prop.name()
+                        ),
+                    ));
+                }
+            }
+        },
+    ));
+
+    let t = tut.clone();
+    set.push(FnConstraint::new(
+        "process-grouped",
+        "every process belongs to some group before mapping",
+        move |model: &Model, p: &Profile, apps: &Applications, out: &mut Vec<RuleViolation>| {
+            for (part_id, prop) in model.properties() {
+                if !apps.has_stereotype(p, part_id, t.application_process) {
+                    continue;
+                }
+                let grouped = model.dependencies().any(|(dep_id, dep)| {
+                    apps.has_stereotype(p, dep_id, t.process_grouping)
+                        && dep.client() == ElementRef::Property(part_id)
+                });
+                if !grouped {
+                    out.push(violation(
+                        "process-grouped",
+                        Severity::Warning,
+                        ElementRef::Property(part_id),
+                        format!("process `{}` is not in any process group", prop.name()),
+                    ));
+                }
+            }
+        },
+    ));
+
+    let t = tut.clone();
+    set.push(FnConstraint::new(
+        "group-type-homogeneous",
+        "member ProcessType matches the group's ProcessType",
+        move |model: &Model, p: &Profile, apps: &Applications, out: &mut Vec<RuleViolation>| {
+            for (dep_id, dep) in model.dependencies() {
+                if !apps.has_stereotype(p, dep_id, t.process_grouping) {
+                    continue;
+                }
+                let (ElementRef::Property(part), ElementRef::Class(group)) =
+                    (dep.client(), dep.supplier())
+                else {
+                    continue;
+                };
+                let part_type = apps
+                    .tag_value(p, part, t.application_process, "ProcessType")
+                    .and_then(|v| v.as_str().map(str::to_owned));
+                let group_type = apps
+                    .tag_value(p, group, t.process_group, "ProcessType")
+                    .and_then(|v| v.as_str().map(str::to_owned));
+                if let (Some(pt), Some(gt)) = (part_type, group_type) {
+                    if pt != gt {
+                        out.push(violation(
+                            "group-type-homogeneous",
+                            Severity::Warning,
+                            ElementRef::Dependency(dep_id),
+                            format!(
+                                "process `{}` is `{pt}` but group `{}` is `{gt}`",
+                                model.property(part).name(),
+                                model.class(group).name()
+                            ),
+                        ));
+                    }
+                }
+            }
+        },
+    ));
+
+    let t = tut.clone();
+    set.push(FnConstraint::new(
+        "mapping-endpoints",
+        "\u{ab}PlatformMapping\u{bb} runs from a group class to an instance part",
+        move |model: &Model, p: &Profile, apps: &Applications, out: &mut Vec<RuleViolation>| {
+            for (id, dep) in model.dependencies() {
+                if !apps.has_stereotype(p, id, t.platform_mapping) {
+                    continue;
+                }
+                let client_ok = matches!(dep.client(), ElementRef::Class(class)
+                    if apps.has_stereotype(p, class, t.process_group));
+                let supplier_ok = matches!(dep.supplier(), ElementRef::Property(part)
+                    if apps.has_stereotype(p, part, t.platform_component_instance));
+                if !client_ok || !supplier_ok {
+                    out.push(violation(
+                        "mapping-endpoints",
+                        Severity::Error,
+                        ElementRef::Dependency(id),
+                        "mapping must run from a \u{ab}ProcessGroup\u{bb} class to a \u{ab}PlatformComponentInstance\u{bb} part",
+                    ));
+                }
+            }
+        },
+    ));
+
+    let t = tut.clone();
+    set.push(FnConstraint::new(
+        "group-mapped-once",
+        "each group maps to exactly one platform instance",
+        move |model: &Model, p: &Profile, apps: &Applications, out: &mut Vec<RuleViolation>| {
+            for (group_id, class) in model.classes() {
+                if !apps.has_stereotype(p, group_id, t.process_group) {
+                    continue;
+                }
+                let mappings = model
+                    .dependencies()
+                    .filter(|(dep_id, dep)| {
+                        apps.has_stereotype(p, *dep_id, t.platform_mapping)
+                            && dep.client() == ElementRef::Class(group_id)
+                    })
+                    .count();
+                if mappings > 1 {
+                    out.push(violation(
+                        "group-mapped-once",
+                        Severity::Error,
+                        ElementRef::Class(group_id),
+                        format!("group `{}` has {mappings} mappings", class.name()),
+                    ));
+                } else if mappings == 0 {
+                    out.push(violation(
+                        "group-mapped-once",
+                        Severity::Warning,
+                        ElementRef::Class(group_id),
+                        format!("group `{}` is not mapped to any instance", class.name()),
+                    ));
+                }
+            }
+        },
+    ));
+
+    let t = tut.clone();
+    set.push(FnConstraint::new(
+        "instance-ids-unique",
+        "platform instance IDs are present and unique",
+        move |model: &Model, p: &Profile, apps: &Applications, out: &mut Vec<RuleViolation>| {
+            let mut seen: std::collections::HashMap<i64, String> = Default::default();
+            for (id, prop) in model.properties() {
+                if !apps.has_stereotype(p, id, t.platform_component_instance) {
+                    continue;
+                }
+                match apps
+                    .tag_value(p, id, t.platform_component_instance, "ID")
+                    .and_then(|v| v.as_int())
+                {
+                    Some(instance_id) => {
+                        if let Some(previous) =
+                            seen.insert(instance_id, prop.name().to_owned())
+                        {
+                            out.push(violation(
+                                "instance-ids-unique",
+                                Severity::Error,
+                                ElementRef::Property(id),
+                                format!(
+                                    "instance `{}` reuses ID {instance_id} of `{previous}`",
+                                    prop.name()
+                                ),
+                            ));
+                        }
+                    }
+                    None => out.push(violation(
+                        "instance-ids-unique",
+                        Severity::Error,
+                        ElementRef::Property(id),
+                        format!("instance `{}` has no ID tagged value", prop.name()),
+                    )),
+                }
+            }
+        },
+    ));
+
+    let t = tut.clone();
+    set.push(FnConstraint::new(
+        "hardware-group-on-accelerator",
+        "hardware groups map to hw_accelerator components",
+        move |model: &Model, p: &Profile, apps: &Applications, out: &mut Vec<RuleViolation>| {
+            for (dep_id, dep) in model.dependencies() {
+                if !apps.has_stereotype(p, dep_id, t.platform_mapping) {
+                    continue;
+                }
+                let (ElementRef::Class(group), ElementRef::Property(instance)) =
+                    (dep.client(), dep.supplier())
+                else {
+                    continue;
+                };
+                let group_is_hw = apps
+                    .tag_value(p, group, t.process_group, "ProcessType")
+                    .and_then(|v| v.as_str().map(|s| s == "hardware"))
+                    .unwrap_or(false);
+                if !group_is_hw {
+                    continue;
+                }
+                let component = model.property(instance).type_();
+                let comp_is_acc = apps
+                    .tag_value(p, component, t.platform_component, "Type")
+                    .and_then(|v| v.as_str().map(|s| s == "hw_accelerator"))
+                    .unwrap_or(false);
+                if !comp_is_acc {
+                    out.push(violation(
+                        "hardware-group-on-accelerator",
+                        Severity::Warning,
+                        ElementRef::Dependency(dep_id),
+                        format!(
+                            "hardware group `{}` is mapped to non-accelerator `{}`",
+                            model.class(group).name(),
+                            model.property(instance).name()
+                        ),
+                    ));
+                }
+            }
+        },
+    ));
+
+    let t = tut.clone();
+    set.push(FnConstraint::new(
+        "wrapper-addresses-unique",
+        "declared wrapper addresses are unique",
+        move |model: &Model, p: &Profile, apps: &Applications, out: &mut Vec<RuleViolation>| {
+            let mut seen: std::collections::HashMap<i64, String> = Default::default();
+            for (id, class) in model.classes() {
+                if !apps.has_stereotype(p, id, t.communication_wrapper) {
+                    continue;
+                }
+                if let Some(address) = apps
+                    .tag_value(p, id, t.communication_wrapper, "Address")
+                    .and_then(|v| v.as_int())
+                {
+                    if let Some(previous) = seen.insert(address, class.name().to_owned()) {
+                        out.push(violation(
+                            "wrapper-addresses-unique",
+                            Severity::Warning,
+                            ElementRef::Class(id),
+                            format!(
+                                "wrapper `{}` reuses address {address} of `{previous}`",
+                                class.name()
+                            ),
+                        ));
+                    }
+                }
+            }
+        },
+    ));
+
+    let t = tut.clone();
+    set.push(FnConstraint::new(
+        "instance-attached-to-segment",
+        "every instance reaches a communication segment",
+        move |model: &Model, _p: &Profile, apps: &Applications, out: &mut Vec<RuleViolation>| {
+            // Only meaningful when the platform declares segments at all.
+            let system = crate::system::SystemModel {
+                tut: t.clone(),
+                model: model.clone(),
+                apps: apps.clone(),
+            };
+            let view = system.platform();
+            if view.segments().is_empty() {
+                return;
+            }
+            let attached: std::collections::HashSet<_> =
+                view.attachments().into_iter().map(|a| a.pe).collect();
+            for info in view.instances() {
+                if !attached.contains(&info.part) {
+                    out.push(violation(
+                        "instance-attached-to-segment",
+                        Severity::Warning,
+                        ElementRef::Property(info.part),
+                        format!(
+                            "instance `{}` is not attached to any segment through a wrapper",
+                            info.name
+                        ),
+                    ));
+                }
+            }
+        },
+    ));
+
+    let t = tut.clone();
+    set.push(FnConstraint::new(
+        "instance-memory-fits",
+        "mapped processes' Code+DataMemory fits the instance's IntMemory",
+        move |model: &Model, _p: &Profile, apps: &Applications, out: &mut Vec<RuleViolation>| {
+            let system = crate::system::SystemModel {
+                tut: t.clone(),
+                model: model.clone(),
+                apps: apps.clone(),
+            };
+            let app = system.application();
+            let mapping = system.mapping();
+            for instance in system.platform().instances() {
+                let mut required: i64 = 0;
+                for group in mapping.groups_on(instance.part) {
+                    for member in app.members_of(group) {
+                        let Some(info) = app.process(member) else { continue };
+                        // Process-level tags win; fall back to the
+                        // component's declaration.
+                        let comp_tag = |tag: &str| {
+                            apps.tag_value(_p, info.component, t.application_component, tag)
+                                .and_then(|v| v.as_int())
+                        };
+                        required += info
+                            .code_memory
+                            .or_else(|| comp_tag("CodeMemory"))
+                            .unwrap_or(0);
+                        required += info
+                            .data_memory
+                            .or_else(|| comp_tag("DataMemory"))
+                            .unwrap_or(0);
+                    }
+                }
+                if required > instance.int_memory {
+                    out.push(violation(
+                        "instance-memory-fits",
+                        Severity::Error,
+                        ElementRef::Property(instance.part),
+                        format!(
+                            "instance `{}` has {} bytes of internal memory but its processes need {required}",
+                            instance.name, instance.int_memory
+                        ),
+                    ));
+                }
+            }
+        },
+    ));
+
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::application::ProcessType;
+    use crate::platform::ComponentKind;
+    use crate::system::SystemModel;
+    use tut_profile_core::TagValue;
+
+    fn rule_names(violations: &[RuleViolation]) -> Vec<&str> {
+        violations.iter().map(|v| v.rule.as_str()).collect()
+    }
+
+    fn check(system: &SystemModel) -> Vec<RuleViolation> {
+        tut_profile_rules(&system.tut).check_all(
+            &system.model,
+            system.tut.profile(),
+            &system.apps,
+        )
+    }
+
+    #[test]
+    fn catalogue_has_all_rules() {
+        let tut = TutProfile::new();
+        let set = tut_profile_rules(&tut);
+        assert_eq!(set.len(), 15);
+    }
+
+    #[test]
+    fn memory_overflow_flagged() {
+        let mut s = SystemModel::new("S");
+        let top = s.model.add_class("Top");
+        s.apply(top, |t| t.application).unwrap();
+        let comp = s.model.add_class("Big");
+        s.apply(comp, |t| t.application_component).unwrap();
+        let part = s.model.add_part(top, "big", comp);
+        s.apply_with(
+            part,
+            |t| t.application_process,
+            [
+                ("CodeMemory", TagValue::Int(60_000)),
+                ("DataMemory", TagValue::Int(20_000)),
+            ],
+        )
+        .unwrap();
+        let g = s.add_process_group("g", false, ProcessType::General);
+        s.assign_to_group(part, g);
+        let platform = s.model.add_class("P");
+        s.apply(platform, |t| t.platform).unwrap();
+        let nios = s.add_platform_component("Nios", ComponentKind::General, 50, 1.0, 0.1);
+        let cpu = s.add_platform_instance(platform, "cpu1", nios, 1, 0);
+        // Default IntMemory is 65536 < 80000 required.
+        s.map_group(g, cpu, false);
+        assert!(rule_names(&check(&s)).contains(&"instance-memory-fits"));
+
+        // Raising IntMemory clears the violation.
+        s.set_tag(cpu, |t| t.platform_component_instance, "IntMemory", 128 * 1024i64)
+            .unwrap();
+        assert!(!rule_names(&check(&s)).contains(&"instance-memory-fits"));
+    }
+
+    #[test]
+    fn two_application_tops_flagged() {
+        let mut s = SystemModel::new("S");
+        let a = s.model.add_class("A");
+        let b = s.model.add_class("B");
+        s.apply(a, |t| t.application).unwrap();
+        s.apply(b, |t| t.application).unwrap();
+        assert!(rule_names(&check(&s)).contains(&"application-top-unique"));
+    }
+
+    #[test]
+    fn behaviourless_component_flagged() {
+        let mut s = SystemModel::new("S");
+        let c = s.model.add_class("C");
+        s.apply(c, |t| t.application_component).unwrap();
+        assert!(rule_names(&check(&s)).contains(&"component-has-behaviour"));
+    }
+
+    #[test]
+    fn process_typed_by_plain_class_flagged() {
+        let mut s = SystemModel::new("S");
+        let top = s.model.add_class("Top");
+        let plain = s.model.add_class("Plain");
+        let part = s.model.add_part(top, "p", plain);
+        s.apply(part, |t| t.application_process).unwrap();
+        assert!(rule_names(&check(&s)).contains(&"process-instantiates-component"));
+    }
+
+    #[test]
+    fn double_grouping_flagged() {
+        let mut s = SystemModel::new("S");
+        let top = s.model.add_class("Top");
+        let comp = s.model.add_class("C");
+        s.apply(comp, |t| t.application_component).unwrap();
+        let part = s.model.add_part(top, "p", comp);
+        s.apply(part, |t| t.application_process).unwrap();
+        let g1 = s.add_process_group("g1", false, ProcessType::General);
+        let g2 = s.add_process_group("g2", false, ProcessType::General);
+        s.assign_to_group(part, g1);
+        s.assign_to_group(part, g2);
+        let violations = check(&s);
+        assert!(rule_names(&violations).contains(&"process-in-one-group"));
+    }
+
+    #[test]
+    fn ungrouped_process_warned() {
+        let mut s = SystemModel::new("S");
+        let top = s.model.add_class("Top");
+        let comp = s.model.add_class("C");
+        s.apply(comp, |t| t.application_component).unwrap();
+        let part = s.model.add_part(top, "p", comp);
+        s.apply(part, |t| t.application_process).unwrap();
+        let violations = check(&s);
+        let w = violations.iter().find(|v| v.rule == "process-grouped").unwrap();
+        assert_eq!(w.severity, Severity::Warning);
+    }
+
+    #[test]
+    fn heterogeneous_group_warned() {
+        let mut s = SystemModel::new("S");
+        let top = s.model.add_class("Top");
+        let comp = s.model.add_class("C");
+        s.apply(comp, |t| t.application_component).unwrap();
+        let part = s.model.add_part(top, "p", comp);
+        s.apply_with(
+            part,
+            |t| t.application_process,
+            [("ProcessType", TagValue::Enum("hardware".into()))],
+        )
+        .unwrap();
+        let g = s.add_process_group("g", false, ProcessType::General);
+        s.assign_to_group(part, g);
+        assert!(rule_names(&check(&s)).contains(&"group-type-homogeneous"));
+    }
+
+    #[test]
+    fn duplicate_instance_ids_flagged() {
+        let mut s = SystemModel::new("S");
+        let platform = s.model.add_class("P");
+        s.apply(platform, |t| t.platform).unwrap();
+        let nios = s.add_platform_component("Nios", ComponentKind::General, 50, 1.0, 0.1);
+        s.add_platform_instance(platform, "cpu1", nios, 7, 0);
+        s.add_platform_instance(platform, "cpu2", nios, 7, 0);
+        assert!(rule_names(&check(&s)).contains(&"instance-ids-unique"));
+    }
+
+    #[test]
+    fn double_mapping_flagged() {
+        let mut s = SystemModel::new("S");
+        let g = s.add_process_group("g", false, ProcessType::General);
+        let platform = s.model.add_class("P");
+        s.apply(platform, |t| t.platform).unwrap();
+        let nios = s.add_platform_component("Nios", ComponentKind::General, 50, 1.0, 0.1);
+        let cpu1 = s.add_platform_instance(platform, "cpu1", nios, 1, 0);
+        let cpu2 = s.add_platform_instance(platform, "cpu2", nios, 2, 0);
+        s.map_group(g, cpu1, false);
+        s.map_group(g, cpu2, false);
+        assert!(rule_names(&check(&s)).contains(&"group-mapped-once"));
+    }
+
+    #[test]
+    fn hardware_group_on_cpu_warned() {
+        let mut s = SystemModel::new("S");
+        let g = s.add_process_group("g", false, ProcessType::Hardware);
+        let platform = s.model.add_class("P");
+        s.apply(platform, |t| t.platform).unwrap();
+        let nios = s.add_platform_component("Nios", ComponentKind::General, 50, 1.0, 0.1);
+        let cpu1 = s.add_platform_instance(platform, "cpu1", nios, 1, 0);
+        s.map_group(g, cpu1, false);
+        assert!(rule_names(&check(&s)).contains(&"hardware-group-on-accelerator"));
+    }
+
+    #[test]
+    fn clean_minimal_system_passes() {
+        let mut s = SystemModel::new("S");
+        let top = s.model.add_class("Top");
+        s.apply(top, |t| t.application).unwrap();
+        let violations = check(&s);
+        assert!(
+            violations.iter().all(|v| v.severity == Severity::Warning),
+            "unexpected errors: {violations:?}"
+        );
+    }
+}

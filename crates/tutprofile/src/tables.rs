@@ -1,0 +1,146 @@
+//! Renderers for the paper's Tables 1–3, generated from the live profile
+//! definition (never hand-copied), so the implementation and the printed
+//! tables cannot drift apart.
+
+use tut_profile_core::StereotypeId;
+
+use crate::profile_def::TutProfile;
+
+fn pad(text: &str, width: usize) -> String {
+    let mut s = text.to_owned();
+    while s.chars().count() < width {
+        s.push(' ');
+    }
+    s
+}
+
+/// Renders Table 1: the stereotype summary (name, extended metaclass,
+/// description) for the eleven core stereotypes.
+pub fn table1(tut: &TutProfile) -> String {
+    let p = tut.profile();
+    let mut out = String::new();
+    out.push_str("Table 1. TUT-Profile stereotype summary.\n");
+    out.push_str(&format!(
+        "{} | {}\n",
+        pad("Stereotype name (extended Metaclass)", 46),
+        "Description"
+    ));
+    out.push_str(&format!("{}-+-{}\n", "-".repeat(46), "-".repeat(55)));
+    for id in tut.table1_order() {
+        let st = p.get(id);
+        let head = format!("{} ({})", st.name(), st.extends().name());
+        out.push_str(&format!("{} | {}\n", pad(&head, 46), st.description()));
+    }
+    out
+}
+
+fn tagged_value_rows(tut: &TutProfile, stereotypes: &[StereotypeId]) -> String {
+    let p = tut.profile();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} | {}\n",
+        pad("Tagged values", 14),
+        "Description"
+    ));
+    out.push_str(&format!("{}-+-{}\n", "-".repeat(14), "-".repeat(60)));
+    for &id in stereotypes {
+        let st = p.get(id);
+        out.push_str(&format!("Stereotype {}\n", st.guillemets()));
+        for def in st.own_tags() {
+            out.push_str(&format!(
+                "{} | {}\n",
+                pad(&def.name, 14),
+                def.description
+            ));
+        }
+    }
+    out
+}
+
+/// Renders Table 2: tagged values of the application stereotypes.
+pub fn table2(tut: &TutProfile) -> String {
+    let mut out = String::from("Table 2. Tagged values of application stereotypes.\n");
+    out.push_str(&tagged_value_rows(
+        tut,
+        &[
+            tut.application,
+            tut.application_component,
+            tut.application_process,
+            tut.process_group,
+            tut.process_grouping,
+        ],
+    ));
+    out
+}
+
+/// Renders Table 3: tagged values of the platform stereotypes.
+pub fn table3(tut: &TutProfile) -> String {
+    let mut out = String::from("Table 3. Tagged values of platform stereotypes.\n");
+    out.push_str(&tagged_value_rows(
+        tut,
+        &[
+            tut.platform_component,
+            tut.platform_component_instance,
+            tut.communication_segment,
+            tut.communication_wrapper,
+            tut.hibi_segment,
+            tut.hibi_wrapper,
+        ],
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_all_eleven_rows() {
+        let tut = TutProfile::new();
+        let t = table1(&tut);
+        for name in [
+            "Application (Class)",
+            "ApplicationComponent (Class)",
+            "ApplicationProcess (Property)",
+            "ProcessGroup (Class)",
+            "ProcessGrouping (Dependency)",
+            "Platform (Class)",
+            "PlatformComponent (Class)",
+            "PlatformComponentInstance (Property)",
+            "CommunicationWrapper (Class)",
+            "CommunicationSegment (Class)",
+            "PlatformMapping (Dependency)",
+        ] {
+            assert!(t.contains(name), "table 1 missing `{name}`:\n{t}");
+        }
+    }
+
+    #[test]
+    fn table2_has_application_tags() {
+        let tut = TutProfile::new();
+        let t = table2(&tut);
+        for token in [
+            "\u{ab}Application\u{bb}",
+            "Priority",
+            "CodeMemory",
+            "DataMemory",
+            "RealTimeType",
+            "ProcessType",
+            "Fixed",
+        ] {
+            assert!(t.contains(token), "table 2 missing `{token}`");
+        }
+    }
+
+    #[test]
+    fn table3_has_platform_tags() {
+        let tut = TutProfile::new();
+        let t = table3(&tut);
+        for token in [
+            "Type", "Area", "Power", "ID", "IntMemory", "DataWidth", "Frequency",
+            "Arbitration", "Address", "BufferSize", "MaxTime", "TdmaSlots",
+        ] {
+            assert!(t.contains(token), "table 3 missing `{token}`");
+        }
+    }
+}

@@ -1,0 +1,1111 @@
+//! The action language used inside EFSM transitions.
+//!
+//! The paper models behaviour with "statechart diagrams combined with the
+//! UML 2.0 textual notation" (§4.1). This module is our textual notation: a
+//! small, deterministic, side-effect-explicit language of expressions and
+//! statements. The same AST is
+//!
+//! * interpreted by the discrete-event simulator (`tut-sim`),
+//! * translated to C by the code generator (`tut-codegen`), and
+//! * serialised structurally into the XMI form (`crate::xmi`).
+//!
+//! Expressions are pure; all effects (sending signals, logging, timers) are
+//! statements that report [`Effect`]s to the caller, so the simulator stays
+//! in control of time and communication.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::{Error, Result};
+use crate::ids::SignalId;
+use crate::value::{DataType, Value};
+
+/// Binary operators of the action language.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum BinOp {
+    /// `+` (also byte/string concatenation when both operands are buffers).
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/` (integer division; division by zero is an error).
+    Div,
+    /// `%`.
+    Mod,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// Logical `&&` (operands coerced with [`Value::is_truthy`]).
+    And,
+    /// Logical `||`.
+    Or,
+    /// Bitwise `&`.
+    BitAnd,
+    /// Bitwise `|`.
+    BitOr,
+    /// Bitwise `^`.
+    BitXor,
+    /// Shift left.
+    Shl,
+    /// Arithmetic shift right.
+    Shr,
+}
+
+impl BinOp {
+    /// The operator token, as written in source and in generated C.
+    pub fn token(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+            BinOp::BitAnd => "&",
+            BinOp::BitOr => "|",
+            BinOp::BitXor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum UnaryOp {
+    /// Logical negation.
+    Not,
+    /// Arithmetic negation.
+    Neg,
+}
+
+/// Built-in functions available to expressions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum Builtin {
+    /// `len(bytes|str) -> int`.
+    Len,
+    /// `slice(bytes, from, to) -> bytes` (clamped to the buffer).
+    Slice,
+    /// `concat(bytes, bytes) -> bytes`.
+    Concat,
+    /// `byte_at(bytes, index) -> int` (out of range is an error).
+    ByteAt,
+    /// `pack_int(value, width_bytes) -> bytes`, big-endian.
+    PackInt,
+    /// `unpack_int(bytes) -> int`, big-endian over at most 8 bytes.
+    UnpackInt,
+    /// `crc32(bytes) -> int` — the reference software CRC-32 (IEEE 802.3
+    /// polynomial), matching the hardware accelerator in `tut-platform`.
+    Crc32,
+    /// `min(int, int) -> int`.
+    Min,
+    /// `max(int, int) -> int`.
+    Max,
+    /// `fill(byte, count) -> bytes`.
+    Fill,
+}
+
+impl Builtin {
+    /// The source-level function name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Builtin::Len => "len",
+            Builtin::Slice => "slice",
+            Builtin::Concat => "concat",
+            Builtin::ByteAt => "byte_at",
+            Builtin::PackInt => "pack_int",
+            Builtin::UnpackInt => "unpack_int",
+            Builtin::Crc32 => "crc32",
+            Builtin::Min => "min",
+            Builtin::Max => "max",
+            Builtin::Fill => "fill",
+        }
+    }
+
+    /// Number of arguments the builtin expects.
+    pub fn arity(self) -> usize {
+        match self {
+            Builtin::Len | Builtin::Crc32 | Builtin::UnpackInt => 1,
+            Builtin::Concat
+            | Builtin::ByteAt
+            | Builtin::PackInt
+            | Builtin::Min
+            | Builtin::Max
+            | Builtin::Fill => 2,
+            Builtin::Slice => 3,
+        }
+    }
+
+    /// Parses a builtin from its source name.
+    pub fn from_name(name: &str) -> Option<Builtin> {
+        const ALL: [Builtin; 10] = [
+            Builtin::Len,
+            Builtin::Slice,
+            Builtin::Concat,
+            Builtin::ByteAt,
+            Builtin::PackInt,
+            Builtin::UnpackInt,
+            Builtin::Crc32,
+            Builtin::Min,
+            Builtin::Max,
+            Builtin::Fill,
+        ];
+        ALL.into_iter().find(|b| b.name() == name)
+    }
+}
+
+/// An expression of the action language. Expressions are pure.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum Expr {
+    /// A literal value.
+    Lit(Value),
+    /// A process-local variable reference.
+    Var(String),
+    /// A parameter of the signal that triggered the transition.
+    Param(String),
+    /// Unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Builtin function call.
+    Call(Builtin, Vec<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for an integer literal.
+    pub fn int(v: i64) -> Expr {
+        Expr::Lit(Value::Int(v))
+    }
+
+    /// Convenience constructor for a boolean literal.
+    pub fn bool(v: bool) -> Expr {
+        Expr::Lit(Value::Bool(v))
+    }
+
+    /// Convenience constructor for a variable reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Convenience constructor for a signal-parameter reference.
+    pub fn param(name: impl Into<String>) -> Expr {
+        Expr::Param(name.into())
+    }
+
+    /// Builds `self <op> rhs`.
+    pub fn bin(self, op: BinOp, rhs: Expr) -> Expr {
+        Expr::Binary(op, Box::new(self), Box::new(rhs))
+    }
+
+    /// Builds a builtin call, checking arity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args.len()` differs from the builtin's arity; this is a
+    /// model-construction bug, not a runtime condition.
+    pub fn call(builtin: Builtin, args: Vec<Expr>) -> Expr {
+        assert_eq!(
+            args.len(),
+            builtin.arity(),
+            "builtin {} expects {} args",
+            builtin.name(),
+            builtin.arity()
+        );
+        Expr::Call(builtin, args)
+    }
+
+    /// Evaluates the expression in `env`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Action`] for unbound variables/parameters, type
+    /// mismatches, division by zero, and out-of-range accesses.
+    pub fn eval(&self, env: &Env) -> Result<Value> {
+        match self {
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Var(name) => env
+                .vars
+                .get(name)
+                .cloned()
+                .ok_or_else(|| Error::Action(format!("unbound variable `{name}`"))),
+            Expr::Param(name) => env
+                .params
+                .get(name)
+                .cloned()
+                .ok_or_else(|| Error::Action(format!("unbound signal parameter `{name}`"))),
+            Expr::Unary(op, e) => {
+                let v = e.eval(env)?;
+                match op {
+                    UnaryOp::Not => Ok(Value::Bool(!v.is_truthy())),
+                    UnaryOp::Neg => match v {
+                        Value::Int(i) => Ok(Value::Int(i.wrapping_neg())),
+                        other => Err(Error::Action(format!(
+                            "cannot negate {} value",
+                            other.data_type()
+                        ))),
+                    },
+                }
+            }
+            Expr::Binary(op, lhs, rhs) => {
+                // Short-circuit logical ops before evaluating the rhs.
+                if matches!(op, BinOp::And | BinOp::Or) {
+                    let l = lhs.eval(env)?.is_truthy();
+                    return match (op, l) {
+                        (BinOp::And, false) => Ok(Value::Bool(false)),
+                        (BinOp::Or, true) => Ok(Value::Bool(true)),
+                        _ => Ok(Value::Bool(rhs.eval(env)?.is_truthy())),
+                    };
+                }
+                let l = lhs.eval(env)?;
+                let r = rhs.eval(env)?;
+                eval_binary(*op, l, r)
+            }
+            Expr::Call(builtin, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(a.eval(env)?);
+                }
+                eval_builtin(*builtin, &vals)
+            }
+        }
+    }
+
+    /// A rough static weight of the expression: number of AST nodes. The
+    /// simulator uses this as the base execution cost of evaluating the
+    /// expression on a processing element.
+    pub fn weight(&self) -> u64 {
+        match self {
+            Expr::Lit(_) | Expr::Var(_) | Expr::Param(_) => 1,
+            Expr::Unary(_, e) => 1 + e.weight(),
+            Expr::Binary(_, l, r) => 1 + l.weight() + r.weight(),
+            Expr::Call(b, args) => {
+                let base = match b {
+                    // Data-touching builtins are weighted heavier; the real
+                    // data-size-dependent cost is added by Compute statements.
+                    Builtin::Crc32 => 8,
+                    Builtin::Concat | Builtin::Slice | Builtin::Fill => 4,
+                    _ => 2,
+                };
+                base + args.iter().map(Expr::weight).sum::<u64>()
+            }
+        }
+    }
+}
+
+fn eval_binary(op: BinOp, l: Value, r: Value) -> Result<Value> {
+    use BinOp::*;
+    match op {
+        Eq => return Ok(Value::Bool(l == r)),
+        Ne => return Ok(Value::Bool(l != r)),
+        _ => {}
+    }
+    // `+` on two buffers/strings concatenates.
+    if op == Add {
+        match (&l, &r) {
+            (Value::Bytes(a), Value::Bytes(b)) => {
+                let mut out = a.clone();
+                out.extend_from_slice(b);
+                return Ok(Value::Bytes(out));
+            }
+            (Value::Str(a), Value::Str(b)) => {
+                return Ok(Value::Str(format!("{a}{b}")));
+            }
+            _ => {}
+        }
+    }
+    let (a, b) = match (l.as_int(), r.as_int()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => {
+            return Err(Error::Action(format!(
+                "operator `{}` requires integer operands, got {} and {}",
+                op.token(),
+                l.data_type(),
+                r.data_type()
+            )))
+        }
+    };
+    let v = match op {
+        Add => Value::Int(a.wrapping_add(b)),
+        Sub => Value::Int(a.wrapping_sub(b)),
+        Mul => Value::Int(a.wrapping_mul(b)),
+        Div => {
+            if b == 0 {
+                return Err(Error::Action("division by zero".into()));
+            }
+            Value::Int(a.wrapping_div(b))
+        }
+        Mod => {
+            if b == 0 {
+                return Err(Error::Action("modulo by zero".into()));
+            }
+            Value::Int(a.wrapping_rem(b))
+        }
+        Lt => Value::Bool(a < b),
+        Le => Value::Bool(a <= b),
+        Gt => Value::Bool(a > b),
+        Ge => Value::Bool(a >= b),
+        BitAnd => Value::Int(a & b),
+        BitOr => Value::Int(a | b),
+        BitXor => Value::Int(a ^ b),
+        Shl => Value::Int(a.wrapping_shl(b as u32 & 63)),
+        Shr => Value::Int(a.wrapping_shr(b as u32 & 63)),
+        Eq | Ne | And | Or => unreachable!("handled above"),
+    };
+    Ok(v)
+}
+
+/// Reference software CRC-32 (IEEE 802.3, reflected, init/xorout `!0`).
+///
+/// This bitwise implementation is the *functional specification*; the
+/// table-driven "hardware accelerator" model in `tut-platform` must agree
+/// with it bit-for-bit (checked by property tests there).
+pub fn crc32_bitwise(data: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &byte in data {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn eval_builtin(builtin: Builtin, args: &[Value]) -> Result<Value> {
+    if args.len() != builtin.arity() {
+        return Err(Error::Action(format!(
+            "builtin `{}` expects {} arguments, got {}",
+            builtin.name(),
+            builtin.arity(),
+            args.len()
+        )));
+    }
+    let int_arg = |i: usize| -> Result<i64> {
+        args[i].as_int().ok_or_else(|| {
+            Error::Action(format!(
+                "builtin `{}` argument {} must be Int, got {}",
+                builtin.name(),
+                i,
+                args[i].data_type()
+            ))
+        })
+    };
+    let bytes_arg = |i: usize| -> Result<&[u8]> {
+        args[i].as_bytes().ok_or_else(|| {
+            Error::Action(format!(
+                "builtin `{}` argument {} must be Bytes, got {}",
+                builtin.name(),
+                i,
+                args[i].data_type()
+            ))
+        })
+    };
+    match builtin {
+        Builtin::Len => match &args[0] {
+            Value::Bytes(b) => Ok(Value::Int(b.len() as i64)),
+            Value::Str(s) => Ok(Value::Int(s.len() as i64)),
+            other => Err(Error::Action(format!(
+                "len() requires Bytes or Str, got {}",
+                other.data_type()
+            ))),
+        },
+        Builtin::Slice => {
+            let b = bytes_arg(0)?;
+            let from = int_arg(1)?.clamp(0, b.len() as i64) as usize;
+            let to = int_arg(2)?.clamp(from as i64, b.len() as i64) as usize;
+            Ok(Value::Bytes(b[from..to].to_vec()))
+        }
+        Builtin::Concat => {
+            let mut out = bytes_arg(0)?.to_vec();
+            out.extend_from_slice(bytes_arg(1)?);
+            Ok(Value::Bytes(out))
+        }
+        Builtin::ByteAt => {
+            let b = bytes_arg(0)?;
+            let i = int_arg(1)?;
+            if i < 0 || i as usize >= b.len() {
+                return Err(Error::Action(format!(
+                    "byte_at index {i} out of range for buffer of {} bytes",
+                    b.len()
+                )));
+            }
+            Ok(Value::Int(i64::from(b[i as usize])))
+        }
+        Builtin::PackInt => {
+            let v = int_arg(0)?;
+            let width = int_arg(1)?;
+            if !(1..=8).contains(&width) {
+                return Err(Error::Action(format!(
+                    "pack_int width must be 1..=8, got {width}"
+                )));
+            }
+            let be = v.to_be_bytes();
+            Ok(Value::Bytes(be[8 - width as usize..].to_vec()))
+        }
+        Builtin::UnpackInt => {
+            let b = bytes_arg(0)?;
+            if b.len() > 8 {
+                return Err(Error::Action(format!(
+                    "unpack_int buffer too long ({} bytes)",
+                    b.len()
+                )));
+            }
+            let mut v: i64 = 0;
+            for &byte in b {
+                v = (v << 8) | i64::from(byte);
+            }
+            Ok(Value::Int(v))
+        }
+        Builtin::Crc32 => Ok(Value::Int(i64::from(crc32_bitwise(bytes_arg(0)?)))),
+        Builtin::Min => Ok(Value::Int(int_arg(0)?.min(int_arg(1)?))),
+        Builtin::Max => Ok(Value::Int(int_arg(0)?.max(int_arg(1)?))),
+        Builtin::Fill => {
+            let byte = int_arg(0)?;
+            let count = int_arg(1)?;
+            if !(0..=256).contains(&byte) {
+                return Err(Error::Action(format!("fill byte {byte} out of range")));
+            }
+            if !(0..=1 << 20).contains(&count) {
+                return Err(Error::Action(format!("fill count {count} out of range")));
+            }
+            Ok(Value::Bytes(vec![byte as u8; count as usize]))
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Var(n) => write!(f, "{n}"),
+            Expr::Param(n) => write!(f, "${n}"),
+            Expr::Unary(UnaryOp::Not, e) => write!(f, "!({e})"),
+            Expr::Unary(UnaryOp::Neg, e) => write!(f, "-({e})"),
+            Expr::Binary(op, l, r) => write!(f, "({l} {} {r})", op.token()),
+            Expr::Call(b, args) => {
+                write!(f, "{}(", b.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+/// Workload classes for [`Statement::Compute`] annotations.
+///
+/// These correspond to the `ProcessType` tagged value of
+/// `«ApplicationProcess»` (general / dsp / hardware, Table 2): a platform
+/// component executes a matching class cheaply and a mismatching class with
+/// a penalty; "hardware" workloads (bit-level processing such as CRC) are
+/// what the paper offloads to the CRC accelerator.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum CostClass {
+    /// Control-flow-dominated general-purpose processing.
+    Control,
+    /// Signal-processing (streaming arithmetic) workload.
+    Dsp,
+    /// Bit-level processing (CRC, scrambling) suited to hardware.
+    Bit,
+    /// Memory-movement workload (copies, queue management).
+    Mem,
+}
+
+impl CostClass {
+    /// Stable name for serialisation and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CostClass::Control => "control",
+            CostClass::Dsp => "dsp",
+            CostClass::Bit => "bit",
+            CostClass::Mem => "mem",
+        }
+    }
+
+    /// Parses from the stable name.
+    pub fn from_name(name: &str) -> Option<CostClass> {
+        match name {
+            "control" => Some(CostClass::Control),
+            "dsp" => Some(CostClass::Dsp),
+            "bit" => Some(CostClass::Bit),
+            "mem" => Some(CostClass::Mem),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for CostClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A statement of the action language.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum Statement {
+    /// `var := expr` — assigns a process-local variable.
+    Assign {
+        /// Variable name.
+        var: String,
+        /// Right-hand side.
+        expr: Expr,
+    },
+    /// `send port.Signal(args…)` — emits a signal through a port.
+    Send {
+        /// Port name on the owning class.
+        port: String,
+        /// Signal type to send.
+        signal: SignalId,
+        /// Payload expressions, matched positionally to signal parameters.
+        args: Vec<Expr>,
+    },
+    /// `if cond { … } else { … }`.
+    If {
+        /// Condition (coerced with [`Value::is_truthy`]).
+        cond: Expr,
+        /// Statements executed when the condition holds.
+        then_branch: Vec<Statement>,
+        /// Statements executed otherwise.
+        else_branch: Vec<Statement>,
+    },
+    /// `while cond { … }` with a mandatory iteration bound so model bugs
+    /// cannot hang the simulator.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Statement>,
+        /// Maximum number of iterations before [`Error::Action`] is raised.
+        max_iter: u32,
+    },
+    /// Declares `amount` units of computational work of a given class; the
+    /// platform's cost model converts units to cycles.
+    Compute {
+        /// Workload class.
+        class: CostClass,
+        /// Work amount (evaluated to an `Int`, clamped at zero).
+        amount: Expr,
+    },
+    /// Writes a line to the simulation log (the paper's "custom C
+    /// functions" instrumentation).
+    Log {
+        /// Message template; `{}` placeholders are replaced by `args`.
+        message: String,
+        /// Values interpolated into the message.
+        args: Vec<Expr>,
+    },
+    /// Arms a named timer to fire after `duration` time units.
+    SetTimer {
+        /// Timer name, scoped to the process.
+        name: String,
+        /// Duration expression (evaluated to a non-negative `Int`).
+        duration: Expr,
+    },
+    /// Cancels a named timer; cancelling an unarmed timer is a no-op.
+    CancelTimer {
+        /// Timer name.
+        name: String,
+    },
+}
+
+/// An observable effect produced by executing statements.
+///
+/// The interpreter (in `tut-sim`) turns these into simulation events; unit
+/// tests can assert on them directly.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Effect {
+    /// A signal emission through a named port.
+    Send {
+        /// Port name.
+        port: String,
+        /// Signal type.
+        signal: SignalId,
+        /// Evaluated payload values.
+        values: Vec<Value>,
+    },
+    /// Computational work of `units` in `class`.
+    Compute {
+        /// Workload class.
+        class: CostClass,
+        /// Work units (non-negative).
+        units: u64,
+    },
+    /// A log line.
+    Log(String),
+    /// A timer was armed.
+    SetTimer {
+        /// Timer name.
+        name: String,
+        /// Duration in simulation time units.
+        duration: u64,
+    },
+    /// A timer was cancelled.
+    CancelTimer {
+        /// Timer name.
+        name: String,
+    },
+}
+
+/// Evaluation environment: process-local variables plus the parameters of
+/// the triggering signal.
+#[derive(Clone, Default, Debug)]
+pub struct Env {
+    /// Named process-local variables.
+    pub vars: HashMap<String, Value>,
+    /// Named parameters of the signal that triggered the transition.
+    pub params: HashMap<String, Value>,
+}
+
+impl Env {
+    /// Creates an empty environment.
+    pub fn new() -> Env {
+        Env::default()
+    }
+
+    /// Sets a variable, returning `self` for chaining in tests.
+    pub fn with_var(mut self, name: impl Into<String>, value: impl Into<Value>) -> Env {
+        self.vars.insert(name.into(), value.into());
+        self
+    }
+
+    /// Sets a signal parameter, returning `self` for chaining in tests.
+    pub fn with_param(mut self, name: impl Into<String>, value: impl Into<Value>) -> Env {
+        self.params.insert(name.into(), value.into());
+        self
+    }
+}
+
+/// Executes a statement list in `env`, pushing effects into `effects` and
+/// adding the execution weight of every evaluated expression/statement to
+/// `weight` (the simulator converts weight to cycles).
+///
+/// # Errors
+///
+/// Propagates expression-evaluation errors and reports loops exceeding
+/// their `max_iter` bound.
+pub fn execute(
+    statements: &[Statement],
+    env: &mut Env,
+    effects: &mut Vec<Effect>,
+    weight: &mut u64,
+) -> Result<()> {
+    for statement in statements {
+        *weight += 1;
+        match statement {
+            Statement::Assign { var, expr } => {
+                let v = expr.eval(env)?;
+                *weight += expr.weight();
+                env.vars.insert(var.clone(), v);
+            }
+            Statement::Send { port, signal, args } => {
+                let mut values = Vec::with_capacity(args.len());
+                for a in args {
+                    values.push(a.eval(env)?);
+                    *weight += a.weight();
+                }
+                effects.push(Effect::Send {
+                    port: port.clone(),
+                    signal: *signal,
+                    values,
+                });
+            }
+            Statement::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                *weight += cond.weight();
+                if cond.eval(env)?.is_truthy() {
+                    execute(then_branch, env, effects, weight)?;
+                } else {
+                    execute(else_branch, env, effects, weight)?;
+                }
+            }
+            Statement::While {
+                cond,
+                body,
+                max_iter,
+            } => {
+                let mut iterations = 0u32;
+                loop {
+                    *weight += cond.weight();
+                    if !cond.eval(env)?.is_truthy() {
+                        break;
+                    }
+                    if iterations >= *max_iter {
+                        return Err(Error::Action(format!(
+                            "while loop exceeded its bound of {max_iter} iterations"
+                        )));
+                    }
+                    iterations += 1;
+                    execute(body, env, effects, weight)?;
+                }
+            }
+            Statement::Compute { class, amount } => {
+                let units = amount.eval(env)?.as_int().ok_or_else(|| {
+                    Error::Action("compute amount must evaluate to Int".into())
+                })?;
+                *weight += amount.weight();
+                effects.push(Effect::Compute {
+                    class: *class,
+                    units: units.max(0) as u64,
+                });
+            }
+            Statement::Log { message, args } => {
+                let mut rendered = String::with_capacity(message.len());
+                let mut vals = args.iter();
+                let mut rest = message.as_str();
+                while let Some(pos) = rest.find("{}") {
+                    rendered.push_str(&rest[..pos]);
+                    match vals.next() {
+                        Some(a) => {
+                            let v = a.eval(env)?;
+                            *weight += a.weight();
+                            rendered.push_str(&v.to_string());
+                        }
+                        None => rendered.push_str("{}"),
+                    }
+                    rest = &rest[pos + 2..];
+                }
+                rendered.push_str(rest);
+                effects.push(Effect::Log(rendered));
+            }
+            Statement::SetTimer { name, duration } => {
+                let d = duration.eval(env)?.as_int().ok_or_else(|| {
+                    Error::Action("timer duration must evaluate to Int".into())
+                })?;
+                *weight += duration.weight();
+                effects.push(Effect::SetTimer {
+                    name: name.clone(),
+                    duration: d.max(0) as u64,
+                });
+            }
+            Statement::CancelTimer { name } => {
+                effects.push(Effect::CancelTimer { name: name.clone() });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Infers the static data type of an expression where possible (literals
+/// and builtins have known types; variables/parameters are `None`).
+pub fn static_type(expr: &Expr) -> Option<DataType> {
+    match expr {
+        Expr::Lit(v) => Some(v.data_type()),
+        Expr::Var(_) | Expr::Param(_) => None,
+        Expr::Unary(UnaryOp::Not, _) => Some(DataType::Bool),
+        Expr::Unary(UnaryOp::Neg, _) => Some(DataType::Int),
+        Expr::Binary(op, l, r) => match op {
+            BinOp::Eq
+            | BinOp::Ne
+            | BinOp::Lt
+            | BinOp::Le
+            | BinOp::Gt
+            | BinOp::Ge
+            | BinOp::And
+            | BinOp::Or => Some(DataType::Bool),
+            BinOp::Add => match (static_type(l), static_type(r)) {
+                (Some(DataType::Bytes), _) | (_, Some(DataType::Bytes)) => Some(DataType::Bytes),
+                (Some(DataType::Str), _) | (_, Some(DataType::Str)) => Some(DataType::Str),
+                (Some(DataType::Int), Some(DataType::Int)) => Some(DataType::Int),
+                _ => None,
+            },
+            _ => Some(DataType::Int),
+        },
+        Expr::Call(b, _) => Some(match b {
+            Builtin::Len
+            | Builtin::ByteAt
+            | Builtin::UnpackInt
+            | Builtin::Crc32
+            | Builtin::Min
+            | Builtin::Max => DataType::Int,
+            Builtin::Slice | Builtin::Concat | Builtin::PackInt | Builtin::Fill => DataType::Bytes,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(expr: &Expr) -> Value {
+        expr.eval(&Env::new()).expect("eval")
+    }
+
+    #[test]
+    fn arithmetic() {
+        let e = Expr::int(2).bin(BinOp::Add, Expr::int(3)).bin(BinOp::Mul, Expr::int(4));
+        assert_eq!(eval(&e), Value::Int(20));
+        let e = Expr::int(7).bin(BinOp::Mod, Expr::int(3));
+        assert_eq!(eval(&e), Value::Int(1));
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        let e = Expr::int(1).bin(BinOp::Div, Expr::int(0));
+        assert!(e.eval(&Env::new()).is_err());
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let e = Expr::int(1)
+            .bin(BinOp::Lt, Expr::int(2))
+            .bin(BinOp::And, Expr::bool(true));
+        assert_eq!(eval(&e), Value::Bool(true));
+        // Short-circuit: rhs would divide by zero.
+        let e = Expr::bool(false).bin(
+            BinOp::And,
+            Expr::int(1).bin(BinOp::Div, Expr::int(0)),
+        );
+        assert_eq!(eval(&e), Value::Bool(false));
+    }
+
+    #[test]
+    fn variables_and_params() {
+        let env = Env::new().with_var("x", 10i64).with_param("len", 4i64);
+        let e = Expr::var("x").bin(BinOp::Add, Expr::param("len"));
+        assert_eq!(e.eval(&env).unwrap(), Value::Int(14));
+        assert!(Expr::var("missing").eval(&env).is_err());
+    }
+
+    #[test]
+    fn bytes_builtins() {
+        let env = Env::new().with_var("buf", vec![1u8, 2, 3, 4, 5]);
+        let len = Expr::call(Builtin::Len, vec![Expr::var("buf")]);
+        assert_eq!(len.eval(&env).unwrap(), Value::Int(5));
+        let sl = Expr::call(
+            Builtin::Slice,
+            vec![Expr::var("buf"), Expr::int(1), Expr::int(3)],
+        );
+        assert_eq!(sl.eval(&env).unwrap(), Value::Bytes(vec![2, 3]));
+        // Slice clamps out-of-range bounds.
+        let sl = Expr::call(
+            Builtin::Slice,
+            vec![Expr::var("buf"), Expr::int(3), Expr::int(99)],
+        );
+        assert_eq!(sl.eval(&env).unwrap(), Value::Bytes(vec![4, 5]));
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let packed = Expr::call(Builtin::PackInt, vec![Expr::int(0xABCD), Expr::int(2)]);
+        let v = eval(&packed);
+        assert_eq!(v, Value::Bytes(vec![0xAB, 0xCD]));
+        let unpacked = Expr::call(Builtin::UnpackInt, vec![Expr::Lit(v)]);
+        assert_eq!(eval(&unpacked), Value::Int(0xABCD));
+    }
+
+    #[test]
+    fn crc32_known_answer() {
+        // CRC-32 of "123456789" is the classic check value 0xCBF43926.
+        assert_eq!(crc32_bitwise(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32_bitwise(b""), 0);
+    }
+
+    #[test]
+    fn bytes_concat_via_plus() {
+        let e = Expr::Lit(Value::Bytes(vec![1])).bin(BinOp::Add, Expr::Lit(Value::Bytes(vec![2])));
+        assert_eq!(eval(&e), Value::Bytes(vec![1, 2]));
+    }
+
+    #[test]
+    fn execute_assign_and_send() {
+        let sig = SignalId::from_index(0);
+        let prog = vec![
+            Statement::Assign {
+                var: "n".into(),
+                expr: Expr::int(3),
+            },
+            Statement::Send {
+                port: "pOut".into(),
+                signal: sig,
+                args: vec![Expr::var("n")],
+            },
+        ];
+        let mut env = Env::new();
+        let mut effects = Vec::new();
+        let mut weight = 0;
+        execute(&prog, &mut env, &mut effects, &mut weight).unwrap();
+        assert_eq!(env.vars["n"], Value::Int(3));
+        assert_eq!(
+            effects,
+            vec![Effect::Send {
+                port: "pOut".into(),
+                signal: sig,
+                values: vec![Value::Int(3)],
+            }]
+        );
+        assert!(weight > 0);
+    }
+
+    #[test]
+    fn execute_if_else() {
+        let prog = vec![Statement::If {
+            cond: Expr::var("flag"),
+            then_branch: vec![Statement::Assign {
+                var: "out".into(),
+                expr: Expr::int(1),
+            }],
+            else_branch: vec![Statement::Assign {
+                var: "out".into(),
+                expr: Expr::int(2),
+            }],
+        }];
+        let mut env = Env::new().with_var("flag", false);
+        let mut fx = Vec::new();
+        let mut w = 0;
+        execute(&prog, &mut env, &mut fx, &mut w).unwrap();
+        assert_eq!(env.vars["out"], Value::Int(2));
+    }
+
+    #[test]
+    fn while_loop_runs_and_bounds() {
+        let prog = vec![Statement::While {
+            cond: Expr::var("i").bin(BinOp::Lt, Expr::int(5)),
+            body: vec![Statement::Assign {
+                var: "i".into(),
+                expr: Expr::var("i").bin(BinOp::Add, Expr::int(1)),
+            }],
+            max_iter: 100,
+        }];
+        let mut env = Env::new().with_var("i", 0i64);
+        let mut fx = Vec::new();
+        let mut w = 0;
+        execute(&prog, &mut env, &mut fx, &mut w).unwrap();
+        assert_eq!(env.vars["i"], Value::Int(5));
+
+        // Unbounded loop trips the iteration guard instead of hanging.
+        let prog = vec![Statement::While {
+            cond: Expr::bool(true),
+            body: vec![],
+            max_iter: 10,
+        }];
+        let err = execute(&prog, &mut env, &mut fx, &mut w).unwrap_err();
+        assert!(err.to_string().contains("bound"));
+    }
+
+    #[test]
+    fn compute_and_timers() {
+        let prog = vec![
+            Statement::Compute {
+                class: CostClass::Bit,
+                amount: Expr::int(128),
+            },
+            Statement::SetTimer {
+                name: "beacon".into(),
+                duration: Expr::int(1000),
+            },
+            Statement::CancelTimer {
+                name: "beacon".into(),
+            },
+        ];
+        let mut env = Env::new();
+        let mut fx = Vec::new();
+        let mut w = 0;
+        execute(&prog, &mut env, &mut fx, &mut w).unwrap();
+        assert_eq!(
+            fx,
+            vec![
+                Effect::Compute {
+                    class: CostClass::Bit,
+                    units: 128
+                },
+                Effect::SetTimer {
+                    name: "beacon".into(),
+                    duration: 1000
+                },
+                Effect::CancelTimer {
+                    name: "beacon".into()
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn log_interpolation() {
+        let prog = vec![Statement::Log {
+            message: "sent {} frames of {} bytes".into(),
+            args: vec![Expr::int(3), Expr::int(512)],
+        }];
+        let mut env = Env::new();
+        let mut fx = Vec::new();
+        let mut w = 0;
+        execute(&prog, &mut env, &mut fx, &mut w).unwrap();
+        assert_eq!(fx, vec![Effect::Log("sent 3 frames of 512 bytes".into())]);
+    }
+
+    #[test]
+    fn display_forms() {
+        let e = Expr::var("x").bin(BinOp::Add, Expr::int(1));
+        assert_eq!(e.to_string(), "(x + 1)");
+        let e = Expr::call(Builtin::Crc32, vec![Expr::param("pdu")]);
+        assert_eq!(e.to_string(), "crc32($pdu)");
+    }
+
+    #[test]
+    fn static_types() {
+        assert_eq!(static_type(&Expr::int(1)), Some(DataType::Int));
+        assert_eq!(
+            static_type(&Expr::int(1).bin(BinOp::Lt, Expr::int(2))),
+            Some(DataType::Bool)
+        );
+        assert_eq!(
+            static_type(&Expr::call(Builtin::Fill, vec![Expr::int(0), Expr::int(4)])),
+            Some(DataType::Bytes)
+        );
+        assert_eq!(static_type(&Expr::var("x")), None);
+    }
+
+    #[test]
+    fn builtin_names_round_trip() {
+        for b in [
+            Builtin::Len,
+            Builtin::Slice,
+            Builtin::Concat,
+            Builtin::ByteAt,
+            Builtin::PackInt,
+            Builtin::UnpackInt,
+            Builtin::Crc32,
+            Builtin::Min,
+            Builtin::Max,
+            Builtin::Fill,
+        ] {
+            assert_eq!(Builtin::from_name(b.name()), Some(b));
+        }
+    }
+
+    #[test]
+    fn cost_class_names_round_trip() {
+        for c in [CostClass::Control, CostClass::Dsp, CostClass::Bit, CostClass::Mem] {
+            assert_eq!(CostClass::from_name(c.name()), Some(c));
+        }
+    }
+}

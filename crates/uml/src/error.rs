@@ -1,0 +1,85 @@
+//! Error type for the UML metamodel crate.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while building, serialising, or checking a model.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// An element name was looked up but does not exist in the model.
+    UnknownElement {
+        /// The element kind that was looked up (e.g. `"class"`).
+        kind: &'static str,
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// An id referred to an element outside the arena bounds.
+    DanglingId {
+        /// The element kind of the id.
+        kind: &'static str,
+        /// Display form of the dangling id.
+        id: String,
+    },
+    /// The XML document failed to parse.
+    XmlSyntax {
+        /// Byte offset of the failure in the input.
+        offset: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// The XML parsed, but its structure does not describe a valid model.
+    XmiStructure(String),
+    /// A well-formedness rule was violated.
+    WellFormedness(String),
+    /// An action-language expression failed to parse or type-check.
+    Action(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownElement { kind, name } => {
+                write!(f, "unknown {kind} named `{name}`")
+            }
+            Error::DanglingId { kind, id } => {
+                write!(f, "dangling {kind} id `{id}`")
+            }
+            Error::XmlSyntax { offset, message } => {
+                write!(f, "xml syntax error at byte {offset}: {message}")
+            }
+            Error::XmiStructure(msg) => write!(f, "invalid xmi structure: {msg}"),
+            Error::WellFormedness(msg) => write!(f, "model well-formedness violation: {msg}"),
+            Error::Action(msg) => write!(f, "action language error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = Error::UnknownElement {
+            kind: "class",
+            name: "Foo".into(),
+        };
+        assert_eq!(e.to_string(), "unknown class named `Foo`");
+        let e = Error::XmlSyntax {
+            offset: 12,
+            message: "unexpected `<`".into(),
+        };
+        assert!(e.to_string().contains("byte 12"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,459 @@
+//! Model well-formedness checking.
+//!
+//! [`check_model`] verifies the structural invariants that every model must
+//! satisfy regardless of profile (profile-specific design rules live in the
+//! `tut-profile` crate). Violations are collected rather than failing fast,
+//! so a designer sees every problem at once.
+
+use std::collections::HashSet;
+
+use crate::ids::{ClassId, ElementRef};
+use crate::model::Model;
+
+/// A single well-formedness violation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Violation {
+    /// The element the violation is about.
+    pub element: ElementRef,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.element, self.message)
+    }
+}
+
+/// Checks every structural invariant of `model` and returns all violations
+/// (empty when the model is well-formed).
+///
+/// Checked invariants:
+///
+/// 1. Names of classes, signals, and packages are unique.
+/// 2. Part role names are unique within their owner.
+/// 3. Port names are unique within their owner.
+/// 4. Connector ends reference ports that exist on the referenced part's
+///    type (or on the owner itself for delegation ends), and the parts
+///    belong to the connector's owner.
+/// 5. Connected port pairs are compatible: every signal required by one end
+///    is provided by the other (delegation ends pass signals through).
+/// 6. Composition is acyclic (a class cannot transitively contain itself).
+/// 7. Every active class has a behaviour and it passes
+///    [`crate::statemachine::StateMachine::check`]; signal triggers refer to
+///    signals the class's ports provide.
+/// 8. Generalisation is acyclic.
+pub fn check_model(model: &Model) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    check_unique_names(model, &mut violations);
+    check_parts_and_ports(model, &mut violations);
+    check_connectors(model, &mut violations);
+    check_composition_cycles(model, &mut violations);
+    check_behaviors(model, &mut violations);
+    check_generalisation_cycles(model, &mut violations);
+    violations
+}
+
+fn check_unique_names(model: &Model, violations: &mut Vec<Violation>) {
+    let mut seen: HashSet<&str> = HashSet::new();
+    for (id, class) in model.classes() {
+        if !seen.insert(class.name()) {
+            violations.push(Violation {
+                element: id.into(),
+                message: format!("duplicate class name `{}`", class.name()),
+            });
+        }
+    }
+    let mut seen: HashSet<&str> = HashSet::new();
+    for (id, sig) in model.signals() {
+        if !seen.insert(sig.name()) {
+            violations.push(Violation {
+                element: id.into(),
+                message: format!("duplicate signal name `{}`", sig.name()),
+            });
+        }
+    }
+    let mut seen: HashSet<&str> = HashSet::new();
+    for (id, pkg) in model.packages() {
+        if !seen.insert(pkg.name()) {
+            violations.push(Violation {
+                element: id.into(),
+                message: format!("duplicate package name `{}`", pkg.name()),
+            });
+        }
+    }
+}
+
+fn check_parts_and_ports(model: &Model, violations: &mut Vec<Violation>) {
+    for (class_id, class) in model.classes() {
+        let mut seen: HashSet<&str> = HashSet::new();
+        for &part in class.parts() {
+            let p = model.property(part);
+            if !seen.insert(p.name()) {
+                violations.push(Violation {
+                    element: part.into(),
+                    message: format!(
+                        "duplicate part name `{}` in class `{}`",
+                        p.name(),
+                        class.name()
+                    ),
+                });
+            }
+            if p.multiplicity() == 0 {
+                violations.push(Violation {
+                    element: part.into(),
+                    message: format!("part `{}` has multiplicity 0", p.name()),
+                });
+            }
+        }
+        let mut seen: HashSet<&str> = HashSet::new();
+        for &port in class.ports() {
+            let p = model.port(port);
+            if !seen.insert(p.name()) {
+                violations.push(Violation {
+                    element: port.into(),
+                    message: format!(
+                        "duplicate port name `{}` on class `{}`",
+                        p.name(),
+                        class.name()
+                    ),
+                });
+            }
+            let _ = class_id;
+        }
+    }
+}
+
+fn check_connectors(model: &Model, violations: &mut Vec<Violation>) {
+    for (conn_id, conn) in model.connectors() {
+        let owner = conn.owner();
+        let mut end_signals: Vec<(HashSet<_>, HashSet<_>)> = Vec::new();
+        for end in conn.ends() {
+            let port = model.port(end.port);
+            match end.part {
+                Some(part) => {
+                    let p = model.property(part);
+                    if p.owner() != owner {
+                        violations.push(Violation {
+                            element: conn_id.into(),
+                            message: format!(
+                                "connector `{}` references part `{}` that belongs to another class",
+                                conn.name(),
+                                p.name()
+                            ),
+                        });
+                    }
+                    if port.owner() != p.type_() {
+                        violations.push(Violation {
+                            element: conn_id.into(),
+                            message: format!(
+                                "connector `{}` end port `{}` is not a port of part type `{}`",
+                                conn.name(),
+                                port.name(),
+                                model.class(p.type_()).name()
+                            ),
+                        });
+                    }
+                }
+                None => {
+                    if port.owner() != owner {
+                        violations.push(Violation {
+                            element: conn_id.into(),
+                            message: format!(
+                                "connector `{}` delegation end port `{}` is not on the owning class",
+                                conn.name(),
+                                port.name()
+                            ),
+                        });
+                    }
+                }
+            }
+            end_signals.push((
+                port.required().iter().copied().collect(),
+                port.provided().iter().copied().collect(),
+            ));
+        }
+        // Assembly compatibility (skip for delegation connectors, which
+        // relay rather than terminate signals). Ports may serve several
+        // connectors, each carrying a subset of the port's signals, so the
+        // rule is: the connector must carry at least one signal — some
+        // signal required by one end is provided by the other.
+        let is_delegation = conn.ends().iter().any(|e| e.part.is_none());
+        if !is_delegation {
+            let (req_a, prov_a) = &end_signals[0];
+            let (req_b, prov_b) = &end_signals[1];
+            let carries_ab = req_a.intersection(prov_b).count();
+            let carries_ba = req_b.intersection(prov_a).count();
+            let any_required = !req_a.is_empty() || !req_b.is_empty();
+            if any_required && carries_ab + carries_ba == 0 {
+                violations.push(Violation {
+                    element: conn_id.into(),
+                    message: format!(
+                        "connector `{}` carries no signal: nothing required by one end is provided by the other",
+                        conn.name()
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn check_composition_cycles(model: &Model, violations: &mut Vec<Violation>) {
+    // DFS over the "contains a part of type" relation.
+    fn visit(
+        model: &Model,
+        class: ClassId,
+        stack: &mut Vec<ClassId>,
+        done: &mut HashSet<ClassId>,
+        violations: &mut Vec<Violation>,
+    ) {
+        if done.contains(&class) {
+            return;
+        }
+        if stack.contains(&class) {
+            violations.push(Violation {
+                element: class.into(),
+                message: format!(
+                    "composition cycle: class `{}` transitively contains itself",
+                    model.class(class).name()
+                ),
+            });
+            return;
+        }
+        stack.push(class);
+        for &part in model.class(class).parts() {
+            visit(model, model.property(part).type_(), stack, done, violations);
+        }
+        stack.pop();
+        done.insert(class);
+    }
+    let mut done = HashSet::new();
+    for (id, _) in model.classes() {
+        visit(model, id, &mut Vec::new(), &mut done, violations);
+    }
+}
+
+fn check_behaviors(model: &Model, violations: &mut Vec<Violation>) {
+    for (class_id, class) in model.classes() {
+        match class.behavior() {
+            Some(sm_id) => {
+                let sm = model.state_machine(sm_id);
+                if let Err(err) = sm.check() {
+                    violations.push(Violation {
+                        element: class_id.into(),
+                        message: err.to_string(),
+                    });
+                }
+                // Signal triggers must be receivable through some port.
+                let provided: HashSet<_> = class
+                    .ports()
+                    .iter()
+                    .flat_map(|&p| model.port(p).provided().iter().copied())
+                    .collect();
+                for sig in sm.input_alphabet() {
+                    if !provided.contains(&sig) {
+                        violations.push(Violation {
+                            element: class_id.into(),
+                            message: format!(
+                                "behaviour of `{}` consumes signal `{}` that no port provides",
+                                class.name(),
+                                model.signal(sig).name()
+                            ),
+                        });
+                    }
+                }
+            }
+            None => {
+                if class.is_active() {
+                    violations.push(Violation {
+                        element: class_id.into(),
+                        message: format!(
+                            "active class `{}` has no classifier behaviour",
+                            class.name()
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn check_generalisation_cycles(model: &Model, violations: &mut Vec<Violation>) {
+    for (id, _) in model.classes() {
+        let mut slow = id;
+        let mut fast = id;
+        loop {
+            fast = match model.class(fast).general() {
+                Some(g) => g,
+                None => break,
+            };
+            fast = match model.class(fast).general() {
+                Some(g) => g,
+                None => break,
+            };
+            slow = model.class(slow).general().expect("slow lags fast");
+            if slow == fast {
+                violations.push(Violation {
+                    element: id.into(),
+                    message: format!(
+                        "generalisation cycle involving class `{}`",
+                        model.class(id).name()
+                    ),
+                });
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ConnectorEnd;
+    use crate::statemachine::{StateMachine, Trigger};
+
+    #[test]
+    fn clean_model_has_no_violations() {
+        let mut m = Model::new("M");
+        let top = m.add_class("Top");
+        let worker = m.add_class("Worker");
+        let part = m.add_part(top, "w", worker);
+        let sig = m.add_signal("S");
+        let pin = m.add_port(worker, "in");
+        let pout = m.add_port(top, "out");
+        m.port_mut(pin).add_provided(sig);
+        m.port_mut(pout).add_required(sig);
+        m.add_connector(
+            top,
+            "c",
+            ConnectorEnd {
+                part: None,
+                port: pout,
+            },
+            ConnectorEnd {
+                part: Some(part),
+                port: pin,
+            },
+        );
+        let mut sm = StateMachine::new("B");
+        let s = sm.add_state("S0");
+        sm.set_initial(s);
+        sm.add_transition(s, s, Trigger::Signal(sig), None, vec![]);
+        m.add_state_machine(worker, sm);
+        assert_eq!(check_model(&m), vec![]);
+    }
+
+    #[test]
+    fn duplicate_names_reported() {
+        let mut m = Model::new("M");
+        m.add_class("Same");
+        m.add_class("Same");
+        m.add_signal("S");
+        m.add_signal("S");
+        let v = check_model(&m);
+        assert_eq!(v.len(), 2);
+        assert!(v[0].message.contains("duplicate class name"));
+    }
+
+    #[test]
+    fn incompatible_connector_reported() {
+        let mut m = Model::new("M");
+        let top = m.add_class("Top");
+        let a = m.add_class("A");
+        let b = m.add_class("B");
+        let pa = m.add_part(top, "a", a);
+        let pb = m.add_part(top, "b", b);
+        let sig = m.add_signal("S");
+        let out = m.add_port(a, "out");
+        let inp = m.add_port(b, "in");
+        m.port_mut(out).add_required(sig);
+        // `in` does not provide S.
+        m.add_connector(
+            top,
+            "c",
+            ConnectorEnd {
+                part: Some(pa),
+                port: out,
+            },
+            ConnectorEnd {
+                part: Some(pb),
+                port: inp,
+            },
+        );
+        let v = check_model(&m);
+        assert!(v.iter().any(|x| x.message.contains("carries no signal")));
+
+        // Providing the signal fixes it.
+        m.port_mut(inp).add_provided(sig);
+        assert!(check_model(&m).is_empty());
+    }
+
+    #[test]
+    fn connector_port_on_wrong_class_reported() {
+        let mut m = Model::new("M");
+        let top = m.add_class("Top");
+        let a = m.add_class("A");
+        let part = m.add_part(top, "a", a);
+        let stray = m.add_class("Stray");
+        let stray_port = m.add_port(stray, "p");
+        m.add_connector(
+            top,
+            "c",
+            ConnectorEnd {
+                part: Some(part),
+                port: stray_port,
+            },
+            ConnectorEnd {
+                part: Some(part),
+                port: stray_port,
+            },
+        );
+        let v = check_model(&m);
+        assert!(v.iter().any(|x| x.message.contains("not a port of part type")));
+    }
+
+    #[test]
+    fn composition_cycle_reported() {
+        let mut m = Model::new("M");
+        let a = m.add_class("A");
+        let b = m.add_class("B");
+        m.add_part(a, "b", b);
+        m.add_part(b, "a", a);
+        let v = check_model(&m);
+        assert!(v.iter().any(|x| x.message.contains("composition cycle")));
+    }
+
+    #[test]
+    fn behaviour_consuming_unprovided_signal_reported() {
+        let mut m = Model::new("M");
+        let c = m.add_class("C");
+        let sig = m.add_signal("S");
+        let mut sm = StateMachine::new("B");
+        let s = sm.add_state("S0");
+        sm.set_initial(s);
+        sm.add_transition(s, s, Trigger::Signal(sig), None, vec![]);
+        m.add_state_machine(c, sm);
+        let v = check_model(&m);
+        assert!(v.iter().any(|x| x.message.contains("no port provides")));
+    }
+
+    #[test]
+    fn generalisation_cycle_reported() {
+        let mut m = Model::new("M");
+        let a = m.add_class("A");
+        let b = m.add_class("B");
+        m.class_mut(a).set_general(Some(b));
+        m.class_mut(b).set_general(Some(a));
+        let v = check_model(&m);
+        assert!(v.iter().any(|x| x.message.contains("generalisation cycle")));
+    }
+
+    #[test]
+    fn active_class_without_behaviour_reported() {
+        let mut m = Model::new("M");
+        let c = m.add_class("C");
+        m.class_mut(c).set_active(true);
+        let v = check_model(&m);
+        assert!(v.iter().any(|x| x.message.contains("no classifier behaviour")));
+    }
+}

@@ -1,0 +1,236 @@
+//! Runtime values and data types shared by the action language, signal
+//! payloads, and tagged values.
+
+use std::fmt;
+
+/// The data types understood by the action language and signal parameters.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// Boolean.
+    Bool,
+    /// Owned byte buffer (frames, payloads).
+    Bytes,
+    /// UTF-8 string (identifiers, log text).
+    Str,
+}
+
+impl DataType {
+    /// The C type the code generator emits for this data type.
+    pub fn c_type(self) -> &'static str {
+        match self {
+            DataType::Int => "int64_t",
+            DataType::Bool => "bool",
+            DataType::Bytes => "tut_bytes_t",
+            DataType::Str => "const char *",
+        }
+    }
+
+    /// A zero/empty value of this type.
+    pub fn default_value(self) -> Value {
+        match self {
+            DataType::Int => Value::Int(0),
+            DataType::Bool => Value::Bool(false),
+            DataType::Bytes => Value::Bytes(Vec::new()),
+            DataType::Str => Value::Str(String::new()),
+        }
+    }
+
+    /// The name used in XMI serialisation.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Int => "Int",
+            DataType::Bool => "Bool",
+            DataType::Bytes => "Bytes",
+            DataType::Str => "Str",
+        }
+    }
+
+    /// Parses a type from its XMI name.
+    pub fn from_name(name: &str) -> Option<DataType> {
+        match name {
+            "Int" => Some(DataType::Int),
+            "Bool" => Some(DataType::Bool),
+            "Bytes" => Some(DataType::Bytes),
+            "Str" => Some(DataType::Str),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A runtime value: variable contents, signal payload field, or the result
+/// of evaluating an action-language expression.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum Value {
+    /// Integer value.
+    Int(i64),
+    /// Boolean value.
+    Bool(bool),
+    /// Byte-buffer value.
+    Bytes(Vec<u8>),
+    /// String value.
+    Str(String),
+}
+
+impl Value {
+    /// Returns the [`DataType`] of this value.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Int(_) => DataType::Int,
+            Value::Bool(_) => DataType::Bool,
+            Value::Bytes(_) => DataType::Bytes,
+            Value::Str(_) => DataType::Str,
+        }
+    }
+
+    /// Returns the integer if this is an `Int` value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean if this is a `Bool` value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the bytes if this is a `Bytes` value.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Returns the string if this is a `Str` value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if the value is "truthy": non-zero int, `true`, non-empty buffer
+    /// or string. Used by guard evaluation when a non-bool leaks into a
+    /// boolean position.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Int(i) => *i != 0,
+            Value::Bool(b) => *b,
+            Value::Bytes(b) => !b.is_empty(),
+            Value::Str(s) => !s.is_empty(),
+        }
+    }
+
+    /// An abstract "size" of the value, used for communication-cost
+    /// accounting: bytes for buffers/strings, 8 for ints, 1 for bools.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Value::Int(_) => 8,
+            Value::Bool(_) => 1,
+            Value::Bytes(b) => b.len(),
+            Value::Str(s) => s.len(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Bytes(b) => write!(f, "bytes[{}]", b.len()),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value::Bytes(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_types_match() {
+        assert_eq!(Value::Int(3).data_type(), DataType::Int);
+        assert_eq!(Value::Bool(true).data_type(), DataType::Bool);
+        assert_eq!(Value::Bytes(vec![1]).data_type(), DataType::Bytes);
+        assert_eq!(Value::Str("x".into()).data_type(), DataType::Str);
+    }
+
+    #[test]
+    fn default_values_are_zeroish() {
+        assert_eq!(DataType::Int.default_value(), Value::Int(0));
+        assert_eq!(DataType::Bool.default_value(), Value::Bool(false));
+        assert!(!DataType::Bytes.default_value().is_truthy());
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Int(-1).is_truthy());
+        assert!(!Value::Int(0).is_truthy());
+        assert!(Value::Str("a".into()).is_truthy());
+        assert!(!Value::Bytes(vec![]).is_truthy());
+    }
+
+    #[test]
+    fn size_accounting() {
+        assert_eq!(Value::Int(9).size_bytes(), 8);
+        assert_eq!(Value::Bytes(vec![0; 42]).size_bytes(), 42);
+        assert_eq!(Value::Bool(true).size_bytes(), 1);
+    }
+
+    #[test]
+    fn type_names_round_trip() {
+        for t in [DataType::Int, DataType::Bool, DataType::Bytes, DataType::Str] {
+            assert_eq!(DataType::from_name(t.name()), Some(t));
+        }
+        assert_eq!(DataType::from_name("Float"), None);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(5i64), Value::Int(5));
+        assert_eq!(Value::from("hi"), Value::Str("hi".into()));
+        assert_eq!(Value::from(vec![1u8, 2]).as_bytes(), Some(&[1u8, 2][..]));
+    }
+}

@@ -1,0 +1,129 @@
+//! Quickstart: model a two-process system with TUT-Profile, validate it,
+//! map it onto a one-processor platform, simulate, and print the
+//! profiling report.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use tut_profile_suite::profile::application::ProcessType;
+use tut_profile_suite::profile::platform::ComponentKind;
+use tut_profile_suite::profile::SystemModel;
+use tut_profile_suite::profiling;
+use tut_profile_suite::sim::SimConfig;
+use tut_profile_suite::uml::action::{BinOp, CostClass, Expr, Statement};
+use tut_profile_suite::uml::model::ConnectorEnd;
+use tut_profile_suite::uml::statemachine::{StateMachine, Trigger};
+use tut_profile_suite::uml::value::DataType;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- 1. The application: a producer and a consumer -----------------
+    let mut system = SystemModel::new("Quickstart");
+    let top = system.model.add_class("App");
+    system.apply(top, |t| t.application)?;
+
+    let item = system.model.add_signal("Item");
+    system.model.signal_mut(item).add_param("n", DataType::Int);
+
+    // Producer: sends an Item every 100 µs.
+    let producer = system.model.add_class("Producer");
+    system.apply(producer, |t| t.application_component)?;
+    let p_out = system.model.add_port(producer, "out");
+    system.model.port_mut(p_out).add_required(item);
+    let mut sm = StateMachine::new("ProducerB");
+    sm.add_variable("n", DataType::Int, 0i64.into());
+    let run = sm.add_state_with_entry(
+        "Run",
+        vec![Statement::SetTimer {
+            name: "tick".into(),
+            duration: Expr::int(100_000),
+        }],
+    );
+    sm.set_initial(run);
+    sm.add_transition(
+        run,
+        run,
+        Trigger::Timer("tick".into()),
+        None,
+        vec![
+            Statement::Assign {
+                var: "n".into(),
+                expr: Expr::var("n").bin(BinOp::Add, Expr::int(1)),
+            },
+            Statement::Send {
+                port: "out".into(),
+                signal: item,
+                args: vec![Expr::var("n")],
+            },
+            Statement::SetTimer {
+                name: "tick".into(),
+                duration: Expr::int(100_000),
+            },
+        ],
+    );
+    system.model.add_state_machine(producer, sm);
+
+    // Consumer: 500 units of control work per item.
+    let consumer = system.model.add_class("Consumer");
+    system.apply(consumer, |t| t.application_component)?;
+    let c_in = system.model.add_port(consumer, "in");
+    system.model.port_mut(c_in).add_provided(item);
+    let mut sm = StateMachine::new("ConsumerB");
+    let run = sm.add_state("Run");
+    sm.set_initial(run);
+    sm.add_transition(
+        run,
+        run,
+        Trigger::Signal(item),
+        None,
+        vec![Statement::Compute {
+            class: CostClass::Control,
+            amount: Expr::int(500),
+        }],
+    );
+    system.model.add_state_machine(consumer, sm);
+
+    // Composite structure: two «ApplicationProcess» parts, one connector.
+    let producer_part = system.model.add_part(top, "producer", producer);
+    let consumer_part = system.model.add_part(top, "consumer", consumer);
+    system.apply(producer_part, |t| t.application_process)?;
+    system.apply(consumer_part, |t| t.application_process)?;
+    system.model.add_connector(
+        top,
+        "pipe",
+        ConnectorEnd { part: Some(producer_part), port: p_out },
+        ConnectorEnd { part: Some(consumer_part), port: c_in },
+    );
+
+    // ---- 2. Grouping + platform + mapping -------------------------------
+    let group = system.add_process_group("workers", false, ProcessType::General);
+    system.assign_to_group(producer_part, group);
+    system.assign_to_group(consumer_part, group);
+
+    let platform = system.model.add_class("Board");
+    system.apply(platform, |t| t.platform)?;
+    let cpu_class = system.add_platform_component("Cpu", ComponentKind::General, 50, 1.0, 0.2);
+    let cpu = system.add_platform_instance(platform, "cpu0", cpu_class, 1, 0);
+    system.map_group(group, cpu, false);
+
+    // ---- 3. Validate ------------------------------------------------------
+    let findings = system.validate();
+    println!("validation findings: {}", findings.len());
+    for finding in &findings {
+        println!("  {finding}");
+    }
+    assert!(system.validate_errors().is_empty(), "model must be clean");
+
+    // ---- 4. Simulate and profile -------------------------------------------
+    let report = profiling::profile_system(&system, SimConfig::with_horizon_ns(10_000_000))?;
+    println!();
+    println!("{}", profiling::render_table4(&report));
+    println!(
+        "consumer processed {} items in 10 ms of simulated time",
+        report
+            .signal_matrix
+            .between("workers", "workers")
+            .unwrap_or(0)
+    );
+    Ok(())
+}

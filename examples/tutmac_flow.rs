@@ -1,0 +1,59 @@
+//! The complete Figure 2 design-and-profiling flow on the paper's TUTMAC
+//! case study: model → validate → generate C → simulate → profile →
+//! improvement suggestions.
+//!
+//! ```sh
+//! cargo run --example tutmac_flow
+//! ```
+
+use tut_profile_suite::codegen;
+use tut_profile_suite::profiling;
+use tut_profile_suite::sim::{SimConfig, Simulation};
+use tut_profile_suite::tutmac::{build_tutmac_system, TutmacConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Stage 1: modelling (Figures 4-8 are all inside this call).
+    let system = build_tutmac_system(&TutmacConfig::default())?;
+    println!("model: {}", system.model);
+
+    // Stage 2: design-rule validation.
+    let findings = system.validate();
+    println!("\nvalidation: {} findings", findings.len());
+    for finding in &findings {
+        println!("  {finding}");
+    }
+
+    // Stage 3: model parsing over the honest XML boundary.
+    let xml = system.to_xml();
+    let groups = profiling::groups::parse_model_xml(&xml)?;
+    println!(
+        "\nmodel parsing: {} bytes of XML -> groups {:?}",
+        xml.len(),
+        groups.labels()
+    );
+
+    // Stage 4: code generation (the C the paper compiles for the FPGA).
+    let files = codegen::generate_project(&system)?;
+    println!("\ncode generation:");
+    for file in &files {
+        println!("  {:>24}  {:>6} lines", file.name, file.contents.lines().count());
+    }
+
+    // Stage 5+6: simulation producing the log-file.
+    let report = Simulation::from_system(&system, SimConfig::with_horizon_ns(20_000_000))?
+        .run()?;
+    println!("\nsimulation: {}", report.summary());
+    let log_text = report.log.to_text();
+
+    // Stage 7: profiling (Table 4).
+    let profile = profiling::analyze(&groups, &log_text)?;
+    println!("\n{}", profiling::render_table4(&profile));
+    println!("{}", profiling::report::render_transfers(&profile));
+
+    // The designer feedback loop (§4.4).
+    println!("suggestions:");
+    for suggestion in profiling::suggest::suggest(&profile, 0.85) {
+        println!("  - {suggestion}");
+    }
+    Ok(())
+}

@@ -1,0 +1,20 @@
+//! Facade crate for the TUT-Profile suite: re-exports every workspace crate
+//! under one roof so examples and integration tests can depend on a single
+//! package.
+//!
+//! This workspace reproduces Kukkala et al., *UML 2.0 Profile for Embedded
+//! System Design* (DATE 2005). See the repository `README.md`, `DESIGN.md`,
+//! and `EXPERIMENTS.md` for the full map.
+
+#![forbid(unsafe_code)]
+
+pub use tut_codegen as codegen;
+pub use tut_explore as explore;
+pub use tut_hibi as hibi;
+pub use tut_platform as platform;
+pub use tut_profile as profile;
+pub use tut_profile_core as profile_core;
+pub use tut_profiling as profiling;
+pub use tut_sim as sim;
+pub use tut_uml as uml;
+pub use tutmac;

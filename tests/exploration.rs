@@ -1,0 +1,128 @@
+//! Cross-crate integration of the exploration loop: profile → analyse →
+//! re-group/re-map → re-profile, asserting the optimiser's results are
+//! consistent with the paper's design decisions.
+
+use tut_profile_suite::explore;
+use tut_profile_suite::profiling;
+use tut_profile_suite::sim::SimConfig;
+use tut_profile_suite::tutmac::{self, TutmacConfig};
+
+#[test]
+fn partitioner_reproduces_the_papers_grouping_intent() {
+    let system = tutmac::build_tutmac_system(&TutmacConfig::default()).expect("build");
+    let report =
+        profiling::profile_system(&system, SimConfig::with_horizon_ns(20_000_000)).expect("profile");
+    let graph = explore::CommGraph::from_report(&report);
+
+    // Pin the environment out of the way, then ask for 5 parts.
+    let pinned: Vec<(usize, usize)> = graph
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.as_str() == "user" || n.as_str() == "channel")
+        .map(|(i, _)| (i, 4))
+        .collect();
+    let solution = explore::partition(
+        &graph,
+        &explore::GroupingOptions {
+            groups: 5,
+            balance_weight: 0.0,
+            pinned,
+            ..Default::default()
+        },
+    );
+
+    // The paper's own grouping scored on the same graph.
+    let paper: Vec<usize> = graph
+        .nodes()
+        .iter()
+        .map(|name| match name.as_str() {
+            "rca" | "mng" | "rmng" => 0,
+            "ui.msduRec" | "ui.msduDel" => 1,
+            "dp.frag" | "dp.defrag" => 2,
+            "dp.crc" => 3,
+            _ => 4,
+        })
+        .collect();
+    let paper_cut = graph.cut_weight(&paper);
+    assert!(
+        solution.cut_weight <= paper_cut,
+        "the optimiser must match or beat the paper's manual grouping: {} vs {paper_cut}",
+        solution.cut_weight
+    );
+
+    // Sanity: heavy communicators end up together.
+    let frag = graph.index_of("dp.frag").expect("frag node");
+    let crc = graph.index_of("dp.crc").expect("crc node");
+    let rca = graph.index_of("rca").expect("rca node");
+    let same_cluster = solution.assignment[frag] == solution.assignment[crc]
+        || solution.assignment[crc] == solution.assignment[rca];
+    assert!(
+        same_cluster,
+        "crc must join one of its heavy peers (frag or rca)"
+    );
+}
+
+#[test]
+fn remapping_respects_fixed_group4() {
+    let (system, handles) = tutmac::model::build_with_handles(&TutmacConfig::default()).expect("build");
+    let report =
+        profiling::profile_system(&system, SimConfig::with_horizon_ns(10_000_000)).expect("profile");
+    let (problem, groups, instances) =
+        explore::mapping::problem_from_system(&system, &report).expect("problem");
+
+    let acc_index = instances
+        .iter()
+        .position(|&p| p == handles.accelerator)
+        .expect("accelerator");
+    let solution = explore::optimise_mapping(
+        &problem,
+        &explore::MappingOptions {
+            pinned: vec![(3, acc_index)],
+            ..Default::default()
+        },
+    );
+    let mut remapped = system.clone();
+    explore::apply::apply_mapping(&mut remapped, &groups, &instances, &solution.assignment);
+
+    // group4's mapping is Fixed in the model; whatever the optimiser says,
+    // it stays on the accelerator.
+    assert_eq!(
+        remapped.mapping().instance_of(handles.groups[3]),
+        Some(handles.accelerator)
+    );
+    // The remapped system still validates and simulates.
+    assert!(remapped.validate_errors().is_empty());
+    let report2 =
+        profiling::profile_system(&remapped, SimConfig::with_horizon_ns(5_000_000)).expect("reprofile");
+    assert!(report2.total_cycles > 0);
+}
+
+#[test]
+fn static_and_dynamic_graphs_agree_on_the_heavy_edges() {
+    let system = tutmac::build_tutmac_system(&TutmacConfig::default()).expect("build");
+    let dynamic = explore::CommGraph::from_report(
+        &profiling::profile_system(&system, SimConfig::with_horizon_ns(10_000_000))
+            .expect("profile"),
+    );
+    let static_graph = explore::CommGraph::from_static(&system).expect("static");
+
+    // Every dynamically observed edge exists statically (the static graph
+    // over-approximates: it knows connectivity, not traffic volume).
+    for (a, b, w) in dynamic.edges() {
+        if w == 0 {
+            continue;
+        }
+        let sa = static_graph.index_of(&dynamic.nodes()[a]);
+        let sb = static_graph.index_of(&dynamic.nodes()[b]);
+        let (Some(sa), Some(sb)) = (sa, sb) else {
+            panic!("dynamic node missing statically");
+        };
+        assert!(
+            static_graph.weight(sa, sb) > 0,
+            "edge {}-{} observed dynamically but absent statically",
+            dynamic.nodes()[a],
+            dynamic.nodes()[b]
+        );
+    }
+}
