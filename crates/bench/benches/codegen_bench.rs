@@ -1,7 +1,7 @@
 //! Experiment A8 (supplementary): code-generation throughput on the full
 //! TUTMAC model — the Figure 2 "code generation" stage.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tut_bench::microbench::{criterion_group, criterion_main, Criterion};
 
 fn bench_codegen(c: &mut Criterion) {
     let system = tut_bench::paper_system();
@@ -14,7 +14,11 @@ fn bench_codegen(c: &mut Criterion) {
 
     let files = tut_codegen::generate_project(&system).expect("generate");
     let lines: usize = files.iter().map(|f| f.contents.lines().count()).sum();
-    println!("\nA8: generated {} files, {} lines of C for TUTMAC", files.len(), lines);
+    println!(
+        "\nA8: generated {} files, {} lines of C for TUTMAC",
+        files.len(),
+        lines
+    );
 }
 
 criterion_group!(benches, bench_codegen);

@@ -2,7 +2,7 @@
 //! vs the bitwise software reference — the computation the paper offloads
 //! to `accelerator1`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tut_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use tut_platform::Crc32Accelerator;
 use tut_uml::action::crc32_bitwise;
 
@@ -22,8 +22,11 @@ fn bench_crc(c: &mut Criterion) {
     group.finish();
 
     // Modelled hardware timing (cycles) for the paper's frame sizes.
-    println!("\nA7: modelled accelerator cycles: 256B frame = {} cycles, 1500B MSDU = {} cycles",
-        accelerator.cycles(256), accelerator.cycles(1500));
+    println!(
+        "\nA7: modelled accelerator cycles: 256B frame = {} cycles, 1500B MSDU = {} cycles",
+        accelerator.cycles(256),
+        accelerator.cycles(1500)
+    );
 }
 
 criterion_group!(benches, bench_crc);

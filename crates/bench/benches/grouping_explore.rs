@@ -2,7 +2,7 @@
 //! grouping vs a worst-case grouping vs the `tut-explore` partitioner,
 //! scored by inter-group signal volume (the quantity §4.1 minimises).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tut_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tut_explore::{partition, CommGraph, GroupingOptions};
 
 /// The TUTMAC communication graph measured from a profiling run.

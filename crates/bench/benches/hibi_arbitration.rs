@@ -2,7 +2,7 @@
 //! vs round-robin vs TDMA on one saturated segment (cycle-accurate), plus
 //! the reservation-layer transfer throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tut_bench::microbench::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use tut_hibi::arbiter::{simulate_contention, ContentionConfig};
 use tut_hibi::topology::{Arbitration, NetworkBuilder, SegmentConfig, WrapperConfig};
 
@@ -20,7 +20,11 @@ fn bench_contention(c: &mut Criterion) {
         "{:<12} {:>12} {:>12} {:>10} {:>10}",
         "scheme", "words", "mean wait", "max wait", "fairness"
     );
-    for scheme in [Arbitration::Priority, Arbitration::RoundRobin, Arbitration::Tdma] {
+    for scheme in [
+        Arbitration::Priority,
+        Arbitration::RoundRobin,
+        Arbitration::Tdma,
+    ] {
         let report = simulate_contention(scheme, config);
         println!(
             "{:<12} {:>12} {:>12.1} {:>10} {:>10.3}",
@@ -34,7 +38,11 @@ fn bench_contention(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("hibi_contention");
     group.sample_size(20);
-    for scheme in [Arbitration::Priority, Arbitration::RoundRobin, Arbitration::Tdma] {
+    for scheme in [
+        Arbitration::Priority,
+        Arbitration::RoundRobin,
+        Arbitration::Tdma,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("simulate", scheme.to_string()),
             &scheme,
@@ -73,7 +81,7 @@ fn bench_transfers(c: &mut Criterion) {
                         }
                         t
                     },
-                    criterion::BatchSize::SmallInput,
+                    BatchSize::SmallInput,
                 )
             },
         );

@@ -2,7 +2,7 @@
 //! all-on-one-processor vs the exhaustive-search optimum, scored by the
 //! bottleneck processing-element busy time over a fixed workload.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use tut_bench::microbench::{criterion_group, criterion_main, Criterion};
 use tut_bench::{bottleneck_busy_ns, system_with_mapping, MappingVariant};
 use tut_sim::SimConfig;
 

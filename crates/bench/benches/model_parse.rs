@@ -1,7 +1,7 @@
 //! Experiment A5: model interchange throughput — XMI serialisation and
 //! parsing, scaling with model size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tut_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use tut_uml::model::ConnectorEnd;
 use tut_uml::Model;
 
@@ -9,7 +9,8 @@ use tut_uml::Model;
 fn synthetic_model(n: usize) -> Model {
     let mut m = Model::new(format!("Synthetic{n}"));
     let sig = m.add_signal("Data");
-    m.signal_mut(sig).add_param("payload", tut_uml::DataType::Bytes);
+    m.signal_mut(sig)
+        .add_param("payload", tut_uml::DataType::Bytes);
     let top = m.add_class("Top");
     let mut previous: Option<(tut_uml::PropertyId, tut_uml::PortId)> = None;
     for i in 0..n {

@@ -1,7 +1,7 @@
 //! Experiment A4: profiling-tool throughput — log-file parsing and the
 //! combine/analyse stage, as a function of log size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tut_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_profiling_tool(c: &mut Criterion) {
     let system = tut_bench::paper_system();

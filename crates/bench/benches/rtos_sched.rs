@@ -2,7 +2,7 @@
 //! work) on the TUTMAC case study — dispatch policy and context-switch
 //! cost vs protocol response times.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tut_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tut_sim::config::{SchedPolicy, Scheduler};
 use tut_sim::SimConfig;
 

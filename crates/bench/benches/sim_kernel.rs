@@ -2,7 +2,7 @@
 //! per second as the process count grows (synthetic token-ring
 //! applications, all processes on one processor).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tut_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use tut_profile::application::ProcessType;
 use tut_profile::platform::ComponentKind;
 use tut_profile::SystemModel;
@@ -16,7 +16,9 @@ fn token_ring(n: usize) -> SystemModel {
     let top = s.model.add_class("Top");
     s.apply(top, |t| t.application).unwrap();
     let token = s.model.add_signal("Token");
-    s.model.signal_mut(token).add_param("hops", tut_uml::DataType::Int);
+    s.model
+        .signal_mut(token)
+        .add_param("hops", tut_uml::DataType::Int);
 
     let mut parts = Vec::new();
     let mut ports = Vec::new();

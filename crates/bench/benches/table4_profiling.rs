@@ -2,7 +2,7 @@
 //! (model → XML → groups; model → simulation → log; combine → report)
 //! at increasing simulation horizons.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tut_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_pipeline(c: &mut Criterion) {
     let system = tut_bench::paper_system();
@@ -39,13 +39,11 @@ fn bench_pipeline(c: &mut Criterion) {
             .expect("run")
         })
     });
-    let report = tut_sim::Simulation::from_system(
-        &system,
-        tut_sim::SimConfig::with_horizon_ns(10_000_000),
-    )
-    .expect("build")
-    .run()
-    .expect("run");
+    let report =
+        tut_sim::Simulation::from_system(&system, tut_sim::SimConfig::with_horizon_ns(10_000_000))
+            .expect("build")
+            .run()
+            .expect("run");
     let log_text = report.log.to_text();
     let groups = tut_profiling::groups::parse_model_xml(&system.to_xml()).expect("groups");
     group.bench_function("analyze_10ms_log", |b| {

@@ -6,10 +6,20 @@
 //! cargo run -p tut-bench --bin repro -- table4
 //! cargo run -p tut-bench --bin repro -- fig6 fig8
 //! ```
+//!
+//! Observability exports (run the TUTMAC case study traced and write
+//! the artefacts; combinable with any item list):
+//!
+//! ```text
+//! cargo run -p tut-bench --bin repro -- --trace out.json   # Chrome/Perfetto
+//! cargo run -p tut-bench --bin repro -- --vcd bus.vcd      # GTKWave waveform
+//! cargo run -p tut-bench --bin repro -- --prom metrics.txt # Prometheus text
+//! ```
 
 use tut_bench::figures;
 use tut_profile::{tables, TutProfile};
 use tut_profiling::render_table4;
+use tut_trace::Recorder;
 
 fn print_fig1() {
     println!("Figure 1. Design flow with TUT-Profile.");
@@ -29,8 +39,11 @@ fn print_fig2() {
 
     // Stage: validation.
     let findings = system.validate();
-    println!("  [validate]     {} findings (errors: {})", findings.len(),
-        findings.iter().filter(|f| f.starts_with("[error]")).count());
+    println!(
+        "  [validate]     {} findings (errors: {})",
+        findings.len(),
+        findings.iter().filter(|f| f.starts_with("[error]")).count()
+    );
 
     // Stage: model parsing (XML text boundary).
     let xml = system.to_xml();
@@ -54,7 +67,11 @@ fn print_fig2() {
         .expect("sim runs");
     println!("  [simulate]     {}", report.summary());
     let log_text = report.log.to_text();
-    println!("  [log-file]     {} bytes, {} records", log_text.len(), report.log.len());
+    println!(
+        "  [log-file]     {} bytes, {} records",
+        log_text.len(),
+        report.log.len()
+    );
 
     // Stage: profiling.
     let profile = tut_profiling::analyze(&groups, &log_text).expect("analysis");
@@ -85,12 +102,83 @@ fn print_transfers() {
     println!("{}", tut_profiling::report::render_transfers(&report));
 }
 
+/// Runs the TUTMAC case study with a [`Recorder`] attached and writes
+/// the requested export files.
+fn run_traced(trace: Option<&str>, vcd: Option<&str>, prom: Option<&str>) {
+    let system = tut_bench::paper_system();
+    let mut recorder = Recorder::new();
+    tut_profiling::profile_system_with(&system, tut_bench::table4_config(), &mut recorder)
+        .expect("traced profiling run");
+
+    let tracks = recorder.tracks();
+    let pe_tracks = tracks.iter().filter(|t| t.name.starts_with("pe/")).count();
+    let hibi_tracks = tracks
+        .iter()
+        .filter(|t| t.name.starts_with("hibi/"))
+        .count();
+    println!(
+        "[trace] {} events on {} tracks ({} processing elements, {} HIBI segments)",
+        recorder.len(),
+        tracks.len(),
+        pe_tracks,
+        hibi_tracks
+    );
+
+    let write = |path: &str, contents: &str, what: &str| {
+        std::fs::write(path, contents)
+            .unwrap_or_else(|e| panic!("writing {what} to `{path}`: {e}"));
+        println!("[trace] wrote {what}: {path} ({} bytes)", contents.len());
+    };
+    if let Some(path) = trace {
+        write(
+            path,
+            &tut_trace::chrome::to_chrome_json(&recorder),
+            "Chrome trace JSON",
+        );
+    }
+    if let Some(path) = vcd {
+        let text = tut_trace::vcd::to_vcd(&recorder, "hibi/");
+        tut_trace::vcd::validate_vcd(&text).expect("VCD export validates");
+        write(path, &text, "VCD waveform");
+    }
+    if let Some(path) = prom {
+        write(
+            path,
+            &tut_trace::prom::to_prometheus(&recorder.metrics),
+            "Prometheus metrics",
+        );
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = Vec::new();
+    let (mut trace, mut vcd, mut prom) = (None, None, None);
+    let mut iter = raw.into_iter();
+    while let Some(arg) = iter.next() {
+        let mut take = |flag: &str| {
+            iter.next()
+                .unwrap_or_else(|| panic!("{flag} needs a file path argument"))
+        };
+        match arg.as_str() {
+            "--trace" => trace = Some(take("--trace")),
+            "--vcd" => vcd = Some(take("--vcd")),
+            "--prom" => prom = Some(take("--prom")),
+            _ => args.push(arg),
+        }
+    }
+    let tracing_requested = trace.is_some() || vcd.is_some() || prom.is_some();
+    if tracing_requested {
+        run_traced(trace.as_deref(), vcd.as_deref(), prom.as_deref());
+        if args.is_empty() {
+            return;
+        }
+        println!("\n{}\n", "=".repeat(72));
+    }
     let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
-            "fig1", "fig2", "fig3", "table1", "table2", "table3", "fig4", "fig5", "fig6",
-            "fig7", "fig8", "table4",
+            "fig1", "fig2", "fig3", "table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7",
+            "fig8", "table4",
         ]
     } else {
         args.iter().map(String::as_str).collect()

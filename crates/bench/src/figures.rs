@@ -49,11 +49,7 @@ pub fn fig6() -> String {
         for member in &group.members {
             let prop = system.model.property(*member);
             let owner = system.model.class(prop.owner()).name();
-            out.push_str(&format!(
-                "    ...::{}::{}\n",
-                owner,
-                prop.name()
-            ));
+            out.push_str(&format!("    ...::{}::{}\n", owner, prop.name()));
         }
     }
     out.push_str("  (user, channel remain in the environment)\n");
@@ -76,7 +72,9 @@ pub fn fig7() -> String {
             if attachment.segment != segment.part {
                 continue;
             }
-            let instance = platform.instance(attachment.pe).expect("attachment pe exists");
+            let instance = platform
+                .instance(attachment.pe)
+                .expect("attachment pe exists");
             out.push_str(&format!(
                 "    \u{ab}PlatformComponentInstance\u{bb} {}: {} ({} MHz) via \u{ab}HIBIWrapper\u{bb} {} @{:#x}\n",
                 instance.name,
@@ -100,8 +98,7 @@ pub fn fig7() -> String {
 /// Figure 8: the mapping of TUTMAC groups onto the TUTWLAN platform.
 pub fn fig8() -> String {
     let (system, _) = paper_system_with_handles();
-    let mut out =
-        String::from("Figure 8. Mapping the TUTMAC protocol to TUTWLAN platform.\n\n");
+    let mut out = String::from("Figure 8. Mapping the TUTMAC protocol to TUTWLAN platform.\n\n");
     for mapping in system.mapping().mappings() {
         let group = system.model.class(mapping.group).name();
         let instance = system.model.property(mapping.instance);

@@ -89,17 +89,11 @@ pub fn system_with_mapping(variant: MappingVariant) -> SystemModel {
                 handles.processors[2],
                 handles.accelerator,
             ];
-            tut_explore::apply::apply_mapping(
-                &mut system,
-                &groups,
-                &instances,
-                &[0, 0, 0, 0],
-            );
+            tut_explore::apply::apply_mapping(&mut system, &groups, &instances, &[0, 0, 0, 0]);
             system
         }
         MappingVariant::Optimised => {
-            let report =
-                tut_profiling::profile_system(&system, table4_config()).expect("profile");
+            let report = tut_profiling::profile_system(&system, table4_config()).expect("profile");
             let (problem, groups, instances) =
                 tut_explore::mapping::problem_from_system(&system, &report).expect("problem");
             // Pin group4 where its Fixed mapping already holds it.
@@ -153,6 +147,7 @@ pub fn bottleneck_busy_ns(system: &SystemModel, config: SimConfig) -> u64 {
 }
 
 pub mod figures;
+pub mod microbench;
 
 #[cfg(test)]
 mod tests {
@@ -168,7 +163,10 @@ mod tests {
     #[test]
     fn optimised_mapping_is_no_worse_than_all_on_one() {
         let config = SimConfig::with_horizon_ns(5_000_000);
-        let all_one = bottleneck_busy_ns(&system_with_mapping(MappingVariant::AllOnProcessor1), config.clone());
+        let all_one = bottleneck_busy_ns(
+            &system_with_mapping(MappingVariant::AllOnProcessor1),
+            config.clone(),
+        );
         let optimised = bottleneck_busy_ns(&system_with_mapping(MappingVariant::Optimised), config);
         assert!(
             optimised <= all_one,

@@ -1,0 +1,348 @@
+//! A self-contained micro-benchmark harness with a Criterion-compatible
+//! API surface.
+//!
+//! The repository's benches were written against the subset of the
+//! `criterion` API re-implemented here (`benchmark_group`,
+//! `bench_function`, `bench_with_input`, `iter`, `iter_batched`,
+//! throughput annotation). Keeping the same shape means the bench
+//! sources read like any other Rust benchmark while the whole suite
+//! builds offline with zero external dependencies.
+//!
+//! Methodology: each benchmark is calibrated until one batch of
+//! iterations takes ≳2 ms, then `sample_size` batches are timed and the
+//! minimum/median/maximum per-iteration times reported. The median is a
+//! robust location estimate under scheduler noise; the minimum
+//! approximates the uncontended cost.
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group: `function_id/parameter`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id, rendered `function_id/parameter`.
+    pub fn new(function_id: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> BenchmarkId {
+        BenchmarkId { id: id.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> BenchmarkId {
+        BenchmarkId { id }
+    }
+}
+
+/// Units for derived throughput reporting.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Throughput {
+    /// Input size in bytes per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortises setup (accepted for API compatibility;
+/// the harness always materialises one batch of inputs per sample).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BatchSize {
+    /// Inputs are cheap to hold; batch freely.
+    SmallInput,
+    /// Inputs are large; identical handling here.
+    LargeInput,
+    /// One input per routine call.
+    PerIteration,
+}
+
+/// Passed to the measurement closure; runs and times the routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, calibrating the batch size first.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the batch until it costs ≳2 ms.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || batch >= 1 << 22 {
+                // The calibration run doubles as the first sample.
+                self.samples.push(elapsed / batch as u32);
+                break;
+            }
+            batch *= 2;
+        }
+        for _ in 1..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch as u32);
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Calibrate on one input, then measure batches with per-sample
+        // pre-built inputs.
+        let mut batch: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || batch >= 1 << 18 {
+                self.samples.push(elapsed / batch as u32);
+                break;
+            }
+            batch *= 2;
+        }
+        for _ in 1..self.sample_size {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.samples.push(start.elapsed() / batch as u32);
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput denominator.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        report(&self.name, &id.id, &bencher.samples, self.throughput);
+        self.criterion.benchmarks_run += 1;
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` by reference.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The top-level harness handle handed to every bench function.
+#[derive(Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        self
+    }
+}
+
+fn report(group: &str, id: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort_unstable();
+    let (min, max) = (sorted[0], *sorted.last().expect("at least one sample"));
+    let median = sorted[sorted.len() / 2];
+    let label = if group.is_empty() {
+        id.to_owned()
+    } else {
+        format!("{group}/{id}")
+    };
+    let rate = throughput
+        .map(|t| {
+            let per_second = |count: u64| count as f64 / median.as_secs_f64().max(1e-12);
+            match t {
+                Throughput::Bytes(n) => format!("  thrpt: {}/s", scale(per_second(n), "B")),
+                Throughput::Elements(n) => {
+                    format!("  thrpt: {}/s", scale(per_second(n), "elem"))
+                }
+            }
+        })
+        .unwrap_or_default();
+    println!(
+        "{label:<48} time: [{} {} {}]{rate}",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(max)
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn scale(value: f64, unit: &str) -> String {
+    if value >= 1e9 {
+        format!("{:.2} G{unit}", value / 1e9)
+    } else if value >= 1e6 {
+        format!("{:.2} M{unit}", value / 1e6)
+    } else if value >= 1e3 {
+        format!("{:.2} K{unit}", value / 1e3)
+    } else {
+        format!("{value:.1} {unit}")
+    }
+}
+
+/// Declares a function running the listed benchmark targets, mirroring
+/// Criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::microbench::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed benchmark groups, mirroring
+/// Criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_render() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 3,
+        };
+        b.iter(|| 40 + 2);
+        assert_eq!(b.samples.len(), 3);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 2,
+        };
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert_eq!(b.samples.len(), 2);
+    }
+
+    #[test]
+    fn groups_run_and_count() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("test");
+            g.sample_size(2);
+            g.throughput(Throughput::Elements(1));
+            g.bench_function("noop", |b| b.iter(|| 1u64));
+            g.finish();
+        }
+        assert_eq!(c.benchmarks_run, 1);
+    }
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        assert!(fmt_duration(Duration::from_nanos(5)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(5)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(5)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(5)).ends_with("s"));
+    }
+}

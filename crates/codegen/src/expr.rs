@@ -101,7 +101,10 @@ mod tests {
             emit_expr(&E::Lit(Value::Bytes(vec![0xab, 0x01]))),
             "tut_rt_bytes_lit((const uint8_t[]){0xab, 0x01}, 2)"
         );
-        assert_eq!(emit_expr(&E::Lit(Value::Bytes(vec![]))), "tut_rt_bytes_empty()");
+        assert_eq!(
+            emit_expr(&E::Lit(Value::Bytes(vec![]))),
+            "tut_rt_bytes_empty()"
+        );
     }
 
     #[test]

@@ -163,7 +163,10 @@ pub fn emit_header(model: &Model, class: ClassId) -> String {
     }
     let _ = writeln!(out, "}} {name}_ctx_t;");
     let _ = writeln!(out);
-    let _ = writeln!(out, "void {name}_init({name}_ctx_t *ctx, tut_rt_process_t *self);");
+    let _ = writeln!(
+        out,
+        "void {name}_init({name}_ctx_t *ctx, tut_rt_process_t *self);"
+    );
     let _ = writeln!(
         out,
         "void {name}_dispatch(void *raw_ctx, tut_rt_process_t *self, const tut_rt_signal_t *sig);"
@@ -217,7 +220,10 @@ pub fn emit_source(model: &Model, class: ClassId) -> String {
         let _ = writeln!(out);
         return emit_source_rest(model, class, sm, &name, &upper, out);
     }
-    let _ = writeln!(out, "    for (int tut_round = 0; tut_round < 64; tut_round++) {{");
+    let _ = writeln!(
+        out,
+        "    for (int tut_round = 0; tut_round < 64; tut_round++) {{"
+    );
     let _ = writeln!(out, "        switch (ctx->state) {{");
     for (state_id, state) in sm.states() {
         let completions: Vec<_> = sm
@@ -280,7 +286,9 @@ fn emit_source_rest(
             crate::expr::emit_expr(&tut_uml::action::Expr::Lit(var.init.clone()))
         );
     }
-    let initial = sm.initial().expect("checked machines have an initial state");
+    let initial = sm
+        .initial()
+        .expect("checked machines have an initial state");
     let _ = writeln!(
         out,
         "    {name}_enter_{}(ctx, self);",
@@ -302,11 +310,7 @@ fn emit_source_rest(
             .transitions_from(state_id)
             .filter(|(_, t)| !matches!(t.trigger(), Trigger::Completion))
             .collect();
-        let _ = writeln!(
-            out,
-            "    case {upper}_STATE_{}: {{",
-            sanitize(state.name())
-        );
+        let _ = writeln!(out, "    case {upper}_STATE_{}: {{", sanitize(state.name()));
         for (_, transition) in triggered {
             let match_expr = match transition.trigger() {
                 Trigger::Signal(sig_id) => format!(

@@ -233,7 +233,10 @@ mod tests {
     fn project_contains_all_files() {
         let files = generate_project(&sample_system()).unwrap();
         let names: Vec<_> = files.iter().map(|f| f.name.as_str()).collect();
-        assert_eq!(names, vec!["tut_rt.h", "worker.h", "worker.c", "main.c", "Makefile"]);
+        assert_eq!(
+            names,
+            vec!["tut_rt.h", "worker.h", "worker.c", "main.c", "Makefile"]
+        );
     }
 
     #[test]
@@ -250,7 +253,11 @@ mod tests {
     #[test]
     fn makefile_lists_sources() {
         let files = generate_project(&sample_system()).unwrap();
-        let makefile = &files.iter().find(|f| f.name == "Makefile").unwrap().contents;
+        let makefile = &files
+            .iter()
+            .find(|f| f.name == "Makefile")
+            .unwrap()
+            .contents;
         assert!(makefile.contains("worker.c main.c"));
         assert!(makefile.contains("-std=c99"));
     }

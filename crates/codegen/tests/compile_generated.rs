@@ -28,7 +28,9 @@ fn sample_system() -> SystemModel {
 
     let ping = s.model.add_signal("Ping");
     s.model.signal_mut(ping).add_param("n", DataType::Int);
-    s.model.signal_mut(ping).add_param("payload", DataType::Bytes);
+    s.model
+        .signal_mut(ping)
+        .add_param("payload", DataType::Bytes);
     let pong = s.model.add_signal("Pong");
     s.model.signal_mut(pong).add_param("n", DataType::Int);
 
@@ -48,7 +50,10 @@ fn sample_system() -> SystemModel {
             signal: ping,
             args: vec![
                 Expr::var("n"),
-                Expr::call(tut_uml::action::Builtin::Fill, vec![Expr::int(0xAB), Expr::int(16)]),
+                Expr::call(
+                    tut_uml::action::Builtin::Fill,
+                    vec![Expr::int(0xAB), Expr::int(16)],
+                ),
             ],
         }],
     );
@@ -113,7 +118,10 @@ fn sample_system() -> SystemModel {
         vec![
             Statement::Assign {
                 var: "crc".into(),
-                expr: Expr::call(tut_uml::action::Builtin::Crc32, vec![Expr::param("payload")]),
+                expr: Expr::call(
+                    tut_uml::action::Builtin::Crc32,
+                    vec![Expr::param("payload")],
+                ),
             },
             Statement::Compute {
                 class: CostClass::Bit,

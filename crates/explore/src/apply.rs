@@ -134,7 +134,11 @@ mod tests {
         assert_eq!(changed, 1, "only g1 moves; g2 is fixed");
         let view = s.mapping();
         assert_eq!(view.instance_of(groups[0]), Some(cpus[1]));
-        assert_eq!(view.instance_of(groups[1]), Some(cpus[1]), "fixed stays on cpu2");
+        assert_eq!(
+            view.instance_of(groups[1]),
+            Some(cpus[1]),
+            "fixed stays on cpu2"
+        );
     }
 
     #[test]

@@ -107,10 +107,7 @@ impl CommGraph {
         if a == b {
             return 0;
         }
-        self.edges
-            .get(&(a.min(b), a.max(b)))
-            .copied()
-            .unwrap_or(0)
+        self.edges.get(&(a.min(b), a.max(b))).copied().unwrap_or(0)
     }
 
     /// Iterates `(a, b, weight)` over all edges.

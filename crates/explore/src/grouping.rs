@@ -7,8 +7,7 @@
 //! objective here combines the two quantitative ones: cut weight
 //! (communication) plus a load-imbalance penalty (workload distribution).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tut_trace::{Clock, NoopSink, SplitMix64, TraceSink};
 
 use crate::commgraph::CommGraph;
 
@@ -64,11 +63,8 @@ fn objective(graph: &CommGraph, assignment: &[usize], options: &GroupingOptions)
     }
     let total: u64 = loads.iter().sum();
     let mean = total as f64 / options.groups as f64;
-    let imbalance: f64 = loads
-        .iter()
-        .map(|&l| (l as f64 - mean).abs())
-        .sum::<f64>()
-        / options.groups as f64;
+    let imbalance: f64 =
+        loads.iter().map(|&l| (l as f64 - mean).abs()).sum::<f64>() / options.groups as f64;
     cut + options.balance_weight * imbalance
 }
 
@@ -89,7 +85,25 @@ fn objective(graph: &CommGraph, assignment: &[usize], options: &GroupingOptions)
 /// Panics if `options.groups` is 0, a pin is out of range, or two pins
 /// contradict each other.
 pub fn partition(graph: &CommGraph, options: &GroupingOptions) -> GroupingSolution {
+    partition_with(graph, options, &mut NoopSink)
+}
+
+/// [`partition`] with tracing: each phase becomes a host-clock span on
+/// the `tool/explore.grouping` track, and the annealing pass reports
+/// progress so long exploration runs are visible in a trace viewer.
+pub fn partition_with<T: TraceSink>(
+    graph: &CommGraph,
+    options: &GroupingOptions,
+    tracer: &mut T,
+) -> GroupingSolution {
     assert!(options.groups > 0, "need at least one group");
+    let track = tracer.track("tool/explore.grouping", Clock::Host);
+    let mut phase_start = tracer.host_now_ns();
+    let mut phase_span = |tracer: &mut T, name: &str| {
+        let now = tracer.host_now_ns();
+        tracer.span(track, name, phase_start, now.saturating_sub(phase_start));
+        phase_start = now;
+    };
     let n = graph.len();
     if n == 0 {
         return GroupingSolution {
@@ -168,6 +182,7 @@ pub fn partition(graph: &CommGraph, options: &GroupingOptions) -> GroupingSoluti
         cluster_pin[ca] = merged_pin;
         cluster_count -= 1;
     }
+    phase_span(tracer, "agglomerate");
 
     // Normalise cluster ids to 0..groups, honouring pins.
     let mut ids: Vec<usize> = cluster.clone();
@@ -226,27 +241,39 @@ pub fn partition(graph: &CommGraph, options: &GroupingOptions) -> GroupingSoluti
             }
         }
     }
+    phase_span(tracer, "refine");
 
     // ---- Phase 3: simulated annealing -----------------------------------
     let mut best_assignment = assignment.clone();
     let mut best = current;
     if options.annealing_iterations > 0 && n > 1 && options.groups > 1 {
-        let mut rng = StdRng::seed_from_u64(options.seed);
+        let mut rng = SplitMix64::new(options.seed);
         let mut temperature = (best / n as f64).max(1.0);
-        for _ in 0..options.annealing_iterations {
-            let node = rng.gen_range(0..n);
+        // Progress heartbeat: ~16 reports across the whole pass.
+        let report_every = (options.annealing_iterations / 16).max(1);
+        for iteration in 0..options.annealing_iterations {
+            if tracer.enabled() && iteration % report_every == 0 {
+                let now = tracer.host_now_ns();
+                tracer.instant(
+                    track,
+                    &format!("anneal {iteration}/{}", options.annealing_iterations),
+                    now,
+                );
+                tracer.counter(track, "grouping.objective", now, best);
+            }
+            let node = rng.next_index(n);
             if pinned[node].is_some() {
                 continue;
             }
             let original = assignment[node];
-            let group = rng.gen_range(0..options.groups);
+            let group = rng.next_index(options.groups);
             if group == original {
                 continue;
             }
             assignment[node] = group;
             let candidate = objective(graph, &assignment, options);
             let accept = candidate <= current
-                || rng.gen::<f64>() < ((current - candidate) / temperature).exp();
+                || rng.next_f64() < ((current - candidate) / temperature).exp();
             if accept {
                 current = candidate;
                 if candidate < best {
@@ -259,6 +286,8 @@ pub fn partition(graph: &CommGraph, options: &GroupingOptions) -> GroupingSoluti
             temperature = (temperature * 0.9997).max(0.01);
         }
     }
+    phase_span(tracer, "anneal");
+    tracer.add("explore.grouping.runs", 1);
 
     GroupingSolution {
         cut_weight: graph.cut_weight(&best_assignment),

@@ -31,5 +31,5 @@ pub mod grouping;
 pub mod mapping;
 
 pub use commgraph::CommGraph;
-pub use grouping::{partition, GroupingOptions, GroupingSolution};
-pub use mapping::{optimise_mapping, MappingOptions, MappingSolution};
+pub use grouping::{partition, partition_with, GroupingOptions, GroupingSolution};
+pub use mapping::{optimise_mapping, optimise_mapping_with, MappingOptions, MappingSolution};

@@ -4,6 +4,7 @@ use tut_profile::application::ProcessType;
 use tut_profile::platform::ComponentKind;
 use tut_profile::SystemModel;
 use tut_profiling::ProfilingReport;
+use tut_trace::{Clock, NoopSink, TraceSink};
 use tut_uml::ids::{ClassId, PropertyId};
 
 /// One processing element as the optimiser sees it.
@@ -83,7 +84,11 @@ fn kind_penalty(group: ProcessType, pe: ComponentKind) -> f64 {
 
 /// The cost of one assignment: bottleneck computation time plus weighted
 /// communication distance.
-pub fn mapping_cost(problem: &MappingProblem, assignment: &[usize], options: &MappingOptions) -> f64 {
+pub fn mapping_cost(
+    problem: &MappingProblem,
+    assignment: &[usize],
+    options: &MappingOptions,
+) -> f64 {
     let mut loads = vec![0.0f64; problem.pes.len()];
     for (group, &pe) in assignment.iter().enumerate() {
         let penalty = kind_penalty(problem.group_kinds[group], problem.pes[pe].kind);
@@ -118,6 +123,20 @@ pub fn mapping_cost(problem: &MappingProblem, assignment: &[usize], options: &Ma
 /// Panics if the problem is inconsistent (mismatched lengths, pins out of
 /// range) or the search space exceeds `10^7` candidates.
 pub fn optimise_mapping(problem: &MappingProblem, options: &MappingOptions) -> MappingSolution {
+    optimise_mapping_with(problem, options, &mut NoopSink)
+}
+
+/// [`optimise_mapping`] with tracing: the search becomes a host-clock
+/// span on the `tool/explore.mapping` track and the candidate count is
+/// recorded as the `explore.mapping.candidates` counter metric.
+pub fn optimise_mapping_with<T: TraceSink>(
+    problem: &MappingProblem,
+    options: &MappingOptions,
+    tracer: &mut T,
+) -> MappingSolution {
+    let track = tracer.track("tool/explore.mapping", Clock::Host);
+    let search_start = tracer.host_now_ns();
+    let mut candidates = 0u64;
     let groups = problem.group_cycles.len();
     assert_eq!(problem.group_kinds.len(), groups);
     assert_eq!(problem.comm.len(), groups);
@@ -140,6 +159,7 @@ pub fn optimise_mapping(problem: &MappingProblem, options: &MappingOptions) -> M
             .enumerate()
             .all(|(g, pin)| pin.map(|p| assignment[g] == p).unwrap_or(true));
         if feasible {
+            candidates += 1;
             let cost = mapping_cost(problem, &assignment, options);
             if best.as_ref().map(|b| cost < b.cost).unwrap_or(true) {
                 best = Some(MappingSolution {
@@ -152,6 +172,14 @@ pub fn optimise_mapping(problem: &MappingProblem, options: &MappingOptions) -> M
         let mut position = 0;
         loop {
             if position == groups {
+                let now = tracer.host_now_ns();
+                tracer.span(
+                    track,
+                    "search",
+                    search_start,
+                    now.saturating_sub(search_start),
+                );
+                tracer.add("explore.mapping.candidates", candidates);
                 return best.expect("at least one assignment is feasible");
             }
             assignment[position] += 1;
@@ -286,12 +314,12 @@ mod tests {
         MappingProblem {
             group_names: vec!["g1".into(), "g2".into(), "hw".into()],
             group_cycles: vec![1000, 900, 50],
-            group_kinds: vec![ProcessType::General, ProcessType::General, ProcessType::Hardware],
-            comm: vec![
-                vec![0, 100, 5],
-                vec![100, 0, 0],
-                vec![5, 0, 0],
+            group_kinds: vec![
+                ProcessType::General,
+                ProcessType::General,
+                ProcessType::Hardware,
             ],
+            comm: vec![vec![0, 100, 5], vec![100, 0, 0], vec![5, 0, 0]],
             pes: vec![
                 PeInfo {
                     frequency_mhz: 50,
@@ -306,11 +334,7 @@ mod tests {
                     kind: ComponentKind::HwAccelerator,
                 },
             ],
-            distance: vec![
-                vec![0, 1, 2],
-                vec![1, 0, 2],
-                vec![2, 2, 0],
-            ],
+            distance: vec![vec![0, 1, 2], vec![1, 0, 2], vec![2, 2, 0]],
         }
     }
 

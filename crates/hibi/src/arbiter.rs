@@ -186,7 +186,11 @@ impl ContentionReport {
 
     /// Worst per-burst wait over all agents.
     pub fn max_wait(&self) -> u64 {
-        self.agents.iter().map(|a| a.max_wait_cycles).max().unwrap_or(0)
+        self.agents
+            .iter()
+            .map(|a| a.max_wait_cycles)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -254,8 +258,7 @@ pub fn simulate_contention(scheme: Arbitration, config: ContentionConfig) -> Con
                     burst.first_word_sent = true;
                     let wait = cycle - burst.arrived;
                     outcomes[agent].total_wait_cycles += wait;
-                    outcomes[agent].max_wait_cycles =
-                        outcomes[agent].max_wait_cycles.max(wait);
+                    outcomes[agent].max_wait_cycles = outcomes[agent].max_wait_cycles.max(wait);
                 }
                 burst.remaining -= 1;
                 outcomes[agent].words += 1;
@@ -392,7 +395,11 @@ mod tests {
             period_cycles: 300,
             max_time: 8,
         };
-        for scheme in [Arbitration::Priority, Arbitration::RoundRobin, Arbitration::Tdma] {
+        for scheme in [
+            Arbitration::Priority,
+            Arbitration::RoundRobin,
+            Arbitration::Tdma,
+        ] {
             let report = simulate_contention(scheme, config);
             for (i, agent) in report.agents.iter().enumerate() {
                 assert!(

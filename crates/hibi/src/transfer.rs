@@ -20,6 +20,8 @@
 //! this layer is deliberately a timing envelope, which is what the
 //! profiling flow of the paper needs.
 
+use tut_trace::{Clock, NoopSink, TraceSink};
+
 use crate::topology::{AgentId, Arbitration, Network};
 
 /// The outcome of scheduling one transfer.
@@ -53,7 +55,29 @@ impl Network {
     /// [`Network::route`]; this method falls back to treating unroutable
     /// transfers as local (zero cost) so a broken platform model cannot
     /// wedge a simulation — validation flags it instead.
-    pub fn transfer(&mut self, from: AgentId, to: AgentId, bytes: u64, now_ns: u64) -> TransferResult {
+    pub fn transfer(
+        &mut self,
+        from: AgentId,
+        to: AgentId,
+        bytes: u64,
+        now_ns: u64,
+    ) -> TransferResult {
+        self.transfer_with(from, to, bytes, now_ns, &mut NoopSink)
+    }
+
+    /// [`Network::transfer`] with tracing: every traversed segment gets
+    /// `arb` and `busy` spans on its `hibi/<segment>` track (simulated
+    /// clock), plus `hibi.<segment>.{busy,wait,arbitration}_ns` counter
+    /// metrics — the per-segment utilisation view of the paper's
+    /// communication profiling.
+    pub fn transfer_with<T: TraceSink>(
+        &mut self,
+        from: AgentId,
+        to: AgentId,
+        bytes: u64,
+        now_ns: u64,
+        tracer: &mut T,
+    ) -> TransferResult {
         if from == to || bytes == 0 {
             return TransferResult {
                 completion_ns: now_ns,
@@ -82,11 +106,16 @@ impl Network {
             };
             time += hop_latency;
 
+            let track = if tracer.enabled() {
+                let name = format!("hibi/{}", self.segments[segment_id.index()].name);
+                Some(tracer.track(&name, Clock::Sim))
+            } else {
+                None
+            };
             let segment = &mut self.segments[segment_id.index()];
             let cfg = segment.config;
             let cycle = cfg.cycle_ns();
-            let words =
-                bytes.div_ceil(cfg.bytes_per_cycle());
+            let words = bytes.div_ceil(cfg.bytes_per_cycle());
             let burst_words = u64::from(sender.max_time).max(1);
             let bursts = words.div_ceil(burst_words);
 
@@ -125,6 +154,18 @@ impl Network {
             segment.stats.busy_ns += busy;
             segment.stats.wait_ns += waited;
             segment.stats.arbitration_ns += arbitration;
+
+            if let Some(track) = track {
+                let name = &self.segments[segment_id.index()].name;
+                if arbitration > 0 {
+                    tracer.span(track, "arb", start, arbitration);
+                }
+                tracer.span(track, "busy", start + arbitration, busy);
+                tracer.add(&format!("hibi.{name}.busy_ns"), busy);
+                tracer.add(&format!("hibi.{name}.wait_ns"), waited);
+                tracer.add(&format!("hibi.{name}.arbitration_ns"), arbitration);
+                tracer.observe("hibi.segment_wait_ns", waited);
+            }
 
             queued_total += waited;
             if hop == 0 {

@@ -69,7 +69,7 @@ impl Default for Crc32Accelerator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tut_trace::SplitMix64;
     use tut_uml::action::crc32_bitwise;
 
     #[test]
@@ -94,29 +94,40 @@ mod tests {
         assert_eq!(acc.cycles(100), 104);
     }
 
-    proptest! {
-        /// The "hardware" (table-driven) and "software" (bitwise) CRC
-        /// implementations agree on all inputs — the invariant the paper
-        /// relies on when moving CRC from software to the accelerator.
-        #[test]
-        fn hardware_matches_software_reference(data in proptest::collection::vec(any::<u8>(), 0..512)) {
-            let acc = Crc32Accelerator::new();
-            prop_assert_eq!(acc.compute(&data), crc32_bitwise(&data));
-        }
+    fn random_bytes(rng: &mut SplitMix64, len: usize) -> Vec<u8> {
+        let mut data = vec![0u8; len];
+        rng.fill_bytes(&mut data);
+        data
+    }
 
-        /// Single-bit corruption is always detected.
-        #[test]
-        fn single_bit_flips_detected(
-            data in proptest::collection::vec(any::<u8>(), 1..256),
-            bit in 0usize..8,
-            index_seed: usize,
-        ) {
-            let acc = Crc32Accelerator::new();
+    /// The "hardware" (table-driven) and "software" (bitwise) CRC
+    /// implementations agree on all inputs — the invariant the paper
+    /// relies on when moving CRC from software to the accelerator.
+    #[test]
+    fn hardware_matches_software_reference() {
+        let acc = Crc32Accelerator::new();
+        let mut rng = SplitMix64::new(0xC4C3_2001);
+        for _ in 0..256 {
+            let len = rng.next_index(512);
+            let data = random_bytes(&mut rng, len);
+            assert_eq!(acc.compute(&data), crc32_bitwise(&data));
+        }
+    }
+
+    /// Single-bit corruption is always detected.
+    #[test]
+    fn single_bit_flips_detected() {
+        let acc = Crc32Accelerator::new();
+        let mut rng = SplitMix64::new(0xC4C3_2002);
+        for _ in 0..256 {
+            let len = 1 + rng.next_index(255);
+            let data = random_bytes(&mut rng, len);
             let crc = acc.compute(&data);
             let mut corrupted = data.clone();
-            let index = index_seed % corrupted.len();
+            let index = rng.next_index(corrupted.len());
+            let bit = rng.next_index(8);
             corrupted[index] ^= 1 << bit;
-            prop_assert!(!acc.verify(&corrupted, crc));
+            assert!(!acc.verify(&corrupted, crc));
         }
     }
 }

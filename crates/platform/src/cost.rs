@@ -60,11 +60,7 @@ impl CostModel {
     /// `accelerator1`.
     pub fn paper_defaults() -> CostModel {
         CostModel {
-            table: [
-                [1, 4, 16, 2],
-                [2, 1, 16, 2],
-                [64, 64, 1, 1],
-            ],
+            table: [[1, 4, 16, 2], [2, 1, 16, 2], [64, 64, 1, 1]],
             cycles_per_weight: [2, 2, 0],
             step_overhead: [20, 20, 4],
         }
@@ -113,7 +109,10 @@ mod tests {
         let m = CostModel::paper_defaults();
         let on_cpu = m.compute_cycles(PeKind::GeneralCpu, CostClass::Bit, 1000);
         let on_acc = m.compute_cycles(PeKind::HwAccelerator, CostClass::Bit, 1000);
-        assert!(on_acc * 10 <= on_cpu, "accelerator should be >=10x faster on bit work");
+        assert!(
+            on_acc * 10 <= on_cpu,
+            "accelerator should be >=10x faster on bit work"
+        );
     }
 
     #[test]
@@ -143,7 +142,10 @@ mod tests {
             0,
             "fixed-function logic does not interpret actions"
         );
-        assert!(m.step_overhead_cycles(PeKind::HwAccelerator) < m.step_overhead_cycles(PeKind::GeneralCpu));
+        assert!(
+            m.step_overhead_cycles(PeKind::HwAccelerator)
+                < m.step_overhead_cycles(PeKind::GeneralCpu)
+        );
         m.set_cycles_per_unit(PeKind::GeneralCpu, CostClass::Bit, 1);
         assert_eq!(m.cycles_per_unit(PeKind::GeneralCpu, CostClass::Bit), 1);
         assert_eq!(m.compute_cycles(PeKind::GeneralCpu, CostClass::Bit, 5), 5);

@@ -66,7 +66,11 @@ impl MemoryBudget {
     ///
     /// Returns [`AllocateMemoryError`] when the allocation does not fit;
     /// the budget is left unchanged.
-    pub fn allocate(&mut self, name: impl Into<String>, bytes: u64) -> Result<(), AllocateMemoryError> {
+    pub fn allocate(
+        &mut self,
+        name: impl Into<String>,
+        bytes: u64,
+    ) -> Result<(), AllocateMemoryError> {
         let name = name.into();
         let existing = self.allocations.get(&name).copied().unwrap_or(0);
         let available = self.available() + existing;

@@ -82,7 +82,9 @@ impl PeDescriptor {
     /// Nanoseconds taken by `cycles` clock cycles on this element.
     pub fn ns_for_cycles(&self, cycles: u64) -> u64 {
         // ns = cycles * 1000 / MHz, rounded up so work never takes 0 time.
-        (cycles * 1000).div_ceil(u64::from(self.frequency_mhz)).max(u64::from(cycles > 0))
+        (cycles * 1000)
+            .div_ceil(u64::from(self.frequency_mhz))
+            .max(u64::from(cycles > 0))
     }
 }
 

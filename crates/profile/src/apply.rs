@@ -9,7 +9,7 @@ use crate::profile::Profile;
 use crate::stereotype::{StereotypeId, TagValue};
 
 /// One stereotype applied to one element, with its tagged values.
-#[derive(Clone, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct AppliedStereotype {
     /// The applied stereotype.
     pub stereotype: StereotypeId,
@@ -23,7 +23,7 @@ pub struct AppliedStereotype {
 /// Kept separate from the [`tut_uml::Model`] so the base model remains pure
 /// UML — exactly the separation the second-class extension mechanism
 /// guarantees (§2).
-#[derive(Clone, PartialEq, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct Applications {
     entries: BTreeMap<ElementRef, Vec<AppliedStereotype>>,
 }
@@ -112,12 +112,12 @@ impl Applications {
         let element = element.into();
         let value = value.into();
         let st = profile.get(stereotype);
-        let def = profile.tag_def(stereotype, tag).ok_or_else(|| {
-            ProfileError::UnknownTag {
+        let def = profile
+            .tag_def(stereotype, tag)
+            .ok_or_else(|| ProfileError::UnknownTag {
                 stereotype: st.name().to_owned(),
                 tag: tag.to_owned(),
-            }
-        })?;
+            })?;
         if !def.tag_type.admits(&value) {
             return Err(ProfileError::TagTypeMismatch {
                 stereotype: st.name().to_owned(),
@@ -238,7 +238,10 @@ mod tests {
                 TagType::Enum(vec!["priority".into(), "round-robin".into()]),
             )
             .finish();
-        let hibi = p.specialize("HIBISegment", seg).tag("Frequency", TagType::Int).finish();
+        let hibi = p
+            .specialize("HIBISegment", seg)
+            .tag("Frequency", TagType::Int)
+            .finish();
         let model = Model::new("M");
         (p, seg, hibi, model)
     }
@@ -300,13 +303,7 @@ mod tests {
             Err(ProfileError::UnknownTag { .. })
         ));
         assert!(matches!(
-            apps.set_tag(
-                &p,
-                c,
-                seg,
-                "Arbitration",
-                TagValue::Enum("tdma".into())
-            ),
+            apps.set_tag(&p, c, seg, "Arbitration", TagValue::Enum("tdma".into())),
             Err(ProfileError::TagTypeMismatch { .. })
         ));
         apps.set_tag(&p, c, seg, "Arbitration", TagValue::Enum("priority".into()))

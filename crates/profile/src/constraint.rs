@@ -16,7 +16,6 @@ use crate::profile::Profile;
 
 /// How serious a rule violation is.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub enum Severity {
     /// Advisory: the model is usable but suspicious.
     Warning,
@@ -50,7 +49,11 @@ pub struct RuleViolation {
 impl fmt::Display for RuleViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.element {
-            Some(e) => write!(f, "[{}] {} ({e}): {}", self.severity, self.rule, self.message),
+            Some(e) => write!(
+                f,
+                "[{}] {} ({e}): {}",
+                self.severity, self.rule, self.message
+            ),
             None => write!(f, "[{}] {}: {}", self.severity, self.rule, self.message),
         }
     }
@@ -146,7 +149,14 @@ impl ConstraintSet {
 impl fmt::Debug for ConstraintSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ConstraintSet")
-            .field("rules", &self.constraints.iter().map(|c| c.name()).collect::<Vec<_>>())
+            .field(
+                "rules",
+                &self
+                    .constraints
+                    .iter()
+                    .map(|c| c.name())
+                    .collect::<Vec<_>>(),
+            )
             .finish()
     }
 }

@@ -40,10 +40,7 @@ pub fn applications_to_xml_node(profile: &Profile, applications: &Applications) 
 ///
 /// Returns [`ProfileError`] when stereotype names don't resolve in
 /// `profile`, elements are malformed, or tagged values fail type checks.
-pub fn applications_from_xml_node(
-    profile: &Profile,
-    node: &XmlNode,
-) -> Result<Applications> {
+pub fn applications_from_xml_node(profile: &Profile, node: &XmlNode) -> Result<Applications> {
     if node.name != "profileApplication" {
         return Err(ProfileError::Interchange(format!(
             "expected `profileApplication`, found `{}`",
@@ -58,9 +55,7 @@ pub fn applications_from_xml_node(
         for tagged in applied.children_named("taggedValue") {
             let name = tagged.required_attr("name")?;
             let value = decode_tag_value(
-                profile
-                    .tag_def(stereotype, name)
-                    .map(|d| &d.tag_type),
+                profile.tag_def(stereotype, name).map(|d| &d.tag_type),
                 tagged.required_attr("type")?,
                 tagged.required_attr("data")?,
             )?;
@@ -70,27 +65,24 @@ pub fn applications_from_xml_node(
     Ok(applications)
 }
 
-fn decode_tag_value(
-    declared: Option<&TagType>,
-    type_name: &str,
-    data: &str,
-) -> Result<TagValue> {
-    let value = match type_name {
-        "Int" => TagValue::Int(data.parse().map_err(|_| {
-            ProfileError::Interchange(format!("bad Int tagged value `{data}`"))
-        })?),
-        "Bool" => TagValue::Bool(data == "true"),
-        "Str" => TagValue::Str(data.to_owned()),
-        "Real" => TagValue::Real(data.parse().map_err(|_| {
-            ProfileError::Interchange(format!("bad Real tagged value `{data}`"))
-        })?),
-        "Enum" => TagValue::Enum(data.to_owned()),
-        other => {
-            return Err(ProfileError::Interchange(format!(
-                "unknown tagged-value type `{other}`"
-            )))
-        }
-    };
+fn decode_tag_value(declared: Option<&TagType>, type_name: &str, data: &str) -> Result<TagValue> {
+    let value =
+        match type_name {
+            "Int" => TagValue::Int(data.parse().map_err(|_| {
+                ProfileError::Interchange(format!("bad Int tagged value `{data}`"))
+            })?),
+            "Bool" => TagValue::Bool(data == "true"),
+            "Str" => TagValue::Str(data.to_owned()),
+            "Real" => TagValue::Real(data.parse().map_err(|_| {
+                ProfileError::Interchange(format!("bad Real tagged value `{data}`"))
+            })?),
+            "Enum" => TagValue::Enum(data.to_owned()),
+            other => {
+                return Err(ProfileError::Interchange(format!(
+                    "unknown tagged-value type `{other}`"
+                )))
+            }
+        };
     // When the profile declares the tag, double-check conformance early so
     // errors point at the document rather than a later query.
     if let Some(ty) = declared {
@@ -105,11 +97,7 @@ fn decode_tag_value(
 
 /// Serialises a model together with its stereotype applications into one
 /// XML document.
-pub fn write_document(
-    model: &Model,
-    profile: &Profile,
-    applications: &Applications,
-) -> String {
+pub fn write_document(model: &Model, profile: &Profile, applications: &Applications) -> String {
     let mut root = tut_uml::xmi::to_xml_node(model);
     root.add_child(applications_to_xml_node(profile, applications));
     root.to_xml_string()
@@ -230,9 +218,7 @@ fn parse_tag_type(text: &str) -> Result<TagType> {
             let literals = other
                 .strip_prefix("Enum(")
                 .and_then(|rest| rest.strip_suffix(')'))
-                .ok_or_else(|| {
-                    ProfileError::Interchange(format!("unknown tag type `{other}`"))
-                })?;
+                .ok_or_else(|| ProfileError::Interchange(format!("unknown tag type `{other}`")))?;
             TagType::Enum(literals.split('|').map(str::to_owned).collect())
         }
     };
@@ -266,9 +252,16 @@ mod tests {
 
         let mut apps = Applications::new();
         apps.apply(&profile, class, cpu).unwrap();
-        apps.set_tag(&profile, class, cpu, "Frequency", 50i64).unwrap();
-        apps.set_tag(&profile, class, cpu, "Type", TagValue::Enum("general".into()))
+        apps.set_tag(&profile, class, cpu, "Frequency", 50i64)
             .unwrap();
+        apps.set_tag(
+            &profile,
+            class,
+            cpu,
+            "Type",
+            TagValue::Enum("general".into()),
+        )
+        .unwrap();
         apps.apply(&profile, other, comp).unwrap();
         apps.set_tag(&profile, other, comp, "Area", 0.25).unwrap();
         (model, profile, apps)
@@ -321,8 +314,8 @@ mod tests {
     #[test]
     fn nonconforming_tagged_value_rejected() {
         let (model, profile, apps) = sample();
-        let text = write_document(&model, &profile, &apps)
-            .replace("data=\"general\"", "data=\"quantum\"");
+        let text =
+            write_document(&model, &profile, &apps).replace("data=\"general\"", "data=\"quantum\"");
         assert!(read_document(&text, &profile).is_err());
     }
 }

@@ -51,7 +51,7 @@ pub mod interchange;
 pub mod profile;
 pub mod stereotype;
 
-pub use apply::{AppliedStereotype, Applications};
+pub use apply::{Applications, AppliedStereotype};
 pub use constraint::{Constraint, ConstraintSet, RuleViolation, Severity};
 pub use error::{ProfileError, Result};
 pub use profile::{Profile, StereotypeBuilder};

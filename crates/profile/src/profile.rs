@@ -10,7 +10,7 @@ use crate::stereotype::{Stereotype, StereotypeId, TagDef, TagType, TagValue};
 /// A UML profile: a coherent set of stereotypes for one domain.
 ///
 /// See the [crate-level documentation](crate) for an example.
-#[derive(Clone, PartialEq, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct Profile {
     name: String,
     stereotypes: Vec<Stereotype>,
@@ -312,10 +312,7 @@ mod tests {
     #[test]
     fn guillemets_render() {
         let (p, base, _) = wrapper_profile();
-        assert_eq!(
-            p.get(base).guillemets(),
-            "\u{ab}CommunicationWrapper\u{bb}"
-        );
+        assert_eq!(p.get(base).guillemets(), "\u{ab}CommunicationWrapper\u{bb}");
     }
 
     #[test]

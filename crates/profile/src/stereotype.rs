@@ -6,8 +6,6 @@ use tut_uml::ids::Metaclass;
 
 /// Identifies a stereotype within a [`crate::Profile`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-#[derive(serde::Serialize, serde::Deserialize)]
-#[serde(transparent)]
 pub struct StereotypeId(u32);
 
 impl StereotypeId {
@@ -29,7 +27,7 @@ impl fmt::Display for StereotypeId {
 }
 
 /// The type of a tagged value.
-#[derive(Clone, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum TagType {
     /// 64-bit signed integer (e.g. `CodeMemory`, `BufferSize`).
     Int,
@@ -79,7 +77,7 @@ impl fmt::Display for TagType {
 }
 
 /// A tagged value attached to a stereotype application.
-#[derive(Clone, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum TagValue {
     /// Integer value.
     Int(i64),
@@ -175,7 +173,7 @@ impl From<&str> for TagValue {
 
 /// The definition of one tagged value on a stereotype (a row of Table 2/3
 /// in the paper).
-#[derive(Clone, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct TagDef {
     /// Tag name (e.g. `CodeMemory`).
     pub name: String,
@@ -189,7 +187,7 @@ pub struct TagDef {
 
 /// A stereotype: a named extension of one UML metaclass with tagged-value
 /// definitions, possibly specialising another stereotype.
-#[derive(Clone, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Stereotype {
     pub(crate) name: String,
     pub(crate) extends: Metaclass,
@@ -240,7 +238,10 @@ mod tests {
         assert!(TagType::Int.admits(&TagValue::Int(1)));
         assert!(!TagType::Int.admits(&TagValue::Bool(true)));
         assert!(TagType::Real.admits(&TagValue::Real(1.5)));
-        assert!(TagType::Real.admits(&TagValue::Int(2)), "ints widen to real");
+        assert!(
+            TagType::Real.admits(&TagValue::Int(2)),
+            "ints widen to real"
+        );
         let rt = TagType::Enum(vec!["hard".into(), "soft".into(), "none".into()]);
         assert!(rt.admits(&TagValue::Enum("soft".into())));
         assert!(!rt.admits(&TagValue::Enum("firm".into())));

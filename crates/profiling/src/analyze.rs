@@ -103,13 +103,15 @@ pub fn analyze_log(groups: &ProcessGroupInfo, log: &SimLog) -> ProfilingReport {
 
     let process_transfers = transfers
         .into_iter()
-        .map(|((sender, receiver, signal), (count, bytes))| ProcessTransfer {
-            sender,
-            receiver,
-            signal,
-            count,
-            bytes,
-        })
+        .map(
+            |((sender, receiver, signal), (count, bytes))| ProcessTransfer {
+                sender,
+                receiver,
+                signal,
+                count,
+                bytes,
+            },
+        )
         .collect();
 
     ProfilingReport {

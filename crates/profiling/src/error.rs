@@ -32,7 +32,9 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert!(ProfilingError::Model("x".into()).to_string().contains("model"));
+        assert!(ProfilingError::Model("x".into())
+            .to_string()
+            .contains("model"));
         assert!(ProfilingError::Log("y".into()).to_string().contains("log"));
     }
 }

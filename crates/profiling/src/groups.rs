@@ -97,8 +97,7 @@ impl ProcessGroupInfo {
 /// Returns [`ProfilingError::Model`] when the XML is malformed or does not
 /// contain a TUT-Profile application.
 pub fn parse_model_xml(xml: &str) -> Result<ProcessGroupInfo, ProfilingError> {
-    let system =
-        SystemModel::from_xml(xml).map_err(|e| ProfilingError::Model(e.to_string()))?;
+    let system = SystemModel::from_xml(xml).map_err(|e| ProfilingError::Model(e.to_string()))?;
     gather_groups(&system)
 }
 

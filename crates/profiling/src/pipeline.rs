@@ -2,6 +2,7 @@
 
 use tut_profile::SystemModel;
 use tut_sim::{SimConfig, Simulation};
+use tut_trace::{Clock, NoopSink, TraceSink};
 
 use crate::analyze::analyze;
 use crate::error::ProfilingError;
@@ -25,17 +26,47 @@ pub fn profile_system(
     system: &SystemModel,
     config: SimConfig,
 ) -> Result<ProfilingReport, ProfilingError> {
+    profile_system_with(system, config, &mut NoopSink)
+}
+
+/// [`profile_system`] with tracing: each pipeline stage (serialise,
+/// parse groups, build, simulate, analyse) becomes a host-clock span on
+/// the `tool/profiling` track, and the simulation itself runs traced
+/// (see [`Simulation::run_with`]).
+///
+/// # Errors
+///
+/// Returns [`ProfilingError`] when any stage fails.
+pub fn profile_system_with<T: TraceSink>(
+    system: &SystemModel,
+    config: SimConfig,
+    tracer: &mut T,
+) -> Result<ProfilingReport, ProfilingError> {
+    let track = tracer.track("tool/profiling", Clock::Host);
+    let mut stage_start = tracer.host_now_ns();
+    let mut stage = |tracer: &mut T, name: &str| {
+        let now = tracer.host_now_ns();
+        tracer.span(track, name, stage_start, now.saturating_sub(stage_start));
+        stage_start = now;
+    };
+
     let xml = system.to_xml();
+    stage(tracer, "serialise_xml");
     let groups = parse_model_xml(&xml)?;
+    stage(tracer, "parse_groups");
 
     let simulation = Simulation::from_system(system, config)
         .map_err(|e| ProfilingError::Simulation(e.to_string()))?;
+    stage(tracer, "build_simulation");
     let report = simulation
-        .run()
+        .run_with(tracer)
         .map_err(|e| ProfilingError::Simulation(e.to_string()))?;
+    stage(tracer, "simulate");
     let log_text = report.log.to_text();
 
-    analyze(&groups, &log_text)
+    let result = analyze(&groups, &log_text);
+    stage(tracer, "analyze");
+    result
 }
 
 #[cfg(test)]

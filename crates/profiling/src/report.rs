@@ -124,7 +124,12 @@ pub fn render_table4(report: &ProfilingReport) -> String {
         pad("Total execution time", 22),
         "Proportion"
     ));
-    out.push_str(&format!("{}-+-{}-+-{}\n", "-".repeat(14), "-".repeat(22), "-".repeat(10)));
+    out.push_str(&format!(
+        "{}-+-{}-+-{}\n",
+        "-".repeat(14),
+        "-".repeat(22),
+        "-".repeat(10)
+    ));
     for row in &report.group_exec {
         out.push_str(&format!(
             "{} | {} | {:>6.1} %\n",

@@ -38,6 +38,30 @@ impl Default for Scheduler {
     }
 }
 
+/// What an attached [`tut_trace::TraceSink`] receives from the engine.
+///
+/// These only select *which* events are emitted; with the default
+/// [`tut_trace::NoopSink`] nothing is recorded regardless, and the
+/// simulated behaviour (report, log) never depends on them.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceOptions {
+    /// One span per run-to-completion step on the executing element's
+    /// `pe/<name>` track (simulated clock).
+    pub step_spans: bool,
+    /// Event-queue depth counter samples on the `sim/events` track each
+    /// time the engine pops an event.
+    pub queue_depth: bool,
+}
+
+impl Default for TraceOptions {
+    fn default() -> Self {
+        TraceOptions {
+            step_spans: true,
+            queue_depth: true,
+        }
+    }
+}
+
 /// Tunables of one simulation run.
 #[derive(Clone, PartialEq, Debug)]
 pub struct SimConfig {
@@ -60,6 +84,8 @@ pub struct SimConfig {
     pub bytes_per_mem_unit: u64,
     /// The RTOS scheduling model of the processing elements.
     pub scheduler: Scheduler,
+    /// Event selection for [`crate::Simulation::run_with`] tracing.
+    pub trace: TraceOptions,
 }
 
 impl Default for SimConfig {
@@ -73,6 +99,7 @@ impl Default for SimConfig {
             header_bytes: 8,
             bytes_per_mem_unit: 4,
             scheduler: Scheduler::default(),
+            trace: TraceOptions::default(),
         }
     }
 }

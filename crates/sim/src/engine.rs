@@ -10,6 +10,7 @@ use tut_hibi::{AgentId, Network};
 use tut_platform::{PeDescriptor, PeKind};
 use tut_profile::platform::{Arbitration, ComponentKind};
 use tut_profile::SystemModel;
+use tut_trace::{Clock, NoopSink, TraceSink};
 use tut_uml::action::{self, Effect, Env};
 use tut_uml::ids::{ClassId, PropertyId, SignalId, StateId, StateMachineId};
 use tut_uml::instances::{InstanceIndex, InstanceTree, RoutingTable};
@@ -89,9 +90,7 @@ enum EventKind {
     },
     /// The processing element finished a step; dispatch the next ready
     /// process.
-    PeFree {
-        pe: PeIndex,
-    },
+    PeFree { pe: PeIndex },
 }
 
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -245,9 +244,7 @@ impl Simulation {
             });
         }
         for bridge in platform.bridges() {
-            if let (Some(&a), Some(&b)) =
-                (segment_ids.get(&bridge.a), segment_ids.get(&bridge.b))
-            {
+            if let (Some(&a), Some(&b)) = (segment_ids.get(&bridge.a), segment_ids.get(&bridge.b)) {
                 builder.add_bridge(a, b, BridgeConfig::default());
             }
         }
@@ -260,13 +257,14 @@ impl Simulation {
         for instance in tree.active_instances(&system.model) {
             let node = tree.node(instance);
             let class = node.class;
-            let sm = system
-                .model
-                .class(class)
-                .behavior()
-                .ok_or_else(|| SimError::MissingBehaviour {
-                    class: system.model.class(class).name().to_owned(),
-                })?;
+            let sm =
+                system
+                    .model
+                    .class(class)
+                    .behavior()
+                    .ok_or_else(|| SimError::MissingBehaviour {
+                        class: system.model.class(class).name().to_owned(),
+                    })?;
             let machine = system.model.state_machine(sm);
             let initial = machine.initial().ok_or_else(|| {
                 SimError::BadModel(format!(
@@ -353,12 +351,36 @@ impl Simulation {
     ///
     /// Returns [`SimError::Runtime`] when an action-language error occurs
     /// inside a process step.
-    pub fn run(mut self) -> Result<SimReport, SimError> {
+    pub fn run(self) -> Result<SimReport, SimError> {
+        self.run_with(&mut NoopSink)
+    }
+
+    /// [`Simulation::run`] with tracing: run-to-completion steps become
+    /// spans on per-element `pe/<name>` tracks, bus reservations become
+    /// spans on per-segment `hibi/<name>` tracks, signal latencies feed
+    /// the `sim.signal_latency_ns` histogram, and the event-queue depth
+    /// is sampled on the `sim/events` track (see
+    /// [`crate::config::TraceOptions`]).
+    ///
+    /// Tracing is observation only: the returned report and log are
+    /// byte-identical to an untraced [`Simulation::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Runtime`] when an action-language error occurs
+    /// inside a process step.
+    pub fn run_with<T: TraceSink>(mut self, tracer: &mut T) -> Result<SimReport, SimError> {
+        let queue_track = tracer.track("sim/events", Clock::Sim);
         while let Some(Reverse(event)) = self.events.pop() {
             if event.time_ns > self.config.max_time_ns || self.steps >= self.config.max_steps {
                 break;
             }
             self.now_ns = event.time_ns;
+            if tracer.enabled() && self.config.trace.queue_depth {
+                let depth = self.events.len() as f64;
+                tracer.counter(queue_track, "queue_depth", self.now_ns, depth);
+                tracer.gauge("sim.event_queue_depth", depth);
+            }
             match event.kind {
                 EventKind::Deliver { target, entry_kind } => {
                     match entry_kind {
@@ -373,15 +395,17 @@ impl Simulation {
                             sent_at_ns,
                         } => {
                             let receiver = self.processes[target].name.clone();
-                            let signal_name =
-                                self.system.model.signal(signal).name().to_owned();
+                            let signal_name = self.system.model.signal(signal).name().to_owned();
+                            let latency_ns = self.now_ns.saturating_sub(sent_at_ns);
+                            tracer.observe("sim.signal_latency_ns", latency_ns);
+                            tracer.add("sim.signals_delivered", 1);
                             self.log.push(LogRecord::Sig {
                                 time_ns: self.now_ns,
                                 sender: sender_name,
                                 receiver,
                                 signal: signal_name,
                                 bytes,
-                                latency_ns: self.now_ns.saturating_sub(sent_at_ns),
+                                latency_ns,
                             });
                             self.processes[target].stats.signals_received += 1;
                             let now = self.now_ns;
@@ -391,7 +415,7 @@ impl Simulation {
                         }
                     }
                     let pe = self.processes[target].pe;
-                    self.try_dispatch(pe)?;
+                    self.try_dispatch(pe, tracer)?;
                 }
                 EventKind::TimerFired {
                     target,
@@ -409,19 +433,20 @@ impl Simulation {
                             .queue
                             .push_back((now, QueueEntry::Timer { name }));
                         let pe = self.processes[target].pe;
-                        self.try_dispatch(pe)?;
+                        self.try_dispatch(pe, tracer)?;
                     }
                 }
                 EventKind::PeFree { pe } => {
-                    self.try_dispatch(pe)?;
+                    self.try_dispatch(pe, tracer)?;
                 }
             }
         }
+        tracer.add("sim.steps", self.steps);
         Ok(self.into_report())
     }
 
     /// Runs one step on `pe` if it is free and a process is ready.
-    fn try_dispatch(&mut self, pe: PeIndex) -> Result<(), SimError> {
+    fn try_dispatch<T: TraceSink>(&mut self, pe: PeIndex, tracer: &mut T) -> Result<(), SimError> {
         if self.pes[pe].free_at_ns > self.now_ns {
             return Ok(());
         }
@@ -456,12 +481,16 @@ impl Simulation {
                 chosen
             }
         };
-        self.execute_step(proc_index)?;
+        self.execute_step(proc_index, tracer)?;
         Ok(())
     }
 
     /// Executes one run-to-completion step of `proc_index` at `now_ns`.
-    fn execute_step(&mut self, proc_index: ProcIndex) -> Result<(), SimError> {
+    fn execute_step<T: TraceSink>(
+        &mut self,
+        proc_index: ProcIndex,
+        tracer: &mut T,
+    ) -> Result<(), SimError> {
         self.steps += 1;
         let (enqueued_ns, entry) = self.processes[proc_index]
             .queue
@@ -506,18 +535,18 @@ impl Simulation {
                 for (param, value) in params.iter().zip(values.iter()) {
                     env.params.insert(param.name.clone(), value.clone());
                 }
-                let transition = machine
-                    .transitions_from(from_state)
-                    .find(|(_, t)| match t.trigger() {
-                        Trigger::Signal(s) if s == signal => match t.guard() {
-                            Some(guard) => guard
-                                .eval(&env)
-                                .map(|v| v.is_truthy())
-                                .unwrap_or(false),
-                            None => true,
-                        },
-                        _ => false,
-                    });
+                let transition =
+                    machine
+                        .transitions_from(from_state)
+                        .find(|(_, t)| match t.trigger() {
+                            Trigger::Signal(s) if s == signal => match t.guard() {
+                                Some(guard) => {
+                                    guard.eval(&env).map(|v| v.is_truthy()).unwrap_or(false)
+                                }
+                                None => true,
+                            },
+                            _ => false,
+                        });
                 if let Some((_, t)) = transition {
                     fired = true;
                     action::execute(t.actions(), &mut env, &mut effects, &mut weight)
@@ -532,18 +561,18 @@ impl Simulation {
             }
             QueueEntry::Timer { name } => {
                 trigger_label = format!("timer:{name}");
-                let transition = machine
-                    .transitions_from(from_state)
-                    .find(|(_, t)| match t.trigger() {
-                        Trigger::Timer(n) if n == name => match t.guard() {
-                            Some(guard) => guard
-                                .eval(&env)
-                                .map(|v| v.is_truthy())
-                                .unwrap_or(false),
-                            None => true,
-                        },
-                        _ => false,
-                    });
+                let transition =
+                    machine
+                        .transitions_from(from_state)
+                        .find(|(_, t)| match t.trigger() {
+                            Trigger::Timer(n) if n == name => match t.guard() {
+                                Some(guard) => {
+                                    guard.eval(&env).map(|v| v.is_truthy()).unwrap_or(false)
+                                }
+                                None => true,
+                            },
+                            _ => false,
+                        });
                 if let Some((_, t)) = transition {
                     fired = true;
                     action::execute(t.actions(), &mut env, &mut effects, &mut weight)
@@ -573,7 +602,9 @@ impl Simulation {
                 signal: signal_name,
             });
             self.processes[proc_index].stats.drops += 1;
-            self.finish_step(proc_index, pe_index, start_ns, 0, from_state, from_state, "drop");
+            self.finish_step(
+                proc_index, pe_index, start_ns, 0, from_state, from_state, "drop", tracer,
+            );
             return Ok(());
         }
 
@@ -608,8 +639,8 @@ impl Simulation {
         // ---- Cost accounting -------------------------------------------
         let pe_kind = self.pes[pe_index].descriptor.kind;
         let cost_model = &self.config.cost_model;
-        let mut cycles = cost_model.step_overhead_cycles(pe_kind)
-            + cost_model.weight_cycles(pe_kind, weight);
+        let mut cycles =
+            cost_model.step_overhead_cycles(pe_kind) + cost_model.weight_cycles(pe_kind, weight);
         let mut send_bytes_total = 0u64;
         for effect in &effects {
             match effect {
@@ -652,7 +683,7 @@ impl Simulation {
                     signal,
                     values,
                 } => {
-                    self.dispatch_send(proc_index, &port, signal, values, end_ns);
+                    self.dispatch_send(proc_index, &port, signal, values, end_ns, tracer);
                 }
                 Effect::SetTimer { name, duration } => {
                     let generation = {
@@ -697,6 +728,7 @@ impl Simulation {
             from_state,
             to_state,
             &trigger_label,
+            tracer,
         );
         // Re-use names for the EXEC record written by finish_step: done
         // there to keep record layout in one place.
@@ -705,7 +737,7 @@ impl Simulation {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn finish_step(
+    fn finish_step<T: TraceSink>(
         &mut self,
         proc_index: ProcIndex,
         pe_index: PeIndex,
@@ -714,10 +746,28 @@ impl Simulation {
         from_state: StateId,
         to_state: StateId,
         trigger: &str,
+        tracer: &mut T,
     ) {
         let duration_ns = self.pes[pe_index].descriptor.ns_for_cycles(cycles);
         let end_ns = start_ns + duration_ns;
-        let machine = self.system.model.state_machine(self.processes[proc_index].sm);
+        if tracer.enabled() {
+            let pe_name = &self.pes[pe_index].descriptor.name;
+            if self.config.trace.step_spans {
+                let track = tracer.track(&format!("pe/{pe_name}"), Clock::Sim);
+                tracer.span(
+                    track,
+                    &format!("{} [{trigger}]", self.processes[proc_index].name),
+                    start_ns,
+                    duration_ns,
+                );
+            }
+            tracer.observe("sim.step_duration_ns", duration_ns);
+            tracer.add(&format!("pe.{pe_name}.busy_ns"), duration_ns);
+        }
+        let machine = self
+            .system
+            .model
+            .state_machine(self.processes[proc_index].sm);
         self.log.push(LogRecord::Exec {
             time_ns: start_ns,
             process: self.processes[proc_index].name.clone(),
@@ -739,13 +789,14 @@ impl Simulation {
     }
 
     /// Routes a sent signal to its receivers and schedules deliveries.
-    fn dispatch_send(
+    fn dispatch_send<T: TraceSink>(
         &mut self,
         sender: ProcIndex,
         port_name: &str,
         signal: SignalId,
         values: Vec<Value>,
         send_time_ns: u64,
+        tracer: &mut T,
     ) {
         let sender_instance = self.processes[sender].instance;
         let sender_class = self.processes[sender].class;
@@ -771,8 +822,8 @@ impl Simulation {
             });
             return;
         }
-        let bytes: u64 = self.config.header_bytes
-            + values.iter().map(|v| v.size_bytes() as u64).sum::<u64>();
+        let bytes: u64 =
+            self.config.header_bytes + values.iter().map(|v| v.size_bytes() as u64).sum::<u64>();
         self.processes[sender].stats.signals_sent += receivers.len() as u64;
         self.processes[sender].stats.bytes_sent += bytes * receivers.len() as u64;
         for endpoint in receivers {
@@ -788,7 +839,9 @@ impl Simulation {
             } else {
                 match (self.pes[sender_pe].agent, self.pes[target_pe].agent) {
                     (Some(from), Some(to)) => {
-                        self.network.transfer(from, to, bytes, send_time_ns).completion_ns
+                        self.network
+                            .transfer_with(from, to, bytes, send_time_ns, tracer)
+                            .completion_ns
                     }
                     _ => send_time_ns + self.config.local_latency_ns,
                 }
@@ -882,13 +935,7 @@ mod tests {
         );
         let wait = sm.add_state("Wait");
         sm.set_initial(idle);
-        sm.add_transition(
-            idle,
-            wait,
-            Trigger::Completion,
-            None,
-            vec![],
-        );
+        sm.add_transition(idle, wait, Trigger::Completion, None, vec![]);
         // On Pong with n > 0 send another Ping.
         sm.add_transition(
             wait,
@@ -984,11 +1031,19 @@ mod tests {
         let seg_class = s.model.add_class("Seg");
         s.apply(seg_class, |t| t.hibi_segment).unwrap();
         let wrap_class = s.model.add_class("Wrap");
-        s.apply_with(wrap_class, |t| t.hibi_wrapper, [("Address", TagValue::Int(16))])
-            .unwrap();
+        s.apply_with(
+            wrap_class,
+            |t| t.hibi_wrapper,
+            [("Address", TagValue::Int(16))],
+        )
+        .unwrap();
         let wrap_class2 = s.model.add_class("Wrap2");
-        s.apply_with(wrap_class2, |t| t.hibi_wrapper, [("Address", TagValue::Int(32))])
-            .unwrap();
+        s.apply_with(
+            wrap_class2,
+            |t| t.hibi_wrapper,
+            [("Address", TagValue::Int(32))],
+        )
+        .unwrap();
         let seg = s.model.add_part(platform, "seg", seg_class);
         let seg_port = s.model.add_port(seg_class, "agents");
         let nios_port = s.model.add_port(nios, "hibi");
@@ -998,7 +1053,7 @@ mod tests {
             let w = s.model.add_part(platform, name, wc);
             s.model.add_connector(
                 platform,
-                &format!("{name}_pe"),
+                format!("{name}_pe"),
                 tut_uml::model::ConnectorEnd {
                     part: Some(w),
                     port: wp,
@@ -1010,7 +1065,7 @@ mod tests {
             );
             s.model.add_connector(
                 platform,
-                &format!("{name}_bus"),
+                format!("{name}_bus"),
                 tut_uml::model::ConnectorEnd {
                     part: Some(w),
                     port: wb,
@@ -1111,8 +1166,10 @@ mod tests {
 
     #[test]
     fn step_bound_stops_runaway_models() {
-        let mut config = SimConfig::default();
-        config.max_steps = 7;
+        let config = SimConfig {
+            max_steps: 7,
+            ..SimConfig::default()
+        };
         let report = Simulation::from_system(&ping_pong(1_000_000, false), config)
             .unwrap()
             .run()

@@ -37,7 +37,7 @@ pub mod error;
 pub mod log;
 pub mod report;
 
-pub use config::SimConfig;
+pub use config::{SimConfig, TraceOptions};
 pub use engine::Simulation;
 pub use error::SimError;
 pub use log::{LogRecord, SimLog};

@@ -16,8 +16,58 @@
 //! LOST <time_ns> <process> <port> <signal>
 //! USER <time_ns> <process> <message…>
 //! ```
+//!
+//! Name fields and messages are **escaped** so embedded whitespace
+//! cannot shift field boundaries: `\` → `\\`, space → `\s`, tab → `\t`,
+//! newline → `\n`, carriage return → `\r`, and the empty string → `\e`.
+//! Parsing reverses the escapes, so `to_text` → `parse` is lossless for
+//! arbitrary model-provided names and messages.
 
 use std::fmt;
+
+/// Escapes one whitespace-separated field of a log line.
+fn escape_field(text: &str) -> String {
+    if text.is_empty() {
+        return "\\e".to_owned();
+    }
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            ' ' => out.push_str("\\s"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape_field`]. Unknown escapes keep the escaped
+/// character, and a trailing backslash stays literal, so hand-written
+/// logs without escapes still parse.
+fn unescape_field(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('s') => out.push(' '),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('e') => {}
+            Some(other) => out.push(other),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
 
 /// One record of the simulation log.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -99,7 +149,11 @@ impl LogRecord {
                 to_state,
                 trigger,
             } => format!(
-                "EXEC {time_ns} {process} {cycles} {duration_ns} {from_state} {to_state} {trigger}"
+                "EXEC {time_ns} {} {cycles} {duration_ns} {} {} {}",
+                escape_field(process),
+                escape_field(from_state),
+                escape_field(to_state),
+                escape_field(trigger)
             ),
             LogRecord::Sig {
                 time_ns,
@@ -108,23 +162,41 @@ impl LogRecord {
                 signal,
                 bytes,
                 latency_ns,
-            } => format!("SIG {time_ns} {sender} {receiver} {signal} {bytes} {latency_ns}"),
+            } => format!(
+                "SIG {time_ns} {} {} {} {bytes} {latency_ns}",
+                escape_field(sender),
+                escape_field(receiver),
+                escape_field(signal)
+            ),
             LogRecord::Drop {
                 time_ns,
                 process,
                 signal,
-            } => format!("DROP {time_ns} {process} {signal}"),
+            } => format!(
+                "DROP {time_ns} {} {}",
+                escape_field(process),
+                escape_field(signal)
+            ),
             LogRecord::Lost {
                 time_ns,
                 process,
                 port,
                 signal,
-            } => format!("LOST {time_ns} {process} {port} {signal}"),
+            } => format!(
+                "LOST {time_ns} {} {} {}",
+                escape_field(process),
+                escape_field(port),
+                escape_field(signal)
+            ),
             LogRecord::User {
                 time_ns,
                 process,
                 message,
-            } => format!("USER {time_ns} {process} {}", message.replace('\n', " ")),
+            } => format!(
+                "USER {time_ns} {} {}",
+                escape_field(process),
+                escape_field(message)
+            ),
         }
     }
 
@@ -152,12 +224,12 @@ impl LogRecord {
         let record = match kind {
             "EXEC" => {
                 let time_ns = parse_u64(next("time")?, "time")?;
-                let process = next("process")?.to_owned();
+                let process = unescape_field(next("process")?);
                 let cycles = parse_u64(next("cycles")?, "cycles")?;
                 let duration_ns = parse_u64(next("duration")?, "duration")?;
-                let from_state = next("from_state")?.to_owned();
-                let to_state = next("to_state")?.to_owned();
-                let trigger = next("trigger")?.to_owned();
+                let from_state = unescape_field(next("from_state")?);
+                let to_state = unescape_field(next("to_state")?);
+                let trigger = unescape_field(next("trigger")?);
                 LogRecord::Exec {
                     time_ns,
                     process,
@@ -170,9 +242,9 @@ impl LogRecord {
             }
             "SIG" => {
                 let time_ns = parse_u64(next("time")?, "time")?;
-                let sender = next("sender")?.to_owned();
-                let receiver = next("receiver")?.to_owned();
-                let signal = next("signal")?.to_owned();
+                let sender = unescape_field(next("sender")?);
+                let receiver = unescape_field(next("receiver")?);
+                let signal = unescape_field(next("signal")?);
                 let bytes = parse_u64(next("bytes")?, "bytes")?;
                 let latency_ns = parse_u64(next("latency")?, "latency")?;
                 LogRecord::Sig {
@@ -186,19 +258,21 @@ impl LogRecord {
             }
             "DROP" => LogRecord::Drop {
                 time_ns: parse_u64(next("time")?, "time")?,
-                process: next("process")?.to_owned(),
-                signal: next("signal")?.to_owned(),
+                process: unescape_field(next("process")?),
+                signal: unescape_field(next("signal")?),
             },
             "LOST" => LogRecord::Lost {
                 time_ns: parse_u64(next("time")?, "time")?,
-                process: next("process")?.to_owned(),
-                port: next("port")?.to_owned(),
-                signal: next("signal")?.to_owned(),
+                process: unescape_field(next("process")?),
+                port: unescape_field(next("port")?),
+                signal: unescape_field(next("signal")?),
             },
             "USER" => {
                 let time_ns = parse_u64(next("time")?, "time")?;
-                let process = next("process")?.to_owned();
-                let message = fields.collect::<Vec<_>>().join(" ");
+                let process = unescape_field(next("process")?);
+                // Canonical logs escape the message into one field;
+                // hand-written logs may leave it as plain words.
+                let message = fields.map(unescape_field).collect::<Vec<_>>().join(" ");
                 LogRecord::User {
                     time_ns,
                     process,
@@ -357,19 +431,102 @@ mod tests {
     }
 
     #[test]
-    fn user_messages_keep_spaces_and_strip_newlines() {
+    fn user_messages_keep_spaces_and_newlines() {
         let record = LogRecord::User {
             time_ns: 1,
             process: "p".into(),
             message: "hello embedded\nworld".into(),
         };
         let line = record.to_line();
-        assert!(!line.contains('\n'));
+        assert!(!line.contains('\n'), "record stays one line: {line}");
         let parsed = LogRecord::parse_line(&line).unwrap().unwrap();
+        assert_eq!(parsed, record, "message survives exactly");
+    }
+
+    #[test]
+    fn unescaped_user_messages_still_parse() {
+        let parsed = LogRecord::parse_line("USER 7 p three plain words")
+            .unwrap()
+            .unwrap();
         match parsed {
-            LogRecord::User { message, .. } => assert_eq!(message, "hello embedded world"),
+            LogRecord::User { message, .. } => assert_eq!(message, "three plain words"),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    /// Adversarial field contents: whitespace, backslashes, escape-like
+    /// sequences, and empty strings must survive the text round trip
+    /// without shifting field boundaries.
+    #[test]
+    fn adversarial_fields_round_trip() {
+        let nasty = [
+            "plain",
+            "two words",
+            " lead",
+            "trail ",
+            "tab\there",
+            "line\nbreak",
+            "cr\rhere",
+            "back\\slash",
+            "looks\\slike\\san\\sescape",
+            "\\e",
+            "",
+            "  \t \n ",
+        ];
+        let mut log = SimLog::new();
+        for (i, a) in nasty.iter().enumerate() {
+            for b in &nasty {
+                log.push(LogRecord::Exec {
+                    time_ns: i as u64,
+                    process: (*a).to_owned(),
+                    cycles: 1,
+                    duration_ns: 2,
+                    from_state: (*b).to_owned(),
+                    to_state: format!("{a}{b}"),
+                    trigger: (*b).to_owned(),
+                });
+                log.push(LogRecord::Sig {
+                    time_ns: i as u64,
+                    sender: (*a).to_owned(),
+                    receiver: (*b).to_owned(),
+                    signal: format!("{b}{a}"),
+                    bytes: 3,
+                    latency_ns: 4,
+                });
+                log.push(LogRecord::Lost {
+                    time_ns: i as u64,
+                    process: (*a).to_owned(),
+                    port: (*b).to_owned(),
+                    signal: (*a).to_owned(),
+                });
+                log.push(LogRecord::User {
+                    time_ns: i as u64,
+                    process: (*a).to_owned(),
+                    message: format!("{a} {b}"),
+                });
+            }
+        }
+        let text = log.to_text();
+        for line in text.lines() {
+            assert_eq!(line.trim(), line, "no stray leading/trailing whitespace");
+        }
+        let parsed = SimLog::parse(&text).expect("canonical text parses");
+        assert_eq!(parsed, log);
+    }
+
+    #[test]
+    fn escape_examples() {
+        assert_eq!(escape_field("a b"), "a\\sb");
+        assert_eq!(escape_field(""), "\\e");
+        assert_eq!(escape_field("\\"), "\\\\");
+        assert_eq!(unescape_field("a\\sb"), "a b");
+        assert_eq!(unescape_field("\\e"), "");
+        assert_eq!(unescape_field("\\q"), "q", "unknown escape is lenient");
+        assert_eq!(
+            unescape_field("oops\\"),
+            "oops\\",
+            "trailing backslash kept"
+        );
     }
 
     #[test]

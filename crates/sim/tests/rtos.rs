@@ -20,7 +20,7 @@ fn contended_system() -> SystemModel {
     s.apply(top, |t| t.application).unwrap();
     let job = s.model.add_signal("Job");
 
-    let mut worker = |s: &mut SystemModel, name: &str| {
+    let worker = |s: &mut SystemModel, name: &str| {
         let class = s.model.add_class(name);
         s.apply(class, |t| t.application_component).unwrap();
         let pin = s.model.add_port(class, "in");
@@ -87,23 +87,43 @@ fn contended_system() -> SystemModel {
     let hi = s.model.add_part(top, "hi", hi_class);
     let lo = s.model.add_part(top, "lo", lo_class);
     let gen = s.model.add_part(top, "gen", gen_class);
-    s.apply_with(hi, |t| t.application_process, [("Priority", TagValue::Int(10))])
-        .unwrap();
-    s.apply_with(lo, |t| t.application_process, [("Priority", TagValue::Int(1))])
-        .unwrap();
+    s.apply_with(
+        hi,
+        |t| t.application_process,
+        [("Priority", TagValue::Int(10))],
+    )
+    .unwrap();
+    s.apply_with(
+        lo,
+        |t| t.application_process,
+        [("Priority", TagValue::Int(1))],
+    )
+    .unwrap();
     s.apply(gen, |t| t.application_process).unwrap();
     use tut_uml::model::ConnectorEnd;
     s.model.add_connector(
         top,
         "wHi",
-        ConnectorEnd { part: Some(gen), port: out_hi },
-        ConnectorEnd { part: Some(hi), port: hi_in },
+        ConnectorEnd {
+            part: Some(gen),
+            port: out_hi,
+        },
+        ConnectorEnd {
+            part: Some(hi),
+            port: hi_in,
+        },
     );
     s.model.add_connector(
         top,
         "wLo",
-        ConnectorEnd { part: Some(gen), port: out_lo },
-        ConnectorEnd { part: Some(lo), port: lo_in },
+        ConnectorEnd {
+            part: Some(gen),
+            port: out_lo,
+        },
+        ConnectorEnd {
+            part: Some(lo),
+            port: lo_in,
+        },
     );
 
     let group = s.add_process_group("all", false, ProcessType::General);
@@ -192,5 +212,8 @@ fn worst_case_wait_is_reported() {
     let report = run(SchedPolicy::Priority, 0);
     let lo = report.process("lo").unwrap();
     assert!(lo.max_queue_wait_ns >= lo.mean_queue_wait_ns() as u64);
-    assert!(lo.max_queue_wait_ns > 0, "contention must show up in the worst case");
+    assert!(
+        lo.max_queue_wait_ns > 0,
+        "contention must show up in the worst case"
+    );
 }

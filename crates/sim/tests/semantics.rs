@@ -129,7 +129,11 @@ fn rearmed_timer_fires_once_at_the_new_deadline() {
     });
     let report = run(&system);
     let logs = user_logs(&report);
-    assert_eq!(logs, vec!["fired 1".to_owned()], "stale arming must be suppressed");
+    assert_eq!(
+        logs,
+        vec!["fired 1".to_owned()],
+        "stale arming must be suppressed"
+    );
 }
 
 #[test]
@@ -259,7 +263,12 @@ fn completion_transitions_chain_within_one_step() {
         .count();
     assert_eq!(execs, 1);
     // And it ends in state C.
-    match &report.log.records.iter().find(|r| matches!(r, LogRecord::Exec { .. })) {
+    match &report
+        .log
+        .records
+        .iter()
+        .find(|r| matches!(r, LogRecord::Exec { .. }))
+    {
         Some(LogRecord::Exec { to_state, .. }) => assert_eq!(to_state, "C"),
         other => panic!("unexpected {other:?}"),
     }

@@ -1,0 +1,199 @@
+//! Chrome trace-event JSON export (hand-rolled writer).
+//!
+//! The output loads in Perfetto (<https://ui.perfetto.dev>) and
+//! `chrome://tracing`. Layout:
+//!
+//! * process 1 "simulated" — tracks on the simulated clock, one thread
+//!   per track (processing elements, HIBI segments);
+//! * process 2 "host" — tracks on the monotonic host clock (tool
+//!   stages).
+//!
+//! Timestamps are emitted in microseconds (the trace-event unit) with
+//! nanosecond precision preserved as three decimals.
+
+use crate::recorder::{EventKind, Recorder};
+use crate::sink::Clock;
+
+/// Escapes a string for a JSON string literal (quotes not included).
+pub fn escape_json(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Nanoseconds rendered as microseconds with 3 decimals.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+fn pid(clock: Clock) -> u32 {
+    match clock {
+        Clock::Sim => 1,
+        Clock::Host => 2,
+    }
+}
+
+/// Renders the recorder's events as a complete Chrome trace-event JSON
+/// document (object form, `traceEvents` array).
+pub fn to_chrome_json(recorder: &Recorder) -> String {
+    let mut out = String::with_capacity(64 + recorder.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    let push = |out: &mut String, first: &mut bool, event: String| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push('\n');
+        out.push_str(&event);
+    };
+
+    // Metadata: name the two processes and every track (thread).
+    for (clock, label) in [(Clock::Sim, "simulated"), (Clock::Host, "host")] {
+        if recorder.tracks().iter().any(|t| t.clock == clock) {
+            push(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"ph\":\"M\",\"pid\":{},\"tid\":0,\"name\":\"process_name\",\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    pid(clock),
+                    label
+                ),
+            );
+        }
+    }
+    for (index, track) in recorder.tracks().iter().enumerate() {
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{},\"tid\":{},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                pid(track.clock),
+                index,
+                escape_json(&track.name)
+            ),
+        );
+    }
+
+    for event in recorder.events() {
+        let track = &recorder.tracks()[event.track.index()];
+        let (p, tid) = (pid(track.clock), event.track.index());
+        let name = escape_json(&event.name);
+        let ts = us(event.ts_ns);
+        let rendered = match event.kind {
+            EventKind::Span { dur_ns } => format!(
+                "{{\"ph\":\"X\",\"pid\":{p},\"tid\":{tid},\"name\":\"{name}\",\
+                 \"ts\":{ts},\"dur\":{}}}",
+                us(dur_ns)
+            ),
+            EventKind::Instant => format!(
+                "{{\"ph\":\"i\",\"pid\":{p},\"tid\":{tid},\"name\":\"{name}\",\
+                 \"ts\":{ts},\"s\":\"t\"}}"
+            ),
+            EventKind::Counter { value } => format!(
+                "{{\"ph\":\"C\",\"pid\":{p},\"tid\":{tid},\"name\":\"{name}\",\
+                 \"ts\":{ts},\"args\":{{\"value\":{}}}}}",
+                fmt_f64(value)
+            ),
+        };
+        push(&mut out, &mut first, rendered);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Renders a float as valid JSON (no NaN/Inf, which JSON forbids).
+fn fmt_f64(value: f64) -> String {
+    if value.is_finite() {
+        let text = format!("{value}");
+        // `{}` on a whole f64 prints without a dot; keep it numeric
+        // either way (both are valid JSON numbers).
+        text
+    } else {
+        "0".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use crate::sink::TraceSink;
+
+    fn sample() -> Recorder {
+        let mut rec = Recorder::new();
+        let cpu = rec.track("pe/cpu1", Clock::Sim);
+        let tool = rec.track("tool/profiling", Clock::Host);
+        rec.span(cpu, "step \"x\"", 1_500, 250);
+        rec.instant(cpu, "drop", 2_000);
+        rec.counter(cpu, "queue_depth", 2_000, 3.0);
+        rec.span(tool, "analyze", 10, 20);
+        rec
+    }
+
+    #[test]
+    fn output_is_valid_json() {
+        let text = to_chrome_json(&sample());
+        let doc = crate::json::parse(&text).expect("valid JSON");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // 2 process_name + 2 thread_name + 4 events.
+        assert_eq!(events.len(), 8);
+    }
+
+    #[test]
+    fn spans_carry_microsecond_timestamps() {
+        let text = to_chrome_json(&sample());
+        let doc = crate::json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let span = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .expect("one span event");
+        assert_eq!(span.get("ts").unwrap().as_f64(), Some(1.5));
+        assert_eq!(span.get("dur").unwrap().as_f64(), Some(0.25));
+    }
+
+    #[test]
+    fn host_tracks_live_in_process_two() {
+        let text = to_chrome_json(&sample());
+        let doc = crate::json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let host_span = events
+            .iter()
+            .find(|e| {
+                e.get("ph").and_then(Json::as_str) == Some("X")
+                    && e.get("pid").unwrap().as_f64() == Some(2.0)
+            })
+            .expect("host-clock span present");
+        assert_eq!(
+            host_span.get("name").and_then(Json::as_str),
+            Some("analyze")
+        );
+    }
+
+    #[test]
+    fn quotes_in_names_are_escaped() {
+        let text = to_chrome_json(&sample());
+        assert!(text.contains("step \\\"x\\\""));
+        crate::json::parse(&text).expect("still valid JSON");
+    }
+
+    #[test]
+    fn empty_recorder_exports_an_empty_array() {
+        let rec = Recorder::new();
+        let doc = crate::json::parse(&to_chrome_json(&rec)).unwrap();
+        assert_eq!(doc.get("traceEvents").unwrap().as_array().unwrap().len(), 0);
+    }
+}

@@ -82,7 +82,10 @@ pub fn msdu_rec(config: &TutmacConfig, signals: &Signals) -> StateMachine {
                 CostClass::Mem,
                 len(Expr::param("payload")).bin(BinOp::Div, Expr::int(16)),
             ),
-            assign("accepted", Expr::var("accepted").bin(BinOp::Add, Expr::int(1))),
+            assign(
+                "accepted",
+                Expr::var("accepted").bin(BinOp::Add, Expr::int(1)),
+            ),
             send("pDp", signals.msdu, vec![Expr::param("payload")]),
         ],
     );
@@ -102,7 +105,10 @@ pub fn msdu_del(config: &TutmacConfig, signals: &Signals) -> StateMachine {
         None,
         vec![
             compute(CostClass::Control, Expr::int(config.ui_control)),
-            assign("delivered", Expr::var("delivered").bin(BinOp::Add, Expr::int(1))),
+            assign(
+                "delivered",
+                Expr::var("delivered").bin(BinOp::Add, Expr::int(1)),
+            ),
             send("pUser", signals.msdu_ind, vec![Expr::param("payload")]),
         ],
     );
@@ -133,7 +139,11 @@ fn emit_fragment(config: &TutmacConfig, signals: &Signals) -> Vec<Statement> {
             ),
         ),
         compute(CostClass::Mem, Expr::int(config.dp_mem)),
-        send("pCrc", signals.tx_pdu, vec![Expr::var("piece"), Expr::var("seq")]),
+        send(
+            "pCrc",
+            signals.tx_pdu,
+            vec![Expr::var("piece"), Expr::var("seq")],
+        ),
         assign("seq", Expr::var("seq").bin(BinOp::Add, Expr::int(1))),
     ]
 }
@@ -220,7 +230,13 @@ pub fn frag(config: &TutmacConfig, signals: &Signals) -> StateMachine {
             else_branch: vec![assign("busy", Expr::bool(false))],
         }],
     }];
-    sm.add_transition(run, run, Trigger::Signal(signals.pdu_done), None, done_actions);
+    sm.add_transition(
+        run,
+        run,
+        Trigger::Signal(signals.pdu_done),
+        None,
+        done_actions,
+    );
     sm
 }
 
@@ -239,7 +255,10 @@ pub fn defrag(config: &TutmacConfig, signals: &Signals) -> StateMachine {
         None,
         vec![
             compute(CostClass::Mem, Expr::int(config.dp_mem)),
-            assign("received", Expr::var("received").bin(BinOp::Add, Expr::int(1))),
+            assign(
+                "received",
+                Expr::var("received").bin(BinOp::Add, Expr::int(1)),
+            ),
             send("pOut", signals.msdu_out, vec![Expr::param("payload")]),
         ],
     );
@@ -274,8 +293,7 @@ pub fn crc(config: &TutmacConfig, signals: &Signals) -> StateMachine {
                 "pOut",
                 signals.tx_frame,
                 vec![
-                    Expr::param("payload")
-                        .bin(BinOp::Add, pack(crc32(Expr::param("payload")), 4)),
+                    Expr::param("payload").bin(BinOp::Add, pack(crc32(Expr::param("payload")), 4)),
                     Expr::param("seq"),
                 ],
             ),
@@ -357,7 +375,13 @@ pub fn rca(config: &TutmacConfig, signals: &Signals) -> StateMachine {
         vec![Expr::var("buf"), Expr::var("cur_seq")],
     ));
     actions.push(set_timer("ackT", config.ack_timeout_ns));
-    sm.add_transition(idle, wait_ack, Trigger::Signal(signals.tx_frame), None, actions);
+    sm.add_transition(
+        idle,
+        wait_ack,
+        Trigger::Signal(signals.tx_frame),
+        None,
+        actions,
+    );
 
     // WaitAck + matching Ack: done, request the next fragment.
     sm.add_transition(
@@ -366,7 +390,9 @@ pub fn rca(config: &TutmacConfig, signals: &Signals) -> StateMachine {
         Trigger::Signal(signals.ack),
         Some(Expr::param("seq").bin(BinOp::Eq, Expr::var("cur_seq"))),
         vec![
-            Statement::CancelTimer { name: "ackT".into() },
+            Statement::CancelTimer {
+                name: "ackT".into(),
+            },
             compute(CostClass::Control, Expr::int(config.rca_ack_control)),
             send("pDp", signals.pdu_done, vec![Expr::var("cur_seq")]),
         ],
@@ -451,7 +477,10 @@ pub fn mng(config: &TutmacConfig, signals: &Signals) -> StateMachine {
         None,
         vec![
             compute(CostClass::Control, Expr::int(config.mng_beacon_control)),
-            assign("beacons", Expr::var("beacons").bin(BinOp::Add, Expr::int(1))),
+            assign(
+                "beacons",
+                Expr::var("beacons").bin(BinOp::Add, Expr::int(1)),
+            ),
             send(
                 "pRca",
                 signals.beacon_req,
@@ -601,8 +630,7 @@ pub fn channel(config: &TutmacConfig, signals: &Signals) -> StateMachine {
                 else_branch: vec![send(
                     "pRca",
                     signals.air_rx,
-                    vec![Expr::var("data")
-                        .bin(BinOp::Add, pack(crc32(Expr::var("data")), 4))],
+                    vec![Expr::var("data").bin(BinOp::Add, pack(crc32(Expr::var("data")), 4))],
                 )],
             },
             set_timer("rxT", config.rx_period_ns),

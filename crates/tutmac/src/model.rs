@@ -56,9 +56,7 @@ pub struct TutmacHandles {
 ///
 /// Returns [`BuildTutmacError`] if any profile application fails (which
 /// would indicate a bug in this builder).
-pub fn build_tutmac_system(
-    config: &TutmacConfig,
-) -> Result<SystemModel, BuildTutmacError> {
+pub fn build_tutmac_system(config: &TutmacConfig) -> Result<SystemModel, BuildTutmacError> {
     Ok(build_with_handles(config)?.0)
 }
 
@@ -93,9 +91,9 @@ pub fn build_with_handles(
 
     // Functional components.
     let functional = |s: &mut SystemModel,
-                          name: &str,
-                          code: i64,
-                          data: i64|
+                      name: &str,
+                      code: i64,
+                      data: i64|
      -> Result<ClassId, BuildTutmacError> {
         let class = s.model.add_class_in(Some(pkg), name);
         s.apply_with(
@@ -176,7 +174,9 @@ pub fn build_with_handles(
     s.model.port_mut(chan_rca).add_provided(signals.air_frame);
     s.model.port_mut(chan_rca).add_required(signals.air_rx);
     s.model.port_mut(chan_rca).add_required(signals.ack);
-    s.model.port_mut(chan_rmng).add_required(signals.quality_ind);
+    s.model
+        .port_mut(chan_rmng)
+        .add_required(signals.quality_ind);
 
     // Boundary ports of the structural components.
     let ui_user = s.model.add_port(user_interface, "pUser");
@@ -199,16 +199,20 @@ pub fn build_with_handles(
         .add_state_machine(msdu_rec_class, behavior::msdu_rec(config, &signals));
     s.model
         .add_state_machine(msdu_del_class, behavior::msdu_del(config, &signals));
-    s.model.add_state_machine(frag_class, behavior::frag(config, &signals));
+    s.model
+        .add_state_machine(frag_class, behavior::frag(config, &signals));
     s.model
         .add_state_machine(defrag_class, behavior::defrag(config, &signals));
-    s.model.add_state_machine(crc_class, behavior::crc(config, &signals));
+    s.model
+        .add_state_machine(crc_class, behavior::crc(config, &signals));
     s.model
         .add_state_machine(radio_channel_access, behavior::rca(config, &signals));
-    s.model.add_state_machine(management, behavior::mng(config, &signals));
+    s.model
+        .add_state_machine(management, behavior::mng(config, &signals));
     s.model
         .add_state_machine(radio_management, behavior::rmng(config, &signals));
-    s.model.add_state_machine(user_class, behavior::user(config, &signals));
+    s.model
+        .add_state_machine(user_class, behavior::user(config, &signals));
     s.model
         .add_state_machine(channel_class, behavior::channel(config, &signals));
 
@@ -230,18 +234,21 @@ pub fn build_with_handles(
     let channel_part = s.model.add_part(protocol, "channel", channel_class);
 
     // Stereotype the process instances (Figure 5: «ApplicationProcess»).
-    let process =
-        |s: &mut SystemModel, part: PropertyId, priority: i64, kind: &str| -> Result<(), BuildTutmacError> {
-            s.apply_with(
-                part,
-                |t| t.application_process,
-                [
-                    ("Priority", TagValue::Int(priority)),
-                    ("ProcessType", TagValue::Enum(kind.into())),
-                ],
-            )?;
-            Ok(())
-        };
+    let process = |s: &mut SystemModel,
+                   part: PropertyId,
+                   priority: i64,
+                   kind: &str|
+     -> Result<(), BuildTutmacError> {
+        s.apply_with(
+            part,
+            |t| t.application_process,
+            [
+                ("Priority", TagValue::Int(priority)),
+                ("ProcessType", TagValue::Enum(kind.into())),
+            ],
+        )?;
+        Ok(())
+    };
     process(&mut s, mng_part, 2, "general")?;
     process(&mut s, rmng_part, 1, "dsp")?;
     process(&mut s, rca_part, 3, "general")?;
@@ -263,29 +270,53 @@ pub fn build_with_handles(
         &mut s,
         user_interface,
         "uToRec",
-        ConnectorEnd { part: None, port: ui_user },
-        ConnectorEnd { part: Some(msdu_rec_part), port: rec_user },
+        ConnectorEnd {
+            part: None,
+            port: ui_user,
+        },
+        ConnectorEnd {
+            part: Some(msdu_rec_part),
+            port: rec_user,
+        },
     );
     conn(
         &mut s,
         user_interface,
         "delToU",
-        ConnectorEnd { part: None, port: ui_user },
-        ConnectorEnd { part: Some(msdu_del_part), port: del_user },
+        ConnectorEnd {
+            part: None,
+            port: ui_user,
+        },
+        ConnectorEnd {
+            part: Some(msdu_del_part),
+            port: del_user,
+        },
     );
     conn(
         &mut s,
         user_interface,
         "recToDp",
-        ConnectorEnd { part: None, port: ui_dp },
-        ConnectorEnd { part: Some(msdu_rec_part), port: rec_dp },
+        ConnectorEnd {
+            part: None,
+            port: ui_dp,
+        },
+        ConnectorEnd {
+            part: Some(msdu_rec_part),
+            port: rec_dp,
+        },
     );
     conn(
         &mut s,
         user_interface,
         "dpToDel",
-        ConnectorEnd { part: None, port: ui_dp },
-        ConnectorEnd { part: Some(msdu_del_part), port: del_dp },
+        ConnectorEnd {
+            part: None,
+            port: ui_dp,
+        },
+        ConnectorEnd {
+            part: Some(msdu_del_part),
+            port: del_dp,
+        },
     );
 
     // Delegation connectors inside DataProcessing.
@@ -293,51 +324,93 @@ pub fn build_with_handles(
         &mut s,
         data_processing,
         "uiToFrag",
-        ConnectorEnd { part: None, port: dp_ui },
-        ConnectorEnd { part: Some(frag_part), port: frag_in },
+        ConnectorEnd {
+            part: None,
+            port: dp_ui,
+        },
+        ConnectorEnd {
+            part: Some(frag_part),
+            port: frag_in,
+        },
     );
     conn(
         &mut s,
         data_processing,
         "defragToUi",
-        ConnectorEnd { part: None, port: dp_ui },
-        ConnectorEnd { part: Some(defrag_part), port: defrag_out },
+        ConnectorEnd {
+            part: None,
+            port: dp_ui,
+        },
+        ConnectorEnd {
+            part: Some(defrag_part),
+            port: defrag_out,
+        },
     );
     conn(
         &mut s,
         data_processing,
         "rcaToFrag",
-        ConnectorEnd { part: None, port: dp_rca },
-        ConnectorEnd { part: Some(frag_part), port: frag_in },
+        ConnectorEnd {
+            part: None,
+            port: dp_rca,
+        },
+        ConnectorEnd {
+            part: Some(frag_part),
+            port: frag_in,
+        },
     );
     conn(
         &mut s,
         data_processing,
         "rcaToCrc",
-        ConnectorEnd { part: None, port: dp_rca },
-        ConnectorEnd { part: Some(crc_part), port: crc_in },
+        ConnectorEnd {
+            part: None,
+            port: dp_rca,
+        },
+        ConnectorEnd {
+            part: Some(crc_part),
+            port: crc_in,
+        },
     );
     conn(
         &mut s,
         data_processing,
         "crcToRca",
-        ConnectorEnd { part: None, port: dp_rca },
-        ConnectorEnd { part: Some(crc_part), port: crc_out },
+        ConnectorEnd {
+            part: None,
+            port: dp_rca,
+        },
+        ConnectorEnd {
+            part: Some(crc_part),
+            port: crc_out,
+        },
     );
     // Assembly connectors inside DataProcessing.
     conn(
         &mut s,
         data_processing,
         "fragToCrc",
-        ConnectorEnd { part: Some(frag_part), port: frag_crc },
-        ConnectorEnd { part: Some(crc_part), port: crc_in },
+        ConnectorEnd {
+            part: Some(frag_part),
+            port: frag_crc,
+        },
+        ConnectorEnd {
+            part: Some(crc_part),
+            port: crc_in,
+        },
     );
     conn(
         &mut s,
         data_processing,
         "crcToDefrag",
-        ConnectorEnd { part: Some(crc_part), port: crc_out },
-        ConnectorEnd { part: Some(defrag_part), port: defrag_in },
+        ConnectorEnd {
+            part: Some(crc_part),
+            port: crc_out,
+        },
+        ConnectorEnd {
+            part: Some(defrag_part),
+            port: defrag_in,
+        },
     );
 
     // Top-level connectors (Figure 5).
@@ -345,43 +418,79 @@ pub fn build_with_handles(
         &mut s,
         protocol,
         "userToUi",
-        ConnectorEnd { part: Some(user_part), port: user_ui },
-        ConnectorEnd { part: Some(ui_part), port: ui_user },
+        ConnectorEnd {
+            part: Some(user_part),
+            port: user_ui,
+        },
+        ConnectorEnd {
+            part: Some(ui_part),
+            port: ui_user,
+        },
     );
     conn(
         &mut s,
         protocol,
         "uiToDp",
-        ConnectorEnd { part: Some(ui_part), port: ui_dp },
-        ConnectorEnd { part: Some(dp_part), port: dp_ui },
+        ConnectorEnd {
+            part: Some(ui_part),
+            port: ui_dp,
+        },
+        ConnectorEnd {
+            part: Some(dp_part),
+            port: dp_ui,
+        },
     );
     conn(
         &mut s,
         protocol,
         "dpToRca",
-        ConnectorEnd { part: Some(dp_part), port: dp_rca },
-        ConnectorEnd { part: Some(rca_part), port: rca_dp },
+        ConnectorEnd {
+            part: Some(dp_part),
+            port: dp_rca,
+        },
+        ConnectorEnd {
+            part: Some(rca_part),
+            port: rca_dp,
+        },
     );
     conn(
         &mut s,
         protocol,
         "mngToRca",
-        ConnectorEnd { part: Some(mng_part), port: mng_rca },
-        ConnectorEnd { part: Some(rca_part), port: rca_mng },
+        ConnectorEnd {
+            part: Some(mng_part),
+            port: mng_rca,
+        },
+        ConnectorEnd {
+            part: Some(rca_part),
+            port: rca_mng,
+        },
     );
     conn(
         &mut s,
         protocol,
         "rcaToPhy",
-        ConnectorEnd { part: Some(rca_part), port: rca_phy },
-        ConnectorEnd { part: Some(channel_part), port: chan_rca },
+        ConnectorEnd {
+            part: Some(rca_part),
+            port: rca_phy,
+        },
+        ConnectorEnd {
+            part: Some(channel_part),
+            port: chan_rca,
+        },
     );
     conn(
         &mut s,
         protocol,
         "chanToRmng",
-        ConnectorEnd { part: Some(channel_part), port: chan_rmng },
-        ConnectorEnd { part: Some(rmng_part), port: rmng_phy },
+        ConnectorEnd {
+            part: Some(channel_part),
+            port: chan_rmng,
+        },
+        ConnectorEnd {
+            part: Some(rmng_part),
+            port: rmng_phy,
+        },
     );
 
     // ---- Process grouping (Figure 6) --------------------------------------

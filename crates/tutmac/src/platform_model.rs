@@ -40,8 +40,13 @@ pub fn build_tutwlan_platform(
 
     // Component library entries (Table 3 parameters).
     let nios = system.add_platform_component("NiosCpu", ComponentKind::General, 50, 2.0, 0.50);
-    let crc_acc =
-        system.add_platform_component("CrcAccelerator", ComponentKind::HwAccelerator, 100, 0.2, 0.05);
+    let crc_acc = system.add_platform_component(
+        "CrcAccelerator",
+        ComponentKind::HwAccelerator,
+        100,
+        0.2,
+        0.05,
+    );
     let nios_port = system.model.add_port(nios, "hibi");
     let acc_port = system.model.add_port(crc_acc, "hibi");
 
@@ -84,23 +89,33 @@ pub fn build_tutwlan_platform(
     // of FIFOs.
     for pe in [p1, p2, p3] {
         system
-            .set_tag(pe, |t| t.platform_component_instance, "IntMemory", 256 * 1024i64)
+            .set_tag(
+                pe,
+                |t| t.platform_component_instance,
+                "IntMemory",
+                256 * 1024i64,
+            )
             .expect("fresh instance accepts the tag");
     }
     system
-        .set_tag(acc, |t| t.platform_component_instance, "IntMemory", 4 * 1024i64)
+        .set_tag(
+            acc,
+            |t| t.platform_component_instance,
+            "IntMemory",
+            4 * 1024i64,
+        )
         .expect("fresh instance accepts the tag");
 
     // One wrapper class per attachment, with HIBI parameters (§4.2: "the
     // specialized information contains sizes of buffers, bus arbitration,
     // and addressing").
     let attach = |system: &mut SystemModel,
-                      pe: PropertyId,
-                      pe_port: PortId,
-                      segment: PropertyId,
-                      segment_port: PortId,
-                      name: &str,
-                      address: i64|
+                  pe: PropertyId,
+                  pe_port: PortId,
+                  segment: PropertyId,
+                  segment_port: PortId,
+                  name: &str,
+                  address: i64|
      -> Result<(), BuildTutmacError> {
         let wrapper_class = system.model.add_class(format!("HibiWrapper_{name}"));
         system.apply_with(
@@ -117,7 +132,7 @@ pub fn build_tutwlan_platform(
         let wrapper = system.model.add_part(platform, name, wrapper_class);
         system.model.add_connector(
             platform,
-            &format!("{name}_pe"),
+            format!("{name}_pe"),
             ConnectorEnd {
                 part: Some(wrapper),
                 port: wrapper_pe,
@@ -129,7 +144,7 @@ pub fn build_tutwlan_platform(
         );
         system.model.add_connector(
             platform,
-            &format!("{name}_bus"),
+            format!("{name}_bus"),
             ConnectorEnd {
                 part: Some(wrapper),
                 port: wrapper_bus,
@@ -193,10 +208,22 @@ mod tests {
         assert_eq!(view.segments().len(), 3);
         assert_eq!(view.attachments().len(), 4);
         assert_eq!(view.bridges().len(), 2);
-        assert_eq!(view.segment_of(platform.processors[0]), Some(platform.segments[0]));
-        assert_eq!(view.segment_of(platform.processors[1]), Some(platform.segments[0]));
-        assert_eq!(view.segment_of(platform.processors[2]), Some(platform.segments[1]));
-        assert_eq!(view.segment_of(platform.accelerator), Some(platform.segments[1]));
+        assert_eq!(
+            view.segment_of(platform.processors[0]),
+            Some(platform.segments[0])
+        );
+        assert_eq!(
+            view.segment_of(platform.processors[1]),
+            Some(platform.segments[0])
+        );
+        assert_eq!(
+            view.segment_of(platform.processors[2]),
+            Some(platform.segments[1])
+        );
+        assert_eq!(
+            view.segment_of(platform.accelerator),
+            Some(platform.segments[1])
+        );
     }
 
     #[test]

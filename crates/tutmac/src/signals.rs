@@ -50,11 +50,15 @@ impl Signals {
         let msdu = bytes_signal(model, "Msdu", "payload");
 
         let tx_pdu = model.add_signal("TxPdu");
-        model.signal_mut(tx_pdu).add_param("payload", DataType::Bytes);
+        model
+            .signal_mut(tx_pdu)
+            .add_param("payload", DataType::Bytes);
         model.signal_mut(tx_pdu).add_param("seq", DataType::Int);
 
         let tx_frame = model.add_signal("TxFrame");
-        model.signal_mut(tx_frame).add_param("frame", DataType::Bytes);
+        model
+            .signal_mut(tx_frame)
+            .add_param("frame", DataType::Bytes);
         model.signal_mut(tx_frame).add_param("seq", DataType::Int);
 
         let pdu_done = model.add_signal("PduDone");
@@ -66,7 +70,9 @@ impl Signals {
         let beacon_req = bytes_signal(model, "BeaconReq", "frame");
 
         let air_frame = model.add_signal("AirFrame");
-        model.signal_mut(air_frame).add_param("frame", DataType::Bytes);
+        model
+            .signal_mut(air_frame)
+            .add_param("frame", DataType::Bytes);
         model.signal_mut(air_frame).add_param("seq", DataType::Int);
 
         let air_rx = bytes_signal(model, "AirRx", "frame");
@@ -75,7 +81,9 @@ impl Signals {
         model.signal_mut(ack).add_param("seq", DataType::Int);
 
         let quality_ind = model.add_signal("QualityInd");
-        model.signal_mut(quality_ind).add_param("rssi", DataType::Int);
+        model
+            .signal_mut(quality_ind)
+            .add_param("rssi", DataType::Int);
 
         Signals {
             msdu_req,

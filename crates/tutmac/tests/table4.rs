@@ -26,16 +26,34 @@ fn table4_shape_matches_the_paper() {
     // Paper: 92.1 / 5.2 / 2.5 / 0.2 / 0.0 %. We require the shape, with
     // generous bands.
     assert!(g1 > 0.80, "group1 must dominate: {g1:.3}\n{table}");
-    assert!(g2 > g3, "group2 ({g2:.3}) should exceed group3 ({g3:.3})\n{table}");
-    assert!(g3 > g4, "group3 ({g3:.3}) should exceed group4 ({g4:.3})\n{table}");
-    assert!(g4 < 0.02, "group4 on the accelerator must be tiny: {g4:.4}\n{table}");
-    assert!(env == 0.0, "environment must execute zero cycles: {env}\n{table}");
+    assert!(
+        g2 > g3,
+        "group2 ({g2:.3}) should exceed group3 ({g3:.3})\n{table}"
+    );
+    assert!(
+        g3 > g4,
+        "group3 ({g3:.3}) should exceed group4 ({g4:.3})\n{table}"
+    );
+    assert!(
+        g4 < 0.02,
+        "group4 on the accelerator must be tiny: {g4:.4}\n{table}"
+    );
+    assert!(
+        env == 0.0,
+        "environment must execute zero cycles: {env}\n{table}"
+    );
 
     // Communication structure (Table 4b): groups do exchange signals, and
     // the environment row is populated (user traffic + channel).
     let matrix = &report.signal_matrix;
-    assert!(matrix.between("group3", "group4").unwrap_or(0) > 0, "frag -> crc");
-    assert!(matrix.between("group4", "group1").unwrap_or(0) > 0, "crc -> rca");
+    assert!(
+        matrix.between("group3", "group4").unwrap_or(0) > 0,
+        "frag -> crc"
+    );
+    assert!(
+        matrix.between("group4", "group1").unwrap_or(0) > 0,
+        "crc -> rca"
+    );
     assert!(
         matrix.between("Environment", "group1").unwrap_or(0) > 0,
         "channel acks/frames -> rca"

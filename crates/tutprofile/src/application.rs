@@ -198,8 +198,7 @@ impl<'a> ApplicationView<'a> {
         s.model
             .dependencies()
             .filter(|(dep_id, dep)| {
-                s.has(*dep_id, s.tut.process_grouping)
-                    && dep.supplier() == ElementRef::Class(group)
+                s.has(*dep_id, s.tut.process_grouping) && dep.supplier() == ElementRef::Class(group)
             })
             .filter_map(|(_, dep)| match dep.client() {
                 ElementRef::Property(part) => Some(part),
@@ -214,8 +213,7 @@ impl<'a> ApplicationView<'a> {
         s.model
             .dependencies()
             .filter(|(dep_id, dep)| {
-                s.has(*dep_id, s.tut.process_grouping)
-                    && dep.client() == ElementRef::Property(part)
+                s.has(*dep_id, s.tut.process_grouping) && dep.client() == ElementRef::Property(part)
             })
             .find_map(|(_, dep)| match dep.supplier() {
                 ElementRef::Class(class) => Some(class),
@@ -229,8 +227,7 @@ impl<'a> ApplicationView<'a> {
         s.model
             .dependencies()
             .find(|(dep_id, dep)| {
-                s.has(*dep_id, s.tut.process_grouping)
-                    && dep.client() == ElementRef::Property(part)
+                s.has(*dep_id, s.tut.process_grouping) && dep.client() == ElementRef::Property(part)
             })
             .map(|(id, _)| id)
     }
@@ -368,7 +365,11 @@ mod tests {
 
     #[test]
     fn process_type_literals_round_trip() {
-        for t in [ProcessType::General, ProcessType::Dsp, ProcessType::Hardware] {
+        for t in [
+            ProcessType::General,
+            ProcessType::Dsp,
+            ProcessType::Hardware,
+        ] {
             assert_eq!(ProcessType::from_literal(t.literal()), Some(t));
         }
         assert_eq!(ProcessType::from_literal("fpga"), None);

@@ -77,7 +77,9 @@ impl FlowStage {
             FlowStage::Validation => "tut-profile (rules)",
             FlowStage::ModelParsing => "tut-profiling (model stage)",
             FlowStage::CodeGeneration => "tut-codegen",
-            FlowStage::Compilation => "tut-codegen (emitted sources) / tut-sim (executable semantics)",
+            FlowStage::Compilation => {
+                "tut-codegen (emitted sources) / tut-sim (executable semantics)"
+            }
             FlowStage::Simulation => "tut-sim",
             FlowStage::Profiling => "tut-profiling",
             FlowStage::Implementation => "tut-sim prototype execution",
@@ -120,7 +122,11 @@ mod tests {
     #[test]
     fn render_mentions_key_artefacts() {
         let text = render_flow();
-        for token in ["simulation log-file", "profiling report", "application C code"] {
+        for token in [
+            "simulation log-file",
+            "profiling report",
+            "application C code",
+        ] {
             assert!(text.contains(token), "flow missing `{token}`");
         }
     }
@@ -128,6 +134,8 @@ mod tests {
     #[test]
     fn stages_name_their_crates() {
         assert!(FlowStage::Simulation.implemented_by().contains("tut-sim"));
-        assert!(FlowStage::Profiling.implemented_by().contains("tut-profiling"));
+        assert!(FlowStage::Profiling
+            .implemented_by()
+            .contains("tut-profiling"));
     }
 }

@@ -101,12 +101,7 @@ impl SystemModel {
     /// # Panics
     ///
     /// Panics on profile errors (construction bug).
-    pub fn map_group(
-        &mut self,
-        group: ClassId,
-        instance: PropertyId,
-        fixed: bool,
-    ) -> DependencyId {
+    pub fn map_group(&mut self, group: ClassId, instance: PropertyId, fixed: bool) -> DependencyId {
         let dep = self.model.add_dependency("mapping", group, instance);
         self.apply_with(
             dep,

@@ -215,10 +215,14 @@ impl<'a> PlatformView<'a> {
             .filter(|(id, _)| s.has(*id, s.tut.platform_component_instance))
             .map(|(id, prop)| {
                 let component = prop.type_();
-                let inst_tag =
-                    |name: &str| s.tag_value(id, s.tut.platform_component_instance, name).cloned();
-                let comp_tag =
-                    |name: &str| s.tag_value(component, s.tut.platform_component, name).cloned();
+                let inst_tag = |name: &str| {
+                    s.tag_value(id, s.tut.platform_component_instance, name)
+                        .cloned()
+                };
+                let comp_tag = |name: &str| {
+                    s.tag_value(component, s.tut.platform_component, name)
+                        .cloned()
+                };
                 InstanceInfo {
                     part: id,
                     name: prop.name().to_owned(),
@@ -228,7 +232,9 @@ impl<'a> PlatformView<'a> {
                         .unwrap_or_default(),
                     id: inst_tag("ID").and_then(|v| v.as_int()),
                     priority: inst_tag("Priority").and_then(|v| v.as_int()).unwrap_or(0),
-                    int_memory: inst_tag("IntMemory").and_then(|v| v.as_int()).unwrap_or(65536),
+                    int_memory: inst_tag("IntMemory")
+                        .and_then(|v| v.as_int())
+                        .unwrap_or(65536),
                     frequency: comp_tag("Frequency").and_then(|v| v.as_int()).unwrap_or(50),
                     area: comp_tag("Area").and_then(|v| v.as_real()),
                     power: comp_tag("Power").and_then(|v| v.as_real()),
@@ -251,7 +257,10 @@ impl<'a> PlatformView<'a> {
             .filter(|(_, prop)| s.has(prop.type_(), s.tut.communication_segment))
             .map(|(id, prop)| {
                 let class = prop.type_();
-                let tag = |name: &str| s.tag_value(class, s.tut.communication_segment, name).cloned();
+                let tag = |name: &str| {
+                    s.tag_value(class, s.tut.communication_segment, name)
+                        .cloned()
+                };
                 SegmentInfo {
                     part: id,
                     name: prop.name().to_owned(),
@@ -271,7 +280,10 @@ impl<'a> PlatformView<'a> {
         let s = self.system;
         let prop = s.model.property(part);
         let class = prop.type_();
-        let tag = |name: &str| s.tag_value(class, s.tut.communication_wrapper, name).cloned();
+        let tag = |name: &str| {
+            s.tag_value(class, s.tut.communication_wrapper, name)
+                .cloned()
+        };
         WrapperInfo {
             part,
             name: prop.name().to_owned(),
@@ -432,7 +444,10 @@ impl SystemModel {
         self.apply_with(
             part,
             |t| t.platform_component_instance,
-            [("ID", TagValue::Int(id)), ("Priority", TagValue::Int(priority))],
+            [
+                ("ID", TagValue::Int(id)),
+                ("Priority", TagValue::Int(priority)),
+            ],
         )
         .expect("fresh part accepts the stereotype");
         part
@@ -452,7 +467,8 @@ mod tests {
         s.apply(platform, |t| t.platform).unwrap();
 
         let nios = s.add_platform_component("Nios", ComponentKind::General, 50, 2.0, 0.5);
-        let crc = s.add_platform_component("Crc32Acc", ComponentKind::HwAccelerator, 100, 0.2, 0.05);
+        let crc =
+            s.add_platform_component("Crc32Acc", ComponentKind::HwAccelerator, 100, 0.2, 0.05);
 
         let seg_class = s.model.add_class("HibiSegment");
         s.apply_with(
@@ -491,15 +507,27 @@ mod tests {
             let w = s.model.add_part(platform, n, wrap_class);
             s.model.add_connector(
                 platform,
-                &format!("{n}_pe"),
-                ConnectorEnd { part: Some(w), port: wrap_pe },
-                ConnectorEnd { part: Some(pe), port },
+                format!("{n}_pe"),
+                ConnectorEnd {
+                    part: Some(w),
+                    port: wrap_pe,
+                },
+                ConnectorEnd {
+                    part: Some(pe),
+                    port,
+                },
             );
             s.model.add_connector(
                 platform,
-                &format!("{n}_bus"),
-                ConnectorEnd { part: Some(w), port: wrap_bus },
-                ConnectorEnd { part: Some(seg), port: seg_port },
+                format!("{n}_bus"),
+                ConnectorEnd {
+                    part: Some(w),
+                    port: wrap_bus,
+                },
+                ConnectorEnd {
+                    part: Some(seg),
+                    port: seg_port,
+                },
             );
         };
         attach(&mut s, cpu1, seg1, "w1", pe_port);
@@ -508,8 +536,14 @@ mod tests {
         s.model.add_connector(
             platform,
             "bridge",
-            ConnectorEnd { part: Some(seg1), port: seg_port },
-            ConnectorEnd { part: Some(seg2), port: seg_port },
+            ConnectorEnd {
+                part: Some(seg1),
+                port: seg_port,
+            },
+            ConnectorEnd {
+                part: Some(seg2),
+                port: seg_port,
+            },
         );
         (s, vec![cpu1, cpu2, acc], vec![seg1, seg2])
     }
@@ -539,7 +573,10 @@ mod tests {
         let seg1 = segments.iter().find(|x| x.part == segs[0]).unwrap();
         assert_eq!(seg1.arbitration, Arbitration::RoundRobin);
         assert_eq!(seg1.frequency, 100);
-        assert_eq!(seg1.tdma_slots, 0, "HIBI default visible through base query");
+        assert_eq!(
+            seg1.tdma_slots, 0,
+            "HIBI default visible through base query"
+        );
     }
 
     #[test]
@@ -566,10 +603,18 @@ mod tests {
 
     #[test]
     fn literals_round_trip() {
-        for k in [ComponentKind::General, ComponentKind::Dsp, ComponentKind::HwAccelerator] {
+        for k in [
+            ComponentKind::General,
+            ComponentKind::Dsp,
+            ComponentKind::HwAccelerator,
+        ] {
             assert_eq!(ComponentKind::from_literal(k.literal()), Some(k));
         }
-        for a in [Arbitration::Priority, Arbitration::RoundRobin, Arbitration::Tdma] {
+        for a in [
+            Arbitration::Priority,
+            Arbitration::RoundRobin,
+            Arbitration::Tdma,
+        ] {
             assert_eq!(Arbitration::from_literal(a.literal()), Some(a));
         }
     }

@@ -193,7 +193,12 @@ impl TutProfile {
                 "Type of a component (general/dsp/hw accelerator)",
             )
             .tag_full("Area", TagType::Real, None, "Area of a component")
-            .tag_full("Power", TagType::Real, None, "Power consumption of a component")
+            .tag_full(
+                "Power",
+                TagType::Real,
+                None,
+                "Power consumption of a component",
+            )
             .tag_full(
                 "Frequency",
                 TagType::Int,
@@ -211,7 +216,12 @@ impl TutProfile {
                 Some(TagValue::Int(0)),
                 "Execution priority of a component instance",
             )
-            .tag_full("ID", TagType::Int, None, "Unique ID of a component instance")
+            .tag_full(
+                "ID",
+                TagType::Int,
+                None,
+                "Unique ID of a component instance",
+            )
             .tag_full(
                 "IntMemory",
                 TagType::Int,
@@ -332,7 +342,9 @@ impl TutProfile {
         out.push_str("    --composition--> \u{ab}ApplicationComponent\u{bb}\n");
         out.push_str("      --instantiate--> \u{ab}ApplicationProcess\u{bb}\n");
         out.push_str("        --\u{ab}ProcessGrouping\u{bb}--> \u{ab}ProcessGroup\u{bb}\n");
-        out.push_str("          --\u{ab}PlatformMapping\u{bb}--> \u{ab}PlatformComponentInstance\u{bb}\n");
+        out.push_str(
+            "          --\u{ab}PlatformMapping\u{bb}--> \u{ab}PlatformComponentInstance\u{bb}\n",
+        );
         out.push_str("      <--instantiate-- \u{ab}PlatformComponent\u{bb}\n");
         out.push_str("    <--composition-- \u{ab}Platform\u{bb}\n");
         out.push_str("  communication: \u{ab}CommunicationSegment\u{bb} / \u{ab}CommunicationWrapper\u{bb}\n");
@@ -398,7 +410,10 @@ mod tests {
         let tut = TutProfile::new();
         let p = tut.profile();
         assert_eq!(p.get(tut.application).extends(), Metaclass::Class);
-        assert_eq!(p.get(tut.application_process).extends(), Metaclass::Property);
+        assert_eq!(
+            p.get(tut.application_process).extends(),
+            Metaclass::Property
+        );
         assert_eq!(p.get(tut.process_grouping).extends(), Metaclass::Dependency);
         assert_eq!(p.get(tut.platform_mapping).extends(), Metaclass::Dependency);
         assert_eq!(
@@ -413,9 +428,18 @@ mod tests {
         let tut = TutProfile::new();
         let p = tut.profile();
         for tag in ["Priority", "CodeMemory", "DataMemory", "RealTimeType"] {
-            assert!(p.tag_def(tut.application, tag).is_some(), "Application::{tag}");
+            assert!(
+                p.tag_def(tut.application, tag).is_some(),
+                "Application::{tag}"
+            );
         }
-        for tag in ["Priority", "CodeMemory", "DataMemory", "RealTimeType", "ProcessType"] {
+        for tag in [
+            "Priority",
+            "CodeMemory",
+            "DataMemory",
+            "RealTimeType",
+            "ProcessType",
+        ] {
             assert!(
                 p.tag_def(tut.application_process, tag).is_some(),
                 "ApplicationProcess::{tag}"
@@ -462,7 +486,12 @@ mod tests {
     fn hierarchy_mentions_every_layer() {
         let tut = TutProfile::new();
         let h = tut.hierarchy();
-        for token in ["Application", "ProcessGroup", "PlatformMapping", "HIBISegment"] {
+        for token in [
+            "Application",
+            "ProcessGroup",
+            "PlatformMapping",
+            "HIBISegment",
+        ] {
             assert!(h.contains(token), "hierarchy missing {token}");
         }
     }

@@ -96,8 +96,7 @@ pub fn tut_profile_rules(tut: &TutProfile) -> ConstraintSet {
         "\u{ab}ApplicationComponent\u{bb} classes are active with behaviour",
         move |model: &Model, p: &Profile, apps: &Applications, out: &mut Vec<RuleViolation>| {
             for (id, class) in model.classes() {
-                if apps.has_stereotype(p, id, t.application_component)
-                    && class.behavior().is_none()
+                if apps.has_stereotype(p, id, t.application_component) && class.behavior().is_none()
                 {
                     out.push(violation(
                         "component-has-behaviour",
@@ -218,10 +217,7 @@ pub fn tut_profile_rules(tut: &TutProfile) -> ConstraintSet {
                         "process-in-one-group",
                         Severity::Error,
                         ElementRef::Property(part_id),
-                        format!(
-                            "process `{}` belongs to {memberships} groups",
-                            prop.name()
-                        ),
+                        format!("process `{}` belongs to {memberships} groups", prop.name()),
                     ));
                 }
             }
@@ -366,9 +362,7 @@ pub fn tut_profile_rules(tut: &TutProfile) -> ConstraintSet {
                     .and_then(|v| v.as_int())
                 {
                     Some(instance_id) => {
-                        if let Some(previous) =
-                            seen.insert(instance_id, prop.name().to_owned())
-                        {
+                        if let Some(previous) = seen.insert(instance_id, prop.name().to_owned()) {
                             out.push(violation(
                                 "instance-ids-unique",
                                 Severity::Error,
@@ -560,11 +554,7 @@ mod tests {
     }
 
     fn check(system: &SystemModel) -> Vec<RuleViolation> {
-        tut_profile_rules(&system.tut).check_all(
-            &system.model,
-            system.tut.profile(),
-            &system.apps,
-        )
+        tut_profile_rules(&system.tut).check_all(&system.model, system.tut.profile(), &system.apps)
     }
 
     #[test]
@@ -602,8 +592,13 @@ mod tests {
         assert!(rule_names(&check(&s)).contains(&"instance-memory-fits"));
 
         // Raising IntMemory clears the violation.
-        s.set_tag(cpu, |t| t.platform_component_instance, "IntMemory", 128 * 1024i64)
-            .unwrap();
+        s.set_tag(
+            cpu,
+            |t| t.platform_component_instance,
+            "IntMemory",
+            128 * 1024i64,
+        )
+        .unwrap();
         assert!(!rule_names(&check(&s)).contains(&"instance-memory-fits"));
     }
 
@@ -660,7 +655,10 @@ mod tests {
         let part = s.model.add_part(top, "p", comp);
         s.apply(part, |t| t.application_process).unwrap();
         let violations = check(&s);
-        let w = violations.iter().find(|v| v.rule == "process-grouped").unwrap();
+        let w = violations
+            .iter()
+            .find(|v| v.rule == "process-grouped")
+            .unwrap();
         assert_eq!(w.severity, Severity::Warning);
     }
 

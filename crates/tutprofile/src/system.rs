@@ -139,8 +139,7 @@ impl SystemModel {
     /// Propagates interchange errors.
     pub fn from_xml(text: &str) -> Result<SystemModel, ProfileError> {
         let tut = TutProfile::new();
-        let (model, apps) =
-            tut_profile_core::interchange::read_document(text, tut.profile())?;
+        let (model, apps) = tut_profile_core::interchange::read_document(text, tut.profile())?;
         Ok(SystemModel { tut, model, apps })
     }
 
@@ -206,7 +205,8 @@ mod tests {
         let mut s = SystemModel::new("S");
         let c = s.model.add_class("App");
         s.apply(c, |t| t.application).unwrap();
-        s.set_tag(c, |t| t.application, "CodeMemory", 4096i64).unwrap();
+        s.set_tag(c, |t| t.application, "CodeMemory", 4096i64)
+            .unwrap();
         let text = s.to_xml();
         let parsed = SystemModel::from_xml(&text).unwrap();
         assert_eq!(parsed.model, s.model);

@@ -47,11 +47,7 @@ fn tagged_value_rows(tut: &TutProfile, stereotypes: &[StereotypeId]) -> String {
         let st = p.get(id);
         out.push_str(&format!("Stereotype {}\n", st.guillemets()));
         for def in st.own_tags() {
-            out.push_str(&format!(
-                "{} | {}\n",
-                pad(&def.name, 14),
-                def.description
-            ));
+            out.push_str(&format!("{} | {}\n", pad(&def.name, 14), def.description));
         }
     }
     out
@@ -137,8 +133,18 @@ mod tests {
         let tut = TutProfile::new();
         let t = table3(&tut);
         for token in [
-            "Type", "Area", "Power", "ID", "IntMemory", "DataWidth", "Frequency",
-            "Arbitration", "Address", "BufferSize", "MaxTime", "TdmaSlots",
+            "Type",
+            "Area",
+            "Power",
+            "ID",
+            "IntMemory",
+            "DataWidth",
+            "Frequency",
+            "Arbitration",
+            "Address",
+            "BufferSize",
+            "MaxTime",
+            "TdmaSlots",
         ] {
             assert!(t.contains(token), "table 3 missing `{token}`");
         }

@@ -22,7 +22,6 @@ use crate::value::{DataType, Value};
 
 /// Binary operators of the action language.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub enum BinOp {
     /// `+` (also byte/string concatenation when both operands are buffers).
     Add,
@@ -90,7 +89,6 @@ impl BinOp {
 
 /// Unary operators.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub enum UnaryOp {
     /// Logical negation.
     Not,
@@ -100,7 +98,6 @@ pub enum UnaryOp {
 
 /// Built-in functions available to expressions.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub enum Builtin {
     /// `len(bytes|str) -> int`.
     Len,
@@ -176,7 +173,6 @@ impl Builtin {
 
 /// An expression of the action language. Expressions are pure.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub enum Expr {
     /// A literal value.
     Lit(Value),
@@ -525,7 +521,6 @@ impl fmt::Display for Expr {
 /// a penalty; "hardware" workloads (bit-level processing such as CRC) are
 /// what the paper offloads to the CRC accelerator.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub enum CostClass {
     /// Control-flow-dominated general-purpose processing.
     Control,
@@ -568,7 +563,6 @@ impl fmt::Display for CostClass {
 
 /// A statement of the action language.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub enum Statement {
     /// `var := expr` — assigns a process-local variable.
     Assign {
@@ -769,9 +763,10 @@ pub fn execute(
                 }
             }
             Statement::Compute { class, amount } => {
-                let units = amount.eval(env)?.as_int().ok_or_else(|| {
-                    Error::Action("compute amount must evaluate to Int".into())
-                })?;
+                let units = amount
+                    .eval(env)?
+                    .as_int()
+                    .ok_or_else(|| Error::Action("compute amount must evaluate to Int".into()))?;
                 *weight += amount.weight();
                 effects.push(Effect::Compute {
                     class: *class,
@@ -798,9 +793,10 @@ pub fn execute(
                 effects.push(Effect::Log(rendered));
             }
             Statement::SetTimer { name, duration } => {
-                let d = duration.eval(env)?.as_int().ok_or_else(|| {
-                    Error::Action("timer duration must evaluate to Int".into())
-                })?;
+                let d = duration
+                    .eval(env)?
+                    .as_int()
+                    .ok_or_else(|| Error::Action("timer duration must evaluate to Int".into()))?;
                 *weight += duration.weight();
                 effects.push(Effect::SetTimer {
                     name: name.clone(),
@@ -862,7 +858,9 @@ mod tests {
 
     #[test]
     fn arithmetic() {
-        let e = Expr::int(2).bin(BinOp::Add, Expr::int(3)).bin(BinOp::Mul, Expr::int(4));
+        let e = Expr::int(2)
+            .bin(BinOp::Add, Expr::int(3))
+            .bin(BinOp::Mul, Expr::int(4));
         assert_eq!(eval(&e), Value::Int(20));
         let e = Expr::int(7).bin(BinOp::Mod, Expr::int(3));
         assert_eq!(eval(&e), Value::Int(1));
@@ -881,10 +879,7 @@ mod tests {
             .bin(BinOp::And, Expr::bool(true));
         assert_eq!(eval(&e), Value::Bool(true));
         // Short-circuit: rhs would divide by zero.
-        let e = Expr::bool(false).bin(
-            BinOp::And,
-            Expr::int(1).bin(BinOp::Div, Expr::int(0)),
-        );
+        let e = Expr::bool(false).bin(BinOp::And, Expr::int(1).bin(BinOp::Div, Expr::int(0)));
         assert_eq!(eval(&e), Value::Bool(false));
     }
 
@@ -1104,7 +1099,12 @@ mod tests {
 
     #[test]
     fn cost_class_names_round_trip() {
-        for c in [CostClass::Control, CostClass::Dsp, CostClass::Bit, CostClass::Mem] {
+        for c in [
+            CostClass::Control,
+            CostClass::Dsp,
+            CostClass::Bit,
+            CostClass::Mem,
+        ] {
             assert_eq!(CostClass::from_name(c.name()), Some(c));
         }
     }

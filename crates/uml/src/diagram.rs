@@ -74,7 +74,11 @@ fn render_class(
 ) {
     let class = model.class(class_id);
     let indent = "  ".repeat(depth);
-    let kind = if class.is_active() { "active" } else { "passive" };
+    let kind = if class.is_active() {
+        "active"
+    } else {
+        "passive"
+    };
     let _ = writeln!(
         out,
         "{indent}{}class {} ({kind})",

@@ -11,8 +11,6 @@ macro_rules! define_id {
     ($(#[$doc:meta])* $name:ident, $tag:literal) => {
         $(#[$doc])*
         #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-        #[derive(serde::Serialize, serde::Deserialize)]
-        #[serde(transparent)]
         pub struct $name(u32);
 
         impl $name {
@@ -86,7 +84,6 @@ define_id!(
 /// metaclasses that TUT-Profile extends: `Class`, `Property` (class
 /// instances / parts) and `Dependency`.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub enum ElementRef {
     /// A class element.
     Class(ClassId),
@@ -175,7 +172,6 @@ impl From<PackageId> for ElementRef {
 /// extensibility, §2 of the paper); applying a stereotype to an element of a
 /// different metaclass is rejected by the profile layer.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub enum Metaclass {
     /// `uml::Class`.
     Class,

@@ -122,9 +122,9 @@ impl InstanceTree {
 
     /// Finds the direct child of `parent` introduced by `part`.
     pub fn child(&self, parent: InstanceIndex, part: PropertyId) -> Option<InstanceIndex> {
-        self.nodes.iter().position(|n| {
-            n.parent == Some(parent) && n.path.last() == Some(&part)
-        })
+        self.nodes
+            .iter()
+            .position(|n| n.parent == Some(parent) && n.path.last() == Some(&part))
     }
 
     /// A human-readable dotted name, e.g. `ui.msduRec`, or the class name
@@ -212,8 +212,7 @@ impl RoutingTable {
                                 continue;
                             }
                             let next_class = model.class(tree.node(next.instance).class);
-                            let provides =
-                                model.port(next.port).provided().contains(&signal);
+                            let provides = model.port(next.port).provided().contains(&signal);
                             if next_class.is_active() && next.instance != source_instance {
                                 if provides {
                                     receivers.push(next);
@@ -337,10 +336,7 @@ mod tests {
         assert_eq!(tree.nodes().len(), 4);
         let actives = tree.active_instances(&m);
         assert_eq!(actives.len(), 2);
-        let names: Vec<_> = actives
-            .iter()
-            .map(|&i| tree.display_name(&m, i))
-            .collect();
+        let names: Vec<_> = actives.iter().map(|&i| tree.display_name(&m, i)).collect();
         assert!(names.contains(&"peer".to_owned()));
         assert!(names.contains(&"shell.inner".to_owned()));
     }
@@ -387,11 +383,11 @@ mod tests {
         let inner_part = m.find_part(shell_class, "inner").unwrap();
         let shell_index = tree.find_by_path(&[shell_part]).unwrap();
         let inner_index = tree.child(shell_index, inner_part).unwrap();
+        assert_eq!(tree.node(inner_index).class, m.find_class("Inner").unwrap());
         assert_eq!(
-            tree.node(inner_index).class,
-            m.find_class("Inner").unwrap()
+            tree.find_by_path(&[shell_part, inner_part]),
+            Some(inner_index)
         );
-        assert_eq!(tree.find_by_path(&[shell_part, inner_part]), Some(inner_index));
     }
 
     #[test]

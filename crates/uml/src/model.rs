@@ -16,7 +16,7 @@ use crate::statemachine::StateMachine;
 use crate::value::DataType;
 
 /// A UML package: a namespace for classes.
-#[derive(Clone, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Package {
     name: String,
     parent: Option<PackageId>,
@@ -36,7 +36,7 @@ impl Package {
 
 /// A typed attribute of a class (becomes a process-local variable for
 /// active classes).
-#[derive(Clone, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Attribute {
     /// Attribute name.
     pub name: String,
@@ -49,7 +49,7 @@ pub struct Attribute {
 /// Active classes ("functional components" in the paper) carry behaviour
 /// via a [`StateMachine`]; passive classes ("structural components") only
 /// have composite structure.
-#[derive(Clone, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Class {
     name: String,
     package: Option<PackageId>,
@@ -124,7 +124,7 @@ impl Class {
 
 /// A property: a composite-structure part (a class instance playing a role
 /// inside another class, e.g. `mng : Management` in Figure 5).
-#[derive(Clone, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Property {
     name: String,
     owner: ClassId,
@@ -155,7 +155,7 @@ impl Property {
 }
 
 /// A port: an interaction point on a class through which signals flow.
-#[derive(Clone, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Port {
     name: String,
     owner: ClassId,
@@ -202,7 +202,7 @@ impl Port {
 /// One end of a connector: a port, optionally qualified by the part it
 /// belongs to. `part == None` means the port sits on the boundary of the
 /// class that owns the connector (a delegation connector end).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct ConnectorEnd {
     /// The part whose port is connected, or `None` for the owning class's
     /// own boundary port.
@@ -212,7 +212,7 @@ pub struct ConnectorEnd {
 }
 
 /// A connector between two ports in a composite structure.
-#[derive(Clone, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Connector {
     name: String,
     owner: ClassId,
@@ -237,7 +237,7 @@ impl Connector {
 }
 
 /// A parameter of a signal.
-#[derive(Clone, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct SignalParam {
     /// Parameter name.
     pub name: String,
@@ -246,7 +246,7 @@ pub struct SignalParam {
 }
 
 /// A signal type: an asynchronous message with typed parameters.
-#[derive(Clone, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Signal {
     name: String,
     params: Vec<SignalParam>,
@@ -275,7 +275,7 @@ impl Signal {
 /// A UML dependency between two elements. TUT-Profile stereotypes
 /// dependencies to express process grouping (`«ProcessGrouping»`) and
 /// platform mapping (`«PlatformMapping»`).
-#[derive(Clone, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Dependency {
     name: String,
     client: ElementRef,
@@ -302,7 +302,7 @@ impl Dependency {
 /// A complete UML model: the arena of all elements.
 ///
 /// See the [crate-level documentation](crate) for an overview and example.
-#[derive(Clone, PartialEq, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct Model {
     name: String,
     packages: Vec<Package>,
@@ -359,11 +359,35 @@ impl Model {
         &self.name
     }
 
-    accessors!(package, package_mut, packages, packages, Package, PackageId, "package");
+    accessors!(
+        package,
+        package_mut,
+        packages,
+        packages,
+        Package,
+        PackageId,
+        "package"
+    );
     accessors!(class, class_mut, classes, classes, Class, ClassId, "class");
-    accessors!(property, property_mut, properties, properties, Property, PropertyId, "property");
+    accessors!(
+        property,
+        property_mut,
+        properties,
+        properties,
+        Property,
+        PropertyId,
+        "property"
+    );
     accessors!(port, port_mut, ports, ports, Port, PortId, "port");
-    accessors!(connector, connector_mut, connectors, connectors, Connector, ConnectorId, "connector");
+    accessors!(
+        connector,
+        connector_mut,
+        connectors,
+        connectors,
+        Connector,
+        ConnectorId,
+        "connector"
+    );
     accessors!(signal, signal_mut, signals, signals, Signal, SignalId, "signal");
     accessors!(
         dependency,
@@ -409,11 +433,7 @@ impl Model {
     }
 
     /// Adds a class inside `package`.
-    pub fn add_class_in(
-        &mut self,
-        package: Option<PackageId>,
-        name: impl Into<String>,
-    ) -> ClassId {
+    pub fn add_class_in(&mut self, package: Option<PackageId>, name: impl Into<String>) -> ClassId {
         let id = ClassId::from_index(self.classes.len());
         self.classes.push(Class {
             name: name.into(),
@@ -685,7 +705,9 @@ mod tests {
         let dep = m.add_dependency("grouping", part, g);
         assert_eq!(m.dependency(dep).client(), ElementRef::Property(part));
         assert_eq!(m.dependency(dep).supplier(), ElementRef::Class(g));
-        assert!(m.display_name(ElementRef::Dependency(dep)).contains("grouping"));
+        assert!(m
+            .display_name(ElementRef::Dependency(dep))
+            .contains("grouping"));
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::ids::{SignalId, StateId, TransitionId};
 use crate::value::{DataType, Value};
 
 /// The event that triggers a transition.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Trigger {
     /// The arrival of a signal of the given type.
     Signal(SignalId),
@@ -36,7 +36,7 @@ pub enum Trigger {
 }
 
 /// A typed variable of the state machine (the "extended" part of EFSM).
-#[derive(Clone, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Variable {
     /// Variable name.
     pub name: String,
@@ -47,7 +47,7 @@ pub struct Variable {
 }
 
 /// A state of the machine.
-#[derive(Clone, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct State {
     name: String,
     entry: Vec<Statement>,
@@ -66,7 +66,7 @@ impl State {
 }
 
 /// A transition between two states.
-#[derive(Clone, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Transition {
     source: StateId,
     target: StateId,
@@ -129,7 +129,7 @@ impl Transition {
 /// );
 /// assert!(sm.check().is_ok());
 /// ```
-#[derive(Clone, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct StateMachine {
     name: String,
     variables: Vec<Variable>,
@@ -298,7 +298,10 @@ impl StateMachine {
             )));
         }
         let initial = self.initial.ok_or_else(|| {
-            Error::WellFormedness(format!("state machine `{}` has no initial state", self.name))
+            Error::WellFormedness(format!(
+                "state machine `{}` has no initial state",
+                self.name
+            ))
         })?;
         if initial.index() >= self.states.len() {
             return Err(Error::WellFormedness(format!(
@@ -383,7 +386,13 @@ mod tests {
         let mut sm = StateMachine::new("D");
         let a = sm.add_state("A");
         sm.set_initial(a);
-        sm.add_transition(a, StateId::from_index(9), Trigger::Signal(sig), None, vec![]);
+        sm.add_transition(
+            a,
+            StateId::from_index(9),
+            Trigger::Signal(sig),
+            None,
+            vec![],
+        );
         assert!(sm.check().is_err());
     }
 

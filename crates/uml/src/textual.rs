@@ -416,7 +416,7 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             let hex = self.string_literal()?;
             let cleaned: String = hex.chars().filter(|c| !c.is_whitespace()).collect();
-            if cleaned.len() % 2 != 0 {
+            if !cleaned.len().is_multiple_of(2) {
                 return Err(self.error("hex literal needs an even digit count"));
             }
             let mut bytes = Vec::with_capacity(cleaned.len() / 2);
@@ -524,9 +524,9 @@ impl<'a> Parser<'a> {
             let model = self
                 .model
                 .ok_or_else(|| self.error("send statements need a model for signal lookup"))?;
-            let signal = model.find_signal(&signal_name).ok_or_else(|| {
-                self.error(format!("unknown signal `{signal_name}`"))
-            })?;
+            let signal = model
+                .find_signal(&signal_name)
+                .ok_or_else(|| self.error(format!("unknown signal `{signal_name}`")))?;
             self.expect("(")?;
             let args = self.args()?;
             self.expect(")")?;
@@ -579,7 +579,11 @@ impl<'a> Parser<'a> {
         }
         if self.eat_keyword("log") {
             let message = self.string_literal()?;
-            let args = if self.eat(",") { self.args()? } else { Vec::new() };
+            let args = if self.eat(",") {
+                self.args()?
+            } else {
+                Vec::new()
+            };
             self.expect(";")?;
             return Ok(Statement::Log { message, args });
         }
@@ -610,7 +614,10 @@ mod tests {
     use crate::action::Env;
 
     fn eval(text: &str) -> Value {
-        parse_expr(text).expect("parse").eval(&Env::new()).expect("eval")
+        parse_expr(text)
+            .expect("parse")
+            .eval(&Env::new())
+            .expect("eval")
     }
 
     #[test]
@@ -643,7 +650,10 @@ mod tests {
         assert_eq!(eval("1_000_000"), Value::Int(1_000_000));
         assert_eq!(eval("true"), Value::Bool(true));
         assert_eq!(eval("\"hi\""), Value::Str("hi".into()));
-        assert_eq!(eval("x\"dead beef\""), Value::Bytes(vec![0xde, 0xad, 0xbe, 0xef]));
+        assert_eq!(
+            eval("x\"dead beef\""),
+            Value::Bytes(vec![0xde, 0xad, 0xbe, 0xef])
+        );
         assert_eq!(eval("-5"), Value::Int(-5));
     }
 

@@ -409,7 +409,9 @@ mod tests {
             },
         );
         let v = check_model(&m);
-        assert!(v.iter().any(|x| x.message.contains("not a port of part type")));
+        assert!(v
+            .iter()
+            .any(|x| x.message.contains("not a port of part type")));
     }
 
     #[test]
@@ -454,6 +456,8 @@ mod tests {
         let c = m.add_class("C");
         m.class_mut(c).set_active(true);
         let v = check_model(&m);
-        assert!(v.iter().any(|x| x.message.contains("no classifier behaviour")));
+        assert!(v
+            .iter()
+            .any(|x| x.message.contains("no classifier behaviour")));
     }
 }

@@ -5,7 +5,6 @@ use std::fmt;
 
 /// The data types understood by the action language and signal parameters.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub enum DataType {
     /// 64-bit signed integer.
     Int,
@@ -69,7 +68,6 @@ impl fmt::Display for DataType {
 /// A runtime value: variable contents, signal payload field, or the result
 /// of evaluating an action-language expression.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub enum Value {
     /// Integer value.
     Int(i64),
@@ -221,7 +219,12 @@ mod tests {
 
     #[test]
     fn type_names_round_trip() {
-        for t in [DataType::Int, DataType::Bool, DataType::Bytes, DataType::Str] {
+        for t in [
+            DataType::Int,
+            DataType::Bool,
+            DataType::Bytes,
+            DataType::Str,
+        ] {
             assert_eq!(DataType::from_name(t.name()), Some(t));
         }
         assert_eq!(DataType::from_name("Float"), None);

@@ -151,7 +151,8 @@ pub fn to_xml_node(model: &Model) -> XmlNode {
                 }
             }
             if let Some(guard) = t.guard() {
-                tn.add_child(XmlNode::new("guard")).add_child(encode_expr(guard));
+                tn.add_child(XmlNode::new("guard"))
+                    .add_child(encode_expr(guard));
             }
             if !t.actions().is_empty() {
                 let actions = tn.add_child(XmlNode::new("actions"));
@@ -217,7 +218,10 @@ pub fn from_xml_node(root: &XmlNode) -> Result<Model> {
                 .class_mut(id)
                 .add_attribute(attr.required_attr("name")?, parse_type(attr)?);
         }
-        let general = node.attr("general").map(|s| parse_id(s, "class")).transpose()?;
+        let general = node
+            .attr("general")
+            .map(|s| parse_id(s, "class"))
+            .transpose()?;
         let active = node.attr("isActive") == Some("true");
         class_fixups.push((id, general, active));
     }
@@ -264,12 +268,7 @@ pub fn from_xml_node(root: &XmlNode) -> Result<Model> {
             let port = PortId::from_index(parse_id(end.required_attr("port")?, "port")?);
             decoded.push(ConnectorEnd { part, port });
         }
-        let id = model.add_connector(
-            owner,
-            node.required_attr("name")?,
-            decoded[0],
-            decoded[1],
-        );
+        let id = model.add_connector(owner, node.required_attr("name")?, decoded[0], decoded[1]);
         check_id(node, &id.to_string())?;
     }
     for node in typed("uml:Dependency") {
@@ -349,10 +348,7 @@ pub fn from_xml_node(root: &XmlNode) -> Result<Model> {
             sm.add_transition(source, target, trigger, guard, actions);
         }
         let owner = owners.get(i).copied().flatten().ok_or_else(|| {
-            Error::XmiStructure(format!(
-                "state machine `{}` has no owning class",
-                sm.name()
-            ))
+            Error::XmiStructure(format!("state machine `{}` has no owning class", sm.name()))
         })?;
         model.add_state_machine(owner, sm);
     }
@@ -449,7 +445,7 @@ fn hex_encode(bytes: &[u8]) -> String {
 }
 
 fn hex_decode(text: &str) -> Result<Vec<u8>> {
-    if text.len() % 2 != 0 {
+    if !text.len().is_multiple_of(2) {
         return Err(Error::XmiStructure("odd-length hex string".into()));
     }
     (0..text.len())
@@ -682,7 +678,8 @@ pub fn encode_statement(statement: &Statement) -> XmlNode {
             else_branch,
         } => {
             let mut node = XmlNode::new("if");
-            node.add_child(XmlNode::new("cond")).add_child(encode_expr(cond));
+            node.add_child(XmlNode::new("cond"))
+                .add_child(encode_expr(cond));
             let then_node = node.add_child(XmlNode::new("then"));
             for s in then_branch {
                 then_node.add_child(encode_statement(s));
@@ -700,7 +697,8 @@ pub fn encode_statement(statement: &Statement) -> XmlNode {
         } => {
             let mut node = XmlNode::new("while");
             node.set_attr("max", max_iter.to_string());
-            node.add_child(XmlNode::new("cond")).add_child(encode_expr(cond));
+            node.add_child(XmlNode::new("cond"))
+                .add_child(encode_expr(cond));
             let body_node = node.add_child(XmlNode::new("body"));
             for s in body {
                 body_node.add_child(encode_statement(s));
@@ -746,71 +744,85 @@ fn decode_statements(parent: &XmlNode) -> Result<Vec<Statement>> {
 /// Returns [`Error::XmiStructure`] for unknown node names or malformed
 /// children.
 pub fn decode_statement(node: &XmlNode) -> Result<Statement> {
-    let statement = match node.name.as_str() {
-        "assign" => Statement::Assign {
-            var: node.required_attr("var")?.to_owned(),
-            expr: decode_expr(node.children.first().ok_or_else(|| {
-                Error::XmiStructure("assign node missing expression".into())
-            })?)?,
-        },
-        "send" => Statement::Send {
-            port: node.required_attr("port")?.to_owned(),
-            signal: SignalId::from_index(parse_id(node.required_attr("signal")?, "sig")?),
-            args: node.children.iter().map(decode_expr).collect::<Result<_>>()?,
-        },
-        "if" => {
-            let cond_node = node.required_child("cond")?;
-            Statement::If {
-                cond: decode_expr(cond_node.children.first().ok_or_else(|| {
-                    Error::XmiStructure("if condition is empty".into())
+    let statement =
+        match node.name.as_str() {
+            "assign" => Statement::Assign {
+                var: node.required_attr("var")?.to_owned(),
+                expr: decode_expr(node.children.first().ok_or_else(|| {
+                    Error::XmiStructure("assign node missing expression".into())
                 })?)?,
-                then_branch: decode_statements(node.required_child("then")?)?,
-                else_branch: decode_statements(node.required_child("else")?)?,
+            },
+            "send" => Statement::Send {
+                port: node.required_attr("port")?.to_owned(),
+                signal: SignalId::from_index(parse_id(node.required_attr("signal")?, "sig")?),
+                args: node
+                    .children
+                    .iter()
+                    .map(decode_expr)
+                    .collect::<Result<_>>()?,
+            },
+            "if" => {
+                let cond_node = node.required_child("cond")?;
+                Statement::If {
+                    cond: decode_expr(
+                        cond_node
+                            .children
+                            .first()
+                            .ok_or_else(|| Error::XmiStructure("if condition is empty".into()))?,
+                    )?,
+                    then_branch: decode_statements(node.required_child("then")?)?,
+                    else_branch: decode_statements(node.required_child("else")?)?,
+                }
             }
-        }
-        "while" => {
-            let cond_node = node.required_child("cond")?;
-            Statement::While {
-                cond: decode_expr(cond_node.children.first().ok_or_else(|| {
-                    Error::XmiStructure("while condition is empty".into())
+            "while" => {
+                let cond_node = node.required_child("cond")?;
+                Statement::While {
+                    cond: decode_expr(
+                        cond_node.children.first().ok_or_else(|| {
+                            Error::XmiStructure("while condition is empty".into())
+                        })?,
+                    )?,
+                    body: decode_statements(node.required_child("body")?)?,
+                    max_iter: node
+                        .required_attr("max")?
+                        .parse()
+                        .map_err(|_| Error::XmiStructure("bad while bound".into()))?,
+                }
+            }
+            "compute" => {
+                let class_name = node.required_attr("class")?;
+                Statement::Compute {
+                    class: CostClass::from_name(class_name).ok_or_else(|| {
+                        Error::XmiStructure(format!("unknown cost class `{class_name}`"))
+                    })?,
+                    amount: decode_expr(node.children.first().ok_or_else(|| {
+                        Error::XmiStructure("compute node missing amount".into())
+                    })?)?,
+                }
+            }
+            "log" => Statement::Log {
+                message: node.required_attr("message")?.to_owned(),
+                args: node
+                    .children
+                    .iter()
+                    .map(decode_expr)
+                    .collect::<Result<_>>()?,
+            },
+            "settimer" => Statement::SetTimer {
+                name: node.required_attr("name")?.to_owned(),
+                duration: decode_expr(node.children.first().ok_or_else(|| {
+                    Error::XmiStructure("settimer node missing duration".into())
                 })?)?,
-                body: decode_statements(node.required_child("body")?)?,
-                max_iter: node
-                    .required_attr("max")?
-                    .parse()
-                    .map_err(|_| Error::XmiStructure("bad while bound".into()))?,
+            },
+            "canceltimer" => Statement::CancelTimer {
+                name: node.required_attr("name")?.to_owned(),
+            },
+            other => {
+                return Err(Error::XmiStructure(format!(
+                    "unknown statement node `{other}`"
+                )))
             }
-        }
-        "compute" => {
-            let class_name = node.required_attr("class")?;
-            Statement::Compute {
-                class: CostClass::from_name(class_name).ok_or_else(|| {
-                    Error::XmiStructure(format!("unknown cost class `{class_name}`"))
-                })?,
-                amount: decode_expr(node.children.first().ok_or_else(|| {
-                    Error::XmiStructure("compute node missing amount".into())
-                })?)?,
-            }
-        }
-        "log" => Statement::Log {
-            message: node.required_attr("message")?.to_owned(),
-            args: node.children.iter().map(decode_expr).collect::<Result<_>>()?,
-        },
-        "settimer" => Statement::SetTimer {
-            name: node.required_attr("name")?.to_owned(),
-            duration: decode_expr(node.children.first().ok_or_else(|| {
-                Error::XmiStructure("settimer node missing duration".into())
-            })?)?,
-        },
-        "canceltimer" => Statement::CancelTimer {
-            name: node.required_attr("name")?.to_owned(),
-        },
-        other => {
-            return Err(Error::XmiStructure(format!(
-                "unknown statement node `{other}`"
-            )))
-        }
-    };
+        };
     Ok(statement)
 }
 
@@ -887,7 +899,13 @@ mod tests {
             ],
         );
         sm.add_transition(busy, idle, Trigger::Timer("tick".into()), None, vec![]);
-        sm.add_transition(busy, busy, Trigger::Completion, Some(Expr::bool(false)), vec![]);
+        sm.add_transition(
+            busy,
+            busy,
+            Trigger::Completion,
+            Some(Expr::bool(false)),
+            vec![],
+        );
         m.add_state_machine(worker, sm);
         m
     }

@@ -140,7 +140,7 @@ impl XmlNode {
                 out.push_str("  ");
             }
         }
-        let _ = write!(out, "</{}>\n", self.name);
+        let _ = writeln!(out, "</{}>", self.name);
     }
 
     /// Parses a document and returns its root element.
@@ -209,10 +209,7 @@ impl<'a> Parser<'a> {
     fn skip_prolog(&mut self) -> Result<()> {
         self.skip_whitespace();
         if self.starts_with("<?xml") {
-            match self.bytes[self.pos..]
-                .windows(2)
-                .position(|w| w == b"?>")
-            {
+            match self.bytes[self.pos..].windows(2).position(|w| w == b"?>") {
                 Some(rel) => self.pos += rel + 2,
                 None => return Err(self.error("unterminated xml declaration")),
             }
@@ -349,7 +346,8 @@ impl<'a> Parser<'a> {
                     }
                     let raw = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| self.error("text content is not utf-8"))?;
-                    node.text.push_str(&unescape(raw).map_err(|m| self.error(m))?);
+                    node.text
+                        .push_str(&unescape(raw).map_err(|m| self.error(m))?);
                 }
                 None => return Err(self.error(format!("unterminated element `{}`", node.name))),
             }

@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  inter-group signals: {}",
         report.signal_matrix.inter_group()
     );
-    println!("  bottleneck busy    : {} ns / 10 ms", bottleneck_ns(&system));
+    println!(
+        "  bottleneck busy    : {} ns / 10 ms",
+        bottleneck_ns(&system)
+    );
 
     // Grouping analysis: does the partitioner agree with Figure 6?
     let graph = explore::CommGraph::from_report(&report);

@@ -27,13 +27,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let frame = s.model.add_signal("Frame");
     s.model.signal_mut(frame).add_param("data", DataType::Bytes);
     let packet = s.model.add_signal("Packet");
-    s.model.signal_mut(packet).add_param("data", DataType::Bytes);
+    s.model
+        .signal_mut(packet)
+        .add_param("data", DataType::Bytes);
 
     // ---- Stage builder: behaviour written in the textual notation ------
     let stage = |s: &mut SystemModel,
-                     name: &str,
-                     on_frame: &str,
-                     entry: &str|
+                 name: &str,
+                 on_frame: &str,
+                 entry: &str|
      -> Result<_, Box<dyn std::error::Error>> {
         let class = s.model.add_class(name);
         s.apply(class, |t| t.application_component)?;
@@ -144,11 +146,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let enc = s.model.add_part(top, "encode", encode);
     let pack = s.model.add_part(top, "packetize", packetize);
     let snk = s.model.add_part(top, "sink", sink);
-    for (part, kind, priority) in [
-        (pre, "dsp", 2i64),
-        (enc, "dsp", 3),
-        (pack, "general", 1),
-    ] {
+    for (part, kind, priority) in [(pre, "dsp", 2i64), (enc, "dsp", 3), (pack, "general", 1)] {
         s.apply_with(
             part,
             |t| t.application_process,
@@ -164,8 +162,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         s.model.add_connector(
             top,
             name,
-            ConnectorEnd { part: Some(a), port: ap },
-            ConnectorEnd { part: Some(b), port: bp },
+            ConnectorEnd {
+                part: Some(a),
+                port: ap,
+            },
+            ConnectorEnd {
+                part: Some(b),
+                port: bp,
+            },
         );
     };
     wire(&mut s, "c1", cap, cap_out, pre, pre_in);

@@ -91,8 +91,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     system.model.add_connector(
         top,
         "pipe",
-        ConnectorEnd { part: Some(producer_part), port: p_out },
-        ConnectorEnd { part: Some(consumer_part), port: c_in },
+        ConnectorEnd {
+            part: Some(producer_part),
+            port: p_out,
+        },
+        ConnectorEnd {
+            part: Some(consumer_part),
+            port: c_in,
+        },
     );
 
     // ---- 2. Grouping + platform + mapping -------------------------------

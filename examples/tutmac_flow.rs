@@ -36,12 +36,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let files = codegen::generate_project(&system)?;
     println!("\ncode generation:");
     for file in &files {
-        println!("  {:>24}  {:>6} lines", file.name, file.contents.lines().count());
+        println!(
+            "  {:>24}  {:>6} lines",
+            file.name,
+            file.contents.lines().count()
+        );
     }
 
     // Stage 5+6: simulation producing the log-file.
-    let report = Simulation::from_system(&system, SimConfig::with_horizon_ns(20_000_000))?
-        .run()?;
+    let report = Simulation::from_system(&system, SimConfig::with_horizon_ns(20_000_000))?.run()?;
     println!("\nsimulation: {}", report.summary());
     let log_text = report.log.to_text();
 

@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let parsed = SystemModel::from_xml(&xml)?;
     assert_eq!(parsed.model, system.model, "model round trip must be exact");
-    assert_eq!(parsed.apps, system.apps, "profile application round trip must be exact");
+    assert_eq!(
+        parsed.apps, system.apps,
+        "profile application round trip must be exact"
+    );
     println!("round trip: exact (model and stereotype applications identical)");
 
     // A taste of the content: the first few lines.

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full local verification: tier-1 (build + tests) plus lints.
+#
+#   scripts/verify.sh          # run everything
+#   scripts/verify.sh --quick  # tier-1 only (skip clippy/fmt)
+#
+# Everything runs offline; the workspace has no external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+if [[ "$quick" -eq 0 ]]; then
+    echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+
+    echo "==> cargo fmt --check"
+    cargo fmt --check
+fi
+
+echo "==> OK"

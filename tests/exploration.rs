@@ -10,8 +10,8 @@ use tut_profile_suite::tutmac::{self, TutmacConfig};
 #[test]
 fn partitioner_reproduces_the_papers_grouping_intent() {
     let system = tutmac::build_tutmac_system(&TutmacConfig::default()).expect("build");
-    let report =
-        profiling::profile_system(&system, SimConfig::with_horizon_ns(20_000_000)).expect("profile");
+    let report = profiling::profile_system(&system, SimConfig::with_horizon_ns(20_000_000))
+        .expect("profile");
     let graph = explore::CommGraph::from_report(&report);
 
     // Pin the environment out of the way, then ask for 5 parts.
@@ -65,9 +65,10 @@ fn partitioner_reproduces_the_papers_grouping_intent() {
 
 #[test]
 fn remapping_respects_fixed_group4() {
-    let (system, handles) = tutmac::model::build_with_handles(&TutmacConfig::default()).expect("build");
-    let report =
-        profiling::profile_system(&system, SimConfig::with_horizon_ns(10_000_000)).expect("profile");
+    let (system, handles) =
+        tutmac::model::build_with_handles(&TutmacConfig::default()).expect("build");
+    let report = profiling::profile_system(&system, SimConfig::with_horizon_ns(10_000_000))
+        .expect("profile");
     let (problem, groups, instances) =
         explore::mapping::problem_from_system(&system, &report).expect("problem");
 
@@ -93,8 +94,8 @@ fn remapping_respects_fixed_group4() {
     );
     // The remapped system still validates and simulates.
     assert!(remapped.validate_errors().is_empty());
-    let report2 =
-        profiling::profile_system(&remapped, SimConfig::with_horizon_ns(5_000_000)).expect("reprofile");
+    let report2 = profiling::profile_system(&remapped, SimConfig::with_horizon_ns(5_000_000))
+        .expect("reprofile");
     assert!(report2.total_cycles > 0);
 }
 

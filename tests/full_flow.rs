@@ -46,7 +46,10 @@ fn the_protocol_delivers_data_end_to_end() {
         .iter()
         .filter(|r| matches!(r, LogRecord::Sig { signal, .. } if signal == "Ack"))
         .count();
-    assert!(air_frames > acks, "losses force retransmissions: {air_frames} vs {acks}");
+    assert!(
+        air_frames > acks,
+        "losses force retransmissions: {air_frames} vs {acks}"
+    );
 }
 
 #[test]

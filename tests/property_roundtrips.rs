@@ -1,92 +1,125 @@
-//! Property-based tests on the cross-crate invariants: random models
+//! Randomised tests on the cross-crate invariants: random models
 //! survive the XMI round trip, random expressions survive the structural
-//! encoding, random logs survive the text round trip, and random tagged
-//! values respect their declared types.
-
-use proptest::prelude::*;
+//! encoding, random logs survive the text round trip — driven by a
+//! seeded in-tree generator (deterministic, no external dependencies).
 
 use tut_profile_suite::sim::{LogRecord, SimLog};
-use tut_profile_suite::uml::action::{BinOp, Builtin, Expr};
+use tut_profile_suite::uml::action::{BinOp, Builtin, Expr, UnaryOp};
 use tut_profile_suite::uml::value::{DataType, Value};
 use tut_profile_suite::uml::xmi;
 use tut_profile_suite::uml::Model;
+use tut_trace::SplitMix64;
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        any::<i64>().prop_map(Value::Int),
-        any::<bool>().prop_map(Value::Bool),
-        proptest::collection::vec(any::<u8>(), 0..32).prop_map(Value::Bytes),
-        "[a-zA-Z0-9 <>&'\"]{0,24}".prop_map(Value::Str),
-    ]
+const CASES: usize = 64;
+
+fn rand_ident(rng: &mut SplitMix64) -> String {
+    const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    const REST: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+    let mut out = String::new();
+    out.push(FIRST[rng.next_index(FIRST.len())] as char);
+    for _ in 0..rng.next_index(8) {
+        out.push(REST[rng.next_index(REST.len())] as char);
+    }
+    out
 }
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        arb_value().prop_map(Expr::Lit),
-        "[a-z][a-z0-9_]{0,8}".prop_map(Expr::Var),
-        "[a-z][a-z0-9_]{0,8}".prop_map(Expr::Param),
-    ];
-    leaf.prop_recursive(4, 32, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.bin(BinOp::Add, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.bin(BinOp::Shl, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.bin(BinOp::Lt, b)),
-            inner
-                .clone()
-                .prop_map(|e| Expr::Unary(tut_profile_suite::uml::action::UnaryOp::Not, Box::new(e))),
-            inner.clone().prop_map(|e| Expr::call(Builtin::Len, vec![e])),
-            (inner.clone(), inner).prop_map(|(a, b)| Expr::call(Builtin::Min, vec![a, b])),
-        ]
-    })
+fn rand_text(rng: &mut SplitMix64) -> String {
+    // Includes XML-delicate characters on purpose.
+    const CHARS: &[u8] = b"abcXYZ019 <>&'\"";
+    (0..rng.next_index(24))
+        .map(|_| CHARS[rng.next_index(CHARS.len())] as char)
+        .collect()
+}
+
+fn rand_value(rng: &mut SplitMix64) -> Value {
+    match rng.next_index(4) {
+        0 => Value::Int(rng.next_u64() as i64),
+        1 => Value::Bool(rng.next_index(2) == 0),
+        2 => {
+            let mut bytes = vec![0u8; rng.next_index(32)];
+            rng.fill_bytes(&mut bytes);
+            Value::Bytes(bytes)
+        }
+        _ => Value::Str(rand_text(rng)),
+    }
+}
+
+fn rand_expr(rng: &mut SplitMix64, depth: usize) -> Expr {
+    if depth == 0 || rng.next_index(3) == 0 {
+        return match rng.next_index(3) {
+            0 => Expr::Lit(rand_value(rng)),
+            1 => Expr::Var(rand_ident(rng)),
+            _ => Expr::Param(rand_ident(rng)),
+        };
+    }
+    match rng.next_index(6) {
+        0 => rand_expr(rng, depth - 1).bin(BinOp::Add, rand_expr(rng, depth - 1)),
+        1 => rand_expr(rng, depth - 1).bin(BinOp::Shl, rand_expr(rng, depth - 1)),
+        2 => rand_expr(rng, depth - 1).bin(BinOp::Lt, rand_expr(rng, depth - 1)),
+        3 => Expr::Unary(UnaryOp::Not, Box::new(rand_expr(rng, depth - 1))),
+        4 => Expr::call(Builtin::Len, vec![rand_expr(rng, depth - 1)]),
+        _ => Expr::call(
+            Builtin::Min,
+            vec![rand_expr(rng, depth - 1), rand_expr(rng, depth - 1)],
+        ),
+    }
 }
 
 /// Expressions restricted to forms whose `Display` output is valid
 /// textual-notation input (byte/string literals print as summaries, so
 /// they are excluded here and covered by the structural round trip).
-fn arb_textual_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0i64..1_000_000).prop_map(Expr::int),
-        any::<bool>().prop_map(Expr::bool),
-        "[a-z][a-z0-9_]{0,8}".prop_map(Expr::Var),
-        "[a-z][a-z0-9_]{0,8}".prop_map(Expr::Param),
+fn rand_textual_expr(rng: &mut SplitMix64, depth: usize) -> Expr {
+    if depth == 0 || rng.next_index(3) == 0 {
+        return match rng.next_index(4) {
+            0 => Expr::int(rng.next_index(1_000_000) as i64),
+            1 => Expr::bool(rng.next_index(2) == 0),
+            2 => Expr::Var(rand_ident(rng)),
+            _ => Expr::Param(rand_ident(rng)),
+        };
+    }
+    const OPS: [BinOp; 8] = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Lt,
+        BinOp::Eq,
+        BinOp::And,
+        BinOp::BitAnd,
+        BinOp::Shl,
     ];
-    leaf.prop_recursive(4, 24, 2, |inner| {
-        let ops = prop_oneof![
-            Just(BinOp::Add),
-            Just(BinOp::Sub),
-            Just(BinOp::Mul),
-            Just(BinOp::Lt),
-            Just(BinOp::Eq),
-            Just(BinOp::And),
-            Just(BinOp::BitAnd),
-            Just(BinOp::Shl),
-        ];
-        prop_oneof![
-            (inner.clone(), ops, inner.clone()).prop_map(|(a, op, b)| a.bin(op, b)),
-            inner
-                .clone()
-                .prop_map(|e| Expr::Unary(tut_profile_suite::uml::action::UnaryOp::Not, Box::new(e))),
-            (inner.clone(), inner).prop_map(|(a, b)| Expr::call(Builtin::Max, vec![a, b])),
-        ]
-    })
+    match rng.next_index(3) {
+        0 => {
+            let op = OPS[rng.next_index(OPS.len())];
+            rand_textual_expr(rng, depth - 1).bin(op, rand_textual_expr(rng, depth - 1))
+        }
+        1 => Expr::Unary(UnaryOp::Not, Box::new(rand_textual_expr(rng, depth - 1))),
+        _ => Expr::call(
+            Builtin::Max,
+            vec![
+                rand_textual_expr(rng, depth - 1),
+                rand_textual_expr(rng, depth - 1),
+            ],
+        ),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn expressions_round_trip_structurally(expr in arb_expr()) {
+#[test]
+fn expressions_round_trip_structurally() {
+    let mut rng = SplitMix64::new(0x0E17_0001);
+    for _ in 0..CASES {
+        let expr = rand_expr(&mut rng, 4);
         let node = xmi::encode_expr(&expr);
         let decoded = xmi::decode_expr(&node).expect("decode");
-        prop_assert_eq!(decoded, expr);
+        assert_eq!(decoded, expr);
     }
+}
 
-    #[test]
-    fn random_models_round_trip_through_xmi(
-        class_count in 1usize..8,
-        signal_count in 1usize..5,
-        part_seed in any::<u64>(),
-    ) {
+#[test]
+fn random_models_round_trip_through_xmi() {
+    let mut rng = SplitMix64::new(0x0E17_0002);
+    for _ in 0..CASES {
+        let class_count = 1 + rng.next_index(7);
+        let signal_count = 1 + rng.next_index(4);
         let mut model = Model::new("Random");
         let signals: Vec<_> = (0..signal_count)
             .map(|i| {
@@ -98,34 +131,32 @@ proptest! {
         let classes: Vec<_> = (0..class_count)
             .map(|i| model.add_class(format!("C{i}")))
             .collect();
-        // Deterministic pseudo-random structure from the seed.
-        let mut state = part_seed | 1;
-        let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (state >> 33) as usize
-        };
         for (i, &class) in classes.iter().enumerate() {
             let port = model.add_port(class, format!("p{i}"));
-            model.port_mut(port).add_provided(signals[next() % signals.len()]);
-            if i > 0 && next() % 2 == 0 {
-                let parent = classes[next() % i];
+            model
+                .port_mut(port)
+                .add_provided(signals[rng.next_index(signals.len())]);
+            if i > 0 && rng.next_index(2) == 0 {
+                let parent = classes[rng.next_index(i)];
                 // Only parts towards earlier classes: keeps composition acyclic.
                 model.add_part(class, format!("part{i}"), parent);
             }
         }
         let text = xmi::to_xml(&model);
         let parsed = xmi::from_xml(&text).expect("parse");
-        prop_assert_eq!(parsed, model);
+        assert_eq!(parsed, model);
     }
+}
 
-    #[test]
-    fn log_records_round_trip_as_text(
-        time in any::<u64>(),
-        cycles in any::<u64>(),
-        process in "[a-z][a-z0-9.]{0,12}",
-        signal in "[A-Z][a-zA-Z0-9]{0,10}",
-        bytes in any::<u64>(),
-    ) {
+#[test]
+fn log_records_round_trip_as_text() {
+    let mut rng = SplitMix64::new(0x0E17_0003);
+    for _ in 0..CASES {
+        let time = rng.next_u64();
+        let cycles = rng.next_u64();
+        let process = rand_ident(&mut rng);
+        let signal = rand_text(&mut rng);
+        let bytes = rng.next_u64();
         let mut log = SimLog::new();
         log.push(LogRecord::Exec {
             time_ns: time,
@@ -139,39 +170,52 @@ proptest! {
         log.push(LogRecord::Sig {
             time_ns: time,
             sender: process.clone(),
-            receiver: process.clone(),
+            receiver: process,
             signal,
             bytes,
             latency_ns: 7,
         });
         let parsed = SimLog::parse(&log.to_text()).expect("parse");
-        prop_assert_eq!(parsed, log);
+        assert_eq!(parsed, log);
     }
+}
 
-    #[test]
-    fn eval_never_panics(expr in arb_expr()) {
+#[test]
+fn eval_never_panics() {
+    let mut rng = SplitMix64::new(0x0E17_0004);
+    for _ in 0..CASES {
         // Arbitrary expressions may fail to evaluate (unbound variables,
         // type errors) but must never panic.
+        let expr = rand_expr(&mut rng, 4);
         let env = tut_profile_suite::uml::action::Env::new()
             .with_var("a", 1i64)
             .with_var("b", vec![1u8, 2, 3]);
         let _ = expr.eval(&env);
     }
+}
 
-    #[test]
-    fn display_form_reparses_to_the_same_ast(expr in arb_textual_expr()) {
+#[test]
+fn display_form_reparses_to_the_same_ast() {
+    let mut rng = SplitMix64::new(0x0E17_0005);
+    for _ in 0..CASES {
         // `Display` prints fully parenthesised text; the textual parser
         // must read it back to the identical AST.
+        let expr = rand_textual_expr(&mut rng, 4);
         let text = expr.to_string();
         let reparsed = tut_profile_suite::uml::textual::parse_expr(&text)
             .unwrap_or_else(|e| panic!("`{text}` failed to reparse: {e}"));
-        prop_assert_eq!(reparsed, expr);
+        assert_eq!(reparsed, expr);
     }
+}
 
-    #[test]
-    fn crc_implementations_agree(data in proptest::collection::vec(any::<u8>(), 0..1024)) {
-        let acc = tut_profile_suite::platform::Crc32Accelerator::new();
-        prop_assert_eq!(
+#[test]
+fn crc_implementations_agree() {
+    let mut rng = SplitMix64::new(0x0E17_0006);
+    let acc = tut_profile_suite::platform::Crc32Accelerator::new();
+    for _ in 0..CASES {
+        let mut data = vec![0u8; rng.next_index(1024)];
+        rng.fill_bytes(&mut data);
+        assert_eq!(
             acc.compute(&data),
             tut_profile_suite::uml::action::crc32_bitwise(&data)
         );
