@@ -3,7 +3,7 @@
 //! scored by inter-group signal volume (the quantity §4.1 minimises).
 
 use tut_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use tut_explore::{partition, CommGraph, GroupingOptions};
+use tut_explore::{full_objective, partition, refine, CommGraph, GroupingOptions};
 
 /// The TUTMAC communication graph measured from a profiling run.
 fn tutmac_graph() -> CommGraph {
@@ -71,23 +71,7 @@ fn bench_grouping(c: &mut Criterion) {
     let mut group = c.benchmark_group("grouping_scaling");
     group.sample_size(10);
     for communities in [4usize, 8, 16] {
-        let mut g = CommGraph::default();
-        let per = 6;
-        for community in 0..communities {
-            for node in 0..per {
-                g.intern(&format!("c{community}n{node}"));
-            }
-        }
-        for community in 0..communities {
-            let base = community * per;
-            for a in 0..per {
-                for b in (a + 1)..per {
-                    g.add_edge(base + a, base + b, 20);
-                }
-            }
-            let next = ((community + 1) % communities) * per;
-            g.add_edge(base, next, 1);
-        }
+        let g = ring_of_communities(communities, 6);
         let options = GroupingOptions {
             groups: communities,
             balance_weight: 0.0,
@@ -95,9 +79,177 @@ fn bench_grouping(c: &mut Criterion) {
             ..GroupingOptions::default()
         };
         group.bench_with_input(
-            BenchmarkId::new("partition", format!("{}nodes", communities * per)),
+            BenchmarkId::new(
+                "partition",
+                format!("{}nodes", communities * per_community()),
+            ),
             &g,
             |b, g| b.iter(|| partition(g, &options)),
+        );
+    }
+    group.finish();
+
+    bench_refinement_objective(c);
+    bench_thread_scaling(c);
+}
+
+fn per_community() -> usize {
+    6
+}
+
+/// `communities` cliques of `per` nodes (intra-weight 20) joined in a
+/// ring by weight-1 bridges.
+fn ring_of_communities(communities: usize, per: usize) -> CommGraph {
+    let mut g = CommGraph::default();
+    for community in 0..communities {
+        for node in 0..per {
+            g.intern(&format!("c{community}n{node}"));
+        }
+    }
+    for community in 0..communities {
+        let base = community * per;
+        for a in 0..per {
+            for b in (a + 1)..per {
+                g.add_edge(base + a, base + b, 20);
+            }
+        }
+        let next = ((community + 1) % communities) * per;
+        g.add_edge(base, next, 1);
+    }
+    g
+}
+
+/// The refinement pass priced by a full O(E) objective recompute per
+/// candidate move — the pre-incremental baseline, kept here so the
+/// speedup of `ObjectiveState` stays measured.
+fn refine_full_recompute(
+    graph: &CommGraph,
+    assignment: &mut [usize],
+    groups: usize,
+    balance_weight: f64,
+) -> f64 {
+    let mut current = full_objective(graph, assignment, groups, balance_weight);
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for node in 0..graph.len() {
+            for group in 0..groups {
+                if group == assignment[node] {
+                    continue;
+                }
+                let previous = assignment[node];
+                assignment[node] = group;
+                let candidate = full_objective(graph, assignment, groups, balance_weight);
+                if candidate < current {
+                    current = candidate;
+                    improved = true;
+                } else {
+                    assignment[node] = previous;
+                }
+            }
+        }
+    }
+    current
+}
+
+/// Incremental vs full-recompute refinement on the 96-node ring graph.
+fn bench_refinement_objective(c: &mut Criterion) {
+    let communities = 16;
+    let g = ring_of_communities(communities, per_community());
+    let scatter: Vec<usize> = (0..g.len()).map(|i| i % communities).collect();
+    let options = GroupingOptions {
+        groups: communities,
+        balance_weight: 0.2,
+        annealing_iterations: 0,
+        ..GroupingOptions::default()
+    };
+
+    // Same start, same result — and the printed ratio is the speedup the
+    // incremental objective buys on the refinement phase alone.
+    let mut a = scatter.clone();
+    let full_value = refine_full_recompute(&g, &mut a, communities, 0.2);
+    let mut b = scatter.clone();
+    let incremental_value = refine(&g, &mut b, &options);
+    assert_eq!(
+        full_value.to_bits(),
+        incremental_value.to_bits(),
+        "both refinement paths must land on the same objective"
+    );
+
+    let time = |mut f: Box<dyn FnMut()>| {
+        let reps = 10;
+        let start = std::time::Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        start.elapsed().as_secs_f64() / reps as f64
+    };
+    let g2 = g.clone();
+    let scatter2 = scatter.clone();
+    let full_secs = time(Box::new(move || {
+        let mut a = scatter2.clone();
+        refine_full_recompute(&g2, &mut a, communities, 0.2);
+    }));
+    let g3 = g.clone();
+    let options3 = options.clone();
+    let scatter3 = scatter.clone();
+    let incremental_secs = time(Box::new(move || {
+        let mut a = scatter3.clone();
+        refine(&g3, &mut a, &options3);
+    }));
+    println!("\nA2b: refinement objective, 96-node ring (per refinement pass)");
+    println!("  full recompute     : {:>9.3} ms", full_secs * 1e3);
+    println!("  incremental        : {:>9.3} ms", incremental_secs * 1e3);
+    println!(
+        "  speedup            : {:>9.1}x",
+        full_secs / incremental_secs
+    );
+
+    let mut group = c.benchmark_group("refinement");
+    group.sample_size(10);
+    group.bench_function("full_recompute", |b| {
+        b.iter(|| {
+            let mut a = scatter.clone();
+            refine_full_recompute(&g, &mut a, communities, 0.2)
+        })
+    });
+    group.bench_function("incremental", |b| {
+        b.iter(|| {
+            let mut a = scatter.clone();
+            refine(&g, &mut a, &options)
+        })
+    });
+    group.finish();
+}
+
+/// Multi-start annealing at 1/2/4 worker threads (8 restarts).
+fn bench_thread_scaling(c: &mut Criterion) {
+    let communities = 8;
+    let g = ring_of_communities(communities, per_community());
+    let mut group = c.benchmark_group("grouping_threads");
+    group.sample_size(10);
+    let mut reference = None;
+    for threads in [1usize, 2, 4] {
+        let options = GroupingOptions {
+            groups: communities,
+            balance_weight: 0.0,
+            annealing_iterations: 20_000,
+            restarts: 8,
+            threads,
+            ..GroupingOptions::default()
+        };
+        let solution = partition(&g, &options);
+        match &reference {
+            None => reference = Some(solution),
+            Some(expected) => assert_eq!(
+                expected, &solution,
+                "thread count must not change the solution"
+            ),
+        }
+        group.bench_with_input(
+            BenchmarkId::new("partition_8restarts", format!("{threads}threads")),
+            &threads,
+            |b, _| b.iter(|| partition(&g, &options)),
         );
     }
     group.finish();

@@ -2,9 +2,13 @@
 //! all-on-one-processor vs the exhaustive-search optimum, scored by the
 //! bottleneck processing-element busy time over a fixed workload.
 
-use tut_bench::microbench::{criterion_group, criterion_main, Criterion};
+use tut_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tut_bench::{bottleneck_busy_ns, system_with_mapping, MappingVariant};
+use tut_explore::mapping::{MappingOptions, MappingProblem, PeInfo};
+use tut_profile::application::ProcessType;
+use tut_profile::platform::ComponentKind;
 use tut_sim::SimConfig;
+use tut_trace::SplitMix64;
 
 fn bench_mapping(c: &mut Criterion) {
     let config = SimConfig::with_horizon_ns(10_000_000);
@@ -28,6 +32,96 @@ fn bench_mapping(c: &mut Criterion) {
     group.bench_function("evaluate_by_simulation", |b| {
         let system = system_with_mapping(MappingVariant::Paper);
         b.iter(|| bottleneck_busy_ns(&system, SimConfig::with_horizon_ns(2_000_000)))
+    });
+    group.finish();
+
+    bench_parallel_search(c);
+}
+
+/// A synthetic problem big enough to make the exhaustive search hurt:
+/// `groups` groups over 5 elements (5^8 ≈ 390k candidates at 8 groups).
+fn synthetic_problem(groups: usize) -> MappingProblem {
+    let mut rng = SplitMix64::new(0xBE7C_4A5E);
+    let kinds = [
+        ProcessType::General,
+        ProcessType::Dsp,
+        ProcessType::Hardware,
+    ];
+    let pe_kinds = [
+        ComponentKind::General,
+        ComponentKind::General,
+        ComponentKind::Dsp,
+        ComponentKind::Dsp,
+        ComponentKind::HwAccelerator,
+    ];
+    let pes = pe_kinds.len();
+    let mut comm = vec![vec![0u64; groups]; groups];
+    for (g, row) in comm.iter_mut().enumerate() {
+        for (h, cell) in row.iter_mut().enumerate() {
+            if g != h {
+                *cell = rng.next_below(100);
+            }
+        }
+    }
+    let mut distance = vec![vec![0u64; pes]; pes];
+    for (a, row) in distance.iter_mut().enumerate() {
+        for (b, cell) in row.iter_mut().enumerate() {
+            if a != b {
+                *cell = 1 + rng.next_below(2);
+            }
+        }
+    }
+    MappingProblem {
+        group_names: (0..groups).map(|g| format!("g{g}")).collect(),
+        group_cycles: (0..groups)
+            .map(|_| 1_000 + rng.next_below(50_000))
+            .collect(),
+        group_kinds: (0..groups).map(|_| kinds[rng.next_index(3)]).collect(),
+        comm,
+        pes: (0..pes)
+            .map(|i| PeInfo {
+                frequency_mhz: 50 + 50 * (i as u64 % 2),
+                kind: pe_kinds[i],
+            })
+            .collect(),
+        distance,
+    }
+}
+
+/// Exhaustive search at 1/2/4 worker threads, plus the pin-collapse
+/// effect on the enumerated space.
+fn bench_parallel_search(c: &mut Criterion) {
+    let problem = synthetic_problem(8);
+    let mut group = c.benchmark_group("mapping_threads");
+    group.sample_size(10);
+    let mut reference = None;
+    for threads in [1usize, 2, 4] {
+        let options = MappingOptions {
+            threads,
+            ..MappingOptions::default()
+        };
+        let solution = tut_explore::optimise_mapping(&problem, &options);
+        match &reference {
+            None => reference = Some(solution),
+            Some(expected) => assert_eq!(
+                expected, &solution,
+                "thread count must not change the solution"
+            ),
+        }
+        group.bench_with_input(
+            BenchmarkId::new("optimise_5pe_8groups", format!("{threads}threads")),
+            &threads,
+            |b, _| b.iter(|| tut_explore::optimise_mapping(&problem, &options)),
+        );
+    }
+    // Pinning 2 of the 8 groups shrinks the space 25x (5^8 -> 5^6): the
+    // collapse is a bigger lever than any thread count.
+    let pinned = MappingOptions {
+        pinned: vec![(0, 4), (7, 0)],
+        ..MappingOptions::default()
+    };
+    group.bench_function("optimise_5pe_8groups_2pinned", |b| {
+        b.iter(|| tut_explore::optimise_mapping(&problem, &pinned))
     });
     group.finish();
 }

@@ -15,6 +15,10 @@
 //! cargo run -p tut-bench --bin repro -- --vcd bus.vcd      # GTKWave waveform
 //! cargo run -p tut-bench --bin repro -- --prom metrics.txt # Prometheus text
 //! ```
+//!
+//! `--threads N` runs the exploration stages (the `explore` item) on N
+//! worker threads (0 = all cores); results are bit-identical at every
+//! thread count.
 
 use tut_bench::figures;
 use tut_profile::{tables, TutProfile};
@@ -102,6 +106,72 @@ fn print_transfers() {
     println!("{}", tut_profiling::report::render_transfers(&report));
 }
 
+/// Runs the automated exploration loop of §4.5 — partition the measured
+/// communication graph, then search the group→element mapping — on
+/// `threads` workers.
+fn print_explore(threads: usize) {
+    println!("Design-space exploration (grouping + mapping) on {threads} thread(s).");
+    println!();
+    let (system, handles) = tut_bench::paper_system_with_handles();
+    let report = tut_bench::profile(&system);
+
+    let graph = tut_explore::CommGraph::from_report(&report);
+    let pinned: Vec<(usize, usize)> = graph
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.as_str() == "user" || n.as_str() == "channel")
+        .map(|(i, _)| (i, 4))
+        .collect();
+    let started = std::time::Instant::now();
+    let grouping = tut_explore::partition(
+        &graph,
+        &tut_explore::GroupingOptions {
+            groups: 5,
+            balance_weight: 0.0,
+            pinned,
+            threads,
+            ..Default::default()
+        },
+    );
+    println!(
+        "  [grouping] {} nodes -> 5 groups, cut weight {}, objective {:.1} ({} ms)",
+        graph.len(),
+        grouping.cut_weight,
+        grouping.objective,
+        started.elapsed().as_millis()
+    );
+
+    let (problem, _, instances) =
+        tut_explore::mapping::problem_from_system(&system, &report).expect("mapping problem");
+    let acc_index = instances
+        .iter()
+        .position(|&p| p == handles.accelerator)
+        .expect("accelerator instance");
+    let started = std::time::Instant::now();
+    let mapping = tut_explore::optimise_mapping(
+        &problem,
+        &tut_explore::MappingOptions {
+            pinned: vec![(3, acc_index)],
+            threads,
+            ..Default::default()
+        },
+    );
+    println!(
+        "  [mapping]  {} groups over {} elements, cost {:.1} ({} ms)",
+        problem.group_names.len(),
+        problem.pes.len(),
+        mapping.cost,
+        started.elapsed().as_millis()
+    );
+    for (group, &pe) in mapping.assignment.iter().enumerate() {
+        println!(
+            "             {} -> element {}",
+            problem.group_names[group], pe
+        );
+    }
+}
+
 /// Runs the TUTMAC case study with a [`Recorder`] attached and writes
 /// the requested export files.
 fn run_traced(trace: Option<&str>, vcd: Option<&str>, prom: Option<&str>) {
@@ -154,16 +224,22 @@ fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut args: Vec<String> = Vec::new();
     let (mut trace, mut vcd, mut prom) = (None, None, None);
+    let mut threads = 1usize;
     let mut iter = raw.into_iter();
     while let Some(arg) = iter.next() {
         let mut take = |flag: &str| {
             iter.next()
-                .unwrap_or_else(|| panic!("{flag} needs a file path argument"))
+                .unwrap_or_else(|| panic!("{flag} needs an argument"))
         };
         match arg.as_str() {
             "--trace" => trace = Some(take("--trace")),
             "--vcd" => vcd = Some(take("--vcd")),
             "--prom" => prom = Some(take("--prom")),
+            "--threads" => {
+                threads = take("--threads")
+                    .parse()
+                    .expect("--threads needs a number (0 = all cores)")
+            }
             _ => args.push(arg),
         }
     }
@@ -178,7 +254,7 @@ fn main() {
     let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "fig1", "fig2", "fig3", "table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7",
-            "fig8", "table4",
+            "fig8", "table4", "explore",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -203,9 +279,11 @@ fn main() {
             "fig8" => println!("{}", figures::fig8()),
             "table4" => print_table4(),
             "transfers" => print_transfers(),
+            "explore" => print_explore(threads),
             other => {
                 eprintln!(
-                    "unknown item `{other}`; known: fig1..fig8, table1..table4, transfers, all"
+                    "unknown item `{other}`; known: fig1..fig8, table1..table4, transfers, \
+                     explore, all"
                 );
                 std::process::exit(2);
             }

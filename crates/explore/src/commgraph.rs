@@ -115,6 +115,18 @@ impl CommGraph {
         self.edges.iter().map(|(&(a, b), &w)| (a, b, w))
     }
 
+    /// Per-node adjacency lists: `adjacency()[a]` holds `(b, weight)` for
+    /// every edge incident to `a`. Built once by the optimisers so a
+    /// single-node move can be evaluated in O(degree) instead of O(E).
+    pub fn adjacency(&self) -> Vec<Vec<(usize, u64)>> {
+        let mut adjacency = vec![Vec::new(); self.len()];
+        for (a, b, w) in self.edges() {
+            adjacency[a].push((b, w));
+            adjacency[b].push((a, w));
+        }
+        adjacency
+    }
+
     /// Total weight crossing a partition: the sum of weights of edges
     /// whose endpoints are in different parts.
     pub fn cut_weight(&self, assignment: &[usize]) -> u64 {

@@ -6,10 +6,20 @@
 //! dependencies between process groups, and size of a process group". The
 //! objective here combines the two quantitative ones: cut weight
 //! (communication) plus a load-imbalance penalty (workload distribution).
+//!
+//! The inner loops evaluate candidate single-node moves through the
+//! incremental [`ObjectiveState`], so a move costs O(degree + groups)
+//! instead of the O(E) full recompute (which survives as the debug-mode
+//! cross-check). The annealing phase is multi-start: `restarts`
+//! independent runs with distinct SplitMix64 seeds, executed across
+//! `threads` workers with a deterministic reduction, so the result is
+//! bit-identical at every thread count.
 
-use tut_trace::{Clock, NoopSink, SplitMix64, TraceSink};
+use tut_trace::{Clock, NoopSink, Recorder, SplitMix64, TraceSink};
 
 use crate::commgraph::CommGraph;
+use crate::objective::ObjectiveState;
+use crate::parallel;
 
 /// Options for [`partition`].
 #[derive(Clone, PartialEq, Debug)]
@@ -21,10 +31,19 @@ pub struct GroupingOptions {
     pub balance_weight: f64,
     /// Nodes pinned to a group (`Fixed` processes): `(node index, group)`.
     pub pinned: Vec<(usize, usize)>,
-    /// Simulated-annealing iterations (0 disables the annealing pass).
+    /// Simulated-annealing iterations per restart (0 disables the
+    /// annealing pass).
     pub annealing_iterations: u32,
-    /// RNG seed for the annealing pass (runs are reproducible).
+    /// RNG seed for the annealing pass (runs are reproducible). Each
+    /// restart derives its own independent SplitMix64 stream from this.
     pub seed: u64,
+    /// Independent annealing restarts; the best result wins (ties go to
+    /// the lowest restart index). 0 disables the annealing pass.
+    pub restarts: u32,
+    /// Worker threads for the annealing restarts: 1 = serial, 0 = use
+    /// `std::thread::available_parallelism`. The solution is bit-identical
+    /// at every thread count.
+    pub threads: usize,
 }
 
 impl Default for GroupingOptions {
@@ -35,6 +54,8 @@ impl Default for GroupingOptions {
             pinned: Vec::new(),
             annealing_iterations: 20_000,
             seed: 0x7075_7475,
+            restarts: 4,
+            threads: 1,
         }
     }
 }
@@ -50,24 +71,6 @@ pub struct GroupingSolution {
     pub objective: f64,
 }
 
-fn objective(graph: &CommGraph, assignment: &[usize], options: &GroupingOptions) -> f64 {
-    let cut = graph.cut_weight(assignment) as f64;
-    if options.balance_weight == 0.0 {
-        return cut;
-    }
-    let mut loads = vec![0u64; options.groups];
-    for (node, &group) in assignment.iter().enumerate() {
-        // Unknown loads fall back to 1 so balance still means "node
-        // count" for static graphs.
-        loads[group] += graph.loads()[node].max(1);
-    }
-    let total: u64 = loads.iter().sum();
-    let mean = total as f64 / options.groups as f64;
-    let imbalance: f64 =
-        loads.iter().map(|&l| (l as f64 - mean).abs()).sum::<f64>() / options.groups as f64;
-    cut + options.balance_weight * imbalance
-}
-
 /// Partitions the graph into `options.groups` groups.
 ///
 /// Three phases:
@@ -77,8 +80,9 @@ fn objective(graph: &CommGraph, assignment: &[usize], options: &GroupingOptions)
 ///    different groups never merge).
 /// 2. **Refinement** — single-node moves while they improve the
 ///    objective (a Kernighan–Lin-style pass).
-/// 3. **Annealing** — seeded simulated annealing over single-node moves,
-///    keeping the best solution seen.
+/// 3. **Annealing** — `restarts` seeded simulated-annealing runs over
+///    single-node moves, keeping the best solution seen across all of
+///    them.
 ///
 /// # Panics
 ///
@@ -89,8 +93,11 @@ pub fn partition(graph: &CommGraph, options: &GroupingOptions) -> GroupingSoluti
 }
 
 /// [`partition`] with tracing: each phase becomes a host-clock span on
-/// the `tool/explore.grouping` track, and the annealing pass reports
-/// progress so long exploration runs are visible in a trace viewer.
+/// the `tool/explore.grouping` track, and every annealing restart reports
+/// progress so long exploration runs are visible in a trace viewer. With
+/// `options.threads > 1` the restarts record into per-thread
+/// [`Recorder`]s that are replayed into `tracer` afterwards, so the trace
+/// stays complete.
 pub fn partition_with<T: TraceSink>(
     graph: &CommGraph,
     options: &GroupingOptions,
@@ -113,7 +120,88 @@ pub fn partition_with<T: TraceSink>(
         };
     }
 
-    // Pin table: node -> Some(group).
+    let pinned = pin_table(n, options);
+
+    // ---- Phase 1: greedy agglomeration ---------------------------------
+    let assignment = agglomerate(graph, options, &pinned);
+    phase_span(tracer, "agglomerate");
+
+    // ---- Phase 2: greedy single-node refinement -------------------------
+    let adjacency = graph.adjacency();
+    let mut state = ObjectiveState::new(
+        graph,
+        &adjacency,
+        assignment,
+        options.groups,
+        options.balance_weight,
+    );
+    let current = refine_state(&mut state, &pinned);
+    phase_span(tracer, "refine");
+
+    // ---- Phase 3: multi-start simulated annealing ------------------------
+    let refined: Vec<usize> = state.assignment().to_vec();
+    let mut best_assignment = refined.clone();
+    let mut best = current;
+    if options.annealing_iterations > 0 && options.restarts > 0 && n > 1 && options.groups > 1 {
+        // Independent seed per restart, derived from the option seed.
+        let mut seeder = SplitMix64::new(options.seed);
+        let seeds: Vec<u64> = (0..options.restarts).map(|_| seeder.next_u64()).collect();
+        let threads = parallel::resolve_threads(options.threads).min(seeds.len());
+        let outcomes: Vec<AnnealOutcome> = if threads <= 1 {
+            seeds
+                .iter()
+                .enumerate()
+                .map(|(restart, &seed)| {
+                    anneal_run(
+                        graph, &adjacency, options, &pinned, &refined, current, restart, seed,
+                        tracer,
+                    )
+                })
+                .collect()
+        } else {
+            anneal_parallel(
+                graph, &adjacency, options, &pinned, &refined, current, &seeds, threads, tracer,
+            )
+        };
+        // Deterministic reduction: strict improvement only, so ties go to
+        // the lowest restart index — identical to the serial scan.
+        for outcome in outcomes {
+            if outcome.objective < best {
+                best = outcome.objective;
+                best_assignment = outcome.assignment;
+            }
+        }
+    }
+    phase_span(tracer, "anneal");
+    tracer.add("explore.grouping.runs", 1);
+
+    GroupingSolution {
+        cut_weight: graph.cut_weight(&best_assignment),
+        objective: best,
+        assignment: best_assignment,
+    }
+}
+
+/// Runs the greedy single-node refinement pass (phase 2 of [`partition`])
+/// in place, returning the resulting objective value. Exposed so the
+/// refinement cost can be benchmarked against a full-recompute baseline.
+pub fn refine(graph: &CommGraph, assignment: &mut Vec<usize>, options: &GroupingOptions) -> f64 {
+    let pinned = pin_table(graph.len(), options);
+    let adjacency = graph.adjacency();
+    let mut state = ObjectiveState::new(
+        graph,
+        &adjacency,
+        std::mem::take(assignment),
+        options.groups,
+        options.balance_weight,
+    );
+    let value = refine_state(&mut state, &pinned);
+    *assignment = state.assignment().to_vec();
+    value
+}
+
+/// Builds the node → pinned-group table, validating the pins.
+fn pin_table(n: usize, options: &GroupingOptions) -> Vec<Option<usize>> {
     let mut pinned: Vec<Option<usize>> = vec![None; n];
     for &(node, group) in &options.pinned {
         assert!(node < n, "pinned node out of range");
@@ -124,11 +212,20 @@ pub fn partition_with<T: TraceSink>(
         );
         pinned[node] = Some(group);
     }
+    pinned
+}
 
-    // ---- Phase 1: greedy agglomeration ---------------------------------
+/// Phase 1: greedy agglomeration down to `options.groups` clusters,
+/// normalised to group indices honouring the pins.
+fn agglomerate(
+    graph: &CommGraph,
+    options: &GroupingOptions,
+    pinned: &[Option<usize>],
+) -> Vec<usize> {
+    let n = graph.len();
     // cluster id per node; clusters carry an optional pinned group.
     let mut cluster: Vec<usize> = (0..n).collect();
-    let mut cluster_pin: Vec<Option<usize>> = pinned.clone();
+    let mut cluster_pin: Vec<Option<usize>> = pinned.to_vec();
     let mut cluster_count = n;
     while cluster_count > options.groups {
         // Heaviest inter-cluster edge whose clusters may merge.
@@ -182,7 +279,6 @@ pub fn partition_with<T: TraceSink>(
         cluster_pin[ca] = merged_pin;
         cluster_count -= 1;
     }
-    phase_span(tracer, "agglomerate");
 
     // Normalise cluster ids to 0..groups, honouring pins.
     let mut ids: Vec<usize> = cluster.clone();
@@ -214,86 +310,202 @@ pub fn partition_with<T: TraceSink>(
         };
         id_to_group.insert(id, g);
     }
-    let mut assignment: Vec<usize> = cluster.iter().map(|c| id_to_group[c]).collect();
+    cluster.iter().map(|c| id_to_group[c]).collect()
+}
 
-    // ---- Phase 2: greedy single-node refinement -------------------------
-    let mut current = objective(graph, &assignment, options);
+/// Phase 2: single-node moves while they improve the objective, priced
+/// incrementally. Returns the final objective value.
+fn refine_state(state: &mut ObjectiveState<'_>, pinned: &[Option<usize>]) -> f64 {
+    let groups = pinned_groups(state);
+    let mut current = state.value();
     let mut improved = true;
     while improved {
         improved = false;
-        for node in 0..n {
-            if pinned[node].is_some() {
+        for (node, pin) in pinned.iter().enumerate() {
+            if pin.is_some() {
                 continue;
             }
-            let original = assignment[node];
-            for group in 0..options.groups {
-                if group == original {
+            for group in 0..groups {
+                if group == state.group_of(node) {
                     continue;
                 }
-                assignment[node] = group;
-                let candidate = objective(graph, &assignment, options);
+                let candidate = state.peek_move(node, group);
                 if candidate < current {
+                    state.apply_move(node, group);
                     current = candidate;
                     improved = true;
-                } else {
-                    assignment[node] = original;
                 }
             }
         }
     }
-    phase_span(tracer, "refine");
+    current
+}
 
-    // ---- Phase 3: simulated annealing -----------------------------------
-    let mut best_assignment = assignment.clone();
+/// The group count an [`ObjectiveState`] was built with (its load table
+/// length).
+fn pinned_groups(state: &ObjectiveState<'_>) -> usize {
+    state.groups()
+}
+
+/// One annealing restart's result.
+struct AnnealOutcome {
+    assignment: Vec<usize>,
+    objective: f64,
+    /// Temperature after the last iteration — cooling runs once per
+    /// iteration unconditionally, so this depends only on the iteration
+    /// count, never on pin density or group count. Observed by the
+    /// cooling-schedule regression test.
+    #[cfg_attr(not(test), allow(dead_code))]
+    final_temperature: f64,
+}
+
+/// One seeded simulated-annealing run from the refined assignment.
+///
+/// RNG discipline: exactly two index draws per iteration (node, group)
+/// plus one float draw for uphill candidates, and the temperature cools
+/// exactly once per iteration — pinned samples and same-group samples
+/// skip only the move, not the cooling, so the effective schedule is
+/// identical regardless of pin density.
+#[allow(clippy::too_many_arguments)]
+fn anneal_run<T: TraceSink>(
+    graph: &CommGraph,
+    adjacency: &[Vec<(usize, u64)>],
+    options: &GroupingOptions,
+    pinned: &[Option<usize>],
+    start: &[usize],
+    start_objective: f64,
+    restart: usize,
+    seed: u64,
+    tracer: &mut T,
+) -> AnnealOutcome {
+    let n = graph.len();
+    let track = tracer.track("tool/explore.grouping", Clock::Host);
+    let mut state = ObjectiveState::new(
+        graph,
+        adjacency,
+        start.to_vec(),
+        options.groups,
+        options.balance_weight,
+    );
+    let mut current = start_objective;
     let mut best = current;
-    if options.annealing_iterations > 0 && n > 1 && options.groups > 1 {
-        let mut rng = SplitMix64::new(options.seed);
-        let mut temperature = (best / n as f64).max(1.0);
-        // Progress heartbeat: ~16 reports across the whole pass.
-        let report_every = (options.annealing_iterations / 16).max(1);
-        for iteration in 0..options.annealing_iterations {
-            if tracer.enabled() && iteration % report_every == 0 {
-                let now = tracer.host_now_ns();
-                tracer.instant(
-                    track,
-                    &format!("anneal {iteration}/{}", options.annealing_iterations),
-                    now,
-                );
-                tracer.counter(track, "grouping.objective", now, best);
-            }
-            let node = rng.next_index(n);
-            if pinned[node].is_some() {
-                continue;
-            }
-            let original = assignment[node];
-            let group = rng.next_index(options.groups);
-            if group == original {
-                continue;
-            }
-            assignment[node] = group;
-            let candidate = objective(graph, &assignment, options);
+    let mut best_assignment = start.to_vec();
+    let mut rng = SplitMix64::new(seed);
+    let mut temperature = (start_objective / n as f64).max(1.0);
+    let iterations = options.annealing_iterations;
+    // Progress heartbeat: ~16 reports across the whole pass.
+    let report_every = (iterations / 16).max(1);
+    for iteration in 0..iterations {
+        if tracer.enabled() && iteration % report_every == 0 {
+            let now = tracer.host_now_ns();
+            tracer.instant(
+                track,
+                &format!("anneal r{restart} {iteration}/{iterations}"),
+                now,
+            );
+            tracer.counter(track, "grouping.objective", now, best);
+        }
+        let node = rng.next_index(n);
+        let group = rng.next_index(options.groups);
+        if pinned[node].is_none() && group != state.group_of(node) {
+            let candidate = state.peek_move(node, group);
             let accept = candidate <= current
                 || rng.next_f64() < ((current - candidate) / temperature).exp();
             if accept {
+                state.apply_move(node, group);
                 current = candidate;
                 if candidate < best {
                     best = candidate;
-                    best_assignment = assignment.clone();
+                    best_assignment = state.assignment().to_vec();
                 }
-            } else {
-                assignment[node] = original;
             }
-            temperature = (temperature * 0.9997).max(0.01);
+        }
+        // Cool once per iteration, unconditionally: the schedule must not
+        // depend on how many samples hit pinned nodes or no-op moves.
+        temperature = (temperature * 0.9997).max(0.01);
+    }
+    AnnealOutcome {
+        assignment: best_assignment,
+        objective: best,
+        final_temperature: temperature,
+    }
+}
+
+/// Runs the restarts across `threads` scoped workers. Each worker records
+/// into its own [`Recorder`] (when tracing is enabled) which is replayed
+/// into the parent sink afterwards, in restart order, with host
+/// timestamps re-based onto the parent clock.
+#[allow(clippy::too_many_arguments)]
+fn anneal_parallel<T: TraceSink>(
+    graph: &CommGraph,
+    adjacency: &[Vec<(usize, u64)>],
+    options: &GroupingOptions,
+    pinned: &[Option<usize>],
+    start: &[usize],
+    start_objective: f64,
+    seeds: &[u64],
+    threads: usize,
+    tracer: &mut T,
+) -> Vec<AnnealOutcome> {
+    let enabled = tracer.enabled();
+    let spawn_ns = tracer.host_now_ns();
+    let shards = parallel::shard_ranges(seeds.len() as u64, threads);
+    let mut per_shard: Vec<Vec<(AnnealOutcome, Option<Recorder>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|range| {
+                let range = range.clone();
+                scope.spawn(move || {
+                    range
+                        .map(|r| {
+                            let restart = r as usize;
+                            let seed = seeds[restart];
+                            let mut recorder = enabled.then(Recorder::new);
+                            let outcome = match recorder.as_mut() {
+                                Some(rec) => anneal_run(
+                                    graph,
+                                    adjacency,
+                                    options,
+                                    pinned,
+                                    start,
+                                    start_objective,
+                                    restart,
+                                    seed,
+                                    rec,
+                                ),
+                                None => anneal_run(
+                                    graph,
+                                    adjacency,
+                                    options,
+                                    pinned,
+                                    start,
+                                    start_objective,
+                                    restart,
+                                    seed,
+                                    &mut NoopSink,
+                                ),
+                            };
+                            (outcome, recorder)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("annealing worker panicked"))
+            .collect()
+    });
+    let mut outcomes = Vec::with_capacity(seeds.len());
+    for shard in per_shard.iter_mut() {
+        for (outcome, recorder) in shard.drain(..) {
+            if let Some(recorder) = &recorder {
+                recorder.replay_into(tracer, spawn_ns);
+            }
+            outcomes.push(outcome);
         }
     }
-    phase_span(tracer, "anneal");
-    tracer.add("explore.grouping.runs", 1);
-
-    GroupingSolution {
-        cut_weight: graph.cut_weight(&best_assignment),
-        objective: best,
-        assignment: best_assignment,
-    }
+    outcomes
 }
 
 #[cfg(test)]
@@ -376,5 +588,110 @@ mod tests {
         let g = CommGraph::default();
         let solution = partition(&g, &GroupingOptions::default());
         assert!(solution.assignment.is_empty());
+    }
+
+    #[test]
+    fn parallel_restarts_match_serial_bit_for_bit() {
+        let g = two_communities();
+        for threads in [2usize, 4] {
+            for seed in [1u64, 99, 0xDEAD] {
+                let serial = partition(
+                    &g,
+                    &GroupingOptions {
+                        groups: 2,
+                        seed,
+                        restarts: 5,
+                        threads: 1,
+                        ..GroupingOptions::default()
+                    },
+                );
+                let parallel = partition(
+                    &g,
+                    &GroupingOptions {
+                        groups: 2,
+                        seed,
+                        restarts: 5,
+                        threads,
+                        ..GroupingOptions::default()
+                    },
+                );
+                assert_eq!(serial.assignment, parallel.assignment);
+                assert_eq!(serial.cut_weight, parallel.cut_weight);
+                assert_eq!(
+                    serial.objective.to_bits(),
+                    parallel.objective.to_bits(),
+                    "objective must be bit-identical at {threads} threads"
+                );
+            }
+        }
+    }
+
+    /// Regression for the cooling bug: the annealing temperature schedule
+    /// must depend only on the iteration count, not on how many sampled
+    /// moves were skipped because the node was pinned.
+    #[test]
+    fn cooling_schedule_is_pin_independent() {
+        let g = two_communities();
+        let adjacency = g.adjacency();
+        let mut options = GroupingOptions {
+            groups: 2,
+            balance_weight: 0.0,
+            annealing_iterations: 500,
+            ..GroupingOptions::default()
+        };
+        let start = vec![0, 0, 0, 1, 1, 1];
+        let free = anneal_run(
+            &g,
+            &adjacency,
+            &options,
+            &[None; 6],
+            &start,
+            1.0,
+            0,
+            42,
+            &mut NoopSink,
+        );
+        // Pin five of the six nodes: most iterations sample a pinned node.
+        options.pinned = vec![(0, 0), (1, 0), (2, 0), (3, 1), (4, 1)];
+        let pinned_table = pin_table(6, &options);
+        let pinned = anneal_run(
+            &g,
+            &adjacency,
+            &options,
+            &pinned_table,
+            &start,
+            1.0,
+            0,
+            42,
+            &mut NoopSink,
+        );
+        assert_eq!(
+            free.final_temperature.to_bits(),
+            pinned.final_temperature.to_bits(),
+            "pins must not change the number of cooling steps"
+        );
+    }
+
+    #[test]
+    fn traced_parallel_run_keeps_all_restart_heartbeats() {
+        let g = two_communities();
+        let options = GroupingOptions {
+            groups: 2,
+            restarts: 3,
+            threads: 2,
+            annealing_iterations: 160,
+            ..GroupingOptions::default()
+        };
+        let mut recorder = Recorder::new();
+        let traced = partition_with(&g, &options, &mut recorder);
+        assert_eq!(traced, partition(&g, &options), "tracing is an observer");
+        let names: Vec<&str> = recorder.events().iter().map(|e| e.name.as_str()).collect();
+        for restart in 0..3 {
+            let tag = format!("anneal r{restart} ");
+            assert!(
+                names.iter().any(|n| n.starts_with(&tag)),
+                "restart {restart} heartbeats must survive the merge: {names:?}"
+            );
+        }
     }
 }

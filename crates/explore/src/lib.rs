@@ -21,6 +21,13 @@
 //! * [`apply`] — rewriting a [`tut_profile::SystemModel`] with a new
 //!   grouping/mapping while respecting `Fixed` tagged values (§3.3: fixed
 //!   mappings "cannot be changed automatically by profiling tools").
+//! * [`objective`] — the grouping objective, maintained incrementally so
+//!   a candidate single-node move costs O(degree) instead of O(E), with a
+//!   debug-mode cross-check against the full recompute.
+//! * [`parallel`] — deterministic work sharding: both optimisers split
+//!   their candidate spaces across `std::thread::scope` workers and
+//!   reduce per-shard bests in enumeration order, so results are
+//!   bit-identical at every thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,7 +36,10 @@ pub mod apply;
 pub mod commgraph;
 pub mod grouping;
 pub mod mapping;
+pub mod objective;
+pub mod parallel;
 
 pub use commgraph::CommGraph;
-pub use grouping::{partition, partition_with, GroupingOptions, GroupingSolution};
+pub use grouping::{partition, partition_with, refine, GroupingOptions, GroupingSolution};
 pub use mapping::{optimise_mapping, optimise_mapping_with, MappingOptions, MappingSolution};
+pub use objective::{full_objective, ObjectiveState};

@@ -7,6 +7,8 @@ use tut_profiling::ProfilingReport;
 use tut_trace::{Clock, NoopSink, TraceSink};
 use tut_uml::ids::{ClassId, PropertyId};
 
+use crate::parallel;
+
 /// One processing element as the optimiser sees it.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct PeInfo {
@@ -43,6 +45,10 @@ pub struct MappingOptions {
     pub comm_weight: f64,
     /// Pinned assignments (`Fixed` mappings): `(group, element)`.
     pub pinned: Vec<(usize, usize)>,
+    /// Worker threads for the search: 1 = serial, 0 = use
+    /// `std::thread::available_parallelism`. The solution is bit-identical
+    /// at every thread count.
+    pub threads: usize,
 }
 
 impl Default for MappingOptions {
@@ -54,6 +60,7 @@ impl Default for MappingOptions {
             // bottleneck agree on the winner.
             comm_weight: 2.0,
             pinned: Vec::new(),
+            threads: 1,
         }
     }
 }
@@ -89,7 +96,19 @@ pub fn mapping_cost(
     assignment: &[usize],
     options: &MappingOptions,
 ) -> f64 {
-    let mut loads = vec![0.0f64; problem.pes.len()];
+    cost_into(problem, assignment, options, &mut Vec::new())
+}
+
+/// [`mapping_cost`] with a caller-owned scratch buffer so the inner
+/// search loop does not allocate per candidate.
+fn cost_into(
+    problem: &MappingProblem,
+    assignment: &[usize],
+    options: &MappingOptions,
+    loads: &mut Vec<f64>,
+) -> f64 {
+    loads.clear();
+    loads.resize(problem.pes.len(), 0.0);
     for (group, &pe) in assignment.iter().enumerate() {
         let penalty = kind_penalty(problem.group_kinds[group], problem.pes[pe].kind);
         let time = problem.group_cycles[group] as f64 * penalty
@@ -114,14 +133,20 @@ pub fn mapping_cost(
     bottleneck + 0.2 * total + comm
 }
 
-/// Finds the cost-minimal assignment by exhaustive search (the space is
-/// `pes^groups`; the paper's case is `4^4 = 256`). For larger systems use
-/// a coarser group count first.
+/// Finds the cost-minimal assignment by exhaustive search. Pinned groups
+/// are collapsed out of the enumeration, so the space is
+/// `pes^free_groups` (the paper's case is `4^4 = 256` unpinned, `4^3`
+/// with the accelerator pin). For larger systems use a coarser group
+/// count first.
+///
+/// The search shards across `options.threads` scoped workers; the
+/// reduction keeps the first strict minimum in enumeration order, so the
+/// result is bit-identical at every thread count.
 ///
 /// # Panics
 ///
 /// Panics if the problem is inconsistent (mismatched lengths, pins out of
-/// range) or the search space exceeds `10^7` candidates.
+/// range) or the pin-collapsed search space exceeds `10^7` candidates.
 pub fn optimise_mapping(problem: &MappingProblem, options: &MappingOptions) -> MappingSolution {
     optimise_mapping_with(problem, options, &mut NoopSink)
 }
@@ -136,60 +161,110 @@ pub fn optimise_mapping_with<T: TraceSink>(
 ) -> MappingSolution {
     let track = tracer.track("tool/explore.mapping", Clock::Host);
     let search_start = tracer.host_now_ns();
-    let mut candidates = 0u64;
     let groups = problem.group_cycles.len();
     assert_eq!(problem.group_kinds.len(), groups);
     assert_eq!(problem.comm.len(), groups);
     let pes = problem.pes.len();
     assert!(pes > 0, "need at least one element");
-    let space = (pes as f64).powi(groups as i32);
-    assert!(space <= 1e7, "search space too large: {space}");
 
     let mut pinned: Vec<Option<usize>> = vec![None; groups];
     for &(group, pe) in &options.pinned {
         assert!(group < groups && pe < pes, "pin out of range");
         pinned[group] = Some(pe);
     }
+    // Collapse pins out of the odometer: enumerate only the free groups.
+    let base: Vec<usize> = pinned.iter().map(|pin| pin.unwrap_or(0)).collect();
+    let free: Vec<usize> = (0..groups).filter(|&g| pinned[g].is_none()).collect();
+    let space = (pes as f64).powi(free.len() as i32);
+    assert!(space <= 1e7, "search space too large: {space}");
+    let total = (pes as u64).pow(free.len() as u32);
 
-    let mut assignment = vec![0usize; groups];
-    let mut best: Option<MappingSolution> = None;
-    loop {
-        let feasible = pinned
-            .iter()
-            .enumerate()
-            .all(|(g, pin)| pin.map(|p| assignment[g] == p).unwrap_or(true));
-        if feasible {
-            candidates += 1;
-            let cost = mapping_cost(problem, &assignment, options);
-            if best.as_ref().map(|b| cost < b.cost).unwrap_or(true) {
-                best = Some(MappingSolution {
-                    assignment: assignment.clone(),
-                    cost,
-                });
+    let threads = parallel::resolve_threads(options.threads);
+    let best = if threads <= 1 {
+        best_in_range(problem, options, &base, &free, 0..total)
+    } else {
+        let shards = parallel::shard_ranges(total, threads);
+        let per_shard: Vec<Option<(f64, u64)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .map(|range| {
+                    let range = range.clone();
+                    let (base, free) = (&base, &free);
+                    scope.spawn(move || best_in_range(problem, options, base, free, range))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("mapping worker panicked"))
+                .collect()
+        });
+        // Deterministic reduction: shards are in enumeration order and
+        // each carries its first strict minimum, so keeping the first
+        // shard that strictly improves reproduces the serial scan.
+        let mut best: Option<(f64, u64)> = None;
+        for candidate in per_shard.into_iter().flatten() {
+            if best.map(|(cost, _)| candidate.0 < cost).unwrap_or(true) {
+                best = Some(candidate);
             }
         }
-        // Odometer increment.
-        let mut position = 0;
-        loop {
-            if position == groups {
-                let now = tracer.host_now_ns();
-                tracer.span(
-                    track,
-                    "search",
-                    search_start,
-                    now.saturating_sub(search_start),
-                );
-                tracer.add("explore.mapping.candidates", candidates);
-                return best.expect("at least one assignment is feasible");
-            }
-            assignment[position] += 1;
-            if assignment[position] < pes {
+        best
+    };
+    let (cost, winner) = best.expect("at least one assignment is feasible");
+
+    let mut assignment = base;
+    decode_candidate(winner, pes, &free, &mut assignment);
+    let now = tracer.host_now_ns();
+    tracer.span(
+        track,
+        "search",
+        search_start,
+        now.saturating_sub(search_start),
+    );
+    tracer.add("explore.mapping.candidates", total);
+    MappingSolution { assignment, cost }
+}
+
+/// Writes candidate `index` into `assignment`: free group `free[j]` gets
+/// digit `j` of `index` in base `pes` (digit 0 varies fastest, matching
+/// the odometer).
+fn decode_candidate(index: u64, pes: usize, free: &[usize], assignment: &mut [usize]) {
+    let mut rem = index;
+    for &group in free {
+        assignment[group] = (rem % pes as u64) as usize;
+        rem /= pes as u64;
+    }
+}
+
+/// Scans candidates `range` (a contiguous slice of the pin-collapsed
+/// enumeration) and returns the first strict minimum as
+/// `(cost, candidate index)`.
+fn best_in_range(
+    problem: &MappingProblem,
+    options: &MappingOptions,
+    base: &[usize],
+    free: &[usize],
+    range: std::ops::Range<u64>,
+) -> Option<(f64, u64)> {
+    let pes = problem.pes.len();
+    let mut assignment = base.to_vec();
+    decode_candidate(range.start, pes, free, &mut assignment);
+    let mut loads = Vec::new();
+    let mut best: Option<(f64, u64)> = None;
+    for index in range {
+        let cost = cost_into(problem, &assignment, options, &mut loads);
+        if best.map(|(c, _)| cost < c).unwrap_or(true) {
+            best = Some((cost, index));
+        }
+        // Odometer increment over the free digits, digit 0 fastest.
+        for &group in free {
+            assignment[group] += 1;
+            if assignment[group] < pes {
                 break;
             }
-            assignment[position] = 0;
-            position += 1;
+            assignment[group] = 0;
         }
     }
+    best
 }
 
 /// Builds a [`MappingProblem`] from a system and its profiling report:
@@ -405,5 +480,55 @@ mod tests {
         let on_cpu = mapping_cost(&problem, &[0, 1, 2], &options);
         let on_acc = mapping_cost(&problem, &[2, 1, 2], &options);
         assert!(on_acc > on_cpu);
+    }
+
+    #[test]
+    fn parallel_search_is_bit_identical_to_serial() {
+        let problem = small_problem();
+        for pinned in [vec![], vec![(2usize, 2usize)], vec![(0, 1), (2, 2)]] {
+            let serial = optimise_mapping(
+                &problem,
+                &MappingOptions {
+                    pinned: pinned.clone(),
+                    threads: 1,
+                    ..MappingOptions::default()
+                },
+            );
+            for threads in [2usize, 4] {
+                let parallel = optimise_mapping(
+                    &problem,
+                    &MappingOptions {
+                        pinned: pinned.clone(),
+                        threads,
+                        ..MappingOptions::default()
+                    },
+                );
+                assert_eq!(serial.assignment, parallel.assignment);
+                assert_eq!(
+                    serial.cost.to_bits(),
+                    parallel.cost.to_bits(),
+                    "cost must be bit-identical at {threads} threads (pins {pinned:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pin_collapse_shrinks_the_enumerated_space() {
+        let problem = small_problem();
+        let mut tracer = tut_trace::Recorder::new();
+        optimise_mapping_with(
+            &problem,
+            &MappingOptions {
+                pinned: vec![(2, 2)],
+                ..MappingOptions::default()
+            },
+            &mut tracer,
+        );
+        assert_eq!(
+            tracer.metrics.counter("explore.mapping.candidates"),
+            Some(9),
+            "3 pes ^ 2 free groups — the pinned group is out of the odometer"
+        );
     }
 }

@@ -1,0 +1,82 @@
+//! Deterministic work sharding for the parallel optimisers.
+//!
+//! Both parallel searches (exhaustive mapping, multi-start annealing)
+//! follow the same discipline: split a totally ordered candidate space
+//! into contiguous shards, let each `std::thread::scope` worker reduce
+//! its shard independently, then reduce the per-shard bests **in shard
+//! order** with a `(value, first-index)` tie-break. Because the serial
+//! path enumerates the same space in the same order and keeps the first
+//! strict minimum, the parallel result is bit-identical to the serial
+//! one at every thread count.
+
+use std::ops::Range;
+
+/// Resolves a requested worker count: `0` means "use the machine"
+/// (`std::thread::available_parallelism`), anything else is taken
+/// literally. Always returns at least 1.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Splits `0..total` into at most `shards` contiguous, non-empty,
+/// covering ranges (fewer when `total < shards`). The first
+/// `total % shards` ranges are one element longer, so shard sizes differ
+/// by at most one.
+pub fn shard_ranges(total: u64, shards: usize) -> Vec<Range<u64>> {
+    if total == 0 {
+        return Vec::new();
+    }
+    let shards = (shards.max(1) as u64).min(total);
+    let base = total / shards;
+    let extra = total % shards;
+    let mut ranges = Vec::with_capacity(shards as usize);
+    let mut start = 0;
+    for shard in 0..shards {
+        let len = base + u64::from(shard < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_zero_uses_the_machine() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn shards_cover_exactly_without_overlap() {
+        for total in [1u64, 2, 7, 64, 1000] {
+            for shards in [1usize, 2, 3, 4, 7, 100] {
+                let ranges = shard_ranges(total, shards);
+                assert!(ranges.len() <= shards && !ranges.is_empty());
+                let mut expected = 0;
+                for range in &ranges {
+                    assert_eq!(range.start, expected, "contiguous");
+                    assert!(range.end > range.start, "non-empty");
+                    expected = range.end;
+                }
+                assert_eq!(expected, total, "covering");
+                let sizes: Vec<u64> = ranges.iter().map(|r| r.end - r.start).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "balanced: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_space_yields_no_shards() {
+        assert!(shard_ranges(0, 4).is_empty());
+    }
+}

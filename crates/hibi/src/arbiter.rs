@@ -18,9 +18,24 @@ pub trait Arbiter: Send {
     /// at the given bus cycle, or `None` if no grant is possible.
     fn grant(&mut self, cycle: u64, requests: &[bool]) -> Option<usize>;
 
-    /// Extra idle cycles an agent pays when (re-)acquiring the bus.
+    /// Extra idle cycles an agent pays on every fresh grant — acquiring
+    /// the bus and re-acquiring it after its hold expires, even when the
+    /// same agent wins again.
     fn overhead_cycles(&self) -> u64 {
         1
+    }
+
+    /// The longest a grant issued at `cycle` may hold the bus before the
+    /// scheme forces re-arbitration (on top of the workload's `max_time`).
+    /// Unlimited by default; TDMA clamps to the remaining slot cycles.
+    fn max_hold(&self, _cycle: u64) -> u64 {
+        u64::MAX
+    }
+
+    /// Whether `agent` is allowed to put a word on the bus at `cycle`.
+    /// Always true except for slot-owned schemes (TDMA).
+    fn may_transmit(&self, _cycle: u64, _agent: usize) -> bool {
+        true
     }
 }
 
@@ -90,6 +105,16 @@ impl Arbiter for TdmaArbiter {
 
     fn overhead_cycles(&self) -> u64 {
         0
+    }
+
+    fn max_hold(&self, cycle: u64) -> u64 {
+        // A grant landing mid-slot must stop at the slot boundary, not
+        // `max_time` cycles later in the next agent's slot.
+        self.slot_cycles - cycle % self.slot_cycles
+    }
+
+    fn may_transmit(&self, cycle: u64, agent: usize) -> bool {
+        ((cycle / self.slot_cycles) as usize) % self.slots == agent
     }
 }
 
@@ -239,10 +264,11 @@ pub fn simulate_contention(scheme: Arbitration, config: ContentionConfig) -> Con
             .unwrap_or(true);
         if owner_done {
             let requests: Vec<bool> = queues.iter().map(|q| !q.is_empty()).collect();
-            let previous = owner;
             owner = arbiter.grant(cycle, &requests);
-            hold_left = config.max_time.max(1);
-            if owner.is_some() && owner != previous {
+            hold_left = config.max_time.max(1).min(arbiter.max_hold(cycle));
+            // Every fresh grant pays the acquisition overhead, including
+            // an agent re-acquiring the bus after its own hold expired.
+            if owner.is_some() {
                 overhead_left = arbiter.overhead_cycles();
                 if overhead_left > 0 {
                     overhead_left -= 1; // this cycle counts as overhead
@@ -253,6 +279,10 @@ pub fn simulate_contention(scheme: Arbitration, config: ContentionConfig) -> Con
 
         // Transmit one word for the owner.
         if let Some(agent) = owner {
+            debug_assert!(
+                arbiter.may_transmit(cycle, agent),
+                "agent {agent} transmitting outside its slot at cycle {cycle}"
+            );
             if let Some(burst) = queues[agent].front_mut() {
                 if !burst.first_word_sent {
                     burst.first_word_sent = true;
@@ -410,6 +440,80 @@ mod tests {
             }
             assert!(report.fairness > 0.95, "{scheme} unfair under light load");
         }
+    }
+
+    #[test]
+    fn tdma_hold_is_clamped_to_the_slot_boundary() {
+        let arb = TdmaArbiter {
+            slot_cycles: 16,
+            slots: 2,
+        };
+        assert_eq!(arb.max_hold(0), 16, "slot start: the full slot remains");
+        assert_eq!(arb.max_hold(10), 6, "mid-slot grant stops at the boundary");
+        assert_eq!(arb.max_hold(15), 1, "last slot cycle: one word at most");
+        assert_eq!(arb.max_hold(16), 16, "next slot starts fresh");
+        assert!(arb.may_transmit(5, 0) && !arb.may_transmit(5, 1));
+        assert!(arb.may_transmit(20, 1) && !arb.may_transmit(20, 0));
+    }
+
+    /// Regression: a TDMA grant landing mid-slot used to get the full
+    /// `max_time` hold and transmit past the slot boundary into the next
+    /// agent's slot. The period here makes bursts arrive mid-slot while
+    /// the bus is idle, so mis-clamped holds would cross boundaries —
+    /// caught by the `may_transmit` debug assertion on every word.
+    #[test]
+    fn tdma_never_transmits_outside_the_owners_slot() {
+        let config = ContentionConfig {
+            agents: 2,
+            cycles: 40_000,
+            burst_words: 16,
+            period_cycles: 40, // arrivals drift through the 2*16-cycle frame
+            max_time: 16,
+        };
+        let report = simulate_contention(Arbitration::Tdma, config);
+        for (i, agent) in report.agents.iter().enumerate() {
+            assert!(agent.bursts_served > 100, "agent {i} must still be served");
+        }
+        assert!(
+            report.fairness > 0.99,
+            "equal loads under TDMA stay fair: {}",
+            report.fairness
+        );
+    }
+
+    /// Regression: acquisition overhead used to be charged only when the
+    /// winner changed, so a lone saturated agent re-acquiring the bus
+    /// after every hold expiry paid nothing. Every fresh grant pays now,
+    /// and round-robin's larger overhead (2 vs 1) must show up in both
+    /// utilisation and mean wait.
+    #[test]
+    fn overhead_is_charged_on_every_fresh_grant() {
+        let config = ContentionConfig {
+            agents: 1,
+            cycles: 20_000,
+            burst_words: 16,
+            period_cycles: 10, // saturated: the agent always has backlog
+            max_time: 8,
+        };
+        let prio = simulate_contention(Arbitration::Priority, config);
+        let rr = simulate_contention(Arbitration::RoundRobin, config);
+        // Priority: 8 words per 9 cycles; round-robin: 8 per 10.
+        assert!(
+            prio.utilisation < 0.95,
+            "priority must pay 1 overhead cycle per grant: {}",
+            prio.utilisation
+        );
+        assert!(
+            rr.utilisation > 0.75 && rr.utilisation < 0.85,
+            "round-robin must pay 2 overhead cycles per grant: {}",
+            rr.utilisation
+        );
+        assert!(
+            rr.mean_wait() > prio.mean_wait(),
+            "the larger round-robin overhead must show up in mean wait: {} vs {}",
+            rr.mean_wait(),
+            prio.mean_wait()
+        );
     }
 
     #[test]

@@ -60,7 +60,7 @@ impl CostModel {
     /// `accelerator1`.
     pub fn paper_defaults() -> CostModel {
         CostModel {
-            table: [[1, 4, 16, 2], [2, 1, 16, 2], [64, 64, 1, 1]],
+            table: [[1, 4, 16, 2], [2, 1, 16, 2], [64, 64, 1, 4]],
             cycles_per_weight: [2, 2, 0],
             step_overhead: [20, 20, 4],
         }
@@ -149,6 +149,42 @@ mod tests {
         m.set_cycles_per_unit(PeKind::GeneralCpu, CostClass::Bit, 1);
         assert_eq!(m.cycles_per_unit(PeKind::GeneralCpu, CostClass::Bit), 1);
         assert_eq!(m.compute_cycles(PeKind::GeneralCpu, CostClass::Bit, 5), 5);
+    }
+
+    #[test]
+    fn paper_default_table_is_pinned() {
+        // Regression: the code table drifted from the documented one
+        // (accelerator mem was priced at 1 instead of 4). Pin every entry
+        // so doc and code cannot diverge silently again.
+        let m = CostModel::paper_defaults();
+        let expected = [
+            (PeKind::GeneralCpu, [1u64, 4, 16, 2]),
+            (PeKind::DspCpu, [2, 1, 16, 2]),
+            (PeKind::HwAccelerator, [64, 64, 1, 4]),
+        ];
+        let classes = [
+            CostClass::Control,
+            CostClass::Dsp,
+            CostClass::Bit,
+            CostClass::Mem,
+        ];
+        for (kind, row) in expected {
+            for (class, cycles) in classes.into_iter().zip(row) {
+                assert_eq!(
+                    m.cycles_per_unit(kind, class),
+                    cycles,
+                    "{kind:?}/{class:?} must match the documented table"
+                );
+            }
+        }
+        for (kind, weight, overhead) in [
+            (PeKind::GeneralCpu, 2, 20),
+            (PeKind::DspCpu, 2, 20),
+            (PeKind::HwAccelerator, 0, 4),
+        ] {
+            assert_eq!(m.weight_cycles(kind, 1), weight);
+            assert_eq!(m.step_overhead_cycles(kind), overhead);
+        }
     }
 
     #[test]

@@ -17,6 +17,12 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test -q --test exploration (parallel == serial properties)"
+cargo test -q --test exploration
+
+echo "==> repro --threads 2 explore (parallel path smoke run)"
+cargo run --release -q -p tut-bench --bin repro -- --threads 2 explore
+
 if [[ "$quick" -eq 0 ]]; then
     echo "==> cargo clippy --workspace --all-targets -- -D warnings"
     cargo clippy --workspace --all-targets -- -D warnings

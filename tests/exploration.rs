@@ -3,8 +3,11 @@
 //! consistent with the paper's design decisions.
 
 use tut_profile_suite::explore;
+use tut_profile_suite::profile::application::ProcessType;
+use tut_profile_suite::profile::platform::ComponentKind;
 use tut_profile_suite::profiling;
 use tut_profile_suite::sim::SimConfig;
+use tut_profile_suite::trace::SplitMix64;
 use tut_profile_suite::tutmac::{self, TutmacConfig};
 
 #[test]
@@ -97,6 +100,133 @@ fn remapping_respects_fixed_group4() {
     let report2 = profiling::profile_system(&remapped, SimConfig::with_horizon_ns(5_000_000))
         .expect("reprofile");
     assert!(report2.total_cycles > 0);
+}
+
+/// Property: the parallel exhaustive mapping search returns exactly the
+/// serial solution — same assignment, bit-identical cost — across random
+/// problems, pin sets, and thread counts.
+#[test]
+fn parallel_mapping_matches_serial_on_random_problems() {
+    let mut rng = SplitMix64::new(0x5EED_0001);
+    let kinds = [
+        ProcessType::General,
+        ProcessType::Dsp,
+        ProcessType::Hardware,
+    ];
+    let pe_kinds = [
+        ComponentKind::General,
+        ComponentKind::Dsp,
+        ComponentKind::HwAccelerator,
+    ];
+    for _case in 0..25 {
+        let groups = 2 + rng.next_index(4);
+        let pes = 2 + rng.next_index(3);
+        let mut comm = vec![vec![0u64; groups]; groups];
+        for (g, row) in comm.iter_mut().enumerate() {
+            for (h, cell) in row.iter_mut().enumerate() {
+                if g != h {
+                    *cell = rng.next_below(200);
+                }
+            }
+        }
+        let mut distance = vec![vec![0u64; pes]; pes];
+        for (a, row) in distance.iter_mut().enumerate() {
+            for (b, cell) in row.iter_mut().enumerate() {
+                if a != b {
+                    *cell = 1 + rng.next_below(3);
+                }
+            }
+        }
+        let problem = explore::mapping::MappingProblem {
+            group_names: (0..groups).map(|g| format!("g{g}")).collect(),
+            group_cycles: (0..groups).map(|_| rng.next_below(100_000)).collect(),
+            group_kinds: (0..groups).map(|_| kinds[rng.next_index(3)]).collect(),
+            comm,
+            pes: (0..pes)
+                .map(|_| explore::mapping::PeInfo {
+                    frequency_mhz: 1 + rng.next_below(200),
+                    kind: pe_kinds[rng.next_index(3)],
+                })
+                .collect(),
+            distance,
+        };
+        let mut pinned: Vec<(usize, usize)> = Vec::new();
+        for g in 0..groups {
+            if rng.next_below(3) == 0 {
+                pinned.push((g, rng.next_index(pes)));
+            }
+        }
+        let options = |threads| explore::MappingOptions {
+            pinned: pinned.clone(),
+            threads,
+            ..Default::default()
+        };
+        let serial = explore::optimise_mapping(&problem, &options(1));
+        for threads in [2usize, 4] {
+            let parallel = explore::optimise_mapping(&problem, &options(threads));
+            assert_eq!(
+                serial.assignment, parallel.assignment,
+                "assignment diverged at {threads} threads (pins {pinned:?})"
+            );
+            assert_eq!(
+                serial.cost.to_bits(),
+                parallel.cost.to_bits(),
+                "cost diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+/// Property: multi-start partitioning is bit-identical across thread
+/// counts — every restart is a pure function of (graph, start, seed), and
+/// the reduction picks the same winner regardless of which worker ran it.
+#[test]
+fn parallel_partition_matches_serial_on_random_graphs() {
+    let mut rng = SplitMix64::new(0x5EED_0002);
+    for _case in 0..15 {
+        let nodes = 5 + rng.next_index(10);
+        let mut graph = explore::CommGraph::default();
+        for i in 0..nodes {
+            let index = graph.intern(&format!("p{i}"));
+            graph.set_load(index, rng.next_below(5_000));
+        }
+        for _ in 0..nodes * 2 {
+            let a = rng.next_index(nodes);
+            let b = rng.next_index(nodes);
+            graph.add_edge(a, b, 1 + rng.next_below(40));
+        }
+        let groups = 2 + rng.next_index(3);
+        let mut pinned: Vec<(usize, usize)> = Vec::new();
+        for n in 0..nodes {
+            if rng.next_below(4) == 0 {
+                pinned.push((n, rng.next_index(groups)));
+            }
+        }
+        let seed = rng.next_u64();
+        let options = |threads| explore::GroupingOptions {
+            groups,
+            balance_weight: if nodes.is_multiple_of(2) { 0.2 } else { 0.0 },
+            pinned: pinned.clone(),
+            annealing_iterations: 400,
+            seed,
+            restarts: 3,
+            threads,
+        };
+        let serial = explore::partition(&graph, &options(1));
+        for threads in [2usize, 4] {
+            let parallel = explore::partition(&graph, &options(threads));
+            assert_eq!(
+                serial.assignment, parallel.assignment,
+                "assignment diverged at {threads} threads (pins {pinned:?})"
+            );
+            assert_eq!(serial.cut_weight, parallel.cut_weight);
+            assert_eq!(
+                serial.objective.to_bits(),
+                parallel.objective.to_bits(),
+                "objective diverged at {threads} threads"
+            );
+        }
+    }
 }
 
 #[test]
