@@ -172,6 +172,61 @@ fn print_explore(threads: usize) {
     }
 }
 
+/// Runs the fault-injection reliability campaign (experiment R1): sweep
+/// the channel BER, report delivery ratio / retries / goodput from the
+/// ARQ counters. `--quick` runs a single pinned point and fails the
+/// process when the delivery ratio leaves its expected band, so CI can
+/// smoke-test the whole fault path in one short run.
+fn print_fault_sweep(quick: bool) {
+    use tut_bench::faultsweep;
+    if quick {
+        // One mid-sweep point with a fixed seed on a short horizon.
+        let config = tut_sim::SimConfig::with_horizon_ns(10_000_000);
+        let point = faultsweep::run_point(1e-4, faultsweep::SWEEP_SEED, config);
+        println!(
+            "Fault-sweep smoke (BER 1e-4, seed {:#x}, 10 ms horizon)",
+            faultsweep::SWEEP_SEED
+        );
+        println!();
+        println!("{}", faultsweep::render(&[point]));
+        let ratio = point.delivery_ratio();
+        // Pinned band: deterministic seed, so the exact value is stable;
+        // the band only absorbs deliberate model recalibrations.
+        let (lo, hi) = (0.40, 0.95);
+        if !(lo..=hi).contains(&ratio) {
+            eprintln!(
+                "[fault-sweep --quick] delivery ratio {ratio:.3} outside pinned band [{lo}, {hi}]"
+            );
+            std::process::exit(1);
+        }
+        if point.retries == 0 {
+            eprintln!("[fault-sweep --quick] expected non-zero ARQ retries at BER 1e-4");
+            std::process::exit(1);
+        }
+        println!("[fault-sweep --quick] delivery ratio {ratio:.3} within pinned band [{lo}, {hi}]");
+        return;
+    }
+    let config = tut_bench::table4_config();
+    println!(
+        "Reliability under injected channel faults (seed {:#x}, horizon {} ms).",
+        faultsweep::SWEEP_SEED,
+        config.max_time_ns / 1_000_000
+    );
+    println!();
+    let points = faultsweep::run_sweep(&config);
+    println!("{}", faultsweep::render(&points));
+    let monotone_delivery = points
+        .windows(2)
+        .all(|w| w[1].delivery_ratio() <= w[0].delivery_ratio() + 1e-9);
+    let monotone_retries = points
+        .windows(2)
+        .all(|w| w[1].mean_retries() + 1e-9 >= w[0].mean_retries());
+    println!(
+        "delivery ratio monotonically non-increasing: {monotone_delivery}; \
+         mean retries monotonically non-decreasing: {monotone_retries}"
+    );
+}
+
 /// Runs the TUTMAC case study with a [`Recorder`] attached and writes
 /// the requested export files.
 fn run_traced(trace: Option<&str>, vcd: Option<&str>, prom: Option<&str>) {
@@ -225,6 +280,7 @@ fn main() {
     let mut args: Vec<String> = Vec::new();
     let (mut trace, mut vcd, mut prom) = (None, None, None);
     let mut threads = 1usize;
+    let mut quick = false;
     let mut iter = raw.into_iter();
     while let Some(arg) = iter.next() {
         let mut take = |flag: &str| {
@@ -235,6 +291,7 @@ fn main() {
             "--trace" => trace = Some(take("--trace")),
             "--vcd" => vcd = Some(take("--vcd")),
             "--prom" => prom = Some(take("--prom")),
+            "--quick" => quick = true,
             "--threads" => {
                 threads = take("--threads")
                     .parse()
@@ -253,8 +310,20 @@ fn main() {
     }
     let selected: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
-            "fig1", "fig2", "fig3", "table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7",
-            "fig8", "table4", "explore",
+            "fig1",
+            "fig2",
+            "fig3",
+            "table1",
+            "table2",
+            "table3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "table4",
+            "explore",
+            "fault-sweep",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -280,10 +349,11 @@ fn main() {
             "table4" => print_table4(),
             "transfers" => print_transfers(),
             "explore" => print_explore(threads),
+            "fault-sweep" => print_fault_sweep(quick),
             other => {
                 eprintln!(
                     "unknown item `{other}`; known: fig1..fig8, table1..table4, transfers, \
-                     explore, all"
+                     explore, fault-sweep, all"
                 );
                 std::process::exit(2);
             }

@@ -124,6 +124,13 @@ fn emit_statements(model: &Model, statements: &[Statement], depth: usize, out: &
             Statement::CancelTimer { name } => {
                 let _ = writeln!(out, "{indent}tut_rt_cancel_timer(self, \"{name}\");");
             }
+            Statement::Count { counter, amount } => {
+                let _ = writeln!(
+                    out,
+                    "{indent}tut_rt_count(self, \"{counter}\", tut_rt_as_int({}));",
+                    emit_expr(amount)
+                );
+            }
         }
     }
 }

@@ -1,0 +1,23 @@
+//! Deterministic fault injection for the TUT-Profile suite.
+//!
+//! A MAC protocol is defined by how it behaves under loss, yet an
+//! executable UML model is usually simulated on the sunny day only.
+//! This crate closes that gap with *deterministic* fault processes: a
+//! [`FaultPlan`] is seeded (SplitMix64, the same PRNG the rest of the
+//! workspace uses) and every fault decision is drawn from that stream
+//! in simulation-event order, so a (seed, plan) pair reproduces the
+//! exact same faulty run every time — no wall-clock randomness
+//! anywhere.
+//!
+//! The [`FaultModel`] trait is threaded through the simulator with the
+//! same statically-dispatched `*_with` pattern the trace layer uses:
+//! the zero-cost [`NoFaults`] default monomorphises to the un-faulted
+//! code, and a plan with every rate at zero takes the same branches as
+//! `NoFaults` (no PRNG draws, no fault records), so its log is
+//! byte-identical to a fault-free run.
+
+pub mod model;
+pub mod plan;
+
+pub use model::{FaultModel, NoFaults, TransferVerdict};
+pub use plan::{FaultConfig, FaultPlan, Outage};

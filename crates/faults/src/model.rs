@@ -1,0 +1,75 @@
+//! The [`FaultModel`] trait and its zero-cost [`NoFaults`] default.
+
+/// The fate of one signal transfer, decided by a fault model.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TransferVerdict {
+    /// The transfer arrives intact.
+    Deliver,
+    /// The transfer arrives with bit errors in its payload.
+    Corrupt,
+    /// The transfer is lost in flight.
+    Drop,
+}
+
+/// A source of deterministic fault decisions, queried by the simulation
+/// engine at well-defined points in event order.
+///
+/// Implementations must be deterministic: the same sequence of calls
+/// must produce the same sequence of answers (seeded PRNG state is the
+/// only allowed mutability). The engine guarantees it makes the calls
+/// in deterministic event order, so (model, scenario) pairs replay
+/// bit-exactly.
+pub trait FaultModel {
+    /// Fast gate: when `false`, callers may skip every other hook (and
+    /// the engine emits no fault records at all).
+    fn is_active(&self) -> bool;
+
+    /// Decides the fate of a signal transfer of `bytes` bytes that
+    /// traversed `hops` network segments.
+    fn transfer_verdict(&mut self, now_ns: u64, bytes: u64, hops: u32) -> TransferVerdict;
+
+    /// Injects bit errors into a payload (called only after a
+    /// [`TransferVerdict::Corrupt`] verdict).
+    fn corrupt_payload(&mut self, payload: &mut [u8]);
+
+    /// Extra delay, in nanoseconds, added when a timer of nominal
+    /// `duration_ns` is armed.
+    fn timer_jitter_ns(&mut self, duration_ns: u64) -> u64;
+
+    /// If the processing element named `pe` is inside a stall/outage
+    /// window at `now_ns`, returns the simulation time at which the
+    /// window ends (`u64::MAX` for a permanent outage).
+    fn outage_until(&mut self, pe: &str, now_ns: u64) -> Option<u64>;
+}
+
+/// The default fault model: nothing ever goes wrong.
+///
+/// Every method is a trivially-inlinable constant, so code generic over
+/// [`FaultModel`] monomorphises to exactly the un-faulted code path.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct NoFaults;
+
+impl FaultModel for NoFaults {
+    #[inline]
+    fn is_active(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn transfer_verdict(&mut self, _now_ns: u64, _bytes: u64, _hops: u32) -> TransferVerdict {
+        TransferVerdict::Deliver
+    }
+
+    #[inline]
+    fn corrupt_payload(&mut self, _payload: &mut [u8]) {}
+
+    #[inline]
+    fn timer_jitter_ns(&mut self, _duration_ns: u64) -> u64 {
+        0
+    }
+
+    #[inline]
+    fn outage_until(&mut self, _pe: &str, _now_ns: u64) -> Option<u64> {
+        None
+    }
+}

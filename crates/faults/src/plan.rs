@@ -1,0 +1,248 @@
+//! Seeded, reproducible fault plans.
+
+use tut_trace::SplitMix64;
+
+use crate::model::{FaultModel, TransferVerdict};
+
+/// A stall/outage window for one processing element.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Outage {
+    /// Processing-element instance name (as shown in `SimReport`).
+    pub pe: String,
+    /// Window start, inclusive, in simulation nanoseconds.
+    pub from_ns: u64,
+    /// Window end, exclusive (`u64::MAX` for a permanent outage).
+    pub until_ns: u64,
+}
+
+/// Parameters of a deterministic fault process.
+///
+/// All rates default to zero: a default-constructed plan injects
+/// nothing and draws nothing from its PRNG, so it is behaviourally
+/// identical to [`crate::NoFaults`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct FaultConfig {
+    /// PRNG seed; the same seed and scenario reproduce the same run.
+    pub seed: u64,
+    /// Per-bit probability that a transferred bit is flipped. A
+    /// transfer of `b` bytes is corrupted with probability
+    /// `1 − (1 − ber)^(8·b)`.
+    pub bit_error_rate: f64,
+    /// Per-hop probability that a transfer is dropped outright. A
+    /// transfer over `h` segments is lost with probability
+    /// `1 − (1 − p)^h`.
+    pub drop_per_hop: f64,
+    /// Maximum extra delay drawn uniformly in `[0, jitter]` whenever a
+    /// timer is armed (0 = timers are exact).
+    pub timer_jitter_ns: u64,
+    /// Stall/outage windows per processing element.
+    pub outages: Vec<Outage>,
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig {
+            seed: 0x5EED,
+            bit_error_rate: 0.0,
+            drop_per_hop: 0.0,
+            timer_jitter_ns: 0,
+            outages: Vec::new(),
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A plan that only sets the bit-error rate (the common sweep knob).
+    pub fn with_ber(seed: u64, bit_error_rate: f64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            bit_error_rate,
+            ..FaultConfig::default()
+        }
+    }
+}
+
+/// A [`FaultModel`] driving deterministic fault processes from a seeded
+/// SplitMix64 stream.
+///
+/// Zero-rate hooks short-circuit without drawing from the PRNG, so a
+/// plan with some rates at zero perturbs neither the decisions nor the
+/// draw sequence of the others.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    config: FaultConfig,
+    rng: SplitMix64,
+}
+
+impl FaultPlan {
+    /// Creates the plan; the PRNG starts at `config.seed`.
+    pub fn new(config: FaultConfig) -> FaultPlan {
+        let rng = SplitMix64::new(config.seed);
+        FaultPlan { config, rng }
+    }
+
+    /// The plan's configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+}
+
+impl FaultModel for FaultPlan {
+    fn is_active(&self) -> bool {
+        self.config.bit_error_rate > 0.0
+            || self.config.drop_per_hop > 0.0
+            || self.config.timer_jitter_ns > 0
+            || !self.config.outages.is_empty()
+    }
+
+    fn transfer_verdict(&mut self, _now_ns: u64, bytes: u64, hops: u32) -> TransferVerdict {
+        // Drop is decided first (a dropped transfer never reaches the
+        // receiver to be corrupted). Each decision draws exactly one
+        // f64 when its rate is non-zero and nothing otherwise.
+        if self.config.drop_per_hop > 0.0 && hops > 0 {
+            let survive = (1.0 - self.config.drop_per_hop).powi(hops as i32);
+            if self.rng.next_f64() >= survive {
+                return TransferVerdict::Drop;
+            }
+        }
+        if self.config.bit_error_rate > 0.0 && bytes > 0 {
+            let bits = (8 * bytes).min(i32::MAX as u64) as i32;
+            let survive = (1.0 - self.config.bit_error_rate).powi(bits);
+            if self.rng.next_f64() >= survive {
+                return TransferVerdict::Corrupt;
+            }
+        }
+        TransferVerdict::Deliver
+    }
+
+    fn corrupt_payload(&mut self, payload: &mut [u8]) {
+        if payload.is_empty() {
+            return;
+        }
+        let bit = self.rng.next_below(payload.len() as u64 * 8);
+        payload[(bit / 8) as usize] ^= 1 << (bit % 8);
+    }
+
+    fn timer_jitter_ns(&mut self, _duration_ns: u64) -> u64 {
+        if self.config.timer_jitter_ns == 0 {
+            return 0;
+        }
+        self.rng.next_below(self.config.timer_jitter_ns + 1)
+    }
+
+    fn outage_until(&mut self, pe: &str, now_ns: u64) -> Option<u64> {
+        self.config
+            .outages
+            .iter()
+            .find(|o| o.pe == pe && o.from_ns <= now_ns && now_ns < o.until_ns)
+            .map(|o| o.until_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verdicts(plan: &mut FaultPlan, n: usize) -> Vec<TransferVerdict> {
+        (0..n)
+            .map(|k| plan.transfer_verdict(k as u64, 256, 2))
+            .collect()
+    }
+
+    #[test]
+    fn zero_rate_plan_is_inert_and_drawless() {
+        let mut plan = FaultPlan::new(FaultConfig::default());
+        assert!(!plan.is_active());
+        assert!(verdicts(&mut plan, 100)
+            .iter()
+            .all(|v| *v == TransferVerdict::Deliver));
+        assert_eq!(plan.timer_jitter_ns(1000), 0);
+        assert_eq!(plan.outage_until("cpu1", 5), None);
+        // No draw happened: the PRNG still matches a fresh one.
+        assert_eq!(plan.rng, SplitMix64::new(FaultConfig::default().seed));
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_same_fault_stream() {
+        let config = FaultConfig::with_ber(42, 1e-4);
+        let a = verdicts(&mut FaultPlan::new(config.clone()), 500);
+        let b = verdicts(&mut FaultPlan::new(config), 500);
+        assert_eq!(a, b);
+        assert!(a.contains(&TransferVerdict::Corrupt), "rate high enough");
+    }
+
+    #[test]
+    fn corruption_rate_grows_with_ber() {
+        let count = |ber: f64| {
+            verdicts(&mut FaultPlan::new(FaultConfig::with_ber(7, ber)), 2000)
+                .iter()
+                .filter(|v| **v == TransferVerdict::Corrupt)
+                .count()
+        };
+        let low = count(1e-6);
+        let high = count(1e-3);
+        assert!(low < high, "corruptions: {low} at 1e-6 vs {high} at 1e-3");
+    }
+
+    #[test]
+    fn corrupt_payload_flips_exactly_one_bit() {
+        let mut plan = FaultPlan::new(FaultConfig::with_ber(9, 1e-3));
+        let clean = vec![0u8; 64];
+        let mut dirty = clean.clone();
+        plan.corrupt_payload(&mut dirty);
+        let flipped: u32 = clean
+            .iter()
+            .zip(&dirty)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 1);
+    }
+
+    #[test]
+    fn drops_follow_per_hop_rate() {
+        let config = FaultConfig {
+            seed: 3,
+            drop_per_hop: 0.5,
+            ..FaultConfig::default()
+        };
+        let mut plan = FaultPlan::new(config);
+        let dropped = (0..1000)
+            .filter(|_| plan.transfer_verdict(0, 8, 1) == TransferVerdict::Drop)
+            .count();
+        // P(drop) = 0.5 per hop; allow a broad band around 500.
+        assert!((350..650).contains(&dropped), "dropped {dropped} of 1000");
+    }
+
+    #[test]
+    fn outage_windows_cover_half_open_ranges() {
+        let config = FaultConfig {
+            seed: 1,
+            outages: vec![Outage {
+                pe: "cpu2".into(),
+                from_ns: 100,
+                until_ns: 200,
+            }],
+            ..FaultConfig::default()
+        };
+        let mut plan = FaultPlan::new(config);
+        assert!(plan.is_active());
+        assert_eq!(plan.outage_until("cpu2", 99), None);
+        assert_eq!(plan.outage_until("cpu2", 100), Some(200));
+        assert_eq!(plan.outage_until("cpu2", 199), Some(200));
+        assert_eq!(plan.outage_until("cpu2", 200), None);
+        assert_eq!(plan.outage_until("cpu1", 150), None);
+    }
+
+    #[test]
+    fn timer_jitter_is_bounded() {
+        let config = FaultConfig {
+            seed: 11,
+            timer_jitter_ns: 500,
+            ..FaultConfig::default()
+        };
+        let mut plan = FaultPlan::new(config);
+        for _ in 0..1000 {
+            assert!(plan.timer_jitter_ns(10_000) <= 500);
+        }
+    }
+}

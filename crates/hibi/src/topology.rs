@@ -303,6 +303,7 @@ impl NetworkBuilder {
             agents: self.agents,
             next_hop,
             hop_latency,
+            unroutable: 0,
         })
     }
 }
@@ -317,6 +318,8 @@ pub struct Network {
     /// `next_hop[a][b]` = first segment after `a` on the route to `b`.
     pub(crate) next_hop: Vec<Vec<Option<SegmentId>>>,
     pub(crate) hop_latency: Vec<Vec<u64>>,
+    /// Transfers that found no route and fell back to local delivery.
+    pub(crate) unroutable: u64,
 }
 
 impl Network {
@@ -408,6 +411,14 @@ impl Network {
         &self.segments[segment.index()].name
     }
 
+    /// Number of transfers that found no route between their endpoints
+    /// and fell back to free local delivery. A non-zero count means the
+    /// platform model is broken (disconnected segments) and every
+    /// affected transfer was costed as if it were local.
+    pub fn unroutable_transfers(&self) -> u64 {
+        self.unroutable
+    }
+
     /// Resets the reservation clock and statistics (fresh simulation run).
     pub fn reset(&mut self) {
         for segment in &mut self.segments {
@@ -415,6 +426,7 @@ impl Network {
             segment.rr_next = 0;
             segment.stats = SegmentStats::default();
         }
+        self.unroutable = 0;
     }
 }
 

@@ -36,6 +36,10 @@ pub struct TransferResult {
     pub segments_traversed: u32,
     /// Number of bursts the transfer was split into on the first segment.
     pub bursts: u32,
+    /// `false` when no route existed between the endpoints and the
+    /// transfer fell back to free local delivery; such transfers are
+    /// tallied in [`Network::unroutable_transfers`].
+    pub routed: bool,
 }
 
 impl Network {
@@ -54,7 +58,10 @@ impl Network {
     /// failures (disconnected segments) are reported by
     /// [`Network::route`]; this method falls back to treating unroutable
     /// transfers as local (zero cost) so a broken platform model cannot
-    /// wedge a simulation — validation flags it instead.
+    /// wedge a simulation — but the fallback is not silent: the result
+    /// carries `routed: false`, the network tallies it
+    /// ([`Network::unroutable_transfers`]), and a
+    /// `hibi.unroutable_transfers` counter is traced.
     pub fn transfer(
         &mut self,
         from: AgentId,
@@ -84,14 +91,21 @@ impl Network {
                 queued_ns: 0,
                 segments_traversed: 0,
                 bursts: 0,
+                routed: true,
             };
         }
         let Ok(route) = self.route(from, to) else {
+            // Fall back to free local delivery so a broken platform
+            // model cannot wedge the simulation — but make it visible:
+            // count it and flag the result.
+            self.unroutable += 1;
+            tracer.add("hibi.unroutable_transfers", 1);
             return TransferResult {
                 completion_ns: now_ns,
                 queued_ns: 0,
                 segments_traversed: 0,
                 bursts: 0,
+                routed: false,
             };
         };
         let sender = self.agents[from.index()].config;
@@ -178,6 +192,7 @@ impl Network {
             queued_ns: queued_total,
             segments_traversed: route.len() as u32,
             bursts: first_bursts,
+            routed: true,
         }
     }
 
@@ -340,5 +355,30 @@ mod tests {
         let (mut n, a0, a1) = single_segment(Arbitration::Priority);
         let r = n.transfer(a0, a1, 0, 42);
         assert_eq!(r.completion_ns, 42);
+        assert!(r.routed);
+    }
+
+    #[test]
+    fn unroutable_transfer_is_counted_not_silent() {
+        // Two disconnected segments: the fallback must be visible.
+        let mut b = NetworkBuilder::new();
+        let s0 = b.add_segment("s0", SegmentConfig::default());
+        let s1 = b.add_segment("s1", SegmentConfig::default());
+        let a0 = b.add_agent(s0, WrapperConfig::new(0));
+        let a1 = b.add_agent(s1, WrapperConfig::new(1));
+        let mut n = b.build().unwrap();
+
+        let mut recorder = tut_trace::Recorder::new();
+        let r = n.transfer_with(a0, a1, 64, 7, &mut recorder);
+        assert_eq!(r.completion_ns, 7, "fallback stays free");
+        assert!(!r.routed);
+        assert_eq!(n.unroutable_transfers(), 1);
+        assert_eq!(
+            recorder.metrics.counter("hibi.unroutable_transfers"),
+            Some(1)
+        );
+
+        n.reset();
+        assert_eq!(n.unroutable_transfers(), 0, "reset clears the tally");
     }
 }

@@ -7,7 +7,7 @@ use tut_sim::{LogRecord, SimLog};
 
 use crate::error::ProfilingError;
 use crate::groups::ProcessGroupInfo;
-use crate::report::{GroupExec, ProcessTransfer, ProfilingReport, SignalMatrix};
+use crate::report::{GroupCounter, GroupExec, ProcessTransfer, ProfilingReport, SignalMatrix};
 
 /// Combines the parsed log-file with the process-group information into a
 /// [`ProfilingReport`] — the paper's Table 4 plus the per-process transfer
@@ -44,6 +44,8 @@ pub fn analyze_log(groups: &ProcessGroupInfo, log: &SimLog) -> ProfilingReport {
     let mut losses = 0;
     let mut latency_total_ns = 0u64;
     let mut latency_count = 0u64;
+    let mut faults = tut_sim::FaultTally::default();
+    let mut counters: BTreeMap<(String, String), i64> = BTreeMap::new();
 
     for record in &log.records {
         horizon_ns = horizon_ns.max(record.time_ns());
@@ -80,6 +82,21 @@ pub fn analyze_log(groups: &ProcessGroupInfo, log: &SimLog) -> ProfilingReport {
             }
             LogRecord::Drop { .. } => drops += 1,
             LogRecord::Lost { .. } => losses += 1,
+            LogRecord::Fault { kind, .. } => match kind.as_str() {
+                "corrupt" => faults.corrupted += 1,
+                "drop" => faults.dropped += 1,
+                "unroutable" => faults.unroutable += 1,
+                _ => {}
+            },
+            LogRecord::Count {
+                process,
+                counter,
+                amount,
+                ..
+            } => {
+                let group = groups.group_of(process).to_owned();
+                *counters.entry((group, counter.clone())).or_default() += amount;
+            }
             LogRecord::User { .. } => {}
         }
     }
@@ -131,6 +148,15 @@ pub fn analyze_log(groups: &ProcessGroupInfo, log: &SimLog) -> ProfilingReport {
         } else {
             latency_total_ns as f64 / latency_count as f64
         },
+        faults,
+        group_counters: counters
+            .into_iter()
+            .map(|((group, counter), total)| GroupCounter {
+                group,
+                counter,
+                total,
+            })
+            .collect(),
     }
 }
 
@@ -188,6 +214,11 @@ mod tests {
             "SIG 50 env rca Frame 64 1000",
             "DROP 60 mng Beacon",
             "LOST 70 rca pPhy TxFrame",
+            "FAULT 80 rca drop TxFrame",
+            "FAULT 90 rca corrupt TxFrame",
+            "CNT 95 rca arq.retries 2",
+            "CNT 96 rca arq.retries 1",
+            "CNT 97 mng arq.tx 5",
         ]
         .join("\n")
     }
@@ -239,6 +270,19 @@ mod tests {
         assert_eq!(report.drops, 1);
         assert_eq!(report.losses, 1);
         assert!((report.mean_signal_latency_ns - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_records_and_counters_are_grouped() {
+        let info = with_members(group_info());
+        let report = analyze(&info, &sample_log()).unwrap();
+        assert_eq!(report.faults.dropped, 1);
+        assert_eq!(report.faults.corrupted, 1);
+        assert_eq!(report.faults.unroutable, 0);
+        // rca is in group1, mng in group2.
+        assert_eq!(report.group_counter("group1", "arq.retries"), 3);
+        assert_eq!(report.group_counter("group2", "arq.tx"), 5);
+        assert_eq!(report.counter_total("arq.retries"), 3);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! End-to-end convenience: the full Figure 2 loop in one call.
 
+use tut_faults::{FaultModel, NoFaults};
 use tut_profile::SystemModel;
 use tut_sim::{SimConfig, Simulation};
 use tut_trace::{Clock, NoopSink, TraceSink};
@@ -42,6 +43,28 @@ pub fn profile_system_with<T: TraceSink>(
     config: SimConfig,
     tracer: &mut T,
 ) -> Result<ProfilingReport, ProfilingError> {
+    profile_system_with_faults(system, config, &mut NoFaults, tracer)
+}
+
+/// [`profile_system_with`] under a deterministic fault model: the
+/// simulation stage runs via [`Simulation::run_with_faults`], so injected
+/// corruption/drops flow through the log-file into the report's fault
+/// tallies and per-group protocol counters.
+///
+/// With an inactive model (e.g. [`NoFaults`]) the report is identical to
+/// [`profile_system`].
+///
+/// # Errors
+///
+/// Returns [`ProfilingError`] when any stage fails, including a
+/// [`tut_sim::SimError::WatchdogExpired`] surfaced from an armed
+/// watchdog.
+pub fn profile_system_with_faults<F: FaultModel, T: TraceSink>(
+    system: &SystemModel,
+    config: SimConfig,
+    faults: &mut F,
+    tracer: &mut T,
+) -> Result<ProfilingReport, ProfilingError> {
     let track = tracer.track("tool/profiling", Clock::Host);
     let mut stage_start = tracer.host_now_ns();
     let mut stage = |tracer: &mut T, name: &str| {
@@ -59,7 +82,7 @@ pub fn profile_system_with<T: TraceSink>(
         .map_err(|e| ProfilingError::Simulation(e.to_string()))?;
     stage(tracer, "build_simulation");
     let report = simulation
-        .run_with(tracer)
+        .run_with_faults(faults, tracer)
         .map_err(|e| ProfilingError::Simulation(e.to_string()))?;
     stage(tracer, "simulate");
     let log_text = report.log.to_text();

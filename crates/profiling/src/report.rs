@@ -68,6 +68,19 @@ pub struct ProcessTransfer {
     pub bytes: u64,
 }
 
+/// One per-group protocol counter total, accumulated from the log's
+/// `CNT` records (see `tut_uml::action::Statement::Count`): ARQ frame
+/// tallies, retries, give-ups and any other model-defined counters.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GroupCounter {
+    /// Group label the counting process belongs to.
+    pub group: String,
+    /// Counter name (e.g. `arq.retries`).
+    pub counter: String,
+    /// Signed total over the run.
+    pub total: i64,
+}
+
 /// The full profiling report.
 #[derive(Clone, PartialEq, Debug)]
 pub struct ProfilingReport {
@@ -89,6 +102,11 @@ pub struct ProfilingReport {
     pub losses: u64,
     /// Mean end-to-end signal latency (ns).
     pub mean_signal_latency_ns: f64,
+    /// Fault events from the log (`FAULT` records by kind).
+    pub faults: tut_sim::FaultTally,
+    /// Per-group protocol counter totals (`CNT` records), sorted by
+    /// group then counter name.
+    pub group_counters: Vec<GroupCounter>,
 }
 
 impl ProfilingReport {
@@ -102,6 +120,24 @@ impl ProfilingReport {
         self.group_exec
             .iter()
             .max_by(|a, b| a.cycles.cmp(&b.cycles))
+    }
+
+    /// Total of one named counter for one group (0 when absent).
+    pub fn group_counter(&self, group: &str, counter: &str) -> i64 {
+        self.group_counters
+            .iter()
+            .filter(|c| c.group == group && c.counter == counter)
+            .map(|c| c.total)
+            .sum()
+    }
+
+    /// Total of one named counter across all groups.
+    pub fn counter_total(&self, counter: &str) -> i64 {
+        self.group_counters
+            .iter()
+            .filter(|c| c.counter == counter)
+            .map(|c| c.total)
+            .sum()
     }
 }
 
@@ -176,6 +212,36 @@ pub fn render_table4(report: &ProfilingReport) -> String {
         report.losses,
         report.mean_signal_latency_ns
     ));
+    if report.faults.injected() > 0 || report.faults.unroutable > 0 {
+        out.push_str(&format!(
+            "faults: {} corrupted, {} dropped, {} unroutable\n",
+            report.faults.corrupted, report.faults.dropped, report.faults.unroutable
+        ));
+    }
+    out
+}
+
+/// Renders the per-group protocol counter table (empty string when the
+/// model counted nothing).
+pub fn render_counters(report: &ProfilingReport) -> String {
+    if report.group_counters.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("Protocol counters per process group\n");
+    out.push_str(&format!(
+        "{} | {} | {}\n",
+        pad("Group", 16),
+        pad("Counter", 16),
+        "Total"
+    ));
+    for c in &report.group_counters {
+        out.push_str(&format!(
+            "{} | {} | {}\n",
+            pad(&c.group, 16),
+            pad(&c.counter, 16),
+            c.total
+        ));
+    }
     out
 }
 
@@ -240,6 +306,19 @@ mod tests {
             drops: 1,
             losses: 2,
             mean_signal_latency_ns: 250.0,
+            faults: tut_sim::FaultTally::default(),
+            group_counters: vec![
+                GroupCounter {
+                    group: "Group1".into(),
+                    counter: "arq.retries".into(),
+                    total: 4,
+                },
+                GroupCounter {
+                    group: "Group1".into(),
+                    counter: "arq.tx".into(),
+                    total: 9,
+                },
+            ],
         }
     }
 
@@ -276,5 +355,30 @@ mod tests {
         let text = render_transfers(&sample());
         assert!(text.contains("rca"));
         assert!(text.contains("700"));
+    }
+
+    #[test]
+    fn counter_lookups_and_rendering() {
+        let r = sample();
+        assert_eq!(r.group_counter("Group1", "arq.retries"), 4);
+        assert_eq!(r.group_counter("Group1", "nope"), 0);
+        assert_eq!(r.counter_total("arq.tx"), 9);
+        let text = render_counters(&r);
+        assert!(text.contains("arq.retries"));
+        assert!(text.contains("arq.tx"));
+
+        let mut empty = sample();
+        empty.group_counters.clear();
+        assert_eq!(render_counters(&empty), "");
+    }
+
+    #[test]
+    fn faults_appear_in_table4_only_when_present() {
+        assert!(!render_table4(&sample()).contains("faults:"));
+        let mut lossy = sample();
+        lossy.faults.dropped = 5;
+        lossy.faults.corrupted = 2;
+        let text = render_table4(&lossy);
+        assert!(text.contains("faults: 2 corrupted, 5 dropped, 0 unroutable"));
     }
 }

@@ -155,6 +155,8 @@ mod tests {
             drops: 2,
             losses: 0,
             mean_signal_latency_ns: 0.0,
+            faults: tut_sim::FaultTally::default(),
+            group_counters: vec![],
         }
     }
 

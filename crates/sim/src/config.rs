@@ -62,6 +62,31 @@ impl Default for TraceOptions {
     }
 }
 
+/// Watchdog limits that convert livelock into a structured
+/// [`crate::SimError::WatchdogExpired`] instead of running (or idling)
+/// to the horizon.
+///
+/// Both limits default to 0 = disabled, so the watchdog never changes
+/// the behaviour of existing configurations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Watchdog {
+    /// Abort after this many popped events (0 = unlimited). Catches
+    /// event storms such as unbounded ARQ retry loops.
+    pub max_events: u64,
+    /// Abort when no run-to-completion step has executed on a
+    /// non-environment element for this much *simulated* time while
+    /// events keep flowing (0 = no deadline). Catches quiescent livelock
+    /// such as a stalled processing element with traffic still arriving.
+    pub quiescence_ns: u64,
+}
+
+impl Watchdog {
+    /// True when either limit is armed.
+    pub fn is_armed(&self) -> bool {
+        self.max_events > 0 || self.quiescence_ns > 0
+    }
+}
+
 /// Tunables of one simulation run.
 #[derive(Clone, PartialEq, Debug)]
 pub struct SimConfig {
@@ -86,6 +111,8 @@ pub struct SimConfig {
     pub scheduler: Scheduler,
     /// Event selection for [`crate::Simulation::run_with`] tracing.
     pub trace: TraceOptions,
+    /// Livelock watchdog (disabled by default).
+    pub watchdog: Watchdog,
 }
 
 impl Default for SimConfig {
@@ -100,6 +127,7 @@ impl Default for SimConfig {
             bytes_per_mem_unit: 4,
             scheduler: Scheduler::default(),
             trace: TraceOptions::default(),
+            watchdog: Watchdog::default(),
         }
     }
 }
@@ -131,5 +159,21 @@ mod tests {
     fn with_horizon() {
         let c = SimConfig::with_horizon_ns(123);
         assert_eq!(c.max_time_ns, 123);
+    }
+
+    #[test]
+    fn watchdog_defaults_to_disarmed() {
+        let c = SimConfig::default();
+        assert!(!c.watchdog.is_armed());
+        assert!(Watchdog {
+            max_events: 1,
+            quiescence_ns: 0
+        }
+        .is_armed());
+        assert!(Watchdog {
+            max_events: 0,
+            quiescence_ns: 1
+        }
+        .is_armed());
     }
 }

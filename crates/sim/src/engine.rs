@@ -3,6 +3,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
+use tut_faults::{FaultModel, NoFaults, TransferVerdict};
 use tut_hibi::topology::{
     Arbitration as HibiArbitration, BridgeConfig, NetworkBuilder, SegmentConfig, WrapperConfig,
 };
@@ -20,7 +21,7 @@ use tut_uml::Value;
 use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::log::{LogRecord, SimLog};
-use crate::report::{PeStats, ProcessStats, SimReport};
+use crate::report::{FaultTally, PeStats, ProcessStats, SimReport};
 
 /// Index of a processing element inside a [`Simulation`].
 type PeIndex = usize;
@@ -146,6 +147,12 @@ pub struct Simulation {
     now_ns: u64,
     steps: u64,
     log: SimLog,
+    /// Injected-fault totals (corruptions/drops; unroutable transfers
+    /// are tallied by the network itself).
+    fault_tally: FaultTally,
+    /// Last simulated time a run-to-completion step executed on a
+    /// non-environment element (the watchdog's quiescence reference).
+    last_useful_ns: u64,
 }
 
 impl Simulation {
@@ -323,6 +330,8 @@ impl Simulation {
             now_ns: 0,
             steps: 0,
             log: SimLog::new(),
+            fault_tally: FaultTally::default(),
+            last_useful_ns: 0,
         };
         // Every process performs its Start step at t=0.
         for index in 0..sim.processes.len() {
@@ -369,11 +378,48 @@ impl Simulation {
     ///
     /// Returns [`SimError::Runtime`] when an action-language error occurs
     /// inside a process step.
-    pub fn run_with<T: TraceSink>(mut self, tracer: &mut T) -> Result<SimReport, SimError> {
+    pub fn run_with<T: TraceSink>(self, tracer: &mut T) -> Result<SimReport, SimError> {
+        // `NoFaults` short-circuits every hook, so this monomorphises to
+        // the fault-free engine.
+        self.run_with_faults(&mut NoFaults, tracer)
+    }
+
+    /// [`Simulation::run_with`] plus deterministic fault injection: the
+    /// [`FaultModel`] decides, in event order, whether each HIBI-borne
+    /// signal is delivered intact, corrupted, or dropped, whether timers
+    /// jitter, and whether a processing element is inside an outage
+    /// window.
+    ///
+    /// With an inactive model (e.g. [`NoFaults`] or a zero-rate
+    /// [`tut_faults::FaultPlan`]) every hook short-circuits without
+    /// drawing randomness, so the log and report are byte-identical to
+    /// [`Simulation::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Runtime`] when an action-language error occurs
+    /// inside a process step, and [`SimError::WatchdogExpired`] when an
+    /// armed [`crate::config::Watchdog`] limit fires.
+    pub fn run_with_faults<F: FaultModel, T: TraceSink>(
+        mut self,
+        faults: &mut F,
+        tracer: &mut T,
+    ) -> Result<SimReport, SimError> {
         let queue_track = tracer.track("sim/events", Clock::Sim);
+        let watchdog = self.config.watchdog;
+        let mut events_popped: u64 = 0;
         while let Some(Reverse(event)) = self.events.pop() {
             if event.time_ns > self.config.max_time_ns || self.steps >= self.config.max_steps {
                 break;
+            }
+            events_popped += 1;
+            if watchdog.max_events > 0 && events_popped > watchdog.max_events {
+                return Err(self.watchdog_expired(event.time_ns, events_popped, "event-budget"));
+            }
+            if watchdog.quiescence_ns > 0
+                && event.time_ns.saturating_sub(self.last_useful_ns) > watchdog.quiescence_ns
+            {
+                return Err(self.watchdog_expired(event.time_ns, events_popped, "quiescence"));
             }
             self.now_ns = event.time_ns;
             if tracer.enabled() && self.config.trace.queue_depth {
@@ -415,7 +461,7 @@ impl Simulation {
                         }
                     }
                     let pe = self.processes[target].pe;
-                    self.try_dispatch(pe, tracer)?;
+                    self.try_dispatch(pe, faults, tracer)?;
                 }
                 EventKind::TimerFired {
                     target,
@@ -433,11 +479,11 @@ impl Simulation {
                             .queue
                             .push_back((now, QueueEntry::Timer { name }));
                         let pe = self.processes[target].pe;
-                        self.try_dispatch(pe, tracer)?;
+                        self.try_dispatch(pe, faults, tracer)?;
                     }
                 }
                 EventKind::PeFree { pe } => {
-                    self.try_dispatch(pe, tracer)?;
+                    self.try_dispatch(pe, faults, tracer)?;
                 }
             }
         }
@@ -445,10 +491,28 @@ impl Simulation {
         Ok(self.into_report())
     }
 
-    /// Runs one step on `pe` if it is free and a process is ready.
-    fn try_dispatch<T: TraceSink>(&mut self, pe: PeIndex, tracer: &mut T) -> Result<(), SimError> {
+    /// Runs one step on `pe` if it is free, not in an outage window, and
+    /// a process is ready.
+    fn try_dispatch<F: FaultModel, T: TraceSink>(
+        &mut self,
+        pe: PeIndex,
+        faults: &mut F,
+        tracer: &mut T,
+    ) -> Result<(), SimError> {
         if self.pes[pe].free_at_ns > self.now_ns {
             return Ok(());
+        }
+        if faults.is_active() && !self.pes[pe].is_env {
+            let pe_name = self.pes[pe].descriptor.name.clone();
+            if let Some(until_ns) = faults.outage_until(&pe_name, self.now_ns) {
+                // Stalled element: park the dispatch. A finite outage
+                // retries when it lifts; a permanent one never runs again
+                // (the watchdog turns that into an error).
+                if until_ns != u64::MAX && until_ns > self.now_ns {
+                    self.schedule(until_ns, EventKind::PeFree { pe });
+                }
+                return Ok(());
+            }
         }
         let ready: Vec<ProcIndex> = self
             .processes
@@ -481,14 +545,15 @@ impl Simulation {
                 chosen
             }
         };
-        self.execute_step(proc_index, tracer)?;
+        self.execute_step(proc_index, faults, tracer)?;
         Ok(())
     }
 
     /// Executes one run-to-completion step of `proc_index` at `now_ns`.
-    fn execute_step<T: TraceSink>(
+    fn execute_step<F: FaultModel, T: TraceSink>(
         &mut self,
         proc_index: ProcIndex,
+        faults: &mut F,
         tracer: &mut T,
     ) -> Result<(), SimError> {
         self.steps += 1;
@@ -683,7 +748,7 @@ impl Simulation {
                     signal,
                     values,
                 } => {
-                    self.dispatch_send(proc_index, &port, signal, values, end_ns, tracer);
+                    self.dispatch_send(proc_index, &port, signal, values, end_ns, faults, tracer);
                 }
                 Effect::SetTimer { name, duration } => {
                     let generation = {
@@ -691,6 +756,11 @@ impl Simulation {
                         let g = gens.entry(name.clone()).or_insert(0);
                         *g += 1;
                         *g
+                    };
+                    let duration = if faults.is_active() {
+                        duration + faults.timer_jitter_ns(duration)
+                    } else {
+                        duration
                     };
                     self.schedule(
                         end_ns + duration,
@@ -710,6 +780,14 @@ impl Simulation {
                         time_ns: end_ns,
                         process: self.processes[proc_index].name.clone(),
                         message,
+                    });
+                }
+                Effect::Count { counter, amount } => {
+                    self.log.push(LogRecord::Count {
+                        time_ns: end_ns,
+                        process: self.processes[proc_index].name.clone(),
+                        counter,
+                        amount,
                     });
                 }
                 Effect::Compute { .. } => {}
@@ -781,6 +859,10 @@ impl Simulation {
         stats.steps += 1;
         stats.cycles += cycles;
         stats.busy_ns += duration_ns;
+        if !self.pes[pe_index].is_env {
+            // Useful work for the watchdog's quiescence deadline.
+            self.last_useful_ns = self.last_useful_ns.max(start_ns);
+        }
         let pe = &mut self.pes[pe_index];
         pe.free_at_ns = end_ns;
         pe.busy_ns += duration_ns;
@@ -788,14 +870,18 @@ impl Simulation {
         self.schedule(end_ns, EventKind::PeFree { pe: pe_index });
     }
 
-    /// Routes a sent signal to its receivers and schedules deliveries.
-    fn dispatch_send<T: TraceSink>(
+    /// Routes a sent signal to its receivers and schedules deliveries,
+    /// applying the fault model's per-transfer verdict to HIBI-borne
+    /// signals.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_send<F: FaultModel, T: TraceSink>(
         &mut self,
         sender: ProcIndex,
         port_name: &str,
         signal: SignalId,
         values: Vec<Value>,
         send_time_ns: u64,
+        faults: &mut F,
         tracer: &mut T,
     ) {
         let sender_instance = self.processes[sender].instance;
@@ -826,12 +912,14 @@ impl Simulation {
             self.config.header_bytes + values.iter().map(|v| v.size_bytes() as u64).sum::<u64>();
         self.processes[sender].stats.signals_sent += receivers.len() as u64;
         self.processes[sender].stats.bytes_sent += bytes * receivers.len() as u64;
+        let signal_name = self.system.model.signal(signal).name().to_owned();
         for endpoint in receivers {
             let Some(&target) = self.by_instance.get(&endpoint.instance) else {
                 continue;
             };
             let sender_pe = self.processes[sender].pe;
             let target_pe = self.processes[target].pe;
+            let mut values = values.clone();
             let delivery_ns = if sender_pe == target_pe {
                 send_time_ns + self.config.local_latency_ns
             } else if self.pes[sender_pe].is_env || self.pes[target_pe].is_env {
@@ -839,9 +927,54 @@ impl Simulation {
             } else {
                 match (self.pes[sender_pe].agent, self.pes[target_pe].agent) {
                     (Some(from), Some(to)) => {
-                        self.network
-                            .transfer_with(from, to, bytes, send_time_ns, tracer)
-                            .completion_ns
+                        let result =
+                            self.network
+                                .transfer_with(from, to, bytes, send_time_ns, tracer);
+                        if !result.routed {
+                            // The network tallies the count; the log
+                            // records which signal fell back.
+                            self.log.push(LogRecord::Fault {
+                                time_ns: send_time_ns,
+                                process: self.processes[sender].name.clone(),
+                                kind: "unroutable".into(),
+                                signal: signal_name.clone(),
+                            });
+                        }
+                        if faults.is_active() {
+                            // Only HIBI-borne signals are subject to the
+                            // channel fault process; local and environment
+                            // deliveries are memory copies.
+                            match faults.transfer_verdict(
+                                send_time_ns,
+                                bytes,
+                                result.segments_traversed,
+                            ) {
+                                TransferVerdict::Deliver => {}
+                                TransferVerdict::Corrupt => {
+                                    corrupt_values(&mut values, faults);
+                                    self.fault_tally.corrupted += 1;
+                                    tracer.add("sim.faults_corrupted", 1);
+                                    self.log.push(LogRecord::Fault {
+                                        time_ns: send_time_ns,
+                                        process: self.processes[sender].name.clone(),
+                                        kind: "corrupt".into(),
+                                        signal: signal_name.clone(),
+                                    });
+                                }
+                                TransferVerdict::Drop => {
+                                    self.fault_tally.dropped += 1;
+                                    tracer.add("sim.faults_dropped", 1);
+                                    self.log.push(LogRecord::Fault {
+                                        time_ns: send_time_ns,
+                                        process: self.processes[sender].name.clone(),
+                                        kind: "drop".into(),
+                                        signal: signal_name.clone(),
+                                    });
+                                    continue;
+                                }
+                            }
+                        }
+                        result.completion_ns
                     }
                     _ => send_time_ns + self.config.local_latency_ns,
                 }
@@ -853,7 +986,7 @@ impl Simulation {
                     target,
                     entry_kind: DeliverKind::Signal {
                         signal,
-                        values: values.clone(),
+                        values,
                         sender_name,
                         bytes,
                         sent_at_ns: send_time_ns,
@@ -870,6 +1003,29 @@ impl Simulation {
         }
     }
 
+    /// Up to three processes most likely responsible for a livelock:
+    /// deepest input queues first, then most steps executed, then name.
+    fn hot_processes(&self) -> Vec<String> {
+        let mut ranked: Vec<&ProcessRt> = self.processes.iter().collect();
+        ranked.sort_by(|a, b| {
+            b.queue
+                .len()
+                .cmp(&a.queue.len())
+                .then(b.stats.steps.cmp(&a.stats.steps))
+                .then(a.name.cmp(&b.name))
+        });
+        ranked.into_iter().take(3).map(|p| p.name.clone()).collect()
+    }
+
+    fn watchdog_expired(&self, time_ns: u64, events: u64, limit: &str) -> SimError {
+        SimError::WatchdogExpired {
+            time_ns,
+            events,
+            limit: limit.to_owned(),
+            hot_processes: self.hot_processes(),
+        }
+    }
+
     fn into_report(self) -> SimReport {
         let mut report = SimReport {
             end_time_ns: self.now_ns,
@@ -877,6 +1033,10 @@ impl Simulation {
             log: self.log,
             processes: Vec::new(),
             pes: Vec::new(),
+            faults: FaultTally {
+                unroutable: self.network.unroutable_transfers(),
+                ..self.fault_tally
+            },
         };
         for process in self.processes {
             report.processes.push((process.name, process.stats));
@@ -895,9 +1055,32 @@ impl Simulation {
     }
 }
 
+/// Corrupts an in-flight payload: flips one bit of the first `Bytes`
+/// value, or perturbs the first `Int` through its little-endian byte
+/// image when the signal carries no raw bytes. Signals with no
+/// corruptible value (e.g. `Bool`/`Str` only) keep the fault record but
+/// arrive unchanged.
+fn corrupt_values<F: FaultModel>(values: &mut [Value], faults: &mut F) {
+    if let Some(bytes) = values.iter_mut().find_map(|v| match v {
+        Value::Bytes(b) if !b.is_empty() => Some(b),
+        _ => None,
+    }) {
+        faults.corrupt_payload(bytes);
+        return;
+    }
+    if let Some(value) = values.iter_mut().find(|v| matches!(v, Value::Int(_))) {
+        if let Value::Int(n) = value {
+            let mut image = n.to_le_bytes();
+            faults.corrupt_payload(&mut image);
+            *value = Value::Int(i64::from_le_bytes(image));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tut_faults::{FaultConfig, FaultPlan, Outage};
     use tut_profile::application::ProcessType;
     use tut_profile::platform::ComponentKind;
     use tut_profile_core::TagValue;
@@ -1175,5 +1358,273 @@ mod tests {
             .run()
             .unwrap();
         assert!(report.total_steps <= 7);
+    }
+
+    #[test]
+    fn zero_rate_fault_plan_matches_fault_free_run() {
+        let baseline = Simulation::from_system(&ping_pong(10, false), SimConfig::default())
+            .unwrap()
+            .run()
+            .unwrap();
+        let mut plan = FaultPlan::new(FaultConfig::default());
+        let faulted = Simulation::from_system(&ping_pong(10, false), SimConfig::default())
+            .unwrap()
+            .run_with_faults(&mut plan, &mut NoopSink)
+            .unwrap();
+        assert_eq!(baseline.log.to_text(), faulted.log.to_text());
+        assert_eq!(baseline.end_time_ns, faulted.end_time_ns);
+        assert_eq!(faulted.faults, FaultTally::default());
+    }
+
+    #[test]
+    fn dropped_transfers_are_recorded_and_tallied() {
+        let mut plan = FaultPlan::new(FaultConfig {
+            drop_per_hop: 1.0,
+            ..FaultConfig::default()
+        });
+        let report = Simulation::from_system(&ping_pong(10, false), SimConfig::default())
+            .unwrap()
+            .run_with_faults(&mut plan, &mut NoopSink)
+            .unwrap();
+        // The very first ping is dropped on the bus, so the exchange
+        // dies immediately.
+        assert_eq!(report.faults.dropped, 1);
+        let drops = report
+            .log
+            .records
+            .iter()
+            .filter(|r| matches!(r, LogRecord::Fault { kind, .. } if kind == "drop"))
+            .count();
+        assert_eq!(drops, 1);
+        let sigs = report
+            .log
+            .records
+            .iter()
+            .filter(|r| matches!(r, LogRecord::Sig { .. }))
+            .count();
+        assert_eq!(sigs, 0, "no signal survives a 100% drop channel");
+    }
+
+    #[test]
+    fn corrupted_transfers_mutate_the_payload_in_flight() {
+        let config = SimConfig {
+            max_steps: 400,
+            ..SimConfig::default()
+        };
+        let mut plan = FaultPlan::new(FaultConfig::with_ber(7, 1.0));
+        let report = Simulation::from_system(&ping_pong(3, false), config)
+            .unwrap()
+            .run_with_faults(&mut plan, &mut NoopSink)
+            .unwrap();
+        assert!(report.faults.corrupted > 0);
+        assert_eq!(report.faults.injected(), report.faults.corrupted);
+        let faults = report
+            .log
+            .records
+            .iter()
+            .filter(|r| matches!(r, LogRecord::Fault { kind, .. } if kind == "corrupt"))
+            .count() as u64;
+        assert_eq!(faults, report.faults.corrupted);
+    }
+
+    #[test]
+    fn event_budget_watchdog_converts_storms_into_errors() {
+        let config = SimConfig {
+            watchdog: crate::config::Watchdog {
+                max_events: 50,
+                quiescence_ns: 0,
+            },
+            ..SimConfig::default()
+        };
+        let err = Simulation::from_system(&ping_pong(1_000_000, false), config)
+            .unwrap()
+            .run()
+            .unwrap_err();
+        match err {
+            SimError::WatchdogExpired {
+                limit,
+                events,
+                hot_processes,
+                ..
+            } => {
+                assert_eq!(limit, "event-budget");
+                assert_eq!(events, 51);
+                assert!(!hot_processes.is_empty());
+            }
+            other => panic!("expected WatchdogExpired, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn finite_outage_delays_but_does_not_lose_work() {
+        let clean = Simulation::from_system(&ping_pong(5, false), SimConfig::default())
+            .unwrap()
+            .run()
+            .unwrap();
+        // cpu2 (the ponger's element) is down for the first 50 µs.
+        let mut plan = FaultPlan::new(FaultConfig {
+            outages: vec![Outage {
+                pe: "cpu2".into(),
+                from_ns: 0,
+                until_ns: 50_000,
+            }],
+            ..FaultConfig::default()
+        });
+        let stalled = Simulation::from_system(&ping_pong(5, false), SimConfig::default())
+            .unwrap()
+            .run_with_faults(&mut plan, &mut NoopSink)
+            .unwrap();
+        let sigs = |r: &SimReport| {
+            r.log
+                .records
+                .iter()
+                .filter(|rec| matches!(rec, LogRecord::Sig { .. }))
+                .count()
+        };
+        assert_eq!(sigs(&clean), sigs(&stalled), "no signal is lost");
+        assert!(
+            stalled.end_time_ns > clean.end_time_ns,
+            "outage defers completion: {} vs {}",
+            stalled.end_time_ns,
+            clean.end_time_ns
+        );
+    }
+
+    /// An environment traffic source driving a sink whose element never
+    /// comes back: events keep flowing but no useful work happens.
+    fn env_driven_sink() -> SystemModel {
+        let mut s = SystemModel::new("Stall");
+        let top = s.model.add_class("Top");
+        s.apply(top, |t| t.application).unwrap();
+        let tick = s.model.add_signal("Tick");
+
+        let ticker = s.model.add_class("Ticker");
+        s.apply(ticker, |t| t.application_component).unwrap();
+        let t_out = s.model.add_port(ticker, "out");
+        s.model.port_mut(t_out).add_required(tick);
+        let mut sm = StateMachine::new("TickerB");
+        let run = sm.add_state_with_entry(
+            "Run",
+            vec![Statement::SetTimer {
+                name: "t".into(),
+                duration: Expr::int(500),
+            }],
+        );
+        sm.set_initial(run);
+        sm.add_transition(
+            run,
+            run,
+            Trigger::Timer("t".into()),
+            None,
+            vec![
+                Statement::Send {
+                    port: "out".into(),
+                    signal: tick,
+                    args: vec![],
+                },
+                Statement::SetTimer {
+                    name: "t".into(),
+                    duration: Expr::int(500),
+                },
+            ],
+        );
+        s.model.add_state_machine(ticker, sm);
+
+        let sink = s.model.add_class("Sink");
+        s.apply(sink, |t| t.application_component).unwrap();
+        let s_in = s.model.add_port(sink, "in");
+        s.model.port_mut(s_in).add_provided(tick);
+        let mut sm = StateMachine::new("SinkB");
+        let st = sm.add_state("S");
+        sm.set_initial(st);
+        sm.add_transition(
+            st,
+            st,
+            Trigger::Signal(tick),
+            None,
+            vec![Statement::Compute {
+                class: CostClass::Control,
+                amount: Expr::int(10),
+            }],
+        );
+        s.model.add_state_machine(sink, sm);
+
+        let tick_part = s.model.add_part(top, "ticker", ticker);
+        let sink_part = s.model.add_part(top, "sink", sink);
+        for part in [tick_part, sink_part] {
+            s.apply(part, |t| t.application_process).unwrap();
+        }
+        s.model.add_connector(
+            top,
+            "wire",
+            tut_uml::model::ConnectorEnd {
+                part: Some(tick_part),
+                port: t_out,
+            },
+            tut_uml::model::ConnectorEnd {
+                part: Some(sink_part),
+                port: s_in,
+            },
+        );
+
+        // Only the sink is mapped; the ticker stays on the environment
+        // element (a traffic source outside the platform).
+        let g1 = s.add_process_group("group1", false, ProcessType::General);
+        s.assign_to_group(sink_part, g1);
+        let platform = s.model.add_class("Platform");
+        s.apply(platform, |t| t.platform).unwrap();
+        let nios = s.add_platform_component("Nios", ComponentKind::General, 50, 2.0, 0.5);
+        let cpu1 = s.add_platform_instance(platform, "cpu1", nios, 1, 0);
+        s.map_group(g1, cpu1, false);
+        s
+    }
+
+    #[test]
+    fn quiescence_watchdog_names_the_stalled_process() {
+        let config = SimConfig {
+            watchdog: crate::config::Watchdog {
+                max_events: 0,
+                quiescence_ns: 10_000,
+            },
+            ..SimConfig::default()
+        };
+        let mut plan = FaultPlan::new(FaultConfig {
+            outages: vec![Outage {
+                pe: "cpu1".into(),
+                from_ns: 0,
+                until_ns: u64::MAX,
+            }],
+            ..FaultConfig::default()
+        });
+        let err = Simulation::from_system(&env_driven_sink(), config)
+            .unwrap()
+            .run_with_faults(&mut plan, &mut NoopSink)
+            .unwrap_err();
+        match err {
+            SimError::WatchdogExpired {
+                limit,
+                time_ns,
+                hot_processes,
+                ..
+            } => {
+                assert_eq!(limit, "quiescence");
+                assert!(time_ns > 10_000);
+                assert_eq!(hot_processes.first().map(String::as_str), Some("sink"));
+            }
+            other => panic!("expected WatchdogExpired, got {other:?}"),
+        }
+        // Without the outage the same watchdog stays quiet.
+        let config = SimConfig {
+            watchdog: crate::config::Watchdog {
+                max_events: 0,
+                quiescence_ns: 10_000,
+            },
+            ..SimConfig::default()
+        };
+        let report = Simulation::from_system(&env_driven_sink(), config)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(report.total_steps > 0);
     }
 }

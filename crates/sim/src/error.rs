@@ -24,6 +24,20 @@ pub enum SimError {
         /// The underlying action error.
         message: String,
     },
+    /// The simulation watchdog fired: the run exceeded its event budget
+    /// or went quiescent (no useful work) past its deadline, i.e. the
+    /// model livelocked instead of finishing.
+    WatchdogExpired {
+        /// Simulated time at expiry (ns).
+        time_ns: u64,
+        /// Events popped up to expiry.
+        events: u64,
+        /// Which limit fired: `event-budget` or `quiescence`.
+        limit: String,
+        /// The hottest processes at expiry (deepest input queues
+        /// first), to point at the livelock.
+        hot_processes: Vec<String>,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -39,6 +53,23 @@ impl fmt::Display for SimError {
             SimError::Network(msg) => write!(f, "platform network error: {msg}"),
             SimError::Runtime { process, message } => {
                 write!(f, "runtime error in process `{process}`: {message}")
+            }
+            SimError::WatchdogExpired {
+                time_ns,
+                events,
+                limit,
+                hot_processes,
+            } => {
+                write!(
+                    f,
+                    "watchdog expired ({limit}) at {time_ns} ns after {events} events; \
+                     hot processes: {}",
+                    if hot_processes.is_empty() {
+                        "none".to_owned()
+                    } else {
+                        hot_processes.join(", ")
+                    }
+                )
             }
         }
     }
@@ -64,5 +95,31 @@ mod tests {
             message: "division by zero".into(),
         };
         assert!(e.to_string().contains("rca"));
+    }
+
+    #[test]
+    fn watchdog_display_names_the_hot_process() {
+        let e = SimError::WatchdogExpired {
+            time_ns: 5_000_000,
+            events: 12_345,
+            limit: "quiescence".into(),
+            hot_processes: vec!["rca".into(), "channel".into()],
+        };
+        let text = e.to_string();
+        assert!(text.contains("rca"), "hot process named: {text}");
+        assert!(text.contains("quiescence"), "limit named: {text}");
+        assert!(text.contains("5000000"), "expiry time shown: {text}");
+
+        // It is a std error like every other variant.
+        let boxed: Box<dyn std::error::Error> = Box::new(e);
+        assert!(boxed.to_string().contains("watchdog expired"));
+
+        let empty = SimError::WatchdogExpired {
+            time_ns: 0,
+            events: 0,
+            limit: "event-budget".into(),
+            hot_processes: vec![],
+        };
+        assert!(empty.to_string().contains("none"));
     }
 }

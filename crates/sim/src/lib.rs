@@ -37,8 +37,8 @@ pub mod error;
 pub mod log;
 pub mod report;
 
-pub use config::{SimConfig, TraceOptions};
+pub use config::{SimConfig, TraceOptions, Watchdog};
 pub use engine::Simulation;
 pub use error::SimError;
 pub use log::{LogRecord, SimLog};
-pub use report::SimReport;
+pub use report::{FaultTally, SimReport};

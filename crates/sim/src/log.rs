@@ -10,11 +10,13 @@
 //! Record lines (whitespace-separated, one record per line):
 //!
 //! ```text
-//! EXEC <time_ns> <process> <cycles> <duration_ns> <from_state> <to_state> <trigger>
-//! SIG  <time_ns> <sender> <receiver> <signal> <bytes> <latency_ns>
-//! DROP <time_ns> <process> <signal>
-//! LOST <time_ns> <process> <port> <signal>
-//! USER <time_ns> <process> <message…>
+//! EXEC  <time_ns> <process> <cycles> <duration_ns> <from_state> <to_state> <trigger>
+//! SIG   <time_ns> <sender> <receiver> <signal> <bytes> <latency_ns>
+//! DROP  <time_ns> <process> <signal>
+//! LOST  <time_ns> <process> <port> <signal>
+//! USER  <time_ns> <process> <message…>
+//! FAULT <time_ns> <process> <kind> <signal>
+//! CNT   <time_ns> <process> <counter> <amount>
 //! ```
 //!
 //! Name fields and messages are **escaped** so embedded whitespace
@@ -134,6 +136,30 @@ pub enum LogRecord {
         /// The rendered message.
         message: String,
     },
+    /// A fault was injected (or a platform-model defect surfaced): a
+    /// transfer was corrupted or dropped by the fault model, or a
+    /// transfer found no route.
+    Fault {
+        /// Injection time (ns).
+        time_ns: u64,
+        /// The sending process whose transfer was hit.
+        process: String,
+        /// Fault kind: `corrupt`, `drop`, or `unroutable`.
+        kind: String,
+        /// The signal type name of the affected transfer.
+        signal: String,
+    },
+    /// A `count` action: a named per-process counter was incremented.
+    Count {
+        /// Emission time (ns).
+        time_ns: u64,
+        /// The counting process.
+        process: String,
+        /// The counter name (dotted names group related tallies).
+        counter: String,
+        /// Signed increment.
+        amount: i64,
+    },
 }
 
 impl LogRecord {
@@ -196,6 +222,27 @@ impl LogRecord {
                 "USER {time_ns} {} {}",
                 escape_field(process),
                 escape_field(message)
+            ),
+            LogRecord::Fault {
+                time_ns,
+                process,
+                kind,
+                signal,
+            } => format!(
+                "FAULT {time_ns} {} {} {}",
+                escape_field(process),
+                escape_field(kind),
+                escape_field(signal)
+            ),
+            LogRecord::Count {
+                time_ns,
+                process,
+                counter,
+                amount,
+            } => format!(
+                "CNT {time_ns} {} {} {amount}",
+                escape_field(process),
+                escape_field(counter)
             ),
         }
     }
@@ -279,6 +326,27 @@ impl LogRecord {
                     message,
                 }
             }
+            "FAULT" => LogRecord::Fault {
+                time_ns: parse_u64(next("time")?, "time")?,
+                process: unescape_field(next("process")?),
+                kind: unescape_field(next("kind")?),
+                signal: unescape_field(next("signal")?),
+            },
+            "CNT" => {
+                let time_ns = parse_u64(next("time")?, "time")?;
+                let process = unescape_field(next("process")?);
+                let counter = unescape_field(next("counter")?);
+                let amount_text = next("amount")?;
+                let amount = amount_text
+                    .parse()
+                    .map_err(|_| format!("bad amount value `{amount_text}` in CNT record"))?;
+                LogRecord::Count {
+                    time_ns,
+                    process,
+                    counter,
+                    amount,
+                }
+            }
             other => return Err(format!("unknown log record kind `{other}`")),
         };
         Ok(Some(record))
@@ -291,7 +359,9 @@ impl LogRecord {
             | LogRecord::Sig { time_ns, .. }
             | LogRecord::Drop { time_ns, .. }
             | LogRecord::Lost { time_ns, .. }
-            | LogRecord::User { time_ns, .. } => *time_ns,
+            | LogRecord::User { time_ns, .. }
+            | LogRecord::Fault { time_ns, .. }
+            | LogRecord::Count { time_ns, .. } => *time_ns,
         }
     }
 }
@@ -398,6 +468,18 @@ mod tests {
                 time_ns: 9200,
                 process: "rca".into(),
                 message: "sent 3 frames".into(),
+            },
+            LogRecord::Fault {
+                time_ns: 9300,
+                process: "rca".into(),
+                kind: "corrupt".into(),
+                signal: "TxFrame".into(),
+            },
+            LogRecord::Count {
+                time_ns: 9400,
+                process: "rca".into(),
+                counter: "arq.retries".into(),
+                amount: -2,
             },
         ]
     }

@@ -1,7 +1,7 @@
 //! Simulation results: per-process and per-element statistics plus the
 //! log.
 
-use crate::log::SimLog;
+use crate::log::{LogRecord, SimLog};
 
 /// Per-process counters accumulated during a run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -49,6 +49,25 @@ pub struct PeStats {
     pub is_env: bool,
 }
 
+/// Fault-related totals of one run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FaultTally {
+    /// Transfers whose payload was corrupted by the fault model.
+    pub corrupted: u64,
+    /// Transfers dropped in flight by the fault model.
+    pub dropped: u64,
+    /// Transfers that found no route and fell back to free local
+    /// delivery (a platform-model defect, not an injected fault).
+    pub unroutable: u64,
+}
+
+impl FaultTally {
+    /// Total injected faults (corruptions + drops).
+    pub fn injected(&self) -> u64 {
+        self.corrupted + self.dropped
+    }
+}
+
 /// The result of a simulation run.
 #[derive(Clone, PartialEq, Debug)]
 pub struct SimReport {
@@ -64,6 +83,9 @@ pub struct SimReport {
     /// `(element name, stats)` in element order; index 0 is the
     /// environment.
     pub pes: Vec<(String, PeStats)>,
+    /// Fault totals (all zero for an un-faulted run on a routable
+    /// platform).
+    pub faults: FaultTally,
 }
 
 impl SimReport {
@@ -95,9 +117,41 @@ impl SimReport {
             .map(|(_, s)| s.busy_ns as f64 / self.end_time_ns as f64)
     }
 
+    /// Total of one named counter across all processes (from the log's
+    /// `CNT` records; see `Statement::Count`).
+    pub fn counter_total(&self, counter: &str) -> i64 {
+        self.log
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                LogRecord::Count {
+                    counter: c, amount, ..
+                } if c == counter => Some(*amount),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Total of one named counter for one process.
+    pub fn process_counter(&self, process: &str, counter: &str) -> i64 {
+        self.log
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                LogRecord::Count {
+                    process: p,
+                    counter: c,
+                    amount,
+                    ..
+                } if p == process && c == counter => Some(*amount),
+                _ => None,
+            })
+            .sum()
+    }
+
     /// One-paragraph human summary.
     pub fn summary(&self) -> String {
-        format!(
+        let mut text = format!(
             "simulated {} steps to t={} ns; {} log records; {} processes on {} elements; total {} cycles",
             self.total_steps,
             self.end_time_ns,
@@ -105,7 +159,14 @@ impl SimReport {
             self.processes.len(),
             self.pes.len(),
             self.total_cycles(),
-        )
+        );
+        if self.faults.injected() > 0 || self.faults.unroutable > 0 {
+            text.push_str(&format!(
+                "; faults: {} corrupted, {} dropped, {} unroutable",
+                self.faults.corrupted, self.faults.dropped, self.faults.unroutable
+            ));
+        }
+        text
     }
 }
 
@@ -145,6 +206,7 @@ mod tests {
                     },
                 ),
             ],
+            faults: FaultTally::default(),
         }
     }
 
@@ -167,5 +229,32 @@ mod tests {
         let text = sample().summary();
         assert!(text.contains("10 steps"));
         assert!(text.contains("500 cycles"));
+        assert!(!text.contains("faults"), "clean run stays quiet");
+        let mut lossy = sample();
+        lossy.faults.dropped = 3;
+        assert!(lossy.summary().contains("3 dropped"));
+    }
+
+    #[test]
+    fn counter_totals_come_from_the_log() {
+        let mut r = sample();
+        for (process, amount) in [("p1", 2), ("p1", 3), ("p2", 10)] {
+            r.log.push(LogRecord::Count {
+                time_ns: 1,
+                process: process.into(),
+                counter: "arq.tx".into(),
+                amount,
+            });
+        }
+        r.log.push(LogRecord::Count {
+            time_ns: 2,
+            process: "p1".into(),
+            counter: "arq.acked".into(),
+            amount: 4,
+        });
+        assert_eq!(r.counter_total("arq.tx"), 15);
+        assert_eq!(r.process_counter("p1", "arq.tx"), 5);
+        assert_eq!(r.process_counter("p1", "arq.acked"), 4);
+        assert_eq!(r.counter_total("nope"), 0);
     }
 }

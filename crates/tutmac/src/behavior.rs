@@ -64,6 +64,20 @@ fn set_timer(name: &str, duration: i64) -> Statement {
     }
 }
 
+fn set_timer_expr(name: &str, duration: Expr) -> Statement {
+    Statement::SetTimer {
+        name: name.into(),
+        duration,
+    }
+}
+
+fn count(counter: &str, amount: i64) -> Statement {
+    Statement::Count {
+        counter: counter.into(),
+        amount: Expr::int(amount),
+    }
+}
+
 /// `msduRec` (UserInterface): accepts user MSDUs and hands them to
 /// fragmentation.
 pub fn msdu_rec(config: &TutmacConfig, signals: &Signals) -> StateMachine {
@@ -344,13 +358,22 @@ pub fn crc(config: &TutmacConfig, signals: &Signals) -> StateMachine {
     sm
 }
 
-/// `rca` (RadioChannelAccess): channel access with stop-and-wait ARQ —
-/// the dominant workload of Table 4(a).
+/// `rca` (RadioChannelAccess): channel access with stop-and-wait ARQ and
+/// exponential backoff — the dominant workload of Table 4(a).
+///
+/// Every frame attempt is tallied through `count` statements
+/// (`arq.tx`/`arq.acked`/`arq.retries`/`arq.gave_up`), so the profiling
+/// report's per-group counters expose the protocol's reliability figures.
 pub fn rca(config: &TutmacConfig, signals: &Signals) -> StateMachine {
     let mut sm = StateMachine::new("RcaBehavior");
     sm.add_variable("buf", DataType::Bytes, Value::Bytes(vec![]));
     sm.add_variable("cur_seq", DataType::Int, Value::Int(-1));
     sm.add_variable("retries", DataType::Int, Value::Int(0));
+    sm.add_variable(
+        "backoff",
+        DataType::Int,
+        Value::Int(config.ack_timeout_ns.max(1)),
+    );
     let idle = sm.add_state("Idle");
     let wait_ack = sm.add_state("WaitAck");
     sm.set_initial(idle);
@@ -367,6 +390,8 @@ pub fn rca(config: &TutmacConfig, signals: &Signals) -> StateMachine {
         assign("buf", Expr::param("frame")),
         assign("cur_seq", Expr::param("seq")),
         assign("retries", Expr::int(0)),
+        assign("backoff", Expr::int(config.ack_timeout_ns.max(1))),
+        count("arq.tx", 1),
     ];
     actions.extend(tx_work(config));
     actions.push(send(
@@ -374,7 +399,7 @@ pub fn rca(config: &TutmacConfig, signals: &Signals) -> StateMachine {
         signals.air_frame,
         vec![Expr::var("buf"), Expr::var("cur_seq")],
     ));
-    actions.push(set_timer("ackT", config.ack_timeout_ns));
+    actions.push(set_timer_expr("ackT", Expr::var("backoff")));
     sm.add_transition(
         idle,
         wait_ack,
@@ -393,23 +418,38 @@ pub fn rca(config: &TutmacConfig, signals: &Signals) -> StateMachine {
             Statement::CancelTimer {
                 name: "ackT".into(),
             },
+            count("arq.acked", 1),
             compute(CostClass::Control, Expr::int(config.rca_ack_control)),
             send("pDp", signals.pdu_done, vec![Expr::var("cur_seq")]),
         ],
     );
 
-    // WaitAck + timeout, retries left: retransmit.
-    let mut retry = vec![assign(
-        "retries",
-        Expr::var("retries").bin(BinOp::Add, Expr::int(1)),
-    )];
+    // WaitAck + timeout, retries left: retransmit with doubled backoff
+    // (capped at max_backoff_ns).
+    let mut retry = vec![
+        assign(
+            "retries",
+            Expr::var("retries").bin(BinOp::Add, Expr::int(1)),
+        ),
+        assign(
+            "backoff",
+            Expr::call(
+                Builtin::Min,
+                vec![
+                    Expr::var("backoff").bin(BinOp::Mul, Expr::int(2)),
+                    Expr::int(config.max_backoff_ns.max(1)),
+                ],
+            ),
+        ),
+        count("arq.retries", 1),
+    ];
     retry.extend(tx_work(config));
     retry.push(send(
         "pPhy",
         signals.air_frame,
         vec![Expr::var("buf"), Expr::var("cur_seq")],
     ));
-    retry.push(set_timer("ackT", config.ack_timeout_ns));
+    retry.push(set_timer_expr("ackT", Expr::var("backoff")));
     sm.add_transition(
         wait_ack,
         wait_ack,
@@ -425,6 +465,7 @@ pub fn rca(config: &TutmacConfig, signals: &Signals) -> StateMachine {
         Trigger::Timer("ackT".into()),
         Some(Expr::var("retries").bin(BinOp::Ge, Expr::int(config.max_retries))),
         vec![
+            count("arq.gave_up", 1),
             Statement::Log {
                 message: "fragment {} dropped after retries".into(),
                 args: vec![Expr::var("cur_seq")],
@@ -575,26 +616,52 @@ pub fn channel(config: &TutmacConfig, signals: &Signals) -> StateMachine {
     );
     sm.set_initial(run);
 
-    // Acknowledge data frames (seq >= 0); beacons pass unacked.
+    // Acknowledge data frames (seq >= 0); beacons pass unacked. The
+    // receiving terminal verifies the frame check sequence first: a frame
+    // corrupted in flight fails the FCS and its acknowledgement is
+    // withheld, which is what drives the sender's ARQ retransmissions.
+    let fcs_ok = crc32(slice(
+        Expr::param("frame"),
+        Expr::int(0),
+        len(Expr::param("frame")).bin(BinOp::Sub, Expr::int(4)),
+    ))
+    .bin(
+        BinOp::Eq,
+        unpack(slice(
+            Expr::param("frame"),
+            len(Expr::param("frame")).bin(BinOp::Sub, Expr::int(4)),
+            len(Expr::param("frame")),
+        )),
+    );
     let ack_logic = Statement::If {
         cond: Expr::param("seq").bin(BinOp::Ge, Expr::int(0)),
-        then_branch: vec![
-            assign("count", Expr::var("count").bin(BinOp::Add, Expr::int(1))),
-            if config.loss_modulus > 0 {
-                Statement::If {
-                    cond: Expr::var("count")
-                        .bin(BinOp::Mod, Expr::int(config.loss_modulus))
-                        .bin(BinOp::Ne, Expr::int(0)),
-                    then_branch: vec![send("pRca", signals.ack, vec![Expr::param("seq")])],
-                    else_branch: vec![Statement::Log {
-                        message: "channel lost frame {}".into(),
-                        args: vec![Expr::param("seq")],
-                    }],
-                }
-            } else {
-                send("pRca", signals.ack, vec![Expr::param("seq")])
-            },
-        ],
+        then_branch: vec![Statement::If {
+            cond: fcs_ok,
+            then_branch: vec![
+                assign("count", Expr::var("count").bin(BinOp::Add, Expr::int(1))),
+                if config.loss_modulus > 0 {
+                    Statement::If {
+                        cond: Expr::var("count")
+                            .bin(BinOp::Mod, Expr::int(config.loss_modulus))
+                            .bin(BinOp::Ne, Expr::int(0)),
+                        then_branch: vec![send("pRca", signals.ack, vec![Expr::param("seq")])],
+                        else_branch: vec![Statement::Log {
+                            message: "channel lost frame {}".into(),
+                            args: vec![Expr::param("seq")],
+                        }],
+                    }
+                } else {
+                    send("pRca", signals.ack, vec![Expr::param("seq")])
+                },
+            ],
+            else_branch: vec![
+                count("chan.bad_fcs", 1),
+                Statement::Log {
+                    message: "channel: bad FCS, ack withheld for frame {}".into(),
+                    args: vec![Expr::param("seq")],
+                },
+            ],
+        }],
         else_branch: vec![],
     };
     sm.add_transition(

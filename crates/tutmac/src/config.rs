@@ -26,8 +26,12 @@ pub struct TutmacConfig {
     /// Every `loss_modulus`-th transmitted frame is lost on the channel
     /// (0 disables loss). Deterministic, so runs are reproducible.
     pub loss_modulus: i64,
-    /// Acknowledgement timeout of the stop-and-wait ARQ (ns).
+    /// Acknowledgement timeout of the stop-and-wait ARQ (ns); also the
+    /// starting value of the exponential backoff.
     pub ack_timeout_ns: i64,
+    /// Cap of the exponential ARQ backoff: each retransmission doubles
+    /// the ack timeout up to this ceiling (ns).
+    pub max_backoff_ns: i64,
     /// Maximum retransmissions per fragment.
     pub max_retries: i64,
 
@@ -70,6 +74,7 @@ impl Default for TutmacConfig {
             rmng_period_ns: 4_000_000,
             loss_modulus: 8,
             ack_timeout_ns: 200_000,
+            max_backoff_ns: 800_000,
             max_retries: 4,
             rca_tx_control: 6800,
             rca_tx_bit: 60,
@@ -110,6 +115,12 @@ mod tests {
     fn defaults_fragment_count() {
         let c = TutmacConfig::default();
         assert_eq!(c.fragments_per_msdu(), 6);
+    }
+
+    #[test]
+    fn backoff_cap_exceeds_initial_timeout() {
+        let c = TutmacConfig::default();
+        assert!(c.max_backoff_ns >= c.ack_timeout_ns);
     }
 
     #[test]

@@ -627,6 +627,16 @@ pub enum Statement {
         /// Timer name.
         name: String,
     },
+    /// `count name, amount` — adds `amount` to a named per-process counter
+    /// in the simulation log (a `CNT` record), so protocol-level tallies
+    /// (frames sent, retries, give-ups) flow through the log-file boundary
+    /// into the profiling reports.
+    Count {
+        /// Counter name, scoped to the process.
+        counter: String,
+        /// Increment expression (evaluated to an `Int`).
+        amount: Expr,
+    },
 }
 
 /// An observable effect produced by executing statements.
@@ -664,6 +674,13 @@ pub enum Effect {
     CancelTimer {
         /// Timer name.
         name: String,
+    },
+    /// A named counter was incremented.
+    Count {
+        /// Counter name.
+        counter: String,
+        /// Signed increment (counters may be decremented).
+        amount: i64,
     },
 }
 
@@ -805,6 +822,17 @@ pub fn execute(
             }
             Statement::CancelTimer { name } => {
                 effects.push(Effect::CancelTimer { name: name.clone() });
+            }
+            Statement::Count { counter, amount } => {
+                let n = amount
+                    .eval(env)?
+                    .as_int()
+                    .ok_or_else(|| Error::Action("count amount must evaluate to Int".into()))?;
+                *weight += amount.weight();
+                effects.push(Effect::Count {
+                    counter: counter.clone(),
+                    amount: n,
+                });
             }
         }
     }
@@ -1042,6 +1070,26 @@ mod tests {
                 },
             ]
         );
+    }
+
+    #[test]
+    fn count_evaluates_amount_in_env() {
+        let prog = vec![Statement::Count {
+            counter: "arq.retries".into(),
+            amount: Expr::var("n").bin(BinOp::Add, Expr::int(1)),
+        }];
+        let mut env = Env::new().with_var("n", 2i64);
+        let mut fx = Vec::new();
+        let mut w = 0;
+        execute(&prog, &mut env, &mut fx, &mut w).unwrap();
+        assert_eq!(
+            fx,
+            vec![Effect::Count {
+                counter: "arq.retries".into(),
+                amount: 3,
+            }]
+        );
+        assert!(w > 1, "counting charges expression weight");
     }
 
     #[test]

@@ -599,6 +599,19 @@ impl<'a> Parser<'a> {
             self.expect(";")?;
             return Ok(Statement::CancelTimer { name });
         }
+        if self.eat_keyword("count") {
+            // Counter names may be dotted (`arq.retries`) to group
+            // related tallies in the profiling report.
+            let mut counter = self.ident()?;
+            while self.eat(".") {
+                counter.push('.');
+                counter.push_str(&self.ident()?);
+            }
+            self.expect(",")?;
+            let amount = self.expr()?;
+            self.expect(";")?;
+            return Ok(Statement::Count { counter, amount });
+        }
         // Assignment.
         let var = self.ident()?;
         self.expect(":=")?;
@@ -701,17 +714,19 @@ mod tests {
             set_timer ackT, 200000;
             log "queued {}", seq;
             cancel_timer ackT;
+            count arq.tx, 1;
             "#,
             &model,
         )
         .expect("parse");
-        assert_eq!(program.len(), 6);
+        assert_eq!(program.len(), 7);
         assert!(matches!(&program[0], Statement::Assign { var, .. } if var == "seq"));
         assert!(matches!(&program[1], Statement::If { .. }));
         assert!(matches!(&program[2], Statement::While { max_iter: 64, .. }));
         assert!(matches!(&program[3], Statement::SetTimer { .. }));
         assert!(matches!(&program[4], Statement::Log { .. }));
         assert!(matches!(&program[5], Statement::CancelTimer { .. }));
+        assert!(matches!(&program[6], Statement::Count { counter, .. } if counter == "arq.tx"));
     }
 
     #[test]

@@ -730,6 +730,12 @@ pub fn encode_statement(statement: &Statement) -> XmlNode {
             node.set_attr("name", name.as_str());
             node
         }
+        Statement::Count { counter, amount } => {
+            let mut node = XmlNode::new("count");
+            node.set_attr("counter", counter.as_str());
+            node.add_child(encode_expr(amount));
+            node
+        }
     }
 }
 
@@ -816,6 +822,14 @@ pub fn decode_statement(node: &XmlNode) -> Result<Statement> {
             },
             "canceltimer" => Statement::CancelTimer {
                 name: node.required_attr("name")?.to_owned(),
+            },
+            "count" => Statement::Count {
+                counter: node.required_attr("counter")?.to_owned(),
+                amount: decode_expr(
+                    node.children
+                        .first()
+                        .ok_or_else(|| Error::XmiStructure("count node missing amount".into()))?,
+                )?,
             },
             other => {
                 return Err(Error::XmiStructure(format!(
@@ -954,7 +968,13 @@ mod tests {
             }],
             else_branch: vec![Statement::While {
                 cond: Expr::bool(false),
-                body: vec![Statement::CancelTimer { name: "t".into() }],
+                body: vec![
+                    Statement::CancelTimer { name: "t".into() },
+                    Statement::Count {
+                        counter: "arq.tx".into(),
+                        amount: Expr::int(1),
+                    },
+                ],
                 max_iter: 8,
             }],
         };

@@ -23,6 +23,12 @@ cargo test -q --test exploration
 echo "==> repro --threads 2 explore (parallel path smoke run)"
 cargo run --release -q -p tut-bench --bin repro -- --threads 2 explore
 
+echo "==> cargo test -q --test faults (fault-injection determinism + ARQ contract)"
+cargo test -q --test faults
+
+echo "==> repro fault-sweep --quick (reliability smoke point)"
+cargo run --release -q -p tut-bench --bin repro -- fault-sweep --quick
+
 if [[ "$quick" -eq 0 ]]; then
     echo "==> cargo clippy --workspace --all-targets -- -D warnings"
     cargo clippy --workspace --all-targets -- -D warnings

@@ -10,6 +10,7 @@
 
 pub use tut_codegen as codegen;
 pub use tut_explore as explore;
+pub use tut_faults as faults;
 pub use tut_hibi as hibi;
 pub use tut_platform as platform;
 pub use tut_profile as profile;
