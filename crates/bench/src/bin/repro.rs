@@ -16,9 +16,9 @@
 //! cargo run -p tut-bench --bin repro -- --prom metrics.txt # Prometheus text
 //! ```
 //!
-//! `--threads N` runs the exploration stages (the `explore` item) on N
-//! worker threads (0 = all cores); results are bit-identical at every
-//! thread count.
+//! `--threads N` runs the exploration stages (the `explore` item) and
+//! the fault-sweep / bench items on N worker threads (0 = all cores);
+//! results are bit-identical at every thread count.
 
 use tut_bench::figures;
 use tut_profile::{tables, TutProfile};
@@ -177,7 +177,7 @@ fn print_explore(threads: usize) {
 /// ARQ counters. `--quick` runs a single pinned point and fails the
 /// process when the delivery ratio leaves its expected band, so CI can
 /// smoke-test the whole fault path in one short run.
-fn print_fault_sweep(quick: bool) {
+fn print_fault_sweep(quick: bool, threads: usize) {
     use tut_bench::faultsweep;
     if quick {
         // One mid-sweep point with a fixed seed on a short horizon.
@@ -208,12 +208,12 @@ fn print_fault_sweep(quick: bool) {
     }
     let config = tut_bench::table4_config();
     println!(
-        "Reliability under injected channel faults (seed {:#x}, horizon {} ms).",
+        "Reliability under injected channel faults (seed {:#x}, horizon {} ms, {threads} thread(s)).",
         faultsweep::SWEEP_SEED,
         config.max_time_ns / 1_000_000
     );
     println!();
-    let points = faultsweep::run_sweep(&config);
+    let points = faultsweep::run_sweep_threads(&config, threads);
     println!("{}", faultsweep::render(&points));
     let monotone_delivery = points
         .windows(2)
@@ -225,6 +225,38 @@ fn print_fault_sweep(quick: bool) {
         "delivery ratio monotonically non-increasing: {monotone_delivery}; \
          mean retries monotonically non-decreasing: {monotone_retries}"
     );
+}
+
+/// Runs the simulation perf baseline (experiment P1): TUTMAC event
+/// throughput plus the serial-vs-parallel fault-sweep wall-clock, written
+/// to `BENCH_sim.json`. `--quick` shortens the horizon, skips the sweep
+/// timing, leaves `BENCH_sim.json` untouched (it is a check, not a
+/// measurement), and fails the process when events/sec falls below the
+/// generous regression floor, so CI catches a >5x throughput regression.
+fn print_bench(quick: bool, threads: usize) {
+    use tut_bench::simbench;
+    let report = simbench::run_bench(quick, threads);
+    println!(
+        "Simulation perf baseline (P1){}",
+        if quick { " — quick mode" } else { "" }
+    );
+    println!();
+    print!("{}", simbench::render(&report));
+    if !quick {
+        let json = simbench::to_json(&report);
+        std::fs::write("BENCH_sim.json", &json)
+            .unwrap_or_else(|e| panic!("writing BENCH_sim.json: {e}"));
+        println!("wrote BENCH_sim.json ({} bytes)", json.len());
+    }
+    if quick {
+        let rate = report.rate.events_per_sec();
+        let floor = simbench::QUICK_FLOOR_EVENTS_PER_SEC;
+        if rate < floor {
+            eprintln!("[bench --quick] {rate:.0} events/sec below regression floor {floor:.0}");
+            std::process::exit(1);
+        }
+        println!("[bench --quick] {rate:.0} events/sec clears regression floor {floor:.0}");
+    }
 }
 
 /// Runs the TUTMAC case study with a [`Recorder`] attached and writes
@@ -349,11 +381,12 @@ fn main() {
             "table4" => print_table4(),
             "transfers" => print_transfers(),
             "explore" => print_explore(threads),
-            "fault-sweep" => print_fault_sweep(quick),
+            "fault-sweep" => print_fault_sweep(quick, threads),
+            "bench" => print_bench(quick, threads),
             other => {
                 eprintln!(
                     "unknown item `{other}`; known: fig1..fig8, table1..table4, transfers, \
-                     explore, fault-sweep, all"
+                     explore, fault-sweep, bench, all"
                 );
                 std::process::exit(2);
             }

@@ -105,9 +105,45 @@ pub fn run_point(ber: f64, seed: u64, config: SimConfig) -> SweepPoint {
 
 /// Runs the full campaign over [`SWEEP_BERS`].
 pub fn run_sweep(config: &SimConfig) -> Vec<SweepPoint> {
-    SWEEP_BERS
-        .iter()
-        .map(|&ber| run_point(ber, SWEEP_SEED, config.clone()))
+    run_sweep_threads(config, 1)
+}
+
+/// Runs the full campaign over [`SWEEP_BERS`] on `threads` workers
+/// (0 = all cores).
+///
+/// Every BER point is an independent seeded simulation, so the points
+/// are sharded contiguously across scoped threads exactly like the
+/// exploration engine (`tut_explore::parallel`): each worker fills a
+/// disjoint slice of the result vector, making the output bit-identical
+/// to the serial sweep at any thread count.
+pub fn run_sweep_threads(config: &SimConfig, threads: usize) -> Vec<SweepPoint> {
+    let threads = tut_explore::parallel::resolve_threads(threads).min(SWEEP_BERS.len());
+    if threads <= 1 {
+        return SWEEP_BERS
+            .iter()
+            .map(|&ber| run_point(ber, SWEEP_SEED, config.clone()))
+            .collect();
+    }
+    let ranges = tut_explore::parallel::shard_ranges(SWEEP_BERS.len() as u64, threads);
+    let mut results: Vec<Option<SweepPoint>> = vec![None; SWEEP_BERS.len()];
+    std::thread::scope(|scope| {
+        let mut rest = results.as_mut_slice();
+        for range in &ranges {
+            let len = (range.end - range.start) as usize;
+            let (chunk, tail) = rest.split_at_mut(len);
+            rest = tail;
+            let start = range.start as usize;
+            scope.spawn(move || {
+                for (offset, slot) in chunk.iter_mut().enumerate() {
+                    let ber = SWEEP_BERS[start + offset];
+                    *slot = Some(run_point(ber, SWEEP_SEED, config.clone()));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|p| p.expect("every shard fills its slots"))
         .collect()
 }
 
@@ -169,6 +205,19 @@ mod tests {
         assert_eq!(empty.delivery_ratio(), 0.0);
         assert_eq!(empty.mean_retries(), 0.0);
         assert_eq!(empty.goodput_mbps(), 0.0);
+    }
+
+    /// The parallel sweep is bit-identical to the serial sweep at any
+    /// thread count (each point is an independent seeded run filling a
+    /// disjoint result slot).
+    #[test]
+    fn parallel_sweep_matches_serial_at_any_thread_count() {
+        let config = SimConfig::with_horizon_ns(2_000_000);
+        let serial = run_sweep_threads(&config, 1);
+        for threads in [2, 3, SWEEP_BERS.len() + 2] {
+            let parallel = run_sweep_threads(&config, threads);
+            assert_eq!(parallel, serial, "{threads} threads diverged from serial");
+        }
     }
 
     #[test]

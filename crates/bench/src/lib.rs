@@ -149,6 +149,7 @@ pub fn bottleneck_busy_ns(system: &SystemModel, config: SimConfig) -> u64 {
 pub mod faultsweep;
 pub mod figures;
 pub mod microbench;
+pub mod simbench;
 
 #[cfg(test)]
 mod tests {

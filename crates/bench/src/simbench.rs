@@ -1,0 +1,258 @@
+//! The simulation performance baseline (experiment P1): event throughput
+//! of a TUTMAC run and wall-clock of the fault-injection sweep, written
+//! to `BENCH_sim.json` so the repository carries a recorded perf
+//! trajectory.
+//!
+//! The `repro bench` item runs this; `--quick` shortens the horizons and
+//! enforces a generous events/sec floor so CI catches a gross (>5x)
+//! throughput regression without being sensitive to machine noise.
+
+use std::time::Instant;
+
+use tut_sim::{SimConfig, Simulation};
+
+use crate::faultsweep;
+
+/// Throughput of one timed TUTMAC simulation.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct EventRate {
+    /// Simulated horizon of the run (ns).
+    pub horizon_ns: u64,
+    /// Log records the run produced.
+    pub records: u64,
+    /// Run-to-completion steps executed.
+    pub steps: u64,
+    /// Best wall-clock time over the measurement repeats (seconds).
+    pub wall_s: f64,
+}
+
+impl EventRate {
+    /// Log records produced per wall-clock second (the headline
+    /// events/sec figure of experiment P1).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_s <= 0.0 {
+            0.0
+        } else {
+            self.records as f64 / self.wall_s
+        }
+    }
+}
+
+/// Wall-clock comparison of the serial and parallel fault sweep.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SweepTiming {
+    /// Simulated horizon of each sweep point (ns).
+    pub horizon_ns: u64,
+    /// BER points per sweep.
+    pub points: usize,
+    /// Serial sweep wall-clock (seconds).
+    pub serial_s: f64,
+    /// Parallel sweep wall-clock (seconds).
+    pub parallel_s: f64,
+    /// Worker threads of the parallel sweep.
+    pub threads: usize,
+}
+
+impl SweepTiming {
+    /// Serial / parallel wall-clock ratio (>1 means the parallel sweep
+    /// was faster).
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_s <= 0.0 {
+            0.0
+        } else {
+            self.serial_s / self.parallel_s
+        }
+    }
+}
+
+/// The full P1 measurement.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct BenchReport {
+    /// TUTMAC event-throughput measurement.
+    pub rate: EventRate,
+    /// Fault-sweep wall-clock measurement (skipped in `--quick` mode).
+    pub sweep: Option<SweepTiming>,
+}
+
+/// Generous events/sec floor for `--quick` mode: an order of magnitude
+/// below the measured release-build throughput on a single container
+/// core, so only a >5x regression (the CI criterion) can trip it while
+/// machine noise cannot.
+pub const QUICK_FLOOR_EVENTS_PER_SEC: f64 = 50_000.0;
+
+/// Times one TUTMAC simulation (build + run) and returns the best of
+/// `repeats` wall-clock measurements.
+///
+/// # Panics
+///
+/// Panics if the simulation fails (covered by the tutmac tests).
+pub fn measure_event_rate(horizon_ns: u64, repeats: usize) -> EventRate {
+    let system = crate::paper_system();
+    let mut best: Option<EventRate> = None;
+    for _ in 0..repeats.max(1) {
+        let config = SimConfig::with_horizon_ns(horizon_ns);
+        let started = Instant::now();
+        let report = Simulation::from_system(&system, config)
+            .expect("sim builds")
+            .run()
+            .expect("sim runs");
+        let wall_s = started.elapsed().as_secs_f64();
+        let rate = EventRate {
+            horizon_ns,
+            records: report.log.len() as u64,
+            steps: report.total_steps,
+            wall_s,
+        };
+        best = Some(match best {
+            Some(b) if b.wall_s <= rate.wall_s => b,
+            _ => rate,
+        });
+    }
+    best.expect("at least one repeat ran")
+}
+
+/// Times the fault sweep serial and on `threads` workers.
+pub fn measure_sweep(horizon_ns: u64, threads: usize) -> SweepTiming {
+    let config = SimConfig::with_horizon_ns(horizon_ns);
+    let started = Instant::now();
+    let serial = faultsweep::run_sweep_threads(&config, 1);
+    let serial_s = started.elapsed().as_secs_f64();
+    let started = Instant::now();
+    let parallel = faultsweep::run_sweep_threads(&config, threads);
+    let parallel_s = started.elapsed().as_secs_f64();
+    assert_eq!(parallel, serial, "parallel sweep must match serial");
+    SweepTiming {
+        horizon_ns,
+        points: faultsweep::SWEEP_BERS.len(),
+        serial_s,
+        parallel_s,
+        threads: tut_explore::parallel::resolve_threads(threads),
+    }
+}
+
+/// Runs the P1 measurement. Quick mode uses a short horizon and skips
+/// the sweep timing.
+pub fn run_bench(quick: bool, threads: usize) -> BenchReport {
+    if quick {
+        BenchReport {
+            rate: measure_event_rate(5_000_000, 3),
+            sweep: None,
+        }
+    } else {
+        BenchReport {
+            rate: measure_event_rate(20_000_000, 5),
+            sweep: Some(measure_sweep(
+                5_000_000,
+                if threads <= 1 { 2 } else { threads },
+            )),
+        }
+    }
+}
+
+/// Renders the measurement as the `repro bench` console block.
+pub fn render(report: &BenchReport) -> String {
+    let mut out = String::new();
+    let r = &report.rate;
+    out.push_str(&format!(
+        "TUTMAC run: {} records / {} steps over {} ms simulated in {:.1} ms wall -> {:.0} events/sec\n",
+        r.records,
+        r.steps,
+        r.horizon_ns / 1_000_000,
+        r.wall_s * 1e3,
+        r.events_per_sec(),
+    ));
+    if let Some(s) = &report.sweep {
+        out.push_str(&format!(
+            "fault-sweep ({} points, {} ms horizon): serial {:.1} ms, {} threads {:.1} ms -> {:.2}x\n",
+            s.points,
+            s.horizon_ns / 1_000_000,
+            s.serial_s * 1e3,
+            s.threads,
+            s.parallel_s * 1e3,
+            s.speedup(),
+        ));
+    }
+    out
+}
+
+/// Serialises the measurement as the `BENCH_sim.json` artefact
+/// (hand-rolled JSON; the workspace has no serde).
+pub fn to_json(report: &BenchReport) -> String {
+    let r = &report.rate;
+    let mut out = String::from("{\n  \"schema\": \"tut-bench/sim/v1\",\n");
+    out.push_str(&format!(
+        "  \"tutmac\": {{\n    \"horizon_ns\": {},\n    \"records\": {},\n    \"steps\": {},\n    \"wall_s\": {:.6},\n    \"events_per_sec\": {:.1}\n  }}",
+        r.horizon_ns,
+        r.records,
+        r.steps,
+        r.wall_s,
+        r.events_per_sec(),
+    ));
+    if let Some(s) = &report.sweep {
+        out.push_str(&format!(
+            ",\n  \"sweep\": {{\n    \"horizon_ns\": {},\n    \"points\": {},\n    \"serial_s\": {:.6},\n    \"parallel_s\": {:.6},\n    \"threads\": {},\n    \"speedup\": {:.3}\n  }}",
+            s.horizon_ns, s.points, s.serial_s, s.parallel_s, s.threads, s.speedup(),
+        ));
+    }
+    out.push_str(&format!(
+        ",\n  \"quick_floor_events_per_sec\": {QUICK_FLOOR_EVENTS_PER_SEC:.1}\n}}\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_rate_arithmetic() {
+        let r = EventRate {
+            horizon_ns: 1_000_000,
+            records: 500,
+            steps: 100,
+            wall_s: 0.25,
+        };
+        assert!((r.events_per_sec() - 2000.0).abs() < 1e-9);
+        let zero = EventRate { wall_s: 0.0, ..r };
+        assert_eq!(zero.events_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn sweep_speedup_arithmetic() {
+        let s = SweepTiming {
+            horizon_ns: 1_000_000,
+            points: 5,
+            serial_s: 2.0,
+            parallel_s: 1.0,
+            threads: 2,
+        };
+        assert!((s.speedup() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_shape_is_parseable() {
+        let report = BenchReport {
+            rate: EventRate {
+                horizon_ns: 1_000_000,
+                records: 10,
+                steps: 5,
+                wall_s: 0.001,
+            },
+            sweep: Some(SweepTiming {
+                horizon_ns: 1_000_000,
+                points: 5,
+                serial_s: 0.5,
+                parallel_s: 0.3,
+                threads: 2,
+            }),
+        };
+        let text = to_json(&report);
+        let json = tut_trace::json::parse(&text).expect("valid JSON");
+        assert!(json
+            .get("tutmac")
+            .and_then(|t| t.get("events_per_sec"))
+            .and_then(tut_trace::json::Json::as_f64)
+            .is_some());
+        assert!(json.get("sweep").is_some());
+    }
+}

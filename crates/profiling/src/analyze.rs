@@ -3,7 +3,7 @@
 
 use std::collections::BTreeMap;
 
-use tut_sim::{LogRecord, SimLog};
+use tut_sim::{RecordRef, SimLog};
 
 use crate::error::ProfilingError;
 use crate::groups::ProcessGroupInfo;
@@ -47,10 +47,10 @@ pub fn analyze_log(groups: &ProcessGroupInfo, log: &SimLog) -> ProfilingReport {
     let mut faults = tut_sim::FaultTally::default();
     let mut counters: BTreeMap<(String, String), i64> = BTreeMap::new();
 
-    for record in &log.records {
+    for record in log.iter() {
         horizon_ns = horizon_ns.max(record.time_ns());
         match record {
-            LogRecord::Exec {
+            RecordRef::Exec {
                 process,
                 cycles,
                 duration_ns,
@@ -59,9 +59,9 @@ pub fn analyze_log(groups: &ProcessGroupInfo, log: &SimLog) -> ProfilingReport {
                 let g = index_of(groups.group_of(process));
                 group_cycles[g] += cycles;
                 group_busy_ns[g] += duration_ns;
-                *process_cycles.entry(process.clone()).or_default() += cycles;
+                *process_cycles.entry(process.to_owned()).or_default() += cycles;
             }
-            LogRecord::Sig {
+            RecordRef::Sig {
                 sender,
                 receiver,
                 signal,
@@ -73,31 +73,31 @@ pub fn analyze_log(groups: &ProcessGroupInfo, log: &SimLog) -> ProfilingReport {
                 let to = index_of(groups.group_of(receiver));
                 matrix[from][to] += 1;
                 let entry = transfers
-                    .entry((sender.clone(), receiver.clone(), signal.clone()))
+                    .entry((sender.to_owned(), receiver.to_owned(), signal.to_owned()))
                     .or_default();
                 entry.0 += 1;
                 entry.1 += bytes;
                 latency_total_ns += latency_ns;
                 latency_count += 1;
             }
-            LogRecord::Drop { .. } => drops += 1,
-            LogRecord::Lost { .. } => losses += 1,
-            LogRecord::Fault { kind, .. } => match kind.as_str() {
+            RecordRef::Drop { .. } => drops += 1,
+            RecordRef::Lost { .. } => losses += 1,
+            RecordRef::Fault { kind, .. } => match kind {
                 "corrupt" => faults.corrupted += 1,
                 "drop" => faults.dropped += 1,
                 "unroutable" => faults.unroutable += 1,
                 _ => {}
             },
-            LogRecord::Count {
+            RecordRef::Count {
                 process,
                 counter,
                 amount,
                 ..
             } => {
                 let group = groups.group_of(process).to_owned();
-                *counters.entry((group, counter.clone())).or_default() += amount;
+                *counters.entry((group, counter.to_owned())).or_default() += amount;
             }
-            LogRecord::User { .. } => {}
+            RecordRef::User { .. } => {}
         }
     }
 

@@ -5,7 +5,7 @@ use tut_profile::SystemModel;
 use tut_sim::{SimConfig, Simulation};
 use tut_trace::{Clock, NoopSink, TraceSink};
 
-use crate::analyze::analyze;
+use crate::analyze::analyze_log;
 use crate::error::ProfilingError;
 use crate::groups::parse_model_xml;
 use crate::report::ProfilingReport;
@@ -14,11 +14,13 @@ use crate::report::ProfilingReport;
 ///
 /// 1. serialise the model to XML and parse the process-group information
 ///    back out of the text (stage 1 of §4.4),
-/// 2. simulate the system with `tut-sim`, producing the log-file text,
+/// 2. simulate the system with `tut-sim`, producing the simulation log,
 /// 3. combine and analyse (stage 3 of §4.4).
 ///
-/// Both intermediate artefacts cross the honest text boundaries (XML and
-/// log-file), exactly like the paper's TCL tooling.
+/// The model crosses the honest XML text boundary exactly like the
+/// paper's TCL tooling; the simulation log is analysed in memory (its
+/// text rendering is a lossless round-trip, so the result is identical
+/// to re-parsing the log-file).
 ///
 /// # Errors
 ///
@@ -85,9 +87,12 @@ pub fn profile_system_with_faults<F: FaultModel, T: TraceSink>(
         .run_with_faults(faults, tracer)
         .map_err(|e| ProfilingError::Simulation(e.to_string()))?;
     stage(tracer, "simulate");
-    let log_text = report.log.to_text();
 
-    let result = analyze(&groups, &log_text);
+    // Analyse the in-memory log directly: rendering to text and parsing
+    // it back is a lossless round-trip (covered by tests), so the
+    // double conversion the text boundary used to cost is skipped here.
+    // `analyze` stays available for externally produced log-files.
+    let result = Ok(analyze_log(&groups, &report.log));
     stage(tracer, "analyze");
     result
 }

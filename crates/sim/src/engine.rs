@@ -2,6 +2,7 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
 
 use tut_faults::{FaultModel, NoFaults, TransferVerdict};
 use tut_hibi::topology::{
@@ -12,15 +13,16 @@ use tut_platform::{PeDescriptor, PeKind};
 use tut_profile::platform::{Arbitration, ComponentKind};
 use tut_profile::SystemModel;
 use tut_trace::{Clock, NoopSink, TraceSink};
-use tut_uml::action::{self, Effect, Env};
+use tut_uml::action::{self, Effect, Env, Scope, Statement};
 use tut_uml::ids::{ClassId, PropertyId, SignalId, StateId, StateMachineId};
 use tut_uml::instances::{InstanceIndex, InstanceTree, RoutingTable};
-use tut_uml::statemachine::Trigger;
+use tut_uml::statemachine::{StateMachine, Trigger};
 use tut_uml::Value;
 
 use crate::config::SimConfig;
 use crate::error::SimError;
-use crate::log::{LogRecord, SimLog};
+use crate::intern::Sym;
+use crate::log::SimLog;
 use crate::report::{FaultTally, PeStats, ProcessStats, SimReport};
 
 /// Index of a processing element inside a [`Simulation`].
@@ -38,8 +40,88 @@ enum QueueEntry {
         values: Vec<Value>,
     },
     Timer {
-        name: String,
+        /// Index into the machine's [`MachineRt::timers`] table.
+        slot: u32,
     },
+}
+
+/// Build-time resolution of one timer of a state machine: its name (what
+/// `SetTimer`/`CancelTimer` effects carry) and its interned
+/// `timer:<name>` trigger label.
+#[derive(Debug)]
+struct TimerRt {
+    name: String,
+    label: Sym,
+}
+
+/// Per-class runtime image of a state machine, built once in
+/// [`Simulation::from_system`] and shared (via `Arc`) by every process
+/// instance of the class. Holding the machine here — with its state
+/// names and timer vocabulary resolved to interned symbols and slots —
+/// is what lets the per-step hot path run without cloning the machine
+/// or touching a string-keyed map.
+#[derive(Debug)]
+struct MachineRt {
+    machine: StateMachine,
+    /// Interned state names, indexed by `StateId::index()`.
+    state_syms: Vec<Sym>,
+    /// Timer slots in discovery order; `QueueEntry::Timer` and
+    /// `EventKind::TimerFired` carry indexes into this table.
+    timers: Vec<TimerRt>,
+}
+
+impl MachineRt {
+    /// Resolves a timer name (from a `SetTimer`/`CancelTimer` effect) to
+    /// its slot. Every name an executing machine can produce was
+    /// discovered statically at build time.
+    fn timer_slot(&self, name: &str) -> usize {
+        self.timers
+            .iter()
+            .position(|t| t.name == name)
+            .expect("timers are discovered statically from the machine")
+    }
+}
+
+/// Collects timer names referenced by `SetTimer`/`CancelTimer`
+/// statements, recursing into `If`/`While` bodies.
+fn collect_timer_names(statements: &[Statement], names: &mut Vec<String>) {
+    for statement in statements {
+        match statement {
+            Statement::SetTimer { name, .. } | Statement::CancelTimer { name }
+                if !names.iter().any(|n| n == name) =>
+            {
+                names.push(name.clone());
+            }
+            Statement::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                collect_timer_names(then_branch, names);
+                collect_timer_names(else_branch, names);
+            }
+            Statement::While { body, .. } => collect_timer_names(body, names),
+            _ => {}
+        }
+    }
+}
+
+/// The full timer vocabulary of a machine: timer triggers plus every
+/// timer statement in entry actions and transition actions.
+fn machine_timer_names(machine: &StateMachine) -> Vec<String> {
+    let mut names = Vec::new();
+    for (_, state) in machine.states() {
+        collect_timer_names(state.entry(), &mut names);
+    }
+    for (_, transition) in machine.transitions() {
+        if let Trigger::Timer(name) = transition.trigger() {
+            if !names.iter().any(|n| n == name) {
+                names.push(name.clone());
+            }
+        }
+        collect_timer_names(transition.actions(), &mut names);
+    }
+    names
 }
 
 #[derive(Clone, Debug)]
@@ -48,18 +130,21 @@ struct ProcessRt {
     instance: InstanceIndex,
     /// Dotted display name (log identity).
     name: String,
+    /// Interned `name`, stamped on every record this process emits.
+    name_sym: Sym,
     class: ClassId,
-    sm: StateMachineId,
+    /// Shared per-class machine image (see [`MachineRt`]).
+    machine: Arc<MachineRt>,
     state: StateId,
-    vars: HashMap<String, Value>,
+    vars: Scope,
     /// Pending inputs with their enqueue timestamps (for response-time
     /// accounting).
     queue: VecDeque<(u64, QueueEntry)>,
     pe: PeIndex,
     priority: i64,
-    /// Monotonic generation per timer name; a fired event with a stale
+    /// Monotonic generation per timer slot; a fired event with a stale
     /// generation was cancelled or re-armed.
-    timer_gens: HashMap<String, u64>,
+    timer_gens: Vec<u64>,
     stats: ProcessStats,
 }
 
@@ -86,7 +171,8 @@ enum EventKind {
     },
     TimerFired {
         target: ProcIndex,
-        name: String,
+        /// Index into the target machine's timer table.
+        slot: u32,
         generation: u64,
     },
     /// The processing element finished a step; dispatch the next ready
@@ -100,7 +186,9 @@ enum DeliverKind {
     Signal {
         signal: SignalId,
         values: Vec<Value>,
-        sender_name: String,
+        /// Sending process; its name is resolved when the delivery is
+        /// logged.
+        sender: ProcIndex,
         bytes: u64,
         sent_at_ns: u64,
     },
@@ -141,12 +229,29 @@ pub struct Simulation {
     /// Instance index -> process index.
     by_instance: HashMap<InstanceIndex, ProcIndex>,
     pes: Vec<PeRt>,
+    /// Processes mapped to each element, ascending process-index order
+    /// (the scheduler's scan set — no per-dispatch allocation).
+    pe_procs: Vec<Vec<ProcIndex>>,
     network: Network,
     events: BinaryHeap<Reverse<Event>>,
     next_seq: u64,
     now_ns: u64,
     steps: u64,
     log: SimLog,
+    /// Interned signal names, indexed by `SignalId::index()`.
+    signal_syms: Vec<Sym>,
+    /// Interned `start` trigger label.
+    start_sym: Sym,
+    /// Interned `drop` (trigger label of discarded inputs and fault
+    /// kind of dropped transfers).
+    drop_sym: Sym,
+    /// Interned `corrupt` fault kind.
+    corrupt_sym: Sym,
+    /// Interned `unroutable` fault kind.
+    unroutable_sym: Sym,
+    /// Recycled parameter scope handed to each step's `Env`; cleared
+    /// between steps, keeping its allocation.
+    scratch_params: Scope,
     /// Injected-fault totals (corruptions/drops; unroutable transfers
     /// are tallied by the network itself).
     fault_tally: FaultTally,
@@ -258,9 +363,23 @@ impl Simulation {
         let network = builder.build()?;
 
         // ---- Processes --------------------------------------------------
+        // The per-simulation symbol table: every name the hot path will
+        // log is interned here, at build time.
+        let mut log = SimLog::new();
+        let signal_syms: Vec<Sym> = system
+            .model
+            .signals()
+            .map(|(_, signal)| log.intern(signal.name()))
+            .collect();
+        let start_sym = log.intern("start");
+        let drop_sym = log.intern("drop");
+        let corrupt_sym = log.intern("corrupt");
+        let unroutable_sym = log.intern("unroutable");
+
         let mapping = system.mapping();
-        let mut processes = Vec::new();
+        let mut processes: Vec<ProcessRt> = Vec::new();
         let mut by_instance = HashMap::new();
+        let mut machines: HashMap<StateMachineId, Arc<MachineRt>> = HashMap::new();
         for instance in tree.active_instances(&system.model) {
             let node = tree.node(instance);
             let class = node.class;
@@ -272,11 +391,36 @@ impl Simulation {
                     .ok_or_else(|| SimError::MissingBehaviour {
                         class: system.model.class(class).name().to_owned(),
                     })?;
-            let machine = system.model.state_machine(sm);
-            let initial = machine.initial().ok_or_else(|| {
+            let machine_rt = match machines.get(&sm) {
+                Some(rt) => Arc::clone(rt),
+                None => {
+                    // One clone per class — the per-step clone this
+                    // replaces used to run once per executed step.
+                    let machine = system.model.state_machine(sm).clone();
+                    let mut state_syms = Vec::with_capacity(machine.state_count());
+                    for (_, state) in machine.states() {
+                        state_syms.push(log.intern(state.name()));
+                    }
+                    let timers = machine_timer_names(&machine)
+                        .into_iter()
+                        .map(|name| {
+                            let label = log.intern(&format!("timer:{name}"));
+                            TimerRt { name, label }
+                        })
+                        .collect();
+                    let rt = Arc::new(MachineRt {
+                        machine,
+                        state_syms,
+                        timers,
+                    });
+                    machines.insert(sm, Arc::clone(&rt));
+                    rt
+                }
+            };
+            let initial = machine_rt.machine.initial().ok_or_else(|| {
                 SimError::BadModel(format!(
                     "state machine `{}` has no initial state",
-                    machine.name()
+                    machine_rt.machine.name()
                 ))
             })?;
             let part = node.path.last().copied();
@@ -291,23 +435,26 @@ impl Simulation {
                 }
                 None => (0, 0),
             };
-            let vars = machine
-                .variables()
-                .iter()
-                .map(|v| (v.name.clone(), v.init.clone()))
-                .collect();
+            let mut vars = Scope::new();
+            for v in machine_rt.machine.variables() {
+                vars.set(&v.name, v.init.clone());
+            }
+            let name = tree.display_name(&system.model, instance);
+            let name_sym = log.intern(&name);
+            let timer_gens = vec![0; machine_rt.timers.len()];
             by_instance.insert(instance, processes.len());
             processes.push(ProcessRt {
                 instance,
-                name: tree.display_name(&system.model, instance),
+                name,
+                name_sym,
                 class,
-                sm,
+                machine: machine_rt,
                 state: initial,
                 vars,
                 queue: VecDeque::new(),
                 pe,
                 priority,
-                timer_gens: HashMap::new(),
+                timer_gens,
                 stats: ProcessStats::default(),
             });
         }
@@ -315,6 +462,10 @@ impl Simulation {
             return Err(SimError::BadModel(
                 "application has no active process instances".into(),
             ));
+        }
+        let mut pe_procs: Vec<Vec<ProcIndex>> = vec![Vec::new(); pes.len()];
+        for (index, process) in processes.iter().enumerate() {
+            pe_procs[process.pe].push(index);
         }
 
         let mut sim = Simulation {
@@ -324,12 +475,19 @@ impl Simulation {
             processes,
             by_instance,
             pes,
+            pe_procs,
             network,
             events: BinaryHeap::new(),
             next_seq: 0,
             now_ns: 0,
             steps: 0,
-            log: SimLog::new(),
+            log,
+            signal_syms,
+            start_sym,
+            drop_sym,
+            corrupt_sym,
+            unroutable_sym,
+            scratch_params: Scope::new(),
             fault_tally: FaultTally::default(),
             last_useful_ns: 0,
         };
@@ -436,25 +594,26 @@ impl Simulation {
                         DeliverKind::Signal {
                             signal,
                             values,
-                            sender_name,
+                            sender,
                             bytes,
                             sent_at_ns,
                         } => {
-                            let receiver = self.processes[target].name.clone();
-                            let signal_name = self.system.model.signal(signal).name().to_owned();
                             let latency_ns = self.now_ns.saturating_sub(sent_at_ns);
                             tracer.observe("sim.signal_latency_ns", latency_ns);
                             tracer.add("sim.signals_delivered", 1);
-                            self.log.push(LogRecord::Sig {
-                                time_ns: self.now_ns,
-                                sender: sender_name,
-                                receiver,
-                                signal: signal_name,
+                            let sender_sym = self.processes[sender].name_sym;
+                            let receiver_sym = self.processes[target].name_sym;
+                            let signal_sym = self.signal_syms[signal.index()];
+                            let now = self.now_ns;
+                            self.log.push_sig(
+                                now,
+                                sender_sym,
+                                receiver_sym,
+                                signal_sym,
                                 bytes,
                                 latency_ns,
-                            });
+                            );
                             self.processes[target].stats.signals_received += 1;
-                            let now = self.now_ns;
                             self.processes[target]
                                 .queue
                                 .push_back((now, QueueEntry::Signal { signal, values }));
@@ -465,19 +624,15 @@ impl Simulation {
                 }
                 EventKind::TimerFired {
                     target,
-                    name,
+                    slot,
                     generation,
                 } => {
-                    let current = self.processes[target]
-                        .timer_gens
-                        .get(&name)
-                        .copied()
-                        .unwrap_or(0);
+                    let current = self.processes[target].timer_gens[slot as usize];
                     if current == generation {
                         let now = self.now_ns;
                         self.processes[target]
                             .queue
-                            .push_back((now, QueueEntry::Timer { name }));
+                            .push_back((now, QueueEntry::Timer { slot }));
                         let pe = self.processes[target].pe;
                         self.try_dispatch(pe, faults, tracer)?;
                     }
@@ -503,8 +658,8 @@ impl Simulation {
             return Ok(());
         }
         if faults.is_active() && !self.pes[pe].is_env {
-            let pe_name = self.pes[pe].descriptor.name.clone();
-            if let Some(until_ns) = faults.outage_until(&pe_name, self.now_ns) {
+            if let Some(until_ns) = faults.outage_until(&self.pes[pe].descriptor.name, self.now_ns)
+            {
                 // Stalled element: park the dispatch. A finite outage
                 // retries when it lifts; a permanent one never runs again
                 // (the watchdog turns that into an error).
@@ -514,37 +669,55 @@ impl Simulation {
                 return Ok(());
             }
         }
-        let ready: Vec<ProcIndex> = self
-            .processes
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| p.pe == pe && !p.queue.is_empty())
-            .map(|(index, _)| index)
-            .collect();
-        if ready.is_empty() {
-            return Ok(());
-        }
-        let proc_index = match self.config.scheduler.policy {
-            // Highest priority first; ties broken by process index for
-            // determinism.
-            crate::config::SchedPolicy::Priority => ready
-                .iter()
-                .copied()
-                .max_by_key(|&index| (self.processes[index].priority, Reverse(index)))
-                .expect("ready is non-empty"),
-            // Fair rotation: first ready process at or after the rotating
-            // pointer.
+        // Scan only this element's (static, ascending) process list.
+        let chosen = match self.config.scheduler.policy {
+            // Highest priority first; ties broken by lowest process
+            // index for determinism (strict-max scan over an ascending
+            // list).
+            crate::config::SchedPolicy::Priority => {
+                let mut best: Option<ProcIndex> = None;
+                for &index in &self.pe_procs[pe] {
+                    if self.processes[index].queue.is_empty() {
+                        continue;
+                    }
+                    match best {
+                        Some(b) if self.processes[index].priority <= self.processes[b].priority => {
+                        }
+                        _ => best = Some(index),
+                    }
+                }
+                best
+            }
+            // Fair rotation: first ready process at or after the
+            // rotating pointer, wrapping to the first ready.
             crate::config::SchedPolicy::RoundRobin => {
                 let start = self.pes[pe].rr_next;
-                let chosen = ready
-                    .iter()
-                    .copied()
-                    .find(|&index| index >= start)
-                    .unwrap_or(ready[0]);
-                self.pes[pe].rr_next = chosen + 1;
-                chosen
+                let mut first: Option<ProcIndex> = None;
+                let mut at_or_after: Option<ProcIndex> = None;
+                for &index in &self.pe_procs[pe] {
+                    if self.processes[index].queue.is_empty() {
+                        continue;
+                    }
+                    if first.is_none() {
+                        first = Some(index);
+                    }
+                    if at_or_after.is_none() && index >= start {
+                        at_or_after = Some(index);
+                        break;
+                    }
+                }
+                at_or_after.or(first)
             }
         };
+        let Some(proc_index) = chosen else {
+            return Ok(());
+        };
+        if matches!(
+            self.config.scheduler.policy,
+            crate::config::SchedPolicy::RoundRobin
+        ) {
+            self.pes[pe].rr_next = proc_index + 1;
+        }
         self.execute_step(proc_index, faults, tracer)?;
         Ok(())
     }
@@ -571,40 +744,46 @@ impl Simulation {
             stats.max_queue_wait_ns = stats.max_queue_wait_ns.max(waited);
         }
 
-        let sm_id = self.processes[proc_index].sm;
-        let machine = self.system.model.state_machine(sm_id).clone();
+        // Shared per-class machine image: an `Arc` bump instead of the
+        // per-step deep clone of the whole state machine this replaced.
+        let machine_rt = Arc::clone(&self.processes[proc_index].machine);
+        let machine = &machine_rt.machine;
+        let name_sym = self.processes[proc_index].name_sym;
         let from_state = self.processes[proc_index].state;
 
+        // The process's variables move into the step's environment (and
+        // back out below); the parameter scope is recycled across steps.
         let mut env = Env {
-            vars: self.processes[proc_index].vars.clone(),
-            params: HashMap::new(),
+            vars: std::mem::take(&mut self.processes[proc_index].vars),
+            params: std::mem::take(&mut self.scratch_params),
         };
         let mut effects: Vec<Effect> = Vec::new();
         let mut weight: u64 = 0;
         let mut to_state = from_state;
         let mut fired = false;
 
-        let trigger_label;
-        match &entry {
+        let trigger_sym;
+        match entry {
             QueueEntry::Start => {
-                trigger_label = "start".to_owned();
+                trigger_sym = self.start_sym;
                 fired = true;
                 let state = machine.state(from_state);
                 action::execute(state.entry(), &mut env, &mut effects, &mut weight)
                     .map_err(|e| self.runtime_error(proc_index, e))?;
             }
             QueueEntry::Signal { signal, values } => {
-                trigger_label = self.system.model.signal(*signal).name().to_owned();
-                // Bind signal parameters positionally.
-                let params = self.system.model.signal(*signal).params();
-                for (param, value) in params.iter().zip(values.iter()) {
-                    env.params.insert(param.name.clone(), value.clone());
+                trigger_sym = self.signal_syms[signal.index()];
+                // Bind signal parameters positionally, moving the
+                // delivered payload into the scope.
+                let params = self.system.model.signal(signal).params();
+                for (param, value) in params.iter().zip(values) {
+                    env.params.set(&param.name, value);
                 }
                 let transition =
                     machine
                         .transitions_from(from_state)
                         .find(|(_, t)| match t.trigger() {
-                            Trigger::Signal(s) if s == signal => match t.guard() {
+                            Trigger::Signal(s) if *s == signal => match t.guard() {
                                 Some(guard) => {
                                     guard.eval(&env).map(|v| v.is_truthy()).unwrap_or(false)
                                 }
@@ -624,13 +803,14 @@ impl Simulation {
                     }
                 }
             }
-            QueueEntry::Timer { name } => {
-                trigger_label = format!("timer:{name}");
+            QueueEntry::Timer { slot } => {
+                let timer = &machine_rt.timers[slot as usize];
+                trigger_sym = timer.label;
                 let transition =
                     machine
                         .transitions_from(from_state)
                         .find(|(_, t)| match t.trigger() {
-                            Trigger::Timer(n) if n == name => match t.guard() {
+                            Trigger::Timer(n) if *n == timer.name => match t.guard() {
                                 Some(guard) => {
                                     guard.eval(&env).map(|v| v.is_truthy()).unwrap_or(false)
                                 }
@@ -653,23 +833,20 @@ impl Simulation {
         }
 
         if !fired {
-            // Discarded input: log and charge only the dispatch overhead.
-            let signal_name = match &entry {
-                QueueEntry::Signal { signal, .. } => {
-                    self.system.model.signal(*signal).name().to_owned()
-                }
-                QueueEntry::Timer { name } => format!("timer:{name}"),
-                QueueEntry::Start => "start".to_owned(),
-            };
-            self.log.push(LogRecord::Drop {
-                time_ns: start_ns,
-                process: self.processes[proc_index].name.clone(),
-                signal: signal_name,
-            });
+            // Discarded input: log and charge only the dispatch
+            // overhead. The trigger symbol doubles as the dropped-input
+            // identity (signal name, `timer:<name>`, or `start`).
+            self.log.push_drop(start_ns, name_sym, trigger_sym);
             self.processes[proc_index].stats.drops += 1;
+            let from_sym = machine_rt.state_syms[from_state.index()];
+            let drop_sym = self.drop_sym;
             self.finish_step(
-                proc_index, pe_index, start_ns, 0, from_state, from_state, "drop", tracer,
+                proc_index, pe_index, start_ns, 0, from_sym, from_sym, drop_sym, tracer,
             );
+            // Nothing fired, so the moved-out scopes go straight back.
+            env.params.clear();
+            self.processes[proc_index].vars = env.vars;
+            self.scratch_params = env.params;
             return Ok(());
         }
 
@@ -751,9 +928,9 @@ impl Simulation {
                     self.dispatch_send(proc_index, &port, signal, values, end_ns, faults, tracer);
                 }
                 Effect::SetTimer { name, duration } => {
+                    let slot = machine_rt.timer_slot(&name);
                     let generation = {
-                        let gens = &mut self.processes[proc_index].timer_gens;
-                        let g = gens.entry(name.clone()).or_insert(0);
+                        let g = &mut self.processes[proc_index].timer_gens[slot];
                         *g += 1;
                         *g
                     };
@@ -766,51 +943,39 @@ impl Simulation {
                         end_ns + duration,
                         EventKind::TimerFired {
                             target: proc_index,
-                            name,
+                            slot: slot as u32,
                             generation,
                         },
                     );
                 }
                 Effect::CancelTimer { name } => {
-                    let gens = &mut self.processes[proc_index].timer_gens;
-                    *gens.entry(name).or_insert(0) += 1;
+                    let slot = machine_rt.timer_slot(&name);
+                    self.processes[proc_index].timer_gens[slot] += 1;
                 }
                 Effect::Log(message) => {
-                    self.log.push(LogRecord::User {
-                        time_ns: end_ns,
-                        process: self.processes[proc_index].name.clone(),
-                        message,
-                    });
+                    self.log.push_user(end_ns, name_sym, &message);
                 }
                 Effect::Count { counter, amount } => {
-                    self.log.push(LogRecord::Count {
-                        time_ns: end_ns,
-                        process: self.processes[proc_index].name.clone(),
-                        counter,
-                        amount,
-                    });
+                    self.log.push_count(end_ns, name_sym, &counter, amount);
                 }
                 Effect::Compute { .. } => {}
             }
         }
 
-        let (from_name, to_name) = (
-            machine.state(from_state).name().to_owned(),
-            machine.state(to_state).name().to_owned(),
-        );
+        // Hand the (already cleared) parameter scope back for reuse.
+        self.scratch_params = env.params;
+        let from_sym = machine_rt.state_syms[from_state.index()];
+        let to_sym = machine_rt.state_syms[to_state.index()];
         self.finish_step(
             proc_index,
             pe_index,
             start_ns,
             cycles,
-            from_state,
-            to_state,
-            &trigger_label,
+            from_sym,
+            to_sym,
+            trigger_sym,
             tracer,
         );
-        // Re-use names for the EXEC record written by finish_step: done
-        // there to keep record layout in one place.
-        let _ = (from_name, to_name);
         Ok(())
     }
 
@@ -821,9 +986,9 @@ impl Simulation {
         pe_index: PeIndex,
         start_ns: u64,
         cycles: u64,
-        from_state: StateId,
-        to_state: StateId,
-        trigger: &str,
+        from_state: Sym,
+        to_state: Sym,
+        trigger: Sym,
         tracer: &mut T,
     ) {
         let duration_ns = self.pes[pe_index].descriptor.ns_for_cycles(cycles);
@@ -834,7 +999,11 @@ impl Simulation {
                 let track = tracer.track(&format!("pe/{pe_name}"), Clock::Sim);
                 tracer.span(
                     track,
-                    &format!("{} [{trigger}]", self.processes[proc_index].name),
+                    &format!(
+                        "{} [{}]",
+                        self.processes[proc_index].name,
+                        self.log.resolve(trigger)
+                    ),
                     start_ns,
                     duration_ns,
                 );
@@ -842,19 +1011,15 @@ impl Simulation {
             tracer.observe("sim.step_duration_ns", duration_ns);
             tracer.add(&format!("pe.{pe_name}.busy_ns"), duration_ns);
         }
-        let machine = self
-            .system
-            .model
-            .state_machine(self.processes[proc_index].sm);
-        self.log.push(LogRecord::Exec {
-            time_ns: start_ns,
-            process: self.processes[proc_index].name.clone(),
+        self.log.push_exec(
+            start_ns,
+            self.processes[proc_index].name_sym,
             cycles,
             duration_ns,
-            from_state: machine.state(from_state).name().to_owned(),
-            to_state: machine.state(to_state).name().to_owned(),
-            trigger: trigger.to_owned(),
-        });
+            from_state,
+            to_state,
+            trigger,
+        );
         let stats = &mut self.processes[proc_index].stats;
         stats.steps += 1;
         stats.cycles += cycles;
@@ -886,13 +1051,13 @@ impl Simulation {
     ) {
         let sender_instance = self.processes[sender].instance;
         let sender_class = self.processes[sender].class;
+        let sender_sym = self.processes[sender].name_sym;
+        let signal_sym = self.signal_syms[signal.index()];
         let Some(port) = self.system.model.find_port(sender_class, port_name) else {
-            self.log.push(LogRecord::Lost {
-                time_ns: send_time_ns,
-                process: self.processes[sender].name.clone(),
-                port: port_name.to_owned(),
-                signal: self.system.model.signal(signal).name().to_owned(),
-            });
+            // Cold path: interning the port name here is fine.
+            let port_sym = self.log.intern(port_name);
+            self.log
+                .push_lost(send_time_ns, sender_sym, port_sym, signal_sym);
             return;
         };
         let receivers: Vec<_> = self
@@ -900,26 +1065,35 @@ impl Simulation {
             .receivers(sender_instance, port, signal)
             .to_vec();
         if receivers.is_empty() {
-            self.log.push(LogRecord::Lost {
-                time_ns: send_time_ns,
-                process: self.processes[sender].name.clone(),
-                port: port_name.to_owned(),
-                signal: self.system.model.signal(signal).name().to_owned(),
-            });
+            let port_sym = self.log.intern(port_name);
+            self.log
+                .push_lost(send_time_ns, sender_sym, port_sym, signal_sym);
             return;
         }
         let bytes: u64 =
             self.config.header_bytes + values.iter().map(|v| v.size_bytes() as u64).sum::<u64>();
         self.processes[sender].stats.signals_sent += receivers.len() as u64;
         self.processes[sender].stats.bytes_sent += bytes * receivers.len() as u64;
-        let signal_name = self.system.model.signal(signal).name().to_owned();
-        for endpoint in receivers {
+        // The payload moves into the last receiver's delivery; earlier
+        // receivers (multicast) get clones.
+        let last = receivers.len() - 1;
+        let mut payload = Some(values);
+        for (i, endpoint) in receivers.into_iter().enumerate() {
             let Some(&target) = self.by_instance.get(&endpoint.instance) else {
                 continue;
             };
             let sender_pe = self.processes[sender].pe;
             let target_pe = self.processes[target].pe;
-            let mut values = values.clone();
+            let mut values = if i == last {
+                payload
+                    .take()
+                    .expect("payload consumed before last receiver")
+            } else {
+                payload
+                    .as_ref()
+                    .expect("payload consumed before last receiver")
+                    .clone()
+            };
             let delivery_ns = if sender_pe == target_pe {
                 send_time_ns + self.config.local_latency_ns
             } else if self.pes[sender_pe].is_env || self.pes[target_pe].is_env {
@@ -933,12 +1107,12 @@ impl Simulation {
                         if !result.routed {
                             // The network tallies the count; the log
                             // records which signal fell back.
-                            self.log.push(LogRecord::Fault {
-                                time_ns: send_time_ns,
-                                process: self.processes[sender].name.clone(),
-                                kind: "unroutable".into(),
-                                signal: signal_name.clone(),
-                            });
+                            self.log.push_fault(
+                                send_time_ns,
+                                sender_sym,
+                                self.unroutable_sym,
+                                signal_sym,
+                            );
                         }
                         if faults.is_active() {
                             // Only HIBI-borne signals are subject to the
@@ -954,22 +1128,22 @@ impl Simulation {
                                     corrupt_values(&mut values, faults);
                                     self.fault_tally.corrupted += 1;
                                     tracer.add("sim.faults_corrupted", 1);
-                                    self.log.push(LogRecord::Fault {
-                                        time_ns: send_time_ns,
-                                        process: self.processes[sender].name.clone(),
-                                        kind: "corrupt".into(),
-                                        signal: signal_name.clone(),
-                                    });
+                                    self.log.push_fault(
+                                        send_time_ns,
+                                        sender_sym,
+                                        self.corrupt_sym,
+                                        signal_sym,
+                                    );
                                 }
                                 TransferVerdict::Drop => {
                                     self.fault_tally.dropped += 1;
                                     tracer.add("sim.faults_dropped", 1);
-                                    self.log.push(LogRecord::Fault {
-                                        time_ns: send_time_ns,
-                                        process: self.processes[sender].name.clone(),
-                                        kind: "drop".into(),
-                                        signal: signal_name.clone(),
-                                    });
+                                    self.log.push_fault(
+                                        send_time_ns,
+                                        sender_sym,
+                                        self.drop_sym,
+                                        signal_sym,
+                                    );
                                     continue;
                                 }
                             }
@@ -979,7 +1153,6 @@ impl Simulation {
                     _ => send_time_ns + self.config.local_latency_ns,
                 }
             };
-            let sender_name = self.processes[sender].name.clone();
             self.schedule(
                 delivery_ns,
                 EventKind::Deliver {
@@ -987,7 +1160,7 @@ impl Simulation {
                     entry_kind: DeliverKind::Signal {
                         signal,
                         values,
-                        sender_name,
+                        sender,
                         bytes,
                         sent_at_ns: send_time_ns,
                     },
@@ -1080,6 +1253,7 @@ fn corrupt_values<F: FaultModel>(values: &mut [Value], faults: &mut F) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::log::RecordRef;
     use tut_faults::{FaultConfig, FaultPlan, Outage};
     use tut_profile::application::ProcessType;
     use tut_profile::platform::ComponentKind;
@@ -1277,9 +1451,8 @@ mod tests {
         // 5 pings, 5 pongs (n = 5..1), final pong n=0 consumed without send.
         let sig_count = report
             .log
-            .records
             .iter()
-            .filter(|r| matches!(r, LogRecord::Sig { .. }))
+            .filter(|r| matches!(r, RecordRef::Sig { .. }))
             .count();
         assert_eq!(sig_count, 10, "log: {}", report.log.to_text());
         // Ponger did 5 compute-heavy steps.
@@ -1337,6 +1510,27 @@ mod tests {
     }
 
     #[test]
+    fn interned_log_renders_identically_to_per_record_rendering() {
+        let report = Simulation::from_system(&ping_pong(10, false), SimConfig::default())
+            .unwrap()
+            .run()
+            .unwrap();
+        let text = report.log.to_text();
+        // The streamed rendering must match rendering each record on its
+        // own (the pre-interning code path).
+        let mut manual = String::from("# TUT-Profile simulation log-file v1\n");
+        for record in report.log.iter() {
+            manual.push_str(&record.to_owned().to_line());
+            manual.push('\n');
+        }
+        assert_eq!(text, manual);
+        // A re-parsed log interns in a different order yet renders the
+        // same bytes.
+        let parsed = SimLog::parse(&text).unwrap();
+        assert_eq!(parsed.to_text(), text);
+    }
+
+    #[test]
     fn log_round_trips_through_text() {
         let report = Simulation::from_system(&ping_pong(3, false), SimConfig::default())
             .unwrap()
@@ -1391,16 +1585,14 @@ mod tests {
         assert_eq!(report.faults.dropped, 1);
         let drops = report
             .log
-            .records
             .iter()
-            .filter(|r| matches!(r, LogRecord::Fault { kind, .. } if kind == "drop"))
+            .filter(|r| matches!(r, RecordRef::Fault { kind, .. } if *kind == "drop"))
             .count();
         assert_eq!(drops, 1);
         let sigs = report
             .log
-            .records
             .iter()
-            .filter(|r| matches!(r, LogRecord::Sig { .. }))
+            .filter(|r| matches!(r, RecordRef::Sig { .. }))
             .count();
         assert_eq!(sigs, 0, "no signal survives a 100% drop channel");
     }
@@ -1420,9 +1612,8 @@ mod tests {
         assert_eq!(report.faults.injected(), report.faults.corrupted);
         let faults = report
             .log
-            .records
             .iter()
-            .filter(|r| matches!(r, LogRecord::Fault { kind, .. } if kind == "corrupt"))
+            .filter(|r| matches!(r, RecordRef::Fault { kind, .. } if *kind == "corrupt"))
             .count() as u64;
         assert_eq!(faults, report.faults.corrupted);
     }
@@ -1476,9 +1667,8 @@ mod tests {
             .unwrap();
         let sigs = |r: &SimReport| {
             r.log
-                .records
                 .iter()
-                .filter(|rec| matches!(rec, LogRecord::Sig { .. }))
+                .filter(|rec| matches!(rec, RecordRef::Sig { .. }))
                 .count()
         };
         assert_eq!(sigs(&clean), sigs(&stalled), "no signal is lost");

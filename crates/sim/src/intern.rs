@@ -1,0 +1,136 @@
+//! Per-simulation string interning for the log hot path.
+//!
+//! Every name a [`crate::SimLog`] record carries (process, state, signal,
+//! trigger, counter…) is drawn from a small, run-stable vocabulary, so the
+//! engine resolves each name **once** — at build time or on the first
+//! occurrence — to a [`Sym`] and the hot path moves only `Copy` ids.
+//! Because the log's field escaping ([`crate::log`] rules) is a pure
+//! function of the string, the interner also caches the escaped form, so
+//! rendering the log text never re-escapes a name.
+
+use std::collections::HashMap;
+
+/// An interned string id, valid for the [`Interner`] that produced it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// The index of this symbol in its interner's table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One interned entry: the raw text plus its cached escaped form (only
+/// stored when escaping changes the text).
+#[derive(Clone, Debug)]
+struct Entry {
+    raw: Box<str>,
+    /// `None` when the raw text is its own escaped form.
+    escaped: Option<Box<str>>,
+}
+
+/// A append-only string table: `intern` is idempotent, `resolve` is an
+/// array index.
+#[derive(Clone, Debug, Default)]
+pub struct Interner {
+    map: HashMap<Box<str>, Sym>,
+    entries: Vec<Entry>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Interns `text`, returning the existing id when already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics after `u32::MAX` distinct strings (unreachable in practice:
+    /// the vocabulary is the model's name set).
+    pub fn intern(&mut self, text: &str) -> Sym {
+        if let Some(&sym) = self.map.get(text) {
+            return sym;
+        }
+        let sym = Sym(u32::try_from(self.entries.len()).expect("interner overflow"));
+        let escaped = crate::log::escape_field(text);
+        self.entries.push(Entry {
+            raw: text.into(),
+            escaped: if escaped == text {
+                None
+            } else {
+                Some(escaped.into_boxed_str())
+            },
+        });
+        self.map.insert(text.into(), sym);
+        sym
+    }
+
+    /// The raw text of `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` came from a different interner with more entries.
+    #[inline]
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.entries[sym.index()].raw
+    }
+
+    /// The escaped log-field form of `sym` (cached at intern time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` came from a different interner with more entries.
+    #[inline]
+    pub fn escaped(&self, sym: Sym) -> &str {
+        let entry = &self.entries[sym.index()];
+        entry.escaped.as_deref().unwrap_or(&entry.raw)
+    }
+
+    /// Looks up an already interned string without inserting.
+    pub fn lookup(&self, text: &str) -> Option<Sym> {
+        self.map.get(text).copied()
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("rca");
+        let b = i.intern("mng");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("rca"), a);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.resolve(a), "rca");
+        assert_eq!(i.lookup("mng"), Some(b));
+        assert_eq!(i.lookup("nope"), None);
+    }
+
+    #[test]
+    fn escaped_form_is_cached() {
+        let mut i = Interner::new();
+        let plain = i.intern("plain");
+        let spaced = i.intern("two words");
+        let empty = i.intern("");
+        assert_eq!(i.escaped(plain), "plain");
+        assert_eq!(i.escaped(spaced), "two\\swords");
+        assert_eq!(i.escaped(empty), "\\e");
+    }
+}

@@ -34,11 +34,13 @@
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod intern;
 pub mod log;
 pub mod report;
 
 pub use config::{SimConfig, TraceOptions, Watchdog};
 pub use engine::Simulation;
 pub use error::SimError;
-pub use log::{LogRecord, SimLog};
+pub use intern::{Interner, Sym};
+pub use log::{LogRecord, RecordRef, SimLog};
 pub use report::{FaultTally, SimReport};

@@ -4,7 +4,7 @@
 //! profiling tool (§4.4: "the automatically generated application code is
 //! complemented with custom C functions to create simulation log-file
 //! during simulations"). To keep that tool boundary honest, the log has a
-//! canonical **text form**; the profiling crate parses the text, not the
+//! canonical **text form**; external consumers parse the text, not the
 //! in-memory structs.
 //!
 //! Record lines (whitespace-separated, one record per line):
@@ -24,11 +24,21 @@
 //! newline → `\n`, carriage return → `\r`, and the empty string → `\e`.
 //! Parsing reverses the escapes, so `to_text` → `parse` is lossless for
 //! arbitrary model-provided names and messages.
+//!
+//! Internally a [`SimLog`] stores **interned** records: every name field
+//! is a [`Sym`] into the log's [`Interner`], so the simulation hot path
+//! appends `Copy`-cheap structs and strings are resolved only when the
+//! text form is rendered. [`SimLog::iter`] yields [`RecordRef`]s
+//! (borrowed string slices); [`LogRecord`] (owned strings) remains the
+//! type for single-line parsing and construction.
 
-use std::fmt;
+use std::collections::HashMap;
+use std::fmt::{self, Write as _};
+
+use crate::intern::{Interner, Sym};
 
 /// Escapes one whitespace-separated field of a log line.
-fn escape_field(text: &str) -> String {
+pub(crate) fn escape_field(text: &str) -> String {
     if text.is_empty() {
         return "\\e".to_owned();
     }
@@ -71,7 +81,8 @@ fn unescape_field(text: &str) -> String {
     out
 }
 
-/// One record of the simulation log.
+/// One record of the simulation log (owned strings; the construction and
+/// single-line parsing type — a [`SimLog`] stores the interned form).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum LogRecord {
     /// A run-to-completion step executed.
@@ -372,11 +383,286 @@ impl fmt::Display for LogRecord {
     }
 }
 
-/// The full simulation log.
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
+/// The interned storage form of one record: every name field is a
+/// [`Sym`], so the struct is `Copy` and the hot path never allocates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum CompactRecord {
+    Exec {
+        time_ns: u64,
+        process: Sym,
+        cycles: u64,
+        duration_ns: u64,
+        from_state: Sym,
+        to_state: Sym,
+        trigger: Sym,
+    },
+    Sig {
+        time_ns: u64,
+        sender: Sym,
+        receiver: Sym,
+        signal: Sym,
+        bytes: u64,
+        latency_ns: u64,
+    },
+    Drop {
+        time_ns: u64,
+        process: Sym,
+        signal: Sym,
+    },
+    Lost {
+        time_ns: u64,
+        process: Sym,
+        port: Sym,
+        signal: Sym,
+    },
+    User {
+        time_ns: u64,
+        process: Sym,
+        message: Sym,
+    },
+    Fault {
+        time_ns: u64,
+        process: Sym,
+        kind: Sym,
+        signal: Sym,
+    },
+    Count {
+        time_ns: u64,
+        process: Sym,
+        counter: Sym,
+        amount: i64,
+    },
+}
+
+/// A borrowed view of one log record: the field layout of [`LogRecord`]
+/// with string slices resolved from the log's interner. Yielded by
+/// [`SimLog::iter`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RecordRef<'a> {
+    /// A run-to-completion step executed.
+    Exec {
+        /// Step start time (ns).
+        time_ns: u64,
+        /// Process instance name.
+        process: &'a str,
+        /// Cycles charged on the processing element.
+        cycles: u64,
+        /// Wall-clock duration on the element (ns).
+        duration_ns: u64,
+        /// State before the step.
+        from_state: &'a str,
+        /// State after the step.
+        to_state: &'a str,
+        /// What triggered the step.
+        trigger: &'a str,
+    },
+    /// A signal was delivered from one process to another.
+    Sig {
+        /// Delivery time (ns).
+        time_ns: u64,
+        /// Sending process instance name.
+        sender: &'a str,
+        /// Receiving process instance name.
+        receiver: &'a str,
+        /// Signal type name.
+        signal: &'a str,
+        /// Payload bytes (including header).
+        bytes: u64,
+        /// End-to-end latency from send to delivery (ns).
+        latency_ns: u64,
+    },
+    /// A delivered signal found no enabled transition and was discarded.
+    Drop {
+        /// Time of the discard (ns).
+        time_ns: u64,
+        /// The discarding process.
+        process: &'a str,
+        /// The discarded signal.
+        signal: &'a str,
+    },
+    /// A sent signal had no connected receiver.
+    Lost {
+        /// Send time (ns).
+        time_ns: u64,
+        /// The sending process.
+        process: &'a str,
+        /// The port it was sent through.
+        port: &'a str,
+        /// The signal type name.
+        signal: &'a str,
+    },
+    /// A `Log` action emitted by the model itself.
+    User {
+        /// Emission time (ns).
+        time_ns: u64,
+        /// The emitting process.
+        process: &'a str,
+        /// The rendered message.
+        message: &'a str,
+    },
+    /// A fault was injected or a transfer found no route.
+    Fault {
+        /// Injection time (ns).
+        time_ns: u64,
+        /// The sending process whose transfer was hit.
+        process: &'a str,
+        /// Fault kind: `corrupt`, `drop`, or `unroutable`.
+        kind: &'a str,
+        /// The signal type name of the affected transfer.
+        signal: &'a str,
+    },
+    /// A `count` action: a named per-process counter was incremented.
+    Count {
+        /// Emission time (ns).
+        time_ns: u64,
+        /// The counting process.
+        process: &'a str,
+        /// The counter name.
+        counter: &'a str,
+        /// Signed increment.
+        amount: i64,
+    },
+}
+
+impl RecordRef<'_> {
+    /// The record's timestamp.
+    pub fn time_ns(&self) -> u64 {
+        match self {
+            RecordRef::Exec { time_ns, .. }
+            | RecordRef::Sig { time_ns, .. }
+            | RecordRef::Drop { time_ns, .. }
+            | RecordRef::Lost { time_ns, .. }
+            | RecordRef::User { time_ns, .. }
+            | RecordRef::Fault { time_ns, .. }
+            | RecordRef::Count { time_ns, .. } => *time_ns,
+        }
+    }
+
+    /// Copies the record into its owned form.
+    pub fn to_owned(&self) -> LogRecord {
+        match *self {
+            RecordRef::Exec {
+                time_ns,
+                process,
+                cycles,
+                duration_ns,
+                from_state,
+                to_state,
+                trigger,
+            } => LogRecord::Exec {
+                time_ns,
+                process: process.to_owned(),
+                cycles,
+                duration_ns,
+                from_state: from_state.to_owned(),
+                to_state: to_state.to_owned(),
+                trigger: trigger.to_owned(),
+            },
+            RecordRef::Sig {
+                time_ns,
+                sender,
+                receiver,
+                signal,
+                bytes,
+                latency_ns,
+            } => LogRecord::Sig {
+                time_ns,
+                sender: sender.to_owned(),
+                receiver: receiver.to_owned(),
+                signal: signal.to_owned(),
+                bytes,
+                latency_ns,
+            },
+            RecordRef::Drop {
+                time_ns,
+                process,
+                signal,
+            } => LogRecord::Drop {
+                time_ns,
+                process: process.to_owned(),
+                signal: signal.to_owned(),
+            },
+            RecordRef::Lost {
+                time_ns,
+                process,
+                port,
+                signal,
+            } => LogRecord::Lost {
+                time_ns,
+                process: process.to_owned(),
+                port: port.to_owned(),
+                signal: signal.to_owned(),
+            },
+            RecordRef::User {
+                time_ns,
+                process,
+                message,
+            } => LogRecord::User {
+                time_ns,
+                process: process.to_owned(),
+                message: message.to_owned(),
+            },
+            RecordRef::Fault {
+                time_ns,
+                process,
+                kind,
+                signal,
+            } => LogRecord::Fault {
+                time_ns,
+                process: process.to_owned(),
+                kind: kind.to_owned(),
+                signal: signal.to_owned(),
+            },
+            RecordRef::Count {
+                time_ns,
+                process,
+                counter,
+                amount,
+            } => LogRecord::Count {
+                time_ns,
+                process: process.to_owned(),
+                counter: counter.to_owned(),
+                amount,
+            },
+        }
+    }
+}
+
+/// The header line of every rendered log file.
+const HEADER: &str = "# TUT-Profile simulation log-file v1\n";
+
+/// The full simulation log: interned records plus the symbol table that
+/// resolves them, with per-counter tallies accumulated at push time.
+#[derive(Clone, Debug, Default)]
 pub struct SimLog {
-    /// Records in emission order.
-    pub records: Vec<LogRecord>,
+    interner: Interner,
+    records: Vec<CompactRecord>,
+    /// Exact rendered body length (every line incl. its newline, header
+    /// excluded), maintained incrementally so [`SimLog::to_text`]
+    /// allocates once.
+    text_len: usize,
+    /// `(process, counter)` totals of `CNT` records, accumulated at push
+    /// time so report queries never rescan the log.
+    counters: HashMap<(Sym, Sym), i64>,
+}
+
+/// Decimal digit count of a `u64` (every value prints at least one).
+fn digits(mut n: u64) -> usize {
+    let mut count = 1;
+    while n >= 10 {
+        n /= 10;
+        count += 1;
+    }
+    count
+}
+
+/// Decimal width of an `i64` including a possible sign.
+fn digits_i64(n: i64) -> usize {
+    if n < 0 {
+        1 + digits(n.unsigned_abs())
+    } else {
+        digits(n as u64)
+    }
 }
 
 impl SimLog {
@@ -385,19 +671,488 @@ impl SimLog {
         SimLog::default()
     }
 
-    /// Appends a record.
-    pub fn push(&mut self, record: LogRecord) {
+    /// Interns `text` into this log's symbol table.
+    pub fn intern(&mut self, text: &str) -> Sym {
+        self.interner.intern(text)
+    }
+
+    /// Resolves a symbol produced by [`SimLog::intern`].
+    pub fn resolve(&self, sym: Sym) -> &str {
+        self.interner.resolve(sym)
+    }
+
+    /// The exact rendered line length of `record`, newline included.
+    fn line_len(&self, record: &CompactRecord) -> usize {
+        let esc = |s: &Sym| self.interner.escaped(*s).len();
+        match record {
+            CompactRecord::Exec {
+                time_ns,
+                process,
+                cycles,
+                duration_ns,
+                from_state,
+                to_state,
+                trigger,
+            } => {
+                // "EXEC" + 7 space-separated fields + newline.
+                4 + 8
+                    + digits(*time_ns)
+                    + esc(process)
+                    + digits(*cycles)
+                    + digits(*duration_ns)
+                    + esc(from_state)
+                    + esc(to_state)
+                    + esc(trigger)
+            }
+            CompactRecord::Sig {
+                time_ns,
+                sender,
+                receiver,
+                signal,
+                bytes,
+                latency_ns,
+            } => {
+                3 + 7
+                    + digits(*time_ns)
+                    + esc(sender)
+                    + esc(receiver)
+                    + esc(signal)
+                    + digits(*bytes)
+                    + digits(*latency_ns)
+            }
+            CompactRecord::Drop {
+                time_ns,
+                process,
+                signal,
+            } => 4 + 4 + digits(*time_ns) + esc(process) + esc(signal),
+            CompactRecord::Lost {
+                time_ns,
+                process,
+                port,
+                signal,
+            } => 4 + 5 + digits(*time_ns) + esc(process) + esc(port) + esc(signal),
+            CompactRecord::User {
+                time_ns,
+                process,
+                message,
+            } => 4 + 4 + digits(*time_ns) + esc(process) + esc(message),
+            CompactRecord::Fault {
+                time_ns,
+                process,
+                kind,
+                signal,
+            } => 5 + 5 + digits(*time_ns) + esc(process) + esc(kind) + esc(signal),
+            CompactRecord::Count {
+                time_ns,
+                process,
+                counter,
+                amount,
+            } => 3 + 5 + digits(*time_ns) + esc(process) + esc(counter) + digits_i64(*amount),
+        }
+    }
+
+    /// Appends one interned record, maintaining the incremental tallies
+    /// and the exact text length.
+    fn push_compact(&mut self, record: CompactRecord) {
+        if let CompactRecord::Count {
+            process,
+            counter,
+            amount,
+            ..
+        } = record
+        {
+            *self.counters.entry((process, counter)).or_default() += amount;
+        }
+        self.text_len += self.line_len(&record);
         self.records.push(record);
     }
 
-    /// Renders the whole log as its canonical text form.
-    pub fn to_text(&self) -> String {
-        let mut out = String::with_capacity(self.records.len() * 48);
-        out.push_str("# TUT-Profile simulation log-file v1\n");
-        for record in &self.records {
-            out.push_str(&record.to_line());
-            out.push('\n');
+    /// Appends a record, interning its string fields.
+    pub fn push(&mut self, record: LogRecord) {
+        let compact = match &record {
+            LogRecord::Exec {
+                time_ns,
+                process,
+                cycles,
+                duration_ns,
+                from_state,
+                to_state,
+                trigger,
+            } => CompactRecord::Exec {
+                time_ns: *time_ns,
+                process: self.interner.intern(process),
+                cycles: *cycles,
+                duration_ns: *duration_ns,
+                from_state: self.interner.intern(from_state),
+                to_state: self.interner.intern(to_state),
+                trigger: self.interner.intern(trigger),
+            },
+            LogRecord::Sig {
+                time_ns,
+                sender,
+                receiver,
+                signal,
+                bytes,
+                latency_ns,
+            } => CompactRecord::Sig {
+                time_ns: *time_ns,
+                sender: self.interner.intern(sender),
+                receiver: self.interner.intern(receiver),
+                signal: self.interner.intern(signal),
+                bytes: *bytes,
+                latency_ns: *latency_ns,
+            },
+            LogRecord::Drop {
+                time_ns,
+                process,
+                signal,
+            } => CompactRecord::Drop {
+                time_ns: *time_ns,
+                process: self.interner.intern(process),
+                signal: self.interner.intern(signal),
+            },
+            LogRecord::Lost {
+                time_ns,
+                process,
+                port,
+                signal,
+            } => CompactRecord::Lost {
+                time_ns: *time_ns,
+                process: self.interner.intern(process),
+                port: self.interner.intern(port),
+                signal: self.interner.intern(signal),
+            },
+            LogRecord::User {
+                time_ns,
+                process,
+                message,
+            } => CompactRecord::User {
+                time_ns: *time_ns,
+                process: self.interner.intern(process),
+                message: self.interner.intern(message),
+            },
+            LogRecord::Fault {
+                time_ns,
+                process,
+                kind,
+                signal,
+            } => CompactRecord::Fault {
+                time_ns: *time_ns,
+                process: self.interner.intern(process),
+                kind: self.interner.intern(kind),
+                signal: self.interner.intern(signal),
+            },
+            LogRecord::Count {
+                time_ns,
+                process,
+                counter,
+                amount,
+            } => CompactRecord::Count {
+                time_ns: *time_ns,
+                process: self.interner.intern(process),
+                counter: self.interner.intern(counter),
+                amount: *amount,
+            },
+        };
+        self.push_compact(compact);
+    }
+
+    /// Appends an `EXEC` record from pre-interned symbols (hot path).
+    #[allow(clippy::too_many_arguments)]
+    pub fn push_exec(
+        &mut self,
+        time_ns: u64,
+        process: Sym,
+        cycles: u64,
+        duration_ns: u64,
+        from_state: Sym,
+        to_state: Sym,
+        trigger: Sym,
+    ) {
+        self.push_compact(CompactRecord::Exec {
+            time_ns,
+            process,
+            cycles,
+            duration_ns,
+            from_state,
+            to_state,
+            trigger,
+        });
+    }
+
+    /// Appends a `SIG` record from pre-interned symbols (hot path).
+    pub fn push_sig(
+        &mut self,
+        time_ns: u64,
+        sender: Sym,
+        receiver: Sym,
+        signal: Sym,
+        bytes: u64,
+        latency_ns: u64,
+    ) {
+        self.push_compact(CompactRecord::Sig {
+            time_ns,
+            sender,
+            receiver,
+            signal,
+            bytes,
+            latency_ns,
+        });
+    }
+
+    /// Appends a `DROP` record from pre-interned symbols (hot path).
+    pub fn push_drop(&mut self, time_ns: u64, process: Sym, signal: Sym) {
+        self.push_compact(CompactRecord::Drop {
+            time_ns,
+            process,
+            signal,
+        });
+    }
+
+    /// Appends a `LOST` record from pre-interned symbols.
+    pub fn push_lost(&mut self, time_ns: u64, process: Sym, port: Sym, signal: Sym) {
+        self.push_compact(CompactRecord::Lost {
+            time_ns,
+            process,
+            port,
+            signal,
+        });
+    }
+
+    /// Appends a `USER` record; the message is interned on first use.
+    pub fn push_user(&mut self, time_ns: u64, process: Sym, message: &str) {
+        let message = self.interner.intern(message);
+        self.push_compact(CompactRecord::User {
+            time_ns,
+            process,
+            message,
+        });
+    }
+
+    /// Appends a `FAULT` record from pre-interned symbols.
+    pub fn push_fault(&mut self, time_ns: u64, process: Sym, kind: Sym, signal: Sym) {
+        self.push_compact(CompactRecord::Fault {
+            time_ns,
+            process,
+            kind,
+            signal,
+        });
+    }
+
+    /// Appends a `CNT` record; the counter name is interned on first use.
+    pub fn push_count(&mut self, time_ns: u64, process: Sym, counter: &str, amount: i64) {
+        let counter = self.interner.intern(counter);
+        self.push_compact(CompactRecord::Count {
+            time_ns,
+            process,
+            counter,
+            amount,
+        });
+    }
+
+    /// Borrowed view of one record by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= self.len()`.
+    pub fn get(&self, index: usize) -> RecordRef<'_> {
+        let resolve = |s: &Sym| self.interner.resolve(*s);
+        match &self.records[index] {
+            CompactRecord::Exec {
+                time_ns,
+                process,
+                cycles,
+                duration_ns,
+                from_state,
+                to_state,
+                trigger,
+            } => RecordRef::Exec {
+                time_ns: *time_ns,
+                process: resolve(process),
+                cycles: *cycles,
+                duration_ns: *duration_ns,
+                from_state: resolve(from_state),
+                to_state: resolve(to_state),
+                trigger: resolve(trigger),
+            },
+            CompactRecord::Sig {
+                time_ns,
+                sender,
+                receiver,
+                signal,
+                bytes,
+                latency_ns,
+            } => RecordRef::Sig {
+                time_ns: *time_ns,
+                sender: resolve(sender),
+                receiver: resolve(receiver),
+                signal: resolve(signal),
+                bytes: *bytes,
+                latency_ns: *latency_ns,
+            },
+            CompactRecord::Drop {
+                time_ns,
+                process,
+                signal,
+            } => RecordRef::Drop {
+                time_ns: *time_ns,
+                process: resolve(process),
+                signal: resolve(signal),
+            },
+            CompactRecord::Lost {
+                time_ns,
+                process,
+                port,
+                signal,
+            } => RecordRef::Lost {
+                time_ns: *time_ns,
+                process: resolve(process),
+                port: resolve(port),
+                signal: resolve(signal),
+            },
+            CompactRecord::User {
+                time_ns,
+                process,
+                message,
+            } => RecordRef::User {
+                time_ns: *time_ns,
+                process: resolve(process),
+                message: resolve(message),
+            },
+            CompactRecord::Fault {
+                time_ns,
+                process,
+                kind,
+                signal,
+            } => RecordRef::Fault {
+                time_ns: *time_ns,
+                process: resolve(process),
+                kind: resolve(kind),
+                signal: resolve(signal),
+            },
+            CompactRecord::Count {
+                time_ns,
+                process,
+                counter,
+                amount,
+            } => RecordRef::Count {
+                time_ns: *time_ns,
+                process: resolve(process),
+                counter: resolve(counter),
+                amount: *amount,
+            },
         }
+    }
+
+    /// Iterates over the records as borrowed [`RecordRef`]s.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = RecordRef<'_>> + '_ {
+        (0..self.records.len()).map(|i| self.get(i))
+    }
+
+    /// Renders the whole log as its canonical text form, streaming every
+    /// record into one exactly-sized buffer.
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(HEADER.len() + self.text_len);
+        out.push_str(HEADER);
+        let esc = |s: &Sym| self.interner.escaped(*s);
+        for record in &self.records {
+            match record {
+                CompactRecord::Exec {
+                    time_ns,
+                    process,
+                    cycles,
+                    duration_ns,
+                    from_state,
+                    to_state,
+                    trigger,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "EXEC {time_ns} {} {cycles} {duration_ns} {} {} {}",
+                        esc(process),
+                        esc(from_state),
+                        esc(to_state),
+                        esc(trigger)
+                    );
+                }
+                CompactRecord::Sig {
+                    time_ns,
+                    sender,
+                    receiver,
+                    signal,
+                    bytes,
+                    latency_ns,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "SIG {time_ns} {} {} {} {bytes} {latency_ns}",
+                        esc(sender),
+                        esc(receiver),
+                        esc(signal)
+                    );
+                }
+                CompactRecord::Drop {
+                    time_ns,
+                    process,
+                    signal,
+                } => {
+                    let _ = writeln!(out, "DROP {time_ns} {} {}", esc(process), esc(signal));
+                }
+                CompactRecord::Lost {
+                    time_ns,
+                    process,
+                    port,
+                    signal,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "LOST {time_ns} {} {} {}",
+                        esc(process),
+                        esc(port),
+                        esc(signal)
+                    );
+                }
+                CompactRecord::User {
+                    time_ns,
+                    process,
+                    message,
+                } => {
+                    let _ = writeln!(out, "USER {time_ns} {} {}", esc(process), esc(message));
+                }
+                CompactRecord::Fault {
+                    time_ns,
+                    process,
+                    kind,
+                    signal,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "FAULT {time_ns} {} {} {}",
+                        esc(process),
+                        esc(kind),
+                        esc(signal)
+                    );
+                }
+                CompactRecord::Count {
+                    time_ns,
+                    process,
+                    counter,
+                    amount,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "CNT {time_ns} {} {} {amount}",
+                        esc(process),
+                        esc(counter)
+                    );
+                }
+            }
+        }
+        debug_assert_eq!(
+            out.len(),
+            HEADER.len() + self.text_len,
+            "incremental text length must be exact"
+        );
         out
     }
 
@@ -428,7 +1183,39 @@ impl SimLog {
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
     }
+
+    /// Total of one named counter across all processes, from the tallies
+    /// accumulated at push time (`CNT` records).
+    pub fn counter_total(&self, counter: &str) -> i64 {
+        let Some(counter) = self.interner.lookup(counter) else {
+            return 0;
+        };
+        self.counters
+            .iter()
+            .filter(|((_, c), _)| *c == counter)
+            .map(|(_, amount)| amount)
+            .sum()
+    }
+
+    /// Total of one named counter for one process, from the push-time
+    /// tallies.
+    pub fn process_counter(&self, process: &str, counter: &str) -> i64 {
+        match (self.interner.lookup(process), self.interner.lookup(counter)) {
+            (Some(p), Some(c)) => self.counters.get(&(p, c)).copied().unwrap_or(0),
+            _ => 0,
+        }
+    }
 }
+
+// Equality compares resolved record content: two logs with different
+// interning orders (e.g. engine-built vs parsed) are equal when every
+// record reads the same.
+impl PartialEq for SimLog {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+impl Eq for SimLog {}
 
 #[cfg(test)]
 mod tests {
@@ -616,5 +1403,147 @@ mod tests {
         for r in sample_records() {
             assert!(r.time_ns() > 0);
         }
+    }
+
+    /// Satellite property: `parse_line(to_line(r)) == r` for every
+    /// variant, including whitespace-laden fields and `u64::MAX`
+    /// timestamps.
+    #[test]
+    fn every_variant_round_trips_line_by_line() {
+        let fields = ["plain", "two words", "", "tab\tand\nnewline", "\\e", " x "];
+        let mut cases: Vec<LogRecord> = Vec::new();
+        for f in fields {
+            for time_ns in [0, 7, u64::MAX] {
+                let f = f.to_owned();
+                cases.extend([
+                    LogRecord::Exec {
+                        time_ns,
+                        process: f.clone(),
+                        cycles: u64::MAX,
+                        duration_ns: u64::MAX,
+                        from_state: f.clone(),
+                        to_state: f.clone(),
+                        trigger: f.clone(),
+                    },
+                    LogRecord::Sig {
+                        time_ns,
+                        sender: f.clone(),
+                        receiver: f.clone(),
+                        signal: f.clone(),
+                        bytes: u64::MAX,
+                        latency_ns: 0,
+                    },
+                    LogRecord::Drop {
+                        time_ns,
+                        process: f.clone(),
+                        signal: f.clone(),
+                    },
+                    LogRecord::Lost {
+                        time_ns,
+                        process: f.clone(),
+                        port: f.clone(),
+                        signal: f.clone(),
+                    },
+                    LogRecord::User {
+                        time_ns,
+                        process: f.clone(),
+                        message: f.clone(),
+                    },
+                    LogRecord::Fault {
+                        time_ns,
+                        process: f.clone(),
+                        kind: f.clone(),
+                        signal: f.clone(),
+                    },
+                    LogRecord::Count {
+                        time_ns,
+                        process: f.clone(),
+                        counter: f.clone(),
+                        amount: i64::MIN,
+                    },
+                    LogRecord::Count {
+                        time_ns,
+                        process: f,
+                        counter: "c".into(),
+                        amount: i64::MAX,
+                    },
+                ]);
+            }
+        }
+        for record in cases {
+            let line = record.to_line();
+            let parsed = LogRecord::parse_line(&line)
+                .unwrap_or_else(|e| panic!("`{line}` failed: {e}"))
+                .unwrap();
+            assert_eq!(parsed, record, "line `{line}`");
+        }
+    }
+
+    /// The incrementally maintained text length is exact: `to_text`
+    /// never reallocates, for any field content.
+    #[test]
+    fn to_text_capacity_is_exact() {
+        let mut log = SimLog::new();
+        for r in sample_records() {
+            log.push(r);
+        }
+        log.push(LogRecord::Count {
+            time_ns: u64::MAX,
+            process: "two words".into(),
+            counter: "".into(),
+            amount: i64::MIN,
+        });
+        let text = log.to_text();
+        assert_eq!(text.len(), HEADER.len() + log.text_len);
+    }
+
+    /// Typed (pre-interned) pushes and owned-record pushes render
+    /// byte-identically: the interner is a storage detail, not a format
+    /// change.
+    #[test]
+    fn interned_pushes_render_identically_to_owned_pushes() {
+        let mut owned = SimLog::new();
+        for r in sample_records() {
+            owned.push(r);
+        }
+        let mut interned = SimLog::new();
+        // Intern in a scrambled order to prove order does not matter.
+        let rca = interned.intern("rca");
+        let busy = interned.intern("Busy");
+        let ui = interned.intern("ui.msduRec");
+        let idle = interned.intern("Idle");
+        let msdu_req = interned.intern("MsduRequest");
+        let frag = interned.intern("dp.frag");
+        let msdu = interned.intern("Msdu");
+        let mng = interned.intern("mng");
+        let beacon = interned.intern("Beacon");
+        let p_phy = interned.intern("pPhy");
+        let tx_frame = interned.intern("TxFrame");
+        let corrupt = interned.intern("corrupt");
+        interned.push_exec(100, ui, 420, 8400, idle, busy, msdu_req);
+        interned.push_sig(8600, ui, frag, msdu, 1508, 200);
+        interned.push_drop(9000, mng, beacon);
+        interned.push_lost(9100, rca, p_phy, tx_frame);
+        interned.push_user(9200, rca, "sent 3 frames");
+        interned.push_fault(9300, rca, corrupt, tx_frame);
+        interned.push_count(9400, rca, "arq.retries", -2);
+        assert_eq!(interned.to_text(), owned.to_text());
+        assert_eq!(interned, owned);
+    }
+
+    #[test]
+    fn counter_tallies_accumulate_at_push_time() {
+        let mut log = SimLog::new();
+        let p1 = log.intern("p1");
+        let p2 = log.intern("p2");
+        log.push_count(1, p1, "arq.tx", 2);
+        log.push_count(2, p1, "arq.tx", 3);
+        log.push_count(3, p2, "arq.tx", 10);
+        log.push_count(4, p1, "arq.acked", 4);
+        assert_eq!(log.counter_total("arq.tx"), 15);
+        assert_eq!(log.process_counter("p1", "arq.tx"), 5);
+        assert_eq!(log.process_counter("p1", "arq.acked"), 4);
+        assert_eq!(log.counter_total("nope"), 0);
+        assert_eq!(log.process_counter("nope", "arq.tx"), 0);
     }
 }

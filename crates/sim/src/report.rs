@@ -1,7 +1,7 @@
 //! Simulation results: per-process and per-element statistics plus the
 //! log.
 
-use crate::log::{LogRecord, SimLog};
+use crate::log::SimLog;
 
 /// Per-process counters accumulated during a run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -118,35 +118,16 @@ impl SimReport {
     }
 
     /// Total of one named counter across all processes (from the log's
-    /// `CNT` records; see `Statement::Count`).
+    /// `CNT` records; see `Statement::Count`). Served from the tallies
+    /// the log accumulates at push time — no record rescan.
     pub fn counter_total(&self, counter: &str) -> i64 {
-        self.log
-            .records
-            .iter()
-            .filter_map(|r| match r {
-                LogRecord::Count {
-                    counter: c, amount, ..
-                } if c == counter => Some(*amount),
-                _ => None,
-            })
-            .sum()
+        self.log.counter_total(counter)
     }
 
-    /// Total of one named counter for one process.
+    /// Total of one named counter for one process, from the log's
+    /// push-time tallies.
     pub fn process_counter(&self, process: &str, counter: &str) -> i64 {
-        self.log
-            .records
-            .iter()
-            .filter_map(|r| match r {
-                LogRecord::Count {
-                    process: p,
-                    counter: c,
-                    amount,
-                    ..
-                } if p == process && c == counter => Some(*amount),
-                _ => None,
-            })
-            .sum()
+        self.log.process_counter(process, counter)
     }
 
     /// One-paragraph human summary.
@@ -173,6 +154,7 @@ impl SimReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::log::LogRecord;
 
     fn sample() -> SimReport {
         SimReport {

@@ -2,7 +2,7 @@
 //! guard-based discards, and completion-transition chaining.
 
 use tut_profile::SystemModel;
-use tut_sim::{LogRecord, SimConfig, Simulation};
+use tut_sim::{RecordRef, SimConfig, Simulation};
 use tut_uml::action::{BinOp, Expr, Statement};
 use tut_uml::statemachine::{StateMachine, Trigger};
 use tut_uml::value::DataType;
@@ -31,10 +31,9 @@ fn run(system: &SystemModel) -> tut_sim::SimReport {
 fn user_logs(report: &tut_sim::SimReport) -> Vec<String> {
     report
         .log
-        .records
         .iter()
         .filter_map(|r| match r {
-            LogRecord::User { message, .. } => Some(message.clone()),
+            RecordRef::User { message, .. } => Some(message.to_owned()),
             _ => None,
         })
         .collect()
@@ -208,9 +207,8 @@ fn guard_false_input_is_dropped_with_a_record() {
     let report = run(&s);
     let drops = report
         .log
-        .records
         .iter()
-        .filter(|r| matches!(r, LogRecord::Drop { process, .. } if process == "receiver"))
+        .filter(|r| matches!(r, RecordRef::Drop { process, .. } if *process == "receiver"))
         .count();
     assert_eq!(drops, 1, "n=0 dropped; log:\n{}", report.log.to_text());
     assert_eq!(user_logs(&report), vec!["accepted".to_owned()]);
@@ -257,19 +255,17 @@ fn completion_transitions_chain_within_one_step() {
     // One EXEC record: the chain is a single run-to-completion step.
     let execs = report
         .log
-        .records
         .iter()
-        .filter(|r| matches!(r, LogRecord::Exec { .. }))
+        .filter(|r| matches!(r, RecordRef::Exec { .. }))
         .count();
     assert_eq!(execs, 1);
     // And it ends in state C.
-    match &report
+    let exec = report
         .log
-        .records
         .iter()
-        .find(|r| matches!(r, LogRecord::Exec { .. }))
-    {
-        Some(LogRecord::Exec { to_state, .. }) => assert_eq!(to_state, "C"),
+        .find(|r| matches!(r, RecordRef::Exec { .. }));
+    match exec {
+        Some(RecordRef::Exec { to_state, .. }) => assert_eq!(to_state, "C"),
         other => panic!("unexpected {other:?}"),
     }
 }

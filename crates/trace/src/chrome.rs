@@ -11,12 +11,21 @@
 //! Timestamps are emitted in microseconds (the trace-event unit) with
 //! nanosecond precision preserved as three decimals.
 
+use std::fmt::Write as _;
+
 use crate::recorder::{EventKind, Recorder};
 use crate::sink::Clock;
 
 /// Escapes a string for a JSON string literal (quotes not included).
 pub fn escape_json(text: &str) -> String {
     let mut out = String::with_capacity(text.len() + 2);
+    escape_json_into(&mut out, text);
+    out
+}
+
+/// [`escape_json`] appending to an existing buffer instead of
+/// allocating one per call.
+fn escape_json_into(out: &mut String, text: &str) {
     for c in text.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -24,16 +33,17 @@ pub fn escape_json(text: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
             c => out.push(c),
         }
     }
-    out
 }
 
-/// Nanoseconds rendered as microseconds with 3 decimals.
-fn us(ns: u64) -> String {
-    format!("{}.{:03}", ns / 1000, ns % 1000)
+/// Appends nanoseconds rendered as microseconds with 3 decimals.
+fn write_us(out: &mut String, ns: u64) {
+    let _ = write!(out, "{}.{:03}", ns / 1000, ns % 1000);
 }
 
 fn pid(clock: Clock) -> u32 {
@@ -49,66 +59,69 @@ pub fn to_chrome_json(recorder: &Recorder) -> String {
     let mut out = String::with_capacity(64 + recorder.len() * 96);
     out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
     let mut first = true;
-    let push = |out: &mut String, first: &mut bool, event: String| {
-        if !*first {
+    // Every event is rendered with `write!` straight into the one
+    // output buffer; `sep` places the comma/newline between them.
+    let mut sep = move |out: &mut String| {
+        if !first {
             out.push(',');
         }
-        *first = false;
+        first = false;
         out.push('\n');
-        out.push_str(&event);
     };
 
     // Metadata: name the two processes and every track (thread).
     for (clock, label) in [(Clock::Sim, "simulated"), (Clock::Host, "host")] {
         if recorder.tracks().iter().any(|t| t.clock == clock) {
-            push(
-                &mut out,
-                &mut first,
-                format!(
-                    "{{\"ph\":\"M\",\"pid\":{},\"tid\":0,\"name\":\"process_name\",\
-                     \"args\":{{\"name\":\"{}\"}}}}",
-                    pid(clock),
-                    label
-                ),
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":{},\"tid\":0,\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                pid(clock),
+                label
             );
         }
     }
     for (index, track) in recorder.tracks().iter().enumerate() {
-        push(
-            &mut out,
-            &mut first,
-            format!(
-                "{{\"ph\":\"M\",\"pid\":{},\"tid\":{},\"name\":\"thread_name\",\
-                 \"args\":{{\"name\":\"{}\"}}}}",
-                pid(track.clock),
-                index,
-                escape_json(&track.name)
-            ),
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":{},\"tid\":{},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"",
+            pid(track.clock),
+            index,
         );
+        escape_json_into(&mut out, &track.name);
+        out.push_str("\"}}");
     }
 
     for event in recorder.events() {
         let track = &recorder.tracks()[event.track.index()];
         let (p, tid) = (pid(track.clock), event.track.index());
-        let name = escape_json(&event.name);
-        let ts = us(event.ts_ns);
-        let rendered = match event.kind {
-            EventKind::Span { dur_ns } => format!(
-                "{{\"ph\":\"X\",\"pid\":{p},\"tid\":{tid},\"name\":\"{name}\",\
-                 \"ts\":{ts},\"dur\":{}}}",
-                us(dur_ns)
-            ),
-            EventKind::Instant => format!(
-                "{{\"ph\":\"i\",\"pid\":{p},\"tid\":{tid},\"name\":\"{name}\",\
-                 \"ts\":{ts},\"s\":\"t\"}}"
-            ),
-            EventKind::Counter { value } => format!(
-                "{{\"ph\":\"C\",\"pid\":{p},\"tid\":{tid},\"name\":\"{name}\",\
-                 \"ts\":{ts},\"args\":{{\"value\":{}}}}}",
-                fmt_f64(value)
-            ),
+        sep(&mut out);
+        let ph = match event.kind {
+            EventKind::Span { .. } => "X",
+            EventKind::Instant => "i",
+            EventKind::Counter { .. } => "C",
         };
-        push(&mut out, &mut first, rendered);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"{ph}\",\"pid\":{p},\"tid\":{tid},\"name\":\""
+        );
+        escape_json_into(&mut out, &event.name);
+        out.push_str("\",\"ts\":");
+        write_us(&mut out, event.ts_ns);
+        match event.kind {
+            EventKind::Span { dur_ns } => {
+                out.push_str(",\"dur\":");
+                write_us(&mut out, dur_ns);
+                out.push('}');
+            }
+            EventKind::Instant => out.push_str(",\"s\":\"t\"}"),
+            EventKind::Counter { value } => {
+                let _ = write!(out, ",\"args\":{{\"value\":{}}}}}", fmt_f64(value));
+            }
+        }
     }
     out.push_str("\n]}\n");
     out

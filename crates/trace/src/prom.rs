@@ -6,6 +6,8 @@
 //! `_`, so the dotted in-tree names (`sim.signal_latency_ns`) export as
 //! `sim_signal_latency_ns`.
 
+use std::fmt::Write as _;
+
 use crate::metrics::MetricsRegistry;
 
 /// Maps an in-tree metric name to a legal Prometheus metric name.
@@ -48,26 +50,27 @@ pub fn to_prometheus(metrics: &MetricsRegistry) -> String {
     let mut out = String::new();
     for (name, value) in metrics.counters() {
         let name = sanitise(name);
-        out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+        let _ = write!(out, "# TYPE {name} counter\n{name} {value}\n");
     }
     for (name, value) in metrics.gauges() {
         let name = sanitise(name);
-        out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", fmt_f64(value)));
+        let _ = write!(out, "# TYPE {name} gauge\n{name} {}\n", fmt_f64(value));
     }
     for (name, histogram) in metrics.histograms() {
         let name = sanitise(name);
-        out.push_str(&format!("# TYPE {name} histogram\n"));
+        let _ = writeln!(out, "# TYPE {name} histogram");
         let mut cumulative = 0u64;
         for (_, high, count) in histogram.nonzero_buckets() {
             cumulative += count;
-            out.push_str(&format!("{name}_bucket{{le=\"{high}\"}} {cumulative}\n"));
+            let _ = writeln!(out, "{name}_bucket{{le=\"{high}\"}} {cumulative}");
         }
-        out.push_str(&format!(
+        let _ = write!(
+            out,
             "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_sum {}\n{name}_count {}\n",
             histogram.count(),
             histogram.sum(),
             histogram.count()
-        ));
+        );
     }
     out
 }

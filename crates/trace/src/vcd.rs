@@ -7,6 +7,7 @@
 //! VCD viewer. Timescale is 1 ns, matching the simulated clock.
 
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 use crate::recorder::{EventKind, Recorder};
 use crate::sink::Clock;
@@ -62,8 +63,12 @@ pub fn to_vcd(recorder: &Recorder, track_prefix: &str) -> String {
     for ((track_index, span_name), wire_edges) in edges {
         let track = &recorder.tracks()[track_index];
         let code = id_code(wires.len());
-        let label = format!("{}_{}", sanitise(&track.name), sanitise(&span_name));
-        out.push_str(&format!("$var wire 1 {code} {label} $end\n"));
+        let _ = writeln!(
+            out,
+            "$var wire 1 {code} {}_{} $end",
+            sanitise(&track.name),
+            sanitise(&span_name)
+        );
         wires.push((code, wire_edges));
     }
     out.push_str("$upscope $end\n$enddefinitions $end\n");
@@ -71,7 +76,7 @@ pub fn to_vcd(recorder: &Recorder, track_prefix: &str) -> String {
     // Initial values: everything low.
     out.push_str("$dumpvars\n");
     for (code, _) in &wires {
-        out.push_str(&format!("0{code}\n"));
+        let _ = writeln!(out, "0{code}");
     }
     out.push_str("$end\n");
 
@@ -94,10 +99,10 @@ pub fn to_vcd(recorder: &Recorder, track_prefix: &str) -> String {
     let mut current_time: Option<u64> = None;
     for (ts, wire, bit) in changes {
         if current_time != Some(ts) {
-            out.push_str(&format!("#{ts}\n"));
+            let _ = writeln!(out, "#{ts}");
             current_time = Some(ts);
         }
-        out.push_str(&format!("{bit}{}\n", wires[wire].0));
+        let _ = writeln!(out, "{bit}{}", wires[wire].0);
     }
     out
 }

@@ -13,8 +13,8 @@
 //! statements that report [`Effect`]s to the caller, so the simulator stays
 //! in control of time and communication.
 
-use std::collections::HashMap;
 use std::fmt;
+use std::ops::Index;
 
 use crate::error::{Error, Result};
 use crate::ids::SignalId;
@@ -684,14 +684,80 @@ pub enum Effect {
     },
 }
 
+/// A small name→value binding set, stored as a flat vector.
+///
+/// Process variable and signal-parameter sets are tiny (a handful of
+/// names), so a linear scan over a `Vec` beats a `HashMap`: no hashing
+/// per lookup, no rehash on clone, and — the hot-path property the
+/// simulator relies on — [`Scope::set`] on an existing name reuses the
+/// stored key, so steady-state variable updates never allocate.
+#[derive(Clone, PartialEq, Default, Debug)]
+pub struct Scope {
+    entries: Vec<(String, Value)>,
+}
+
+impl Scope {
+    /// An empty scope.
+    pub fn new() -> Scope {
+        Scope::default()
+    }
+
+    /// Looks up a binding by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Binds `name` to `value`, replacing an existing binding in place
+    /// (the stored key is reused — no allocation for repeat names).
+    pub fn set(&mut self, name: &str, value: Value) {
+        match self.entries.iter_mut().find(|(n, _)| n == name) {
+            Some((_, slot)) => *slot = value,
+            None => self.entries.push((name.to_owned(), value)),
+        }
+    }
+
+    /// Removes every binding, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no names are bound.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over the bindings in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v))
+    }
+}
+
+impl Index<&str> for Scope {
+    type Output = Value;
+
+    /// # Panics
+    ///
+    /// Panics when `name` is unbound (test ergonomics, like map
+    /// indexing).
+    fn index(&self, name: &str) -> &Value {
+        self.get(name)
+            .unwrap_or_else(|| panic!("no binding named `{name}`"))
+    }
+}
+
 /// Evaluation environment: process-local variables plus the parameters of
 /// the triggering signal.
 #[derive(Clone, Default, Debug)]
 pub struct Env {
     /// Named process-local variables.
-    pub vars: HashMap<String, Value>,
+    pub vars: Scope,
     /// Named parameters of the signal that triggered the transition.
-    pub params: HashMap<String, Value>,
+    pub params: Scope,
 }
 
 impl Env {
@@ -702,13 +768,13 @@ impl Env {
 
     /// Sets a variable, returning `self` for chaining in tests.
     pub fn with_var(mut self, name: impl Into<String>, value: impl Into<Value>) -> Env {
-        self.vars.insert(name.into(), value.into());
+        self.vars.set(&name.into(), value.into());
         self
     }
 
     /// Sets a signal parameter, returning `self` for chaining in tests.
     pub fn with_param(mut self, name: impl Into<String>, value: impl Into<Value>) -> Env {
-        self.params.insert(name.into(), value.into());
+        self.params.set(&name.into(), value.into());
         self
     }
 }
@@ -733,7 +799,7 @@ pub fn execute(
             Statement::Assign { var, expr } => {
                 let v = expr.eval(env)?;
                 *weight += expr.weight();
-                env.vars.insert(var.clone(), v);
+                env.vars.set(var, v);
             }
             Statement::Send { port, signal, args } => {
                 let mut values = Vec::with_capacity(args.len());

@@ -29,6 +29,9 @@ cargo test -q --test faults
 echo "==> repro fault-sweep --quick (reliability smoke point)"
 cargo run --release -q -p tut-bench --bin repro -- fault-sweep --quick
 
+echo "==> repro bench --quick (sim throughput regression floor)"
+cargo run --release -q -p tut-bench --bin repro -- bench --quick
+
 if [[ "$quick" -eq 0 ]]; then
     echo "==> cargo clippy --workspace --all-targets -- -D warnings"
     cargo clippy --workspace --all-targets -- -D warnings

@@ -5,7 +5,7 @@
 
 use tut_profile_suite::faults::{FaultConfig, FaultPlan, Outage};
 use tut_profile_suite::profiling;
-use tut_profile_suite::sim::{LogRecord, SimConfig, SimError, SimReport, Simulation};
+use tut_profile_suite::sim::{RecordRef, SimConfig, SimError, SimReport, Simulation};
 use tut_profile_suite::trace::NoopSink;
 use tut_profile_suite::tutmac::{self, TutmacConfig};
 
@@ -112,14 +112,14 @@ fn check_arq_contract(report: &SimReport, max_retries: i64, seed: u64, ber: f64)
     let mut acked = 0i64;
     let mut gave_up = 0i64;
 
-    for record in &report.log.records {
-        let LogRecord::Count {
+    for record in report.log.iter() {
+        let RecordRef::Count {
             counter, amount, ..
         } = record
         else {
             continue;
         };
-        match counter.as_str() {
+        match counter {
             "arq.tx" => {
                 // The previous frame must be fully settled before the
                 // next one starts: that is the in-order guarantee of
@@ -170,9 +170,8 @@ fn check_arq_contract(report: &SimReport, max_retries: i64, seed: u64, ber: f64)
     assert!(
         report
             .log
-            .records
             .iter()
-            .any(|r| matches!(r, LogRecord::Count { counter, .. } if counter == "arq.tx")),
+            .any(|r| matches!(r, RecordRef::Count { counter, .. } if counter == "arq.tx")),
         "{ctx}: counter records must be present in the log"
     );
 }

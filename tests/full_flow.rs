@@ -4,7 +4,7 @@
 
 use tut_profile_suite::codegen;
 use tut_profile_suite::profiling;
-use tut_profile_suite::sim::{LogRecord, SimConfig, Simulation};
+use tut_profile_suite::sim::{RecordRef, SimConfig, Simulation};
 use tut_profile_suite::tutmac::{build_tutmac_system, TutmacConfig};
 
 #[test]
@@ -25,9 +25,8 @@ fn the_protocol_delivers_data_end_to_end() {
     // frame, and the crc process logs the discard.
     let crc_errors = report
         .log
-        .records
         .iter()
-        .filter(|r| matches!(r, LogRecord::User { message, .. } if message.contains("crc error")))
+        .filter(|r| matches!(r, RecordRef::User { message, .. } if message.contains("crc error")))
         .count();
     assert!(crc_errors > 0, "corrupted frames must be caught");
 
@@ -36,15 +35,13 @@ fn the_protocol_delivers_data_end_to_end() {
     // AirFrames than acks + beacon count).
     let air_frames = report
         .log
-        .records
         .iter()
-        .filter(|r| matches!(r, LogRecord::Sig { signal, .. } if signal == "AirFrame"))
+        .filter(|r| matches!(r, RecordRef::Sig { signal, .. } if *signal == "AirFrame"))
         .count();
     let acks = report
         .log
-        .records
         .iter()
-        .filter(|r| matches!(r, LogRecord::Sig { signal, .. } if signal == "Ack"))
+        .filter(|r| matches!(r, RecordRef::Sig { signal, .. } if *signal == "Ack"))
         .count();
     assert!(
         air_frames > acks,
@@ -95,18 +92,21 @@ fn profiling_via_xml_and_log_text_matches_in_memory_path() {
     let system = build_tutmac_system(&TutmacConfig::light_load()).expect("build");
     let config = SimConfig::with_horizon_ns(8_000_000);
 
-    // Text-boundary path.
-    let report_text = profiling::profile_system(&system, config.clone()).expect("pipeline");
+    // Full pipeline (analyses the in-memory log).
+    let report_pipeline = profiling::profile_system(&system, config.clone()).expect("pipeline");
 
-    // In-memory path.
+    // Explicit paths: in-memory analysis and the rendered log-file text.
     let groups = profiling::groups::gather_groups(&system).expect("groups");
     let sim_report = Simulation::from_system(&system, config)
         .expect("sim")
         .run()
         .expect("run");
     let report_mem = profiling::analyze::analyze_log(&groups, &sim_report.log);
+    let report_text =
+        profiling::analyze::analyze(&groups, &sim_report.log.to_text()).expect("text path");
 
     assert_eq!(report_text, report_mem, "text boundary must be lossless");
+    assert_eq!(report_pipeline, report_mem, "pipeline matches both paths");
 }
 
 #[test]
@@ -122,9 +122,8 @@ fn light_load_keeps_the_backlog_empty() {
     let count = |name: &str| {
         report
             .log
-            .records
             .iter()
-            .filter(|r| matches!(r, LogRecord::Sig { signal, .. } if signal == name))
+            .filter(|r| matches!(r, RecordRef::Sig { signal, .. } if *signal == name))
             .count() as i64
     };
     let tx = count("TxPdu");

@@ -274,9 +274,8 @@ fn tiny_model_emits_valid_chrome_trace() {
     // The recorder saw every delivered signal and executed step.
     let signals = report
         .log
-        .records
         .iter()
-        .filter(|r| matches!(r, tut_profile_suite::sim::LogRecord::Sig { .. }))
+        .filter(|r| matches!(r, tut_profile_suite::sim::RecordRef::Sig { .. }))
         .count() as u64;
     assert_eq!(
         recorder.metrics.counter("sim.signals_delivered"),
