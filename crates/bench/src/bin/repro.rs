@@ -19,6 +19,18 @@
 //! `--threads N` runs the exploration stages (the `explore` item) and
 //! the fault-sweep / bench items on N worker threads (0 = all cores);
 //! results are bit-identical at every thread count.
+//!
+//! Model checking (parse → validate → profile rules → codegen dry run,
+//! one aggregated severity-sorted report with source spans):
+//!
+//! ```text
+//! cargo run -p tut-bench --bin repro -- check model.xml    # rustc-style text
+//! cargo run -p tut-bench --bin repro -- check --json m.xml # machine-readable
+//! cargo run -p tut-bench --bin repro -- check              # clean TUTMAC baseline
+//! ```
+//!
+//! `check` exits nonzero when any error-severity finding fired; warnings
+//! alone keep the exit status at zero.
 
 use tut_bench::figures;
 use tut_profile::{tables, TutProfile};
@@ -307,12 +319,46 @@ fn run_traced(trace: Option<&str>, vcd: Option<&str>, prom: Option<&str>) {
     }
 }
 
+/// Runs the `check` item: every path (or the serialised paper system
+/// when none is given) through the aggregated diagnostics pipeline.
+/// Returns the process exit code per the contract: errors → 1,
+/// warnings only → 0.
+fn run_check(paths: &[String], json: bool) -> i32 {
+    use tut_bench::check;
+    let reports: Vec<check::CheckReport> = if paths.is_empty() {
+        vec![check::check_paper_system()]
+    } else {
+        paths
+            .iter()
+            .map(|path| {
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| panic!("reading `{path}`: {e}"));
+                check::check_source(path, &text)
+            })
+            .collect()
+    };
+    let mut failed = false;
+    for (i, report) in reports.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        if json {
+            println!("{}", report.render_json());
+        } else {
+            print!("{}", report.render_text());
+        }
+        failed |= report.has_errors();
+    }
+    i32::from(failed)
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut args: Vec<String> = Vec::new();
     let (mut trace, mut vcd, mut prom) = (None, None, None);
     let mut threads = 1usize;
     let mut quick = false;
+    let mut json = false;
     let mut iter = raw.into_iter();
     while let Some(arg) = iter.next() {
         let mut take = |flag: &str| {
@@ -324,6 +370,7 @@ fn main() {
             "--vcd" => vcd = Some(take("--vcd")),
             "--prom" => prom = Some(take("--prom")),
             "--quick" => quick = true,
+            "--json" => json = true,
             "--threads" => {
                 threads = take("--threads")
                     .parse()
@@ -331,6 +378,10 @@ fn main() {
             }
             _ => args.push(arg),
         }
+    }
+    // `check` consumes the rest of the argument list as model paths.
+    if args.first().map(String::as_str) == Some("check") {
+        std::process::exit(run_check(&args[1..], json));
     }
     let tracing_requested = trace.is_some() || vcd.is_some() || prom.is_some();
     if tracing_requested {
@@ -386,7 +437,7 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown item `{other}`; known: fig1..fig8, table1..table4, transfers, \
-                     explore, fault-sweep, bench, all"
+                     explore, fault-sweep, bench, check, all"
                 );
                 std::process::exit(2);
             }

@@ -1,0 +1,174 @@
+//! The `repro check` driver: one-shot spanned diagnostics over a model
+//! document.
+//!
+//! Runs the whole front end over an XML model/system document — XML parse,
+//! model decode (with statement-level recovery inside embedded textual
+//! action language), profile application, UML well-formedness, the
+//! TUT-Profile rule catalogue, and a code-generation dry run — and
+//! aggregates every finding into one severity-sorted
+//! [`DiagnosticBag`]. Model-level findings that carry only an element
+//! attribution are given document spans through the
+//! [`SpanIndex`](tut_uml::xmi::SpanIndex) built while reading, so the
+//! report points at real lines and columns of the input file.
+
+use tut_diag::{render_bag_json, render_bag_text, Diagnostic, DiagnosticBag, SourceMap, Span};
+use tut_profile::{SystemModel, TutProfile};
+use tut_profile_core::interchange::{applications_from_xml_node, E_PROFILE_INTERCHANGE};
+use tut_profile_core::Applications;
+use tut_uml::error::{Error, E_XML_SYNTAX};
+use tut_uml::xmi::{self, E_XMI_STRUCTURE};
+use tut_uml::xml::XmlNode;
+
+/// The outcome of checking one document: its source map plus every
+/// finding, severity-sorted.
+#[derive(Debug)]
+pub struct CheckReport {
+    source: SourceMap,
+    bag: DiagnosticBag,
+}
+
+impl CheckReport {
+    /// The findings.
+    pub fn bag(&self) -> &DiagnosticBag {
+        &self.bag
+    }
+
+    /// The source the findings refer to.
+    pub fn source(&self) -> &SourceMap {
+        &self.source
+    }
+
+    /// True when at least one error-severity finding fired. This drives
+    /// the exit contract: errors → nonzero, warnings only → zero.
+    pub fn has_errors(&self) -> bool {
+        self.bag.has_errors()
+    }
+
+    /// Rustc-style text rendering with source excerpts.
+    pub fn render_text(&self) -> String {
+        render_bag_text(&self.bag, Some(&self.source))
+    }
+
+    /// Machine-readable single-line JSON rendering.
+    pub fn render_json(&self) -> String {
+        render_bag_json(&self.bag, Some(&self.source))
+    }
+}
+
+/// Checks a document given as text. `name` labels the source in the
+/// report (usually the file path).
+pub fn check_source(name: &str, text: &str) -> CheckReport {
+    let source = SourceMap::new(name, text);
+    let mut bag = DiagnosticBag::new();
+    run_stages(text, &mut bag);
+    bag.sort();
+    CheckReport { source, bag }
+}
+
+/// Checks the serialised paper case-study system — the clean baseline
+/// that `repro check` runs when no path is given.
+pub fn check_paper_system() -> CheckReport {
+    let system = crate::paper_system();
+    check_source("paper-system.xml", &system.to_xml())
+}
+
+fn run_stages(text: &str, bag: &mut DiagnosticBag) {
+    // Stage 1: XML parse. A syntax error here leaves nothing to analyse.
+    let root = match XmlNode::parse(text) {
+        Ok(root) => root,
+        Err(Error::XmlSyntax {
+            offset, message, ..
+        }) => {
+            bag.push(Diagnostic::error(E_XML_SYNTAX, message).with_span(Span::point(offset)));
+            return;
+        }
+        Err(e) => {
+            bag.push(Diagnostic::error(E_XML_SYNTAX, e.to_string()));
+            return;
+        }
+    };
+
+    // Stage 2: model decode. Embedded textual action language recovers
+    // statement-by-statement into `bag`; structural damage stops here.
+    let (model, index) = match xmi::read_model(&root, bag) {
+        Ok(v) => v,
+        Err(e) => {
+            bag.push(Diagnostic::error(E_XMI_STRUCTURE, e.to_string()));
+            return;
+        }
+    };
+
+    // Stage 3: profile application. A broken subtree degrades to "no
+    // applications" so the UML checks still run.
+    let tut = TutProfile::new();
+    let apps = match root.child("profileApplication") {
+        Some(node) => match applications_from_xml_node(tut.profile(), node) {
+            Ok(apps) => apps,
+            Err(e) => {
+                let mut d = Diagnostic::error(E_PROFILE_INTERCHANGE, e.to_string());
+                if node.span != Span::NONE {
+                    d = d.with_span(node.span);
+                }
+                bag.push(d);
+                Applications::new()
+            }
+        },
+        None => Applications::new(),
+    };
+    let system = SystemModel { tut, model, apps };
+
+    // Stage 4: well-formedness (incl. action type-check) + profile rules.
+    // Findings carry element attributions; resolve them to declaration
+    // spans so the renderer can excerpt the document.
+    let mut findings = system.check();
+    for d in findings.iter_mut() {
+        if d.span.is_none() {
+            if let Some(element) = &d.element {
+                d.span = index.get(element);
+            }
+        }
+    }
+    bag.merge(findings);
+
+    // Stage 5: codegen dry run — the generated files are discarded, only
+    // the structural prerequisites are checked.
+    if let Err(e) = tut_codegen::generate_project(&system) {
+        bag.push(Diagnostic::error(e.code(), e.to_string()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_paper_system_has_no_errors() {
+        let report = check_paper_system();
+        assert!(!report.has_errors(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn xml_syntax_error_is_spanned() {
+        let report = check_source("broken.xml", "<xmi:XMI><uml:Model name=");
+        assert!(report.has_errors());
+        let d = report.bag().first().unwrap();
+        assert_eq!(d.code, E_XML_SYNTAX);
+        assert!(d.span.is_some());
+        assert!(report.render_text().contains("broken.xml:1:"));
+    }
+
+    #[test]
+    fn structure_error_reported_with_code() {
+        let report = check_source("bad.xml", "<xmi:XMI><wrong/></xmi:XMI>");
+        assert!(report.has_errors());
+        assert_eq!(report.bag().first().unwrap().code, E_XMI_STRUCTURE);
+    }
+
+    #[test]
+    fn json_rendering_is_single_line() {
+        let report = check_source("bad.xml", "<xmi:XMI>");
+        let json = report.render_json();
+        assert_eq!(json.lines().count(), 1);
+        assert!(json.starts_with("{\"summary\""));
+    }
+}

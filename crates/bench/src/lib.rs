@@ -146,6 +146,7 @@ pub fn bottleneck_busy_ns(system: &SystemModel, config: SimConfig) -> u64 {
         .unwrap_or(0)
 }
 
+pub mod check;
 pub mod faultsweep;
 pub mod figures;
 pub mod microbench;

@@ -39,6 +39,16 @@ impl std::fmt::Display for CodegenError {
 
 impl std::error::Error for CodegenError {}
 
+impl CodegenError {
+    /// Stable diagnostic code for this error (`E0401` / `E0402`).
+    pub fn code(&self) -> &'static str {
+        match self {
+            CodegenError::NoApplication => "E0401",
+            CodegenError::BadStructure(_) => "E0402",
+        }
+    }
+}
+
 fn sanitize(name: &str) -> String {
     name.chars()
         .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })

@@ -1,0 +1,190 @@
+//! The [`Diagnostic`] type: one finding with a stable code.
+
+use std::fmt;
+
+use crate::span::Span;
+
+/// How serious a diagnostic is.
+///
+/// The ordering is semantic: `Note < Warning < Error`, so
+/// `bag.max_severity() >= Some(Severity::Error)` asks "did anything fail".
+/// This is the *single* severity model shared by UML well-formedness
+/// checking, the TUT-Profile design rules, the action-language front end,
+/// and code generation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Severity {
+    /// Informational; never affects exit status.
+    Note,
+    /// Advisory: the model is usable but suspicious.
+    Warning,
+    /// The model violates a rule and must be fixed before code
+    /// generation / simulation.
+    Error,
+}
+
+impl Severity {
+    /// The lowercase renderer keyword (`"error"`, `"warning"`, `"note"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A secondary span with its own message, rendered under the primary
+/// excerpt (`= label: ...` lines in the text renderer).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Label {
+    /// The labelled range.
+    pub span: Span,
+    /// What the range means.
+    pub message: String,
+}
+
+/// One diagnostic: a stable code, a severity, a message, and optional
+/// location/context attachments.
+///
+/// Codes are short stable identifiers (`E0101`, `W0207`) listed in the
+/// crate-level registry; tooling keys on them, so they must not change
+/// meaning across releases.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// Stable diagnostic code, e.g. `"E0110"`.
+    pub code: &'static str,
+    /// Human-readable, lowercase, single-sentence description.
+    pub message: String,
+    /// Primary source span, when the finding is attributable to text.
+    pub span: Option<Span>,
+    /// Secondary labelled spans.
+    pub labels: Vec<Label>,
+    /// Free-form notes appended to the rendering.
+    pub notes: Vec<String>,
+    /// A concrete suggestion for fixing the problem.
+    pub help: Option<String>,
+    /// The model element at fault, in its display form (e.g. `"class3"`),
+    /// for findings about model structure rather than text. Drivers that
+    /// know where each element was declared (the XMI reader's span index)
+    /// use this to attach a [`Span`] after the fact.
+    pub element: Option<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with the given severity.
+    pub fn new(severity: Severity, code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity,
+            code,
+            message: message.into(),
+            span: None,
+            labels: Vec::new(),
+            notes: Vec::new(),
+            help: None,
+            element: None,
+        }
+    }
+
+    /// An error-severity diagnostic.
+    pub fn error(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(Severity::Error, code, message)
+    }
+
+    /// A warning-severity diagnostic.
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(Severity::Warning, code, message)
+    }
+
+    /// A note-severity diagnostic.
+    pub fn note(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic::new(Severity::Note, code, message)
+    }
+
+    /// Attaches the primary span.
+    pub fn with_span(mut self, span: Span) -> Diagnostic {
+        self.span = Some(span);
+        self
+    }
+
+    /// Attaches a labelled secondary span.
+    pub fn with_label(mut self, span: Span, message: impl Into<String>) -> Diagnostic {
+        self.labels.push(Label {
+            span,
+            message: message.into(),
+        });
+        self
+    }
+
+    /// Appends a note line.
+    pub fn with_note(mut self, note: impl Into<String>) -> Diagnostic {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Attaches a fix suggestion.
+    pub fn with_help(mut self, help: impl Into<String>) -> Diagnostic {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// Attaches the offending model element (display form).
+    pub fn with_element(mut self, element: impl Into<String>) -> Diagnostic {
+        self.element = Some(element.into());
+        self
+    }
+
+    /// True for error severity.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+/// `Display` renders the compact one-line form (no source excerpt):
+/// `error[E0110]: expected `;` (class3)`.
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)?;
+        if let Some(element) = &self.element {
+            write!(f, " ({element})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_semantically() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::Error.to_string(), "error");
+    }
+
+    #[test]
+    fn builder_and_display() {
+        let d = Diagnostic::error("E0110", "expected `;`")
+            .with_span(Span::new(4, 5))
+            .with_label(Span::new(0, 3), "statement started here")
+            .with_note("statements are `;`-terminated")
+            .with_help("insert `;`")
+            .with_element("class3");
+        assert!(d.is_error());
+        assert_eq!(d.span, Some(Span::new(4, 5)));
+        assert_eq!(d.labels.len(), 1);
+        assert_eq!(d.to_string(), "error[E0110]: expected `;` (class3)");
+        let w = Diagnostic::warning("W0207", "ungrouped");
+        assert!(!w.is_error());
+        assert_eq!(w.to_string(), "warning[W0207]: ungrouped");
+        assert_eq!(Diagnostic::note("N0001", "fyi").severity, Severity::Note);
+    }
+}

@@ -1,0 +1,287 @@
+//! Rendering a [`DiagnosticBag`] for humans (text) and tools (JSON).
+
+use std::fmt::Write as _;
+
+use crate::bag::DiagnosticBag;
+use crate::diagnostic::Diagnostic;
+use crate::source::SourceMap;
+use crate::span::Span;
+
+/// Renders the bag in rustc-style plain text.
+///
+/// Each diagnostic prints as
+///
+/// ```text
+/// error[E0110]: expected `;`
+///  --> model.xml:4:17
+///   |
+/// 4 |   send reply(x)
+///   |                ^
+///   = note: statements are `;`-terminated
+///   = help: insert `;`
+/// ```
+///
+/// followed by a final summary line (`"2 errors, 1 warning"`). Spans are
+/// resolved against `source` when one is supplied; without a source map
+/// (or for span-less findings) the location and excerpt lines are omitted.
+pub fn render_bag_text(bag: &DiagnosticBag, source: Option<&SourceMap>) -> String {
+    let mut out = String::new();
+    for d in bag {
+        render_one_text(&mut out, d, source);
+        out.push('\n');
+    }
+    let _ = writeln!(out, "{}", bag.summary());
+    out
+}
+
+fn render_one_text(out: &mut String, d: &Diagnostic, source: Option<&SourceMap>) {
+    let _ = write!(out, "{}[{}]: {}", d.severity, d.code, d.message);
+    if let Some(element) = &d.element {
+        let _ = write!(out, " ({element})");
+    }
+    out.push('\n');
+    if let (Some(span), Some(sm)) = (d.span, source) {
+        render_excerpt(out, span, sm, "^");
+    }
+    for label in &d.labels {
+        if let Some(sm) = source {
+            let _ = writeln!(out, "  label: {}", label.message);
+            render_excerpt(out, label.span, sm, "-");
+        } else {
+            let _ = writeln!(out, "  label: {} ({})", label.message, label.span);
+        }
+    }
+    for note in &d.notes {
+        let _ = writeln!(out, "  = note: {note}");
+    }
+    if let Some(help) = &d.help {
+        let _ = writeln!(out, "  = help: {help}");
+    }
+}
+
+/// Writes the ` --> file:line:col` pointer and the underlined source line.
+fn render_excerpt(out: &mut String, span: Span, sm: &SourceMap, mark: &str) {
+    let at = sm.locate(span.start);
+    let _ = writeln!(out, " --> {}:{}", sm.name(), at);
+    let Some(line_text) = sm.line(at.line) else {
+        return;
+    };
+    let gutter = at.line.to_string();
+    let pad = " ".repeat(gutter.len());
+    let _ = writeln!(out, "{pad} |");
+    let _ = writeln!(out, "{gutter} | {line_text}");
+    // Underline the part of the span that falls on the excerpted line.
+    let end = sm.locate(span.end);
+    let width = if end.line == at.line && end.column > at.column {
+        end.column - at.column
+    } else {
+        1
+    };
+    let width = width
+        .min(line_text.len().saturating_sub(at.column - 1))
+        .max(1);
+    let _ = writeln!(
+        out,
+        "{pad} | {}{}",
+        " ".repeat(at.column - 1),
+        mark.repeat(width)
+    );
+}
+
+/// Renders the bag as machine-readable JSON.
+///
+/// The shape is stable:
+///
+/// ```text
+/// {
+///   "summary": {"errors": 2, "warnings": 1, "total": 3},
+///   "diagnostics": [
+///     {"severity": "error", "code": "E0110", "message": "...",
+///      "element": "class3" | null,
+///      "span": {"start": 4, "end": 5, "line": 1, "column": 5} | null,
+///      "labels": [{"start": ..., "end": ..., "message": "..."}],
+///      "notes": ["..."], "help": "..." | null}
+///   ]
+/// }
+/// ```
+///
+/// `line`/`column` appear inside `span` only when a [`SourceMap`] is
+/// supplied. The output is a single line of minified JSON.
+pub fn render_bag_json(bag: &DiagnosticBag, source: Option<&SourceMap>) -> String {
+    let mut out = String::new();
+    out.push_str("{\"summary\":{");
+    let _ = write!(
+        out,
+        "\"errors\":{},\"warnings\":{},\"total\":{}",
+        bag.error_count(),
+        bag.warning_count(),
+        bag.len()
+    );
+    out.push_str("},\"diagnostics\":[");
+    for (i, d) in bag.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        render_one_json(&mut out, d, source);
+    }
+    out.push_str("]}");
+    out
+}
+
+fn render_one_json(out: &mut String, d: &Diagnostic, source: Option<&SourceMap>) {
+    out.push('{');
+    let _ = write!(out, "\"severity\":{}", json_string(d.severity.name()));
+    let _ = write!(out, ",\"code\":{}", json_string(d.code));
+    let _ = write!(out, ",\"message\":{}", json_string(&d.message));
+    match &d.element {
+        Some(e) => {
+            let _ = write!(out, ",\"element\":{}", json_string(e));
+        }
+        None => out.push_str(",\"element\":null"),
+    }
+    match d.span {
+        Some(span) => {
+            let _ = write!(
+                out,
+                ",\"span\":{{\"start\":{},\"end\":{}",
+                span.start, span.end
+            );
+            if let Some(sm) = source {
+                let at = sm.locate(span.start);
+                let _ = write!(out, ",\"line\":{},\"column\":{}", at.line, at.column);
+            }
+            out.push('}');
+        }
+        None => out.push_str(",\"span\":null"),
+    }
+    out.push_str(",\"labels\":[");
+    for (i, label) in d.labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"start\":{},\"end\":{},\"message\":{}}}",
+            label.span.start,
+            label.span.end,
+            json_string(&label.message)
+        );
+    }
+    out.push_str("],\"notes\":[");
+    for (i, note) in d.notes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_string(note));
+    }
+    out.push(']');
+    match &d.help {
+        Some(h) => {
+            let _ = write!(out, ",\"help\":{}", json_string(h));
+        }
+        None => out.push_str(",\"help\":null"),
+    }
+    out.push('}');
+}
+
+/// Escapes a string per RFC 8259 and wraps it in quotes.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::Diagnostic;
+
+    fn sample() -> (DiagnosticBag, SourceMap) {
+        let sm = SourceMap::new("model.act", "x := 1\nsend reply(x)\n");
+        let mut bag = DiagnosticBag::new();
+        bag.push(
+            Diagnostic::error("E0110", "expected `;`")
+                .with_span(Span::new(20, 21))
+                .with_label(Span::new(7, 11), "statement started here")
+                .with_note("statements are `;`-terminated")
+                .with_help("insert `;`"),
+        );
+        bag.push(Diagnostic::warning("W0207", "process ungrouped").with_element("class2"));
+        (bag, sm)
+    }
+
+    #[test]
+    fn text_renderer_shows_location_excerpt_and_summary() {
+        let (bag, sm) = sample();
+        let text = render_bag_text(&bag, Some(&sm));
+        assert!(text.contains("error[E0110]: expected `;`"), "{text}");
+        assert!(text.contains(" --> model.act:2:14"), "{text}");
+        assert!(text.contains("2 | send reply(x)"), "{text}");
+        assert!(
+            text.contains("  = note: statements are `;`-terminated"),
+            "{text}"
+        );
+        assert!(text.contains("  = help: insert `;`"), "{text}");
+        assert!(
+            text.contains("warning[W0207]: process ungrouped (class2)"),
+            "{text}"
+        );
+        assert!(text.ends_with("1 error, 1 warning\n"), "{text}");
+    }
+
+    #[test]
+    fn text_renderer_without_source_map_omits_excerpts() {
+        let (bag, _) = sample();
+        let text = render_bag_text(&bag, None);
+        assert!(!text.contains("-->"), "{text}");
+        assert!(text.contains("error[E0110]"), "{text}");
+    }
+
+    #[test]
+    fn caret_is_placed_under_the_offending_column() {
+        let sm = SourceMap::new("f", "abcdef\n");
+        let mut bag = DiagnosticBag::new();
+        bag.push(Diagnostic::error("E1", "bad").with_span(Span::new(2, 5)));
+        let text = render_bag_text(&bag, Some(&sm));
+        assert!(text.contains("1 | abcdef\n  |   ^^^\n"), "{text}");
+    }
+
+    #[test]
+    fn json_renderer_is_stable_and_escaped() {
+        let (bag, sm) = sample();
+        let json = render_bag_json(&bag, Some(&sm));
+        assert!(json.starts_with("{\"summary\":{\"errors\":1,\"warnings\":1,\"total\":2}"));
+        assert!(json.contains("\"code\":\"E0110\""), "{json}");
+        assert!(json.contains("\"span\":{\"start\":20,\"end\":21,\"line\":2,\"column\":14}"));
+        assert!(json.contains("\"element\":\"class2\""), "{json}");
+        assert!(json.contains("\"message\":\"expected `;`\""), "{json}");
+        assert!(json.contains("\"help\":\"insert `;`\""), "{json}");
+        // Escaping round-trip for quotes, backslashes, and control bytes.
+        assert_eq!(json_string("a\"b\\c\nd\u{1}"), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn json_without_source_map_has_offsets_only() {
+        let (bag, _) = sample();
+        let json = render_bag_json(&bag, None);
+        assert!(
+            json.contains("\"span\":{\"start\":20,\"end\":21}"),
+            "{json}"
+        );
+        assert!(json.contains("\"span\":null"), "{json}");
+    }
+}

@@ -1,0 +1,135 @@
+//! Mapping byte offsets to human line:column positions.
+
+use std::fmt;
+
+use crate::span::Span;
+
+/// A 1-based line and column position.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number (in bytes within the line; the sources this
+    /// suite handles are ASCII-dominated, so byte == display column).
+    pub column: usize,
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// A named source text with a precomputed line index.
+///
+/// Construction is `O(len)`; every [`SourceMap::locate`] afterwards is a
+/// binary search over line starts. The renderer uses [`SourceMap::line`]
+/// to excerpt the offending line under a diagnostic.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SourceMap {
+    name: String,
+    text: String,
+    line_starts: Vec<usize>,
+}
+
+impl SourceMap {
+    /// Indexes `text` under the given display `name` (usually a file path).
+    pub fn new(name: impl Into<String>, text: impl Into<String>) -> SourceMap {
+        let text = text.into();
+        let mut line_starts = vec![0];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        SourceMap {
+            name: name.into(),
+            text,
+            line_starts,
+        }
+    }
+
+    /// The display name given at construction.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The full source text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Resolves a byte offset to its 1-based line and column. Offsets past
+    /// the end of the text resolve to one past the final character.
+    pub fn locate(&self, offset: usize) -> LineCol {
+        let offset = offset.min(self.text.len());
+        let line_index = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        LineCol {
+            line: line_index + 1,
+            column: offset - self.line_starts[line_index] + 1,
+        }
+    }
+
+    /// Resolves a span's start position.
+    pub fn locate_span(&self, span: Span) -> LineCol {
+        self.locate(span.start)
+    }
+
+    /// Returns the text of a 1-based line, without its trailing newline.
+    pub fn line(&self, line: usize) -> Option<&str> {
+        let start = *self.line_starts.get(line.checked_sub(1)?)?;
+        let end = self
+            .line_starts
+            .get(line)
+            .map(|&next| next - 1)
+            .unwrap_or(self.text.len());
+        Some(self.text[start..end].trim_end_matches('\r'))
+    }
+
+    /// Number of lines in the source (a trailing newline does not open a
+    /// new line unless followed by text — but the index keeps it, matching
+    /// editor conventions).
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locates_offsets_across_lines() {
+        let sm = SourceMap::new("f", "ab\ncd\n\nxyz");
+        assert_eq!(sm.locate(0), LineCol { line: 1, column: 1 });
+        assert_eq!(sm.locate(1), LineCol { line: 1, column: 2 });
+        assert_eq!(sm.locate(3), LineCol { line: 2, column: 1 });
+        assert_eq!(sm.locate(6), LineCol { line: 3, column: 1 });
+        assert_eq!(sm.locate(7), LineCol { line: 4, column: 1 });
+        assert_eq!(sm.locate(9), LineCol { line: 4, column: 3 });
+        // Past the end clamps to one past the final character.
+        assert_eq!(sm.locate(1000), LineCol { line: 4, column: 4 });
+        assert_eq!(sm.locate(0).to_string(), "1:1");
+    }
+
+    #[test]
+    fn extracts_lines() {
+        let sm = SourceMap::new("f", "ab\ncd\r\nlast");
+        assert_eq!(sm.line(1), Some("ab"));
+        assert_eq!(sm.line(2), Some("cd"), "carriage return stripped");
+        assert_eq!(sm.line(3), Some("last"));
+        assert_eq!(sm.line(4), None);
+        assert_eq!(sm.line(0), None);
+        assert_eq!(sm.line_count(), 3);
+    }
+
+    #[test]
+    fn empty_source() {
+        let sm = SourceMap::new("empty", "");
+        assert_eq!(sm.locate(0), LineCol { line: 1, column: 1 });
+        assert_eq!(sm.line(1), Some(""));
+    }
+}

@@ -1,0 +1,87 @@
+//! Byte spans into a source text.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into some source text.
+///
+/// Spans are plain byte offsets; resolving them to line:column is the job
+/// of [`crate::SourceMap`]. A zero-length span marks a point (e.g. an
+/// unexpected end of input).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Span {
+    /// Byte offset of the first character covered.
+    pub start: usize,
+    /// Byte offset one past the last character covered.
+    pub end: usize,
+}
+
+impl Span {
+    /// The empty span at offset zero, used by programmatically built nodes
+    /// that have no source location.
+    pub const NONE: Span = Span { start: 0, end: 0 };
+
+    /// Creates a span; `end` is clamped to be at least `start`.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span {
+            start,
+            end: end.max(start),
+        }
+    }
+
+    /// A zero-length span marking a single position.
+    pub fn point(at: usize) -> Span {
+        Span { start: at, end: at }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(&self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Shifts the span by `base` bytes, for mapping a span inside an
+    /// embedded fragment (e.g. an action string in an XML attribute) back
+    /// into the enclosing document.
+    pub fn offset(&self, base: usize) -> Span {
+        Span {
+            start: self.start + base,
+            end: self.end + base,
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_merge() {
+        let a = Span::new(2, 5);
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        let b = Span::point(9);
+        assert!(b.is_empty());
+        assert_eq!(a.merge(b), Span::new(2, 9));
+        assert_eq!(Span::new(5, 2), Span::new(5, 5), "end clamped to start");
+        assert_eq!(a.offset(10), Span::new(12, 15));
+        assert_eq!(a.to_string(), "2..5");
+    }
+}

@@ -5,59 +5,21 @@
 //! stereotypes (§2.2). Those rules are values of types implementing
 //! [`Constraint`], grouped into a [`ConstraintSet`]; the TUT-Profile rule
 //! catalogue lives in the `tut-profile` crate.
+//!
+//! Rule findings are ordinary [`tut_diag::Diagnostic`]s — the same
+//! currency the UML well-formedness checker and the action-language type
+//! checker use — so one report can mix all three. By convention a rule's
+//! finding carries a stable `E02xx`/`W02xx` code, the offending element's
+//! display form in [`tut_diag::Diagnostic::element`], and the rule name as
+//! a note.
 
 use std::fmt;
 
-use tut_uml::ids::ElementRef;
+use tut_diag::DiagnosticBag;
 use tut_uml::Model;
 
 use crate::apply::Applications;
 use crate::profile::Profile;
-
-/// How serious a rule violation is.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-pub enum Severity {
-    /// Advisory: the model is usable but suspicious.
-    Warning,
-    /// The model violates the profile and must be fixed before code
-    /// generation / simulation.
-    Error,
-}
-
-impl fmt::Display for Severity {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Severity::Warning => f.write_str("warning"),
-            Severity::Error => f.write_str("error"),
-        }
-    }
-}
-
-/// A single design-rule violation.
-#[derive(Clone, PartialEq, Debug)]
-pub struct RuleViolation {
-    /// Name of the rule that fired.
-    pub rule: String,
-    /// Severity of the violation.
-    pub severity: Severity,
-    /// The element at fault, when attributable.
-    pub element: Option<ElementRef>,
-    /// Human-readable description.
-    pub message: String,
-}
-
-impl fmt::Display for RuleViolation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.element {
-            Some(e) => write!(
-                f,
-                "[{}] {} ({e}): {}",
-                self.severity, self.rule, self.message
-            ),
-            None => write!(f, "[{}] {}: {}", self.severity, self.rule, self.message),
-        }
-    }
-}
 
 /// A profile design rule.
 pub trait Constraint: Send + Sync {
@@ -67,13 +29,13 @@ pub trait Constraint: Send + Sync {
     /// Short description of what the rule enforces.
     fn description(&self) -> &str;
 
-    /// Evaluates the rule, appending violations to `out`.
+    /// Evaluates the rule, appending findings to `out`.
     fn check(
         &self,
         model: &Model,
         profile: &Profile,
         applications: &Applications,
-        out: &mut Vec<RuleViolation>,
+        out: &mut DiagnosticBag,
     );
 }
 
@@ -110,14 +72,14 @@ impl ConstraintSet {
         self.constraints.iter().map(Box::as_ref)
     }
 
-    /// Runs every constraint and returns all violations, in rule order.
+    /// Runs every constraint and returns all findings, in rule order.
     pub fn check_all(
         &self,
         model: &Model,
         profile: &Profile,
         applications: &Applications,
-    ) -> Vec<RuleViolation> {
-        let mut out = Vec::new();
+    ) -> DiagnosticBag {
+        let mut out = DiagnosticBag::new();
         for c in &self.constraints {
             c.check(model, profile, applications, &mut out);
         }
@@ -125,23 +87,23 @@ impl ConstraintSet {
     }
 
     /// Runs every constraint and returns `Ok(warnings)` when no
-    /// error-severity violation fired.
+    /// error-severity finding fired.
     ///
     /// # Errors
     ///
-    /// Returns the full violation list (errors and warnings) as `Err` when
-    /// at least one error-severity violation fired.
+    /// Returns the full finding list (errors and warnings) as `Err` when
+    /// at least one error-severity finding fired.
     pub fn enforce(
         &self,
         model: &Model,
         profile: &Profile,
         applications: &Applications,
-    ) -> Result<Vec<RuleViolation>, Vec<RuleViolation>> {
-        let violations = self.check_all(model, profile, applications);
-        if violations.iter().any(|v| v.severity == Severity::Error) {
-            Err(violations)
+    ) -> Result<DiagnosticBag, DiagnosticBag> {
+        let findings = self.check_all(model, profile, applications);
+        if findings.has_errors() {
+            Err(findings)
         } else {
-            Ok(violations)
+            Ok(findings)
         }
     }
 }
@@ -170,7 +132,7 @@ pub struct FnConstraint<F> {
 
 impl<F> FnConstraint<F>
 where
-    F: Fn(&Model, &Profile, &Applications, &mut Vec<RuleViolation>) + Send + Sync,
+    F: Fn(&Model, &Profile, &Applications, &mut DiagnosticBag) + Send + Sync,
 {
     /// Wraps a closure as a [`Constraint`].
     pub fn new(name: impl Into<String>, description: impl Into<String>, check: F) -> Self {
@@ -184,7 +146,7 @@ where
 
 impl<F> Constraint for FnConstraint<F>
 where
-    F: Fn(&Model, &Profile, &Applications, &mut Vec<RuleViolation>) + Send + Sync,
+    F: Fn(&Model, &Profile, &Applications, &mut DiagnosticBag) + Send + Sync,
 {
     fn name(&self) -> &str {
         &self.name
@@ -199,7 +161,7 @@ where
         model: &Model,
         profile: &Profile,
         applications: &Applications,
-        out: &mut Vec<RuleViolation>,
+        out: &mut DiagnosticBag,
     ) {
         (self.check)(model, profile, applications, out)
     }
@@ -208,34 +170,39 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tut_diag::{Diagnostic, Severity};
 
     fn no_empty_model_rule() -> impl Constraint {
         FnConstraint::new(
             "non-empty-model",
             "models must declare at least one class",
-            |model: &Model, _p: &Profile, _a: &Applications, out: &mut Vec<RuleViolation>| {
+            |model: &Model, _p: &Profile, _a: &Applications, out: &mut DiagnosticBag| {
                 if model.classes().count() == 0 {
-                    out.push(RuleViolation {
-                        rule: "non-empty-model".into(),
-                        severity: Severity::Error,
-                        element: None,
-                        message: "model has no classes".into(),
-                    });
+                    out.push(
+                        Diagnostic::error("E0999", "model has no classes")
+                            .with_note("rule: non-empty-model"),
+                    );
                 }
             },
         )
     }
 
     #[test]
-    fn constraint_set_collects_violations() {
+    fn constraint_set_collects_findings() {
         let mut set = ConstraintSet::new();
         set.push(no_empty_model_rule());
         let model = Model::new("Empty");
         let profile = Profile::new("P");
         let apps = Applications::new();
-        let violations = set.check_all(&model, &profile, &apps);
-        assert_eq!(violations.len(), 1);
-        assert!(violations[0].to_string().contains("non-empty-model"));
+        let findings = set.check_all(&model, &profile, &apps);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings.first().unwrap().code, "E0999");
+        assert!(findings
+            .first()
+            .unwrap()
+            .notes
+            .iter()
+            .any(|n| n.contains("non-empty-model")));
         assert!(set.enforce(&model, &profile, &apps).is_err());
     }
 
@@ -245,13 +212,8 @@ mod tests {
         set.push(FnConstraint::new(
             "advice",
             "always warns",
-            |_m: &Model, _p: &Profile, _a: &Applications, out: &mut Vec<RuleViolation>| {
-                out.push(RuleViolation {
-                    rule: "advice".into(),
-                    severity: Severity::Warning,
-                    element: None,
-                    message: "just so you know".into(),
-                });
+            |_m: &Model, _p: &Profile, _a: &Applications, out: &mut DiagnosticBag| {
+                out.push(Diagnostic::warning("W0999", "just so you know"));
             },
         ));
         let model = Model::new("M");
@@ -259,7 +221,7 @@ mod tests {
         let apps = Applications::new();
         let warnings = set.enforce(&model, &profile, &apps).unwrap();
         assert_eq!(warnings.len(), 1);
-        assert_eq!(warnings[0].severity, Severity::Warning);
+        assert_eq!(warnings.first().unwrap().severity, Severity::Warning);
     }
 
     #[test]

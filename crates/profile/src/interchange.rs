@@ -14,6 +14,10 @@ use crate::error::{ProfileError, Result};
 use crate::profile::Profile;
 use crate::stereotype::{TagType, TagValue};
 
+/// Profile interchange error code (drivers map [`ProfileError`]s raised
+/// while decoding a `<profileApplication>` subtree onto this).
+pub const E_PROFILE_INTERCHANGE: &str = "E0103";
+
 /// Serialises the stereotype applications as an XML subtree
 /// (`<profileApplication>`).
 pub fn applications_to_xml_node(profile: &Profile, applications: &Applications) -> XmlNode {

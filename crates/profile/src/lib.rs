@@ -52,7 +52,8 @@ pub mod profile;
 pub mod stereotype;
 
 pub use apply::{Applications, AppliedStereotype};
-pub use constraint::{Constraint, ConstraintSet, RuleViolation, Severity};
+pub use constraint::{Constraint, ConstraintSet};
 pub use error::{ProfileError, Result};
 pub use profile::{Profile, StereotypeBuilder};
 pub use stereotype::{Stereotype, StereotypeId, TagDef, TagType, TagValue};
+pub use tut_diag::{Diagnostic, DiagnosticBag, Severity};

@@ -4,63 +4,103 @@
 //! (§2.2). This module encodes those rules as constraints over the model
 //! and its stereotype applications; [`tut_profile_rules`] returns the full
 //! catalogue as a [`ConstraintSet`].
+//!
+//! Each rule reports findings as [`Diagnostic`]s with a stable `E02xx` /
+//! `W02xx` code (the constants below), the offending element's display
+//! form, and the rule name as a note.
 
 use tut_profile_core::constraint::FnConstraint;
-use tut_profile_core::{Applications, ConstraintSet, Profile, RuleViolation, Severity};
+use tut_profile_core::{Applications, ConstraintSet, Diagnostic, DiagnosticBag, Profile, Severity};
 use tut_uml::ids::ElementRef;
 use tut_uml::Model;
 
 use crate::profile_def::TutProfile;
 
-fn violation(
+/// `application-top-unique`: at most one `«Application»` class.
+pub const E_APPLICATION_TOP_UNIQUE: &str = "E0201";
+/// `component-has-behaviour`: functional components are active with behaviour.
+pub const E_COMPONENT_HAS_BEHAVIOUR: &str = "E0202";
+/// `process-instantiates-component`: processes are typed by components.
+pub const E_PROCESS_INSTANTIATES_COMPONENT: &str = "E0203";
+/// `structural-components-passive`: non-component classes are passive.
+pub const W_STRUCTURAL_COMPONENTS_PASSIVE: &str = "W0204";
+/// `grouping-endpoints`: grouping runs process part → group class.
+pub const E_GROUPING_ENDPOINTS: &str = "E0205";
+/// `process-in-one-group`: a process belongs to at most one group.
+pub const E_PROCESS_IN_ONE_GROUP: &str = "E0206";
+/// `process-grouped`: every process belongs to some group.
+pub const W_PROCESS_GROUPED: &str = "W0207";
+/// `group-type-homogeneous`: member ProcessType matches the group's.
+pub const W_GROUP_TYPE_HOMOGENEOUS: &str = "W0208";
+/// `mapping-endpoints`: mapping runs group class → instance part.
+pub const E_MAPPING_ENDPOINTS: &str = "E0209";
+/// `group-mapped-once`: a group maps to more than one instance.
+pub const E_GROUP_MAPPED_ONCE: &str = "E0210";
+/// `group-mapped-once`: a group is not mapped at all.
+pub const W_GROUP_UNMAPPED: &str = "W0210";
+/// `instance-ids-unique`: instance `ID` tags are present and unique.
+pub const E_INSTANCE_IDS_UNIQUE: &str = "E0211";
+/// `hardware-group-on-accelerator`: hardware groups map to accelerators.
+pub const W_HARDWARE_GROUP_ON_ACCELERATOR: &str = "W0212";
+/// `wrapper-addresses-unique`: declared wrapper addresses are unique.
+pub const W_WRAPPER_ADDRESSES_UNIQUE: &str = "W0213";
+/// `instance-attached-to-segment`: instances reach a segment via a wrapper.
+pub const W_INSTANCE_ATTACHED_TO_SEGMENT: &str = "W0214";
+/// `instance-memory-fits`: mapped processes' memory fits the instance.
+pub const E_INSTANCE_MEMORY_FITS: &str = "E0215";
+
+fn finding(
+    code: &'static str,
     rule: &str,
     severity: Severity,
     element: impl Into<Option<ElementRef>>,
     message: impl Into<String>,
-) -> RuleViolation {
-    RuleViolation {
-        rule: rule.to_owned(),
-        severity,
-        element: element.into(),
-        message: message.into(),
+) -> Diagnostic {
+    let mut d = Diagnostic::new(severity, code, message).with_note(format!("rule: {rule}"));
+    if let Some(e) = element.into() {
+        d = d.with_element(e.to_string());
     }
+    d
 }
 
 /// Builds the complete TUT-Profile rule catalogue.
 ///
 /// Rules (E = error, W = warning):
 ///
-/// 1.  E `application-top-unique` — at most one `«Application»` class.
-/// 2.  E `component-has-behaviour` — every `«ApplicationComponent»` class
-///     is active with a classifier behaviour.
-/// 3.  E `process-instantiates-component` — every `«ApplicationProcess»`
-///     part is typed by an `«ApplicationComponent»` class (only functional
-///     components can be instantiated as processes, §3.1).
-/// 4.  W `structural-components-passive` — classes used as part types in
-///     the application that are *not* `«ApplicationComponent»` must be
+/// 1.  E0201 `application-top-unique` — at most one `«Application»` class.
+/// 2.  E0202 `component-has-behaviour` — every `«ApplicationComponent»`
+///     class is active with a classifier behaviour.
+/// 3.  E0203 `process-instantiates-component` — every
+///     `«ApplicationProcess»` part is typed by an `«ApplicationComponent»`
+///     class (only functional components can be instantiated as
+///     processes, §3.1).
+/// 4.  W0204 `structural-components-passive` — classes used as part types
+///     in the application that are *not* `«ApplicationComponent»` must be
 ///     passive (structural components "do not have behavior", §3.1).
-/// 5.  E `grouping-endpoints` — `«ProcessGrouping»` dependencies run from
-///     an `«ApplicationProcess»` part to a `«ProcessGroup»` class.
-/// 6.  E `process-in-one-group` — a process belongs to at most one group.
-/// 7.  W `process-grouped` — every process belongs to some group (needed
-///     before mapping).
-/// 8.  W `group-type-homogeneous` — member `ProcessType` matches the
+/// 5.  E0205 `grouping-endpoints` — `«ProcessGrouping»` dependencies run
+///     from an `«ApplicationProcess»` part to a `«ProcessGroup»` class.
+/// 6.  E0206 `process-in-one-group` — a process belongs to at most one
+///     group.
+/// 7.  W0207 `process-grouped` — every process belongs to some group
+///     (needed before mapping).
+/// 8.  W0208 `group-type-homogeneous` — member `ProcessType` matches the
 ///     group's declared `ProcessType`.
-/// 9.  E `mapping-endpoints` — `«PlatformMapping»` dependencies run from a
-///     `«ProcessGroup»` class to a `«PlatformComponentInstance»` part.
-/// 10. E `group-mapped-once` — a group is mapped to at most one instance;
-///     W when a group is unmapped.
-/// 11. E `instance-ids-unique` — `«PlatformComponentInstance»` `ID` tags
-///     are present and unique.
-/// 12. W `hardware-group-on-accelerator` — groups with
+/// 9.  E0209 `mapping-endpoints` — `«PlatformMapping»` dependencies run
+///     from a `«ProcessGroup»` class to a `«PlatformComponentInstance»`
+///     part.
+/// 10. E0210/W0210 `group-mapped-once` — a group is mapped to at most one
+///     instance; W0210 when a group is unmapped.
+/// 11. E0211 `instance-ids-unique` — `«PlatformComponentInstance»` `ID`
+///     tags are present and unique.
+/// 12. W0212 `hardware-group-on-accelerator` — groups with
 ///     `ProcessType = hardware` map to `hw_accelerator` components.
-/// 13. W `wrapper-addresses-unique` — `«CommunicationWrapper»` addresses
-///     are unique where declared.
-/// 14. W `instance-attached-to-segment` — in a platform with segments,
-///     every instance reaches a segment through a wrapper.
-/// 15. E `instance-memory-fits` — the `CodeMemory`+`DataMemory` of every
-///     process mapped onto an instance (process tags, falling back to the
-///     component's) fits the instance's `IntMemory`.
+/// 13. W0213 `wrapper-addresses-unique` — `«CommunicationWrapper»`
+///     addresses are unique where declared.
+/// 14. W0214 `instance-attached-to-segment` — in a platform with
+///     segments, every instance reaches a segment through a wrapper.
+/// 15. E0215 `instance-memory-fits` — the `CodeMemory`+`DataMemory` of
+///     every process mapped onto an instance (process tags, falling back
+///     to the component's) fits the instance's `IntMemory`.
 pub fn tut_profile_rules(tut: &TutProfile) -> ConstraintSet {
     let mut set = ConstraintSet::new();
 
@@ -68,7 +108,7 @@ pub fn tut_profile_rules(tut: &TutProfile) -> ConstraintSet {
     set.push(FnConstraint::new(
         "application-top-unique",
         "at most one class carries \u{ab}Application\u{bb}",
-        move |model: &Model, p: &Profile, apps: &Applications, out: &mut Vec<RuleViolation>| {
+        move |model: &Model, p: &Profile, apps: &Applications, out: &mut DiagnosticBag| {
             let tops: Vec<_> = model
                 .classes()
                 .map(|(id, _)| id)
@@ -76,7 +116,8 @@ pub fn tut_profile_rules(tut: &TutProfile) -> ConstraintSet {
                 .collect();
             if tops.len() > 1 {
                 for &extra in &tops[1..] {
-                    out.push(violation(
+                    out.push(finding(
+                        E_APPLICATION_TOP_UNIQUE,
                         "application-top-unique",
                         Severity::Error,
                         ElementRef::Class(extra),
@@ -94,11 +135,12 @@ pub fn tut_profile_rules(tut: &TutProfile) -> ConstraintSet {
     set.push(FnConstraint::new(
         "component-has-behaviour",
         "\u{ab}ApplicationComponent\u{bb} classes are active with behaviour",
-        move |model: &Model, p: &Profile, apps: &Applications, out: &mut Vec<RuleViolation>| {
+        move |model: &Model, p: &Profile, apps: &Applications, out: &mut DiagnosticBag| {
             for (id, class) in model.classes() {
                 if apps.has_stereotype(p, id, t.application_component) && class.behavior().is_none()
                 {
-                    out.push(violation(
+                    out.push(finding(
+                        E_COMPONENT_HAS_BEHAVIOUR,
                         "component-has-behaviour",
                         Severity::Error,
                         ElementRef::Class(id),
@@ -116,12 +158,13 @@ pub fn tut_profile_rules(tut: &TutProfile) -> ConstraintSet {
     set.push(FnConstraint::new(
         "process-instantiates-component",
         "\u{ab}ApplicationProcess\u{bb} parts are typed by \u{ab}ApplicationComponent\u{bb} classes",
-        move |model: &Model, p: &Profile, apps: &Applications, out: &mut Vec<RuleViolation>| {
+        move |model: &Model, p: &Profile, apps: &Applications, out: &mut DiagnosticBag| {
             for (id, prop) in model.properties() {
                 if apps.has_stereotype(p, id, t.application_process)
                     && !apps.has_stereotype(p, prop.type_(), t.application_component)
                 {
-                    out.push(violation(
+                    out.push(finding(
+                        E_PROCESS_INSTANTIATES_COMPONENT,
                         "process-instantiates-component",
                         Severity::Error,
                         ElementRef::Property(id),
@@ -140,7 +183,7 @@ pub fn tut_profile_rules(tut: &TutProfile) -> ConstraintSet {
     set.push(FnConstraint::new(
         "structural-components-passive",
         "non-component classes in the application are passive",
-        move |model: &Model, p: &Profile, apps: &Applications, out: &mut Vec<RuleViolation>| {
+        move |model: &Model, p: &Profile, apps: &Applications, out: &mut DiagnosticBag| {
             // Scope: classes reachable as part types under the «Application» top.
             let Some(top) = model
                 .classes()
@@ -157,7 +200,8 @@ pub fn tut_profile_rules(tut: &TutProfile) -> ConstraintSet {
                 if class.is_active()
                     && !apps.has_stereotype(p, node.class, t.application_component)
                 {
-                    out.push(violation(
+                    out.push(finding(
+                        W_STRUCTURAL_COMPONENTS_PASSIVE,
                         "structural-components-passive",
                         Severity::Warning,
                         ElementRef::Class(node.class),
@@ -175,7 +219,7 @@ pub fn tut_profile_rules(tut: &TutProfile) -> ConstraintSet {
     set.push(FnConstraint::new(
         "grouping-endpoints",
         "\u{ab}ProcessGrouping\u{bb} runs from a process part to a group class",
-        move |model: &Model, p: &Profile, apps: &Applications, out: &mut Vec<RuleViolation>| {
+        move |model: &Model, p: &Profile, apps: &Applications, out: &mut DiagnosticBag| {
             for (id, dep) in model.dependencies() {
                 if !apps.has_stereotype(p, id, t.process_grouping) {
                     continue;
@@ -185,7 +229,8 @@ pub fn tut_profile_rules(tut: &TutProfile) -> ConstraintSet {
                 let supplier_ok = matches!(dep.supplier(), ElementRef::Class(class)
                     if apps.has_stereotype(p, class, t.process_group));
                 if !client_ok || !supplier_ok {
-                    out.push(violation(
+                    out.push(finding(
+                        E_GROUPING_ENDPOINTS,
                         "grouping-endpoints",
                         Severity::Error,
                         ElementRef::Dependency(id),
@@ -200,7 +245,7 @@ pub fn tut_profile_rules(tut: &TutProfile) -> ConstraintSet {
     set.push(FnConstraint::new(
         "process-in-one-group",
         "a process belongs to at most one group",
-        move |model: &Model, p: &Profile, apps: &Applications, out: &mut Vec<RuleViolation>| {
+        move |model: &Model, p: &Profile, apps: &Applications, out: &mut DiagnosticBag| {
             for (part_id, prop) in model.properties() {
                 if !apps.has_stereotype(p, part_id, t.application_process) {
                     continue;
@@ -213,7 +258,8 @@ pub fn tut_profile_rules(tut: &TutProfile) -> ConstraintSet {
                     })
                     .count();
                 if memberships > 1 {
-                    out.push(violation(
+                    out.push(finding(
+                        E_PROCESS_IN_ONE_GROUP,
                         "process-in-one-group",
                         Severity::Error,
                         ElementRef::Property(part_id),
@@ -228,7 +274,7 @@ pub fn tut_profile_rules(tut: &TutProfile) -> ConstraintSet {
     set.push(FnConstraint::new(
         "process-grouped",
         "every process belongs to some group before mapping",
-        move |model: &Model, p: &Profile, apps: &Applications, out: &mut Vec<RuleViolation>| {
+        move |model: &Model, p: &Profile, apps: &Applications, out: &mut DiagnosticBag| {
             for (part_id, prop) in model.properties() {
                 if !apps.has_stereotype(p, part_id, t.application_process) {
                     continue;
@@ -238,7 +284,8 @@ pub fn tut_profile_rules(tut: &TutProfile) -> ConstraintSet {
                         && dep.client() == ElementRef::Property(part_id)
                 });
                 if !grouped {
-                    out.push(violation(
+                    out.push(finding(
+                        W_PROCESS_GROUPED,
                         "process-grouped",
                         Severity::Warning,
                         ElementRef::Property(part_id),
@@ -253,7 +300,7 @@ pub fn tut_profile_rules(tut: &TutProfile) -> ConstraintSet {
     set.push(FnConstraint::new(
         "group-type-homogeneous",
         "member ProcessType matches the group's ProcessType",
-        move |model: &Model, p: &Profile, apps: &Applications, out: &mut Vec<RuleViolation>| {
+        move |model: &Model, p: &Profile, apps: &Applications, out: &mut DiagnosticBag| {
             for (dep_id, dep) in model.dependencies() {
                 if !apps.has_stereotype(p, dep_id, t.process_grouping) {
                     continue;
@@ -271,7 +318,8 @@ pub fn tut_profile_rules(tut: &TutProfile) -> ConstraintSet {
                     .and_then(|v| v.as_str().map(str::to_owned));
                 if let (Some(pt), Some(gt)) = (part_type, group_type) {
                     if pt != gt {
-                        out.push(violation(
+                        out.push(finding(
+                            W_GROUP_TYPE_HOMOGENEOUS,
                             "group-type-homogeneous",
                             Severity::Warning,
                             ElementRef::Dependency(dep_id),
@@ -291,7 +339,7 @@ pub fn tut_profile_rules(tut: &TutProfile) -> ConstraintSet {
     set.push(FnConstraint::new(
         "mapping-endpoints",
         "\u{ab}PlatformMapping\u{bb} runs from a group class to an instance part",
-        move |model: &Model, p: &Profile, apps: &Applications, out: &mut Vec<RuleViolation>| {
+        move |model: &Model, p: &Profile, apps: &Applications, out: &mut DiagnosticBag| {
             for (id, dep) in model.dependencies() {
                 if !apps.has_stereotype(p, id, t.platform_mapping) {
                     continue;
@@ -301,7 +349,8 @@ pub fn tut_profile_rules(tut: &TutProfile) -> ConstraintSet {
                 let supplier_ok = matches!(dep.supplier(), ElementRef::Property(part)
                     if apps.has_stereotype(p, part, t.platform_component_instance));
                 if !client_ok || !supplier_ok {
-                    out.push(violation(
+                    out.push(finding(
+                        E_MAPPING_ENDPOINTS,
                         "mapping-endpoints",
                         Severity::Error,
                         ElementRef::Dependency(id),
@@ -316,7 +365,7 @@ pub fn tut_profile_rules(tut: &TutProfile) -> ConstraintSet {
     set.push(FnConstraint::new(
         "group-mapped-once",
         "each group maps to exactly one platform instance",
-        move |model: &Model, p: &Profile, apps: &Applications, out: &mut Vec<RuleViolation>| {
+        move |model: &Model, p: &Profile, apps: &Applications, out: &mut DiagnosticBag| {
             for (group_id, class) in model.classes() {
                 if !apps.has_stereotype(p, group_id, t.process_group) {
                     continue;
@@ -329,14 +378,16 @@ pub fn tut_profile_rules(tut: &TutProfile) -> ConstraintSet {
                     })
                     .count();
                 if mappings > 1 {
-                    out.push(violation(
+                    out.push(finding(
+                        E_GROUP_MAPPED_ONCE,
                         "group-mapped-once",
                         Severity::Error,
                         ElementRef::Class(group_id),
                         format!("group `{}` has {mappings} mappings", class.name()),
                     ));
                 } else if mappings == 0 {
-                    out.push(violation(
+                    out.push(finding(
+                        W_GROUP_UNMAPPED,
                         "group-mapped-once",
                         Severity::Warning,
                         ElementRef::Class(group_id),
@@ -351,7 +402,7 @@ pub fn tut_profile_rules(tut: &TutProfile) -> ConstraintSet {
     set.push(FnConstraint::new(
         "instance-ids-unique",
         "platform instance IDs are present and unique",
-        move |model: &Model, p: &Profile, apps: &Applications, out: &mut Vec<RuleViolation>| {
+        move |model: &Model, p: &Profile, apps: &Applications, out: &mut DiagnosticBag| {
             let mut seen: std::collections::HashMap<i64, String> = Default::default();
             for (id, prop) in model.properties() {
                 if !apps.has_stereotype(p, id, t.platform_component_instance) {
@@ -363,7 +414,8 @@ pub fn tut_profile_rules(tut: &TutProfile) -> ConstraintSet {
                 {
                     Some(instance_id) => {
                         if let Some(previous) = seen.insert(instance_id, prop.name().to_owned()) {
-                            out.push(violation(
+                            out.push(finding(
+                                E_INSTANCE_IDS_UNIQUE,
                                 "instance-ids-unique",
                                 Severity::Error,
                                 ElementRef::Property(id),
@@ -374,7 +426,8 @@ pub fn tut_profile_rules(tut: &TutProfile) -> ConstraintSet {
                             ));
                         }
                     }
-                    None => out.push(violation(
+                    None => out.push(finding(
+                        E_INSTANCE_IDS_UNIQUE,
                         "instance-ids-unique",
                         Severity::Error,
                         ElementRef::Property(id),
@@ -389,7 +442,7 @@ pub fn tut_profile_rules(tut: &TutProfile) -> ConstraintSet {
     set.push(FnConstraint::new(
         "hardware-group-on-accelerator",
         "hardware groups map to hw_accelerator components",
-        move |model: &Model, p: &Profile, apps: &Applications, out: &mut Vec<RuleViolation>| {
+        move |model: &Model, p: &Profile, apps: &Applications, out: &mut DiagnosticBag| {
             for (dep_id, dep) in model.dependencies() {
                 if !apps.has_stereotype(p, dep_id, t.platform_mapping) {
                     continue;
@@ -412,7 +465,8 @@ pub fn tut_profile_rules(tut: &TutProfile) -> ConstraintSet {
                     .and_then(|v| v.as_str().map(|s| s == "hw_accelerator"))
                     .unwrap_or(false);
                 if !comp_is_acc {
-                    out.push(violation(
+                    out.push(finding(
+                        W_HARDWARE_GROUP_ON_ACCELERATOR,
                         "hardware-group-on-accelerator",
                         Severity::Warning,
                         ElementRef::Dependency(dep_id),
@@ -431,7 +485,7 @@ pub fn tut_profile_rules(tut: &TutProfile) -> ConstraintSet {
     set.push(FnConstraint::new(
         "wrapper-addresses-unique",
         "declared wrapper addresses are unique",
-        move |model: &Model, p: &Profile, apps: &Applications, out: &mut Vec<RuleViolation>| {
+        move |model: &Model, p: &Profile, apps: &Applications, out: &mut DiagnosticBag| {
             let mut seen: std::collections::HashMap<i64, String> = Default::default();
             for (id, class) in model.classes() {
                 if !apps.has_stereotype(p, id, t.communication_wrapper) {
@@ -442,7 +496,8 @@ pub fn tut_profile_rules(tut: &TutProfile) -> ConstraintSet {
                     .and_then(|v| v.as_int())
                 {
                     if let Some(previous) = seen.insert(address, class.name().to_owned()) {
-                        out.push(violation(
+                        out.push(finding(
+                            W_WRAPPER_ADDRESSES_UNIQUE,
                             "wrapper-addresses-unique",
                             Severity::Warning,
                             ElementRef::Class(id),
@@ -461,7 +516,7 @@ pub fn tut_profile_rules(tut: &TutProfile) -> ConstraintSet {
     set.push(FnConstraint::new(
         "instance-attached-to-segment",
         "every instance reaches a communication segment",
-        move |model: &Model, _p: &Profile, apps: &Applications, out: &mut Vec<RuleViolation>| {
+        move |model: &Model, _p: &Profile, apps: &Applications, out: &mut DiagnosticBag| {
             // Only meaningful when the platform declares segments at all.
             let system = crate::system::SystemModel {
                 tut: t.clone(),
@@ -476,7 +531,8 @@ pub fn tut_profile_rules(tut: &TutProfile) -> ConstraintSet {
                 view.attachments().into_iter().map(|a| a.pe).collect();
             for info in view.instances() {
                 if !attached.contains(&info.part) {
-                    out.push(violation(
+                    out.push(finding(
+                        W_INSTANCE_ATTACHED_TO_SEGMENT,
                         "instance-attached-to-segment",
                         Severity::Warning,
                         ElementRef::Property(info.part),
@@ -494,7 +550,7 @@ pub fn tut_profile_rules(tut: &TutProfile) -> ConstraintSet {
     set.push(FnConstraint::new(
         "instance-memory-fits",
         "mapped processes' Code+DataMemory fits the instance's IntMemory",
-        move |model: &Model, _p: &Profile, apps: &Applications, out: &mut Vec<RuleViolation>| {
+        move |model: &Model, _p: &Profile, apps: &Applications, out: &mut DiagnosticBag| {
             let system = crate::system::SystemModel {
                 tut: t.clone(),
                 model: model.clone(),
@@ -524,7 +580,8 @@ pub fn tut_profile_rules(tut: &TutProfile) -> ConstraintSet {
                     }
                 }
                 if required > instance.int_memory {
-                    out.push(violation(
+                    out.push(finding(
+                        E_INSTANCE_MEMORY_FITS,
                         "instance-memory-fits",
                         Severity::Error,
                         ElementRef::Property(instance.part),
@@ -549,11 +606,11 @@ mod tests {
     use crate::system::SystemModel;
     use tut_profile_core::TagValue;
 
-    fn rule_names(violations: &[RuleViolation]) -> Vec<&str> {
-        violations.iter().map(|v| v.rule.as_str()).collect()
+    fn codes(findings: &DiagnosticBag) -> Vec<&'static str> {
+        findings.iter().map(|d| d.code).collect()
     }
 
-    fn check(system: &SystemModel) -> Vec<RuleViolation> {
+    fn check(system: &SystemModel) -> DiagnosticBag {
         tut_profile_rules(&system.tut).check_all(&system.model, system.tut.profile(), &system.apps)
     }
 
@@ -589,7 +646,7 @@ mod tests {
         let cpu = s.add_platform_instance(platform, "cpu1", nios, 1, 0);
         // Default IntMemory is 65536 < 80000 required.
         s.map_group(g, cpu, false);
-        assert!(rule_names(&check(&s)).contains(&"instance-memory-fits"));
+        assert!(codes(&check(&s)).contains(&E_INSTANCE_MEMORY_FITS));
 
         // Raising IntMemory clears the violation.
         s.set_tag(
@@ -599,7 +656,7 @@ mod tests {
             128 * 1024i64,
         )
         .unwrap();
-        assert!(!rule_names(&check(&s)).contains(&"instance-memory-fits"));
+        assert!(!codes(&check(&s)).contains(&E_INSTANCE_MEMORY_FITS));
     }
 
     #[test]
@@ -609,7 +666,7 @@ mod tests {
         let b = s.model.add_class("B");
         s.apply(a, |t| t.application).unwrap();
         s.apply(b, |t| t.application).unwrap();
-        assert!(rule_names(&check(&s)).contains(&"application-top-unique"));
+        assert!(codes(&check(&s)).contains(&E_APPLICATION_TOP_UNIQUE));
     }
 
     #[test]
@@ -617,7 +674,7 @@ mod tests {
         let mut s = SystemModel::new("S");
         let c = s.model.add_class("C");
         s.apply(c, |t| t.application_component).unwrap();
-        assert!(rule_names(&check(&s)).contains(&"component-has-behaviour"));
+        assert!(codes(&check(&s)).contains(&E_COMPONENT_HAS_BEHAVIOUR));
     }
 
     #[test]
@@ -627,7 +684,7 @@ mod tests {
         let plain = s.model.add_class("Plain");
         let part = s.model.add_part(top, "p", plain);
         s.apply(part, |t| t.application_process).unwrap();
-        assert!(rule_names(&check(&s)).contains(&"process-instantiates-component"));
+        assert!(codes(&check(&s)).contains(&E_PROCESS_INSTANTIATES_COMPONENT));
     }
 
     #[test]
@@ -642,8 +699,7 @@ mod tests {
         let g2 = s.add_process_group("g2", false, ProcessType::General);
         s.assign_to_group(part, g1);
         s.assign_to_group(part, g2);
-        let violations = check(&s);
-        assert!(rule_names(&violations).contains(&"process-in-one-group"));
+        assert!(codes(&check(&s)).contains(&E_PROCESS_IN_ONE_GROUP));
     }
 
     #[test]
@@ -654,12 +710,14 @@ mod tests {
         s.apply(comp, |t| t.application_component).unwrap();
         let part = s.model.add_part(top, "p", comp);
         s.apply(part, |t| t.application_process).unwrap();
-        let violations = check(&s);
-        let w = violations
+        let findings = check(&s);
+        let w = findings
             .iter()
-            .find(|v| v.rule == "process-grouped")
+            .find(|d| d.code == W_PROCESS_GROUPED)
             .unwrap();
         assert_eq!(w.severity, Severity::Warning);
+        assert!(w.notes.iter().any(|n| n.contains("process-grouped")));
+        assert!(w.element.is_some());
     }
 
     #[test]
@@ -677,7 +735,7 @@ mod tests {
         .unwrap();
         let g = s.add_process_group("g", false, ProcessType::General);
         s.assign_to_group(part, g);
-        assert!(rule_names(&check(&s)).contains(&"group-type-homogeneous"));
+        assert!(codes(&check(&s)).contains(&W_GROUP_TYPE_HOMOGENEOUS));
     }
 
     #[test]
@@ -688,7 +746,7 @@ mod tests {
         let nios = s.add_platform_component("Nios", ComponentKind::General, 50, 1.0, 0.1);
         s.add_platform_instance(platform, "cpu1", nios, 7, 0);
         s.add_platform_instance(platform, "cpu2", nios, 7, 0);
-        assert!(rule_names(&check(&s)).contains(&"instance-ids-unique"));
+        assert!(codes(&check(&s)).contains(&E_INSTANCE_IDS_UNIQUE));
     }
 
     #[test]
@@ -702,7 +760,7 @@ mod tests {
         let cpu2 = s.add_platform_instance(platform, "cpu2", nios, 2, 0);
         s.map_group(g, cpu1, false);
         s.map_group(g, cpu2, false);
-        assert!(rule_names(&check(&s)).contains(&"group-mapped-once"));
+        assert!(codes(&check(&s)).contains(&E_GROUP_MAPPED_ONCE));
     }
 
     #[test]
@@ -714,7 +772,7 @@ mod tests {
         let nios = s.add_platform_component("Nios", ComponentKind::General, 50, 1.0, 0.1);
         let cpu1 = s.add_platform_instance(platform, "cpu1", nios, 1, 0);
         s.map_group(g, cpu1, false);
-        assert!(rule_names(&check(&s)).contains(&"hardware-group-on-accelerator"));
+        assert!(codes(&check(&s)).contains(&W_HARDWARE_GROUP_ON_ACCELERATOR));
     }
 
     #[test]
@@ -722,10 +780,7 @@ mod tests {
         let mut s = SystemModel::new("S");
         let top = s.model.add_class("Top");
         s.apply(top, |t| t.application).unwrap();
-        let violations = check(&s);
-        assert!(
-            violations.iter().all(|v| v.severity == Severity::Warning),
-            "unexpected errors: {violations:?}"
-        );
+        let findings = check(&s);
+        assert!(!findings.has_errors(), "unexpected errors: {findings}");
     }
 }

@@ -1,6 +1,6 @@
 //! [`SystemModel`]: a UML model bundled with its TUT-Profile applications.
 
-use tut_profile_core::{Applications, ProfileError, StereotypeId, TagValue};
+use tut_profile_core::{Applications, DiagnosticBag, ProfileError, StereotypeId, TagValue};
 use tut_uml::ids::ElementRef;
 use tut_uml::Model;
 
@@ -152,28 +152,44 @@ impl SystemModel {
             .map(|a| self.tut.profile().get(a.stereotype).name().to_owned())
     }
 
-    /// Runs UML well-formedness checks *and* the TUT-Profile design rules,
-    /// returning all findings.
-    pub fn validate(&self) -> Vec<String> {
-        let mut findings: Vec<String> = tut_uml::validate::check_model(&self.model)
-            .into_iter()
-            .map(|v| format!("[error] uml: {v}"))
-            .collect();
+    /// Runs UML well-formedness checks (including the action-language
+    /// type checker) *and* the TUT-Profile design rules, returning every
+    /// finding as one severity-sorted [`DiagnosticBag`].
+    pub fn check(&self) -> DiagnosticBag {
+        let mut bag = tut_uml::validate::check_model(&self.model);
         let rules = crate::rules::tut_profile_rules(&self.tut);
-        findings.extend(
-            rules
-                .check_all(&self.model, self.tut.profile(), &self.apps)
-                .into_iter()
-                .map(|v| v.to_string()),
-        );
-        findings
+        bag.merge(rules.check_all(&self.model, self.tut.profile(), &self.apps));
+        bag.sort();
+        bag
+    }
+
+    /// Like [`SystemModel::check`] but rendered as one string per finding,
+    /// `[severity] code: message (element)`.
+    pub fn validate(&self) -> Vec<String> {
+        self.check()
+            .iter()
+            .map(|d| {
+                let mut line = format!("[{}] {}: {}", d.severity, d.code, d.message);
+                if let Some(e) = &d.element {
+                    line.push_str(&format!(" ({e})"));
+                }
+                line
+            })
+            .collect()
     }
 
     /// Like [`SystemModel::validate`] but only error-severity findings.
     pub fn validate_errors(&self) -> Vec<String> {
-        self.validate()
-            .into_iter()
-            .filter(|f| f.starts_with("[error]"))
+        self.check()
+            .iter()
+            .filter(|d| d.is_error())
+            .map(|d| {
+                let mut line = format!("[{}] {}: {}", d.severity, d.code, d.message);
+                if let Some(e) = &d.element {
+                    line.push_str(&format!(" ({e})"));
+                }
+                line
+            })
             .collect()
     }
 }

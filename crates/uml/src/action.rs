@@ -13,8 +13,11 @@
 //! statements that report [`Effect`]s to the caller, so the simulator stays
 //! in control of time and communication.
 
+use std::collections::HashSet;
 use std::fmt;
 use std::ops::Index;
+
+use tut_diag::{Diagnostic, DiagnosticBag};
 
 use crate::error::{Error, Result};
 use crate::ids::SignalId;
@@ -942,6 +945,251 @@ pub fn static_type(expr: &Expr) -> Option<DataType> {
     }
 }
 
+/// Stable code: a variable is read but never assigned anywhere in the
+/// behaviour and is not a machine variable.
+pub const E_UNBOUND_VAR: &str = "E0316";
+/// Stable code: `send` argument count differs from the signal's parameter
+/// list.
+pub const E_SEND_ARITY: &str = "E0317";
+/// Stable code: statically-known type mismatch (a non-Bool guard or
+/// condition, or a non-Int operand of an arithmetic operator).
+pub const E_TYPE_MISMATCH: &str = "E0318";
+
+/// Flow-insensitively type-checks every program of a state machine: entry
+/// actions, transition actions, and guards.
+///
+/// The check is deliberately conservative — it only reports what must fail
+/// at runtime regardless of control flow:
+///
+/// * **E0316** — a variable read that no statement anywhere in the
+///   behaviour assigns and that is not a declared machine variable. Signal
+///   parameters (`$x`) are exempt: their binding depends on the triggering
+///   signal.
+/// * **E0317** — a `send` whose argument count differs from the signal's
+///   declared parameter list.
+/// * **E0318** — an `if`/`while` condition or transition guard whose
+///   static type is known and is not `Bool`, or an arithmetic operand
+///   whose static type is known and is not `Int`.
+///
+/// Diagnostics carry no element attribution; callers (the well-formedness
+/// checker) attach the owning class.
+pub fn type_check(
+    model: &crate::model::Model,
+    machine: &crate::statemachine::StateMachine,
+) -> DiagnosticBag {
+    let mut bag = DiagnosticBag::new();
+    let mut programs: Vec<&[Statement]> = Vec::new();
+    for (_, state) in machine.states() {
+        programs.push(state.entry());
+    }
+    let mut guards: Vec<&Expr> = Vec::new();
+    for (_, transition) in machine.transitions() {
+        programs.push(transition.actions());
+        if let Some(guard) = transition.guard() {
+            guards.push(guard);
+        }
+    }
+    // The flow-insensitive binding set: declared machine variables plus
+    // every name any statement assigns, anywhere in the behaviour.
+    let mut bound: HashSet<&str> = machine
+        .variables()
+        .iter()
+        .map(|v| v.name.as_str())
+        .collect();
+    for program in &programs {
+        collect_assigned(program, &mut bound);
+    }
+    let cx = CheckCx {
+        model,
+        machine_name: machine.name(),
+        bound,
+    };
+    for program in &programs {
+        cx.check_statements(program, &mut bag);
+    }
+    for guard in guards {
+        cx.check_expr(guard, &mut bag);
+        if let Some(t) = static_type(guard) {
+            if t != DataType::Bool {
+                bag.push(Diagnostic::error(
+                    E_TYPE_MISMATCH,
+                    format!(
+                        "guard `{guard}` in behaviour `{}` has type {t:?}, expected Bool",
+                        cx.machine_name
+                    ),
+                ));
+            }
+        }
+    }
+    bag
+}
+
+fn collect_assigned<'a>(program: &'a [Statement], bound: &mut HashSet<&'a str>) {
+    for statement in program {
+        match statement {
+            Statement::Assign { var, .. } => {
+                bound.insert(var.as_str());
+            }
+            Statement::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                collect_assigned(then_branch, bound);
+                collect_assigned(else_branch, bound);
+            }
+            Statement::While { body, .. } => collect_assigned(body, bound),
+            _ => {}
+        }
+    }
+}
+
+struct CheckCx<'a> {
+    model: &'a crate::model::Model,
+    machine_name: &'a str,
+    bound: HashSet<&'a str>,
+}
+
+impl CheckCx<'_> {
+    fn check_statements(&self, program: &[Statement], bag: &mut DiagnosticBag) {
+        for statement in program {
+            match statement {
+                Statement::Assign { expr, .. } => self.check_expr(expr, bag),
+                Statement::Send { signal, args, .. } => {
+                    let sig = self.model.signal(*signal);
+                    if args.len() != sig.params().len() {
+                        bag.push(Diagnostic::error(
+                            E_SEND_ARITY,
+                            format!(
+                                "send of `{}` in behaviour `{}` passes {} arguments, signal declares {}",
+                                sig.name(),
+                                self.machine_name,
+                                args.len(),
+                                sig.params().len()
+                            ),
+                        ));
+                    }
+                    for arg in args {
+                        self.check_expr(arg, bag);
+                    }
+                }
+                Statement::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
+                    self.check_condition(cond, "if", bag);
+                    self.check_statements(then_branch, bag);
+                    self.check_statements(else_branch, bag);
+                }
+                Statement::While { cond, body, .. } => {
+                    self.check_condition(cond, "while", bag);
+                    self.check_statements(body, bag);
+                }
+                Statement::Compute { amount, .. } => self.check_expr(amount, bag),
+                Statement::Log { args, .. } => {
+                    for arg in args {
+                        self.check_expr(arg, bag);
+                    }
+                }
+                Statement::SetTimer { duration, .. } => self.check_expr(duration, bag),
+                Statement::CancelTimer { .. } => {}
+                Statement::Count { amount, .. } => self.check_expr(amount, bag),
+            }
+        }
+    }
+
+    fn check_condition(&self, cond: &Expr, keyword: &str, bag: &mut DiagnosticBag) {
+        self.check_expr(cond, bag);
+        if let Some(t) = static_type(cond) {
+            if t != DataType::Bool {
+                bag.push(Diagnostic::error(
+                    E_TYPE_MISMATCH,
+                    format!(
+                        "`{keyword}` condition `{cond}` in behaviour `{}` has type {t:?}, expected Bool",
+                        self.machine_name
+                    ),
+                ));
+            }
+        }
+    }
+
+    fn check_expr(&self, expr: &Expr, bag: &mut DiagnosticBag) {
+        match expr {
+            Expr::Lit(_) | Expr::Param(_) => {}
+            Expr::Var(name) => {
+                if !self.bound.contains(name.as_str()) {
+                    bag.push(Diagnostic::error(
+                        E_UNBOUND_VAR,
+                        format!(
+                            "variable `{name}` in behaviour `{}` is never assigned and is not a machine variable",
+                            self.machine_name
+                        ),
+                    ));
+                }
+            }
+            Expr::Unary(op, inner) => {
+                self.check_expr(inner, bag);
+                let expected = match op {
+                    UnaryOp::Not => DataType::Bool,
+                    UnaryOp::Neg => DataType::Int,
+                };
+                if let Some(t) = static_type(inner) {
+                    if t != expected {
+                        bag.push(Diagnostic::error(
+                            E_TYPE_MISMATCH,
+                            format!(
+                                "operand of `{}` in behaviour `{}` has type {t:?}, expected {expected:?}",
+                                if *op == UnaryOp::Not { "!" } else { "-" },
+                                self.machine_name
+                            ),
+                        ));
+                    }
+                }
+            }
+            Expr::Binary(op, lhs, rhs) => {
+                self.check_expr(lhs, bag);
+                self.check_expr(rhs, bag);
+                // Arithmetic/bitwise operators need Int operands (Add also
+                // concatenates strings and byte buffers, so it is exempt).
+                let needs_int = matches!(
+                    op,
+                    BinOp::Sub
+                        | BinOp::Mul
+                        | BinOp::Div
+                        | BinOp::Mod
+                        | BinOp::BitAnd
+                        | BinOp::BitOr
+                        | BinOp::BitXor
+                        | BinOp::Shl
+                        | BinOp::Shr
+                );
+                if needs_int {
+                    for side in [lhs, rhs] {
+                        if let Some(t) = static_type(side) {
+                            if t != DataType::Int {
+                                bag.push(Diagnostic::error(
+                                    E_TYPE_MISMATCH,
+                                    format!(
+                                        "operand `{side}` of `{}` in behaviour `{}` has type {t:?}, expected Int",
+                                        op.token(),
+                                        self.machine_name
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            Expr::Call(_, args) => {
+                for arg in args {
+                    self.check_expr(arg, bag);
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1220,6 +1468,141 @@ mod tests {
             CostClass::Mem,
         ] {
             assert_eq!(CostClass::from_name(c.name()), Some(c));
+        }
+    }
+
+    mod type_checking {
+        use super::super::*;
+        use crate::model::Model;
+        use crate::statemachine::{StateMachine, Trigger};
+
+        fn machine_with(actions: Vec<Statement>, guard: Option<Expr>) -> (Model, StateMachine) {
+            let model = Model::new("M");
+            let mut sm = StateMachine::new("B");
+            let s = sm.add_state("S0");
+            sm.set_initial(s);
+            sm.add_transition(s, s, Trigger::Completion, guard, actions);
+            (model, sm)
+        }
+
+        #[test]
+        fn clean_behaviour_passes() {
+            let (model, mut sm) = machine_with(
+                vec![
+                    Statement::Assign {
+                        var: "n".into(),
+                        expr: Expr::var("n").bin(BinOp::Add, Expr::int(1)),
+                    },
+                    Statement::If {
+                        cond: Expr::var("n").bin(BinOp::Lt, Expr::var("limit")),
+                        then_branch: vec![],
+                        else_branch: vec![],
+                    },
+                ],
+                Some(Expr::bool(true)),
+            );
+            sm.add_variable("limit", DataType::Int, Value::Int(10));
+            let bag = type_check(&model, &sm);
+            assert!(bag.is_empty(), "{bag}");
+        }
+
+        #[test]
+        fn unbound_variable_flagged() {
+            let (model, sm) = machine_with(
+                vec![Statement::Assign {
+                    var: "x".into(),
+                    expr: Expr::var("never_set"),
+                }],
+                None,
+            );
+            let bag = type_check(&model, &sm);
+            assert_eq!(bag.len(), 1, "{bag}");
+            assert_eq!(bag.first().unwrap().code, E_UNBOUND_VAR);
+        }
+
+        #[test]
+        fn signal_params_are_exempt() {
+            let (model, sm) = machine_with(
+                vec![Statement::Assign {
+                    var: "x".into(),
+                    expr: Expr::param("payload"),
+                }],
+                None,
+            );
+            assert!(type_check(&model, &sm).is_empty());
+        }
+
+        #[test]
+        fn send_arity_mismatch_flagged() {
+            let mut model = Model::new("M");
+            let sig = model.add_signal("Ping"); // zero parameters
+            let mut sm = StateMachine::new("B");
+            let s = sm.add_state("S0");
+            sm.set_initial(s);
+            sm.add_transition(
+                s,
+                s,
+                Trigger::Completion,
+                None,
+                vec![Statement::Send {
+                    port: "p".into(),
+                    signal: sig,
+                    args: vec![Expr::int(1)],
+                }],
+            );
+            let bag = type_check(&model, &sm);
+            assert_eq!(bag.len(), 1, "{bag}");
+            assert_eq!(bag.first().unwrap().code, E_SEND_ARITY);
+        }
+
+        #[test]
+        fn non_bool_condition_and_guard_flagged() {
+            let (model, sm) = machine_with(
+                vec![Statement::If {
+                    cond: Expr::int(1),
+                    then_branch: vec![],
+                    else_branch: vec![],
+                }],
+                Some(Expr::int(2).bin(BinOp::Add, Expr::int(2))),
+            );
+            let bag = type_check(&model, &sm);
+            assert_eq!(bag.error_count(), 2, "{bag}");
+            assert!(bag.iter().all(|d| d.code == E_TYPE_MISMATCH));
+        }
+
+        #[test]
+        fn arithmetic_on_bool_literal_flagged() {
+            let (model, sm) = machine_with(
+                vec![Statement::Assign {
+                    var: "x".into(),
+                    expr: Expr::bool(true).bin(BinOp::Mul, Expr::int(2)),
+                }],
+                None,
+            );
+            let bag = type_check(&model, &sm);
+            assert_eq!(bag.len(), 1, "{bag}");
+            assert_eq!(bag.first().unwrap().code, E_TYPE_MISMATCH);
+        }
+
+        #[test]
+        fn unknown_condition_types_are_not_flagged() {
+            // `$p` and bare variables have unknown static type; the checker
+            // must stay quiet rather than guess.
+            let (model, sm) = machine_with(
+                vec![
+                    Statement::Assign {
+                        var: "flag".into(),
+                        expr: Expr::int(0),
+                    },
+                    Statement::While {
+                        cond: Expr::var("flag"),
+                        body: vec![],
+                        max_iter: 8,
+                    },
+                ],
+                Some(Expr::param("ready")),
+            );
+            assert!(type_check(&model, &sm).is_empty());
         }
     }
 }

@@ -5,6 +5,9 @@ use std::fmt;
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, Error>;
 
+/// XML syntax error code (drivers map [`Error::XmlSyntax`] onto this).
+pub const E_XML_SYNTAX: &str = "E0101";
+
 /// Errors produced while building, serialising, or checking a model.
 #[derive(Clone, PartialEq, Eq, Debug)]
 #[non_exhaustive]
@@ -27,6 +30,10 @@ pub enum Error {
     XmlSyntax {
         /// Byte offset of the failure in the input.
         offset: usize,
+        /// 1-based line of the failure, resolved via `tut_diag::SourceMap`.
+        line: usize,
+        /// 1-based column of the failure within `line`.
+        column: usize,
         /// Human-readable description of the problem.
         message: String,
     },
@@ -47,8 +54,16 @@ impl fmt::Display for Error {
             Error::DanglingId { kind, id } => {
                 write!(f, "dangling {kind} id `{id}`")
             }
-            Error::XmlSyntax { offset, message } => {
-                write!(f, "xml syntax error at byte {offset}: {message}")
+            Error::XmlSyntax {
+                offset,
+                line,
+                column,
+                message,
+            } => {
+                write!(
+                    f,
+                    "xml syntax error at {line}:{column} (byte {offset}): {message}"
+                )
             }
             Error::XmiStructure(msg) => write!(f, "invalid xmi structure: {msg}"),
             Error::WellFormedness(msg) => write!(f, "model well-formedness violation: {msg}"),
@@ -72,8 +87,11 @@ mod tests {
         assert_eq!(e.to_string(), "unknown class named `Foo`");
         let e = Error::XmlSyntax {
             offset: 12,
+            line: 2,
+            column: 5,
             message: "unexpected `<`".into(),
         };
+        assert!(e.to_string().contains("2:5"));
         assert!(e.to_string().contains("byte 12"));
     }
 

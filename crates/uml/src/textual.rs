@@ -42,11 +42,65 @@
 //! primary := INT | "true" | "false" | STRING | x"hex"
 //!          | "$" ident | ident "(" args ")" | ident | "(" expr ")"
 //! ```
+//!
+//! # Error recovery
+//!
+//! [`parse_program`] is the diagnostics-aware entry point: instead of
+//! failing on the first syntax error, it records a spanned
+//! [`Diagnostic`] and synchronises to the next statement boundary (a `;`
+//! at the current brace depth, or the `}` closing the enclosing block),
+//! so one pass reports every broken statement. Codes: `E0110` for syntax
+//! errors, `E0111` for unknown names (signals, builtins, cost classes),
+//! `E0112` for malformed literals and arity mismatches.
+
+use tut_diag::{Diagnostic, DiagnosticBag, Span};
 
 use crate::action::{BinOp, Builtin, CostClass, Expr, Statement, UnaryOp};
 use crate::error::{Error, Result};
 use crate::model::Model;
 use crate::value::Value;
+
+/// Action-language syntax error.
+pub const E_SYNTAX: &str = "E0110";
+/// Unknown name: signal, builtin function, or cost class.
+pub const E_UNKNOWN_NAME: &str = "E0111";
+/// Malformed literal or wrong argument count.
+pub const E_LITERAL: &str = "E0112";
+
+/// A parse error local to this module, carrying the span and stable code
+/// that the diagnostics path needs. Converted to [`Error::Action`] at the
+/// fail-fast public boundary.
+#[derive(Clone, Debug)]
+struct ParseErr {
+    span: Span,
+    code: &'static str,
+    message: String,
+}
+
+impl ParseErr {
+    fn into_error(self) -> Error {
+        Error::Action(format!("at byte {}: {}", self.span.start, self.message))
+    }
+
+    fn into_diagnostic(self) -> Diagnostic {
+        Diagnostic::error(self.code, self.message).with_span(self.span)
+    }
+}
+
+type PResult<T> = std::result::Result<T, ParseErr>;
+
+/// The result of parsing with error recovery: every statement that parsed
+/// cleanly, the source span of each, and the diagnostics for the parts
+/// that did not.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedProgram {
+    /// Statements that parsed successfully, in source order.
+    pub statements: Vec<Statement>,
+    /// Source span of each top-level statement, parallel to `statements`.
+    pub spans: Vec<Span>,
+    /// Syntax diagnostics accumulated during recovery.
+    pub diagnostics: DiagnosticBag,
+}
 
 /// Parses an expression from its textual form.
 ///
@@ -68,20 +122,21 @@ use crate::value::Value;
 /// ```
 pub fn parse_expr(text: &str) -> Result<Expr> {
     let mut parser = Parser::new(text, None);
-    let expr = parser.expr()?;
+    let expr = parser.expr().map_err(ParseErr::into_error)?;
     parser.skip_ws();
     if !parser.at_end() {
-        return Err(parser.error("trailing input after expression"));
+        return Err(parser.error("trailing input after expression").into_error());
     }
     Ok(expr)
 }
 
-/// Parses a statement list. `model` is needed to resolve signal names in
-/// `send` statements.
+/// Parses a statement list, failing on the first error. `model` is needed
+/// to resolve signal names in `send` statements.
 ///
 /// # Errors
 ///
 /// Returns [`Error::Action`] on syntax errors or unknown signal names.
+/// Use [`parse_program`] to collect *all* errors with spans instead.
 ///
 /// # Example
 ///
@@ -97,18 +152,59 @@ pub fn parse_expr(text: &str) -> Result<Expr> {
 /// ```
 pub fn parse_statements(text: &str, model: &Model) -> Result<Vec<Statement>> {
     let mut parser = Parser::new(text, Some(model));
-    let statements = parser.statements()?;
+    let statements = parser.statements().map_err(ParseErr::into_error)?;
     parser.skip_ws();
     if !parser.at_end() {
-        return Err(parser.error("trailing input after statements"));
+        return Err(parser.error("trailing input after statements").into_error());
     }
     Ok(statements)
+}
+
+/// Parses a statement list with statement-level error recovery.
+///
+/// On a syntax error the parser records a spanned diagnostic and skips to
+/// the next statement boundary — the next `;` at the current brace depth,
+/// or the `}` that closes the enclosing block — then keeps parsing, so a
+/// program with three broken statements yields three diagnostics, not one.
+/// Recovery works at every block nesting level.
+///
+/// # Example
+///
+/// ```
+/// use tut_uml::textual::parse_program;
+///
+/// let parsed = parse_program("a := 1;\nb := ;\nc := 3;", None);
+/// assert_eq!(parsed.statements.len(), 2, "a and c survive");
+/// assert_eq!(parsed.diagnostics.len(), 1);
+/// assert!(parsed.diagnostics.has_errors());
+/// ```
+pub fn parse_program(text: &str, model: Option<&Model>) -> ParsedProgram {
+    let mut parser = Parser::new(text, model);
+    parser.recovering = true;
+    let mut program = ParsedProgram::default();
+    loop {
+        parser.statements_recovering(&mut program);
+        parser.skip_ws();
+        if parser.at_end() {
+            break;
+        }
+        // A stray `}` at top level: report it once and continue after it.
+        let diag = parser.error("unexpected `}` with no open block");
+        program.diagnostics.push(diag.into_diagnostic());
+        parser.pos += 1;
+    }
+    program
 }
 
 struct Parser<'a> {
     text: &'a str,
     pos: usize,
     model: Option<&'a Model>,
+    /// True for [`parse_program`]: blocks re-enter the recovering
+    /// statement loop so errors inside nested blocks are also collected.
+    recovering: bool,
+    /// Diagnostics from nested blocks while recovering.
+    nested: Vec<ParseErr>,
 }
 
 impl<'a> Parser<'a> {
@@ -117,11 +213,21 @@ impl<'a> Parser<'a> {
             text,
             pos: 0,
             model,
+            recovering: false,
+            nested: Vec::new(),
         }
     }
 
-    fn error(&self, message: impl Into<String>) -> Error {
-        Error::Action(format!("at byte {}: {}", self.pos, message.into()))
+    fn error(&self, message: impl Into<String>) -> ParseErr {
+        self.error_code(E_SYNTAX, message)
+    }
+
+    fn error_code(&self, code: &'static str, message: impl Into<String>) -> ParseErr {
+        ParseErr {
+            span: Span::point(self.pos),
+            code,
+            message: message.into(),
+        }
     }
 
     fn rest(&self) -> &'a str {
@@ -159,7 +265,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, token: &str) -> Result<()> {
+    fn expect(&mut self, token: &str) -> PResult<()> {
         if self.eat(token) {
             Ok(())
         } else {
@@ -184,7 +290,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn ident(&mut self) -> Result<String> {
+    fn ident(&mut self) -> PResult<String> {
         self.skip_ws();
         let rest = self.rest();
         let mut len = 0;
@@ -207,7 +313,7 @@ impl<'a> Parser<'a> {
         Ok(ident.to_owned())
     }
 
-    fn string_literal(&mut self) -> Result<String> {
+    fn string_literal(&mut self) -> PResult<String> {
         self.skip_ws();
         if !self.rest().starts_with('"') {
             return Err(self.error("expected a string literal"));
@@ -235,11 +341,11 @@ impl<'a> Parser<'a> {
 
     // ---- expressions ----------------------------------------------------
 
-    fn expr(&mut self) -> Result<Expr> {
+    fn expr(&mut self) -> PResult<Expr> {
         self.or_expr()
     }
 
-    fn or_expr(&mut self) -> Result<Expr> {
+    fn or_expr(&mut self) -> PResult<Expr> {
         let mut lhs = self.and_expr()?;
         while self.eat("||") {
             let rhs = self.and_expr()?;
@@ -248,7 +354,7 @@ impl<'a> Parser<'a> {
         Ok(lhs)
     }
 
-    fn and_expr(&mut self) -> Result<Expr> {
+    fn and_expr(&mut self) -> PResult<Expr> {
         let mut lhs = self.cmp_expr()?;
         while self.eat("&&") {
             let rhs = self.cmp_expr()?;
@@ -257,7 +363,7 @@ impl<'a> Parser<'a> {
         Ok(lhs)
     }
 
-    fn cmp_expr(&mut self) -> Result<Expr> {
+    fn cmp_expr(&mut self) -> PResult<Expr> {
         let lhs = self.bitor_expr()?;
         // Note order: multi-char operators first.
         for (token, op) in [
@@ -288,7 +394,7 @@ impl<'a> Parser<'a> {
         Ok(lhs)
     }
 
-    fn bitor_expr(&mut self) -> Result<Expr> {
+    fn bitor_expr(&mut self) -> PResult<Expr> {
         let mut lhs = self.add_expr()?;
         loop {
             self.skip_ws();
@@ -310,7 +416,7 @@ impl<'a> Parser<'a> {
         Ok(lhs)
     }
 
-    fn add_expr(&mut self) -> Result<Expr> {
+    fn add_expr(&mut self) -> PResult<Expr> {
         let mut lhs = self.mul_expr()?;
         loop {
             self.skip_ws();
@@ -329,7 +435,7 @@ impl<'a> Parser<'a> {
         Ok(lhs)
     }
 
-    fn mul_expr(&mut self) -> Result<Expr> {
+    fn mul_expr(&mut self) -> PResult<Expr> {
         let mut lhs = self.shift_expr()?;
         loop {
             self.skip_ws();
@@ -356,7 +462,7 @@ impl<'a> Parser<'a> {
         Ok(lhs)
     }
 
-    fn shift_expr(&mut self) -> Result<Expr> {
+    fn shift_expr(&mut self) -> PResult<Expr> {
         let mut lhs = self.unary_expr()?;
         loop {
             self.skip_ws();
@@ -380,7 +486,7 @@ impl<'a> Parser<'a> {
         Ok(lhs)
     }
 
-    fn unary_expr(&mut self) -> Result<Expr> {
+    fn unary_expr(&mut self) -> PResult<Expr> {
         self.skip_ws();
         if self.rest().starts_with('!') && !self.rest().starts_with("!=") {
             self.pos += 1;
@@ -395,7 +501,7 @@ impl<'a> Parser<'a> {
         self.primary_expr()
     }
 
-    fn primary_expr(&mut self) -> Result<Expr> {
+    fn primary_expr(&mut self) -> PResult<Expr> {
         self.skip_ws();
         let rest = self.rest();
         // Parenthesised.
@@ -417,12 +523,12 @@ impl<'a> Parser<'a> {
             let hex = self.string_literal()?;
             let cleaned: String = hex.chars().filter(|c| !c.is_whitespace()).collect();
             if !cleaned.len().is_multiple_of(2) {
-                return Err(self.error("hex literal needs an even digit count"));
+                return Err(self.error_code(E_LITERAL, "hex literal needs an even digit count"));
             }
             let mut bytes = Vec::with_capacity(cleaned.len() / 2);
             for i in (0..cleaned.len()).step_by(2) {
                 let byte = u8::from_str_radix(&cleaned[i..i + 2], 16)
-                    .map_err(|_| self.error("bad hex digit in byte literal"))?;
+                    .map_err(|_| self.error_code(E_LITERAL, "bad hex digit in byte literal"))?;
                 bytes.push(byte);
             }
             return Ok(Expr::Lit(Value::Bytes(bytes)));
@@ -442,7 +548,7 @@ impl<'a> Parser<'a> {
                 self.pos += 2 + hex.len();
                 return i64::from_str_radix(&hex, 16)
                     .map(Expr::int)
-                    .map_err(|_| self.error("bad hex integer"));
+                    .map_err(|_| self.error_code(E_LITERAL, "bad hex integer"));
             } else {
                 rest.chars()
                     .take_while(|c| c.is_ascii_digit() || *c == '_')
@@ -453,7 +559,7 @@ impl<'a> Parser<'a> {
             return cleaned
                 .parse::<i64>()
                 .map(Expr::int)
-                .map_err(|_| self.error("bad integer literal"));
+                .map_err(|_| self.error_code(E_LITERAL, "bad integer literal"));
         }
         // Keywords, builtins, variables.
         if self.eat_keyword("true") {
@@ -465,24 +571,28 @@ impl<'a> Parser<'a> {
         let name = self.ident()?;
         self.skip_ws();
         if self.rest().starts_with('(') {
-            let builtin = Builtin::from_name(&name)
-                .ok_or_else(|| self.error(format!("unknown builtin `{name}`")))?;
+            let builtin = Builtin::from_name(&name).ok_or_else(|| {
+                self.error_code(E_UNKNOWN_NAME, format!("unknown builtin `{name}`"))
+            })?;
             self.pos += 1;
             let args = self.args()?;
             self.expect(")")?;
             if args.len() != builtin.arity() {
-                return Err(self.error(format!(
-                    "builtin `{name}` expects {} arguments, got {}",
-                    builtin.arity(),
-                    args.len()
-                )));
+                return Err(self.error_code(
+                    E_LITERAL,
+                    format!(
+                        "builtin `{name}` expects {} arguments, got {}",
+                        builtin.arity(),
+                        args.len()
+                    ),
+                ));
             }
             return Ok(Expr::Call(builtin, args));
         }
         Ok(Expr::Var(name))
     }
 
-    fn args(&mut self) -> Result<Vec<Expr>> {
+    fn args(&mut self) -> PResult<Vec<Expr>> {
         let mut args = Vec::new();
         self.skip_ws();
         if self.rest().starts_with(')') {
@@ -498,7 +608,7 @@ impl<'a> Parser<'a> {
 
     // ---- statements -------------------------------------------------------
 
-    fn statements(&mut self) -> Result<Vec<Statement>> {
+    fn statements(&mut self) -> PResult<Vec<Statement>> {
         let mut out = Vec::new();
         loop {
             self.skip_ws();
@@ -509,14 +619,112 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn block(&mut self) -> Result<Vec<Statement>> {
+    /// The recovering statement loop: parse errors become diagnostics and
+    /// the parser resynchronises at the next statement boundary instead of
+    /// giving up. Stops at end of input or at a `}` for the caller (a
+    /// [`Parser::block`]) to consume.
+    fn statements_recovering(&mut self, program: &mut ParsedProgram) {
+        loop {
+            self.skip_ws();
+            if self.at_end() || self.rest().starts_with('}') {
+                return;
+            }
+            let start = self.pos;
+            match self.statement() {
+                Ok(stmt) => {
+                    for nested in self.nested.drain(..) {
+                        program.diagnostics.push(nested.into_diagnostic());
+                    }
+                    program.statements.push(stmt);
+                    program.spans.push(Span::new(start, self.pos));
+                }
+                Err(err) => {
+                    for nested in self.nested.drain(..) {
+                        program.diagnostics.push(nested.into_diagnostic());
+                    }
+                    program.diagnostics.push(err.into_diagnostic());
+                    self.synchronize();
+                    if self.pos == start {
+                        // Zero progress: consume one character so the loop
+                        // always terminates.
+                        let step = self.rest().chars().next().map_or(1, char::len_utf8);
+                        self.pos = (self.pos + step).min(self.text.len());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Skips forward to the next statement boundary: just past a `;` at
+    /// the current brace depth, or *onto* a `}` that closes the enclosing
+    /// block (left for the block parser to consume). Strings and line
+    /// comments are skipped so their contents cannot fake a boundary.
+    fn synchronize(&mut self) {
+        let bytes = self.text.as_bytes();
+        let mut depth = 0usize;
+        while self.pos < bytes.len() {
+            match bytes[self.pos] {
+                b';' if depth == 0 => {
+                    self.pos += 1;
+                    return;
+                }
+                b'{' => {
+                    depth += 1;
+                    self.pos += 1;
+                }
+                b'}' => {
+                    if depth == 0 {
+                        return;
+                    }
+                    depth -= 1;
+                    self.pos += 1;
+                }
+                b'"' => {
+                    self.pos += 1;
+                    while self.pos < bytes.len() {
+                        match bytes[self.pos] {
+                            b'\\' => self.pos = (self.pos + 2).min(bytes.len()),
+                            b'"' => {
+                                self.pos += 1;
+                                break;
+                            }
+                            _ => self.pos += 1,
+                        }
+                    }
+                }
+                b'/' if bytes.get(self.pos + 1) == Some(&b'/') => {
+                    while self.pos < bytes.len() && bytes[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    fn block(&mut self) -> PResult<Vec<Statement>> {
         self.expect("{")?;
-        let body = self.statements()?;
+        let body = if self.recovering {
+            // Collect nested errors as diagnostics (via the `nested`
+            // buffer) so a broken statement inside a block doesn't lose
+            // its siblings — recovery works at every nesting level.
+            let mut inner = ParsedProgram::default();
+            self.statements_recovering(&mut inner);
+            self.nested
+                .extend(inner.diagnostics.into_iter().map(|d| ParseErr {
+                    span: d.span.unwrap_or(Span::NONE),
+                    code: d.code,
+                    message: d.message,
+                }));
+            inner.statements
+        } else {
+            self.statements()?
+        };
         self.expect("}")?;
         Ok(body)
     }
 
-    fn statement(&mut self) -> Result<Statement> {
+    fn statement(&mut self) -> PResult<Statement> {
         if self.eat_keyword("send") {
             let port = self.ident()?;
             self.expect(".")?;
@@ -524,9 +732,9 @@ impl<'a> Parser<'a> {
             let model = self
                 .model
                 .ok_or_else(|| self.error("send statements need a model for signal lookup"))?;
-            let signal = model
-                .find_signal(&signal_name)
-                .ok_or_else(|| self.error(format!("unknown signal `{signal_name}`")))?;
+            let signal = model.find_signal(&signal_name).ok_or_else(|| {
+                self.error_code(E_UNKNOWN_NAME, format!("unknown signal `{signal_name}`"))
+            })?;
             self.expect("(")?;
             let args = self.args()?;
             self.expect(")")?;
@@ -557,7 +765,11 @@ impl<'a> Parser<'a> {
             let max_iter = if self.eat_keyword("bound") {
                 match self.expr()? {
                     Expr::Lit(Value::Int(n)) if n > 0 => n as u32,
-                    _ => return Err(self.error("`bound` needs a positive integer literal")),
+                    _ => {
+                        return Err(
+                            self.error_code(E_LITERAL, "`bound` needs a positive integer literal")
+                        )
+                    }
                 }
             } else {
                 1024
@@ -571,8 +783,9 @@ impl<'a> Parser<'a> {
         }
         if self.eat_keyword("compute") {
             let class_name = self.ident()?;
-            let class = CostClass::from_name(&class_name)
-                .ok_or_else(|| self.error(format!("unknown cost class `{class_name}`")))?;
+            let class = CostClass::from_name(&class_name).ok_or_else(|| {
+                self.error_code(E_UNKNOWN_NAME, format!("unknown cost class `{class_name}`"))
+            })?;
             let amount = self.expr()?;
             self.expect(";")?;
             return Ok(Statement::Compute { class, amount });
@@ -782,5 +995,72 @@ mod tests {
                 values: vec![Value::Int(12)],
             }]
         );
+    }
+
+    // ---- error recovery ---------------------------------------------------
+
+    #[test]
+    fn recovery_collects_every_broken_statement() {
+        let text = "a := 1;\nb := ;\nc := 3;\nd % 4;\ne := 5;\nsend p.Nope();\n";
+        let model = Model::new("M");
+        let parsed = parse_program(text, Some(&model));
+        assert_eq!(
+            parsed.statements.len(),
+            3,
+            "a, c, e survive: {:?}",
+            parsed.statements
+        );
+        assert_eq!(parsed.spans.len(), parsed.statements.len());
+        assert_eq!(parsed.diagnostics.len(), 3, "{}", parsed.diagnostics);
+        let codes: Vec<_> = parsed.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(codes, [E_SYNTAX, E_SYNTAX, E_UNKNOWN_NAME]);
+        for d in &parsed.diagnostics {
+            assert!(d.span.is_some(), "recovery diagnostics carry spans");
+        }
+    }
+
+    #[test]
+    fn recovery_inside_nested_blocks() {
+        let text = "if a > 0 {\n  x := ;\n  y := 2;\n}\nz := 3;";
+        let parsed = parse_program(text, None);
+        assert_eq!(parsed.diagnostics.len(), 1, "{}", parsed.diagnostics);
+        assert_eq!(
+            parsed.statements.len(),
+            2,
+            "the if (with its surviving body) and z"
+        );
+        let Statement::If { then_branch, .. } = &parsed.statements[0] else {
+            panic!("expected if");
+        };
+        assert_eq!(then_branch.len(), 1, "y survives inside the block");
+    }
+
+    #[test]
+    fn recovery_skips_boundaries_inside_strings_and_comments() {
+        // The `;`/`}` inside the string and comment must not be treated as
+        // statement boundaries while synchronising.
+        let text = "a := % \"; } fake\"; // ; also fake\nb := 2;";
+        let parsed = parse_program(text, None);
+        assert_eq!(parsed.diagnostics.len(), 1, "{}", parsed.diagnostics);
+        assert_eq!(parsed.statements.len(), 1);
+        assert!(matches!(&parsed.statements[0], Statement::Assign { var, .. } if var == "b"));
+    }
+
+    #[test]
+    fn recovery_terminates_on_pathological_input() {
+        for text in ["}", "}}}", "{", ";;;", "@#!", "if {", "a :="] {
+            let parsed = parse_program(text, None);
+            assert!(!parsed.diagnostics.is_empty(), "input {text:?}");
+        }
+    }
+
+    #[test]
+    fn recovered_spans_point_at_the_failure() {
+        let text = "good := 1;\nbad := ;\n";
+        let parsed = parse_program(text, None);
+        let diag = parsed.diagnostics.first().expect("one diagnostic");
+        let span = diag.span.expect("span");
+        // The failure is at the `;` where an expression should start.
+        assert_eq!(&text[span.start..span.start + 1], ";");
     }
 }

@@ -2,129 +2,164 @@
 //!
 //! [`check_model`] verifies the structural invariants that every model must
 //! satisfy regardless of profile (profile-specific design rules live in the
-//! `tut-profile` crate). Violations are collected rather than failing fast,
-//! so a designer sees every problem at once.
+//! `tut-profile` crate). Findings are collected into a
+//! [`DiagnosticBag`] rather than failing fast, so a designer sees every
+//! problem at once, and each carries a stable `E03xx` code plus the display
+//! form of the offending element (drivers that know where elements were
+//! declared use it to attach source spans).
 
 use std::collections::HashSet;
+
+use tut_diag::{Diagnostic, DiagnosticBag};
 
 use crate::ids::{ClassId, ElementRef};
 use crate::model::Model;
 
-/// A single well-formedness violation.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub struct Violation {
-    /// The element the violation is about.
-    pub element: ElementRef,
-    /// Human-readable description.
-    pub message: String,
+/// Duplicate class name.
+pub const E_DUP_CLASS: &str = "E0301";
+/// Duplicate signal name.
+pub const E_DUP_SIGNAL: &str = "E0302";
+/// Duplicate package name.
+pub const E_DUP_PACKAGE: &str = "E0303";
+/// Duplicate part role name within one class.
+pub const E_DUP_PART: &str = "E0304";
+/// Part with multiplicity zero.
+pub const E_ZERO_MULTIPLICITY: &str = "E0305";
+/// Duplicate port name on one class.
+pub const E_DUP_PORT: &str = "E0306";
+/// Connector references a part owned by another class.
+pub const E_CONNECTOR_FOREIGN_PART: &str = "E0307";
+/// Connector end port is not a port of the part's type.
+pub const E_CONNECTOR_BAD_PORT: &str = "E0308";
+/// Delegation end port is not on the owning class.
+pub const E_DELEGATION_BAD_PORT: &str = "E0309";
+/// Assembly connector carries no signal.
+pub const E_CONNECTOR_NO_SIGNAL: &str = "E0310";
+/// Composition cycle.
+pub const E_COMPOSITION_CYCLE: &str = "E0311";
+/// State machine failed its structural check.
+pub const E_BAD_STATE_MACHINE: &str = "E0312";
+/// Behaviour consumes a signal no port provides.
+pub const E_UNPROVIDED_TRIGGER: &str = "E0313";
+/// Active class without classifier behaviour.
+pub const E_ACTIVE_NO_BEHAVIOUR: &str = "E0314";
+/// Generalisation cycle.
+pub const E_GENERALISATION_CYCLE: &str = "E0315";
+
+fn violation(code: &'static str, element: impl Into<ElementRef>, message: String) -> Diagnostic {
+    Diagnostic::error(code, message).with_element(element.into().to_string())
 }
 
-impl std::fmt::Display for Violation {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}: {}", self.element, self.message)
-    }
-}
-
-/// Checks every structural invariant of `model` and returns all violations
-/// (empty when the model is well-formed).
+/// Checks every structural invariant of `model` and returns all findings
+/// (empty when the model is well-formed). Includes the flow-insensitive
+/// action type-check ([`crate::action::type_check`]) over every behaviour.
 ///
 /// Checked invariants:
 ///
-/// 1. Names of classes, signals, and packages are unique.
-/// 2. Part role names are unique within their owner.
-/// 3. Port names are unique within their owner.
+/// 1. Names of classes, signals, and packages are unique
+///    (`E0301`–`E0303`).
+/// 2. Part role names are unique within their owner and have nonzero
+///    multiplicity (`E0304`, `E0305`).
+/// 3. Port names are unique within their owner (`E0306`).
 /// 4. Connector ends reference ports that exist on the referenced part's
 ///    type (or on the owner itself for delegation ends), and the parts
-///    belong to the connector's owner.
+///    belong to the connector's owner (`E0307`–`E0309`).
 /// 5. Connected port pairs are compatible: every signal required by one end
-///    is provided by the other (delegation ends pass signals through).
-/// 6. Composition is acyclic (a class cannot transitively contain itself).
+///    is provided by the other (delegation ends pass signals through)
+///    (`E0310`).
+/// 6. Composition is acyclic (`E0311`).
 /// 7. Every active class has a behaviour and it passes
 ///    [`crate::statemachine::StateMachine::check`]; signal triggers refer to
-///    signals the class's ports provide.
-/// 8. Generalisation is acyclic.
-pub fn check_model(model: &Model) -> Vec<Violation> {
-    let mut violations = Vec::new();
-    check_unique_names(model, &mut violations);
-    check_parts_and_ports(model, &mut violations);
-    check_connectors(model, &mut violations);
-    check_composition_cycles(model, &mut violations);
-    check_behaviors(model, &mut violations);
-    check_generalisation_cycles(model, &mut violations);
-    violations
+///    signals the class's ports provide; the behaviour's action programs
+///    type-check (`E0312`–`E0314`, `E0316`–`E0318`).
+/// 8. Generalisation is acyclic (`E0315`).
+pub fn check_model(model: &Model) -> DiagnosticBag {
+    let mut bag = DiagnosticBag::new();
+    check_unique_names(model, &mut bag);
+    check_parts_and_ports(model, &mut bag);
+    check_connectors(model, &mut bag);
+    check_composition_cycles(model, &mut bag);
+    check_behaviors(model, &mut bag);
+    check_generalisation_cycles(model, &mut bag);
+    bag
 }
 
-fn check_unique_names(model: &Model, violations: &mut Vec<Violation>) {
+fn check_unique_names(model: &Model, bag: &mut DiagnosticBag) {
     let mut seen: HashSet<&str> = HashSet::new();
     for (id, class) in model.classes() {
         if !seen.insert(class.name()) {
-            violations.push(Violation {
-                element: id.into(),
-                message: format!("duplicate class name `{}`", class.name()),
-            });
+            bag.push(violation(
+                E_DUP_CLASS,
+                id,
+                format!("duplicate class name `{}`", class.name()),
+            ));
         }
     }
     let mut seen: HashSet<&str> = HashSet::new();
     for (id, sig) in model.signals() {
         if !seen.insert(sig.name()) {
-            violations.push(Violation {
-                element: id.into(),
-                message: format!("duplicate signal name `{}`", sig.name()),
-            });
+            bag.push(violation(
+                E_DUP_SIGNAL,
+                id,
+                format!("duplicate signal name `{}`", sig.name()),
+            ));
         }
     }
     let mut seen: HashSet<&str> = HashSet::new();
     for (id, pkg) in model.packages() {
         if !seen.insert(pkg.name()) {
-            violations.push(Violation {
-                element: id.into(),
-                message: format!("duplicate package name `{}`", pkg.name()),
-            });
+            bag.push(violation(
+                E_DUP_PACKAGE,
+                id,
+                format!("duplicate package name `{}`", pkg.name()),
+            ));
         }
     }
 }
 
-fn check_parts_and_ports(model: &Model, violations: &mut Vec<Violation>) {
-    for (class_id, class) in model.classes() {
+fn check_parts_and_ports(model: &Model, bag: &mut DiagnosticBag) {
+    for (_, class) in model.classes() {
         let mut seen: HashSet<&str> = HashSet::new();
         for &part in class.parts() {
             let p = model.property(part);
             if !seen.insert(p.name()) {
-                violations.push(Violation {
-                    element: part.into(),
-                    message: format!(
+                bag.push(violation(
+                    E_DUP_PART,
+                    part,
+                    format!(
                         "duplicate part name `{}` in class `{}`",
                         p.name(),
                         class.name()
                     ),
-                });
+                ));
             }
             if p.multiplicity() == 0 {
-                violations.push(Violation {
-                    element: part.into(),
-                    message: format!("part `{}` has multiplicity 0", p.name()),
-                });
+                bag.push(violation(
+                    E_ZERO_MULTIPLICITY,
+                    part,
+                    format!("part `{}` has multiplicity 0", p.name()),
+                ));
             }
         }
         let mut seen: HashSet<&str> = HashSet::new();
         for &port in class.ports() {
             let p = model.port(port);
             if !seen.insert(p.name()) {
-                violations.push(Violation {
-                    element: port.into(),
-                    message: format!(
+                bag.push(violation(
+                    E_DUP_PORT,
+                    port,
+                    format!(
                         "duplicate port name `{}` on class `{}`",
                         p.name(),
                         class.name()
                     ),
-                });
+                ));
             }
-            let _ = class_id;
         }
     }
 }
 
-fn check_connectors(model: &Model, violations: &mut Vec<Violation>) {
+fn check_connectors(model: &Model, bag: &mut DiagnosticBag) {
     for (conn_id, conn) in model.connectors() {
         let owner = conn.owner();
         let mut end_signals: Vec<(HashSet<_>, HashSet<_>)> = Vec::new();
@@ -134,37 +169,40 @@ fn check_connectors(model: &Model, violations: &mut Vec<Violation>) {
                 Some(part) => {
                     let p = model.property(part);
                     if p.owner() != owner {
-                        violations.push(Violation {
-                            element: conn_id.into(),
-                            message: format!(
+                        bag.push(violation(
+                            E_CONNECTOR_FOREIGN_PART,
+                            conn_id,
+                            format!(
                                 "connector `{}` references part `{}` that belongs to another class",
                                 conn.name(),
                                 p.name()
                             ),
-                        });
+                        ));
                     }
                     if port.owner() != p.type_() {
-                        violations.push(Violation {
-                            element: conn_id.into(),
-                            message: format!(
+                        bag.push(violation(
+                            E_CONNECTOR_BAD_PORT,
+                            conn_id,
+                            format!(
                                 "connector `{}` end port `{}` is not a port of part type `{}`",
                                 conn.name(),
                                 port.name(),
                                 model.class(p.type_()).name()
                             ),
-                        });
+                        ));
                     }
                 }
                 None => {
                     if port.owner() != owner {
-                        violations.push(Violation {
-                            element: conn_id.into(),
-                            message: format!(
+                        bag.push(violation(
+                            E_DELEGATION_BAD_PORT,
+                            conn_id,
+                            format!(
                                 "connector `{}` delegation end port `{}` is not on the owning class",
                                 conn.name(),
                                 port.name()
                             ),
-                        });
+                        ));
                     }
                 }
             }
@@ -186,63 +224,62 @@ fn check_connectors(model: &Model, violations: &mut Vec<Violation>) {
             let carries_ba = req_b.intersection(prov_a).count();
             let any_required = !req_a.is_empty() || !req_b.is_empty();
             if any_required && carries_ab + carries_ba == 0 {
-                violations.push(Violation {
-                    element: conn_id.into(),
-                    message: format!(
+                bag.push(violation(
+                    E_CONNECTOR_NO_SIGNAL,
+                    conn_id,
+                    format!(
                         "connector `{}` carries no signal: nothing required by one end is provided by the other",
                         conn.name()
                     ),
-                });
+                ));
             }
         }
     }
 }
 
-fn check_composition_cycles(model: &Model, violations: &mut Vec<Violation>) {
+fn check_composition_cycles(model: &Model, bag: &mut DiagnosticBag) {
     // DFS over the "contains a part of type" relation.
     fn visit(
         model: &Model,
         class: ClassId,
         stack: &mut Vec<ClassId>,
         done: &mut HashSet<ClassId>,
-        violations: &mut Vec<Violation>,
+        bag: &mut DiagnosticBag,
     ) {
         if done.contains(&class) {
             return;
         }
         if stack.contains(&class) {
-            violations.push(Violation {
-                element: class.into(),
-                message: format!(
+            bag.push(violation(
+                E_COMPOSITION_CYCLE,
+                class,
+                format!(
                     "composition cycle: class `{}` transitively contains itself",
                     model.class(class).name()
                 ),
-            });
+            ));
             return;
         }
         stack.push(class);
         for &part in model.class(class).parts() {
-            visit(model, model.property(part).type_(), stack, done, violations);
+            visit(model, model.property(part).type_(), stack, done, bag);
         }
         stack.pop();
         done.insert(class);
     }
     let mut done = HashSet::new();
     for (id, _) in model.classes() {
-        visit(model, id, &mut Vec::new(), &mut done, violations);
+        visit(model, id, &mut Vec::new(), &mut done, bag);
     }
 }
 
-fn check_behaviors(model: &Model, violations: &mut Vec<Violation>) {
+fn check_behaviors(model: &Model, bag: &mut DiagnosticBag) {
     for (class_id, class) in model.classes() {
         match class.behavior() {
             Some(sm_id) => {
                 let sm = model.state_machine(sm_id);
                 if let Err(err) = sm.check() {
-                    violations.push(Violation {
-                        element: class_id.into(),
-                        message: err.to_string(),
-                    });
+                    bag.push(violation(E_BAD_STATE_MACHINE, class_id, err.to_string()));
                 }
                 // Signal triggers must be receivable through some port.
                 let provided: HashSet<_> = class
@@ -252,33 +289,42 @@ fn check_behaviors(model: &Model, violations: &mut Vec<Violation>) {
                     .collect();
                 for sig in sm.input_alphabet() {
                     if !provided.contains(&sig) {
-                        violations.push(Violation {
-                            element: class_id.into(),
-                            message: format!(
+                        bag.push(violation(
+                            E_UNPROVIDED_TRIGGER,
+                            class_id,
+                            format!(
                                 "behaviour of `{}` consumes signal `{}` that no port provides",
                                 class.name(),
                                 model.signal(sig).name()
                             ),
-                        });
+                        ));
                     }
+                }
+                // Flow-insensitive action type-check (E0316–E0318),
+                // attributed to the owning class.
+                let element = ElementRef::from(class_id).to_string();
+                for mut diag in crate::action::type_check(model, sm) {
+                    diag.element = Some(element.clone());
+                    bag.push(diag);
                 }
             }
             None => {
                 if class.is_active() {
-                    violations.push(Violation {
-                        element: class_id.into(),
-                        message: format!(
+                    bag.push(violation(
+                        E_ACTIVE_NO_BEHAVIOUR,
+                        class_id,
+                        format!(
                             "active class `{}` has no classifier behaviour",
                             class.name()
                         ),
-                    });
+                    ));
                 }
             }
         }
     }
 }
 
-fn check_generalisation_cycles(model: &Model, violations: &mut Vec<Violation>) {
+fn check_generalisation_cycles(model: &Model, bag: &mut DiagnosticBag) {
     for (id, _) in model.classes() {
         let mut slow = id;
         let mut fast = id;
@@ -293,13 +339,14 @@ fn check_generalisation_cycles(model: &Model, violations: &mut Vec<Violation>) {
             };
             slow = model.class(slow).general().expect("slow lags fast");
             if slow == fast {
-                violations.push(Violation {
-                    element: id.into(),
-                    message: format!(
+                bag.push(violation(
+                    E_GENERALISATION_CYCLE,
+                    id,
+                    format!(
                         "generalisation cycle involving class `{}`",
                         model.class(id).name()
                     ),
-                });
+                ));
                 break;
             }
         }
@@ -340,7 +387,8 @@ mod tests {
         sm.set_initial(s);
         sm.add_transition(s, s, Trigger::Signal(sig), None, vec![]);
         m.add_state_machine(worker, sm);
-        assert_eq!(check_model(&m), vec![]);
+        let bag = check_model(&m);
+        assert!(bag.is_empty(), "{bag}");
     }
 
     #[test]
@@ -350,9 +398,11 @@ mod tests {
         m.add_class("Same");
         m.add_signal("S");
         m.add_signal("S");
-        let v = check_model(&m);
-        assert_eq!(v.len(), 2);
-        assert!(v[0].message.contains("duplicate class name"));
+        let bag = check_model(&m);
+        assert_eq!(bag.len(), 2);
+        let codes: Vec<_> = bag.iter().map(|d| d.code).collect();
+        assert_eq!(codes, [E_DUP_CLASS, E_DUP_SIGNAL]);
+        assert!(bag.iter().all(|d| d.element.is_some()));
     }
 
     #[test]
@@ -380,8 +430,8 @@ mod tests {
                 port: inp,
             },
         );
-        let v = check_model(&m);
-        assert!(v.iter().any(|x| x.message.contains("carries no signal")));
+        let bag = check_model(&m);
+        assert!(bag.iter().any(|d| d.code == E_CONNECTOR_NO_SIGNAL), "{bag}");
 
         // Providing the signal fixes it.
         m.port_mut(inp).add_provided(sig);
@@ -408,10 +458,8 @@ mod tests {
                 port: stray_port,
             },
         );
-        let v = check_model(&m);
-        assert!(v
-            .iter()
-            .any(|x| x.message.contains("not a port of part type")));
+        let bag = check_model(&m);
+        assert!(bag.iter().any(|d| d.code == E_CONNECTOR_BAD_PORT), "{bag}");
     }
 
     #[test]
@@ -421,8 +469,8 @@ mod tests {
         let b = m.add_class("B");
         m.add_part(a, "b", b);
         m.add_part(b, "a", a);
-        let v = check_model(&m);
-        assert!(v.iter().any(|x| x.message.contains("composition cycle")));
+        let bag = check_model(&m);
+        assert!(bag.iter().any(|d| d.code == E_COMPOSITION_CYCLE), "{bag}");
     }
 
     #[test]
@@ -435,8 +483,8 @@ mod tests {
         sm.set_initial(s);
         sm.add_transition(s, s, Trigger::Signal(sig), None, vec![]);
         m.add_state_machine(c, sm);
-        let v = check_model(&m);
-        assert!(v.iter().any(|x| x.message.contains("no port provides")));
+        let bag = check_model(&m);
+        assert!(bag.iter().any(|d| d.code == E_UNPROVIDED_TRIGGER), "{bag}");
     }
 
     #[test]
@@ -446,8 +494,11 @@ mod tests {
         let b = m.add_class("B");
         m.class_mut(a).set_general(Some(b));
         m.class_mut(b).set_general(Some(a));
-        let v = check_model(&m);
-        assert!(v.iter().any(|x| x.message.contains("generalisation cycle")));
+        let bag = check_model(&m);
+        assert!(
+            bag.iter().any(|d| d.code == E_GENERALISATION_CYCLE),
+            "{bag}"
+        );
     }
 
     #[test]
@@ -455,9 +506,37 @@ mod tests {
         let mut m = Model::new("M");
         let c = m.add_class("C");
         m.class_mut(c).set_active(true);
-        let v = check_model(&m);
-        assert!(v
+        let bag = check_model(&m);
+        assert!(bag.iter().any(|d| d.code == E_ACTIVE_NO_BEHAVIOUR), "{bag}");
+    }
+
+    #[test]
+    fn action_type_errors_surface_with_class_attribution() {
+        use crate::action::{Expr, Statement, E_UNBOUND_VAR};
+        let mut m = Model::new("M");
+        let c = m.add_class("C");
+        let mut sm = StateMachine::new("B");
+        let s = sm.add_state("S0");
+        sm.set_initial(s);
+        sm.add_transition(
+            s,
+            s,
+            Trigger::Completion,
+            None,
+            vec![Statement::Assign {
+                var: "x".into(),
+                expr: Expr::var("ghost"),
+            }],
+        );
+        m.add_state_machine(c, sm);
+        let bag = check_model(&m);
+        let finding = bag
             .iter()
-            .any(|x| x.message.contains("no classifier behaviour")));
+            .find(|d| d.code == E_UNBOUND_VAR)
+            .unwrap_or_else(|| panic!("no unbound-var finding in {bag}"));
+        assert_eq!(
+            finding.element.as_deref(),
+            Some(ElementRef::from(c).to_string().as_str())
+        );
     }
 }

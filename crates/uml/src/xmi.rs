@@ -9,14 +9,36 @@
 //! The format follows XMI conventions loosely (`xmi:XMI` root,
 //! `packagedElement` with `xmi:type`) but is self-describing rather than
 //! schema-exact — the paper's tooling was equally tool-specific.
+//!
+//! # Textual action attributes
+//!
+//! The writer serialises statements and expressions structurally, but the
+//! reader additionally accepts the designer-facing textual notation inline:
+//! an `<entry>`, `<actions>`, or `<guard>` element may carry a `text`
+//! attribute holding [`crate::textual`] source instead of structural
+//! children. [`read_model`] parses such attributes with statement-level
+//! error recovery and maps the resulting diagnostics' spans back into the
+//! enclosing document, so a syntax error inside an action string is
+//! reported at its real line and column in the `.xml` file. (Offsets drift
+//! after an XML entity reference inside the attribute, since spans index
+//! the unescaped text; plain action source needs none.)
+
+use std::collections::HashMap;
+
+use tut_diag::{Diagnostic, DiagnosticBag, Span};
 
 use crate::action::{BinOp, Builtin, CostClass, Expr, Statement, UnaryOp};
 use crate::error::{Error, Result};
 use crate::ids::{ClassId, ElementRef, PackageId, PortId, PropertyId, SignalId, StateId};
 use crate::model::{ConnectorEnd, Model};
 use crate::statemachine::{StateMachine, Trigger};
+use crate::textual;
 use crate::value::{DataType, Value};
 use crate::xml::XmlNode;
+
+/// XMI structure error code (lenient reading surfaces these as
+/// diagnostics through the check driver).
+pub const E_XMI_STRUCTURE: &str = "E0102";
 
 /// Serialises a model to an XML string.
 pub fn to_xml(model: &Model) -> String {
@@ -31,6 +53,37 @@ pub fn to_xml(model: &Model) -> String {
 /// [`Error::XmiStructure`] when the XML does not describe a valid model.
 pub fn from_xml(text: &str) -> Result<Model> {
     from_xml_node(&XmlNode::parse(text)?)
+}
+
+/// Maps element display forms (e.g. `"class3"`, `"port0"`) to the span of
+/// the XML start tag that declared them.
+///
+/// Model-level diagnostics carry only an element attribution (the display
+/// form); a driver that read the model from a document uses this index to
+/// attach real source locations to them.
+#[derive(Clone, Debug, Default)]
+pub struct SpanIndex {
+    entries: HashMap<String, Span>,
+}
+
+impl SpanIndex {
+    /// The declaration span of an element, by display form.
+    pub fn get(&self, element: &str) -> Option<Span> {
+        self.entries
+            .get(element)
+            .copied()
+            .filter(|s| *s != Span::NONE)
+    }
+
+    /// Number of indexed elements.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was indexed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
 }
 
 /// Serialises a model to an [`XmlNode`] tree.
@@ -172,6 +225,31 @@ pub fn to_xml_node(model: &Model) -> XmlNode {
 /// Returns [`Error::XmiStructure`] when required elements or attributes
 /// are missing or malformed.
 pub fn from_xml_node(root: &XmlNode) -> Result<Model> {
+    let mut bag = DiagnosticBag::new();
+    let (model, _) = read_model(root, &mut bag)?;
+    if let Some(first) = bag.iter().find(|d| d.is_error()) {
+        return Err(Error::Action(first.to_string()));
+    }
+    Ok(model)
+}
+
+/// Reconstructs a model from an [`XmlNode`] tree, recovering from errors
+/// in embedded textual action language.
+///
+/// This is the lenient counterpart of [`from_xml_node`]: `<entry>`,
+/// `<actions>`, and `<guard>` elements may carry the designer-facing
+/// textual notation in a `text` attribute, and parse errors inside it are
+/// pushed into `bag` as spanned diagnostics (located in the enclosing
+/// document) instead of aborting the read. Broken statements are dropped;
+/// the surviving model is returned together with a [`SpanIndex`] mapping
+/// element display forms to their declaration spans.
+///
+/// # Errors
+///
+/// Returns [`Error::XmiStructure`] when required elements or attributes
+/// are missing or malformed — structural damage still fails fast because
+/// nothing downstream can interpret a half-decoded element.
+pub fn read_model(root: &XmlNode, bag: &mut DiagnosticBag) -> Result<(Model, SpanIndex)> {
     if root.name != "xmi:XMI" {
         return Err(Error::XmiStructure(format!(
             "expected root `xmi:XMI`, found `{}`",
@@ -180,6 +258,13 @@ pub fn from_xml_node(root: &XmlNode) -> Result<Model> {
     }
     let doc = root.required_child("uml:Model")?;
     let mut model = Model::new(doc.required_attr("name")?);
+
+    let mut index = SpanIndex::default();
+    for node in doc.children_named("packagedElement") {
+        if let Some(id) = node.attr("xmi:id") {
+            index.entries.insert(id.to_owned(), node.span);
+        }
+    }
 
     let typed = |ty: &'static str| {
         doc.children_named("packagedElement")
@@ -303,7 +388,7 @@ pub fn from_xml_node(root: &XmlNode) -> Result<Model> {
         }
         for state in node.children_named("state") {
             let entry = match state.child("entry") {
-                Some(entry) => decode_statements(entry)?,
+                Some(entry) => decode_program(entry, &model, bag)?,
                 None => Vec::new(),
             };
             let sid = sm.add_state_with_entry(state.required_attr("name")?, entry);
@@ -332,17 +417,30 @@ pub fn from_xml_node(root: &XmlNode) -> Result<Model> {
                     )))
                 }
             };
-            let guard = t
-                .child("guard")
-                .map(|g| {
-                    g.children
-                        .first()
-                        .ok_or_else(|| Error::XmiStructure("empty guard element".into()))
-                        .and_then(decode_expr)
-                })
-                .transpose()?;
+            let guard = match t.child("guard") {
+                Some(g) => match g.attr("text") {
+                    Some(text) => match textual::parse_expr(text) {
+                        Ok(expr) => Some(expr),
+                        Err(err) => {
+                            let span = g.attr_span("text").unwrap_or(Span::NONE);
+                            bag.push(
+                                Diagnostic::error(textual::E_SYNTAX, format!("in guard: {err}"))
+                                    .with_span(span),
+                            );
+                            None
+                        }
+                    },
+                    None => Some(
+                        g.children
+                            .first()
+                            .ok_or_else(|| Error::XmiStructure("empty guard element".into()))
+                            .and_then(decode_expr)?,
+                    ),
+                },
+                None => None,
+            };
             let actions = match t.child("actions") {
-                Some(actions) => decode_statements(actions)?,
+                Some(actions) => decode_program(actions, &model, bag)?,
                 None => Vec::new(),
             };
             sm.add_transition(source, target, trigger, guard, actions);
@@ -357,7 +455,28 @@ pub fn from_xml_node(root: &XmlNode) -> Result<Model> {
     for (id, _, active) in class_fixups {
         model.class_mut(id).set_active(active);
     }
-    Ok(model)
+    Ok((model, index))
+}
+
+/// Decodes an `<entry>` or `<actions>` element: structural children by
+/// default, or textual notation from a `text` attribute with recovery.
+fn decode_program(
+    parent: &XmlNode,
+    model: &Model,
+    bag: &mut DiagnosticBag,
+) -> Result<Vec<Statement>> {
+    match parent.attr("text") {
+        Some(text) => {
+            let base = parent.attr_span("text").unwrap_or(Span::NONE).start;
+            let parsed = textual::parse_program(text, Some(model));
+            for mut d in parsed.diagnostics {
+                d.span = d.span.map(|s| s.offset(base));
+                bag.push(d);
+            }
+            Ok(parsed.statements)
+        }
+        None => decode_statements(parent),
+    }
 }
 
 fn packaged(ty: &str, id: &str, name: &str) -> XmlNode {
@@ -988,6 +1107,88 @@ mod tests {
         assert!(from_xml("<xmi:XMI/>").is_err());
         assert!(from_xml("<wrong/>").is_err());
         assert!(from_xml("not xml at all").is_err());
+    }
+
+    fn textual_doc(entry: &str, guard: &str, actions: &str) -> String {
+        format!(
+            r#"<xmi:XMI>
+<uml:Model name="M">
+<packagedElement xmi:type="uml:Signal" xmi:id="sig0" name="Data">
+<ownedParameter name="seq" type="Int"/>
+</packagedElement>
+<packagedElement xmi:type="uml:Class" xmi:id="class0" name="Worker" isActive="true" classifierBehavior="sm0"/>
+<packagedElement xmi:type="uml:Port" xmi:id="port0" name="out" owner="class0">
+<required signal="sig0"/>
+</packagedElement>
+<packagedElement xmi:type="uml:StateMachine" xmi:id="sm0" name="B">
+<variable name="n" type="Int"><value type="Int" data="0"/></variable>
+<state xmi:id="state0" name="Idle">
+<entry text="{entry}"/>
+</state>
+<initial state="state0"/>
+<transition source="state0" target="state0">
+<trigger kind="signal" signal="sig0"/>
+<guard text="{guard}"/>
+<actions text="{actions}"/>
+</transition>
+</packagedElement>
+</uml:Model>
+</xmi:XMI>"#
+        )
+    }
+
+    #[test]
+    fn textual_attributes_read_cleanly() {
+        let text = textual_doc("n := 1;", "n == 1", "n := n + 1; send out.Data(n);");
+        let root = XmlNode::parse(&text).unwrap();
+        let mut bag = DiagnosticBag::new();
+        let (model, index) = read_model(&root, &mut bag).expect("read");
+        assert!(bag.is_empty(), "unexpected diagnostics: {bag}");
+
+        let sm = model.state_machines().next().unwrap().1;
+        let (_, t) = sm.transitions().next().unwrap();
+        assert!(t.guard().is_some());
+        assert_eq!(t.actions().len(), 2);
+        assert!(matches!(t.actions()[1], Statement::Send { .. }));
+
+        // The index points at the declaring start tags.
+        let class_span = index.get("class0").expect("class0 indexed");
+        assert!(text[class_span.start..].starts_with("<packagedElement"));
+        assert!(index.get("sm0").is_some());
+        assert!(index.get("nonexistent").is_none());
+    }
+
+    #[test]
+    fn broken_textual_attributes_recover_with_document_spans() {
+        let text = textual_doc("n := 1;", "n ==", "n := ; n := 2;");
+        let root = XmlNode::parse(&text).unwrap();
+        let mut bag = DiagnosticBag::new();
+        let (model, _) = read_model(&root, &mut bag).expect("read");
+
+        // One guard error, one actions error; the guard is dropped and the
+        // surviving action statement is kept.
+        assert_eq!(bag.error_count(), 2);
+        assert!(bag.iter().all(|d| d.code == textual::E_SYNTAX));
+        let sm = model.state_machines().next().unwrap().1;
+        let (_, t) = sm.transitions().next().unwrap();
+        assert!(t.guard().is_none());
+        assert_eq!(t.actions().len(), 1);
+
+        // Spans land inside the document's attribute values.
+        let actions_attr = text.find("n := ;").unwrap();
+        let d = bag
+            .iter()
+            .find(|d| d.span.is_some_and(|s| s.start >= actions_attr))
+            .expect("actions diagnostic carries a document span");
+        let span = d.span.unwrap();
+        assert!(span.start < actions_attr + "n := ;".len());
+    }
+
+    #[test]
+    fn strict_reader_rejects_broken_textual_attributes() {
+        let text = textual_doc("n := ;", "n == 1", "n := 2;");
+        let err = from_xml(&text).unwrap_err();
+        assert!(err.to_string().contains("E0110"), "got: {err}");
     }
 
     #[test]

@@ -25,10 +25,18 @@
 
 use std::fmt::Write as _;
 
+use tut_diag::{SourceMap, Span};
+
 use crate::error::{Error, Result};
 
 /// An XML element node.
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
+///
+/// Parsed nodes carry source [`Span`]s (the start tag for the element, the
+/// quoted value for each attribute) so downstream decoders can attach
+/// line:column locations to their diagnostics. Programmatically built nodes
+/// have [`Span::NONE`] everywhere. Spans are *ignored* by equality so that
+/// write → parse round trips compare equal.
+#[derive(Clone, Eq, Debug, Default)]
 pub struct XmlNode {
     /// Element name (namespace prefixes included verbatim, e.g. `xmi:XMI`).
     pub name: String,
@@ -38,6 +46,24 @@ pub struct XmlNode {
     pub children: Vec<XmlNode>,
     /// Concatenated character data directly inside this element.
     pub text: String,
+    /// Span of `<name` in the source document ([`Span::NONE`] when built
+    /// programmatically).
+    pub span: Span,
+    /// Value spans parallel to `attrs` (each covers the text between the
+    /// quotes in the source document).
+    pub attr_spans: Vec<Span>,
+}
+
+/// Source spans are bookkeeping, not document content: two trees that
+/// serialise identically are equal regardless of where they were parsed
+/// from.
+impl PartialEq for XmlNode {
+    fn eq(&self, other: &XmlNode) -> bool {
+        self.name == other.name
+            && self.attrs == other.attrs
+            && self.children == other.children
+            && self.text == other.text
+    }
 }
 
 impl XmlNode {
@@ -57,8 +83,16 @@ impl XmlNode {
             existing.1 = value;
         } else {
             self.attrs.push((key, value));
+            self.attr_spans.push(Span::NONE);
         }
         self
+    }
+
+    /// Returns the source span of an attribute's value, when the node was
+    /// parsed from a document. [`Span::NONE`] for built nodes.
+    pub fn attr_span(&self, key: &str) -> Option<Span> {
+        let index = self.attrs.iter().position(|(k, _)| k == key)?;
+        Some(self.attr_spans.get(index).copied().unwrap_or(Span::NONE))
     }
 
     /// Returns an attribute value by name.
@@ -147,9 +181,11 @@ impl XmlNode {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::XmlSyntax`] with a byte offset on malformed input.
+    /// Returns [`Error::XmlSyntax`] carrying both the byte offset and its
+    /// resolved line:column on malformed input.
     pub fn parse(input: &str) -> Result<XmlNode> {
         let mut parser = Parser {
+            text: input,
             bytes: input.as_bytes(),
             pos: 0,
         };
@@ -180,14 +216,21 @@ pub fn escape(text: &str) -> String {
 }
 
 struct Parser<'a> {
+    text: &'a str,
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Parser<'a> {
+    /// Builds an [`Error::XmlSyntax`] at the current position. Line/column
+    /// resolution indexes the whole document, which is fine on the
+    /// fail-fast error path.
     fn error(&self, message: impl Into<String>) -> Error {
+        let at = SourceMap::new("input", self.text).locate(self.pos);
         Error::XmlSyntax {
             offset: self.pos,
+            line: at.line,
+            column: at.column,
             message: message.into(),
         }
     }
@@ -262,7 +305,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn parse_attr_value(&mut self) -> Result<String> {
+    fn parse_attr_value(&mut self) -> Result<(String, Span)> {
         let quote = match self.peek() {
             Some(q @ (b'"' | b'\'')) => q,
             _ => return Err(self.error("expected quoted attribute value")),
@@ -273,8 +316,9 @@ impl<'a> Parser<'a> {
             if b == quote {
                 let raw = std::str::from_utf8(&self.bytes[start..self.pos])
                     .map_err(|_| self.error("attribute value is not utf-8"))?;
+                let span = Span::new(start, self.pos);
                 self.pos += 1;
-                return unescape(raw).map_err(|m| self.error(m));
+                return unescape(raw).map(|v| (v, span)).map_err(|m| self.error(m));
             }
             if b == b'<' {
                 return Err(self.error("`<` inside attribute value"));
@@ -285,9 +329,11 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_element(&mut self) -> Result<XmlNode> {
+        let tag_start = self.pos;
         self.expect(b'<')?;
         let name = self.parse_name()?;
         let mut node = XmlNode::new(name);
+        node.span = Span::new(tag_start, self.pos);
         loop {
             self.skip_whitespace();
             match self.peek() {
@@ -305,8 +351,9 @@ impl<'a> Parser<'a> {
                     self.skip_whitespace();
                     self.expect(b'=')?;
                     self.skip_whitespace();
-                    let value = self.parse_attr_value()?;
+                    let (value, span) = self.parse_attr_value()?;
                     node.attrs.push((key, value));
+                    node.attr_spans.push(span);
                 }
                 None => return Err(self.error("unterminated start tag")),
             }
@@ -477,12 +524,45 @@ mod tests {
     }
 
     #[test]
-    fn error_carries_offset() {
+    fn error_carries_offset_and_line_col() {
         let err = XmlNode::parse("<a></b>").unwrap_err();
         match err {
-            Error::XmlSyntax { offset, .. } => assert!(offset > 0),
+            Error::XmlSyntax {
+                offset,
+                line,
+                column,
+                ..
+            } => {
+                assert!(offset > 0);
+                assert_eq!(line, 1);
+                assert_eq!(column, offset + 1, "single-line input: column = offset + 1");
+            }
             other => panic!("unexpected error {other:?}"),
         }
+        // A failure on a later line resolves to that line.
+        let err = XmlNode::parse("<a>\n  <b>\n</a>").unwrap_err();
+        match err {
+            Error::XmlSyntax { line, .. } => assert!(line >= 2, "line was {line}"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parsed_nodes_carry_spans() {
+        let doc = "<root name=\"top\">\n  <leaf kind=\"x\"/>\n</root>";
+        let parsed = XmlNode::parse(doc).unwrap();
+        assert_eq!(&doc[parsed.span.start..parsed.span.end], "<root");
+        let name_span = parsed.attr_span("name").unwrap();
+        assert_eq!(&doc[name_span.start..name_span.end], "top");
+        let leaf = &parsed.children[0];
+        assert_eq!(&doc[leaf.span.start..leaf.span.end], "<leaf");
+        let kind_span = leaf.attr_span("kind").unwrap();
+        assert_eq!(&doc[kind_span.start..kind_span.end], "x");
+        // Built nodes have no spans, and equality ignores spans entirely.
+        let mut built = XmlNode::new("leaf");
+        built.set_attr("kind", "x");
+        assert_eq!(built.attr_span("kind"), Some(Span::NONE));
+        assert_eq!(built, *leaf);
     }
 
     #[test]

@@ -32,6 +32,22 @@ cargo run --release -q -p tut-bench --bin repro -- fault-sweep --quick
 echo "==> repro bench --quick (sim throughput regression floor)"
 cargo run --release -q -p tut-bench --bin repro -- bench --quick
 
+echo "==> repro check (diagnostics exit contract)"
+# Clean model: warnings at most, exit 0.
+cargo run --release -q -p tut-bench --bin repro -- check > /dev/null
+# Known-bad fixture: must exit nonzero and report the expected stable
+# codes — a syntax error, a well-formedness violation, and a profile-rule
+# violation, all in one run.
+if check_out=$(cargo run --release -q -p tut-bench --bin repro -- check \
+    crates/bench/fixtures/check_bad.xml); then
+    echo "repro check on check_bad.xml should have exited nonzero"; exit 1;
+fi
+for code in E0110 E0314 E0202; do
+    if ! grep -q "$code" <<< "$check_out"; then
+        echo "repro check on check_bad.xml did not report $code"; exit 1;
+    fi
+done
+
 if [[ "$quick" -eq 0 ]]; then
     echo "==> cargo clippy --workspace --all-targets -- -D warnings"
     cargo clippy --workspace --all-targets -- -D warnings

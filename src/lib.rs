@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 
 pub use tut_codegen as codegen;
+pub use tut_diag as diag;
 pub use tut_explore as explore;
 pub use tut_faults as faults;
 pub use tut_hibi as hibi;

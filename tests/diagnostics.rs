@@ -1,0 +1,111 @@
+//! Golden tests for the diagnostics engine: parser error recovery over a
+//! fixture with several distinct syntax errors, and snapshot tests for
+//! the text and JSON renderers.
+
+use tut_profile_suite::diag::{
+    render_bag_json, render_bag_text, Diagnostic, DiagnosticBag, SourceMap, Span,
+};
+use tut_profile_suite::uml::textual;
+
+/// A program with three distinct broken statements interleaved with good
+/// ones. Recovery must surface every failure and keep every survivor.
+const BROKEN_PROGRAM: &str = "\
+seq := seq + 1;
+count := ;
+send radio.Nope(seq);
+flag := 1 $;
+log \"still alive\";
+";
+
+#[test]
+fn recovery_surfaces_every_error_with_stable_codes_and_spans() {
+    let parsed = textual::parse_program(BROKEN_PROGRAM, None);
+
+    // Three broken statements → three diagnostics; two good ones survive.
+    assert_eq!(parsed.diagnostics.len(), 3, "{}", parsed.diagnostics);
+    assert_eq!(parsed.statements.len(), 2);
+
+    let source = SourceMap::new("broken.act", BROKEN_PROGRAM);
+    let mut seen_lines = Vec::new();
+    for d in parsed.diagnostics.iter() {
+        assert!(
+            d.code == textual::E_SYNTAX
+                || d.code == textual::E_UNKNOWN_NAME
+                || d.code == textual::E_LITERAL,
+            "unexpected code {}",
+            d.code
+        );
+        let span = d.span.expect("every recovery diagnostic is spanned");
+        seen_lines.push(source.locate(span.start).line);
+    }
+    // One failure per broken line, in order.
+    assert_eq!(seen_lines, vec![2, 3, 4]);
+}
+
+#[test]
+fn recovered_diagnostics_render_with_source_excerpts() {
+    let parsed = textual::parse_program(BROKEN_PROGRAM, None);
+    let source = SourceMap::new("broken.act", BROKEN_PROGRAM);
+    let text = render_bag_text(&parsed.diagnostics, Some(&source));
+
+    assert!(text.contains("broken.act:2:"), "{text}");
+    assert!(text.contains("count := ;"), "{text}");
+    assert!(text.contains("3 errors"), "{text}");
+}
+
+fn snapshot_bag() -> (SourceMap, DiagnosticBag) {
+    let source_text = "x := 1\nsend reply(y)\n";
+    let source = SourceMap::new("model.act", source_text);
+    let mut bag = DiagnosticBag::new();
+    bag.push(
+        Diagnostic::error("E0316", "variable `y` is never assigned")
+            .with_span(Span::new(18, 19))
+            .with_note("assign it before use")
+            .with_help("did you mean `x`?"),
+    );
+    bag.push(Diagnostic::warning(
+        "W0207",
+        "process `p` is not in any process group",
+    ));
+    bag.sort();
+    (source, bag)
+}
+
+#[test]
+fn text_renderer_snapshot() {
+    let (source, bag) = snapshot_bag();
+    let rendered = render_bag_text(&bag, Some(&source));
+    let expected = "\
+error[E0316]: variable `y` is never assigned
+ --> model.act:2:12
+  |
+2 | send reply(y)
+  |            ^
+  = note: assign it before use
+  = help: did you mean `x`?
+
+warning[W0207]: process `p` is not in any process group
+
+1 error, 1 warning
+";
+    assert_eq!(rendered, expected);
+}
+
+#[test]
+fn json_renderer_snapshot() {
+    let (source, bag) = snapshot_bag();
+    let rendered = render_bag_json(&bag, Some(&source));
+    let expected = concat!(
+        "{\"summary\":{\"errors\":1,\"warnings\":1,\"total\":2},\"diagnostics\":[",
+        "{\"severity\":\"error\",\"code\":\"E0316\",",
+        "\"message\":\"variable `y` is never assigned\",\"element\":null,",
+        "\"span\":{\"start\":18,\"end\":19,\"line\":2,\"column\":12},",
+        "\"labels\":[],\"notes\":[\"assign it before use\"],",
+        "\"help\":\"did you mean `x`?\"},",
+        "{\"severity\":\"warning\",\"code\":\"W0207\",",
+        "\"message\":\"process `p` is not in any process group\",",
+        "\"element\":null,\"span\":null,\"labels\":[],\"notes\":[],\"help\":null}",
+        "]}"
+    );
+    assert_eq!(rendered, expected);
+}
