@@ -31,11 +31,25 @@
 //!
 //! `check` exits nonzero when any error-severity finding fired; warnings
 //! alone keep the exit status at zero.
+//!
+//! Self-profiling (where the tool's own host time goes):
+//!
+//! ```text
+//! cargo run -rp tut-bench --bin repro -- profile            # hotspot table
+//! cargo run -rp tut-bench --bin repro -- profile --folded   # flamegraph stacks
+//! cargo run -rp tut-bench --bin repro -- profile --json     # Chrome trace
+//! cargo run -rp tut-bench --bin repro -- profile bench --quick
+//! ```
+//!
+//! Long-running items (`explore`, `fault-sweep`, `bench`) print a
+//! throttled `[progress]` heartbeat to stderr (done/total, rate, ETA,
+//! best objective); `--no-progress` silences it. stdout never carries
+//! heartbeats, so piped output stays machine-clean.
 
 use tut_bench::figures;
 use tut_profile::{tables, TutProfile};
 use tut_profiling::render_table4;
-use tut_trace::Recorder;
+use tut_trace::{NoopSink, Progress, Recorder};
 
 fn print_fig1() {
     println!("Figure 1. Design flow with TUT-Profile.");
@@ -121,7 +135,7 @@ fn print_transfers() {
 /// Runs the automated exploration loop of §4.5 — partition the measured
 /// communication graph, then search the group→element mapping — on
 /// `threads` workers.
-fn print_explore(threads: usize) {
+fn print_explore(threads: usize, progress: bool) {
     println!("Design-space exploration (grouping + mapping) on {threads} thread(s).");
     println!();
     let (system, handles) = tut_bench::paper_system_with_handles();
@@ -135,17 +149,21 @@ fn print_explore(threads: usize) {
         .filter(|(_, n)| n.as_str() == "user" || n.as_str() == "channel")
         .map(|(i, _)| (i, 4))
         .collect();
+    let options = tut_explore::GroupingOptions {
+        groups: 5,
+        balance_weight: 0.0,
+        pinned,
+        threads,
+        ..Default::default()
+    };
+    let meter = if progress {
+        Progress::new("explore.grouping", u64::from(options.restarts))
+    } else {
+        Progress::disabled()
+    };
     let started = std::time::Instant::now();
-    let grouping = tut_explore::partition(
-        &graph,
-        &tut_explore::GroupingOptions {
-            groups: 5,
-            balance_weight: 0.0,
-            pinned,
-            threads,
-            ..Default::default()
-        },
-    );
+    let grouping = tut_explore::partition_observed(&graph, &options, &mut NoopSink, &meter);
+    meter.finish();
     println!(
         "  [grouping] {} nodes -> 5 groups, cut weight {}, objective {:.1} ({} ms)",
         graph.len(),
@@ -160,15 +178,26 @@ fn print_explore(threads: usize) {
         .iter()
         .position(|&p| p == handles.accelerator)
         .expect("accelerator instance");
+    // One pinned group stays out of the enumeration, so the search space
+    // is pes^(groups-1) candidates.
+    let candidates = (problem.pes.len() as u64).pow(problem.group_names.len() as u32 - 1);
+    let meter = if progress {
+        Progress::new("explore.mapping", candidates)
+    } else {
+        Progress::disabled()
+    };
     let started = std::time::Instant::now();
-    let mapping = tut_explore::optimise_mapping(
+    let mapping = tut_explore::optimise_mapping_observed(
         &problem,
         &tut_explore::MappingOptions {
             pinned: vec![(3, acc_index)],
             threads,
             ..Default::default()
         },
+        &mut NoopSink,
+        &meter,
     );
+    meter.finish();
     println!(
         "  [mapping]  {} groups over {} elements, cost {:.1} ({} ms)",
         problem.group_names.len(),
@@ -189,7 +218,7 @@ fn print_explore(threads: usize) {
 /// ARQ counters. `--quick` runs a single pinned point and fails the
 /// process when the delivery ratio leaves its expected band, so CI can
 /// smoke-test the whole fault path in one short run.
-fn print_fault_sweep(quick: bool, threads: usize) {
+fn print_fault_sweep(quick: bool, threads: usize, progress: bool) {
     use tut_bench::faultsweep;
     if quick {
         // One mid-sweep point with a fixed seed on a short horizon.
@@ -225,7 +254,13 @@ fn print_fault_sweep(quick: bool, threads: usize) {
         config.max_time_ns / 1_000_000
     );
     println!();
-    let points = faultsweep::run_sweep_threads(&config, threads);
+    let meter = if progress {
+        Progress::new("fault-sweep", faultsweep::SWEEP_BERS.len() as u64)
+    } else {
+        Progress::disabled()
+    };
+    let points = faultsweep::run_sweep_observed(&config, threads, &meter);
+    meter.finish();
     println!("{}", faultsweep::render(&points));
     let monotone_delivery = points
         .windows(2)
@@ -245,9 +280,15 @@ fn print_fault_sweep(quick: bool, threads: usize) {
 /// timing, leaves `BENCH_sim.json` untouched (it is a check, not a
 /// measurement), and fails the process when events/sec falls below the
 /// generous regression floor, so CI catches a >5x throughput regression.
-fn print_bench(quick: bool, threads: usize) {
+fn print_bench(quick: bool, threads: usize, progress: bool) {
     use tut_bench::simbench;
-    let report = simbench::run_bench(quick, threads);
+    let meter = if progress {
+        Progress::new("bench", simbench::bench_progress_total(quick))
+    } else {
+        Progress::disabled()
+    };
+    let report = simbench::run_bench_observed(quick, threads, &meter);
+    meter.finish();
     println!(
         "Simulation perf baseline (P1){}",
         if quick { " — quick mode" } else { "" }
@@ -359,6 +400,9 @@ fn main() {
     let mut threads = 1usize;
     let mut quick = false;
     let mut json = false;
+    let mut folded = false;
+    let mut top = None;
+    let mut progress = true;
     let mut iter = raw.into_iter();
     while let Some(arg) = iter.next() {
         let mut take = |flag: &str| {
@@ -371,6 +415,15 @@ fn main() {
             "--prom" => prom = Some(take("--prom")),
             "--quick" => quick = true,
             "--json" => json = true,
+            "--folded" => folded = true,
+            "--no-progress" => progress = false,
+            "--top" => {
+                top = Some(
+                    take("--top")
+                        .parse()
+                        .expect("--top needs a number of table rows"),
+                )
+            }
             "--threads" => {
                 threads = take("--threads")
                     .parse()
@@ -382,6 +435,17 @@ fn main() {
     // `check` consumes the rest of the argument list as model paths.
     if args.first().map(String::as_str) == Some("check") {
         std::process::exit(run_check(&args[1..], json));
+    }
+    // `profile` consumes the rest as the (single, optional) workload item.
+    if args.first().map(String::as_str) == Some("profile") {
+        let flags = tut_bench::profile_cmd::ProfileFlags {
+            quick,
+            json,
+            folded,
+            top,
+            threads,
+        };
+        std::process::exit(tut_bench::profile_cmd::run_profile(&args[1..], &flags));
     }
     let tracing_requested = trace.is_some() || vcd.is_some() || prom.is_some();
     if tracing_requested {
@@ -431,13 +495,13 @@ fn main() {
             "fig8" => println!("{}", figures::fig8()),
             "table4" => print_table4(),
             "transfers" => print_transfers(),
-            "explore" => print_explore(threads),
-            "fault-sweep" => print_fault_sweep(quick, threads),
-            "bench" => print_bench(quick, threads),
+            "explore" => print_explore(threads, progress),
+            "fault-sweep" => print_fault_sweep(quick, threads, progress),
+            "bench" => print_bench(quick, threads, progress),
             other => {
                 eprintln!(
                     "unknown item `{other}`; known: fig1..fig8, table1..table4, transfers, \
-                     explore, fault-sweep, bench, check, all"
+                     explore, fault-sweep, bench, check, profile, all"
                 );
                 std::process::exit(2);
             }

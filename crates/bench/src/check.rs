@@ -15,6 +15,7 @@ use tut_diag::{render_bag_json, render_bag_text, Diagnostic, DiagnosticBag, Sour
 use tut_profile::{SystemModel, TutProfile};
 use tut_profile_core::interchange::{applications_from_xml_node, E_PROFILE_INTERCHANGE};
 use tut_profile_core::Applications;
+use tut_trace::perf;
 use tut_uml::error::{Error, E_XML_SYNTAX};
 use tut_uml::xmi::{self, E_XMI_STRUCTURE};
 use tut_uml::xml::XmlNode;
@@ -73,7 +74,13 @@ pub fn check_paper_system() -> CheckReport {
 }
 
 fn run_stages(text: &str, bag: &mut DiagnosticBag) {
+    // Front-end phases are cold (once per document), so the scoped
+    // profiler spans here go through the dynamically-gated module entry
+    // points; with profiling off each is a flag load.
+    let _check_span = perf::enter_named("check.run");
+
     // Stage 1: XML parse. A syntax error here leaves nothing to analyse.
+    let stage_span = perf::enter_named("check.parse_xml");
     let root = match XmlNode::parse(text) {
         Ok(root) => root,
         Err(Error::XmlSyntax {
@@ -90,6 +97,7 @@ fn run_stages(text: &str, bag: &mut DiagnosticBag) {
 
     // Stage 2: model decode. Embedded textual action language recovers
     // statement-by-statement into `bag`; structural damage stops here.
+    let stage_span = stage_span.then_named("check.xmi_decode");
     let (model, index) = match xmi::read_model(&root, bag) {
         Ok(v) => v,
         Err(e) => {
@@ -100,6 +108,7 @@ fn run_stages(text: &str, bag: &mut DiagnosticBag) {
 
     // Stage 3: profile application. A broken subtree degrades to "no
     // applications" so the UML checks still run.
+    let stage_span = stage_span.then_named("check.profile_apply");
     let tut = TutProfile::new();
     let apps = match root.child("profileApplication") {
         Some(node) => match applications_from_xml_node(tut.profile(), node) {
@@ -120,6 +129,7 @@ fn run_stages(text: &str, bag: &mut DiagnosticBag) {
     // Stage 4: well-formedness (incl. action type-check) + profile rules.
     // Findings carry element attributions; resolve them to declaration
     // spans so the renderer can excerpt the document.
+    let stage_span = stage_span.then_named("check.model_rules");
     let mut findings = system.check();
     for d in findings.iter_mut() {
         if d.span.is_none() {
@@ -132,6 +142,7 @@ fn run_stages(text: &str, bag: &mut DiagnosticBag) {
 
     // Stage 5: codegen dry run — the generated files are discarded, only
     // the structural prerequisites are checked.
+    let _stage_span = stage_span.then_named("check.codegen_dry_run");
     if let Err(e) = tut_codegen::generate_project(&system) {
         bag.push(Diagnostic::error(e.code(), e.to_string()));
     }

@@ -11,6 +11,7 @@
 use tut_faults::{FaultConfig, FaultPlan};
 use tut_profiling::ProfilingReport;
 use tut_sim::SimConfig;
+use tut_trace::{perf, Progress};
 
 /// The BER points of the full sweep, weakest to strongest.
 pub const SWEEP_BERS: [f64; 5] = [0.0, 1e-6, 1e-5, 1e-4, 1e-3];
@@ -90,6 +91,7 @@ fn point_from_report(ber: f64, fragment_bytes: i64, report: &ProfilingReport) ->
 ///
 /// Panics if the profiling pipeline fails (covered by tests).
 pub fn run_point(ber: f64, seed: u64, config: SimConfig) -> SweepPoint {
+    let _point_span = perf::enter_named("fault_sweep.point");
     let tutmac_config = tutmac::TutmacConfig::default();
     let system = tutmac::build_tutmac_system(&tutmac_config).expect("tutmac builds");
     let mut plan = FaultPlan::new(FaultConfig::with_ber(seed, ber));
@@ -117,11 +119,27 @@ pub fn run_sweep(config: &SimConfig) -> Vec<SweepPoint> {
 /// disjoint slice of the result vector, making the output bit-identical
 /// to the serial sweep at any thread count.
 pub fn run_sweep_threads(config: &SimConfig, threads: usize) -> Vec<SweepPoint> {
+    run_sweep_observed(config, threads, &Progress::disabled())
+}
+
+/// [`run_sweep_threads`] plus host observability: every BER point becomes
+/// a `fault_sweep.point` self-profiler frame and ticks `progress` when it
+/// finishes, so long sweeps show a live stderr heartbeat. Observation
+/// never changes the table.
+pub fn run_sweep_observed(
+    config: &SimConfig,
+    threads: usize,
+    progress: &Progress,
+) -> Vec<SweepPoint> {
     let threads = tut_explore::parallel::resolve_threads(threads).min(SWEEP_BERS.len());
     if threads <= 1 {
         return SWEEP_BERS
             .iter()
-            .map(|&ber| run_point(ber, SWEEP_SEED, config.clone()))
+            .map(|&ber| {
+                let point = run_point(ber, SWEEP_SEED, config.clone());
+                progress.tick();
+                point
+            })
             .collect();
     }
     let ranges = tut_explore::parallel::shard_ranges(SWEEP_BERS.len() as u64, threads);
@@ -137,6 +155,7 @@ pub fn run_sweep_threads(config: &SimConfig, threads: usize) -> Vec<SweepPoint> 
                 for (offset, slot) in chunk.iter_mut().enumerate() {
                     let ber = SWEEP_BERS[start + offset];
                     *slot = Some(run_point(ber, SWEEP_SEED, config.clone()));
+                    progress.tick();
                 }
             });
         }

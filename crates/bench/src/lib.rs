@@ -150,6 +150,7 @@ pub mod check;
 pub mod faultsweep;
 pub mod figures;
 pub mod microbench;
+pub mod profile_cmd;
 pub mod simbench;
 
 #[cfg(test)]

@@ -10,6 +10,7 @@
 use std::time::Instant;
 
 use tut_sim::{SimConfig, Simulation};
+use tut_trace::{perf, Progress};
 
 use crate::faultsweep;
 
@@ -65,6 +66,29 @@ impl SweepTiming {
     }
 }
 
+/// The host the measurement ran on, recorded so `BENCH_sim.json` figures
+/// can be compared across machines.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HostInfo {
+    /// Logical CPUs (`std::thread::available_parallelism`; 0 when the
+    /// host cannot report it).
+    pub logical_cpus: usize,
+    /// Worker threads the parallel measurements used.
+    pub threads: usize,
+}
+
+impl HostInfo {
+    /// Probes the current host; `threads` is the resolved worker count.
+    pub fn probe(threads: usize) -> HostInfo {
+        HostInfo {
+            logical_cpus: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(0),
+            threads,
+        }
+    }
+}
+
 /// The full P1 measurement.
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub struct BenchReport {
@@ -72,6 +96,8 @@ pub struct BenchReport {
     pub rate: EventRate,
     /// Fault-sweep wall-clock measurement (skipped in `--quick` mode).
     pub sweep: Option<SweepTiming>,
+    /// The machine the figures were measured on.
+    pub host: HostInfo,
 }
 
 /// Generous events/sec floor for `--quick` mode: an order of magnitude
@@ -87,9 +113,22 @@ pub const QUICK_FLOOR_EVENTS_PER_SEC: f64 = 50_000.0;
 ///
 /// Panics if the simulation fails (covered by the tutmac tests).
 pub fn measure_event_rate(horizon_ns: u64, repeats: usize) -> EventRate {
+    measure_event_rate_observed(horizon_ns, repeats, &Progress::disabled())
+}
+
+/// [`measure_event_rate`] plus host observability: every repeat becomes a
+/// `bench.repeat` self-profiler frame and ticks `progress`. The span
+/// opens *outside* the timed region, so the reported wall-clock is
+/// unaffected by profiling bookkeeping.
+pub fn measure_event_rate_observed(
+    horizon_ns: u64,
+    repeats: usize,
+    progress: &Progress,
+) -> EventRate {
     let system = crate::paper_system();
     let mut best: Option<EventRate> = None;
     for _ in 0..repeats.max(1) {
+        let _repeat_span = perf::enter_named("bench.repeat");
         let config = SimConfig::with_horizon_ns(horizon_ns);
         let started = Instant::now();
         let report = Simulation::from_system(&system, config)
@@ -97,6 +136,7 @@ pub fn measure_event_rate(horizon_ns: u64, repeats: usize) -> EventRate {
             .run()
             .expect("sim runs");
         let wall_s = started.elapsed().as_secs_f64();
+        progress.tick();
         let rate = EventRate {
             horizon_ns,
             records: report.log.len() as u64,
@@ -113,12 +153,18 @@ pub fn measure_event_rate(horizon_ns: u64, repeats: usize) -> EventRate {
 
 /// Times the fault sweep serial and on `threads` workers.
 pub fn measure_sweep(horizon_ns: u64, threads: usize) -> SweepTiming {
+    measure_sweep_observed(horizon_ns, threads, &Progress::disabled())
+}
+
+/// [`measure_sweep`] with a progress heartbeat: the serial and parallel
+/// passes each tick `progress` once per BER point.
+pub fn measure_sweep_observed(horizon_ns: u64, threads: usize, progress: &Progress) -> SweepTiming {
     let config = SimConfig::with_horizon_ns(horizon_ns);
     let started = Instant::now();
-    let serial = faultsweep::run_sweep_threads(&config, 1);
+    let serial = faultsweep::run_sweep_observed(&config, 1, progress);
     let serial_s = started.elapsed().as_secs_f64();
     let started = Instant::now();
-    let parallel = faultsweep::run_sweep_threads(&config, threads);
+    let parallel = faultsweep::run_sweep_observed(&config, threads, progress);
     let parallel_s = started.elapsed().as_secs_f64();
     assert_eq!(parallel, serial, "parallel sweep must match serial");
     SweepTiming {
@@ -130,21 +176,43 @@ pub fn measure_sweep(horizon_ns: u64, threads: usize) -> SweepTiming {
     }
 }
 
+/// Work units [`run_bench`] ticks on a progress meter: throughput repeats
+/// plus, in full mode, both sweep passes' BER points.
+pub fn bench_progress_total(quick: bool) -> u64 {
+    if quick {
+        3
+    } else {
+        5 + 2 * faultsweep::SWEEP_BERS.len() as u64
+    }
+}
+
 /// Runs the P1 measurement. Quick mode uses a short horizon and skips
 /// the sweep timing.
 pub fn run_bench(quick: bool, threads: usize) -> BenchReport {
+    run_bench_observed(quick, threads, &Progress::disabled())
+}
+
+/// [`run_bench`] plus host observability: repeats and sweep points tick
+/// `progress` (size it with [`bench_progress_total`]), and each stage is
+/// a self-profiler frame.
+pub fn run_bench_observed(quick: bool, threads: usize, progress: &Progress) -> BenchReport {
+    let sweep_threads = if threads <= 1 { 2 } else { threads };
+    let host = HostInfo::probe(tut_explore::parallel::resolve_threads(if quick {
+        threads
+    } else {
+        sweep_threads
+    }));
     if quick {
         BenchReport {
-            rate: measure_event_rate(5_000_000, 3),
+            rate: measure_event_rate_observed(5_000_000, 3, progress),
             sweep: None,
+            host,
         }
     } else {
         BenchReport {
-            rate: measure_event_rate(20_000_000, 5),
-            sweep: Some(measure_sweep(
-                5_000_000,
-                if threads <= 1 { 2 } else { threads },
-            )),
+            rate: measure_event_rate_observed(20_000_000, 5, progress),
+            sweep: Some(measure_sweep_observed(5_000_000, sweep_threads, progress)),
+            host,
         }
     }
 }
@@ -152,6 +220,10 @@ pub fn run_bench(quick: bool, threads: usize) -> BenchReport {
 /// Renders the measurement as the `repro bench` console block.
 pub fn render(report: &BenchReport) -> String {
     let mut out = String::new();
+    out.push_str(&format!(
+        "host: {} logical cpus, {} worker threads\n",
+        report.host.logical_cpus, report.host.threads,
+    ));
     let r = &report.rate;
     out.push_str(&format!(
         "TUTMAC run: {} records / {} steps over {} ms simulated in {:.1} ms wall -> {:.0} events/sec\n",
@@ -179,7 +251,11 @@ pub fn render(report: &BenchReport) -> String {
 /// (hand-rolled JSON; the workspace has no serde).
 pub fn to_json(report: &BenchReport) -> String {
     let r = &report.rate;
-    let mut out = String::from("{\n  \"schema\": \"tut-bench/sim/v1\",\n");
+    let mut out = String::from("{\n  \"schema\": \"tut-bench/sim/v2\",\n");
+    out.push_str(&format!(
+        "  \"host\": {{\n    \"logical_cpus\": {},\n    \"threads\": {}\n  }},\n",
+        report.host.logical_cpus, report.host.threads,
+    ));
     out.push_str(&format!(
         "  \"tutmac\": {{\n    \"horizon_ns\": {},\n    \"records\": {},\n    \"steps\": {},\n    \"wall_s\": {:.6},\n    \"events_per_sec\": {:.1}\n  }}",
         r.horizon_ns,
@@ -245,6 +321,10 @@ mod tests {
                 parallel_s: 0.3,
                 threads: 2,
             }),
+            host: HostInfo {
+                logical_cpus: 8,
+                threads: 2,
+            },
         };
         let text = to_json(&report);
         let json = tut_trace::json::parse(&text).expect("valid JSON");
@@ -254,5 +334,28 @@ mod tests {
             .and_then(tut_trace::json::Json::as_f64)
             .is_some());
         assert!(json.get("sweep").is_some());
+        assert_eq!(
+            json.get("schema").and_then(tut_trace::json::Json::as_str),
+            Some("tut-bench/sim/v2"),
+        );
+        assert_eq!(
+            json.get("host")
+                .and_then(|h| h.get("logical_cpus"))
+                .and_then(tut_trace::json::Json::as_f64),
+            Some(8.0),
+        );
+        assert_eq!(
+            json.get("host")
+                .and_then(|h| h.get("threads"))
+                .and_then(tut_trace::json::Json::as_f64),
+            Some(2.0),
+        );
+    }
+
+    #[test]
+    fn host_probe_reports_this_machine() {
+        let host = HostInfo::probe(3);
+        assert!(host.logical_cpus >= 1, "containers report >= 1 cpu");
+        assert_eq!(host.threads, 3);
     }
 }

@@ -1,0 +1,102 @@
+//! Binary-level tests of the progress/stdout contract: heartbeats go to
+//! stderr only, `--no-progress` silences them, machine-readable stdout
+//! stays machine-clean, and `repro profile` emits parseable artefacts.
+
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro runs")
+}
+
+fn text(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes).into_owned()
+}
+
+/// The progress marker every heartbeat line starts with. Mirrors
+/// `tut_trace::progress::MARKER`.
+const MARKER: &str = "[progress]";
+
+#[test]
+fn explore_heartbeat_goes_to_stderr_never_stdout() {
+    let out = repro(&["explore"]);
+    assert!(out.status.success());
+    let stderr = text(&out.stderr);
+    assert!(
+        stderr.contains(MARKER),
+        "expected a {MARKER} heartbeat on stderr:\n{stderr}"
+    );
+    assert!(
+        !text(&out.stdout).contains(MARKER),
+        "heartbeats leaked to stdout"
+    );
+}
+
+#[test]
+fn no_progress_flag_suppresses_the_heartbeat() {
+    let out = repro(&["explore", "--no-progress"]);
+    assert!(out.status.success());
+    let stderr = text(&out.stderr);
+    assert!(
+        !stderr.contains(MARKER),
+        "--no-progress must silence heartbeats:\n{stderr}"
+    );
+}
+
+#[test]
+fn check_json_stdout_is_machine_clean() {
+    let out = repro(&["check", "--json"]);
+    assert!(out.status.success());
+    let stdout = text(&out.stdout);
+    for line in stdout.lines().filter(|l| !l.is_empty()) {
+        assert!(
+            line.starts_with('{'),
+            "non-JSON line on check --json stdout: {line}"
+        );
+        tut_trace::json::parse(line).expect("stdout line parses as JSON");
+    }
+    assert!(!stdout.contains(MARKER));
+}
+
+#[test]
+fn profile_folded_stdout_is_pure_collapsed_stacks() {
+    let out = repro(&["profile", "--quick", "--folded"]);
+    assert!(out.status.success());
+    let stdout = text(&out.stdout);
+    assert!(!stdout.is_empty(), "folded output must be non-empty");
+    let mut nested = false;
+    for line in stdout.lines() {
+        let (stack, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("impure folded line: {line}"));
+        value
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("non-numeric sample value: {line}"));
+        nested |= stack.contains(';');
+    }
+    assert!(nested, "expected at least one parent;child stack");
+    // Status lines live on stderr.
+    assert!(text(&out.stderr).contains("[profile]"));
+}
+
+#[test]
+fn profile_json_stdout_is_a_chrome_trace() {
+    let out = repro(&["profile", "--quick", "--json"]);
+    assert!(out.status.success());
+    let stdout = text(&out.stdout);
+    let doc = tut_trace::json::parse(&stdout).expect("stdout is one JSON document");
+    let events = doc
+        .get("traceEvents")
+        .and_then(tut_trace::json::Json::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+}
+
+#[test]
+fn profile_rejects_unknown_items() {
+    let out = repro(&["profile", "nonsense"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(text(&out.stderr).contains("unknown profile item"));
+}

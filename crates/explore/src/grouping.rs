@@ -15,7 +15,8 @@
 //! `threads` workers with a deterministic reduction, so the result is
 //! bit-identical at every thread count.
 
-use tut_trace::{Clock, NoopSink, Recorder, SplitMix64, TraceSink};
+use tut_trace::perf;
+use tut_trace::{Clock, NoopSink, Progress, Recorder, SplitMix64, TraceSink};
 
 use crate::commgraph::CommGraph;
 use crate::objective::ObjectiveState;
@@ -103,6 +104,20 @@ pub fn partition_with<T: TraceSink>(
     options: &GroupingOptions,
     tracer: &mut T,
 ) -> GroupingSolution {
+    partition_observed(graph, options, tracer, &Progress::disabled())
+}
+
+/// [`partition_with`] plus host observability: the three phases and every
+/// annealing restart become self-profiler frames (see
+/// [`tut_trace::perf`]), and each finished restart ticks `progress` and
+/// reports its best objective, so long multi-restart runs show a live
+/// stderr heartbeat. Observation never changes the solution.
+pub fn partition_observed<T: TraceSink>(
+    graph: &CommGraph,
+    options: &GroupingOptions,
+    tracer: &mut T,
+    progress: &Progress,
+) -> GroupingSolution {
     assert!(options.groups > 0, "need at least one group");
     let track = tracer.track("tool/explore.grouping", Clock::Host);
     let mut phase_start = tracer.host_now_ns();
@@ -123,10 +138,12 @@ pub fn partition_with<T: TraceSink>(
     let pinned = pin_table(n, options);
 
     // ---- Phase 1: greedy agglomeration ---------------------------------
+    let perf_span = perf::enter_named("explore.grouping.agglomerate");
     let assignment = agglomerate(graph, options, &pinned);
     phase_span(tracer, "agglomerate");
 
     // ---- Phase 2: greedy single-node refinement -------------------------
+    let perf_span = perf_span.then_named("explore.grouping.refine");
     let adjacency = graph.adjacency();
     let mut state = ObjectiveState::new(
         graph,
@@ -139,6 +156,7 @@ pub fn partition_with<T: TraceSink>(
     phase_span(tracer, "refine");
 
     // ---- Phase 3: multi-start simulated annealing ------------------------
+    let _perf_span = perf_span.then_named("explore.grouping.anneal");
     let refined: Vec<usize> = state.assignment().to_vec();
     let mut best_assignment = refined.clone();
     let mut best = current;
@@ -154,13 +172,14 @@ pub fn partition_with<T: TraceSink>(
                 .map(|(restart, &seed)| {
                     anneal_run(
                         graph, &adjacency, options, &pinned, &refined, current, restart, seed,
-                        tracer,
+                        tracer, progress,
                     )
                 })
                 .collect()
         } else {
             anneal_parallel(
                 graph, &adjacency, options, &pinned, &refined, current, &seeds, threads, tracer,
+                progress,
             )
         };
         // Deterministic reduction: strict improvement only, so ties go to
@@ -377,7 +396,11 @@ fn anneal_run<T: TraceSink>(
     restart: usize,
     seed: u64,
     tracer: &mut T,
+    progress: &Progress,
 ) -> AnnealOutcome {
+    // One self-profiler frame per restart: counts and per-restart host
+    // time aggregate under `explore.grouping.anneal`.
+    let _restart_span = perf::enter_named("explore.grouping.restart");
     let n = graph.len();
     let track = tracer.track("tool/explore.grouping", Clock::Host);
     let mut state = ObjectiveState::new(
@@ -424,6 +447,8 @@ fn anneal_run<T: TraceSink>(
         // depend on how many samples hit pinned nodes or no-op moves.
         temperature = (temperature * 0.9997).max(0.01);
     }
+    progress.record_best(best);
+    progress.tick();
     AnnealOutcome {
         assignment: best_assignment,
         objective: best,
@@ -446,6 +471,7 @@ fn anneal_parallel<T: TraceSink>(
     seeds: &[u64],
     threads: usize,
     tracer: &mut T,
+    progress: &Progress,
 ) -> Vec<AnnealOutcome> {
     let enabled = tracer.enabled();
     let spawn_ns = tracer.host_now_ns();
@@ -472,6 +498,7 @@ fn anneal_parallel<T: TraceSink>(
                                     restart,
                                     seed,
                                     rec,
+                                    progress,
                                 ),
                                 None => anneal_run(
                                     graph,
@@ -483,6 +510,7 @@ fn anneal_parallel<T: TraceSink>(
                                     restart,
                                     seed,
                                     &mut NoopSink,
+                                    progress,
                                 ),
                             };
                             (outcome, recorder)
@@ -650,6 +678,7 @@ mod tests {
             0,
             42,
             &mut NoopSink,
+            &Progress::disabled(),
         );
         // Pin five of the six nodes: most iterations sample a pinned node.
         options.pinned = vec![(0, 0), (1, 0), (2, 0), (3, 1), (4, 1)];
@@ -664,6 +693,7 @@ mod tests {
             0,
             42,
             &mut NoopSink,
+            &Progress::disabled(),
         );
         assert_eq!(
             free.final_temperature.to_bits(),

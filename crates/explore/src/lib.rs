@@ -40,6 +40,11 @@ pub mod objective;
 pub mod parallel;
 
 pub use commgraph::CommGraph;
-pub use grouping::{partition, partition_with, refine, GroupingOptions, GroupingSolution};
-pub use mapping::{optimise_mapping, optimise_mapping_with, MappingOptions, MappingSolution};
+pub use grouping::{
+    partition, partition_observed, partition_with, refine, GroupingOptions, GroupingSolution,
+};
+pub use mapping::{
+    optimise_mapping, optimise_mapping_observed, optimise_mapping_with, MappingOptions,
+    MappingSolution,
+};
 pub use objective::{full_objective, ObjectiveState};

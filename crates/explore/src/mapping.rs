@@ -4,7 +4,8 @@ use tut_profile::application::ProcessType;
 use tut_profile::platform::ComponentKind;
 use tut_profile::SystemModel;
 use tut_profiling::ProfilingReport;
-use tut_trace::{Clock, NoopSink, TraceSink};
+use tut_trace::perf;
+use tut_trace::{Clock, NoopSink, Progress, TraceSink};
 use tut_uml::ids::{ClassId, PropertyId};
 
 use crate::parallel;
@@ -159,6 +160,20 @@ pub fn optimise_mapping_with<T: TraceSink>(
     options: &MappingOptions,
     tracer: &mut T,
 ) -> MappingSolution {
+    optimise_mapping_observed(problem, options, tracer, &Progress::disabled())
+}
+
+/// [`optimise_mapping_with`] plus host observability: the search and each
+/// worker shard become self-profiler frames (see [`tut_trace::perf`]),
+/// and every finished shard ticks `progress` by its candidate count and
+/// reports its shard-best cost. Observation never changes the solution.
+pub fn optimise_mapping_observed<T: TraceSink>(
+    problem: &MappingProblem,
+    options: &MappingOptions,
+    tracer: &mut T,
+    progress: &Progress,
+) -> MappingSolution {
+    let _search_span = perf::enter_named("explore.mapping.search");
     let track = tracer.track("tool/explore.mapping", Clock::Host);
     let search_start = tracer.host_now_ns();
     let groups = problem.group_cycles.len();
@@ -181,7 +196,7 @@ pub fn optimise_mapping_with<T: TraceSink>(
 
     let threads = parallel::resolve_threads(options.threads);
     let best = if threads <= 1 {
-        best_in_range(problem, options, &base, &free, 0..total)
+        scan_shard(problem, options, &base, &free, 0..total, progress)
     } else {
         let shards = parallel::shard_ranges(total, threads);
         let per_shard: Vec<Option<(f64, u64)>> = std::thread::scope(|scope| {
@@ -190,7 +205,7 @@ pub fn optimise_mapping_with<T: TraceSink>(
                 .map(|range| {
                     let range = range.clone();
                     let (base, free) = (&base, &free);
-                    scope.spawn(move || best_in_range(problem, options, base, free, range))
+                    scope.spawn(move || scan_shard(problem, options, base, free, range, progress))
                 })
                 .collect();
             handles
@@ -233,6 +248,26 @@ fn decode_candidate(index: u64, pes: usize, free: &[usize], assignment: &mut [us
         assignment[group] = (rem % pes as u64) as usize;
         rem /= pes as u64;
     }
+}
+
+/// [`best_in_range`] as one observed worker shard: a self-profiler frame
+/// plus a progress tick (by candidate count) and shard-best report.
+fn scan_shard(
+    problem: &MappingProblem,
+    options: &MappingOptions,
+    base: &[usize],
+    free: &[usize],
+    range: std::ops::Range<u64>,
+    progress: &Progress,
+) -> Option<(f64, u64)> {
+    let _shard_span = perf::enter_named("explore.mapping.shard");
+    let candidates = range.end.saturating_sub(range.start);
+    let best = best_in_range(problem, options, base, free, range);
+    if let Some((cost, _)) = best {
+        progress.record_best(cost);
+    }
+    progress.tick_n(candidates);
+    best
 }
 
 /// Scans candidates `range` (a contiguous slice of the pin-collapsed

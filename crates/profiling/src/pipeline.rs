@@ -3,6 +3,7 @@
 use tut_faults::{FaultModel, NoFaults};
 use tut_profile::SystemModel;
 use tut_sim::{SimConfig, Simulation};
+use tut_trace::perf::{NoProf, Prof};
 use tut_trace::{Clock, NoopSink, TraceSink};
 
 use crate::analyze::analyze_log;
@@ -67,6 +68,30 @@ pub fn profile_system_with_faults<F: FaultModel, T: TraceSink>(
     faults: &mut F,
     tracer: &mut T,
 ) -> Result<ProfilingReport, ProfilingError> {
+    profile_system_prof(system, config, faults, tracer, NoProf)
+}
+
+/// [`profile_system_with_faults`] plus host self-profiling: each pipeline
+/// phase (XML serialisation, group parsing, simulation setup, the
+/// simulation itself, log analysis) becomes a frame under
+/// `pipeline.profile`, and the simulation runs via
+/// [`Simulation::run_with_faults_prof`] so host time is attributed per
+/// process and per event kind. Drain with [`tut_trace::perf::drain`].
+///
+/// Self-profiling is observation only: the report (and the simulation
+/// log inside it) is byte-identical to an unprofiled run.
+///
+/// # Errors
+///
+/// Same contract as [`profile_system_with_faults`].
+pub fn profile_system_prof<F: FaultModel, T: TraceSink, P: Prof>(
+    system: &SystemModel,
+    config: SimConfig,
+    faults: &mut F,
+    tracer: &mut T,
+    prof: P,
+) -> Result<ProfilingReport, ProfilingError> {
+    let _pipeline_span = prof.enter_named("pipeline.profile");
     let track = tracer.track("tool/profiling", Clock::Host);
     let mut stage_start = tracer.host_now_ns();
     let mut stage = |tracer: &mut T, name: &str| {
@@ -75,16 +100,25 @@ pub fn profile_system_with_faults<F: FaultModel, T: TraceSink>(
         stage_start = now;
     };
 
-    let xml = system.to_xml();
+    let xml = {
+        let _s = prof.enter_named("pipeline.serialise_xml");
+        system.to_xml()
+    };
     stage(tracer, "serialise_xml");
-    let groups = parse_model_xml(&xml)?;
+    let groups = {
+        let _s = prof.enter_named("pipeline.parse_groups");
+        parse_model_xml(&xml)?
+    };
     stage(tracer, "parse_groups");
 
-    let simulation = Simulation::from_system(system, config)
-        .map_err(|e| ProfilingError::Simulation(e.to_string()))?;
+    let simulation = {
+        let _s = prof.enter_named("pipeline.sim_setup");
+        Simulation::from_system(system, config)
+            .map_err(|e| ProfilingError::Simulation(e.to_string()))?
+    };
     stage(tracer, "build_simulation");
     let report = simulation
-        .run_with_faults(faults, tracer)
+        .run_with_faults_prof(faults, tracer, prof)
         .map_err(|e| ProfilingError::Simulation(e.to_string()))?;
     stage(tracer, "simulate");
 
@@ -92,7 +126,10 @@ pub fn profile_system_with_faults<F: FaultModel, T: TraceSink>(
     // it back is a lossless round-trip (covered by tests), so the
     // double conversion the text boundary used to cost is skipped here.
     // `analyze` stays available for externally produced log-files.
-    let result = Ok(analyze_log(&groups, &report.log));
+    let result = {
+        let _s = prof.enter_named("pipeline.analyze");
+        Ok(analyze_log(&groups, &report.log))
+    };
     stage(tracer, "analyze");
     result
 }

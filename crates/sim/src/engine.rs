@@ -12,6 +12,7 @@ use tut_hibi::{AgentId, Network};
 use tut_platform::{PeDescriptor, PeKind};
 use tut_profile::platform::{Arbitration, ComponentKind};
 use tut_profile::SystemModel;
+use tut_trace::perf::{self, Prof};
 use tut_trace::{Clock, NoopSink, TraceSink};
 use tut_uml::action::{self, Effect, Env, Scope, Statement};
 use tut_uml::ids::{ClassId, PropertyId, SignalId, StateId, StateMachineId};
@@ -258,6 +259,10 @@ pub struct Simulation {
     /// Last simulated time a run-to-completion step executed on a
     /// non-environment element (the watchdog's quiescence reference).
     last_useful_ns: u64,
+    /// Host self-profiler labels, one per process (`proc/<name>`), filled
+    /// in the run prologue only when profiling is active so the hot path
+    /// moves `Copy` ids. Empty in unprofiled runs.
+    proc_perf: Vec<perf::Label>,
 }
 
 impl Simulation {
@@ -490,6 +495,7 @@ impl Simulation {
             scratch_params: Scope::new(),
             fault_tally: FaultTally::default(),
             last_useful_ns: 0,
+            proc_perf: Vec::new(),
         };
         // Every process performs its Start step at t=0.
         for index in 0..sim.processes.len() {
@@ -559,10 +565,51 @@ impl Simulation {
     /// inside a process step, and [`SimError::WatchdogExpired`] when an
     /// armed [`crate::config::Watchdog`] limit fires.
     pub fn run_with_faults<F: FaultModel, T: TraceSink>(
-        mut self,
+        self,
         faults: &mut F,
         tracer: &mut T,
     ) -> Result<SimReport, SimError> {
+        // `NoProf` statically removes every self-profiling site.
+        self.run_with_faults_prof(faults, tracer, perf::NoProf)
+    }
+
+    /// [`Simulation::run_with_faults`] plus host self-profiling: each
+    /// run-to-completion step is attributed to its process
+    /// (`proc/<name>` frames) nested under the event kind that triggered
+    /// it (`sim.event.deliver` / `sim.event.timer` / `sim.event.pe_free`),
+    /// all under one `sim.run` frame — drain with
+    /// [`tut_trace::perf::drain`].
+    ///
+    /// Host-time observation never perturbs simulated behaviour: a
+    /// profiled run's log and report are byte-identical to an unprofiled
+    /// run (pinned by `tests/profiler.rs`). With [`perf::NoProf`] the
+    /// instrumentation compiles away entirely.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Simulation::run_with_faults`].
+    pub fn run_with_faults_prof<F: FaultModel, T: TraceSink, P: Prof>(
+        mut self,
+        faults: &mut F,
+        tracer: &mut T,
+        prof: P,
+    ) -> Result<SimReport, SimError> {
+        // Self-profiling prologue: resolve per-process and per-event-kind
+        // labels once so the hot loop moves only `Copy` ids.
+        let kind_labels = if P::ACTIVE && prof.enabled() {
+            for index in 0..self.processes.len() {
+                let name = format!("proc/{}", self.processes[index].name);
+                self.proc_perf.push(perf::label(&name));
+            }
+            Some([
+                perf::label("sim.event.deliver"),
+                perf::label("sim.event.timer"),
+                perf::label("sim.event.pe_free"),
+            ])
+        } else {
+            None
+        };
+        let _run_span = prof.enter_named("sim.run");
         let queue_track = tracer.track("sim/events", Clock::Sim);
         let watchdog = self.config.watchdog;
         let mut events_popped: u64 = 0;
@@ -587,6 +634,7 @@ impl Simulation {
             }
             match event.kind {
                 EventKind::Deliver { target, entry_kind } => {
+                    let _kind_span = kind_labels.map(|l| prof.enter(l[0]));
                     match entry_kind {
                         DeliverKind::Start => {
                             // Start entries were enqueued at construction.
@@ -620,13 +668,14 @@ impl Simulation {
                         }
                     }
                     let pe = self.processes[target].pe;
-                    self.try_dispatch(pe, faults, tracer)?;
+                    self.try_dispatch(pe, faults, tracer, prof)?;
                 }
                 EventKind::TimerFired {
                     target,
                     slot,
                     generation,
                 } => {
+                    let _kind_span = kind_labels.map(|l| prof.enter(l[1]));
                     let current = self.processes[target].timer_gens[slot as usize];
                     if current == generation {
                         let now = self.now_ns;
@@ -634,11 +683,12 @@ impl Simulation {
                             .queue
                             .push_back((now, QueueEntry::Timer { slot }));
                         let pe = self.processes[target].pe;
-                        self.try_dispatch(pe, faults, tracer)?;
+                        self.try_dispatch(pe, faults, tracer, prof)?;
                     }
                 }
                 EventKind::PeFree { pe } => {
-                    self.try_dispatch(pe, faults, tracer)?;
+                    let _kind_span = kind_labels.map(|l| prof.enter(l[2]));
+                    self.try_dispatch(pe, faults, tracer, prof)?;
                 }
             }
         }
@@ -648,11 +698,12 @@ impl Simulation {
 
     /// Runs one step on `pe` if it is free, not in an outage window, and
     /// a process is ready.
-    fn try_dispatch<F: FaultModel, T: TraceSink>(
+    fn try_dispatch<F: FaultModel, T: TraceSink, P: Prof>(
         &mut self,
         pe: PeIndex,
         faults: &mut F,
         tracer: &mut T,
+        prof: P,
     ) -> Result<(), SimError> {
         if self.pes[pe].free_at_ns > self.now_ns {
             return Ok(());
@@ -718,17 +769,25 @@ impl Simulation {
         ) {
             self.pes[pe].rr_next = proc_index + 1;
         }
-        self.execute_step(proc_index, faults, tracer)?;
+        self.execute_step(proc_index, faults, tracer, prof)?;
         Ok(())
     }
 
     /// Executes one run-to-completion step of `proc_index` at `now_ns`.
-    fn execute_step<F: FaultModel, T: TraceSink>(
+    fn execute_step<F: FaultModel, T: TraceSink, P: Prof>(
         &mut self,
         proc_index: ProcIndex,
         faults: &mut F,
         tracer: &mut T,
+        prof: P,
     ) -> Result<(), SimError> {
+        // Per-process host self-time: the whole step (action execution,
+        // cost accounting, effect dispatch) charges to `proc/<name>`.
+        let _proc_span = if P::ACTIVE {
+            self.proc_perf.get(proc_index).map(|&l| prof.enter(l))
+        } else {
+            None
+        };
         self.steps += 1;
         let (enqueued_ns, entry) = self.processes[proc_index]
             .queue

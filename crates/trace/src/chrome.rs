@@ -196,6 +196,38 @@ mod tests {
         );
     }
 
+    /// Perfetto/chrome://tracing label processes and threads from `M`
+    /// metadata events; without them the UI shows bare pids. Pin both:
+    /// every clock domain gets a `process_name` and every track a
+    /// `thread_name` carrying the track's display name.
+    #[test]
+    fn metadata_names_every_process_and_track() {
+        let text = to_chrome_json(&sample());
+        let doc = crate::json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let meta_names: Vec<(&str, &str)> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .map(|e| {
+                (
+                    e.get("name").and_then(Json::as_str).unwrap(),
+                    e.get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Json::as_str)
+                        .unwrap(),
+                )
+            })
+            .collect();
+        assert!(meta_names.contains(&("process_name", "simulated")));
+        assert!(meta_names.contains(&("process_name", "host")));
+        for track in ["pe/cpu1", "tool/profiling"] {
+            assert!(
+                meta_names.contains(&("thread_name", track)),
+                "track {track} must be named: {meta_names:?}"
+            );
+        }
+    }
+
     #[test]
     fn quotes_in_names_are_escaped() {
         let text = to_chrome_json(&sample());

@@ -22,6 +22,16 @@
 //!   `chrome://tracing`), [`prom`] (Prometheus text exposition), and
 //!   [`vcd`] (value-change-dump waveforms of per-segment busy/reserved
 //!   lines, viewable in GTKWave).
+//! * [`perf`] — the host-side self-profiler: scoped span timers over
+//!   `std::time::Instant` with interned labels, a thread-local span
+//!   stack, and per-thread buffers merged at drain. Renders a hotspot
+//!   table, collapsed (flamegraph) stacks, and a Chrome trace; the
+//!   [`perf::NoProf`]/[`perf::HostProf`] pair gives instrumented code
+//!   the same statically-dispatched zero-cost-off discipline as
+//!   [`sink::NoopSink`].
+//! * [`progress`] — throttled stderr heartbeats (done/total, rate, ETA,
+//!   best objective) for the long-running drivers; stdout stays
+//!   machine-clean.
 //! * [`json`] — a minimal JSON parser used to validate exporter output
 //!   in tests without external tooling.
 //! * [`rng`] — a SplitMix64 PRNG: the in-tree replacement for the
@@ -48,6 +58,8 @@
 pub mod chrome;
 pub mod json;
 pub mod metrics;
+pub mod perf;
+pub mod progress;
 pub mod prom;
 pub mod recorder;
 pub mod rng;
@@ -55,6 +67,8 @@ pub mod sink;
 pub mod vcd;
 
 pub use metrics::{Histogram, MetricsRegistry};
+pub use perf::{HostProf, NoProf, PerfReport, PerfSpan, Prof};
+pub use progress::Progress;
 pub use recorder::{EventKind, Recorder, TraceEvent};
 pub use rng::SplitMix64;
 pub use sink::{Clock, NoopSink, TraceSink, TrackId};

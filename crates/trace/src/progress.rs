@@ -1,0 +1,222 @@
+//! Live progress heartbeats for long-running drivers.
+//!
+//! `explore`, `fault-sweep`, and `bench` can run for minutes at real
+//! problem sizes; a [`Progress`] gives them a stderr heartbeat — points
+//! done/total, points per second, an ETA, and the best objective seen so
+//! far — without touching stdout, so `--json` and piped output stay
+//! machine-clean (pinned by `crates/bench/tests/progress.rs`).
+//!
+//! The struct is `Sync`: worker threads share one `&Progress` and tick
+//! it with atomics; emission is throttled to at most one line per
+//! [`EMIT_EVERY_MS`]. A disabled instance ([`Progress::disabled`]) makes
+//! every method a no-op, which is what `--no-progress` routes to.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Minimum milliseconds between heartbeat lines.
+pub const EMIT_EVERY_MS: u64 = 200;
+
+/// Every heartbeat line starts with this marker (tests grep for it; it
+/// must never appear on stdout).
+pub const MARKER: &str = "[progress]";
+
+/// A shared, throttled stderr progress meter.
+pub struct Progress {
+    enabled: bool,
+    label: String,
+    total: u64,
+    done: AtomicU64,
+    started: Instant,
+    /// Milliseconds since `started` of the last emitted line.
+    last_emit_ms: AtomicU64,
+    /// Best (lowest) objective so far, as `f64::to_bits`; `u64::MAX`
+    /// while unset. Objectives here are non-negative, so the bit pattern
+    /// order matches the numeric order.
+    best_bits: AtomicU64,
+}
+
+impl Progress {
+    /// An enabled meter expecting `total` units of work.
+    pub fn new(label: &str, total: u64) -> Progress {
+        Progress {
+            enabled: true,
+            label: label.to_owned(),
+            total,
+            done: AtomicU64::new(0),
+            started: Instant::now(),
+            last_emit_ms: AtomicU64::new(0),
+            best_bits: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// A meter whose every method is a no-op (`--no-progress`).
+    pub fn disabled() -> Progress {
+        Progress {
+            enabled: false,
+            ..Progress::new("", 0)
+        }
+    }
+
+    /// True when heartbeats are emitted.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one completed unit and maybe emits a heartbeat.
+    pub fn tick(&self) {
+        self.tick_n(1);
+    }
+
+    /// Records `n` completed units and maybe emits a heartbeat.
+    pub fn tick_n(&self, n: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.done.fetch_add(n, Ordering::Relaxed);
+        self.maybe_emit();
+    }
+
+    /// Records an objective value; the lowest seen so far is shown as
+    /// `best` on subsequent heartbeats.
+    pub fn record_best(&self, objective: f64) {
+        if !self.enabled || !objective.is_finite() || objective < 0.0 {
+            return;
+        }
+        let bits = objective.to_bits();
+        self.best_bits.fetch_min(bits, Ordering::Relaxed);
+    }
+
+    fn best(&self) -> Option<f64> {
+        let bits = self.best_bits.load(Ordering::Relaxed);
+        (bits != u64::MAX).then(|| f64::from_bits(bits))
+    }
+
+    fn maybe_emit(&self) {
+        let elapsed_ms = u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX);
+        let last = self.last_emit_ms.load(Ordering::Relaxed);
+        if elapsed_ms < last.saturating_add(EMIT_EVERY_MS) {
+            return;
+        }
+        // One thread wins the slot; the rest skip this heartbeat.
+        if self
+            .last_emit_ms
+            .compare_exchange(last, elapsed_ms, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        let done = self.done.load(Ordering::Relaxed);
+        eprintln!(
+            "{}",
+            render_line(
+                &self.label,
+                done,
+                self.total,
+                self.started.elapsed().as_secs_f64(),
+                self.best(),
+            )
+        );
+    }
+
+    /// Emits the final summary heartbeat (always, when enabled).
+    pub fn finish(&self) {
+        if !self.enabled {
+            return;
+        }
+        let done = self.done.load(Ordering::Relaxed);
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let rate = if elapsed > 0.0 {
+            done as f64 / elapsed
+        } else {
+            0.0
+        };
+        let best = match self.best() {
+            Some(best) => format!(" best {best:.1}"),
+            None => String::new(),
+        };
+        eprintln!(
+            "{MARKER} {} done {done}/{} in {elapsed:.2}s ({rate:.1}/s){best}",
+            self.label, self.total
+        );
+    }
+}
+
+/// Renders one heartbeat line (pure, so tests can pin the format).
+pub fn render_line(
+    label: &str,
+    done: u64,
+    total: u64,
+    elapsed_s: f64,
+    best: Option<f64>,
+) -> String {
+    let rate = if elapsed_s > 0.0 {
+        done as f64 / elapsed_s
+    } else {
+        0.0
+    };
+    let percent = if total > 0 {
+        done as f64 * 100.0 / total as f64
+    } else {
+        0.0
+    };
+    let eta = if rate > 0.0 && total > done {
+        format!(" eta {:.1}s", (total - done) as f64 / rate)
+    } else {
+        String::new()
+    };
+    let best = match best {
+        Some(best) => format!(" best {best:.1}"),
+        None => String::new(),
+    };
+    format!("{MARKER} {label} {done}/{total} ({percent:.0}%) {rate:.1}/s{eta}{best}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_line_shows_rate_eta_and_best() {
+        let line = render_line("sweep", 3, 5, 1.5, Some(42.25));
+        assert!(line.starts_with(MARKER));
+        assert!(line.contains("sweep 3/5 (60%)"));
+        assert!(line.contains("2.0/s"));
+        assert!(line.contains("eta 1.0s"));
+        assert!(line.contains("best 42.2"), "{line}");
+    }
+
+    #[test]
+    fn render_line_handles_zero_work() {
+        let line = render_line("idle", 0, 0, 0.0, None);
+        assert!(line.contains("idle 0/0 (0%)"));
+        assert!(!line.contains("eta"));
+        assert!(!line.contains("best"));
+    }
+
+    #[test]
+    fn disabled_progress_is_inert() {
+        let p = Progress::disabled();
+        assert!(!p.is_enabled());
+        p.tick();
+        p.record_best(1.0);
+        p.finish(); // must not print (verified by the binary-level test)
+        assert_eq!(p.done.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn best_keeps_the_minimum_across_threads() {
+        let p = Progress::new("t", 10);
+        std::thread::scope(|scope| {
+            for v in [5.0f64, 3.0, 9.0] {
+                let p = &p;
+                scope.spawn(move || {
+                    p.record_best(v);
+                    p.tick();
+                });
+            }
+        });
+        assert_eq!(p.best(), Some(3.0));
+        assert_eq!(p.done.load(Ordering::Relaxed), 3);
+    }
+}

@@ -32,6 +32,15 @@ cargo run --release -q -p tut-bench --bin repro -- fault-sweep --quick
 echo "==> repro bench --quick (sim throughput regression floor)"
 cargo run --release -q -p tut-bench --bin repro -- bench --quick
 
+echo "==> repro profile --quick --folded (self-profiler smoke)"
+folded_out=$(cargo run --release -q -p tut-bench --bin repro -- profile --quick --folded)
+if [[ -z "$folded_out" ]]; then
+    echo "repro profile --quick --folded produced no collapsed stacks"; exit 1;
+fi
+
+echo "==> repro profile bench --quick (throughput floor WITH profiling enabled)"
+cargo run --release -q -p tut-bench --bin repro -- profile bench --quick > /dev/null
+
 echo "==> repro check (diagnostics exit contract)"
 # Clean model: warnings at most, exit 0.
 cargo run --release -q -p tut-bench --bin repro -- check > /dev/null
