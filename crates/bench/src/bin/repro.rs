@@ -17,8 +17,12 @@
 //! ```
 //!
 //! `--threads N` runs the exploration stages (the `explore` item) and
-//! the fault-sweep / bench items on N worker threads (0 = all cores);
-//! results are bit-identical at every thread count.
+//! the fault-sweep / bench items on a budget of N worker threads
+//! (0 = all cores); results are bit-identical at every thread count.
+//! The fault sweep splits the budget between sweep workers and intra-run
+//! logical processes of the conservative parallel simulation kernel, and
+//! the bench item clamps it to the host's logical CPUs before timing
+//! anything.
 //!
 //! Model checking (parse → validate → profile rules → codegen dry run,
 //! one aggregated severity-sorted report with source spans):
@@ -275,11 +279,15 @@ fn print_fault_sweep(quick: bool, threads: usize, progress: bool) {
 }
 
 /// Runs the simulation perf baseline (experiment P1): TUTMAC event
-/// throughput plus the serial-vs-parallel fault-sweep wall-clock, written
-/// to `BENCH_sim.json`. `--quick` shortens the horizon, skips the sweep
+/// throughput, serial vs conservative-parallel wall-clock of a single
+/// run, the calendar-vs-heap scheduler microbench, and the
+/// serial-vs-parallel fault-sweep wall-clock, written to
+/// `BENCH_sim.json`. `--quick` shortens the horizons, skips the sweep
 /// timing, leaves `BENCH_sim.json` untouched (it is a check, not a
 /// measurement), and fails the process when events/sec falls below the
-/// generous regression floor, so CI catches a >5x throughput regression.
+/// generous regression floor (simulation and calendar queue alike) or
+/// the parallel log diverges from serial, so CI catches a >5x
+/// throughput regression and any determinism break in one short run.
 fn print_bench(quick: bool, threads: usize, progress: bool) {
     use tut_bench::simbench;
     let meter = if progress {
@@ -295,11 +303,29 @@ fn print_bench(quick: bool, threads: usize, progress: bool) {
     );
     println!();
     print!("{}", simbench::render(&report));
+    // Determinism gate in every mode: a merged parallel log that is not
+    // byte-identical to serial is a bug, never a measurement.
+    if !report.parallel.log_identical {
+        eprintln!("[bench] parallel single-run log DIVERGED from serial");
+        std::process::exit(1);
+    }
     if !quick {
         let json = simbench::to_json(&report);
         std::fs::write("BENCH_sim.json", &json)
             .unwrap_or_else(|e| panic!("writing BENCH_sim.json: {e}"));
         println!("wrote BENCH_sim.json ({} bytes)", json.len());
+        // The single-run speedup is pinned only where it is meaningful:
+        // a multi-core host whose worker count wasn't clamped to 1.
+        let p = &report.parallel;
+        if report.host.logical_cpus > 1 && p.threads > 1 && p.speedup() < 1.0 {
+            eprintln!(
+                "[bench] parallel single-run speedup {:.3} < 1 on {} cpus / {} threads",
+                p.speedup(),
+                report.host.logical_cpus,
+                p.threads,
+            );
+            std::process::exit(1);
+        }
     }
     if quick {
         let rate = report.rate.events_per_sec();
@@ -308,7 +334,15 @@ fn print_bench(quick: bool, threads: usize, progress: bool) {
             eprintln!("[bench --quick] {rate:.0} events/sec below regression floor {floor:.0}");
             std::process::exit(1);
         }
+        let calendar = report.scheduler.calendar_events_per_sec();
+        if calendar < floor {
+            eprintln!(
+                "[bench --quick] calendar queue {calendar:.0} events/sec below floor {floor:.0}"
+            );
+            std::process::exit(1);
+        }
         println!("[bench --quick] {rate:.0} events/sec clears regression floor {floor:.0}");
+        println!("[bench --quick] calendar queue {calendar:.0} events/sec clears floor {floor:.0}");
     }
 }
 

@@ -142,20 +142,144 @@ fn run_stages(text: &str, bag: &mut DiagnosticBag) {
 
     // Stage 5: codegen dry run — the generated files are discarded, only
     // the structural prerequisites are checked.
-    let _stage_span = stage_span.then_named("check.codegen_dry_run");
+    let stage_span = stage_span.then_named("check.codegen_dry_run");
     if let Err(e) = tut_codegen::generate_project(&system) {
         bag.push(Diagnostic::error(e.code(), e.to_string()));
+    }
+
+    // Stage 6: simulation-setup dry run — lowering the platform for the
+    // simulator re-derives every tagged value with checked conversions,
+    // so attributes outside the representable range of the engine (and
+    // the HIBI RTL it models) surface here as spanned E0410 findings
+    // instead of truncating silently at simulation time. Errors without
+    // a stable diagnostic code (no application, missing behaviour, …)
+    // are structural conditions the model rules already cover and are
+    // not re-reported.
+    let _stage_span = stage_span.then_named("check.sim_setup");
+    if let Err(e) = tut_sim::Simulation::from_system(&system, tut_sim::SimConfig::default()) {
+        if let Some(code) = e.code() {
+            let mut d = Diagnostic::error(code, e.to_string());
+            if let Some(element) = e.element() {
+                d = d.with_element(element);
+                if let Some(span) = index.get(element) {
+                    d = d.with_span(span);
+                }
+            }
+            bag.push(d);
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tut_profile::application::ProcessType;
+    use tut_profile::platform::ComponentKind;
+    use tut_uml::action::{CostClass, Expr, Statement};
+    use tut_uml::statemachine::{StateMachine, Trigger};
+
+    /// A small simulatable system whose HIBI segment declares a
+    /// `DataWidth` wider than the engine (or the RTL it models) can
+    /// represent — the shape `fixtures/check_param_range.xml` was
+    /// serialised from.
+    fn wide_segment_system() -> SystemModel {
+        use tut_profile_core::TagValue;
+        let mut s = SystemModel::new("WideBus");
+        let top = s.model.add_class("Top");
+        s.apply(top, |t| t.application).unwrap();
+        let comp = s.model.add_class("Ticker");
+        s.apply(comp, |t| t.application_component).unwrap();
+        let mut sm = StateMachine::new("B");
+        let run = sm.add_state_with_entry(
+            "Run",
+            vec![Statement::SetTimer {
+                name: "tick".into(),
+                duration: Expr::int(1000),
+            }],
+        );
+        sm.set_initial(run);
+        sm.add_transition(
+            run,
+            run,
+            Trigger::Timer("tick".into()),
+            None,
+            vec![
+                Statement::Compute {
+                    class: CostClass::Control,
+                    amount: Expr::int(100),
+                },
+                Statement::SetTimer {
+                    name: "tick".into(),
+                    duration: Expr::int(1000),
+                },
+            ],
+        );
+        s.model.add_state_machine(comp, sm);
+        let part = s.model.add_part(top, "ticker", comp);
+        s.apply(part, |t| t.application_process).unwrap();
+        let group = s.add_process_group("group1", false, ProcessType::General);
+        s.assign_to_group(part, group);
+
+        let platform = s.model.add_class("Plat");
+        s.apply(platform, |t| t.platform).unwrap();
+        let nios = s.add_platform_component("Nios", ComponentKind::General, 50, 1.0, 0.1);
+        let cpu = s.add_platform_instance(platform, "cpu1", nios, 1, 0);
+        let seg_class = s.model.add_class("Seg");
+        s.apply_with(
+            seg_class,
+            |t| t.hibi_segment,
+            [
+                // u32::MAX is 4294967295; this cannot be lowered.
+                ("DataWidth", TagValue::Int(5_000_000_000)),
+                ("Frequency", TagValue::Int(100)),
+                ("Arbitration", TagValue::Enum("priority".into())),
+            ],
+        )
+        .unwrap();
+        s.model.add_part(platform, "seg1", seg_class);
+        let group_class = s.model.find_class("group1").unwrap();
+        s.map_group(group_class, cpu, false);
+        s
+    }
 
     #[test]
     fn clean_paper_system_has_no_errors() {
         let report = check_paper_system();
         assert!(!report.has_errors(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn sim_setup_dry_run_reports_param_range_with_span() {
+        let system = wide_segment_system();
+        let report = check_source("wide.xml", &system.to_xml());
+        assert!(report.has_errors(), "{}", report.render_text());
+        let d = report
+            .bag()
+            .iter()
+            .find(|d| d.code == tut_sim::E_PARAM_RANGE)
+            .unwrap_or_else(|| panic!("no E0410 finding:\n{}", report.render_text()));
+        assert!(d.message.contains("DataWidth"), "{}", d.message);
+        assert!(d.span.is_some(), "E0410 resolves to a document span");
+        assert!(report.render_text().contains("E0410"));
+    }
+
+    #[test]
+    fn param_range_fixture_is_detected() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/fixtures/check_param_range.xml"
+        );
+        let text = std::fs::read_to_string(path).expect("committed fixture present");
+        let report = check_source("check_param_range.xml", &text);
+        assert!(report.has_errors(), "{}", report.render_text());
+        assert!(
+            report
+                .bag()
+                .iter()
+                .any(|d| d.code == tut_sim::E_PARAM_RANGE),
+            "fixture must trip E0410:\n{}",
+            report.render_text()
+        );
     }
 
     #[test]

@@ -91,16 +91,32 @@ fn point_from_report(ber: f64, fragment_bytes: i64, report: &ProfilingReport) ->
 ///
 /// Panics if the profiling pipeline fails (covered by tests).
 pub fn run_point(ber: f64, seed: u64, config: SimConfig) -> SweepPoint {
+    run_point_threads(ber, seed, config, 1)
+}
+
+/// [`run_point`] with the simulation stage on `lp_threads` workers of
+/// the conservative parallel kernel (1 = serial engine). The merged
+/// parallel log is bit-identical to serial, so the point is the same at
+/// any thread count — the knob only spends host parallelism.
+///
+/// # Panics
+///
+/// Panics if the profiling pipeline fails (covered by tests).
+pub fn run_point_threads(ber: f64, seed: u64, config: SimConfig, lp_threads: usize) -> SweepPoint {
     let _point_span = perf::enter_named("fault_sweep.point");
     let tutmac_config = tutmac::TutmacConfig::default();
     let system = tutmac::build_tutmac_system(&tutmac_config).expect("tutmac builds");
     let mut plan = FaultPlan::new(FaultConfig::with_ber(seed, ber));
-    let report = tut_profiling::profile_system_with_faults(
-        &system,
-        config,
-        &mut plan,
-        &mut tut_trace::NoopSink,
-    )
+    let report = if lp_threads > 1 {
+        tut_profiling::profile_system_parallel(&system, config, lp_threads, &plan)
+    } else {
+        tut_profiling::profile_system_with_faults(
+            &system,
+            config,
+            &mut plan,
+            &mut tut_trace::NoopSink,
+        )
+    }
     .expect("fault-sweep profiling run");
     point_from_report(ber, tutmac_config.fragment_bytes, &report)
 }
@@ -110,14 +126,16 @@ pub fn run_sweep(config: &SimConfig) -> Vec<SweepPoint> {
     run_sweep_threads(config, 1)
 }
 
-/// Runs the full campaign over [`SWEEP_BERS`] on `threads` workers
-/// (0 = all cores).
+/// Runs the full campaign over [`SWEEP_BERS`] on a budget of `threads`
+/// workers (0 = all cores).
 ///
-/// Every BER point is an independent seeded simulation, so the points
-/// are sharded contiguously across scoped threads exactly like the
-/// exploration engine (`tut_explore::parallel`): each worker fills a
-/// disjoint slice of the result vector, making the output bit-identical
-/// to the serial sweep at any thread count.
+/// The budget is split between the two layers of parallelism: up to one
+/// sweep worker per BER point (each filling a disjoint slice of the
+/// result vector, exactly like `tut_explore::parallel`), and any surplus
+/// divided evenly among the workers as intra-run LP threads for the
+/// conservative parallel kernel. Both layers are bit-identical to their
+/// serial counterparts, so the output is the same table at any thread
+/// count.
 pub fn run_sweep_threads(config: &SimConfig, threads: usize) -> Vec<SweepPoint> {
     run_sweep_observed(config, threads, &Progress::disabled())
 }
@@ -131,18 +149,22 @@ pub fn run_sweep_observed(
     threads: usize,
     progress: &Progress,
 ) -> Vec<SweepPoint> {
-    let threads = tut_explore::parallel::resolve_threads(threads).min(SWEEP_BERS.len());
-    if threads <= 1 {
+    // One thread budget for both layers: outer sweep workers first (one
+    // per point at most), then the surplus as LP threads inside each run.
+    let budget = tut_explore::parallel::resolve_threads(threads);
+    let outer = budget.min(SWEEP_BERS.len()).max(1);
+    let lp_threads = (budget / outer).max(1);
+    if outer <= 1 {
         return SWEEP_BERS
             .iter()
             .map(|&ber| {
-                let point = run_point(ber, SWEEP_SEED, config.clone());
+                let point = run_point_threads(ber, SWEEP_SEED, config.clone(), lp_threads);
                 progress.tick();
                 point
             })
             .collect();
     }
-    let ranges = tut_explore::parallel::shard_ranges(SWEEP_BERS.len() as u64, threads);
+    let ranges = tut_explore::parallel::shard_ranges(SWEEP_BERS.len() as u64, outer);
     let mut results: Vec<Option<SweepPoint>> = vec![None; SWEEP_BERS.len()];
     std::thread::scope(|scope| {
         let mut rest = results.as_mut_slice();
@@ -154,7 +176,12 @@ pub fn run_sweep_observed(
             scope.spawn(move || {
                 for (offset, slot) in chunk.iter_mut().enumerate() {
                     let ber = SWEEP_BERS[start + offset];
-                    *slot = Some(run_point(ber, SWEEP_SEED, config.clone()));
+                    *slot = Some(run_point_threads(
+                        ber,
+                        SWEEP_SEED,
+                        config.clone(),
+                        lp_threads,
+                    ));
                     progress.tick();
                 }
             });
@@ -228,12 +255,14 @@ mod tests {
 
     /// The parallel sweep is bit-identical to the serial sweep at any
     /// thread count (each point is an independent seeded run filling a
-    /// disjoint result slot).
+    /// disjoint result slot). The largest budget oversubscribes the
+    /// point count, so the surplus flows into intra-run LP threads and
+    /// the parallel simulation kernel is exercised too.
     #[test]
     fn parallel_sweep_matches_serial_at_any_thread_count() {
         let config = SimConfig::with_horizon_ns(2_000_000);
         let serial = run_sweep_threads(&config, 1);
-        for threads in [2, 3, SWEEP_BERS.len() + 2] {
+        for threads in [2, 3, SWEEP_BERS.len() + 2, 2 * SWEEP_BERS.len() + 2] {
             let parallel = run_sweep_threads(&config, threads);
             assert_eq!(parallel, serial, "{threads} threads diverged from serial");
         }

@@ -1,15 +1,22 @@
 //! The simulation performance baseline (experiment P1): event throughput
-//! of a TUTMAC run and wall-clock of the fault-injection sweep, written
-//! to `BENCH_sim.json` so the repository carries a recorded perf
-//! trajectory.
+//! of a TUTMAC run, serial-vs-parallel wall-clock of both a single run
+//! (the conservative kernel) and the fault-injection sweep, and a
+//! calendar-vs-heap scheduler microbench, written to `BENCH_sim.json` so
+//! the repository carries a recorded perf trajectory.
 //!
 //! The `repro bench` item runs this; `--quick` shortens the horizons and
 //! enforces a generous events/sec floor so CI catches a gross (>5x)
 //! throughput regression without being sensitive to machine noise.
+//!
+//! Every parallel measurement clamps its worker count to the host's
+//! logical CPUs: timing more workers than cores measures scheduler
+//! thrash, not the algorithm (an earlier recording did exactly that —
+//! `host.logical_cpus: 1` with `sweep.threads: 2` — and reported an
+//! oversubscription artefact as a "speedup" of 0.877).
 
 use std::time::Instant;
 
-use tut_sim::{SimConfig, Simulation};
+use tut_sim::{EventQueue, QueueKind, SimConfig, Simulation};
 use tut_trace::{perf, Progress};
 
 use crate::faultsweep;
@@ -39,6 +46,80 @@ impl EventRate {
     }
 }
 
+/// Wall-clock comparison of the serial engine and the conservative
+/// parallel kernel on one TUTMAC run (the `single_run_parallel` block of
+/// `BENCH_sim.json`).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ParallelTiming {
+    /// Simulated horizon of each run (ns).
+    pub horizon_ns: u64,
+    /// Best serial wall-clock over the repeats (seconds; run only, the
+    /// shared model build is excluded so the kernel is what's compared).
+    pub serial_s: f64,
+    /// Best parallel wall-clock over the repeats (seconds).
+    pub parallel_s: f64,
+    /// Worker threads the parallel runs used (clamped to host CPUs).
+    pub threads: usize,
+    /// Occupied logical processes the platform mapping induced.
+    pub lps: usize,
+    /// Conservative lookahead of the partition (ns).
+    pub lookahead_ns: u64,
+    /// True when every parallel log came out byte-identical to serial.
+    pub log_identical: bool,
+}
+
+impl ParallelTiming {
+    /// Serial / parallel wall-clock ratio (>1 means the kernel won).
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_s <= 0.0 {
+            0.0
+        } else {
+            self.serial_s / self.parallel_s
+        }
+    }
+}
+
+/// Wall-clock comparison of the two event-queue disciplines on a
+/// synthetic hold-model workload (push one, pop one, at steady state).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SchedulerTiming {
+    /// Hold operations (pop + push pairs) each discipline executed.
+    pub events: u64,
+    /// Binary-heap wall-clock (seconds).
+    pub heap_s: f64,
+    /// Calendar-queue wall-clock (seconds).
+    pub calendar_s: f64,
+}
+
+impl SchedulerTiming {
+    /// Hold operations per second through the binary heap.
+    pub fn heap_events_per_sec(&self) -> f64 {
+        if self.heap_s <= 0.0 {
+            0.0
+        } else {
+            self.events as f64 / self.heap_s
+        }
+    }
+
+    /// Hold operations per second through the calendar queue.
+    pub fn calendar_events_per_sec(&self) -> f64 {
+        if self.calendar_s <= 0.0 {
+            0.0
+        } else {
+            self.events as f64 / self.calendar_s
+        }
+    }
+
+    /// Heap / calendar wall-clock ratio (>1 means the calendar won).
+    pub fn calendar_speedup(&self) -> f64 {
+        if self.calendar_s <= 0.0 {
+            0.0
+        } else {
+            self.heap_s / self.calendar_s
+        }
+    }
+}
+
 /// Wall-clock comparison of the serial and parallel fault sweep.
 #[derive(Clone, Copy, PartialEq, Debug)]
 pub struct SweepTiming {
@@ -50,8 +131,11 @@ pub struct SweepTiming {
     pub serial_s: f64,
     /// Parallel sweep wall-clock (seconds).
     pub parallel_s: f64,
-    /// Worker threads of the parallel sweep.
+    /// Worker threads the parallel sweep actually used (clamped to the
+    /// host's logical CPUs).
     pub threads: usize,
+    /// Worker threads the caller asked for before clamping.
+    pub requested_threads: usize,
 }
 
 impl SweepTiming {
@@ -63,6 +147,13 @@ impl SweepTiming {
         } else {
             self.serial_s / self.parallel_s
         }
+    }
+
+    /// True when the request exceeded the host and was clamped — the
+    /// recorded figure then measures the host's real parallelism, not
+    /// the (meaningless) oversubscribed timing.
+    pub fn oversubscribed(&self) -> bool {
+        self.requested_threads > self.threads
     }
 }
 
@@ -94,6 +185,10 @@ impl HostInfo {
 pub struct BenchReport {
     /// TUTMAC event-throughput measurement.
     pub rate: EventRate,
+    /// Serial vs conservative-parallel single-run measurement.
+    pub parallel: ParallelTiming,
+    /// Calendar-queue vs binary-heap scheduler microbench.
+    pub scheduler: SchedulerTiming,
     /// Fault-sweep wall-clock measurement (skipped in `--quick` mode).
     pub sweep: Option<SweepTiming>,
     /// The machine the figures were measured on.
@@ -103,7 +198,8 @@ pub struct BenchReport {
 /// Generous events/sec floor for `--quick` mode: an order of magnitude
 /// below the measured release-build throughput on a single container
 /// core, so only a >5x regression (the CI criterion) can trip it while
-/// machine noise cannot.
+/// machine noise cannot. The same floor guards the calendar-queue
+/// microbench (which runs far above it).
 pub const QUICK_FLOOR_EVENTS_PER_SEC: f64 = 50_000.0;
 
 /// Times one TUTMAC simulation (build + run) and returns the best of
@@ -151,14 +247,132 @@ pub fn measure_event_rate_observed(
     best.expect("at least one repeat ran")
 }
 
-/// Times the fault sweep serial and on `threads` workers.
-pub fn measure_sweep(horizon_ns: u64, threads: usize) -> SweepTiming {
-    measure_sweep_observed(horizon_ns, threads, &Progress::disabled())
+/// Times the serial engine against the conservative parallel kernel on
+/// one TUTMAC run. Each side is best-of-`repeats`; only the run itself
+/// is timed (the model build is shared setup). Every parallel log is
+/// compared byte-for-byte against the serial log.
+///
+/// # Panics
+///
+/// Panics if a run fails (covered by the parallel-kernel tests).
+pub fn measure_parallel_single(horizon_ns: u64, threads: usize, repeats: usize) -> ParallelTiming {
+    measure_parallel_single_observed(horizon_ns, threads, repeats, &Progress::disabled())
+}
+
+/// [`measure_parallel_single`] with a progress heartbeat: every serial
+/// and parallel repeat ticks `progress` and opens a self-profiler frame.
+pub fn measure_parallel_single_observed(
+    horizon_ns: u64,
+    threads: usize,
+    repeats: usize,
+    progress: &Progress,
+) -> ParallelTiming {
+    let system = crate::paper_system();
+    let config = SimConfig::with_horizon_ns(horizon_ns);
+    let build =
+        || Simulation::from_system(&system, config.clone()).expect("sim builds for parallel bench");
+    let plan = build().parallel_plan();
+
+    let mut serial_s = f64::INFINITY;
+    let mut serial_log: Option<String> = None;
+    for _ in 0..repeats.max(1) {
+        let _span = perf::enter_named("bench.single_serial");
+        let sim = build();
+        let started = Instant::now();
+        let report = sim.run().expect("serial bench run");
+        serial_s = serial_s.min(started.elapsed().as_secs_f64());
+        progress.tick();
+        serial_log.get_or_insert_with(|| report.log.to_text());
+    }
+    let serial_log = serial_log.expect("at least one serial repeat ran");
+
+    let mut parallel_s = f64::INFINITY;
+    let mut log_identical = true;
+    for _ in 0..repeats.max(1) {
+        let _span = perf::enter_named("bench.single_parallel");
+        let sim = build();
+        let started = Instant::now();
+        let report = sim.run_parallel(threads).expect("parallel bench run");
+        parallel_s = parallel_s.min(started.elapsed().as_secs_f64());
+        progress.tick();
+        log_identical &= report.log.to_text() == serial_log;
+    }
+
+    ParallelTiming {
+        horizon_ns,
+        serial_s,
+        parallel_s,
+        threads,
+        lps: plan.occupied_lps,
+        lookahead_ns: plan.lookahead_ns,
+        log_identical,
+    }
+}
+
+/// Times `events` hold operations (pop one, push one at steady state)
+/// through both event-queue disciplines on an identical pseudo-random
+/// workload.
+pub fn measure_scheduler(events: u64) -> SchedulerTiming {
+    measure_scheduler_observed(events, &Progress::disabled())
+}
+
+/// [`measure_scheduler`] with a progress heartbeat: each discipline
+/// ticks `progress` once when its timed loop finishes.
+pub fn measure_scheduler_observed(events: u64, progress: &Progress) -> SchedulerTiming {
+    let time = |kind: QueueKind| -> f64 {
+        let _span = perf::enter_named("bench.scheduler");
+        // SplitMix64: the same deterministic increment stream for both
+        // disciplines, so the comparison is apples to apples.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut queue: EventQueue<u32> = EventQueue::new(kind);
+        let mut seq = 0u64;
+        let started = Instant::now();
+        for i in 0..4096u32 {
+            queue.push(next() % 1_000_000, seq, i);
+            seq += 1;
+        }
+        for _ in 0..events {
+            let (now_ns, _, item) = queue.pop().expect("hold model never drains");
+            queue.push(now_ns + 1 + next() % 50_000, seq, item);
+            seq += 1;
+        }
+        let wall_s = started.elapsed().as_secs_f64();
+        progress.tick();
+        wall_s
+    };
+    SchedulerTiming {
+        events,
+        heap_s: time(QueueKind::Heap),
+        calendar_s: time(QueueKind::Calendar),
+    }
+}
+
+/// Times the fault sweep serial and on `threads` workers
+/// (`requested_threads` records the pre-clamp ask).
+pub fn measure_sweep(horizon_ns: u64, threads: usize, requested_threads: usize) -> SweepTiming {
+    measure_sweep_observed(
+        horizon_ns,
+        threads,
+        requested_threads,
+        &Progress::disabled(),
+    )
 }
 
 /// [`measure_sweep`] with a progress heartbeat: the serial and parallel
 /// passes each tick `progress` once per BER point.
-pub fn measure_sweep_observed(horizon_ns: u64, threads: usize, progress: &Progress) -> SweepTiming {
+pub fn measure_sweep_observed(
+    horizon_ns: u64,
+    threads: usize,
+    requested_threads: usize,
+    progress: &Progress,
+) -> SweepTiming {
     let config = SimConfig::with_horizon_ns(horizon_ns);
     let started = Instant::now();
     let serial = faultsweep::run_sweep_observed(&config, 1, progress);
@@ -173,17 +387,31 @@ pub fn measure_sweep_observed(horizon_ns: u64, threads: usize, progress: &Progre
         serial_s,
         parallel_s,
         threads: tut_explore::parallel::resolve_threads(threads),
+        requested_threads,
     }
 }
 
-/// Work units [`run_bench`] ticks on a progress meter: throughput repeats
-/// plus, in full mode, both sweep passes' BER points.
+/// Work units [`run_bench`] ticks on a progress meter: throughput
+/// repeats, single-run serial+parallel repeats, the two scheduler
+/// disciplines, plus (full mode) both sweep passes' BER points.
 pub fn bench_progress_total(quick: bool) -> u64 {
     if quick {
-        3
+        3 + 2 + 2
     } else {
-        5 + 2 * faultsweep::SWEEP_BERS.len() as u64
+        5 + 4 + 2 + 2 * faultsweep::SWEEP_BERS.len() as u64
     }
+}
+
+/// Resolves the worker-thread budget for the parallel measurements:
+/// `threads` as asked (0 = all cores, <=1 defaults to 2 so the parallel
+/// paths are exercised), clamped to the host's logical CPU count. The
+/// second value is the pre-clamp request.
+pub fn bench_workers(threads: usize) -> (usize, usize) {
+    let logical = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let requested = tut_explore::parallel::resolve_threads(if threads <= 1 { 2 } else { threads });
+    (requested.min(logical).max(1), requested)
 }
 
 /// Runs the P1 measurement. Quick mode uses a short horizon and skips
@@ -196,22 +424,24 @@ pub fn run_bench(quick: bool, threads: usize) -> BenchReport {
 /// `progress` (size it with [`bench_progress_total`]), and each stage is
 /// a self-profiler frame.
 pub fn run_bench_observed(quick: bool, threads: usize, progress: &Progress) -> BenchReport {
-    let sweep_threads = if threads <= 1 { 2 } else { threads };
-    let host = HostInfo::probe(tut_explore::parallel::resolve_threads(if quick {
-        threads
-    } else {
-        sweep_threads
-    }));
+    let (workers, requested) = bench_workers(threads);
+    let host = HostInfo::probe(workers);
     if quick {
         BenchReport {
             rate: measure_event_rate_observed(5_000_000, 3, progress),
+            parallel: measure_parallel_single_observed(5_000_000, workers, 1, progress),
+            scheduler: measure_scheduler_observed(100_000, progress),
             sweep: None,
             host,
         }
     } else {
         BenchReport {
             rate: measure_event_rate_observed(20_000_000, 5, progress),
-            sweep: Some(measure_sweep_observed(5_000_000, sweep_threads, progress)),
+            parallel: measure_parallel_single_observed(20_000_000, workers, 2, progress),
+            scheduler: measure_scheduler_observed(400_000, progress),
+            sweep: Some(measure_sweep_observed(
+                5_000_000, workers, requested, progress,
+            )),
             host,
         }
     }
@@ -233,13 +463,42 @@ pub fn render(report: &BenchReport) -> String {
         r.wall_s * 1e3,
         r.events_per_sec(),
     ));
+    let p = &report.parallel;
+    out.push_str(&format!(
+        "single-run parallel ({} LPs, lookahead {} ns, {} threads): serial {:.1} ms, parallel {:.1} ms -> {:.2}x\n",
+        p.lps,
+        p.lookahead_ns,
+        p.threads,
+        p.serial_s * 1e3,
+        p.parallel_s * 1e3,
+        p.speedup(),
+    ));
+    out.push_str(&format!(
+        "parallel single-run log identical to serial: {}\n",
+        p.log_identical,
+    ));
+    let q = &report.scheduler;
+    out.push_str(&format!(
+        "scheduler hold-model ({} events): heap {:.1} ms, calendar {:.1} ms -> calendar {:.0} events/sec ({:.2}x vs heap)\n",
+        q.events,
+        q.heap_s * 1e3,
+        q.calendar_s * 1e3,
+        q.calendar_events_per_sec(),
+        q.calendar_speedup(),
+    ));
     if let Some(s) = &report.sweep {
+        let clamp_note = if s.oversubscribed() {
+            format!(" (requested {}, clamped to host)", s.requested_threads)
+        } else {
+            String::new()
+        };
         out.push_str(&format!(
-            "fault-sweep ({} points, {} ms horizon): serial {:.1} ms, {} threads {:.1} ms -> {:.2}x\n",
+            "fault-sweep ({} points, {} ms horizon): serial {:.1} ms, {} threads{} {:.1} ms -> {:.2}x\n",
             s.points,
             s.horizon_ns / 1_000_000,
             s.serial_s * 1e3,
             s.threads,
+            clamp_note,
             s.parallel_s * 1e3,
             s.speedup(),
         ));
@@ -251,23 +510,51 @@ pub fn render(report: &BenchReport) -> String {
 /// (hand-rolled JSON; the workspace has no serde).
 pub fn to_json(report: &BenchReport) -> String {
     let r = &report.rate;
-    let mut out = String::from("{\n  \"schema\": \"tut-bench/sim/v2\",\n");
+    let mut out = String::from("{\n  \"schema\": \"tut-bench/sim/v3\",\n");
     out.push_str(&format!(
         "  \"host\": {{\n    \"logical_cpus\": {},\n    \"threads\": {}\n  }},\n",
         report.host.logical_cpus, report.host.threads,
     ));
     out.push_str(&format!(
-        "  \"tutmac\": {{\n    \"horizon_ns\": {},\n    \"records\": {},\n    \"steps\": {},\n    \"wall_s\": {:.6},\n    \"events_per_sec\": {:.1}\n  }}",
+        "  \"tutmac\": {{\n    \"horizon_ns\": {},\n    \"records\": {},\n    \"steps\": {},\n    \"wall_s\": {:.6},\n    \"events_per_sec\": {:.1}\n  }},\n",
         r.horizon_ns,
         r.records,
         r.steps,
         r.wall_s,
         r.events_per_sec(),
     ));
+    let p = &report.parallel;
+    out.push_str(&format!(
+        "  \"single_run_parallel\": {{\n    \"horizon_ns\": {},\n    \"serial_s\": {:.6},\n    \"parallel_s\": {:.6},\n    \"threads\": {},\n    \"lps\": {},\n    \"lookahead_ns\": {},\n    \"log_identical\": {},\n    \"speedup\": {:.3}\n  }},\n",
+        p.horizon_ns,
+        p.serial_s,
+        p.parallel_s,
+        p.threads,
+        p.lps,
+        p.lookahead_ns,
+        p.log_identical,
+        p.speedup(),
+    ));
+    let q = &report.scheduler;
+    out.push_str(&format!(
+        "  \"scheduler\": {{\n    \"events\": {},\n    \"heap_s\": {:.6},\n    \"calendar_s\": {:.6},\n    \"heap_events_per_sec\": {:.1},\n    \"calendar_events_per_sec\": {:.1}\n  }}",
+        q.events,
+        q.heap_s,
+        q.calendar_s,
+        q.heap_events_per_sec(),
+        q.calendar_events_per_sec(),
+    ));
     if let Some(s) = &report.sweep {
         out.push_str(&format!(
-            ",\n  \"sweep\": {{\n    \"horizon_ns\": {},\n    \"points\": {},\n    \"serial_s\": {:.6},\n    \"parallel_s\": {:.6},\n    \"threads\": {},\n    \"speedup\": {:.3}\n  }}",
-            s.horizon_ns, s.points, s.serial_s, s.parallel_s, s.threads, s.speedup(),
+            ",\n  \"sweep\": {{\n    \"horizon_ns\": {},\n    \"points\": {},\n    \"serial_s\": {:.6},\n    \"parallel_s\": {:.6},\n    \"threads\": {},\n    \"requested_threads\": {},\n    \"oversubscribed\": {},\n    \"speedup\": {:.3}\n  }}",
+            s.horizon_ns,
+            s.points,
+            s.serial_s,
+            s.parallel_s,
+            s.threads,
+            s.requested_threads,
+            s.oversubscribed(),
+            s.speedup(),
         ));
     }
     out.push_str(&format!(
@@ -279,6 +566,43 @@ pub fn to_json(report: &BenchReport) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn sample_report() -> BenchReport {
+        BenchReport {
+            rate: EventRate {
+                horizon_ns: 1_000_000,
+                records: 10,
+                steps: 5,
+                wall_s: 0.001,
+            },
+            parallel: ParallelTiming {
+                horizon_ns: 1_000_000,
+                serial_s: 0.004,
+                parallel_s: 0.002,
+                threads: 2,
+                lps: 2,
+                lookahead_ns: 1000,
+                log_identical: true,
+            },
+            scheduler: SchedulerTiming {
+                events: 1000,
+                heap_s: 0.002,
+                calendar_s: 0.001,
+            },
+            sweep: Some(SweepTiming {
+                horizon_ns: 1_000_000,
+                points: 5,
+                serial_s: 0.5,
+                parallel_s: 0.3,
+                threads: 2,
+                requested_threads: 4,
+            }),
+            host: HostInfo {
+                logical_cpus: 8,
+                threads: 2,
+            },
+        }
+    }
 
     #[test]
     fn event_rate_arithmetic() {
@@ -294,61 +618,104 @@ mod tests {
     }
 
     #[test]
-    fn sweep_speedup_arithmetic() {
+    fn sweep_speedup_and_clamp_flag() {
         let s = SweepTiming {
             horizon_ns: 1_000_000,
             points: 5,
             serial_s: 2.0,
             parallel_s: 1.0,
             threads: 2,
+            requested_threads: 2,
         };
         assert!((s.speedup() - 2.0).abs() < 1e-12);
+        assert!(!s.oversubscribed());
+        let clamped = SweepTiming {
+            threads: 1,
+            requested_threads: 2,
+            ..s
+        };
+        assert!(clamped.oversubscribed());
+    }
+
+    #[test]
+    fn parallel_and_scheduler_arithmetic() {
+        let report = sample_report();
+        assert!((report.parallel.speedup() - 2.0).abs() < 1e-12);
+        assert!((report.scheduler.calendar_speedup() - 2.0).abs() < 1e-12);
+        assert!((report.scheduler.heap_events_per_sec() - 500_000.0).abs() < 1e-6);
+        assert!((report.scheduler.calendar_events_per_sec() - 1_000_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bench_workers_never_exceed_host_cpus() {
+        let logical = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        for asked in [0, 1, 2, 64] {
+            let (workers, requested) = bench_workers(asked);
+            assert!(workers <= logical, "{workers} workers on {logical} cpus");
+            assert!(workers >= 1);
+            assert!(requested >= workers);
+        }
+        // The old bug: asking for 1 thread silently benchmarked 2 even
+        // on a single-CPU host.
+        let (workers, requested) = bench_workers(1);
+        assert_eq!(requested, 2, "<=1 still requests 2 to exercise the path");
+        assert!(workers <= logical);
+    }
+
+    #[test]
+    fn scheduler_microbench_runs_both_disciplines() {
+        let timing = measure_scheduler(2000);
+        assert_eq!(timing.events, 2000);
+        assert!(timing.heap_s > 0.0);
+        assert!(timing.calendar_s > 0.0);
     }
 
     #[test]
     fn json_shape_is_parseable() {
-        let report = BenchReport {
-            rate: EventRate {
-                horizon_ns: 1_000_000,
-                records: 10,
-                steps: 5,
-                wall_s: 0.001,
-            },
-            sweep: Some(SweepTiming {
-                horizon_ns: 1_000_000,
-                points: 5,
-                serial_s: 0.5,
-                parallel_s: 0.3,
-                threads: 2,
-            }),
-            host: HostInfo {
-                logical_cpus: 8,
-                threads: 2,
-            },
-        };
+        let report = sample_report();
         let text = to_json(&report);
         let json = tut_trace::json::parse(&text).expect("valid JSON");
+        assert_eq!(
+            json.get("schema").and_then(tut_trace::json::Json::as_str),
+            Some("tut-bench/sim/v3"),
+        );
         assert!(json
             .get("tutmac")
             .and_then(|t| t.get("events_per_sec"))
             .and_then(tut_trace::json::Json::as_f64)
             .is_some());
-        assert!(json.get("sweep").is_some());
+        let parallel = json.get("single_run_parallel").expect("parallel block");
         assert_eq!(
-            json.get("schema").and_then(tut_trace::json::Json::as_str),
-            Some("tut-bench/sim/v2"),
+            parallel.get("log_identical"),
+            Some(&tut_trace::json::Json::Bool(true)),
+        );
+        assert_eq!(
+            parallel.get("lps").and_then(tut_trace::json::Json::as_f64),
+            Some(2.0),
+        );
+        let scheduler = json.get("scheduler").expect("scheduler block");
+        assert!(scheduler
+            .get("calendar_events_per_sec")
+            .and_then(tut_trace::json::Json::as_f64)
+            .is_some());
+        let sweep = json.get("sweep").expect("sweep block");
+        assert_eq!(
+            sweep.get("oversubscribed"),
+            Some(&tut_trace::json::Json::Bool(true)),
+        );
+        assert_eq!(
+            sweep
+                .get("requested_threads")
+                .and_then(tut_trace::json::Json::as_f64),
+            Some(4.0),
         );
         assert_eq!(
             json.get("host")
                 .and_then(|h| h.get("logical_cpus"))
                 .and_then(tut_trace::json::Json::as_f64),
             Some(8.0),
-        );
-        assert_eq!(
-            json.get("host")
-                .and_then(|h| h.get("threads"))
-                .and_then(tut_trace::json::Json::as_f64),
-            Some(2.0),
         );
     }
 

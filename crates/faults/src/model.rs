@@ -14,11 +14,14 @@ pub enum TransferVerdict {
 /// A source of deterministic fault decisions, queried by the simulation
 /// engine at well-defined points in event order.
 ///
-/// Implementations must be deterministic: the same sequence of calls
-/// must produce the same sequence of answers (seeded PRNG state is the
-/// only allowed mutability). The engine guarantees it makes the calls
-/// in deterministic event order, so (model, scenario) pairs replay
-/// bit-exactly.
+/// Every randomised hook receives the simulation time and an
+/// engine-supplied `salt` that is unique per decision point (derived
+/// from the deciding process and a per-process nonce). Implementations
+/// must make each decision a **pure function of `(now_ns, salt)`** and
+/// their own configuration — never of the global call order. This is
+/// what lets the conservative parallel kernel replay the exact serial
+/// fault stream: logical processes reach the same `(now_ns, salt)`
+/// keys in a different interleaving and still draw the same answers.
 pub trait FaultModel {
     /// Fast gate: when `false`, callers may skip every other hook (and
     /// the engine emits no fault records at all).
@@ -26,15 +29,22 @@ pub trait FaultModel {
 
     /// Decides the fate of a signal transfer of `bytes` bytes that
     /// traversed `hops` network segments.
-    fn transfer_verdict(&mut self, now_ns: u64, bytes: u64, hops: u32) -> TransferVerdict;
+    fn transfer_verdict(
+        &mut self,
+        now_ns: u64,
+        bytes: u64,
+        hops: u32,
+        salt: u64,
+    ) -> TransferVerdict;
 
     /// Injects bit errors into a payload (called only after a
-    /// [`TransferVerdict::Corrupt`] verdict).
-    fn corrupt_payload(&mut self, payload: &mut [u8]);
+    /// [`TransferVerdict::Corrupt`] verdict, with the same
+    /// `(now_ns, salt)` key as the verdict).
+    fn corrupt_payload(&mut self, now_ns: u64, payload: &mut [u8], salt: u64);
 
     /// Extra delay, in nanoseconds, added when a timer of nominal
     /// `duration_ns` is armed.
-    fn timer_jitter_ns(&mut self, duration_ns: u64) -> u64;
+    fn timer_jitter_ns(&mut self, now_ns: u64, duration_ns: u64, salt: u64) -> u64;
 
     /// If the processing element named `pe` is inside a stall/outage
     /// window at `now_ns`, returns the simulation time at which the
@@ -56,15 +66,21 @@ impl FaultModel for NoFaults {
     }
 
     #[inline]
-    fn transfer_verdict(&mut self, _now_ns: u64, _bytes: u64, _hops: u32) -> TransferVerdict {
+    fn transfer_verdict(
+        &mut self,
+        _now_ns: u64,
+        _bytes: u64,
+        _hops: u32,
+        _salt: u64,
+    ) -> TransferVerdict {
         TransferVerdict::Deliver
     }
 
     #[inline]
-    fn corrupt_payload(&mut self, _payload: &mut [u8]) {}
+    fn corrupt_payload(&mut self, _now_ns: u64, _payload: &mut [u8], _salt: u64) {}
 
     #[inline]
-    fn timer_jitter_ns(&mut self, _duration_ns: u64) -> u64 {
+    fn timer_jitter_ns(&mut self, _now_ns: u64, _duration_ns: u64, _salt: u64) -> u64 {
         0
     }
 

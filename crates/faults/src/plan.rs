@@ -18,8 +18,8 @@ pub struct Outage {
 /// Parameters of a deterministic fault process.
 ///
 /// All rates default to zero: a default-constructed plan injects
-/// nothing and draws nothing from its PRNG, so it is behaviourally
-/// identical to [`crate::NoFaults`].
+/// nothing and draws nothing, so it is behaviourally identical to
+/// [`crate::NoFaults`].
 #[derive(Clone, PartialEq, Debug)]
 pub struct FaultConfig {
     /// PRNG seed; the same seed and scenario reproduce the same run.
@@ -62,28 +62,52 @@ impl FaultConfig {
     }
 }
 
-/// A [`FaultModel`] driving deterministic fault processes from a seeded
-/// SplitMix64 stream.
+/// SplitMix64's avalanche finalizer: a cheap bijective mixer used to
+/// fold the decision key into a stream seed.
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Purpose constants keep the verdict, corruption and jitter streams of
+/// one `(now, salt)` key independent of each other.
+const PURPOSE_VERDICT: u64 = 0x01;
+const PURPOSE_CORRUPT: u64 = 0x02;
+const PURPOSE_JITTER: u64 = 0x03;
+
+/// A [`FaultModel`] whose every decision is a pure function of the
+/// decision key `(now_ns, salt)` and the plan's configuration.
 ///
-/// Zero-rate hooks short-circuit without drawing from the PRNG, so a
-/// plan with some rates at zero perturbs neither the decisions nor the
-/// draw sequence of the others.
-#[derive(Clone, Debug)]
+/// Each hook derives a private SplitMix64 stream from
+/// `(seed, purpose, now_ns, salt)`, so decisions do not depend on how
+/// many other decisions were made before them. Serial and parallel
+/// simulation therefore see identical fault streams even though they
+/// interleave the calls differently, and zero-rate hooks still
+/// short-circuit without touching the PRNG at all.
+#[derive(Clone, PartialEq, Debug)]
 pub struct FaultPlan {
     config: FaultConfig,
-    rng: SplitMix64,
 }
 
 impl FaultPlan {
-    /// Creates the plan; the PRNG starts at `config.seed`.
+    /// Creates the plan.
     pub fn new(config: FaultConfig) -> FaultPlan {
-        let rng = SplitMix64::new(config.seed);
-        FaultPlan { config, rng }
+        FaultPlan { config }
     }
 
     /// The plan's configuration.
     pub fn config(&self) -> &FaultConfig {
         &self.config
+    }
+
+    /// The decision stream for one `(purpose, now, salt)` key.
+    fn stream(&self, purpose: u64, now_ns: u64, salt: u64) -> SplitMix64 {
+        let mut k = self.config.seed;
+        k = mix64(k.wrapping_add(purpose));
+        k = mix64(k ^ now_ns.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        k = mix64(k ^ salt);
+        SplitMix64::new(k)
     }
 }
 
@@ -95,39 +119,52 @@ impl FaultModel for FaultPlan {
             || !self.config.outages.is_empty()
     }
 
-    fn transfer_verdict(&mut self, _now_ns: u64, bytes: u64, hops: u32) -> TransferVerdict {
+    fn transfer_verdict(
+        &mut self,
+        now_ns: u64,
+        bytes: u64,
+        hops: u32,
+        salt: u64,
+    ) -> TransferVerdict {
         // Drop is decided first (a dropped transfer never reaches the
-        // receiver to be corrupted). Each decision draws exactly one
-        // f64 when its rate is non-zero and nothing otherwise.
+        // receiver to be corrupted). Both decisions read one stream so
+        // drop/corrupt outcomes of a single transfer stay correlated
+        // the way the sequential draw order was.
+        if self.config.drop_per_hop <= 0.0 && self.config.bit_error_rate <= 0.0 {
+            return TransferVerdict::Deliver;
+        }
+        let mut rng = self.stream(PURPOSE_VERDICT, now_ns, salt);
         if self.config.drop_per_hop > 0.0 && hops > 0 {
             let survive = (1.0 - self.config.drop_per_hop).powi(hops as i32);
-            if self.rng.next_f64() >= survive {
+            if rng.next_f64() >= survive {
                 return TransferVerdict::Drop;
             }
         }
         if self.config.bit_error_rate > 0.0 && bytes > 0 {
             let bits = (8 * bytes).min(i32::MAX as u64) as i32;
             let survive = (1.0 - self.config.bit_error_rate).powi(bits);
-            if self.rng.next_f64() >= survive {
+            if rng.next_f64() >= survive {
                 return TransferVerdict::Corrupt;
             }
         }
         TransferVerdict::Deliver
     }
 
-    fn corrupt_payload(&mut self, payload: &mut [u8]) {
+    fn corrupt_payload(&mut self, now_ns: u64, payload: &mut [u8], salt: u64) {
         if payload.is_empty() {
             return;
         }
-        let bit = self.rng.next_below(payload.len() as u64 * 8);
+        let mut rng = self.stream(PURPOSE_CORRUPT, now_ns, salt);
+        let bit = rng.next_below(payload.len() as u64 * 8);
         payload[(bit / 8) as usize] ^= 1 << (bit % 8);
     }
 
-    fn timer_jitter_ns(&mut self, _duration_ns: u64) -> u64 {
+    fn timer_jitter_ns(&mut self, now_ns: u64, _duration_ns: u64, salt: u64) -> u64 {
         if self.config.timer_jitter_ns == 0 {
             return 0;
         }
-        self.rng.next_below(self.config.timer_jitter_ns + 1)
+        let mut rng = self.stream(PURPOSE_JITTER, now_ns, salt);
+        rng.next_below(self.config.timer_jitter_ns + 1)
     }
 
     fn outage_until(&mut self, pe: &str, now_ns: u64) -> Option<u64> {
@@ -145,21 +182,19 @@ mod tests {
 
     fn verdicts(plan: &mut FaultPlan, n: usize) -> Vec<TransferVerdict> {
         (0..n)
-            .map(|k| plan.transfer_verdict(k as u64, 256, 2))
+            .map(|k| plan.transfer_verdict(k as u64 * 37, 256, 2, k as u64))
             .collect()
     }
 
     #[test]
-    fn zero_rate_plan_is_inert_and_drawless() {
+    fn zero_rate_plan_is_inert() {
         let mut plan = FaultPlan::new(FaultConfig::default());
         assert!(!plan.is_active());
         assert!(verdicts(&mut plan, 100)
             .iter()
             .all(|v| *v == TransferVerdict::Deliver));
-        assert_eq!(plan.timer_jitter_ns(1000), 0);
+        assert_eq!(plan.timer_jitter_ns(0, 1000, 7), 0);
         assert_eq!(plan.outage_until("cpu1", 5), None);
-        // No draw happened: the PRNG still matches a fresh one.
-        assert_eq!(plan.rng, SplitMix64::new(FaultConfig::default().seed));
     }
 
     #[test]
@@ -169,6 +204,55 @@ mod tests {
         let b = verdicts(&mut FaultPlan::new(config), 500);
         assert_eq!(a, b);
         assert!(a.contains(&TransferVerdict::Corrupt), "rate high enough");
+    }
+
+    /// The property the parallel kernel rests on: each decision depends
+    /// only on its `(now, salt)` key, never on how many decisions were
+    /// made before it.
+    #[test]
+    fn draws_are_pure_functions_of_the_key() {
+        let config = FaultConfig {
+            seed: 77,
+            bit_error_rate: 1e-4,
+            drop_per_hop: 0.05,
+            timer_jitter_ns: 300,
+            ..FaultConfig::default()
+        };
+        let keys: Vec<(u64, u64)> = (0..200).map(|k| (k * 13, k * 7 + 1)).collect();
+
+        // Forward order.
+        let mut plan = FaultPlan::new(config.clone());
+        let forward: Vec<_> = keys
+            .iter()
+            .map(|&(now, salt)| {
+                (
+                    plan.transfer_verdict(now, 128, 2, salt),
+                    plan.timer_jitter_ns(now, 1_000, salt),
+                )
+            })
+            .collect();
+
+        // Reverse order, with unrelated draws interleaved.
+        let mut plan = FaultPlan::new(config);
+        let mut backward: Vec<_> = keys
+            .iter()
+            .rev()
+            .map(|&(now, salt)| {
+                let _noise = plan.transfer_verdict(now + 1, 64, 1, salt ^ 0xFFFF);
+                (
+                    plan.transfer_verdict(now, 128, 2, salt),
+                    plan.timer_jitter_ns(now, 1_000, salt),
+                )
+            })
+            .collect();
+        backward.reverse();
+
+        assert_eq!(forward, backward);
+        assert!(
+            forward.iter().any(|(v, _)| *v != TransferVerdict::Deliver),
+            "rates high enough that something fired"
+        );
+        assert!(forward.iter().any(|(_, j)| *j > 0), "jitter fired");
     }
 
     #[test]
@@ -189,7 +273,7 @@ mod tests {
         let mut plan = FaultPlan::new(FaultConfig::with_ber(9, 1e-3));
         let clean = vec![0u8; 64];
         let mut dirty = clean.clone();
-        plan.corrupt_payload(&mut dirty);
+        plan.corrupt_payload(11, &mut dirty, 5);
         let flipped: u32 = clean
             .iter()
             .zip(&dirty)
@@ -206,8 +290,8 @@ mod tests {
             ..FaultConfig::default()
         };
         let mut plan = FaultPlan::new(config);
-        let dropped = (0..1000)
-            .filter(|_| plan.transfer_verdict(0, 8, 1) == TransferVerdict::Drop)
+        let dropped = (0..1000u64)
+            .filter(|k| plan.transfer_verdict(k * 11, 8, 1, *k) == TransferVerdict::Drop)
             .count();
         // P(drop) = 0.5 per hop; allow a broad band around 500.
         assert!((350..650).contains(&dropped), "dropped {dropped} of 1000");
@@ -241,8 +325,8 @@ mod tests {
             ..FaultConfig::default()
         };
         let mut plan = FaultPlan::new(config);
-        for _ in 0..1000 {
-            assert!(plan.timer_jitter_ns(10_000) <= 500);
+        for k in 0..1000u64 {
+            assert!(plan.timer_jitter_ns(k * 3, 10_000, k) <= 500);
         }
     }
 }

@@ -1,7 +1,6 @@
 //! The discrete-event simulation engine.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use tut_faults::{FaultModel, NoFaults, TransferVerdict};
@@ -20,16 +19,18 @@ use tut_uml::instances::{InstanceIndex, InstanceTree, RoutingTable};
 use tut_uml::statemachine::{StateMachine, Trigger};
 use tut_uml::Value;
 
+use crate::calendar::EventQueue;
 use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::intern::Sym;
 use crate::log::SimLog;
+use crate::parallel::LpCtx;
 use crate::report::{FaultTally, PeStats, ProcessStats, SimReport};
 
 /// Index of a processing element inside a [`Simulation`].
-type PeIndex = usize;
+pub(crate) type PeIndex = usize;
 /// Index of a process inside a [`Simulation`].
-type ProcIndex = usize;
+pub(crate) type ProcIndex = usize;
 
 #[derive(Clone, Debug)]
 enum QueueEntry {
@@ -126,11 +127,11 @@ fn machine_timer_names(machine: &StateMachine) -> Vec<String> {
 }
 
 #[derive(Clone, Debug)]
-struct ProcessRt {
+pub(crate) struct ProcessRt {
     /// Index into the instance tree.
     instance: InstanceIndex,
     /// Dotted display name (log identity).
-    name: String,
+    pub(crate) name: String,
     /// Interned `name`, stamped on every record this process emits.
     name_sym: Sym,
     class: ClassId,
@@ -141,31 +142,36 @@ struct ProcessRt {
     /// Pending inputs with their enqueue timestamps (for response-time
     /// accounting).
     queue: VecDeque<(u64, QueueEntry)>,
-    pe: PeIndex,
+    pub(crate) pe: PeIndex,
     priority: i64,
     /// Monotonic generation per timer slot; a fired event with a stale
     /// generation was cancelled or re-armed.
     timer_gens: Vec<u64>,
-    stats: ProcessStats,
+    /// Per-process decision counter salting the fault model's keyed
+    /// draws: `(process, nonce)` pairs are unique and advance in the
+    /// process's deterministic step order, so serial and parallel
+    /// execution derive identical salts.
+    fault_nonce: u64,
+    pub(crate) stats: ProcessStats,
 }
 
 #[derive(Clone, Debug)]
-struct PeRt {
-    descriptor: PeDescriptor,
+pub(crate) struct PeRt {
+    pub(crate) descriptor: PeDescriptor,
     /// HIBI agent of this element, if attached to the network.
-    agent: Option<AgentId>,
+    pub(crate) agent: Option<AgentId>,
     /// The process that ran last (for context-switch accounting).
     last_process: Option<ProcIndex>,
     /// Round-robin pointer for the RoundRobin policy.
     rr_next: ProcIndex,
     free_at_ns: u64,
-    busy_ns: u64,
-    busy_cycles: u64,
-    is_env: bool,
+    pub(crate) busy_ns: u64,
+    pub(crate) busy_cycles: u64,
+    pub(crate) is_env: bool,
 }
 
 #[derive(Clone, PartialEq, Eq, Debug)]
-enum EventKind {
+pub(crate) enum EventKind {
     Deliver {
         target: ProcIndex,
         entry_kind: DeliverKind,
@@ -181,8 +187,22 @@ enum EventKind {
     PeFree { pe: PeIndex },
 }
 
+impl EventKind {
+    /// The logical process this event belongs to: the target process's
+    /// LP for deliveries/timers, the element's LP for `PeFree`. Every
+    /// event kind is handled entirely inside one LP.
+    pub(crate) fn home_lp(&self, lp_of_proc: &[u32], lp_of_pe: &[u32]) -> u32 {
+        match self {
+            EventKind::Deliver { target, .. } | EventKind::TimerFired { target, .. } => {
+                lp_of_proc[*target]
+            }
+            EventKind::PeFree { pe } => lp_of_pe[*pe],
+        }
+    }
+}
+
 #[derive(Clone, PartialEq, Eq, Debug)]
-enum DeliverKind {
+pub(crate) enum DeliverKind {
     Start,
     Signal {
         signal: SignalId,
@@ -195,50 +215,29 @@ enum DeliverKind {
     },
 }
 
-// Manual ordering impls: earliest time first, then insertion sequence for
-// determinism.
-#[derive(Debug)]
-struct Event {
-    time_ns: u64,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time_ns == other.time_ns && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time_ns, self.seq).cmp(&(other.time_ns, other.seq))
-    }
-}
-
 /// A runnable co-simulation built from a [`SystemModel`].
+///
+/// `Clone` is cheap-ish (per-class machines are shared via `Arc`) and
+/// exists for the parallel kernel, which clones the built simulation
+/// once per logical process and once as a pristine serial-fallback copy.
+#[derive(Clone)]
 pub struct Simulation {
     system: SystemModel,
-    config: SimConfig,
-    routing: RoutingTable,
-    processes: Vec<ProcessRt>,
+    pub(crate) config: SimConfig,
+    pub(crate) routing: RoutingTable,
+    pub(crate) processes: Vec<ProcessRt>,
     /// Instance index -> process index.
-    by_instance: HashMap<InstanceIndex, ProcIndex>,
-    pes: Vec<PeRt>,
+    pub(crate) by_instance: HashMap<InstanceIndex, ProcIndex>,
+    pub(crate) pes: Vec<PeRt>,
     /// Processes mapped to each element, ascending process-index order
     /// (the scheduler's scan set — no per-dispatch allocation).
     pe_procs: Vec<Vec<ProcIndex>>,
-    network: Network,
-    events: BinaryHeap<Reverse<Event>>,
-    next_seq: u64,
-    now_ns: u64,
-    steps: u64,
-    log: SimLog,
+    pub(crate) network: Network,
+    pub(crate) events: EventQueue<EventKind>,
+    pub(crate) next_seq: u64,
+    pub(crate) now_ns: u64,
+    pub(crate) steps: u64,
+    pub(crate) log: SimLog,
     /// Interned signal names, indexed by `SignalId::index()`.
     signal_syms: Vec<Sym>,
     /// Interned `start` trigger label.
@@ -255,7 +254,7 @@ pub struct Simulation {
     scratch_params: Scope,
     /// Injected-fault totals (corruptions/drops; unroutable transfers
     /// are tallied by the network itself).
-    fault_tally: FaultTally,
+    pub(crate) fault_tally: FaultTally,
     /// Last simulated time a run-to-completion step executed on a
     /// non-environment element (the watchdog's quiescence reference).
     last_useful_ns: u64,
@@ -263,6 +262,10 @@ pub struct Simulation {
     /// in the run prologue only when profiling is active so the hot path
     /// moves `Copy` ids. Empty in unprofiled runs.
     proc_perf: Vec<perf::Label>,
+    /// When this simulation is one logical process of a parallel run,
+    /// the LP context diverts [`Simulation::schedule`] into the LP's
+    /// window queue / export list. `None` in serial runs.
+    pub(crate) lp: Option<Box<LpCtx>>,
 }
 
 impl Simulation {
@@ -304,14 +307,29 @@ impl Simulation {
             let id = builder.add_segment(
                 segment.name.clone(),
                 SegmentConfig {
-                    data_width_bits: segment.data_width as u32,
-                    frequency_mhz: segment.frequency as u32,
+                    data_width_bits: param_u32(
+                        segment.part,
+                        &segment.name,
+                        "DataWidth",
+                        segment.data_width,
+                    )?,
+                    frequency_mhz: param_u32(
+                        segment.part,
+                        &segment.name,
+                        "Frequency",
+                        segment.frequency,
+                    )?,
                     arbitration: match segment.arbitration {
                         Arbitration::Priority => HibiArbitration::Priority,
                         Arbitration::RoundRobin => HibiArbitration::RoundRobin,
                         Arbitration::Tdma => HibiArbitration::Tdma,
                     },
-                    tdma_slots: segment.tdma_slots as u32,
+                    tdma_slots: param_u32(
+                        segment.part,
+                        &segment.name,
+                        "TdmaSlots",
+                        segment.tdma_slots,
+                    )?,
                 },
             );
             segment_ids.insert(segment.part, id);
@@ -325,29 +343,48 @@ impl Simulation {
                 ComponentKind::Dsp => PeKind::DspCpu,
                 ComponentKind::HwAccelerator => PeKind::HwAccelerator,
             };
-            let mut descriptor = PeDescriptor::new(info.name.clone(), kind, info.frequency as u32);
+            let mut descriptor = PeDescriptor::new(
+                info.name.clone(),
+                kind,
+                param_u32(info.part, &info.name, "Frequency", info.frequency)?,
+            );
             descriptor.int_memory_bytes = info.int_memory.max(0) as u64;
             descriptor.priority = info.priority;
             descriptor.area = info.area.unwrap_or(1.0);
             descriptor.power = info.power.unwrap_or(0.1);
-            let agent = attachments
-                .iter()
-                .find(|a| a.pe == info.part)
-                .and_then(|a| {
-                    let segment = *segment_ids.get(&a.segment)?;
-                    let address = a.wrapper.address.map(|x| x as u64).unwrap_or_else(|| {
-                        next_auto_address += 1;
-                        next_auto_address
-                    });
-                    Some(builder.add_agent(
-                        segment,
-                        WrapperConfig {
-                            address,
-                            buffer_size: a.wrapper.buffer_size as u32,
-                            max_time: a.wrapper.max_time.max(1) as u32,
-                        },
-                    ))
-                });
+            let mut agent = None;
+            if let Some(a) = attachments.iter().find(|a| a.pe == info.part) {
+                if let Some(&segment) = segment_ids.get(&a.segment) {
+                    let address = match a.wrapper.address {
+                        Some(x) => param_u64(a.wrapper.part, &a.wrapper.name, "Address", x)?,
+                        None => {
+                            next_auto_address += 1;
+                            next_auto_address
+                        }
+                    };
+                    agent = Some(
+                        builder.add_agent(
+                            segment,
+                            WrapperConfig {
+                                address,
+                                buffer_size: param_u32(
+                                    a.wrapper.part,
+                                    &a.wrapper.name,
+                                    "BufferSize",
+                                    a.wrapper.buffer_size,
+                                )?,
+                                max_time: param_u32(
+                                    a.wrapper.part,
+                                    &a.wrapper.name,
+                                    "MaxTime",
+                                    a.wrapper.max_time,
+                                )?
+                                .max(1),
+                            },
+                        ),
+                    );
+                }
+            }
             pe_index_by_part.insert(info.part, pes.len());
             pes.push(PeRt {
                 descriptor,
@@ -460,6 +497,7 @@ impl Simulation {
                 pe,
                 priority,
                 timer_gens,
+                fault_nonce: 0,
                 stats: ProcessStats::default(),
             });
         }
@@ -473,6 +511,7 @@ impl Simulation {
             pe_procs[process.pe].push(index);
         }
 
+        let events = EventQueue::new(config.queue);
         let mut sim = Simulation {
             system: system.clone(),
             config,
@@ -482,7 +521,7 @@ impl Simulation {
             pes,
             pe_procs,
             network,
-            events: BinaryHeap::new(),
+            events,
             next_seq: 0,
             now_ns: 0,
             steps: 0,
@@ -496,6 +535,7 @@ impl Simulation {
             fault_tally: FaultTally::default(),
             last_useful_ns: 0,
             proc_perf: Vec::new(),
+            lp: None,
         };
         // Every process performs its Start step at t=0.
         for index in 0..sim.processes.len() {
@@ -512,9 +552,26 @@ impl Simulation {
     }
 
     fn schedule(&mut self, time_ns: u64, kind: EventKind) {
+        // Inside a parallel run, creations go through the LP context:
+        // same-LP events join the window queue under a tentative key,
+        // cross-LP events become exports. The barrier coordinator later
+        // assigns the exact global sequence numbers.
+        if let Some(lp) = self.lp.as_deref_mut() {
+            lp.schedule(time_ns, kind);
+            return;
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.events.push(Reverse(Event { time_ns, seq, kind }));
+        self.events.push(time_ns, seq, kind);
+    }
+
+    /// The next fault-decision salt for `proc_index`: unique per
+    /// decision, advancing in the process's deterministic step order.
+    fn next_fault_salt(&mut self, proc_index: ProcIndex) -> u64 {
+        let nonce = &mut self.processes[proc_index].fault_nonce;
+        let salt = ((proc_index as u64) << 40) ^ *nonce;
+        *nonce += 1;
+        salt
     }
 
     /// Runs to completion (event queue drained, time horizon passed, or
@@ -613,87 +670,136 @@ impl Simulation {
         let queue_track = tracer.track("sim/events", Clock::Sim);
         let watchdog = self.config.watchdog;
         let mut events_popped: u64 = 0;
-        while let Some(Reverse(event)) = self.events.pop() {
-            if event.time_ns > self.config.max_time_ns || self.steps >= self.config.max_steps {
+        while let Some((time_ns, _seq, kind)) = self.events.pop() {
+            if time_ns > self.config.max_time_ns || self.steps >= self.config.max_steps {
                 break;
             }
             events_popped += 1;
             if watchdog.max_events > 0 && events_popped > watchdog.max_events {
-                return Err(self.watchdog_expired(event.time_ns, events_popped, "event-budget"));
+                return Err(self.watchdog_expired(time_ns, events_popped, "event-budget"));
             }
             if watchdog.quiescence_ns > 0
-                && event.time_ns.saturating_sub(self.last_useful_ns) > watchdog.quiescence_ns
+                && time_ns.saturating_sub(self.last_useful_ns) > watchdog.quiescence_ns
             {
-                return Err(self.watchdog_expired(event.time_ns, events_popped, "quiescence"));
+                return Err(self.watchdog_expired(time_ns, events_popped, "quiescence"));
             }
-            self.now_ns = event.time_ns;
+            self.now_ns = time_ns;
             if tracer.enabled() && self.config.trace.queue_depth {
                 let depth = self.events.len() as f64;
                 tracer.counter(queue_track, "queue_depth", self.now_ns, depth);
                 tracer.gauge("sim.event_queue_depth", depth);
             }
-            match event.kind {
-                EventKind::Deliver { target, entry_kind } => {
-                    let _kind_span = kind_labels.map(|l| prof.enter(l[0]));
-                    match entry_kind {
-                        DeliverKind::Start => {
-                            // Start entries were enqueued at construction.
-                        }
-                        DeliverKind::Signal {
-                            signal,
-                            values,
-                            sender,
-                            bytes,
-                            sent_at_ns,
-                        } => {
-                            let latency_ns = self.now_ns.saturating_sub(sent_at_ns);
-                            tracer.observe("sim.signal_latency_ns", latency_ns);
-                            tracer.add("sim.signals_delivered", 1);
-                            let sender_sym = self.processes[sender].name_sym;
-                            let receiver_sym = self.processes[target].name_sym;
-                            let signal_sym = self.signal_syms[signal.index()];
-                            let now = self.now_ns;
-                            self.log.push_sig(
-                                now,
-                                sender_sym,
-                                receiver_sym,
-                                signal_sym,
-                                bytes,
-                                latency_ns,
-                            );
-                            self.processes[target].stats.signals_received += 1;
-                            self.processes[target]
-                                .queue
-                                .push_back((now, QueueEntry::Signal { signal, values }));
-                        }
-                    }
-                    let pe = self.processes[target].pe;
-                    self.try_dispatch(pe, faults, tracer, prof)?;
-                }
-                EventKind::TimerFired {
-                    target,
-                    slot,
-                    generation,
-                } => {
-                    let _kind_span = kind_labels.map(|l| prof.enter(l[1]));
-                    let current = self.processes[target].timer_gens[slot as usize];
-                    if current == generation {
-                        let now = self.now_ns;
-                        self.processes[target]
-                            .queue
-                            .push_back((now, QueueEntry::Timer { slot }));
-                        let pe = self.processes[target].pe;
-                        self.try_dispatch(pe, faults, tracer, prof)?;
-                    }
-                }
-                EventKind::PeFree { pe } => {
-                    let _kind_span = kind_labels.map(|l| prof.enter(l[2]));
-                    self.try_dispatch(pe, faults, tracer, prof)?;
-                }
-            }
+            self.handle_event(kind, faults, tracer, prof, kind_labels)?;
         }
         tracer.add("sim.steps", self.steps);
         Ok(self.into_report())
+    }
+
+    /// Processes one popped event at `self.now_ns` — the dispatch shared
+    /// by the serial main loop and the parallel kernel's per-LP window
+    /// executor.
+    fn handle_event<F: FaultModel, T: TraceSink, P: Prof>(
+        &mut self,
+        kind: EventKind,
+        faults: &mut F,
+        tracer: &mut T,
+        prof: P,
+        kind_labels: Option<[perf::Label; 3]>,
+    ) -> Result<(), SimError> {
+        match kind {
+            EventKind::Deliver { target, entry_kind } => {
+                let _kind_span = kind_labels.map(|l| prof.enter(l[0]));
+                match entry_kind {
+                    DeliverKind::Start => {
+                        // Start entries were enqueued at construction.
+                    }
+                    DeliverKind::Signal {
+                        signal,
+                        values,
+                        sender,
+                        bytes,
+                        sent_at_ns,
+                    } => {
+                        let latency_ns = self.now_ns.saturating_sub(sent_at_ns);
+                        tracer.observe("sim.signal_latency_ns", latency_ns);
+                        tracer.add("sim.signals_delivered", 1);
+                        let sender_sym = self.processes[sender].name_sym;
+                        let receiver_sym = self.processes[target].name_sym;
+                        let signal_sym = self.signal_syms[signal.index()];
+                        let now = self.now_ns;
+                        self.log.push_sig(
+                            now,
+                            sender_sym,
+                            receiver_sym,
+                            signal_sym,
+                            bytes,
+                            latency_ns,
+                        );
+                        self.processes[target].stats.signals_received += 1;
+                        self.processes[target]
+                            .queue
+                            .push_back((now, QueueEntry::Signal { signal, values }));
+                    }
+                }
+                let pe = self.processes[target].pe;
+                self.try_dispatch(pe, faults, tracer, prof)?;
+            }
+            EventKind::TimerFired {
+                target,
+                slot,
+                generation,
+            } => {
+                let _kind_span = kind_labels.map(|l| prof.enter(l[1]));
+                let current = self.processes[target].timer_gens[slot as usize];
+                if current == generation {
+                    let now = self.now_ns;
+                    self.processes[target]
+                        .queue
+                        .push_back((now, QueueEntry::Timer { slot }));
+                    let pe = self.processes[target].pe;
+                    self.try_dispatch(pe, faults, tracer, prof)?;
+                }
+            }
+            EventKind::PeFree { pe } => {
+                let _kind_span = kind_labels.map(|l| prof.enter(l[2]));
+                self.try_dispatch(pe, faults, tracer, prof)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs this logical process up to (exclusive) `horizon_ns`:
+    /// processes every queued event with `time < horizon` in
+    /// `(time, key)` order, recording per-event bookkeeping for the
+    /// barrier coordinator's replay. Used only by the parallel kernel.
+    pub(crate) fn lp_run_window<F: FaultModel>(
+        &mut self,
+        horizon_ns: u64,
+        faults: &mut F,
+    ) -> Result<(), SimError> {
+        let max_time_ns = self.config.max_time_ns;
+        loop {
+            let lp = self.lp.as_mut().expect("lp_run_window needs an LP context");
+            let Some(entry) = lp.peek_next() else { break };
+            if entry >= horizon_ns || entry > max_time_ns {
+                break;
+            }
+            let (time_ns, kind) = lp.pop_next().expect("peeked entry exists");
+            let children_mark = self.lp.as_ref().expect("lp context").creations();
+            let log_mark = self.log.records_len();
+            let steps_mark = self.steps;
+            self.now_ns = time_ns;
+            self.handle_event(kind, faults, &mut NoopSink, perf::NoProf, None)?;
+            let log_records = (self.log.records_len() - log_mark) as u32;
+            let steps = (self.steps - steps_mark) as u32;
+            self.lp.as_mut().expect("lp context").record_processed(
+                time_ns,
+                children_mark,
+                log_records,
+                steps,
+            );
+        }
+        Ok(())
     }
 
     /// Runs one step on `pe` if it is free, not in an outage window, and
@@ -994,7 +1100,8 @@ impl Simulation {
                         *g
                     };
                     let duration = if faults.is_active() {
-                        duration + faults.timer_jitter_ns(duration)
+                        let salt = self.next_fault_salt(proc_index);
+                        duration + faults.timer_jitter_ns(start_ns, duration, salt)
                     } else {
                         duration
                     };
@@ -1176,15 +1283,19 @@ impl Simulation {
                         if faults.is_active() {
                             // Only HIBI-borne signals are subject to the
                             // channel fault process; local and environment
-                            // deliveries are memory copies.
+                            // deliveries are memory copies. The salt keys
+                            // this transfer's draws so they are the same
+                            // regardless of global call order.
+                            let salt = self.next_fault_salt(sender);
                             match faults.transfer_verdict(
                                 send_time_ns,
                                 bytes,
                                 result.segments_traversed,
+                                salt,
                             ) {
                                 TransferVerdict::Deliver => {}
                                 TransferVerdict::Corrupt => {
-                                    corrupt_values(&mut values, faults);
+                                    corrupt_values(&mut values, faults, send_time_ns, salt);
                                     self.fault_tally.corrupted += 1;
                                     tracer.add("sim.faults_corrupted", 1);
                                     self.log.push_fault(
@@ -1292,21 +1403,57 @@ impl Simulation {
 /// image when the signal carries no raw bytes. Signals with no
 /// corruptible value (e.g. `Bool`/`Str` only) keep the fault record but
 /// arrive unchanged.
-fn corrupt_values<F: FaultModel>(values: &mut [Value], faults: &mut F) {
+fn corrupt_values<F: FaultModel>(values: &mut [Value], faults: &mut F, now_ns: u64, salt: u64) {
     if let Some(bytes) = values.iter_mut().find_map(|v| match v {
         Value::Bytes(b) if !b.is_empty() => Some(b),
         _ => None,
     }) {
-        faults.corrupt_payload(bytes);
+        faults.corrupt_payload(now_ns, bytes, salt);
         return;
     }
     if let Some(value) = values.iter_mut().find(|v| matches!(v, Value::Int(_))) {
         if let Value::Int(n) = value {
             let mut image = n.to_le_bytes();
-            faults.corrupt_payload(&mut image);
+            faults.corrupt_payload(now_ns, &mut image, salt);
             *value = Value::Int(i64::from_le_bytes(image));
         }
     }
+}
+
+/// Checked `i64 → u32` lowering of a platform tagged value; out-of-range
+/// values become a spanned-attributable [`SimError::ParamOutOfRange`]
+/// instead of silently truncating.
+fn param_u32(
+    part: PropertyId,
+    owner: &str,
+    param: &'static str,
+    value: i64,
+) -> Result<u32, SimError> {
+    u32::try_from(value).map_err(|_| SimError::ParamOutOfRange {
+        element: part.to_string(),
+        owner: owner.to_owned(),
+        param,
+        value,
+        min: 0,
+        max: u32::MAX as u64,
+    })
+}
+
+/// Checked `i64 → u64` lowering (rejects negative values).
+fn param_u64(
+    part: PropertyId,
+    owner: &str,
+    param: &'static str,
+    value: i64,
+) -> Result<u64, SimError> {
+    u64::try_from(value).map_err(|_| SimError::ParamOutOfRange {
+        element: part.to_string(),
+        owner: owner.to_owned(),
+        param,
+        value,
+        min: 0,
+        max: u64::MAX,
+    })
 }
 
 #[cfg(test)]

@@ -24,6 +24,25 @@ pub enum SimError {
         /// The underlying action error.
         message: String,
     },
+    /// A platform tagged value is outside the range the simulator (or
+    /// the HIBI RTL it models) can represent — lowering it would
+    /// silently truncate. Reported as diagnostic code `E0410` by
+    /// `repro check`.
+    ParamOutOfRange {
+        /// Display form of the owning model element (e.g. `prop3`),
+        /// resolvable to a document span via the XMI `SpanIndex`.
+        element: String,
+        /// Human name of the owning part/segment/wrapper.
+        owner: String,
+        /// The tagged-value name (e.g. `DataWidth`).
+        param: &'static str,
+        /// The out-of-range value as modelled.
+        value: i64,
+        /// Inclusive lower bound of the representable range.
+        min: i64,
+        /// Inclusive upper bound of the representable range.
+        max: u64,
+    },
     /// The simulation watchdog fired: the run exceeded its event budget
     /// or went quiescent (no useful work) past its deadline, i.e. the
     /// model livelocked instead of finishing.
@@ -54,6 +73,20 @@ impl fmt::Display for SimError {
             SimError::Runtime { process, message } => {
                 write!(f, "runtime error in process `{process}`: {message}")
             }
+            SimError::ParamOutOfRange {
+                owner,
+                param,
+                value,
+                min,
+                max,
+                ..
+            } => {
+                write!(
+                    f,
+                    "platform parameter `{param}` of `{owner}` is {value}, \
+                     outside the representable range {min}..={max}"
+                )
+            }
             SimError::WatchdogExpired {
                 time_ns,
                 events,
@@ -74,6 +107,29 @@ impl fmt::Display for SimError {
         }
     }
 }
+
+impl SimError {
+    /// The stable diagnostic code of this error, when `repro check`
+    /// surfaces it as a spanned model diagnostic.
+    pub fn code(&self) -> Option<&'static str> {
+        match self {
+            SimError::ParamOutOfRange { .. } => Some(E_PARAM_RANGE),
+            _ => None,
+        }
+    }
+
+    /// Display form of the model element this error is attributed to,
+    /// if any (keys the XMI `SpanIndex`).
+    pub fn element(&self) -> Option<&str> {
+        match self {
+            SimError::ParamOutOfRange { element, .. } => Some(element),
+            _ => None,
+        }
+    }
+}
+
+/// Diagnostic code for [`SimError::ParamOutOfRange`].
+pub const E_PARAM_RANGE: &str = "E0410";
 
 impl std::error::Error for SimError {}
 

@@ -31,16 +31,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calendar;
 pub mod config;
 pub mod engine;
 pub mod error;
 pub mod intern;
 pub mod log;
+mod parallel;
 pub mod report;
 
+pub use calendar::{CalendarQueue, EventQueue, QueueKind};
 pub use config::{SimConfig, TraceOptions, Watchdog};
 pub use engine::Simulation;
-pub use error::SimError;
+pub use error::{SimError, E_PARAM_RANGE};
 pub use intern::{Interner, Sym};
 pub use log::{LogRecord, RecordRef, SimLog};
+pub use parallel::ParallelPlan;
 pub use report::{FaultTally, SimReport};

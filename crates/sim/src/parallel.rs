@@ -1,0 +1,841 @@
+//! Conservative parallel discrete-event kernel.
+//!
+//! The simulation is partitioned into **logical processes** (LPs) along
+//! the platform mapping: every set of HIBI segments that can exchange
+//! traffic forms one LP, and the environment plus all unattached
+//! elements form LP 0. Cross-LP signals never ride the bus (routable
+//! pairs are merged into one LP), so the minimum cross-LP delivery
+//! latency — the engine's fixed local/environment latencies — is a
+//! sound **lookahead** bound.
+//!
+//! Execution is barrier-synchronous: each round the coordinator picks
+//! the globally earliest pending event time `M` and lets every LP run
+//! all of its events in the safe window `[M, M + lookahead)`. Within a
+//! window an LP orders events by `(time, key)` where a key is either a
+//! globally-finalised sequence number (`Final`) or a window-local
+//! creation counter (`Fresh`). Every `Fresh` event was created inside
+//! the current window, hence globally *after* every `Final` event, so
+//! `Final < Fresh` is exactly the serial tie-break.
+//!
+//! After a window the coordinator **replays the skeleton** of what the
+//! serial engine would have done: it pops its own stub heap in global
+//! `(time, seq)` order, matches each stub against the owning LP's event
+//! record, assigns real sequence numbers to that event's creations in
+//! creation order, and appends the event's log extent to the merge
+//! plan. This reproduces the serial engine's sequence numbering — and
+//! therefore its log — exactly, which is what makes the merged
+//! [`crate::SimLog`] bit-identical to a serial run at any thread count.
+//!
+//! Whenever the conservative contract cannot be kept cheaply (armed
+//! watchdog, step budget exhausted mid-window, a runtime error inside
+//! an LP, or a replay mismatch), the kernel discards the parallel
+//! attempt and reruns the pristine simulation serially, so callers
+//! always observe exact serial semantics.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use tut_faults::{FaultModel, NoFaults};
+use tut_trace::{perf, NoopSink};
+
+use crate::engine::{EventKind, Simulation};
+use crate::error::SimError;
+use crate::intern::Sym;
+use crate::report::{FaultTally, PeStats, SimReport};
+
+/// Event ordering key inside one LP window.
+///
+/// Variant order is load-bearing: `Final` (a globally-assigned sequence
+/// number from a previous barrier or the initial build) always compares
+/// before `Fresh` (a window-local creation counter), because every
+/// fresh event was created after every finalised one.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum LpKey {
+    Final(u64),
+    Fresh(u64),
+}
+
+/// One pending event inside an LP's window queue.
+#[derive(Clone, Debug)]
+struct LpEvent {
+    time_ns: u64,
+    key: LpKey,
+    kind: EventKind,
+}
+
+impl PartialEq for LpEvent {
+    fn eq(&self, other: &LpEvent) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for LpEvent {}
+
+impl PartialOrd for LpEvent {
+    fn partial_cmp(&self, other: &LpEvent) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for LpEvent {
+    fn cmp(&self, other: &LpEvent) -> std::cmp::Ordering {
+        (self.time_ns, self.key).cmp(&(other.time_ns, other.key))
+    }
+}
+
+/// Per-processed-event bookkeeping an LP hands to the coordinator.
+#[derive(Clone, Copy, Debug)]
+struct EventRecord {
+    time_ns: u64,
+    /// Events this one scheduled (children), in creation order.
+    children: u32,
+    /// Log records this event appended.
+    log_records: u32,
+    /// Run-to-completion steps this event executed.
+    steps: u32,
+}
+
+/// A cross-LP creation whose payload must be shipped to its home LP.
+#[derive(Clone, Debug)]
+struct Export {
+    /// Window-local creation index (the `Fresh` counter value); the
+    /// event time lives in the LP's `children` entry at this index.
+    created: u64,
+    kind: EventKind,
+}
+
+/// Everything one LP produced in one window, drained at the barrier.
+#[derive(Default, Debug)]
+struct WindowOut {
+    records: Vec<EventRecord>,
+    /// `(home LP, event time)` of every creation, in creation order.
+    children: Vec<(u32, u64)>,
+    exports: Vec<Export>,
+}
+
+/// The LP context attached to a [`Simulation`] clone while it acts as
+/// one logical process of a parallel run. [`Simulation::schedule`]
+/// diverts into [`LpCtx::schedule`]; the window executor
+/// (`Simulation::lp_run_window`) drains the queue through
+/// [`LpCtx::peek_next`] / [`LpCtx::pop_next`].
+#[derive(Clone, Debug)]
+pub(crate) struct LpCtx {
+    my_lp: u32,
+    lp_of_proc: Arc<Vec<u32>>,
+    lp_of_pe: Arc<Vec<u32>>,
+    heap: BinaryHeap<Reverse<LpEvent>>,
+    /// `(home LP, time)` of every event scheduled this window.
+    children: Vec<(u32, u64)>,
+    exports: Vec<Export>,
+    records: Vec<EventRecord>,
+}
+
+impl LpCtx {
+    fn new(my_lp: u32, lp_of_proc: Arc<Vec<u32>>, lp_of_pe: Arc<Vec<u32>>) -> LpCtx {
+        LpCtx {
+            my_lp,
+            lp_of_proc,
+            lp_of_pe,
+            heap: BinaryHeap::new(),
+            children: Vec::new(),
+            exports: Vec::new(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Seeds an already-finalised event (initial queue or import).
+    fn push_final(&mut self, time_ns: u64, seq: u64, kind: EventKind) {
+        self.heap.push(Reverse(LpEvent {
+            time_ns,
+            key: LpKey::Final(seq),
+            kind,
+        }));
+    }
+
+    /// Records a creation: local events join the window queue under a
+    /// tentative `Fresh` key, cross-LP events become exports.
+    pub(crate) fn schedule(&mut self, time_ns: u64, kind: EventKind) {
+        let home = kind.home_lp(&self.lp_of_proc, &self.lp_of_pe);
+        let created = self.children.len() as u64;
+        self.children.push((home, time_ns));
+        if home == self.my_lp {
+            self.heap.push(Reverse(LpEvent {
+                time_ns,
+                key: LpKey::Fresh(created),
+                kind,
+            }));
+        } else {
+            self.exports.push(Export { created, kind });
+        }
+    }
+
+    /// Time of the next queued event, if any.
+    pub(crate) fn peek_next(&self) -> Option<u64> {
+        self.heap.peek().map(|entry| entry.0.time_ns)
+    }
+
+    /// Pops the next queued event in `(time, key)` order.
+    pub(crate) fn pop_next(&mut self) -> Option<(u64, EventKind)> {
+        self.heap.pop().map(|entry| (entry.0.time_ns, entry.0.kind))
+    }
+
+    /// Number of creations recorded so far this window (the mark taken
+    /// before an event is handled).
+    pub(crate) fn creations(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Closes the bookkeeping of one processed event.
+    pub(crate) fn record_processed(
+        &mut self,
+        time_ns: u64,
+        children_mark: usize,
+        log_records: u32,
+        steps: u32,
+    ) {
+        self.records.push(EventRecord {
+            time_ns,
+            children: (self.children.len() - children_mark) as u32,
+            log_records,
+            steps,
+        });
+    }
+
+    /// Drains the window's bookkeeping for the coordinator and resets
+    /// the creation counter for the next window.
+    fn take_window(&mut self) -> WindowOut {
+        WindowOut {
+            records: std::mem::take(&mut self.records),
+            children: std::mem::take(&mut self.children),
+            exports: std::mem::take(&mut self.exports),
+        }
+    }
+
+    /// Applies the coordinator's barrier patch before the next window:
+    /// rewrites last window's tentative `Fresh` keys to their assigned
+    /// global sequence numbers and enqueues imported cross-LP events.
+    fn apply_inbox(&mut self, finalized: &[u64], imports: Vec<(u64, u64, EventKind)>) {
+        if !finalized.is_empty() {
+            // A `Fresh` key can only exist if something was created last
+            // window, i.e. `finalized` is non-empty — so this rebuild is
+            // skipped whenever it would be a no-op.
+            let patched: Vec<Reverse<LpEvent>> = self
+                .heap
+                .drain()
+                .map(|Reverse(mut event)| {
+                    if let LpKey::Fresh(created) = event.key {
+                        event.key = LpKey::Final(finalized[created as usize]);
+                    }
+                    Reverse(event)
+                })
+                .collect();
+            self.heap = BinaryHeap::from(patched);
+        }
+        for (time_ns, seq, kind) in imports {
+            self.push_final(time_ns, seq, kind);
+        }
+    }
+}
+
+/// Union-find with path halving; used to merge HIBI segments into LPs.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            let (lo, hi) = (ra.min(rb), ra.max(rb));
+            self.parent[hi] = lo;
+        }
+    }
+}
+
+/// The LP decomposition of one built simulation.
+pub(crate) struct Partition {
+    pub(crate) lp_of_proc: Arc<Vec<u32>>,
+    pub(crate) lp_of_pe: Arc<Vec<u32>>,
+    pub(crate) n_lps: usize,
+    /// LPs that own at least one process (the effective parallelism).
+    pub(crate) occupied_lps: usize,
+    /// Minimum cross-LP delivery latency; `u64::MAX` when no two LPs
+    /// communicate at all.
+    pub(crate) lookahead_ns: u64,
+}
+
+/// Partitions a simulation into LPs along the platform mapping.
+///
+/// * Attached elements whose segments can route to each other share an
+///   LP (they contend for the same bus state).
+/// * Attached elements that *communicate* without a route are also
+///   merged: the engine delivers such transfers with zero latency,
+///   which would break any positive lookahead.
+/// * The environment and all unattached elements form LP 0; their
+///   deliveries pay the fixed environment/local latency, which bounds
+///   the lookahead.
+pub(crate) fn build_partition(sim: &Simulation) -> Partition {
+    let segments = sim.network.segment_count();
+
+    // One representative agent per segment, for routability probes.
+    let mut rep = vec![None; segments];
+    for pe in &sim.pes {
+        if let Some(agent) = pe.agent {
+            let seg = sim.network.segment_of(agent).index();
+            rep[seg].get_or_insert(agent);
+        }
+    }
+
+    // Merge segments that can exchange bus traffic.
+    let mut uf = UnionFind::new(segments.max(1));
+    for a in 0..segments {
+        for b in (a + 1)..segments {
+            if let (Some(ra), Some(rb)) = (rep[a], rep[b]) {
+                if sim.network.route(ra, rb).is_ok() {
+                    uf.union(a, b);
+                }
+            }
+        }
+    }
+
+    // Communicating processing-element pairs, from the signal routing
+    // table (the application's static communication graph).
+    let mut pe_pairs: Vec<(usize, usize)> = Vec::new();
+    for (&(instance, _port, _signal), receivers) in sim.routing.iter() {
+        let Some(&sender) = sim.by_instance.get(&instance) else {
+            continue;
+        };
+        for endpoint in receivers {
+            let Some(&receiver) = sim.by_instance.get(&endpoint.instance) else {
+                continue;
+            };
+            let (pa, pb) = (sim.processes[sender].pe, sim.processes[receiver].pe);
+            if pa != pb {
+                pe_pairs.push((pa, pb));
+            }
+        }
+    }
+
+    // Merge segment components forced together by unroutable traffic.
+    for &(a, b) in &pe_pairs {
+        if let (Some(aa), Some(ab)) = (sim.pes[a].agent, sim.pes[b].agent) {
+            uf.union(
+                sim.network.segment_of(aa).index(),
+                sim.network.segment_of(ab).index(),
+            );
+        }
+    }
+
+    // Number the LPs: 0 is the environment/unattached LP, 1.. one per
+    // surviving segment component.
+    let mut component_lp: HashMap<usize, u32> = HashMap::new();
+    let mut lp_of_pe = vec![0u32; sim.pes.len()];
+    let mut n_lps = 1usize;
+    for (index, pe) in sim.pes.iter().enumerate() {
+        if pe.is_env {
+            continue;
+        }
+        if let Some(agent) = pe.agent {
+            let root = uf.find(sim.network.segment_of(agent).index());
+            let lp = *component_lp.entry(root).or_insert_with(|| {
+                let id = n_lps as u32;
+                n_lps += 1;
+                id
+            });
+            lp_of_pe[index] = lp;
+        }
+    }
+    let lp_of_proc: Vec<u32> = sim
+        .processes
+        .iter()
+        .map(|process| lp_of_pe[process.pe])
+        .collect();
+
+    // Lookahead: the minimum latency of any cross-LP delivery. After
+    // the merges above a cross-LP pair never rides the bus, so it pays
+    // either the environment latency (an env endpoint) or the fixed
+    // local fallback latency.
+    let mut lookahead_ns = u64::MAX;
+    for &(a, b) in &pe_pairs {
+        if lp_of_pe[a] == lp_of_pe[b] {
+            continue;
+        }
+        let latency = if sim.pes[a].is_env || sim.pes[b].is_env {
+            sim.config.env_latency_ns
+        } else {
+            sim.config.local_latency_ns
+        };
+        lookahead_ns = lookahead_ns.min(latency);
+    }
+
+    let mut occupied = vec![false; n_lps];
+    for process in &sim.processes {
+        occupied[lp_of_pe[process.pe] as usize] = true;
+    }
+    let occupied_lps = occupied.iter().filter(|o| **o).count();
+
+    Partition {
+        lp_of_proc: Arc::new(lp_of_proc),
+        lp_of_pe: Arc::new(lp_of_pe),
+        n_lps,
+        occupied_lps,
+        lookahead_ns,
+    }
+}
+
+/// Resolves a thread-count request: `0` means one thread per available
+/// logical CPU.
+pub(crate) fn resolve_threads(threads: usize) -> usize {
+    if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+/// What the coordinator sends a worker each barrier round.
+enum WorkerCmd {
+    Window {
+        horizon_ns: u64,
+        /// One inbox per LP of the worker's shard, in shard order.
+        inbox: Vec<LpInbox>,
+    },
+    Done,
+}
+
+/// The barrier patch one LP receives before its next window.
+#[derive(Default)]
+struct LpInbox {
+    /// Assigned sequence numbers of last window's creations, indexed by
+    /// creation counter.
+    finalized: Vec<u64>,
+    /// Imported cross-LP events: `(time, seq, kind)`.
+    imports: Vec<(u64, u64, EventKind)>,
+}
+
+/// Static facts about the LP decomposition of a built simulation —
+/// what [`Simulation::run_parallel`] would work with.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ParallelPlan {
+    /// Total logical processes (including the environment LP 0, even
+    /// when empty).
+    pub lps: usize,
+    /// LPs that own at least one process — the effective parallelism.
+    pub occupied_lps: usize,
+    /// Safe-window width: the minimum cross-LP delivery latency, in
+    /// nanoseconds (`u64::MAX` when no two LPs communicate).
+    pub lookahead_ns: u64,
+}
+
+impl ParallelPlan {
+    /// Whether [`Simulation::run_parallel`] would actually use the
+    /// parallel kernel rather than falling back to the serial engine.
+    pub fn parallelizable(&self) -> bool {
+        self.occupied_lps > 1 && self.lookahead_ns > 0
+    }
+}
+
+impl Simulation {
+    /// The LP decomposition this simulation's platform mapping yields.
+    pub fn parallel_plan(&self) -> ParallelPlan {
+        let partition = build_partition(self);
+        ParallelPlan {
+            lps: partition.n_lps,
+            occupied_lps: partition.occupied_lps,
+            lookahead_ns: partition.lookahead_ns,
+        }
+    }
+
+    /// Runs the simulation on the conservative parallel kernel and
+    /// returns a report whose [`SimLog`](crate::SimLog) is
+    /// **bit-identical** to [`Simulation::run`] at any thread count.
+    ///
+    /// `threads = 0` uses one thread per available logical CPU. The
+    /// kernel falls back to the serial engine whenever parallelism
+    /// cannot help or exactness cannot be kept cheaply: a single
+    /// occupied LP, zero lookahead, an armed watchdog (its event budget
+    /// is a global pop count), a step budget exhausted mid-window, or a
+    /// runtime error inside a logical process.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Simulation::run`]; errors are always reported
+    /// with exact serial semantics (the failing parallel attempt is
+    /// discarded and the run repeated serially).
+    pub fn run_parallel(self, threads: usize) -> Result<SimReport, SimError> {
+        self.run_parallel_with_faults(threads, &NoFaults)
+    }
+
+    /// [`Simulation::run_parallel`] with deterministic fault injection.
+    ///
+    /// The fault model is cloned into every worker; the [`FaultModel`]
+    /// contract (every decision a pure function of its `(now, salt)`
+    /// key) makes the injected fault stream identical to a serial
+    /// [`Simulation::run_with_faults`] run with the same model.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Simulation::run_with_faults`].
+    pub fn run_parallel_with_faults<F>(
+        self,
+        threads: usize,
+        faults: &F,
+    ) -> Result<SimReport, SimError>
+    where
+        F: FaultModel + Clone + Send,
+    {
+        let threads = resolve_threads(threads);
+        // The watchdog's event budget counts global pops in serial
+        // order; honouring it exactly needs the serial engine.
+        if self.config.watchdog.is_armed() {
+            return self.run_serially(faults);
+        }
+        let partition = build_partition(&self);
+        if partition.occupied_lps <= 1 || partition.lookahead_ns == 0 {
+            return self.run_serially(faults);
+        }
+        match run_conservative(&self, &partition, threads, faults) {
+            Some(report) => Ok(report),
+            // Exactness could not be kept (step budget crossed
+            // mid-window, runtime error, or replay mismatch): rerun the
+            // pristine simulation serially for exact semantics.
+            None => self.run_serially(faults),
+        }
+    }
+
+    fn run_serially<F: FaultModel + Clone>(self, faults: &F) -> Result<SimReport, SimError> {
+        self.run_with_faults(&mut faults.clone(), &mut NoopSink)
+    }
+}
+
+/// One barrier-synchronous parallel run. Returns `None` when the
+/// attempt must be discarded in favour of a serial rerun.
+fn run_conservative<F>(
+    base: &Simulation,
+    partition: &Partition,
+    threads: usize,
+    faults: &F,
+) -> Option<SimReport>
+where
+    F: FaultModel + Clone + Send,
+{
+    let _kernel_span = perf::enter_named("sim.run_parallel");
+    let n_lps = partition.n_lps;
+    let max_time_ns = base.config.max_time_ns;
+    let max_steps = base.config.max_steps;
+    let lookahead_ns = partition.lookahead_ns;
+
+    // Coordinator stub heap `(time, seq, lp)`, seeded from the initial
+    // event set — the skeleton of the global serial order.
+    let mut stub_heap: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
+    {
+        let mut queue = base.events.clone();
+        while let Some((time_ns, seq, kind)) = queue.pop() {
+            let home = kind.home_lp(&partition.lp_of_proc, &partition.lp_of_pe);
+            stub_heap.push(Reverse((time_ns, seq, home)));
+        }
+    }
+
+    // One simulation clone per LP, each seeing only its own events.
+    let lp_sims: Vec<Simulation> = (0..n_lps)
+        .map(|lp| {
+            let mut sim = base.clone();
+            let mut ctx = LpCtx::new(
+                lp as u32,
+                Arc::clone(&partition.lp_of_proc),
+                Arc::clone(&partition.lp_of_pe),
+            );
+            while let Some((time_ns, seq, kind)) = sim.events.pop() {
+                if kind.home_lp(&partition.lp_of_proc, &partition.lp_of_pe) == lp as u32 {
+                    ctx.push_final(time_ns, seq, kind);
+                }
+            }
+            sim.lp = Some(Box::new(ctx));
+            sim
+        })
+        .collect();
+
+    // Contiguous LP shards, one per worker.
+    let workers = threads.min(n_lps).max(1);
+    let mut shards: Vec<Vec<(usize, Simulation)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (lp, sim) in lp_sims.into_iter().enumerate() {
+        shards[lp * workers / n_lps].push((lp, sim));
+    }
+    let shard_lps: Vec<Vec<usize>> = shards
+        .iter()
+        .map(|shard| shard.iter().map(|(lp, _)| *lp).collect())
+        .collect();
+
+    let mut next_seq = base.next_seq;
+    let mut total_steps: u64 = 0;
+    let mut end_time_ns: u64 = 0;
+    // `(lp, log record count)` per replayed event, in global order.
+    let mut merge_plan: Vec<(u32, u32)> = Vec::new();
+    let mut pending: Vec<LpInbox> = (0..n_lps).map(|_| LpInbox::default()).collect();
+    let mut failed = false;
+
+    let finals: Vec<Option<Simulation>> = std::thread::scope(|scope| {
+        let mut cmd_txs = Vec::with_capacity(workers);
+        let mut out_rxs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for shard in shards {
+            let (cmd_tx, cmd_rx) = mpsc::channel::<WorkerCmd>();
+            let (out_tx, out_rx) = mpsc::channel::<Result<Vec<(usize, WindowOut)>, SimError>>();
+            let mut worker_faults = faults.clone();
+            handles.push(scope.spawn(move || {
+                let mut shard = shard;
+                let labels: Vec<String> = shard.iter().map(|(lp, _)| format!("lp/{lp}")).collect();
+                while let Ok(cmd) = cmd_rx.recv() {
+                    let WorkerCmd::Window {
+                        horizon_ns,
+                        mut inbox,
+                    } = cmd
+                    else {
+                        break;
+                    };
+                    let mut outs = Vec::with_capacity(shard.len());
+                    let mut err = None;
+                    for (slot, (lp_id, sim)) in shard.iter_mut().enumerate() {
+                        let _lp_span = perf::enter_named(&labels[slot]);
+                        let LpInbox { finalized, imports } = std::mem::take(&mut inbox[slot]);
+                        let ctx = sim.lp.as_mut().expect("worker sims carry LP contexts");
+                        ctx.apply_inbox(&finalized, imports);
+                        match sim.lp_run_window(horizon_ns, &mut worker_faults) {
+                            Ok(()) => {
+                                let ctx = sim.lp.as_mut().expect("lp context");
+                                outs.push((*lp_id, ctx.take_window()));
+                            }
+                            Err(e) => {
+                                err = Some(e);
+                                break;
+                            }
+                        }
+                    }
+                    let message = match err {
+                        Some(e) => Err(e),
+                        None => Ok(outs),
+                    };
+                    if out_tx.send(message).is_err() {
+                        break;
+                    }
+                }
+                shard
+            }));
+            cmd_txs.push(cmd_tx);
+            out_rxs.push(out_rx);
+        }
+
+        // Barrier rounds: each advances the global clock to the next
+        // pending event and runs every LP through one safe window.
+        'windows: while let Some(&Reverse((start_ns, _, _))) = stub_heap.peek() {
+            if start_ns > max_time_ns {
+                break;
+            }
+            let horizon_ns = start_ns.saturating_add(lookahead_ns);
+            if horizon_ns <= start_ns {
+                // Degenerate horizon (times at the top of the u64
+                // range): no window can make progress.
+                failed = true;
+                break;
+            }
+
+            // Dispatch the window with each LP's pending barrier patch.
+            for (worker, cmd_tx) in cmd_txs.iter().enumerate() {
+                let inbox: Vec<LpInbox> = shard_lps[worker]
+                    .iter()
+                    .map(|&lp| std::mem::take(&mut pending[lp]))
+                    .collect();
+                if cmd_tx
+                    .send(WorkerCmd::Window { horizon_ns, inbox })
+                    .is_err()
+                {
+                    failed = true;
+                    break 'windows;
+                }
+            }
+
+            // Barrier: collect every LP's window output.
+            let mut outs: Vec<WindowOut> = (0..n_lps).map(|_| WindowOut::default()).collect();
+            for out_rx in &out_rxs {
+                match out_rx.recv() {
+                    Ok(Ok(batch)) => {
+                        for (lp, out) in batch {
+                            outs[lp] = out;
+                        }
+                    }
+                    _ => {
+                        failed = true;
+                    }
+                }
+            }
+            if failed {
+                break;
+            }
+
+            // Skeleton replay: reproduce the serial engine's pop order
+            // and sequence numbering from the per-LP records.
+            let mut rec_cursor = vec![0usize; n_lps];
+            let mut child_cursor = vec![0usize; n_lps];
+            let mut export_cursor = vec![0usize; n_lps];
+            let mut finalized: Vec<Vec<u64>> = outs
+                .iter()
+                .map(|out| vec![0u64; out.children.len()])
+                .collect();
+            let mut ok = true;
+            while let Some(&Reverse((time_ns, _seq, lp))) = stub_heap.peek() {
+                if time_ns >= horizon_ns || time_ns > max_time_ns {
+                    break;
+                }
+                if total_steps >= max_steps {
+                    // The serial engine would stop here, but the LPs
+                    // already ran past the cut: discard and rerun.
+                    ok = false;
+                    break;
+                }
+                stub_heap.pop();
+                let lp = lp as usize;
+                let Some(&record) = outs[lp].records.get(rec_cursor[lp]) else {
+                    ok = false;
+                    break;
+                };
+                if record.time_ns != time_ns {
+                    ok = false;
+                    break;
+                }
+                rec_cursor[lp] += 1;
+                total_steps += u64::from(record.steps);
+                end_time_ns = time_ns;
+                merge_plan.push((lp as u32, record.log_records));
+                // Assign global sequence numbers to this event's
+                // creations, in creation order — exactly what the
+                // serial engine's `schedule` would have drawn.
+                for _ in 0..record.children {
+                    let created = child_cursor[lp];
+                    child_cursor[lp] += 1;
+                    let (home, child_time_ns) = outs[lp].children[created];
+                    let seq = next_seq;
+                    next_seq += 1;
+                    finalized[lp][created] = seq;
+                    stub_heap.push(Reverse((child_time_ns, seq, home)));
+                    if let Some(export) = outs[lp].exports.get(export_cursor[lp]) {
+                        if export.created == created as u64 {
+                            pending[home as usize].imports.push((
+                                child_time_ns,
+                                seq,
+                                export.kind.clone(),
+                            ));
+                            export_cursor[lp] += 1;
+                        }
+                    }
+                }
+            }
+            // Conservative invariant: everything an LP did this window
+            // must have been replayed.
+            if ok {
+                for lp in 0..n_lps {
+                    if rec_cursor[lp] != outs[lp].records.len()
+                        || child_cursor[lp] != outs[lp].children.len()
+                        || export_cursor[lp] != outs[lp].exports.len()
+                    {
+                        ok = false;
+                    }
+                }
+            }
+            if !ok {
+                failed = true;
+                break;
+            }
+            for (lp, assigned) in finalized.into_iter().enumerate() {
+                pending[lp].finalized = assigned;
+            }
+        }
+
+        for cmd_tx in &cmd_txs {
+            let _ = cmd_tx.send(WorkerCmd::Done);
+        }
+        let mut finals: Vec<Option<Simulation>> = (0..n_lps).map(|_| None).collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(shard) => {
+                    for (lp, sim) in shard {
+                        finals[lp] = Some(sim);
+                    }
+                }
+                Err(_) => failed = true,
+            }
+        }
+        finals
+    });
+    if failed || finals.iter().any(Option::is_none) {
+        return None;
+    }
+
+    // Merge the per-LP logs in global replay order. Each LP clone
+    // started with a copy of the base log, so its own records begin
+    // after that prefix.
+    let mut log = base.log.clone();
+    let base_records = base.log.records_len();
+    let mut remaps: Vec<Vec<Option<Sym>>> = (0..n_lps).map(|_| Vec::new()).collect();
+    let mut log_cursor = vec![base_records; n_lps];
+    for &(lp, count) in &merge_plan {
+        let lp = lp as usize;
+        let source = &finals[lp].as_ref().expect("checked above").log;
+        let start = log_cursor[lp];
+        log.extend_remapped(source, start, start + count as usize, &mut remaps[lp]);
+        log_cursor[lp] += count as usize;
+    }
+
+    // Assemble the report from each entity's owning LP (the only LP
+    // whose clone ever mutated it).
+    let mut faults_tally = FaultTally::default();
+    for sim in finals.iter().flatten() {
+        faults_tally.corrupted += sim.fault_tally.corrupted;
+        faults_tally.dropped += sim.fault_tally.dropped;
+        faults_tally.unroutable += sim.network.unroutable_transfers();
+    }
+    let mut report = SimReport {
+        end_time_ns,
+        total_steps,
+        log,
+        processes: Vec::new(),
+        pes: Vec::new(),
+        faults: faults_tally,
+    };
+    for index in 0..base.processes.len() {
+        let owner = partition.lp_of_proc[index] as usize;
+        let process = &finals[owner].as_ref().expect("checked above").processes[index];
+        report.processes.push((process.name.clone(), process.stats));
+    }
+    for index in 0..base.pes.len() {
+        let owner = partition.lp_of_pe[index] as usize;
+        let pe = &finals[owner].as_ref().expect("checked above").pes[index];
+        report.pes.push((
+            pe.descriptor.name.clone(),
+            PeStats {
+                busy_ns: pe.busy_ns,
+                busy_cycles: pe.busy_cycles,
+                is_env: pe.is_env,
+            },
+        ));
+    }
+    Some(report)
+}

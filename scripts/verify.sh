@@ -26,11 +26,20 @@ cargo run --release -q -p tut-bench --bin repro -- --threads 2 explore
 echo "==> cargo test -q --test faults (fault-injection determinism + ARQ contract)"
 cargo test -q --test faults
 
+echo "==> cargo test -q --test parallel (conservative kernel: parallel == serial logs)"
+cargo test -q --test parallel
+
 echo "==> repro fault-sweep --quick (reliability smoke point)"
 cargo run --release -q -p tut-bench --bin repro -- fault-sweep --quick
 
-echo "==> repro bench --quick (sim throughput regression floor)"
-cargo run --release -q -p tut-bench --bin repro -- bench --quick
+echo "==> repro bench --quick (throughput + calendar floors, parallel log identity)"
+bench_out=$(cargo run --release -q -p tut-bench --bin repro -- bench --quick)
+if ! grep -q "parallel single-run log identical to serial: true" <<< "$bench_out"; then
+    echo "repro bench --quick: parallel single-run log diverged from serial"; exit 1;
+fi
+if ! grep -q "calendar queue .* clears floor" <<< "$bench_out"; then
+    echo "repro bench --quick: calendar-queue microbench missed its floor"; exit 1;
+fi
 
 echo "==> repro profile --quick --folded (self-profiler smoke)"
 folded_out=$(cargo run --release -q -p tut-bench --bin repro -- profile --quick --folded)
@@ -56,6 +65,15 @@ for code in E0110 E0314 E0202; do
         echo "repro check on check_bad.xml did not report $code"; exit 1;
     fi
 done
+# Out-of-range platform parameter: the sim-setup dry run must surface a
+# spanned E0410 instead of letting the value truncate at simulation time.
+if range_out=$(cargo run --release -q -p tut-bench --bin repro -- check \
+    crates/bench/fixtures/check_param_range.xml); then
+    echo "repro check on check_param_range.xml should have exited nonzero"; exit 1;
+fi
+if ! grep -q "E0410" <<< "$range_out"; then
+    echo "repro check on check_param_range.xml did not report E0410"; exit 1;
+fi
 
 if [[ "$quick" -eq 0 ]]; then
     echo "==> cargo clippy --workspace --all-targets -- -D warnings"

@@ -1,0 +1,62 @@
+//! The conservative parallel kernel on the paper's TUTMAC case study:
+//! the bridged TUTWLAN platform decomposes into the environment LP
+//! (user + channel) plus one LP for the bus-attached processors, and
+//! the merged log must stay byte-identical to the serial engine.
+
+use tut_profile_suite::faults::{FaultConfig, FaultPlan};
+use tut_profile_suite::sim::{SimConfig, Simulation};
+use tut_profile_suite::trace::NoopSink;
+use tut_profile_suite::tutmac::{self, TutmacConfig};
+
+fn sim(config: &SimConfig) -> Simulation {
+    let system = tutmac::build_tutmac_system(&TutmacConfig::default()).expect("tutmac builds");
+    Simulation::from_system(&system, config.clone()).expect("sim builds")
+}
+
+#[test]
+fn tutmac_decomposes_into_environment_and_bus_lps() {
+    let config = SimConfig::with_horizon_ns(2_000_000);
+    let plan = sim(&config).parallel_plan();
+    assert!(
+        plan.parallelizable(),
+        "the case study should parallelize, got {plan:?}"
+    );
+    assert_eq!(plan.occupied_lps, 2, "environment LP + bridged-bus LP");
+    assert_eq!(
+        plan.lookahead_ns, config.env_latency_ns,
+        "lookahead is the environment delivery latency"
+    );
+}
+
+#[test]
+fn tutmac_parallel_log_matches_serial() {
+    let config = SimConfig::with_horizon_ns(5_000_000);
+    let reference = sim(&config).run().expect("serial run");
+    for threads in [1, 2, 4] {
+        let report = sim(&config).run_parallel(threads).expect("parallel run");
+        assert_eq!(
+            reference.log.to_text(),
+            report.log.to_text(),
+            "TUTMAC parallel log diverged at {threads} threads"
+        );
+        assert_eq!(reference, report);
+    }
+}
+
+#[test]
+fn tutmac_parallel_log_matches_serial_under_faults() {
+    let config = SimConfig::with_horizon_ns(5_000_000);
+    let fault_config = FaultConfig::with_ber(0xABCD, 1e-4);
+    let reference = sim(&config)
+        .run_with_faults(&mut FaultPlan::new(fault_config.clone()), &mut NoopSink)
+        .expect("serial faulted run");
+    assert!(
+        reference.faults.injected() > 0,
+        "BER 1e-4 should inject something"
+    );
+    let report = sim(&config)
+        .run_parallel_with_faults(2, &FaultPlan::new(fault_config))
+        .expect("parallel faulted run");
+    assert_eq!(reference.log.to_text(), report.log.to_text());
+    assert_eq!(reference, report);
+}
