@@ -24,6 +24,22 @@
 //! the bench item clamps it to the host's logical CPUs before timing
 //! anything.
 //!
+//! Durable campaigns (crash-resumable `explore` and `fault-sweep`):
+//!
+//! ```text
+//! cargo run -rp tut-bench --bin repro -- fault-sweep --store runs/
+//! cargo run -rp tut-bench --bin repro -- fault-sweep --store runs/ --resume
+//! cargo run -rp tut-bench --bin repro -- explore --store runs/ --resume
+//! ```
+//!
+//! `--store DIR` checkpoints every finished work unit (BER point,
+//! annealing restart, mapping shard) into CRC-checked append-only
+//! journals under DIR; `--resume` replays the completed prefix of a
+//! killed run instead of recomputing it and prints `resumed=N total=M`.
+//! A resumed run is bit-identical to an uninterrupted one at any thread
+//! count; a stale or corrupted journal degrades to a fresh start with a
+//! `W0501`/`W0502` warning, never a panic (DESIGN.md §12).
+//!
 //! Model checking (parse → validate → profile rules → codegen dry run,
 //! one aggregated severity-sorted report with source spans):
 //!
@@ -138,8 +154,12 @@ fn print_transfers() {
 
 /// Runs the automated exploration loop of §4.5 — partition the measured
 /// communication graph, then search the group→element mapping — on
-/// `threads` workers.
-fn print_explore(threads: usize, progress: bool) {
+/// `threads` workers. With `store`, the run is durable: every restart
+/// and shard is journalled and `resume` replays completed units.
+fn print_explore(threads: usize, progress: bool, store: Option<&std::path::Path>, resume: bool) {
+    if let Some(dir) = store {
+        return print_explore_durable(threads, progress, dir, resume);
+    }
     println!("Design-space exploration (grouping + mapping) on {threads} thread(s).");
     println!();
     let (system, handles) = tut_bench::paper_system_with_handles();
@@ -217,17 +237,74 @@ fn print_explore(threads: usize, progress: bool) {
     }
 }
 
+/// The durable `explore` path: both optimisation stages checkpoint into
+/// journals under `dir`, and `resume` replays what a killed run already
+/// finished. The solutions are bit-identical to the plain path.
+fn print_explore_durable(threads: usize, progress: bool, dir: &std::path::Path, resume: bool) {
+    println!(
+        "Design-space exploration (grouping + mapping) on {threads} thread(s), durable in `{}`.",
+        dir.display()
+    );
+    println!();
+    let started = std::time::Instant::now();
+    let explore = match tut_bench::jobs::run_explore_durable(threads, dir, resume, progress) {
+        Ok(explore) => explore,
+        Err(e) => {
+            eprintln!("[explore] {e}");
+            std::process::exit(1);
+        }
+    };
+    for warning in &explore.warnings {
+        eprintln!("{warning}");
+    }
+    println!(
+        "  [grouping] {} nodes -> 5 groups, cut weight {}, objective {:.1}",
+        explore.nodes, explore.grouping.cut_weight, explore.grouping.objective
+    );
+    println!(
+        "  [mapping]  {} groups over {} elements, cost {:.1} ({} ms total)",
+        explore.group_names.len(),
+        explore.pes,
+        explore.mapping.cost,
+        started.elapsed().as_millis()
+    );
+    for (group, &pe) in explore.mapping.assignment.iter().enumerate() {
+        println!(
+            "             {} -> element {}",
+            explore.group_names[group], pe
+        );
+    }
+    println!("resumed={} total={}", explore.resumed, explore.total_units);
+}
+
 /// Runs the fault-injection reliability campaign (experiment R1): sweep
 /// the channel BER, report delivery ratio / retries / goodput from the
 /// ARQ counters. `--quick` runs a single pinned point and fails the
 /// process when the delivery ratio leaves its expected band, so CI can
-/// smoke-test the whole fault path in one short run.
-fn print_fault_sweep(quick: bool, threads: usize, progress: bool) {
+/// smoke-test the whole fault path in one short run. With `store`, the
+/// sweep is durable: every finished point is journalled and `resume`
+/// replays the completed prefix.
+fn print_fault_sweep(
+    quick: bool,
+    threads: usize,
+    progress: bool,
+    store: Option<&std::path::Path>,
+    resume: bool,
+) {
     use tut_bench::faultsweep;
+    if let Some(dir) = store {
+        return print_fault_sweep_durable(quick, threads, progress, dir, resume);
+    }
     if quick {
         // One mid-sweep point with a fixed seed on a short horizon.
         let config = tut_sim::SimConfig::with_horizon_ns(10_000_000);
-        let point = faultsweep::run_point(1e-4, faultsweep::SWEEP_SEED, config);
+        let point = match faultsweep::run_point(1e-4, faultsweep::SWEEP_SEED, config) {
+            Ok(point) => point,
+            Err(e) => {
+                eprintln!("[fault-sweep --quick] {e}");
+                std::process::exit(1);
+            }
+        };
         println!(
             "Fault-sweep smoke (BER 1e-4, seed {:#x}, 10 ms horizon)",
             faultsweep::SWEEP_SEED
@@ -263,7 +340,13 @@ fn print_fault_sweep(quick: bool, threads: usize, progress: bool) {
     } else {
         Progress::disabled()
     };
-    let points = faultsweep::run_sweep_observed(&config, threads, &meter);
+    let points = match faultsweep::run_sweep_observed(&config, threads, &meter) {
+        Ok(points) => points,
+        Err(e) => {
+            eprintln!("[fault-sweep] {e}");
+            std::process::exit(1);
+        }
+    };
     meter.finish();
     println!("{}", faultsweep::render(&points));
     let monotone_delivery = points
@@ -276,6 +359,71 @@ fn print_fault_sweep(quick: bool, threads: usize, progress: bool) {
         "delivery ratio monotonically non-increasing: {monotone_delivery}; \
          mean retries monotonically non-decreasing: {monotone_retries}"
     );
+}
+
+/// The durable `fault-sweep` path. `--quick --store` runs the *full*
+/// five-point sweep on the smoke horizon (10 ms, instead of the single
+/// smoke point) so the CI resume smoke crosses every checkpoint boundary
+/// in well under a second, keeping the same pinned-band check on the
+/// BER 1e-4 row as the plain smoke.
+fn print_fault_sweep_durable(
+    quick: bool,
+    threads: usize,
+    progress: bool,
+    dir: &std::path::Path,
+    resume: bool,
+) {
+    use tut_bench::{faultsweep, jobs};
+    let config = if quick {
+        tut_sim::SimConfig::with_horizon_ns(10_000_000)
+    } else {
+        tut_bench::table4_config()
+    };
+    println!(
+        "Reliability under injected channel faults (seed {:#x}, horizon {} ms, \
+         {threads} thread(s), durable in `{}`).",
+        faultsweep::SWEEP_SEED,
+        config.max_time_ns / 1_000_000,
+        dir.display()
+    );
+    println!();
+    let meter = if progress {
+        Progress::new("fault-sweep", faultsweep::SWEEP_BERS.len() as u64)
+    } else {
+        Progress::disabled()
+    };
+    let result = jobs::run_sweep_durable(&config, threads, &meter, dir, resume);
+    meter.finish();
+    let sweep = match result {
+        Ok(sweep) => sweep,
+        Err(e) => {
+            eprintln!("[fault-sweep] {e}");
+            std::process::exit(1);
+        }
+    };
+    for warning in &sweep.warnings {
+        eprintln!("{warning}");
+    }
+    println!("{}", faultsweep::render(&sweep.points));
+    println!("resumed={} total={}", sweep.resumed, sweep.points.len());
+    if quick {
+        // Same contract as the plain smoke: the deterministic BER 1e-4
+        // row must stay inside its pinned band with real retries.
+        let point = sweep.points[3];
+        let ratio = point.delivery_ratio();
+        let (lo, hi) = (0.40, 0.95);
+        if !(lo..=hi).contains(&ratio) {
+            eprintln!(
+                "[fault-sweep --quick] delivery ratio {ratio:.3} outside pinned band [{lo}, {hi}]"
+            );
+            std::process::exit(1);
+        }
+        if point.retries == 0 {
+            eprintln!("[fault-sweep --quick] expected non-zero ARQ retries at BER 1e-4");
+            std::process::exit(1);
+        }
+        println!("[fault-sweep --quick] delivery ratio {ratio:.3} within pinned band [{lo}, {hi}]");
+    }
 }
 
 /// Runs the simulation perf baseline (experiment P1): TUTMAC event
@@ -311,7 +459,9 @@ fn print_bench(quick: bool, threads: usize, progress: bool) {
     }
     if !quick {
         let json = simbench::to_json(&report);
-        std::fs::write("BENCH_sim.json", &json)
+        // Atomic replace: a crash mid-write must never leave a torn
+        // BENCH_sim.json behind.
+        tut_store::write_atomic(std::path::Path::new("BENCH_sim.json"), json.as_bytes())
             .unwrap_or_else(|e| panic!("writing BENCH_sim.json: {e}"));
         println!("wrote BENCH_sim.json ({} bytes)", json.len());
         // The single-run speedup is pinned only where it is meaningful:
@@ -369,7 +519,7 @@ fn run_traced(trace: Option<&str>, vcd: Option<&str>, prom: Option<&str>) {
     );
 
     let write = |path: &str, contents: &str, what: &str| {
-        std::fs::write(path, contents)
+        tut_store::write_atomic(std::path::Path::new(path), contents.as_bytes())
             .unwrap_or_else(|e| panic!("writing {what} to `{path}`: {e}"));
         println!("[trace] wrote {what}: {path} ({} bytes)", contents.len());
     };
@@ -428,6 +578,10 @@ fn run_check(paths: &[String], json: bool) -> i32 {
 }
 
 fn main() {
+    // Honour TUT_STORE_KILL so the verify.sh resume smoke (and any
+    // manual crash drill) can kill this process at an exact durability
+    // boundary; a no-op unless the variable is set.
+    tut_store::kill::init_from_env();
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut args: Vec<String> = Vec::new();
     let (mut trace, mut vcd, mut prom) = (None, None, None);
@@ -437,6 +591,8 @@ fn main() {
     let mut folded = false;
     let mut top = None;
     let mut progress = true;
+    let mut store: Option<String> = None;
+    let mut resume = false;
     let mut iter = raw.into_iter();
     while let Some(arg) = iter.next() {
         let mut take = |flag: &str| {
@@ -451,6 +607,8 @@ fn main() {
             "--json" => json = true,
             "--folded" => folded = true,
             "--no-progress" => progress = false,
+            "--store" => store = Some(take("--store")),
+            "--resume" => resume = true,
             "--top" => {
                 top = Some(
                     take("--top")
@@ -510,6 +668,7 @@ fn main() {
         args.iter().map(String::as_str).collect()
     };
 
+    let store_dir = store.as_deref().map(std::path::Path::new);
     let tut = TutProfile::new();
     for (index, item) in selected.iter().enumerate() {
         if index > 0 {
@@ -529,8 +688,8 @@ fn main() {
             "fig8" => println!("{}", figures::fig8()),
             "table4" => print_table4(),
             "transfers" => print_transfers(),
-            "explore" => print_explore(threads, progress),
-            "fault-sweep" => print_fault_sweep(quick, threads, progress),
+            "explore" => print_explore(threads, progress, store_dir, resume),
+            "fault-sweep" => print_fault_sweep(quick, threads, progress, store_dir, resume),
             "bench" => print_bench(quick, threads, progress),
             other => {
                 eprintln!(

@@ -9,7 +9,7 @@
 //! written by the engine.
 
 use tut_faults::{FaultConfig, FaultPlan};
-use tut_profiling::ProfilingReport;
+use tut_profiling::{ProfilingError, ProfilingReport};
 use tut_sim::SimConfig;
 use tut_trace::{perf, Progress};
 
@@ -87,10 +87,11 @@ fn point_from_report(ber: f64, fragment_bytes: i64, report: &ProfilingReport) ->
 
 /// Runs one BER point of the campaign on the paper system.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the profiling pipeline fails (covered by tests).
-pub fn run_point(ber: f64, seed: u64, config: SimConfig) -> SweepPoint {
+/// Propagates any failure of the profiling pipeline; a broken case-study
+/// model surfaces as [`ProfilingError::Model`].
+pub fn run_point(ber: f64, seed: u64, config: SimConfig) -> Result<SweepPoint, ProfilingError> {
     run_point_threads(ber, seed, config, 1)
 }
 
@@ -99,13 +100,20 @@ pub fn run_point(ber: f64, seed: u64, config: SimConfig) -> SweepPoint {
 /// parallel log is bit-identical to serial, so the point is the same at
 /// any thread count — the knob only spends host parallelism.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the profiling pipeline fails (covered by tests).
-pub fn run_point_threads(ber: f64, seed: u64, config: SimConfig, lp_threads: usize) -> SweepPoint {
+/// Propagates any failure of the profiling pipeline; a broken case-study
+/// model surfaces as [`ProfilingError::Model`].
+pub fn run_point_threads(
+    ber: f64,
+    seed: u64,
+    config: SimConfig,
+    lp_threads: usize,
+) -> Result<SweepPoint, ProfilingError> {
     let _point_span = perf::enter_named("fault_sweep.point");
     let tutmac_config = tutmac::TutmacConfig::default();
-    let system = tutmac::build_tutmac_system(&tutmac_config).expect("tutmac builds");
+    let system = tutmac::build_tutmac_system(&tutmac_config)
+        .map_err(|e| ProfilingError::Model(format!("tutmac case study failed to build: {e}")))?;
     let mut plan = FaultPlan::new(FaultConfig::with_ber(seed, ber));
     let report = if lp_threads > 1 {
         tut_profiling::profile_system_parallel(&system, config, lp_threads, &plan)
@@ -116,13 +124,20 @@ pub fn run_point_threads(ber: f64, seed: u64, config: SimConfig, lp_threads: usi
             &mut plan,
             &mut tut_trace::NoopSink,
         )
-    }
-    .expect("fault-sweep profiling run");
-    point_from_report(ber, tutmac_config.fragment_bytes, &report)
+    }?;
+    Ok(point_from_report(
+        ber,
+        tutmac_config.fragment_bytes,
+        &report,
+    ))
 }
 
 /// Runs the full campaign over [`SWEEP_BERS`].
-pub fn run_sweep(config: &SimConfig) -> Vec<SweepPoint> {
+///
+/// # Errors
+///
+/// Propagates the first failed point.
+pub fn run_sweep(config: &SimConfig) -> Result<Vec<SweepPoint>, ProfilingError> {
     run_sweep_threads(config, 1)
 }
 
@@ -136,7 +151,14 @@ pub fn run_sweep(config: &SimConfig) -> Vec<SweepPoint> {
 /// conservative parallel kernel. Both layers are bit-identical to their
 /// serial counterparts, so the output is the same table at any thread
 /// count.
-pub fn run_sweep_threads(config: &SimConfig, threads: usize) -> Vec<SweepPoint> {
+///
+/// # Errors
+///
+/// Propagates the first failed point (in BER order).
+pub fn run_sweep_threads(
+    config: &SimConfig,
+    threads: usize,
+) -> Result<Vec<SweepPoint>, ProfilingError> {
     run_sweep_observed(config, threads, &Progress::disabled())
 }
 
@@ -144,11 +166,15 @@ pub fn run_sweep_threads(config: &SimConfig, threads: usize) -> Vec<SweepPoint> 
 /// a `fault_sweep.point` self-profiler frame and ticks `progress` when it
 /// finishes, so long sweeps show a live stderr heartbeat. Observation
 /// never changes the table.
+///
+/// # Errors
+///
+/// Propagates the first failed point (in BER order).
 pub fn run_sweep_observed(
     config: &SimConfig,
     threads: usize,
     progress: &Progress,
-) -> Vec<SweepPoint> {
+) -> Result<Vec<SweepPoint>, ProfilingError> {
     // One thread budget for both layers: outer sweep workers first (one
     // per point at most), then the surplus as LP threads inside each run.
     let budget = tut_explore::parallel::resolve_threads(threads);
@@ -158,14 +184,15 @@ pub fn run_sweep_observed(
         return SWEEP_BERS
             .iter()
             .map(|&ber| {
-                let point = run_point_threads(ber, SWEEP_SEED, config.clone(), lp_threads);
+                let point = run_point_threads(ber, SWEEP_SEED, config.clone(), lp_threads)?;
                 progress.tick();
-                point
+                Ok(point)
             })
             .collect();
     }
     let ranges = tut_explore::parallel::shard_ranges(SWEEP_BERS.len() as u64, outer);
-    let mut results: Vec<Option<SweepPoint>> = vec![None; SWEEP_BERS.len()];
+    let mut results: Vec<Option<Result<SweepPoint, ProfilingError>>> =
+        (0..SWEEP_BERS.len()).map(|_| None).collect();
     std::thread::scope(|scope| {
         let mut rest = results.as_mut_slice();
         for range in &ranges {
@@ -187,6 +214,7 @@ pub fn run_sweep_observed(
             });
         }
     });
+    // First failure in BER order wins, matching the serial path.
     results
         .into_iter()
         .map(|p| p.expect("every shard fills its slots"))
@@ -261,9 +289,9 @@ mod tests {
     #[test]
     fn parallel_sweep_matches_serial_at_any_thread_count() {
         let config = SimConfig::with_horizon_ns(2_000_000);
-        let serial = run_sweep_threads(&config, 1);
+        let serial = run_sweep_threads(&config, 1).expect("serial sweep");
         for threads in [2, 3, SWEEP_BERS.len() + 2, 2 * SWEEP_BERS.len() + 2] {
-            let parallel = run_sweep_threads(&config, threads);
+            let parallel = run_sweep_threads(&config, threads).expect("parallel sweep");
             assert_eq!(parallel, serial, "{threads} threads diverged from serial");
         }
     }

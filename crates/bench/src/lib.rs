@@ -149,6 +149,7 @@ pub fn bottleneck_busy_ns(system: &SystemModel, config: SimConfig) -> u64 {
 pub mod check;
 pub mod faultsweep;
 pub mod figures;
+pub mod jobs;
 pub mod microbench;
 pub mod profile_cmd;
 pub mod simbench;

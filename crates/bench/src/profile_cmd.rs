@@ -167,7 +167,8 @@ fn profile_fault_sweep(flags: &ProfileFlags) {
     } else {
         crate::table4_config()
     };
-    let points = faultsweep::run_sweep_observed(&config, flags.threads, &Progress::disabled());
+    let points = faultsweep::run_sweep_observed(&config, flags.threads, &Progress::disabled())
+        .expect("fault-sweep stage");
     eprintln!("[profile] fault-sweep stage: {} points", points.len());
 }
 

@@ -375,10 +375,11 @@ pub fn measure_sweep_observed(
 ) -> SweepTiming {
     let config = SimConfig::with_horizon_ns(horizon_ns);
     let started = Instant::now();
-    let serial = faultsweep::run_sweep_observed(&config, 1, progress);
+    let serial = faultsweep::run_sweep_observed(&config, 1, progress).expect("serial sweep");
     let serial_s = started.elapsed().as_secs_f64();
     let started = Instant::now();
-    let parallel = faultsweep::run_sweep_observed(&config, threads, progress);
+    let parallel =
+        faultsweep::run_sweep_observed(&config, threads, progress).expect("parallel sweep");
     let parallel_s = started.elapsed().as_secs_f64();
     assert_eq!(parallel, serial, "parallel sweep must match serial");
     SweepTiming {

@@ -18,6 +18,7 @@
 use tut_trace::perf;
 use tut_trace::{Clock, NoopSink, Progress, Recorder, SplitMix64, TraceSink};
 
+use crate::checkpoint::{ExploreCheckpoint, NoCheckpoint, RestartOutcome};
 use crate::commgraph::CommGraph;
 use crate::objective::ObjectiveState;
 use crate::parallel;
@@ -118,6 +119,22 @@ pub fn partition_observed<T: TraceSink>(
     tracer: &mut T,
     progress: &Progress,
 ) -> GroupingSolution {
+    partition_checkpointed(graph, options, tracer, progress, &NoCheckpoint)
+}
+
+/// [`partition_observed`] with a checkpoint sink: every finished
+/// annealing restart is reported to `checkpoint`, and restarts a
+/// previous interrupted run already completed are replayed from it
+/// instead of recomputed. Each restart is a pure function of its derived
+/// seed, so the solution is bit-identical whether a restart was replayed
+/// or re-annealed — at every thread count.
+pub fn partition_checkpointed<T: TraceSink, C: ExploreCheckpoint>(
+    graph: &CommGraph,
+    options: &GroupingOptions,
+    tracer: &mut T,
+    progress: &Progress,
+    checkpoint: &C,
+) -> GroupingSolution {
     assert!(options.groups > 0, "need at least one group");
     let track = tracer.track("tool/explore.grouping", Clock::Host);
     let mut phase_start = tracer.host_now_ns();
@@ -170,16 +187,18 @@ pub fn partition_observed<T: TraceSink>(
                 .iter()
                 .enumerate()
                 .map(|(restart, &seed)| {
-                    anneal_run(
-                        graph, &adjacency, options, &pinned, &refined, current, restart, seed,
-                        tracer, progress,
-                    )
+                    restart_with_checkpoint(checkpoint, restart, || {
+                        anneal_run(
+                            graph, &adjacency, options, &pinned, &refined, current, restart, seed,
+                            tracer, progress,
+                        )
+                    })
                 })
                 .collect()
         } else {
             anneal_parallel(
                 graph, &adjacency, options, &pinned, &refined, current, &seeds, threads, tracer,
-                progress,
+                progress, checkpoint,
             )
         };
         // Deterministic reduction: strict improvement only, so ties go to
@@ -378,6 +397,35 @@ struct AnnealOutcome {
     final_temperature: f64,
 }
 
+/// Replays `restart` from the checkpoint sink when a previous run
+/// finished it, otherwise computes it with `run` and reports it. A
+/// replayed restart carries a zero final temperature (the field is a
+/// test-only observation of freshly annealed runs) and deliberately does
+/// not tick progress — the driver pre-accounts replays via
+/// `Progress::set_resumed`.
+fn restart_with_checkpoint<C: ExploreCheckpoint>(
+    checkpoint: &C,
+    restart: usize,
+    run: impl FnOnce() -> AnnealOutcome,
+) -> AnnealOutcome {
+    if let Some(prev) = checkpoint.replay_restart(restart) {
+        return AnnealOutcome {
+            assignment: prev.assignment,
+            objective: prev.objective,
+            final_temperature: 0.0,
+        };
+    }
+    let outcome = run();
+    checkpoint.restart_done(
+        restart,
+        &RestartOutcome {
+            objective: outcome.objective,
+            assignment: outcome.assignment.clone(),
+        },
+    );
+    outcome
+}
+
 /// One seeded simulated-annealing run from the refined assignment.
 ///
 /// RNG discipline: exactly two index draws per iteration (node, group)
@@ -461,7 +509,7 @@ fn anneal_run<T: TraceSink>(
 /// into the parent sink afterwards, in restart order, with host
 /// timestamps re-based onto the parent clock.
 #[allow(clippy::too_many_arguments)]
-fn anneal_parallel<T: TraceSink>(
+fn anneal_parallel<T: TraceSink, C: ExploreCheckpoint>(
     graph: &CommGraph,
     adjacency: &[Vec<(usize, u64)>],
     options: &GroupingOptions,
@@ -472,6 +520,7 @@ fn anneal_parallel<T: TraceSink>(
     threads: usize,
     tracer: &mut T,
     progress: &Progress,
+    checkpoint: &C,
 ) -> Vec<AnnealOutcome> {
     let enabled = tracer.enabled();
     let spawn_ns = tracer.host_now_ns();
@@ -487,32 +536,34 @@ fn anneal_parallel<T: TraceSink>(
                             let restart = r as usize;
                             let seed = seeds[restart];
                             let mut recorder = enabled.then(Recorder::new);
-                            let outcome = match recorder.as_mut() {
-                                Some(rec) => anneal_run(
-                                    graph,
-                                    adjacency,
-                                    options,
-                                    pinned,
-                                    start,
-                                    start_objective,
-                                    restart,
-                                    seed,
-                                    rec,
-                                    progress,
-                                ),
-                                None => anneal_run(
-                                    graph,
-                                    adjacency,
-                                    options,
-                                    pinned,
-                                    start,
-                                    start_objective,
-                                    restart,
-                                    seed,
-                                    &mut NoopSink,
-                                    progress,
-                                ),
-                            };
+                            let outcome = restart_with_checkpoint(checkpoint, restart, || {
+                                match recorder.as_mut() {
+                                    Some(rec) => anneal_run(
+                                        graph,
+                                        adjacency,
+                                        options,
+                                        pinned,
+                                        start,
+                                        start_objective,
+                                        restart,
+                                        seed,
+                                        rec,
+                                        progress,
+                                    ),
+                                    None => anneal_run(
+                                        graph,
+                                        adjacency,
+                                        options,
+                                        pinned,
+                                        start,
+                                        start_objective,
+                                        restart,
+                                        seed,
+                                        &mut NoopSink,
+                                        progress,
+                                    ),
+                                }
+                            });
                             (outcome, recorder)
                         })
                         .collect::<Vec<_>>()

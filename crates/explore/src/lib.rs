@@ -24,6 +24,12 @@
 //! * [`objective`] — the grouping objective, maintained incrementally so
 //!   a candidate single-node move costs O(degree) instead of O(E), with a
 //!   debug-mode cross-check against the full recompute.
+//! * [`checkpoint`] — the resumability seam: both optimisers report each
+//!   finished work unit (annealing restart, mapping shard) to an
+//!   [`ExploreCheckpoint`] sink and replay units an interrupted run
+//!   already completed, so a resumed search is bit-identical to an
+//!   uninterrupted one. The durable journal-backed sink lives in the
+//!   bench crate (`tut-store`).
 //! * [`parallel`] — deterministic work sharding: both optimisers split
 //!   their candidate spaces across `std::thread::scope` workers and
 //!   reduce per-shard bests in enumeration order, so results are
@@ -33,18 +39,21 @@
 #![warn(missing_docs)]
 
 pub mod apply;
+pub mod checkpoint;
 pub mod commgraph;
 pub mod grouping;
 pub mod mapping;
 pub mod objective;
 pub mod parallel;
 
+pub use checkpoint::{ExploreCheckpoint, NoCheckpoint, RestartOutcome, ShardBest};
 pub use commgraph::CommGraph;
 pub use grouping::{
-    partition, partition_observed, partition_with, refine, GroupingOptions, GroupingSolution,
+    partition, partition_checkpointed, partition_observed, partition_with, refine, GroupingOptions,
+    GroupingSolution,
 };
 pub use mapping::{
-    optimise_mapping, optimise_mapping_observed, optimise_mapping_with, MappingOptions,
-    MappingSolution,
+    optimise_mapping, optimise_mapping_checkpointed, optimise_mapping_observed,
+    optimise_mapping_with, MappingOptions, MappingSolution,
 };
 pub use objective::{full_objective, ObjectiveState};

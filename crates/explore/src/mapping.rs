@@ -8,7 +8,18 @@ use tut_trace::perf;
 use tut_trace::{Clock, NoopSink, Progress, TraceSink};
 use tut_uml::ids::{ClassId, PropertyId};
 
+use crate::checkpoint::{ExploreCheckpoint, ShardBest};
 use crate::parallel;
+
+/// Shard count of the checkpointed search ([`optimise_mapping_checkpointed`]).
+///
+/// Deliberately **fixed** rather than derived from `options.threads`:
+/// the shard boundaries define the checkpoint units persisted in a
+/// journal, so they must be identical no matter how many workers the
+/// original or the resumed run had. 32 shards keep every shard coarse
+/// enough to be worth a checkpoint yet plenty to feed any realistic
+/// worker count.
+pub const CHECKPOINT_SHARDS: usize = 32;
 
 /// One processing element as the optimiser sees it.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -176,23 +187,8 @@ pub fn optimise_mapping_observed<T: TraceSink>(
     let _search_span = perf::enter_named("explore.mapping.search");
     let track = tracer.track("tool/explore.mapping", Clock::Host);
     let search_start = tracer.host_now_ns();
-    let groups = problem.group_cycles.len();
-    assert_eq!(problem.group_kinds.len(), groups);
-    assert_eq!(problem.comm.len(), groups);
+    let (base, free, total) = pin_collapse(problem, options);
     let pes = problem.pes.len();
-    assert!(pes > 0, "need at least one element");
-
-    let mut pinned: Vec<Option<usize>> = vec![None; groups];
-    for &(group, pe) in &options.pinned {
-        assert!(group < groups && pe < pes, "pin out of range");
-        pinned[group] = Some(pe);
-    }
-    // Collapse pins out of the odometer: enumerate only the free groups.
-    let base: Vec<usize> = pinned.iter().map(|pin| pin.unwrap_or(0)).collect();
-    let free: Vec<usize> = (0..groups).filter(|&g| pinned[g].is_none()).collect();
-    let space = (pes as f64).powi(free.len() as i32);
-    assert!(space <= 1e7, "search space too large: {space}");
-    let total = (pes as u64).pow(free.len() as u32);
 
     let threads = parallel::resolve_threads(options.threads);
     let best = if threads <= 1 {
@@ -237,6 +233,124 @@ pub fn optimise_mapping_observed<T: TraceSink>(
     );
     tracer.add("explore.mapping.candidates", total);
     MappingSolution { assignment, cost }
+}
+
+/// [`optimise_mapping_observed`] with a checkpoint sink: the enumeration
+/// is cut into [`CHECKPOINT_SHARDS`] fixed shards (thread-count
+/// independent, so the checkpoint units of an interrupted run line up
+/// with the resumed one), each finished shard's best is reported to
+/// `checkpoint`, and shards a previous run completed are replayed
+/// instead of rescanned. Each shard's best is a pure function of the
+/// problem and the shard range, and the reduction keeps the first strict
+/// minimum in shard order, so the solution is bit-identical to the
+/// uninterrupted observed search — at every thread count.
+pub fn optimise_mapping_checkpointed<T: TraceSink, C: ExploreCheckpoint>(
+    problem: &MappingProblem,
+    options: &MappingOptions,
+    tracer: &mut T,
+    progress: &Progress,
+    checkpoint: &C,
+) -> MappingSolution {
+    let _search_span = perf::enter_named("explore.mapping.search");
+    let track = tracer.track("tool/explore.mapping", Clock::Host);
+    let search_start = tracer.host_now_ns();
+    let (base, free, total) = pin_collapse(problem, options);
+    let pes = problem.pes.len();
+
+    let shards = parallel::shard_ranges(total, CHECKPOINT_SHARDS);
+    let shard_best = |shard: usize, range: std::ops::Range<u64>| -> ShardBest {
+        if let Some(prev) = checkpoint.replay_mapping_shard(shard) {
+            return prev; // no progress tick: the driver pre-accounts replays
+        }
+        let best = scan_shard(problem, options, &base, &free, range, progress);
+        checkpoint.mapping_shard_done(shard, &best);
+        best
+    };
+    let threads = parallel::resolve_threads(options.threads).min(shards.len().max(1));
+    let per_shard: Vec<ShardBest> = if threads <= 1 {
+        shards
+            .iter()
+            .enumerate()
+            .map(|(shard, range)| shard_best(shard, range.clone()))
+            .collect()
+    } else {
+        // Workers claim contiguous runs of shard indices; each slot is
+        // filled exactly once, so the vector is in shard order.
+        let worker_ranges = parallel::shard_ranges(shards.len() as u64, threads);
+        let mut results: Vec<Option<ShardBest>> = vec![None; shards.len()];
+        std::thread::scope(|scope| {
+            let mut rest = results.as_mut_slice();
+            for range in &worker_ranges {
+                let len = (range.end - range.start) as usize;
+                let (chunk, tail) = rest.split_at_mut(len);
+                rest = tail;
+                let start = range.start as usize;
+                let (shards, shard_best) = (&shards, &shard_best);
+                scope.spawn(move || {
+                    for (offset, slot) in chunk.iter_mut().enumerate() {
+                        let shard = start + offset;
+                        *slot = Some(shard_best(shard, shards[shard].clone()));
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|b| b.expect("every worker fills its slots"))
+            .collect()
+    };
+    // Deterministic reduction, identical to the observed search: first
+    // strict minimum in shard (= enumeration) order.
+    let mut best: Option<(f64, u64)> = None;
+    for candidate in per_shard.into_iter().flatten() {
+        if best.map(|(cost, _)| candidate.0 < cost).unwrap_or(true) {
+            best = Some(candidate);
+        }
+    }
+    let (cost, winner) = best.expect("at least one assignment is feasible");
+
+    let mut assignment = base;
+    decode_candidate(winner, pes, &free, &mut assignment);
+    let now = tracer.host_now_ns();
+    tracer.span(
+        track,
+        "search",
+        search_start,
+        now.saturating_sub(search_start),
+    );
+    tracer.add("explore.mapping.candidates", total);
+    MappingSolution { assignment, cost }
+}
+
+/// Validates the problem, collapses pins out of the enumeration, and
+/// returns `(base assignment, free group indices, candidate count)`.
+///
+/// # Panics
+///
+/// Panics if the problem is inconsistent (mismatched lengths, pins out
+/// of range) or the pin-collapsed space exceeds `10^7` candidates.
+fn pin_collapse(
+    problem: &MappingProblem,
+    options: &MappingOptions,
+) -> (Vec<usize>, Vec<usize>, u64) {
+    let groups = problem.group_cycles.len();
+    assert_eq!(problem.group_kinds.len(), groups);
+    assert_eq!(problem.comm.len(), groups);
+    let pes = problem.pes.len();
+    assert!(pes > 0, "need at least one element");
+
+    let mut pinned: Vec<Option<usize>> = vec![None; groups];
+    for &(group, pe) in &options.pinned {
+        assert!(group < groups && pe < pes, "pin out of range");
+        pinned[group] = Some(pe);
+    }
+    // Collapse pins out of the odometer: enumerate only the free groups.
+    let base: Vec<usize> = pinned.iter().map(|pin| pin.unwrap_or(0)).collect();
+    let free: Vec<usize> = (0..groups).filter(|&g| pinned[g].is_none()).collect();
+    let space = (pes as f64).powi(free.len() as i32);
+    assert!(space <= 1e7, "search space too large: {space}");
+    let total = (pes as u64).pow(free.len() as u32);
+    (base, free, total)
 }
 
 /// Writes candidate `index` into `assignment`: free group `free[j]` gets

@@ -1,0 +1,82 @@
+//! Crash-safe whole-file replacement for non-append artefacts.
+//!
+//! A plain `std::fs::write` over an existing file can leave a truncated
+//! or interleaved mess if the process dies mid-write. [`write_atomic`]
+//! instead writes a temporary file *in the same directory* (so the
+//! rename cannot cross filesystems), fsyncs it, and renames it over the
+//! destination — POSIX rename is atomic, so readers only ever observe
+//! the old bytes or the new bytes, never a tear. The directory is
+//! fsync'd afterwards on a best-effort basis so the rename itself is
+//! durable.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+/// Atomically replaces `path` with `bytes` via a same-directory
+/// temporary file and rename.
+///
+/// # Errors
+///
+/// Any I/O failure from creating, writing, syncing, or renaming the
+/// temporary file; on failure the destination is untouched and the
+/// temporary file is removed on a best-effort basis.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other("write_atomic path has no file name"))?;
+    let tmp = path.with_file_name(format!(
+        ".{}.tmp.{}",
+        file_name.to_string_lossy(),
+        std::process::id()
+    ));
+
+    let result = (|| {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        if let Some(dir) = dir {
+            // Make the rename durable; failure to sync the directory is
+            // not worth failing the write over (some filesystems refuse).
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replaces_contents_and_leaves_no_temp_file() {
+        let dir = std::env::temp_dir().join(format!("tut-store-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("artefact.json");
+
+        write_atomic(&path, b"{\"v\":1}").expect("first write");
+        assert_eq!(std::fs::read(&path).expect("read"), b"{\"v\":1}");
+        write_atomic(&path, b"{\"v\":2}").expect("replace");
+        assert_eq!(std::fs::read(&path).expect("read"), b"{\"v\":2}");
+
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .expect("read dir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "no temp files left behind");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,58 @@
+//! CRC32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the
+//! per-record checksum of the journal frames. Table-driven, with the
+//! table built at compile time so the hot path is one lookup per byte.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC32 of `bytes` (initial value `0xFFFF_FFFF`, final XOR) — the
+/// standard zlib/PNG/Ethernet checksum.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = TABLE[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_check_vector() {
+        // The canonical CRC32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_and_sensitivity() {
+        assert_eq!(crc32(b""), 0);
+        let a = crc32(b"tut-store");
+        let mut flipped = b"tut-store".to_vec();
+        flipped[3] ^= 0x01;
+        assert_ne!(a, crc32(&flipped), "single bit flip must change the CRC");
+    }
+}

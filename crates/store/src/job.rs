@@ -1,0 +1,297 @@
+//! The job layer: content-addressed journal open and the in-order
+//! writer loop that makes journals byte-identical at any thread count.
+//!
+//! [`open_job`] resolves a journal path + job hash to either a resumed
+//! journal (replaying every completed record) or a fresh one. The
+//! degradation rules never panic:
+//!
+//! * no journal on disk, or `resume == false` → fresh start;
+//! * journal matches the job hash → resume, with a [`W_TORN_TAIL`]
+//!   warning when a torn tail had to be truncated;
+//! * hash mismatch or corrupt header → the journal is *stale*: restart
+//!   from scratch with a [`W_STALE_JOB`] warning.
+//!
+//! [`writer_loop`] is the single-writer half of the checkpoint pipeline:
+//! parallel workers send `(index, payload)` pairs over an `mpsc` channel
+//! and the loop writes them to the journal *strictly in index order*
+//! (buffering out-of-order arrivals), group-committing each drained
+//! batch with one fsync. Because records land in index order, the
+//! completed set on disk is always a prefix of the work list — which is
+//! what makes a resumed run bit-identical to an uninterrupted one no
+//! matter how many threads raced on the original attempt.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::mpsc::Receiver;
+
+use tut_diag::Diagnostic;
+
+use crate::journal::{Journal, Recovery, StoreError};
+
+/// Diagnostic code: a journal exists but belongs to a different job
+/// (hash mismatch) or is not readable as a journal at all — the job
+/// restarts from scratch.
+pub const W_STALE_JOB: &str = "W0501";
+
+/// Diagnostic code: a torn tail (partial record frame) was truncated
+/// during recovery; completed records are unaffected.
+pub const W_TORN_TAIL: &str = "W0502";
+
+/// The result of [`open_job`]: a journal ready for appending, plus what
+/// was replayed from it.
+#[derive(Debug)]
+pub struct JobOpen {
+    /// The journal, positioned for append.
+    pub journal: Journal,
+    /// Replayed record payloads (empty on a fresh start), in append
+    /// order — always a prefix of the job's work list.
+    pub records: Vec<Vec<u8>>,
+    /// True when `records` came from an existing journal rather than a
+    /// fresh file.
+    pub resumed: bool,
+    /// Recovery findings (stale restart, torn-tail truncation), for the
+    /// caller to render through its diagnostic sink.
+    pub warnings: Vec<Diagnostic>,
+}
+
+/// Opens the journal for a job content-addressed by `job_hash`.
+///
+/// With `resume == false` any existing journal is overwritten. With
+/// `resume == true` a matching journal is replayed; a stale or corrupt
+/// one degrades to a fresh start with a [`W_STALE_JOB`] warning.
+///
+/// # Errors
+///
+/// Only genuine filesystem failures ([`StoreError::Io`]) are errors;
+/// every corruption shape is handled by degradation.
+pub fn open_job(path: &Path, job_hash: u64, resume: bool) -> Result<JobOpen, StoreError> {
+    let fresh = |warnings: Vec<Diagnostic>| -> Result<JobOpen, StoreError> {
+        Ok(JobOpen {
+            journal: Journal::create(path, job_hash)?,
+            records: Vec::new(),
+            resumed: false,
+            warnings,
+        })
+    };
+    if !resume || !path.exists() {
+        return fresh(Vec::new());
+    }
+    match Journal::open(path) {
+        Ok(Recovery {
+            journal,
+            job_hash: found,
+            records,
+            truncated_bytes,
+        }) => {
+            if found != job_hash {
+                return fresh(vec![Diagnostic::warning(
+                    W_STALE_JOB,
+                    "journal belongs to a different job; restarting from scratch",
+                )
+                .with_element(path.display().to_string())
+                .with_note(format!(
+                    "journal job hash {found:#018x}, this job hashes to {job_hash:#018x}"
+                ))
+                .with_help(
+                    "the model, configuration, or seeds changed since the journal was written",
+                )]);
+            }
+            let mut warnings = Vec::new();
+            if truncated_bytes > 0 {
+                warnings.push(
+                    Diagnostic::warning(
+                        W_TORN_TAIL,
+                        "journal had a torn tail; truncated to the last valid record",
+                    )
+                    .with_element(path.display().to_string())
+                    .with_note(format!(
+                        "dropped {truncated_bytes} trailing byte(s) after {} whole record(s)",
+                        records.len()
+                    )),
+                );
+            }
+            Ok(JobOpen {
+                journal,
+                records,
+                resumed: true,
+                warnings,
+            })
+        }
+        Err(StoreError::Corrupt { reason, .. }) => fresh(vec![Diagnostic::warning(
+            W_STALE_JOB,
+            "journal is corrupt; restarting from scratch",
+        )
+        .with_element(path.display().to_string())
+        .with_note(reason)]),
+        Err(other) => Err(other),
+    }
+}
+
+/// Drains `(index, payload)` checkpoints from `rx` into `journal`,
+/// writing strictly in index order starting at `start_index` and
+/// group-committing each drained batch with one fsync.
+///
+/// Out-of-order arrivals are buffered until their predecessors land, so
+/// the journal's record sequence — and therefore its bytes — do not
+/// depend on worker scheduling. Returns the next expected index (i.e.
+/// `start_index` + records written) once every sender hung up.
+///
+/// # Errors
+///
+/// Propagates the first journal append/commit failure. Duplicate or
+/// below-`start_index` indices are ignored (a resumed worker re-sending
+/// a finished checkpoint is harmless).
+pub fn writer_loop(
+    journal: &mut Journal,
+    start_index: u64,
+    rx: &Receiver<(u64, Vec<u8>)>,
+) -> Result<u64, StoreError> {
+    let mut pending: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    let mut next = start_index;
+    while let Ok((index, payload)) = rx.recv() {
+        if index >= next {
+            pending.insert(index, payload);
+        }
+        // Drain whatever else is already queued so the whole batch
+        // shares one commit.
+        while let Ok((index, payload)) = rx.try_recv() {
+            if index >= next {
+                pending.insert(index, payload);
+            }
+        }
+        let mut wrote = false;
+        while let Some(payload) = pending.remove(&next) {
+            journal.append(&payload)?;
+            next += 1;
+            wrote = true;
+        }
+        if wrote {
+            journal.commit()?;
+        }
+    }
+    // Senders are gone; anything still pending is out of order relative
+    // to a gap that will never fill (a worker died mid-item). Leaving it
+    // unwritten keeps the on-disk prefix property.
+    Ok(next)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::path::PathBuf;
+    use std::sync::mpsc;
+
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tut-store-job-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn fresh_resume_and_stale_degradation() {
+        let path = temp_path("job.journal");
+        std::fs::remove_file(&path).ok();
+
+        // No journal: fresh, no warnings, even with resume requested.
+        let open = open_job(&path, 7, true).expect("open");
+        assert!(!open.resumed);
+        assert!(open.records.is_empty() && open.warnings.is_empty());
+        let mut journal = open.journal;
+        journal.append(b"one").expect("append");
+        journal.commit().expect("commit");
+        drop(journal);
+
+        // Same hash + resume: replayed.
+        let open = open_job(&path, 7, true).expect("open");
+        assert!(open.resumed);
+        assert_eq!(open.records, vec![b"one".to_vec()]);
+
+        // Same hash, resume declined: truncated fresh.
+        let open = open_job(&path, 7, false).expect("open");
+        assert!(!open.resumed && open.records.is_empty());
+        drop(open);
+
+        // Rebuild a record, then change the job hash: stale restart.
+        let open = open_job(&path, 7, true).expect("open");
+        let mut journal = open.journal;
+        journal.append(b"one").expect("append");
+        journal.commit().expect("commit");
+        drop(journal);
+        let open = open_job(&path, 8, true).expect("open");
+        assert!(!open.resumed && open.records.is_empty());
+        assert_eq!(open.warnings.len(), 1);
+        assert_eq!(open.warnings[0].code, W_STALE_JOB);
+
+        // Corrupt header: stale restart, not an error.
+        std::fs::write(&path, b"garbage").expect("write");
+        let open = open_job(&path, 8, true).expect("open");
+        assert!(!open.resumed);
+        assert_eq!(open.warnings[0].code, W_STALE_JOB);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_resume_warns_with_w0502() {
+        let path = temp_path("torn-job.journal");
+        std::fs::remove_file(&path).ok();
+        let open = open_job(&path, 3, false).expect("open");
+        let mut journal = open.journal;
+        journal.append(b"kept").expect("append");
+        journal.commit().expect("commit");
+        drop(journal);
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes.extend_from_slice(&[9, 0, 0, 0, 1, 2]); // partial frame
+        std::fs::write(&path, &bytes).expect("write");
+
+        let open = open_job(&path, 3, true).expect("open");
+        assert!(open.resumed);
+        assert_eq!(open.records, vec![b"kept".to_vec()]);
+        assert_eq!(open.warnings.len(), 1);
+        assert_eq!(open.warnings[0].code, W_TORN_TAIL);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn writer_loop_orders_out_of_order_checkpoints() {
+        let path = temp_path("writer.journal");
+        std::fs::remove_file(&path).ok();
+        let open = open_job(&path, 11, false).expect("open");
+        let mut journal = open.journal;
+
+        let (tx, rx) = mpsc::channel::<(u64, Vec<u8>)>();
+        // Deliberately scrambled worker completion order, plus a
+        // duplicate of an already-started index.
+        for index in [2u64, 0, 3, 1, 0, 4] {
+            tx.send((index, vec![index as u8; 4])).expect("send");
+        }
+        drop(tx);
+        let next = writer_loop(&mut journal, 0, &rx).expect("writer loop");
+        assert_eq!(next, 5);
+        drop(journal);
+
+        let open = open_job(&path, 11, true).expect("open");
+        let expected: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i; 4]).collect();
+        assert_eq!(open.records, expected, "records land in index order");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn writer_loop_holds_back_records_after_a_gap() {
+        let path = temp_path("gap.journal");
+        std::fs::remove_file(&path).ok();
+        let open = open_job(&path, 12, false).expect("open");
+        let mut journal = open.journal;
+        let (tx, rx) = mpsc::channel::<(u64, Vec<u8>)>();
+        // Index 1 never arrives (its worker "died").
+        tx.send((0, b"zero".to_vec())).expect("send");
+        tx.send((2, b"two".to_vec())).expect("send");
+        drop(tx);
+        let next = writer_loop(&mut journal, 0, &rx).expect("writer loop");
+        assert_eq!(next, 1, "only the contiguous prefix is durable");
+        drop(journal);
+        let open = open_job(&path, 12, true).expect("open");
+        assert_eq!(open.records, vec![b"zero".to_vec()]);
+        std::fs::remove_file(&path).ok();
+    }
+}

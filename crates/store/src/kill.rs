@@ -1,0 +1,175 @@
+//! Kill injection: simulated crashes at the store's durability
+//! boundaries, so recovery is *proven* by tests rather than claimed.
+//!
+//! The journal calls [`kill_point`] (or [`kill_point_with`]) at each
+//! named site; with nothing armed the check is one relaxed atomic load.
+//! Tests arm a site in-process ([`arm`], firing a [`StorePanic`] panic
+//! they catch with `std::panic::catch_unwind`), and binaries honour the
+//! `TUT_STORE_KILL=site:N[:abort|:panic]` environment variable
+//! ([`init_from_env`]) so a shell — e.g. the `scripts/verify.sh` resume
+//! smoke — can kill a real subprocess at an exact checkpoint. Abort mode
+//! dies without unwinding or flushing, the closest in-process stand-in
+//! for `kill -9`.
+//!
+//! Sites the journal exposes:
+//!
+//! | site | boundary |
+//! |---|---|
+//! | `store.append` | before any byte of a record frame is written |
+//! | `store.torn`   | after *half* a record frame reached the file (a torn write) |
+//! | `store.commit` | after a group commit was fsync'd durable |
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// How an armed kill site dies.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum KillMode {
+    /// `panic_any(StorePanic)` — unwind, catchable in-process, used by
+    /// the crash-at-every-boundary property tests.
+    Panic,
+    /// `std::process::abort()` — no unwinding, no buffers flushed; the
+    /// subprocess equivalent of a power cut.
+    Abort,
+}
+
+/// The panic payload a fired [`KillMode::Panic`] site throws; tests
+/// downcast it to tell an injected crash from a genuine bug.
+#[derive(Clone, Debug)]
+pub struct StorePanic {
+    /// The site that fired.
+    pub site: String,
+}
+
+struct Armed {
+    site: String,
+    /// Fires on the hit that decrements this to zero.
+    remaining: u64,
+    mode: KillMode,
+}
+
+/// Fast-path gate: false means no site is armed and every kill point is
+/// a single atomic load.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static ARMED: Mutex<Option<Armed>> = Mutex::new(None);
+
+/// Arms `site` to fire on its `nth` hit (1 = the next one). Re-arming
+/// replaces any previous site.
+pub fn arm(site: &str, nth: u64, mode: KillMode) {
+    let mut guard = ARMED.lock().expect("kill registry poisoned");
+    *guard = Some(Armed {
+        site: site.to_owned(),
+        remaining: nth.max(1),
+        mode,
+    });
+    ACTIVE.store(true, Ordering::SeqCst);
+}
+
+/// Disarms everything (tests call this after catching a [`StorePanic`]).
+pub fn disarm() {
+    let mut guard = ARMED.lock().expect("kill registry poisoned");
+    *guard = None;
+    ACTIVE.store(false, Ordering::SeqCst);
+}
+
+/// Parses `TUT_STORE_KILL=site:N[:abort|:panic]` once and arms the named
+/// site (default mode: abort). Binaries call this at startup; malformed
+/// values are ignored rather than fatal.
+pub fn init_from_env() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let Ok(spec) = std::env::var("TUT_STORE_KILL") else {
+            return;
+        };
+        let mut parts = spec.split(':');
+        let Some(site) = parts.next().filter(|s| !s.is_empty()) else {
+            return;
+        };
+        let Some(nth) = parts.next().and_then(|n| n.parse::<u64>().ok()) else {
+            return;
+        };
+        let mode = match parts.next() {
+            Some("panic") => KillMode::Panic,
+            _ => KillMode::Abort,
+        };
+        arm(site, nth, mode);
+    });
+}
+
+/// A named crash site: counts one hit of `site` and dies if this hit is
+/// the armed one. No-op (one atomic load) when nothing is armed.
+pub fn kill_point(site: &str) {
+    kill_point_with(site, || {});
+}
+
+/// [`kill_point`] that runs `before_crash` after deciding to die but
+/// before dying — the journal uses this to leave a deliberately torn
+/// frame on disk, simulating a crash mid-`write`.
+pub fn kill_point_with(site: &str, before_crash: impl FnOnce()) {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return;
+    }
+    let mode = {
+        let mut guard = ARMED.lock().expect("kill registry poisoned");
+        let Some(armed) = guard.as_mut() else { return };
+        if armed.site != site {
+            return;
+        }
+        armed.remaining -= 1;
+        if armed.remaining > 0 {
+            return;
+        }
+        let mode = armed.mode;
+        *guard = None;
+        ACTIVE.store(false, Ordering::SeqCst);
+        mode
+    };
+    before_crash();
+    eprintln!("[tut-store] injected kill at `{site}` ({mode:?})");
+    match mode {
+        KillMode::Abort => std::process::abort(),
+        KillMode::Panic => std::panic::panic_any(StorePanic {
+            site: site.to_owned(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global, so keep every scenario in one test
+    // to avoid cross-test interference under the parallel test runner.
+    #[test]
+    fn arming_counts_hits_and_fires_a_catchable_panic() {
+        disarm();
+        kill_point("store.commit"); // disarmed: no-op
+
+        arm("store.commit", 3, KillMode::Panic);
+        kill_point("store.append"); // wrong site: not counted
+        kill_point("store.commit");
+        kill_point("store.commit");
+        let caught = std::panic::catch_unwind(|| kill_point("store.commit"))
+            .expect_err("third hit must fire");
+        let payload = caught
+            .downcast::<StorePanic>()
+            .expect("payload is StorePanic");
+        assert_eq!(payload.site, "store.commit");
+
+        // Firing disarms: the next hit is free.
+        kill_point("store.commit");
+
+        // The pre-crash hook runs exactly on the firing hit.
+        let mut ran = 0;
+        arm("store.torn", 2, KillMode::Panic);
+        kill_point_with("store.torn", || ran += 1);
+        assert_eq!(ran, 0, "non-firing hit must not run the hook");
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            kill_point_with("store.torn", || ran += 1)
+        }))
+        .expect_err("second hit fires");
+        assert!(err.downcast::<StorePanic>().is_ok());
+        assert_eq!(ran, 1, "firing hit runs the hook before dying");
+        disarm();
+    }
+}

@@ -34,6 +34,9 @@ pub struct Progress {
     /// while unset. Objectives here are non-negative, so the bit pattern
     /// order matches the numeric order.
     best_bits: AtomicU64,
+    /// Units replayed from a durable checkpoint rather than computed
+    /// (`--resume`); shown as `(resumed N)` and counted into `done`.
+    resumed: AtomicU64,
 }
 
 impl Progress {
@@ -47,6 +50,7 @@ impl Progress {
             started: Instant::now(),
             last_emit_ms: AtomicU64::new(0),
             best_bits: AtomicU64::new(u64::MAX),
+            resumed: AtomicU64::new(0),
         }
     }
 
@@ -75,6 +79,22 @@ impl Progress {
         }
         self.done.fetch_add(n, Ordering::Relaxed);
         self.maybe_emit();
+    }
+
+    /// Records `n` units as replayed from a durable checkpoint: they
+    /// count into `done` (the work is genuinely complete) and heartbeats
+    /// gain a `(resumed n)` tag so a resumed campaign is distinguishable
+    /// from a fresh one. Drivers call this once, up front, after opening
+    /// their journal.
+    pub fn set_resumed(&self, n: u64) {
+        if !self.enabled {
+            return;
+        }
+        let previous = self.resumed.swap(n, Ordering::Relaxed);
+        // `done` tracks resumed + computed; re-setting replaces the old
+        // resumed contribution.
+        self.done.fetch_add(n, Ordering::Relaxed);
+        self.done.fetch_sub(previous, Ordering::Relaxed);
     }
 
     /// Records an objective value; the lowest seen so far is shown as
@@ -115,6 +135,7 @@ impl Progress {
                 self.total,
                 self.started.elapsed().as_secs_f64(),
                 self.best(),
+                self.resumed.load(Ordering::Relaxed),
             )
         );
     }
@@ -135,20 +156,26 @@ impl Progress {
             Some(best) => format!(" best {best:.1}"),
             None => String::new(),
         };
+        let resumed = match self.resumed.load(Ordering::Relaxed) {
+            0 => String::new(),
+            n => format!(" (resumed {n})"),
+        };
         eprintln!(
-            "{MARKER} {} done {done}/{} in {elapsed:.2}s ({rate:.1}/s){best}",
+            "{MARKER} {} done {done}/{}{resumed} in {elapsed:.2}s ({rate:.1}/s){best}",
             self.label, self.total
         );
     }
 }
 
 /// Renders one heartbeat line (pure, so tests can pin the format).
+/// `resumed > 0` appends a `(resumed N)` tag after the counts.
 pub fn render_line(
     label: &str,
     done: u64,
     total: u64,
     elapsed_s: f64,
     best: Option<f64>,
+    resumed: u64,
 ) -> String {
     let rate = if elapsed_s > 0.0 {
         done as f64 / elapsed_s
@@ -169,7 +196,12 @@ pub fn render_line(
         Some(best) => format!(" best {best:.1}"),
         None => String::new(),
     };
-    format!("{MARKER} {label} {done}/{total} ({percent:.0}%) {rate:.1}/s{eta}{best}")
+    let resumed = if resumed > 0 {
+        format!(" (resumed {resumed})")
+    } else {
+        String::new()
+    };
+    format!("{MARKER} {label} {done}/{total}{resumed} ({percent:.0}%) {rate:.1}/s{eta}{best}")
 }
 
 #[cfg(test)]
@@ -178,20 +210,27 @@ mod tests {
 
     #[test]
     fn render_line_shows_rate_eta_and_best() {
-        let line = render_line("sweep", 3, 5, 1.5, Some(42.25));
+        let line = render_line("sweep", 3, 5, 1.5, Some(42.25), 0);
         assert!(line.starts_with(MARKER));
         assert!(line.contains("sweep 3/5 (60%)"));
         assert!(line.contains("2.0/s"));
         assert!(line.contains("eta 1.0s"));
         assert!(line.contains("best 42.2"), "{line}");
+        assert!(!line.contains("resumed"), "{line}");
     }
 
     #[test]
     fn render_line_handles_zero_work() {
-        let line = render_line("idle", 0, 0, 0.0, None);
+        let line = render_line("idle", 0, 0, 0.0, None, 0);
         assert!(line.contains("idle 0/0 (0%)"));
         assert!(!line.contains("eta"));
         assert!(!line.contains("best"));
+    }
+
+    #[test]
+    fn render_line_tags_resumed_work() {
+        let line = render_line("sweep", 3, 5, 1.5, None, 2);
+        assert!(line.contains("sweep 3/5 (resumed 2) (60%)"), "{line}");
     }
 
     #[test]
@@ -200,8 +239,21 @@ mod tests {
         assert!(!p.is_enabled());
         p.tick();
         p.record_best(1.0);
+        p.set_resumed(4);
         p.finish(); // must not print (verified by the binary-level test)
         assert_eq!(p.done.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn set_resumed_counts_into_done_and_replaces() {
+        let p = Progress::new("t", 10);
+        p.set_resumed(4);
+        p.tick();
+        assert_eq!(p.done.load(Ordering::Relaxed), 5);
+        // Re-setting replaces the resumed contribution, not adds to it.
+        p.set_resumed(6);
+        assert_eq!(p.done.load(Ordering::Relaxed), 7);
+        assert_eq!(p.resumed.load(Ordering::Relaxed), 6);
     }
 
     #[test]

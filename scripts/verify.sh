@@ -32,6 +32,26 @@ cargo test -q --test parallel
 echo "==> repro fault-sweep --quick (reliability smoke point)"
 cargo run --release -q -p tut-bench --bin repro -- fault-sweep --quick
 
+echo "==> repro fault-sweep --quick --store (kill mid-write, resume, bit-identical)"
+# Crash drill: abort the sweep halfway through the third record's write
+# (a torn frame on disk), then resume. The resume must truncate the torn
+# tail, replay the 2 durable points, recompute the rest, and pass the
+# same pinned band as the uninterrupted smoke.
+store_dir=$(mktemp -d)
+trap 'rm -rf "$store_dir"' EXIT
+if TUT_STORE_KILL=store.torn:3:abort cargo run --release -q -p tut-bench --bin repro -- \
+    fault-sweep --quick --no-progress --store "$store_dir" 2> /dev/null; then
+    echo "repro fault-sweep --store: armed kill did not fire"; exit 1;
+fi
+resume_out=$(cargo run --release -q -p tut-bench --bin repro -- \
+    fault-sweep --quick --no-progress --store "$store_dir" --resume)
+if ! grep -q "resumed=2 total=5" <<< "$resume_out"; then
+    echo "repro fault-sweep --resume: expected resumed=2 total=5"; exit 1;
+fi
+if ! grep -q "within pinned band" <<< "$resume_out"; then
+    echo "repro fault-sweep --resume: resumed table left the pinned band"; exit 1;
+fi
+
 echo "==> repro bench --quick (throughput + calendar floors, parallel log identity)"
 bench_out=$(cargo run --release -q -p tut-bench --bin repro -- bench --quick)
 if ! grep -q "parallel single-run log identical to serial: true" <<< "$bench_out"; then

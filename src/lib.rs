@@ -18,6 +18,7 @@ pub use tut_profile as profile;
 pub use tut_profile_core as profile_core;
 pub use tut_profiling as profiling;
 pub use tut_sim as sim;
+pub use tut_store as store;
 pub use tut_trace as trace;
 pub use tut_uml as uml;
 pub use tutmac;
