@@ -476,6 +476,17 @@ fn print_bench(quick: bool, threads: usize, progress: bool) {
             );
             std::process::exit(1);
         }
+        // Scheduler pin: the SoA calendar queue must at least match the
+        // std binary heap on the hold-model microbench.
+        let q = &report.scheduler;
+        if q.calendar_events_per_sec() < q.heap_events_per_sec() {
+            eprintln!(
+                "[bench] calendar queue {:.0} events/sec below heap {:.0}",
+                q.calendar_events_per_sec(),
+                q.heap_events_per_sec(),
+            );
+            std::process::exit(1);
+        }
     }
     if quick {
         let rate = report.rate.events_per_sec();

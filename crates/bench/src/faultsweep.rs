@@ -177,7 +177,14 @@ pub fn run_sweep_observed(
 ) -> Result<Vec<SweepPoint>, ProfilingError> {
     // One thread budget for both layers: outer sweep workers first (one
     // per point at most), then the surplus as LP threads inside each run.
-    let budget = tut_explore::parallel::resolve_threads(threads);
+    // An oversubscribed budget (more workers than logical CPUs) only
+    // adds coordination cost for time-sliced "parallelism", so it falls
+    // back to the serial sweep instead.
+    let budget = if sweep_falls_back_to_serial(threads) {
+        1
+    } else {
+        tut_explore::parallel::resolve_threads(threads)
+    };
     let outer = budget.min(SWEEP_BERS.len()).max(1);
     let lp_threads = (budget / outer).max(1);
     if outer <= 1 {
@@ -219,6 +226,16 @@ pub fn run_sweep_observed(
         .into_iter()
         .map(|p| p.expect("every shard fills its slots"))
         .collect()
+}
+
+/// True when a sweep on `threads` workers would oversubscribe the host
+/// and [`run_sweep_threads`] therefore serves it with the serial sweep
+/// (recorded as `fallback: "serial"` in the bench's `sweep` block).
+pub fn sweep_falls_back_to_serial(threads: usize) -> bool {
+    let logical = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    tut_explore::parallel::resolve_threads(threads) > logical
 }
 
 /// Renders the reliability table.

@@ -16,7 +16,7 @@
 
 use std::time::Instant;
 
-use tut_sim::{EventQueue, QueueKind, SimConfig, Simulation};
+use tut_sim::{EventQueue, ParallelStats, QueueKind, SimConfig, Simulation};
 use tut_trace::{perf, Progress};
 
 use crate::faultsweep;
@@ -66,6 +66,14 @@ pub struct ParallelTiming {
     pub lookahead_ns: u64,
     /// True when every parallel log came out byte-identical to serial.
     pub log_identical: bool,
+    /// Adaptive safe windows the kernel took (coordinator rounds).
+    pub windows: u64,
+    /// Safe windows a fixed `lookahead_ns` march over the same event
+    /// stream would have taken — the coalescing baseline.
+    pub windows_fixed_step: u64,
+    /// Window batches exchanged with workers (one message per shard per
+    /// dispatched window; idle shards are skipped).
+    pub batches: u64,
 }
 
 impl ParallelTiming {
@@ -75,6 +83,16 @@ impl ParallelTiming {
             0.0
         } else {
             self.serial_s / self.parallel_s
+        }
+    }
+
+    /// `windows_fixed_step / windows`: fixed-lookahead windows one
+    /// adaptive window replaced on average.
+    pub fn coalescing_factor(&self) -> f64 {
+        if self.windows == 0 {
+            0.0
+        } else {
+            self.windows_fixed_step as f64 / self.windows as f64
         }
     }
 }
@@ -89,6 +107,9 @@ pub struct SchedulerTiming {
     pub heap_s: f64,
     /// Calendar-queue wall-clock (seconds).
     pub calendar_s: f64,
+    /// Smallest probed hold-model size where the calendar queue matched
+    /// the heap (`None` when it never did, including at `events`).
+    pub crossover_events: Option<u64>,
 }
 
 impl SchedulerTiming {
@@ -136,6 +157,9 @@ pub struct SweepTiming {
     pub threads: usize,
     /// Worker threads the caller asked for before clamping.
     pub requested_threads: usize,
+    /// `Some("serial")` when the request oversubscribed the host and
+    /// the sweep was served by the serial path instead.
+    pub fallback: Option<&'static str>,
 }
 
 impl SweepTiming {
@@ -288,14 +312,18 @@ pub fn measure_parallel_single_observed(
 
     let mut parallel_s = f64::INFINITY;
     let mut log_identical = true;
+    let mut stats = ParallelStats::default();
     for _ in 0..repeats.max(1) {
         let _span = perf::enter_named("bench.single_parallel");
         let sim = build();
         let started = Instant::now();
-        let report = sim.run_parallel(threads).expect("parallel bench run");
+        let (report, run_stats) = sim.run_parallel_stats(threads).expect("parallel bench run");
         parallel_s = parallel_s.min(started.elapsed().as_secs_f64());
         progress.tick();
         log_identical &= report.log.to_text() == serial_log;
+        // The kernel is deterministic, so every repeat reports the same
+        // window counts; keep the last.
+        stats = run_stats;
     }
 
     ParallelTiming {
@@ -306,6 +334,9 @@ pub fn measure_parallel_single_observed(
         lps: plan.occupied_lps,
         lookahead_ns: plan.lookahead_ns,
         log_identical,
+        windows: stats.windows,
+        windows_fixed_step: stats.windows_fixed_step,
+        batches: stats.batches,
     }
 }
 
@@ -321,37 +352,68 @@ pub fn measure_scheduler(events: u64) -> SchedulerTiming {
 pub fn measure_scheduler_observed(events: u64, progress: &Progress) -> SchedulerTiming {
     let time = |kind: QueueKind| -> f64 {
         let _span = perf::enter_named("bench.scheduler");
-        // SplitMix64: the same deterministic increment stream for both
-        // disciplines, so the comparison is apples to apples.
-        let mut state = 0x9E37_79B9_7F4A_7C15u64;
-        let mut next = move || {
-            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-            let mut z = state;
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            z ^ (z >> 31)
-        };
-        let mut queue: EventQueue<u32> = EventQueue::new(kind);
-        let mut seq = 0u64;
-        let started = Instant::now();
-        for i in 0..4096u32 {
-            queue.push(next() % 1_000_000, seq, i);
-            seq += 1;
-        }
-        for _ in 0..events {
-            let (now_ns, _, item) = queue.pop().expect("hold model never drains");
-            queue.push(now_ns + 1 + next() % 50_000, seq, item);
-            seq += 1;
-        }
-        let wall_s = started.elapsed().as_secs_f64();
+        let wall_s = hold_model_time(kind, events);
         progress.tick();
         wall_s
     };
+    let heap_s = time(QueueKind::Heap);
+    let calendar_s = time(QueueKind::Calendar);
+    // Crossover probe: walk a doubling ladder of smaller hold-model
+    // sizes and record the first where the calendar matches the heap
+    // (best-of-3 per side, the sizes are tiny). The main measurement
+    // above settles the ladder's top rung.
+    let mut crossover_events = None;
+    for size in [1_000u64, 4_000, 16_000, 64_000] {
+        if size >= events {
+            break;
+        }
+        let best = |kind: QueueKind| -> f64 {
+            (0..3)
+                .map(|_| hold_model_time(kind, size))
+                .fold(f64::INFINITY, f64::min)
+        };
+        if best(QueueKind::Calendar) <= best(QueueKind::Heap) {
+            crossover_events = Some(size);
+            break;
+        }
+    }
+    if crossover_events.is_none() && calendar_s <= heap_s {
+        crossover_events = Some(events);
+    }
     SchedulerTiming {
         events,
-        heap_s: time(QueueKind::Heap),
-        calendar_s: time(QueueKind::Calendar),
+        heap_s,
+        calendar_s,
+        crossover_events,
     }
+}
+
+/// One timed hold-model pass (pop one, push one, at steady state) of
+/// `events` operations through `kind`.
+fn hold_model_time(kind: QueueKind, events: u64) -> f64 {
+    // SplitMix64: the same deterministic increment stream for both
+    // disciplines, so the comparison is apples to apples.
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut queue: EventQueue<u32> = EventQueue::new(kind);
+    let mut seq = 0u64;
+    let started = Instant::now();
+    for i in 0..4096u32 {
+        queue.push(next() % 1_000_000, seq, i);
+        seq += 1;
+    }
+    for _ in 0..events {
+        let (now_ns, _, item) = queue.pop().expect("hold model never drains");
+        queue.push(now_ns + 1 + next() % 50_000, seq, item);
+        seq += 1;
+    }
+    started.elapsed().as_secs_f64()
 }
 
 /// Times the fault sweep serial and on `threads` workers
@@ -377,9 +439,13 @@ pub fn measure_sweep_observed(
     let started = Instant::now();
     let serial = faultsweep::run_sweep_observed(&config, 1, progress).expect("serial sweep");
     let serial_s = started.elapsed().as_secs_f64();
+    // The parallel pass gets the raw request: an oversubscribed ask is
+    // served by the sweep's own serial fallback, and that is what gets
+    // timed and recorded.
+    let fallback = faultsweep::sweep_falls_back_to_serial(requested_threads).then_some("serial");
     let started = Instant::now();
-    let parallel =
-        faultsweep::run_sweep_observed(&config, threads, progress).expect("parallel sweep");
+    let parallel = faultsweep::run_sweep_observed(&config, requested_threads, progress)
+        .expect("parallel sweep");
     let parallel_s = started.elapsed().as_secs_f64();
     assert_eq!(parallel, serial, "parallel sweep must match serial");
     SweepTiming {
@@ -387,8 +453,9 @@ pub fn measure_sweep_observed(
         points: faultsweep::SWEEP_BERS.len(),
         serial_s,
         parallel_s,
-        threads: tut_explore::parallel::resolve_threads(threads),
+        threads: if fallback.is_some() { 1 } else { threads },
         requested_threads,
+        fallback,
     }
 }
 
@@ -475,20 +542,34 @@ pub fn render(report: &BenchReport) -> String {
         p.speedup(),
     ));
     out.push_str(&format!(
-        "parallel single-run log identical to serial: {}\n",
+        "parallel single-run log_identical={}\n",
         p.log_identical,
     ));
-    let q = &report.scheduler;
     out.push_str(&format!(
-        "scheduler hold-model ({} events): heap {:.1} ms, calendar {:.1} ms -> calendar {:.0} events/sec ({:.2}x vs heap)\n",
+        "coalescing: {} fixed-step windows -> {} adaptive windows ({:.0}x), {} batches\n",
+        p.windows_fixed_step,
+        p.windows,
+        p.coalescing_factor(),
+        p.batches,
+    ));
+    let q = &report.scheduler;
+    let crossover_note = match q.crossover_events {
+        Some(n) => format!(", crossover at {n} events"),
+        None => String::from(", no crossover"),
+    };
+    out.push_str(&format!(
+        "scheduler hold-model ({} events): heap {:.1} ms, calendar {:.1} ms -> calendar {:.0} events/sec ({:.2}x vs heap{})\n",
         q.events,
         q.heap_s * 1e3,
         q.calendar_s * 1e3,
         q.calendar_events_per_sec(),
         q.calendar_speedup(),
+        crossover_note,
     ));
     if let Some(s) = &report.sweep {
-        let clamp_note = if s.oversubscribed() {
+        let clamp_note = if s.fallback.is_some() {
+            format!(" (requested {}, serial fallback)", s.requested_threads)
+        } else if s.oversubscribed() {
             format!(" (requested {}, clamped to host)", s.requested_threads)
         } else {
             String::new()
@@ -511,7 +592,7 @@ pub fn render(report: &BenchReport) -> String {
 /// (hand-rolled JSON; the workspace has no serde).
 pub fn to_json(report: &BenchReport) -> String {
     let r = &report.rate;
-    let mut out = String::from("{\n  \"schema\": \"tut-bench/sim/v3\",\n");
+    let mut out = String::from("{\n  \"schema\": \"tut-bench/sim/v4\",\n");
     out.push_str(&format!(
         "  \"host\": {{\n    \"logical_cpus\": {},\n    \"threads\": {}\n  }},\n",
         report.host.logical_cpus, report.host.threads,
@@ -536,18 +617,37 @@ pub fn to_json(report: &BenchReport) -> String {
         p.log_identical,
         p.speedup(),
     ));
-    let q = &report.scheduler;
     out.push_str(&format!(
-        "  \"scheduler\": {{\n    \"events\": {},\n    \"heap_s\": {:.6},\n    \"calendar_s\": {:.6},\n    \"heap_events_per_sec\": {:.1},\n    \"calendar_events_per_sec\": {:.1}\n  }}",
+        "  \"window_batching\": {{\n    \"threads\": {},\n    \"windows\": {},\n    \"batches\": {}\n  }},\n",
+        p.threads, p.windows, p.batches,
+    ));
+    out.push_str(&format!(
+        "  \"coalescing\": {{\n    \"windows_before\": {},\n    \"windows_after\": {},\n    \"factor\": {:.1}\n  }},\n",
+        p.windows_fixed_step,
+        p.windows,
+        p.coalescing_factor(),
+    ));
+    let q = &report.scheduler;
+    let crossover = match q.crossover_events {
+        Some(n) => n.to_string(),
+        None => String::from("null"),
+    };
+    out.push_str(&format!(
+        "  \"scheduler\": {{\n    \"events\": {},\n    \"heap_s\": {:.6},\n    \"calendar_s\": {:.6},\n    \"heap_events_per_sec\": {:.1},\n    \"calendar_events_per_sec\": {:.1},\n    \"crossover_events\": {}\n  }}",
         q.events,
         q.heap_s,
         q.calendar_s,
         q.heap_events_per_sec(),
         q.calendar_events_per_sec(),
+        crossover,
     ));
     if let Some(s) = &report.sweep {
+        let fallback = match s.fallback {
+            Some(reason) => format!("\"{reason}\""),
+            None => String::from("null"),
+        };
         out.push_str(&format!(
-            ",\n  \"sweep\": {{\n    \"horizon_ns\": {},\n    \"points\": {},\n    \"serial_s\": {:.6},\n    \"parallel_s\": {:.6},\n    \"threads\": {},\n    \"requested_threads\": {},\n    \"oversubscribed\": {},\n    \"speedup\": {:.3}\n  }}",
+            ",\n  \"sweep\": {{\n    \"horizon_ns\": {},\n    \"points\": {},\n    \"serial_s\": {:.6},\n    \"parallel_s\": {:.6},\n    \"threads\": {},\n    \"requested_threads\": {},\n    \"oversubscribed\": {},\n    \"fallback\": {},\n    \"speedup\": {:.3}\n  }}",
             s.horizon_ns,
             s.points,
             s.serial_s,
@@ -555,6 +655,7 @@ pub fn to_json(report: &BenchReport) -> String {
             s.threads,
             s.requested_threads,
             s.oversubscribed(),
+            fallback,
             s.speedup(),
         ));
     }
@@ -584,11 +685,15 @@ mod tests {
                 lps: 2,
                 lookahead_ns: 1000,
                 log_identical: true,
+                windows: 100,
+                windows_fixed_step: 1000,
+                batches: 150,
             },
             scheduler: SchedulerTiming {
                 events: 1000,
                 heap_s: 0.002,
                 calendar_s: 0.001,
+                crossover_events: Some(1000),
             },
             sweep: Some(SweepTiming {
                 horizon_ns: 1_000_000,
@@ -597,6 +702,7 @@ mod tests {
                 parallel_s: 0.3,
                 threads: 2,
                 requested_threads: 4,
+                fallback: None,
             }),
             host: HostInfo {
                 logical_cpus: 8,
@@ -627,6 +733,7 @@ mod tests {
             parallel_s: 1.0,
             threads: 2,
             requested_threads: 2,
+            fallback: None,
         };
         assert!((s.speedup() - 2.0).abs() < 1e-12);
         assert!(!s.oversubscribed());
@@ -680,7 +787,7 @@ mod tests {
         let json = tut_trace::json::parse(&text).expect("valid JSON");
         assert_eq!(
             json.get("schema").and_then(tut_trace::json::Json::as_str),
-            Some("tut-bench/sim/v3"),
+            Some("tut-bench/sim/v4"),
         );
         assert!(json
             .get("tutmac")
@@ -696,16 +803,43 @@ mod tests {
             parallel.get("lps").and_then(tut_trace::json::Json::as_f64),
             Some(2.0),
         );
+        let batching = json.get("window_batching").expect("window_batching block");
+        assert_eq!(
+            batching
+                .get("batches")
+                .and_then(tut_trace::json::Json::as_f64),
+            Some(150.0),
+        );
+        let coalescing = json.get("coalescing").expect("coalescing block");
+        assert_eq!(
+            coalescing
+                .get("windows_before")
+                .and_then(tut_trace::json::Json::as_f64),
+            Some(1000.0),
+        );
+        assert_eq!(
+            coalescing
+                .get("factor")
+                .and_then(tut_trace::json::Json::as_f64),
+            Some(10.0),
+        );
         let scheduler = json.get("scheduler").expect("scheduler block");
         assert!(scheduler
             .get("calendar_events_per_sec")
             .and_then(tut_trace::json::Json::as_f64)
             .is_some());
+        assert_eq!(
+            scheduler
+                .get("crossover_events")
+                .and_then(tut_trace::json::Json::as_f64),
+            Some(1000.0),
+        );
         let sweep = json.get("sweep").expect("sweep block");
         assert_eq!(
             sweep.get("oversubscribed"),
             Some(&tut_trace::json::Json::Bool(true)),
         );
+        assert_eq!(sweep.get("fallback"), Some(&tut_trace::json::Json::Null));
         assert_eq!(
             sweep
                 .get("requested_threads")

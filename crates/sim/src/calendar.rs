@@ -15,6 +15,17 @@
 //!   cost is O(1) per operation. Payloads live in a slab so bucket
 //!   entries stay small and `Copy`.
 //!
+//! The calendar's buckets are **structure-of-arrays**: a dense `times`
+//! vector searched on its own cache lines, with a parallel `(seq, event)`
+//! vector carrying the tie-break and the payload, both sorted ascending
+//! by `(time, seq)` behind a `head` cursor. The hot hold pattern — push a
+//! little ahead of now, pop the minimum — then appends at the tail and
+//! pops at the head in O(1), and a search never drags payload bytes
+//! through the cache. Width adaptation is incremental: every pop feeds an
+//! EWMA of the observed inter-event gap, and both the periodic resizes
+//! and the bucket-skew trigger (a burst that piles into one bucket) reuse
+//! that estimate instead of re-sampling the whole queue.
+//!
 //! Both kinds pop the *identical* sequence for the same pushes — pinned
 //! by tests and by the engine's byte-identical-log property tests.
 
@@ -24,8 +35,8 @@ use std::collections::BinaryHeap;
 /// Which future-event-set implementation a simulation uses.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum QueueKind {
-    /// Calendar queue with slab-allocated events (default: O(1) amortised
-    /// hold operations on the simulation hot path).
+    /// Calendar queue with structure-of-arrays buckets (default: O(1)
+    /// amortised hold operations on the simulation hot path).
     #[default]
     Calendar,
     /// Binary min-heap (`BinaryHeap<Reverse<_>>`), the reference
@@ -69,65 +80,190 @@ impl<T> Ord for HeapEntry<T> {
     }
 }
 
-/// One calendar bucket entry: the ordering key plus the payload's slab
-/// slot. `Copy`, so bucket maintenance moves 20 bytes, never the event.
-#[derive(Clone, Copy, Debug)]
-struct BucketEntry {
-    time_ns: u64,
-    seq: u64,
-    slot: u32,
+/// One calendar bucket: a contiguous `times` vector searched on its own
+/// cache lines, with a parallel `(seq, payload)` vector, both sorted
+/// **ascending** by `(time, seq)` behind a `head` cursor. The hold
+/// pattern's monotone pushes append at the tail in O(1) — including a
+/// same-timestamp burst, whose rising seqs are always the bucket tail —
+/// the minimum pops in O(1) by advancing `head`, and a push below the
+/// minimum reuses the dead slot in front of `head` in O(1). Only a
+/// genuine mid-bucket insert pays a memmove, and the dead prefix is
+/// compacted amortised-O(1) once it dominates the vector.
+#[derive(Clone, Debug)]
+struct Bucket<T> {
+    /// Index of the bucket minimum; everything before it is dead.
+    head: usize,
+    times: Vec<u64>,
+    entries: Vec<(u64, T)>,
 }
 
-impl BucketEntry {
-    #[inline]
-    fn key(&self) -> (u64, u64) {
-        (self.time_ns, self.seq)
+impl<T> Default for Bucket<T> {
+    fn default() -> Self {
+        Bucket {
+            head: 0,
+            times: Vec::new(),
+            entries: Vec::new(),
+        }
     }
 }
 
-/// A calendar queue over slab-allocated payloads.
+impl<T: Clone> Bucket<T> {
+    #[inline]
+    fn live(&self) -> usize {
+        self.times.len() - self.head
+    }
+
+    /// Minimum `(time, seq)` key, if any.
+    #[inline]
+    fn first_key(&self) -> Option<(u64, u64)> {
+        self.times
+            .get(self.head)
+            .map(|&t| (t, self.entries[self.head].0))
+    }
+
+    /// Inserts keeping ascending `(time, seq)` order; returns how many
+    /// entries had to shift (0 for the tail-append and head-slot paths).
+    fn insert(&mut self, time_ns: u64, seq: u64, item: T) -> usize {
+        let len = self.times.len();
+        if len == self.head {
+            // Live part empty: drop any dead prefix and start over.
+            self.times.clear();
+            self.entries.clear();
+            self.head = 0;
+            self.times.push(time_ns);
+            self.entries.push((seq, item));
+            return 0;
+        }
+        // Hold-pattern fast path: not earlier than the current tail.
+        if (self.times[len - 1], self.entries[len - 1].0) < (time_ns, seq) {
+            self.times.push(time_ns);
+            self.entries.push((seq, item));
+            return 0;
+        }
+        let mut pos = self.head + self.times[self.head..].partition_point(|&t| t < time_ns);
+        while pos < len && self.times[pos] == time_ns && self.entries[pos].0 < seq {
+            pos += 1;
+        }
+        if pos == self.head && self.head > 0 {
+            // New bucket minimum: reuse the dead slot in front of head.
+            self.head -= 1;
+            self.times[self.head] = time_ns;
+            self.entries[self.head] = (seq, item);
+            return 0;
+        }
+        self.times.insert(pos, time_ns);
+        self.entries.insert(pos, (seq, item));
+        len - pos
+    }
+
+    /// Removes and returns the minimum by advancing the head cursor.
+    fn pop_min(&mut self) -> (u64, u64, T) {
+        let time_ns = self.times[self.head];
+        let (seq, item) = self.entries[self.head].clone();
+        self.head += 1;
+        if self.head == self.times.len() {
+            self.times.clear();
+            self.entries.clear();
+            self.head = 0;
+        } else if self.head >= 32 && 2 * self.head >= self.times.len() {
+            // Dead prefix dominates: compact (amortised O(1) per pop).
+            self.times.drain(..self.head);
+            self.entries.drain(..self.head);
+            self.head = 0;
+        }
+        (time_ns, seq, item)
+    }
+
+    /// Moves every live entry out, clearing the bucket.
+    fn drain_into(&mut self, out: &mut Vec<(u64, u64, T)>) {
+        for (time_ns, (seq, item)) in self
+            .times
+            .drain(self.head..)
+            .zip(self.entries.drain(self.head..))
+        {
+            out.push((time_ns, seq, item));
+        }
+        self.times.clear();
+        self.entries.clear();
+        self.head = 0;
+    }
+}
+
+/// A calendar queue with SoA buckets and inline payloads.
 ///
-/// Buckets are kept sorted **descending** by `(time_ns, seq)` so the
-/// bucket minimum is `last()` and popping it is O(1). The cursor walks
-/// "virtual bucket numbers" (`time / width`), so events pushed behind
-/// the cursor (same simulated time, later insertion) simply pull the
-/// cursor back — order stays exact.
+/// The cursor walks "virtual bucket numbers" (`time / width`), so events
+/// pushed behind the cursor (same simulated time, later insertion)
+/// simply pull the cursor back — order stays exact.
 #[derive(Clone, Debug)]
 pub struct CalendarQueue<T> {
-    /// Payload slab; bucket entries point into it.
-    slab: Vec<Option<T>>,
-    /// Free slots of `slab`.
-    free: Vec<u32>,
     /// Power-of-two bucket array.
-    buckets: Vec<Vec<BucketEntry>>,
+    buckets: Vec<Bucket<T>>,
     /// `buckets.len() - 1`.
     mask: u64,
-    /// Bucket ("day") width in nanoseconds.
-    width_ns: u64,
+    /// Bucket ("day") width as a power-of-two shift: a day spans
+    /// `1 << width_shift` ns, so the day of a timestamp is a shift, not
+    /// a division, on the hot path.
+    width_shift: u32,
     /// Virtual bucket number the pop cursor is on (`time / width`).
     vcur: u64,
     len: usize,
+    /// Smoothed inter-event gap observed at pops (ns, >= 1); the
+    /// incremental signal the width adaptation feeds on. Measured as the
+    /// mean over [`GAP_WINDOW`]-pop windows — pop times are globally
+    /// nondecreasing, so a window mean is one subtraction, and unlike a
+    /// per-pop EWMA it cannot be dragged to zero by a run of ties.
+    gap_ewma_ns: u64,
+    /// Pops observed in the current measurement window.
+    gap_window_pops: u32,
+    /// Pop time that opened the current measurement window.
+    gap_window_start_ns: u64,
+    /// Operations since the last resize; re-adaptations are rationed to
+    /// at most one per population's worth of traffic so resize work
+    /// stays amortised O(1).
+    ops_since_resize: u64,
+    /// Total entry shifts paid by mid-bucket inserts (the linear-scan
+    /// pathology this structure is designed to avoid); pinned by the
+    /// same-timestamp regression test.
+    shift_ops: u64,
+    /// Total geometry rebuilds (diagnostics; resizes must stay rare).
+    resizes: u64,
+    /// Reused drain buffer for resizes (no allocation at steady state).
+    scratch: Vec<(u64, u64, T)>,
 }
 
 const MIN_BUCKETS: usize = 4;
 
-impl<T> Default for CalendarQueue<T> {
+/// Pops per inter-event-gap measurement window.
+const GAP_WINDOW: u32 = 32;
+
+/// Target mean entries per bucket after a resize. A handful per bucket
+/// (rather than Brown's ~1) keeps the bucket array — and its resident
+/// cache footprint — 4x smaller, while a mid-bucket insert still only
+/// memmoves a few 16-byte entries.
+const ENTRIES_PER_BUCKET: usize = 4;
+
+impl<T: Clone> Default for CalendarQueue<T> {
     fn default() -> Self {
         CalendarQueue::new()
     }
 }
 
-impl<T> CalendarQueue<T> {
+impl<T: Clone> CalendarQueue<T> {
     /// An empty queue with the initial bucket geometry.
     pub fn new() -> CalendarQueue<T> {
         CalendarQueue {
-            slab: Vec::new(),
-            free: Vec::new(),
-            buckets: vec![Vec::new(); MIN_BUCKETS],
+            buckets: (0..MIN_BUCKETS).map(|_| Bucket::default()).collect(),
             mask: MIN_BUCKETS as u64 - 1,
-            width_ns: 1_024,
+            width_shift: 10,
             vcur: 0,
             len: 0,
+            gap_ewma_ns: 0,
+            gap_window_pops: 0,
+            gap_window_start_ns: 0,
+            ops_since_resize: 0,
+            shift_ops: 0,
+            resizes: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -141,121 +277,199 @@ impl<T> CalendarQueue<T> {
         self.len == 0
     }
 
+    /// Total entry shifts mid-bucket inserts have paid so far — the
+    /// work a same-timestamp burst would degrade into without skew
+    /// re-adaptation. Exposed for regression tests and benches.
+    pub fn shift_ops(&self) -> u64 {
+        self.shift_ops
+    }
+
+    /// Total geometry rebuilds so far. Resizes are rationed by the
+    /// ops-since-resize cooldown, so this must stay far below the
+    /// operation count; exposed for regression tests and benches.
+    pub fn resizes(&self) -> u64 {
+        self.resizes
+    }
+
     #[inline]
     fn bucket_of(&self, time_ns: u64) -> usize {
-        ((time_ns / self.width_ns) & self.mask) as usize
+        ((time_ns >> self.width_shift) & self.mask) as usize
+    }
+
+    /// End of virtual day `vb`, saturating at the top of the range.
+    #[inline]
+    fn day_end(&self, vb: u64) -> u64 {
+        let next = vb + 1;
+        if next > (u64::MAX >> self.width_shift) {
+            u64::MAX
+        } else {
+            next << self.width_shift
+        }
     }
 
     /// Inserts an event. `(time_ns, seq)` pairs must be unique (the
     /// engine's global insertion sequence guarantees it).
     pub fn push(&mut self, time_ns: u64, seq: u64, item: T) {
-        let slot = match self.free.pop() {
-            Some(slot) => {
-                self.slab[slot as usize] = Some(item);
-                slot
-            }
-            None => {
-                let slot = u32::try_from(self.slab.len()).expect("calendar slab overflow");
-                self.slab.push(Some(item));
-                slot
-            }
-        };
-        let entry = BucketEntry { time_ns, seq, slot };
         let index = self.bucket_of(time_ns);
-        let bucket = &mut self.buckets[index];
-        // Descending order: find the first element <= entry and insert
-        // before it. Buckets are short (the resize policy keeps the load
-        // factor ~1), so this is a handful of comparisons.
-        let pos = bucket.partition_point(|e| e.key() > entry.key());
-        bucket.insert(pos, entry);
+        let shifted = self.buckets[index].insert(time_ns, seq, item);
+        self.shift_ops += shifted as u64;
         self.len += 1;
+        self.ops_since_resize += 1;
         // An event earlier than the cursor's day pulls the cursor back.
-        let vb = time_ns / self.width_ns;
+        let vb = time_ns >> self.width_shift;
         if vb < self.vcur {
             self.vcur = vb;
         }
-        if self.len > 2 * self.buckets.len() {
+        if self.len > 2 * ENTRIES_PER_BUCKET * self.buckets.len() {
+            self.resize();
+        } else if shifted > 8 && self.skewed(index) {
+            // A burst piled into one bucket and mid-bucket inserts are
+            // paying linear shifts: re-adapt the geometry now instead of
+            // waiting for the next population threshold.
             self.resize();
         }
+    }
+
+    /// Whether `index` holds an outsized share of the population and
+    /// enough traffic has passed since the last resize (the cooldown
+    /// keeps an un-splittable burst — identical timestamps — from
+    /// resizing on every push).
+    fn skewed(&self, index: usize) -> bool {
+        let live = self.buckets[index].live();
+        live >= 8 * ENTRIES_PER_BUCKET
+            && live * self.buckets.len() >= 4 * self.len
+            && self.ops_since_resize >= self.len as u64 / 2
+    }
+
+    /// Whether the incrementally observed inter-event gap has drifted
+    /// far enough from the current day width that the geometry is stale
+    /// (a steady-state population never crosses the len thresholds, so
+    /// this is what keeps the width honest after the warm-up spread).
+    fn width_stale(&self) -> bool {
+        if self.gap_ewma_ns == 0 || self.ops_since_resize < self.len as u64 {
+            return false;
+        }
+        let width = 1u64 << self.width_shift;
+        let target = self.width_target();
+        width > 4 * target || 4 * width < target
+    }
+
+    /// Ideal day width from the gap estimate: a day should hold about
+    /// [`ENTRIES_PER_BUCKET`] gap-sized strides (min 1 ns). Both
+    /// [`Self::resize`] and the staleness check use this, so they can
+    /// never disagree about the geometry they want.
+    fn width_target(&self) -> u64 {
+        (2 * ENTRIES_PER_BUCKET as u64 * self.gap_ewma_ns).max(1)
     }
 
     /// Removes and returns the earliest event by `(time_ns, seq)`.
     pub fn pop(&mut self) -> Option<(u64, u64, T)> {
         if self.len == 0 {
+            self.gap_window_pops = 0;
             return None;
         }
         let nbuckets = self.buckets.len() as u64;
         for vb in self.vcur..=self.vcur.saturating_add(nbuckets) {
             let index = (vb & self.mask) as usize;
-            if let Some(&entry) = self.buckets[index].last() {
+            if let Some((time_ns, _)) = self.buckets[index].first_key() {
                 // Within this bucket's current "day"?
-                let day_end = (vb + 1).saturating_mul(self.width_ns);
-                if entry.time_ns < day_end {
-                    self.buckets[index].pop();
+                if time_ns < self.day_end(vb) {
                     self.vcur = vb;
-                    return Some(self.take(entry));
+                    let (t, s, item) = self.buckets[index].pop_min();
+                    return Some(self.note_pop(t, s, item));
                 }
             }
         }
         // A full year passed with no event in its day: the set is sparse
         // relative to the current geometry. Find the global minimum
-        // directly (each bucket's minimum is its tail) and jump to it.
-        let entry = self
+        // directly (each bucket's minimum is its head) and jump to it.
+        let (index, _) = self
             .buckets
             .iter()
-            .filter_map(|b| b.last().copied())
-            .min_by_key(BucketEntry::key)
+            .enumerate()
+            .filter_map(|(i, b)| b.first_key().map(|key| (i, key)))
+            .min_by_key(|&(_, key)| key)
             .expect("len > 0 means some bucket is non-empty");
-        let index = self.bucket_of(entry.time_ns);
-        self.buckets[index].pop();
-        self.vcur = entry.time_ns / self.width_ns;
-        Some(self.take(entry))
+        let (t, s, item) = self.buckets[index].pop_min();
+        self.vcur = t >> self.width_shift;
+        Some(self.note_pop(t, s, item))
     }
 
-    fn take(&mut self, entry: BucketEntry) -> (u64, u64, T) {
+    fn note_pop(&mut self, time_ns: u64, seq: u64, item: T) -> (u64, u64, T) {
         self.len -= 1;
-        let item = self.slab[entry.slot as usize]
-            .take()
-            .expect("bucket entry points at a live slot");
-        self.free.push(entry.slot);
-        if self.len < self.buckets.len() / 4 && self.buckets.len() > MIN_BUCKETS {
+        // Incremental width signal: windowed mean of the head's gap.
+        if self.gap_window_pops == 0 {
+            self.gap_window_start_ns = time_ns;
+        }
+        self.gap_window_pops += 1;
+        if self.gap_window_pops > GAP_WINDOW {
+            let mean = ((time_ns - self.gap_window_start_ns) / GAP_WINDOW as u64).max(1);
+            self.gap_ewma_ns = if self.gap_ewma_ns == 0 {
+                mean
+            } else {
+                (self.gap_ewma_ns + mean) / 2
+            };
+            self.gap_window_pops = 0;
+        }
+        self.ops_since_resize += 1;
+        if (self.len < self.buckets.len() && self.buckets.len() > MIN_BUCKETS) || self.width_stale()
+        {
             self.resize();
         }
-        (entry.time_ns, entry.seq, item)
+        (time_ns, seq, item)
     }
 
     /// Rebuilds the calendar with a bucket count proportional to the
-    /// population and a day width matched to the observed inter-event
-    /// gap near the head (Brown's adaptation, deterministic variant).
+    /// population and a day width from the incremental gap estimate
+    /// (falling back to a deterministic span sample when no pops have
+    /// been observed yet) — Brown's adaptation without the re-sampling
+    /// pass on the hot path. Entries move through a reused scratch
+    /// buffer and are re-sorted per destination bucket (a handful of
+    /// entries each), never globally.
     fn resize(&mut self) {
-        let mut entries: Vec<BucketEntry> = Vec::with_capacity(self.len);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
         for bucket in &mut self.buckets {
-            entries.append(bucket);
+            bucket.drain_into(&mut scratch);
         }
-        // Ascending (time, seq).
-        entries.sort_unstable_by_key(BucketEntry::key);
 
-        let nbuckets = self.len.next_power_of_two().max(MIN_BUCKETS);
-        // Average gap over the first events (the ones about to be
-        // popped), doubled so a day holds ~2 events; min 1 ns.
-        let sample = entries.len().min(64);
-        let width_ns = if sample >= 2 {
-            let span = entries[sample - 1].time_ns - entries[0].time_ns;
-            (2 * span / (sample as u64 - 1)).max(1)
+        let nbuckets = (self.len / ENTRIES_PER_BUCKET)
+            .next_power_of_two()
+            .max(MIN_BUCKETS);
+        // Day width from the incremental gap estimate, rounded up to a
+        // power of two so day lookups stay shifts; before any pops have
+        // been observed, fall back to the population's observed span.
+        let target_ns = if self.gap_ewma_ns > 0 {
+            self.width_target()
+        } else if scratch.len() >= 2 {
+            let min = scratch.iter().map(|e| e.0).min().expect("non-empty");
+            let max = scratch.iter().map(|e| e.0).max().expect("non-empty");
+            (2 * ENTRIES_PER_BUCKET as u64 * (max - min) / scratch.len() as u64).max(1)
         } else {
-            self.width_ns
+            1u64 << self.width_shift
         };
+        let width_shift = 63 - target_ns.next_power_of_two().min(1 << 62).leading_zeros();
 
-        self.buckets = vec![Vec::new(); nbuckets];
-        self.mask = nbuckets as u64 - 1;
-        self.width_ns = width_ns;
-        self.vcur = entries.first().map_or(0, |e| e.time_ns / width_ns);
-        // Distribute in descending order so each bucket's vec stays
-        // sorted descending with plain appends.
-        for entry in entries.into_iter().rev() {
-            let index = ((entry.time_ns / width_ns) & self.mask) as usize;
-            self.buckets[index].push(entry);
+        if self.buckets.len() != nbuckets {
+            self.buckets = (0..nbuckets).map(|_| Bucket::default()).collect();
+            self.mask = nbuckets as u64 - 1;
         }
+        self.width_shift = width_shift;
+        self.vcur = scratch
+            .iter()
+            .map(|e| e.0 >> width_shift)
+            .min()
+            .unwrap_or(0);
+        self.ops_since_resize = 0;
+        self.resizes += 1;
+        // Each destination bucket re-sorts its handful of entries via
+        // ordered insert; resize shuffling is not a hot-path shift, so
+        // it stays out of `shift_ops`.
+        for (time_ns, seq, item) in scratch.drain(..) {
+            let index = ((time_ns >> width_shift) & self.mask) as usize;
+            self.buckets[index].insert(time_ns, seq, item);
+        }
+        self.scratch = scratch;
     }
 }
 
@@ -437,9 +651,9 @@ mod tests {
     }
 
     #[test]
-    fn slab_slots_are_recycled() {
+    fn bucket_storage_stays_bounded_across_hold_rounds() {
         let mut cal: CalendarQueue<u32> = CalendarQueue::new();
-        for round in 0..10u64 {
+        for round in 0..1_000u64 {
             for i in 0..8u64 {
                 cal.push(round * 100 + i, round * 8 + i, i as u32);
             }
@@ -447,7 +661,93 @@ mod tests {
                 cal.pop().unwrap();
             }
         }
-        // 8 live events at a time -> the slab never needs more slots.
-        assert!(cal.slab.len() <= 8, "slab grew to {}", cal.slab.len());
+        // 8 live events at a time -> the geometry and its allocations
+        // must not grow with the number of rounds.
+        assert!(
+            cal.buckets.len() <= 64,
+            "bucket array grew to {}",
+            cal.buckets.len()
+        );
+        let capacity: usize = cal.buckets.iter().map(|b| b.times.capacity()).sum();
+        assert!(capacity <= 4_096, "bucket capacity grew to {capacity}");
+    }
+
+    /// The resize pathology the skew trigger fixes: a burst of events at
+    /// one timestamp, pushed *behind* an existing spread that shares its
+    /// bucket, used to pay a linear shift per insert. With skew-triggered
+    /// re-adaptation the total shift work stays near-constant instead of
+    /// quadratic in the burst size.
+    #[test]
+    fn same_timestamp_burst_does_not_degrade_to_linear_scans() {
+        let mut cal: CalendarQueue<u64> = CalendarQueue::new();
+        let mut seq = 0u64;
+        // A spread population that fixes a wide day geometry.
+        for i in 0..256u64 {
+            cal.push(i * 10_000, seq, seq);
+            seq += 1;
+        }
+        // Now a same-timestamp burst early in the range: every entry maps
+        // to one bucket, behind later-day entries sharing it.
+        for _ in 0..2_000u64 {
+            cal.push(5_000, seq, seq);
+            seq += 1;
+        }
+        let shifts = cal.shift_ops();
+        // Quadratic degradation would pay ~2M shifts here; the skew
+        // trigger keeps it around the cost of a couple of re-adaptations.
+        assert!(
+            shifts < 50_000,
+            "same-timestamp burst paid {shifts} entry shifts"
+        );
+        // And the order contract still holds through the pathology.
+        let mut heap: EventQueue<u64> = EventQueue::new(QueueKind::Heap);
+        let mut expect = 0u64;
+        for i in 0..256u64 {
+            heap.push(i * 10_000, expect, expect);
+            expect += 1;
+        }
+        for _ in 0..2_000u64 {
+            heap.push(5_000, expect, expect);
+            expect += 1;
+        }
+        loop {
+            let a = heap.pop();
+            let b = cal.pop();
+            assert_eq!(a, b, "burst pattern diverged from heap order");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// The incremental gap estimate steers resizes: a steady hold
+    /// pattern settles the day width near twice the observed gap rather
+    /// than whatever the initial geometry guessed.
+    #[test]
+    fn width_tracks_observed_gap() {
+        let mut cal: CalendarQueue<u64> = CalendarQueue::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        for _ in 0..64u64 {
+            cal.push(now + 7_000, seq, seq);
+            seq += 1;
+            now = cal.pop().expect("queued").0;
+        }
+        // Keep enough population to force a resize after the gap signal
+        // exists.
+        for i in 0..64u64 {
+            cal.push(now + 7_000 * (i + 1), seq, seq);
+            seq += 1;
+        }
+        assert!(cal.gap_ewma_ns > 0, "pops should have fed the gap estimate");
+        // Target width is ~2 * ENTRIES_PER_BUCKET gap strides, rounded
+        // up to a power of two: within [gap, 16 * gap].
+        let width_ns = 1u64 << cal.width_shift;
+        assert!(
+            width_ns >= cal.gap_ewma_ns && width_ns <= 16 * cal.gap_ewma_ns.max(1),
+            "width {} should track the gap estimate {}",
+            width_ns,
+            cal.gap_ewma_ns
+        );
     }
 }

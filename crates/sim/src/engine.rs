@@ -222,16 +222,16 @@ pub(crate) enum DeliverKind {
 /// once per logical process and once as a pristine serial-fallback copy.
 #[derive(Clone)]
 pub struct Simulation {
-    system: SystemModel,
+    system: Arc<SystemModel>,
     pub(crate) config: SimConfig,
-    pub(crate) routing: RoutingTable,
+    pub(crate) routing: Arc<RoutingTable>,
     pub(crate) processes: Vec<ProcessRt>,
     /// Instance index -> process index.
-    pub(crate) by_instance: HashMap<InstanceIndex, ProcIndex>,
+    pub(crate) by_instance: Arc<HashMap<InstanceIndex, ProcIndex>>,
     pub(crate) pes: Vec<PeRt>,
     /// Processes mapped to each element, ascending process-index order
     /// (the scheduler's scan set — no per-dispatch allocation).
-    pe_procs: Vec<Vec<ProcIndex>>,
+    pe_procs: Arc<Vec<Vec<ProcIndex>>>,
     pub(crate) network: Network,
     pub(crate) events: EventQueue<EventKind>,
     pub(crate) next_seq: u64,
@@ -513,13 +513,13 @@ impl Simulation {
 
         let events = EventQueue::new(config.queue);
         let mut sim = Simulation {
-            system: system.clone(),
+            system: Arc::new(system.clone()),
             config,
-            routing,
+            routing: Arc::new(routing),
             processes,
-            by_instance,
+            by_instance: Arc::new(by_instance),
             pes,
-            pe_procs,
+            pe_procs: Arc::new(pe_procs),
             network,
             events,
             next_seq: 0,
@@ -768,38 +768,63 @@ impl Simulation {
         Ok(())
     }
 
-    /// Runs this logical process up to (exclusive) `horizon_ns`:
-    /// processes every queued event with `time < horizon` in
-    /// `(time, key)` order, recording per-event bookkeeping for the
-    /// barrier coordinator's replay. Used only by the parallel kernel.
-    pub(crate) fn lp_run_window<F: FaultModel>(
-        &mut self,
-        horizon_ns: u64,
+    /// Pops and processes this logical process's next queued event,
+    /// recording per-event bookkeeping for the barrier coordinator's
+    /// replay. Returns `false` when the queue is empty. The caller (the
+    /// parallel kernel's shard executor) decides *whether* the next
+    /// event may run — it interleaves the LPs of one shard in global
+    /// `(time, key)` order and enforces the safe-window limit.
+    /// Serial run that also tallies the events processed and how many
+    /// fixed `lookahead_ns` safe-windows the event stream spans — the
+    /// single-worker path of the parallel kernel, whose one shard would
+    /// own every LP and therefore degenerates to the serial engine
+    /// executing a single whole-horizon window.
+    ///
+    /// Callers must have checked that no watchdog is armed.
+    pub(crate) fn run_counting_windows<F: FaultModel>(
+        mut self,
         faults: &mut F,
-    ) -> Result<(), SimError> {
-        let max_time_ns = self.config.max_time_ns;
-        loop {
-            let lp = self.lp.as_mut().expect("lp_run_window needs an LP context");
-            let Some(entry) = lp.peek_next() else { break };
-            if entry >= horizon_ns || entry > max_time_ns {
+        lookahead_ns: u64,
+    ) -> Result<(SimReport, u64, u64), SimError> {
+        let mut events: u64 = 0;
+        let mut fixed_windows: u64 = 0;
+        let mut fixed_end: u64 = 0;
+        while let Some((time_ns, _seq, kind)) = self.events.pop() {
+            if time_ns > self.config.max_time_ns || self.steps >= self.config.max_steps {
                 break;
             }
-            let (time_ns, kind) = lp.pop_next().expect("peeked entry exists");
-            let children_mark = self.lp.as_ref().expect("lp context").creations();
-            let log_mark = self.log.records_len();
-            let steps_mark = self.steps;
+            events += 1;
+            if time_ns >= fixed_end {
+                fixed_windows += 1;
+                fixed_end = time_ns.saturating_add(lookahead_ns);
+            }
             self.now_ns = time_ns;
             self.handle_event(kind, faults, &mut NoopSink, perf::NoProf, None)?;
-            let log_records = (self.log.records_len() - log_mark) as u32;
-            let steps = (self.steps - steps_mark) as u32;
-            self.lp.as_mut().expect("lp context").record_processed(
-                time_ns,
-                children_mark,
-                log_records,
-                steps,
-            );
         }
-        Ok(())
+        Ok((self.into_report(), events, fixed_windows))
+    }
+
+    pub(crate) fn lp_step<F: FaultModel>(&mut self, faults: &mut F) -> Result<bool, SimError> {
+        let (time_ns, kind, children_mark) = {
+            let lp = self.lp.as_mut().expect("lp_step needs an LP context");
+            let Some((time_ns, kind)) = lp.pop_next() else {
+                return Ok(false);
+            };
+            (time_ns, kind, lp.creations())
+        };
+        let log_mark = self.log.records_len();
+        let steps_mark = self.steps;
+        self.now_ns = time_ns;
+        self.handle_event(kind, faults, &mut NoopSink, perf::NoProf, None)?;
+        let log_records = (self.log.records_len() - log_mark) as u32;
+        let steps = (self.steps - steps_mark) as u32;
+        self.lp.as_mut().expect("lp context").record_processed(
+            time_ns,
+            children_mark,
+            log_records,
+            steps,
+        );
+        Ok(true)
     }
 
     /// Runs one step on `pe` if it is free, not in an outage window, and

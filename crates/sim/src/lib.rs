@@ -46,5 +46,5 @@ pub use engine::Simulation;
 pub use error::{SimError, E_PARAM_RANGE};
 pub use intern::{Interner, Sym};
 pub use log::{LogRecord, RecordRef, SimLog};
-pub use parallel::ParallelPlan;
+pub use parallel::{ParallelPlan, ParallelStats};
 pub use report::{FaultTally, SimReport};

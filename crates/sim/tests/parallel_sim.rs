@@ -384,3 +384,80 @@ fn degenerate_partitions_match_serial() {
         assert_eq!(reference, report, "diverged with {clusters} cluster(s)");
     }
 }
+
+/// Property sweep over the clustered fixture: coalesced-window parallel
+/// runs stay bit-identical to serial across fault seeds x fault plans x
+/// thread counts.
+#[test]
+fn parallel_matches_serial_across_seeds_threads_and_fault_plans() {
+    let system = clustered_system(3);
+    let plans = |seed: u64| {
+        [
+            FaultConfig {
+                seed,
+                ..FaultConfig::default()
+            },
+            FaultConfig {
+                seed,
+                bit_error_rate: 2e-5,
+                drop_per_hop: 0.02,
+                timer_jitter_ns: 40,
+                outages: vec![Outage {
+                    pe: "cpu1a".into(),
+                    from_ns: 300_000,
+                    until_ns: 600_000,
+                }],
+            },
+        ]
+    };
+    for seed in [0xFEEDu64, 0xBEEF] {
+        for fault_config in plans(seed) {
+            let reference = Simulation::from_system(&system, config())
+                .expect("build")
+                .run_with_faults(&mut FaultPlan::new(fault_config.clone()), &mut NoopSink)
+                .expect("serial run");
+            for threads in [1, 2, 3, 4, 8] {
+                let report = Simulation::from_system(&system, config())
+                    .expect("build")
+                    .run_parallel_with_faults(threads, &FaultPlan::new(fault_config.clone()))
+                    .expect("parallel run");
+                assert_eq!(
+                    reference.log.to_text(),
+                    report.log.to_text(),
+                    "log diverged: seed {seed:#x}, plan {fault_config:?}, {threads} threads"
+                );
+                assert_eq!(reference, report);
+            }
+        }
+    }
+}
+
+/// Window accounting pins: a single worker coalesces the whole horizon
+/// into one window; multiple workers still beat the fixed-lookahead
+/// march, and the batch count tracks dispatched windows (idle shards
+/// are skipped, so batches never exceed windows x workers).
+#[test]
+fn adaptive_windows_beat_fixed_march() {
+    let system = clustered_system(3);
+    let (_, stats) = Simulation::from_system(&system, config())
+        .expect("build")
+        .run_parallel_stats(1)
+        .expect("parallel run");
+    assert!(stats.used_parallel, "got {stats:?}");
+    assert_eq!(stats.windows, 1, "one worker is one whole-horizon window");
+    assert!(
+        stats.windows_fixed_step >= 5 * stats.windows,
+        "coalescing below 5x: {stats:?}"
+    );
+    let (_, stats) = Simulation::from_system(&system, config())
+        .expect("build")
+        .run_parallel_stats(4)
+        .expect("parallel run");
+    assert!(stats.used_parallel, "got {stats:?}");
+    assert!(stats.windows <= stats.windows_fixed_step, "got {stats:?}");
+    assert!(
+        stats.batches <= stats.windows * stats.workers as u64,
+        "batches exceed dispatch bound: {stats:?}"
+    );
+    assert!(stats.batches >= stats.windows, "got {stats:?}");
+}

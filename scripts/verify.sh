@@ -52,13 +52,16 @@ if ! grep -q "within pinned band" <<< "$resume_out"; then
     echo "repro fault-sweep --resume: resumed table left the pinned band"; exit 1;
 fi
 
-echo "==> repro bench --quick (throughput + calendar floors, parallel log identity)"
+echo "==> repro bench --quick (throughput + calendar floors, log identity, coalescing)"
 bench_out=$(cargo run --release -q -p tut-bench --bin repro -- bench --quick)
-if ! grep -q "parallel single-run log identical to serial: true" <<< "$bench_out"; then
+if ! grep -q "parallel single-run log_identical=true" <<< "$bench_out"; then
     echo "repro bench --quick: parallel single-run log diverged from serial"; exit 1;
 fi
 if ! grep -q "calendar queue .* clears floor" <<< "$bench_out"; then
     echo "repro bench --quick: calendar-queue microbench missed its floor"; exit 1;
+fi
+if ! grep -qE "coalescing: [0-9]+ fixed-step windows -> [0-9]+ adaptive windows" <<< "$bench_out"; then
+    echo "repro bench --quick: coalescing line missing from bench output"; exit 1;
 fi
 
 echo "==> repro profile --quick --folded (self-profiler smoke)"

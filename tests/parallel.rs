@@ -60,3 +60,51 @@ fn tutmac_parallel_log_matches_serial_under_faults() {
     assert_eq!(reference.log.to_text(), report.log.to_text());
     assert_eq!(reference, report);
 }
+
+/// Coalescing pin for the paper fixture: the adaptive grants must cut
+/// the window count at least 5x against the fixed `lookahead_ns` march
+/// (a single worker coalesces the whole horizon into one window, so the
+/// factor there is the full fixed-step count).
+#[test]
+fn tutmac_coalescing_cuts_window_count() {
+    let config = SimConfig::with_horizon_ns(5_000_000);
+    let (_, stats) = sim(&config).run_parallel_stats(1).expect("parallel run");
+    assert!(stats.used_parallel, "kernel should run, got {stats:?}");
+    assert_eq!(stats.windows, 1, "one worker coalesces to one window");
+    assert!(
+        stats.windows_fixed_step >= 5 * stats.windows,
+        "coalescing below 5x: {stats:?}"
+    );
+    let (_, stats) = sim(&config).run_parallel_stats(2).expect("parallel run");
+    assert!(stats.used_parallel, "kernel should run, got {stats:?}");
+    assert!(
+        stats.windows < stats.windows_fixed_step,
+        "two-worker adaptive windows should still beat the fixed march: {stats:?}"
+    );
+}
+
+/// Property sweep: the merged log is byte-identical to serial across
+/// fault seeds x BER levels x thread counts on the TUTMAC fixture.
+#[test]
+fn tutmac_parallel_matches_serial_across_seeds_threads_and_faults() {
+    let config = SimConfig::with_horizon_ns(2_000_000);
+    for seed in [0x1u64, 0xABCD, 0x7071] {
+        for ber in [0.0, 1e-4] {
+            let fault_config = FaultConfig::with_ber(seed, ber);
+            let reference = sim(&config)
+                .run_with_faults(&mut FaultPlan::new(fault_config.clone()), &mut NoopSink)
+                .expect("serial faulted run");
+            for threads in [1, 2, 3] {
+                let report = sim(&config)
+                    .run_parallel_with_faults(threads, &FaultPlan::new(fault_config.clone()))
+                    .expect("parallel faulted run");
+                assert_eq!(
+                    reference.log.to_text(),
+                    report.log.to_text(),
+                    "log diverged: seed {seed:#x}, ber {ber}, {threads} threads"
+                );
+                assert_eq!(reference, report);
+            }
+        }
+    }
+}
