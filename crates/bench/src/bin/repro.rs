@@ -50,7 +50,11 @@
 //! ```
 //!
 //! `check` exits nonzero when any error-severity finding fired; warnings
-//! alone keep the exit status at zero.
+//! alone keep the exit status at zero. It runs on the incremental query
+//! engine: `--cache-stats` appends per-stage hit/miss counters,
+//! `--store DIR` persists the report cache across runs, `watch m.xml`
+//! re-checks on every save, and `bench-check` measures (and gates) the
+//! warm-re-check speedup into `BENCH_check.json`.
 //!
 //! Self-profiling (where the tool's own host time goes):
 //!
@@ -556,34 +560,58 @@ fn run_traced(trace: Option<&str>, vcd: Option<&str>, prom: Option<&str>) {
 }
 
 /// Runs the `check` item: every path (or the serialised paper system
-/// when none is given) through the aggregated diagnostics pipeline.
-/// Returns the process exit code per the contract: errors → 1,
-/// warnings only → 0.
-fn run_check(paths: &[String], json: bool) -> i32 {
-    use tut_bench::check;
-    let reports: Vec<check::CheckReport> = if paths.is_empty() {
-        vec![check::check_paper_system()]
+/// when none is given) through the incremental query pipeline. Each
+/// distinct file is read, hashed and checked exactly once — repeated
+/// paths reuse the first outcome. Returns the process exit code per the
+/// contract: errors → 1, warnings only → 0.
+fn run_check(
+    paths: &[String],
+    json: bool,
+    cache_stats: bool,
+    store: Option<&std::path::Path>,
+) -> i32 {
+    use tut_bench::incremental::{CheckOutcome, Checker};
+    let mut checker = Checker::new();
+    if let Some(dir) = store {
+        match checker.open_disk(&dir.join("check-cache.journal")) {
+            Ok(n) => eprintln!("[check] disk cache attached ({n} cached reports)"),
+            Err(e) => eprintln!("[check] W0503: disk cache unavailable ({e}); running memory-only"),
+        }
+    }
+    let outcomes: Vec<CheckOutcome> = if paths.is_empty() {
+        vec![checker.check("paper-system.xml", &tut_bench::paper_system().to_xml())]
     } else {
+        // The read-source step deduplicates: one read + one check per
+        // distinct path, however often it appears on the command line.
+        let mut by_path: std::collections::HashMap<&str, CheckOutcome> = Default::default();
         paths
             .iter()
             .map(|path| {
-                let text = std::fs::read_to_string(path)
-                    .unwrap_or_else(|e| panic!("reading `{path}`: {e}"));
-                check::check_source(path, &text)
+                by_path
+                    .entry(path.as_str())
+                    .or_insert_with(|| {
+                        let text = std::fs::read_to_string(path)
+                            .unwrap_or_else(|e| panic!("reading `{path}`: {e}"));
+                        checker.check(path, &text)
+                    })
+                    .clone()
             })
             .collect()
     };
     let mut failed = false;
-    for (i, report) in reports.iter().enumerate() {
+    for (i, outcome) in outcomes.iter().enumerate() {
         if i > 0 {
             println!();
         }
         if json {
-            println!("{}", report.render_json());
+            println!("{}", outcome.json);
         } else {
-            print!("{}", report.render_text());
+            print!("{}", outcome.text);
         }
-        failed |= report.has_errors();
+        failed |= outcome.has_errors;
+    }
+    if cache_stats {
+        print!("{}", checker.stats().render());
     }
     i32::from(failed)
 }
@@ -599,6 +627,7 @@ fn main() {
     let mut threads = 1usize;
     let mut quick = false;
     let mut json = false;
+    let mut cache_stats = false;
     let mut folded = false;
     let mut top = None;
     let mut progress = true;
@@ -616,6 +645,7 @@ fn main() {
             "--prom" => prom = Some(take("--prom")),
             "--quick" => quick = true,
             "--json" => json = true,
+            "--cache-stats" => cache_stats = true,
             "--folded" => folded = true,
             "--no-progress" => progress = false,
             "--store" => store = Some(take("--store")),
@@ -637,7 +667,25 @@ fn main() {
     }
     // `check` consumes the rest of the argument list as model paths.
     if args.first().map(String::as_str) == Some("check") {
-        std::process::exit(run_check(&args[1..], json));
+        let store_dir = store.as_deref().map(std::path::Path::new);
+        std::process::exit(run_check(&args[1..], json, cache_stats, store_dir));
+    }
+    // `watch` consumes exactly one model path and re-checks it on save.
+    if args.first().map(String::as_str) == Some("watch") {
+        let [path] = &args[1..] else {
+            eprintln!("watch takes exactly one model path");
+            std::process::exit(2);
+        };
+        let store_dir = store.as_deref().map(std::path::Path::new);
+        std::process::exit(tut_bench::watch::run_watch(
+            path,
+            json,
+            cache_stats,
+            store_dir,
+        ));
+    }
+    if args.first().map(String::as_str) == Some("bench-check") {
+        std::process::exit(tut_bench::benchcheck::run_bench_check(quick));
     }
     // `profile` consumes the rest as the (single, optional) workload item.
     if args.first().map(String::as_str) == Some("profile") {
@@ -705,7 +753,7 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown item `{other}`; known: fig1..fig8, table1..table4, transfers, \
-                     explore, fault-sweep, bench, check, profile, all"
+                     explore, fault-sweep, bench, bench-check, check, watch, profile, all"
                 );
                 std::process::exit(2);
             }

@@ -143,8 +143,8 @@ fn run_stages(text: &str, bag: &mut DiagnosticBag) {
     // Stage 5: codegen dry run — the generated files are discarded, only
     // the structural prerequisites are checked.
     let stage_span = stage_span.then_named("check.codegen_dry_run");
-    if let Err(e) = tut_codegen::generate_project(&system) {
-        bag.push(Diagnostic::error(e.code(), e.to_string()));
+    if let Some(d) = tut_codegen::dry_run_diagnostic(&system) {
+        bag.push(d);
     }
 
     // Stage 6: simulation-setup dry run — lowering the platform for the
@@ -156,17 +156,13 @@ fn run_stages(text: &str, bag: &mut DiagnosticBag) {
     // are structural conditions the model rules already cover and are
     // not re-reported.
     let _stage_span = stage_span.then_named("check.sim_setup");
-    if let Err(e) = tut_sim::Simulation::from_system(&system, tut_sim::SimConfig::default()) {
-        if let Some(code) = e.code() {
-            let mut d = Diagnostic::error(code, e.to_string());
-            if let Some(element) = e.element() {
-                d = d.with_element(element);
-                if let Some(span) = index.get(element) {
-                    d = d.with_span(span);
-                }
+    if let Some(mut d) = tut_sim::setup_diagnostic(&system, tut_sim::SimConfig::default()) {
+        if let Some(element) = &d.element {
+            if let Some(span) = index.get(element) {
+                d.span = Some(span);
             }
-            bag.push(d);
         }
+        bag.push(d);
     }
 }
 

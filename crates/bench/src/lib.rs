@@ -146,13 +146,16 @@ pub fn bottleneck_busy_ns(system: &SystemModel, config: SimConfig) -> u64 {
         .unwrap_or(0)
 }
 
+pub mod benchcheck;
 pub mod check;
 pub mod faultsweep;
 pub mod figures;
+pub mod incremental;
 pub mod jobs;
 pub mod microbench;
 pub mod profile_cmd;
 pub mod simbench;
+pub mod watch;
 
 #[cfg(test)]
 mod tests {

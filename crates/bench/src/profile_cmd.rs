@@ -94,9 +94,29 @@ pub fn run_profile(items: &[String], flags: &ProfileFlags) -> i32 {
 /// The full Figure 2 pipeline: front-end checks (parse → XMI → profile
 /// apply → rules → codegen) plus the profiled simulation flow
 /// (serialise → parse groups → sim setup → simulate → analyse).
+///
+/// The check stage runs through the incremental [`Checker`] twice — a
+/// cold pass and a warm re-check after a behaviour edit — so the
+/// hotspot table carries `query.<stage>` frames for exactly the queries
+/// each pass executed, and the cache-effectiveness line shows what the
+/// edit invalidated.
 fn profile_flow(flags: &ProfileFlags) {
-    let report = crate::check::check_paper_system();
-    eprintln!("[profile] check stage: {} findings", report.bag().len());
+    let xml = crate::paper_system().to_xml();
+    let mut checker = crate::incremental::Checker::new();
+    let cold = checker.check("paper-system.xml", &xml);
+    eprintln!(
+        "[profile] check stage (cold): {}",
+        cold.text.lines().last().unwrap_or("")
+    );
+    let before = checker.stats();
+    if let Some(edited) = crate::benchcheck::edit_behavior(&xml, 1) {
+        checker.check("paper-system.xml", &edited);
+        let warm = checker.stats().since(&before);
+        eprintln!(
+            "[profile] check stage (warm re-check): {}",
+            warm.render().lines().next().unwrap_or("")
+        );
+    }
     let system = crate::paper_system();
     let config = if flags.quick {
         SimConfig::with_horizon_ns(5_000_000)

@@ -27,4 +27,4 @@ pub mod machine;
 pub mod project;
 pub mod runtime;
 
-pub use project::{generate_project, GeneratedFile};
+pub use project::{dry_run_diagnostic, generate_project, GeneratedFile};

@@ -55,6 +55,16 @@ fn sanitize(name: &str) -> String {
         .collect()
 }
 
+/// Runs only the structural prerequisites of [`generate_project`] and
+/// returns the diagnostic a dry run would report, if any. Both the cold
+/// `repro check` pipeline and the incremental query engine go through
+/// this one function so their findings are byte-identical.
+pub fn dry_run_diagnostic(system: &SystemModel) -> Option<tut_diag::Diagnostic> {
+    generate_project(system)
+        .err()
+        .map(|e| tut_diag::Diagnostic::error(e.code(), e.to_string()))
+}
+
 /// Generates the complete C project for a system: `tut_rt.h`, one
 /// `.h`/`.c` pair per `«ApplicationComponent»`, a `main.c` harness with
 /// the process registry and the signal wiring derived from the model's

@@ -31,6 +31,16 @@ impl DiagnosticBag {
         self.diagnostics.extend(other.diagnostics);
     }
 
+    /// Merges a cached fragment whose spans are relative to a
+    /// sub-document starting at byte `base`, rebasing every span on the
+    /// way in. With `base == 0` this appends the fragment verbatim, so
+    /// a warm replay of cached fragments is byte-identical to the cold
+    /// pass that produced them.
+    pub fn merge_fragment(&mut self, fragment: &[Diagnostic], base: usize) {
+        self.diagnostics
+            .extend(fragment.iter().map(|d| d.rebased(base)));
+    }
+
     /// Number of diagnostics collected.
     pub fn len(&self) -> usize {
         self.diagnostics.len()

@@ -145,6 +145,26 @@ impl Diagnostic {
     pub fn is_error(&self) -> bool {
         self.severity == Severity::Error
     }
+
+    /// Returns a copy with the primary span and every label shifted by
+    /// `base` bytes, mapping a fragment-relative diagnostic (cached
+    /// against a sub-document) back into the enclosing document.
+    /// [`Span::NONE`] spans stay `NONE` — they mark "no location", not
+    /// offset zero.
+    pub fn rebased(&self, base: usize) -> Diagnostic {
+        let mut out = self.clone();
+        if let Some(span) = out.span {
+            if span != Span::NONE {
+                out.span = Some(span.offset(base));
+            }
+        }
+        for label in &mut out.labels {
+            if label.span != Span::NONE {
+                label.span = label.span.offset(base);
+            }
+        }
+        out
+    }
 }
 
 /// `Display` renders the compact one-line form (no source excerpt):

@@ -65,5 +65,5 @@ pub mod span;
 pub use bag::DiagnosticBag;
 pub use diagnostic::{Diagnostic, Label, Severity};
 pub use render::{render_bag_json, render_bag_text};
-pub use source::{LineCol, SourceMap};
+pub use source::{locate_in, LineCol, SourceMap};
 pub use span::Span;

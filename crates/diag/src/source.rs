@@ -97,6 +97,27 @@ impl SourceMap {
     }
 }
 
+/// Resolves a byte offset to line:column with a single forward scan and
+/// no allocation, for error paths that need one position out of a text
+/// they do not own (a [`SourceMap`] would clone and index the whole
+/// document for that single lookup). Agrees with [`SourceMap::locate`]
+/// on every offset.
+pub fn locate_in(text: &str, offset: usize) -> LineCol {
+    let offset = offset.min(text.len());
+    let mut line = 1;
+    let mut line_start = 0;
+    for (i, b) in text.bytes().enumerate().take(offset) {
+        if b == b'\n' {
+            line += 1;
+            line_start = i + 1;
+        }
+    }
+    LineCol {
+        line,
+        column: offset - line_start + 1,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,5 +152,40 @@ mod tests {
         let sm = SourceMap::new("empty", "");
         assert_eq!(sm.locate(0), LineCol { line: 1, column: 1 });
         assert_eq!(sm.line(1), Some(""));
+    }
+
+    /// The binary-search index and the scan-free helper must agree on a
+    /// multi-line fixture at every byte offset, including past-the-end.
+    #[test]
+    fn locate_agrees_with_locate_in_on_multiline_fixture() {
+        let fixture = "<?xml version=\"1.0\"?>\n<model name=\"tutmac\">\n\n  <class name=\"A\"/>\n  <class name=\"B\">\n  </class>\n</model>\n";
+        let sm = SourceMap::new("fixture.xml", fixture);
+        for offset in 0..=fixture.len() + 2 {
+            assert_eq!(
+                sm.locate(offset),
+                locate_in(fixture, offset),
+                "offset {offset}"
+            );
+        }
+        // Spot checks pinning absolute positions on the fixture.
+        let class_a = fixture.find("<class").unwrap();
+        assert_eq!(sm.locate(class_a), LineCol { line: 4, column: 3 });
+        assert_eq!(sm.locate(fixture.len()), LineCol { line: 8, column: 1 });
+    }
+
+    #[test]
+    fn locate_in_handles_crlf_and_blank_lines() {
+        let fixture = "a\r\nbb\r\n\r\nccc";
+        assert_eq!(locate_in(fixture, 0), LineCol { line: 1, column: 1 });
+        // The '\r' belongs to line 1; only '\n' opens a new line.
+        assert_eq!(locate_in(fixture, 1), LineCol { line: 1, column: 2 });
+        assert_eq!(locate_in(fixture, 3), LineCol { line: 2, column: 1 });
+        assert_eq!(locate_in(fixture, 7), LineCol { line: 3, column: 1 });
+        assert_eq!(locate_in(fixture, 9), LineCol { line: 4, column: 1 });
+        assert_eq!(locate_in(fixture, 11), LineCol { line: 4, column: 3 });
+        let sm = SourceMap::new("crlf", fixture);
+        for offset in 0..=fixture.len() {
+            assert_eq!(sm.locate(offset), locate_in(fixture, offset));
+        }
     }
 }

@@ -145,6 +145,92 @@ fn cost_into(
     bottleneck + 0.2 * total + comm
 }
 
+/// Precomputed, order-preserving evaluation tables for the exhaustive
+/// search's inner loop. Three folds are hoisted out of the per-candidate
+/// cost: the `(group, PE)` time matrix (penalty lookup plus multiply and
+/// divide), the non-zero communication pairs as an ordered term list
+/// (skipping the `O(groups²)` zero scan), and the per-PE load fold over
+/// the *pinned prefix* — every group below the lowest index the odometer
+/// can touch contributes a constant load, summed once.
+///
+/// Evaluation replays exactly [`cost_into`]'s float operations in
+/// exactly its order (same values, same accumulation sequence, same
+/// parenthesisation), so every candidate cost is **bit-identical** to
+/// the reference — pinned by `hoisted_eval_is_bit_identical_to_cost_into`.
+struct CostTables<'a> {
+    problem: &'a MappingProblem,
+    pes: usize,
+    /// `time[group * pes + pe]`: load contribution of `group` on `pe`.
+    time: Vec<f64>,
+    /// `(g, h, signals)` for `g < h` with any traffic, in pair order.
+    comm_terms: Vec<(usize, usize, f64)>,
+    comm_weight: f64,
+    /// First group index the search may reassign; groups below it are
+    /// folded into `prefix_loads`.
+    lo: usize,
+    prefix_loads: Vec<f64>,
+}
+
+impl<'a> CostTables<'a> {
+    fn new(
+        problem: &'a MappingProblem,
+        options: &MappingOptions,
+        base: &[usize],
+        free: &[usize],
+    ) -> CostTables<'a> {
+        let pes = problem.pes.len();
+        let groups = problem.group_cycles.len();
+        let mut time = vec![0.0; groups * pes];
+        for group in 0..groups {
+            for pe in 0..pes {
+                let penalty = kind_penalty(problem.group_kinds[group], problem.pes[pe].kind);
+                time[group * pes + pe] = problem.group_cycles[group] as f64 * penalty
+                    / problem.pes[pe].frequency_mhz.max(1) as f64;
+            }
+        }
+        let mut comm_terms = Vec::new();
+        for g in 0..groups {
+            for h in (g + 1)..groups {
+                let signals = problem.comm[g][h] + problem.comm[h][g];
+                if signals != 0 {
+                    comm_terms.push((g, h, signals as f64));
+                }
+            }
+        }
+        let lo = free.iter().copied().min().unwrap_or(groups);
+        let mut prefix_loads = vec![0.0; pes];
+        for (group, &pe) in base.iter().enumerate().take(lo) {
+            prefix_loads[pe] += time[group * pes + pe];
+        }
+        CostTables {
+            problem,
+            pes,
+            time,
+            comm_terms,
+            comm_weight: options.comm_weight,
+            lo,
+            prefix_loads,
+        }
+    }
+
+    /// [`cost_into`], replayed from the tables.
+    fn eval(&self, assignment: &[usize], loads: &mut Vec<f64>) -> f64 {
+        loads.clear();
+        loads.extend_from_slice(&self.prefix_loads);
+        for (group, &pe) in assignment.iter().enumerate().skip(self.lo) {
+            loads[pe] += self.time[group * self.pes + pe];
+        }
+        let bottleneck = loads.iter().cloned().fold(0.0, f64::max);
+        let total: f64 = loads.iter().sum();
+        let mut comm = 0.0;
+        for &(g, h, signals) in &self.comm_terms {
+            let distance = self.problem.distance[assignment[g]][assignment[h]] as f64;
+            comm += signals * distance * self.comm_weight;
+        }
+        bottleneck + 0.2 * total + comm
+    }
+}
+
 /// Finds the cost-minimal assignment by exhaustive search. Pinned groups
 /// are collapsed out of the enumeration, so the space is
 /// `pes^free_groups` (the paper's case is `4^4 = 256` unpinned, `4^3`
@@ -397,10 +483,11 @@ fn best_in_range(
     let pes = problem.pes.len();
     let mut assignment = base.to_vec();
     decode_candidate(range.start, pes, free, &mut assignment);
+    let tables = CostTables::new(problem, options, base, free);
     let mut loads = Vec::new();
     let mut best: Option<(f64, u64)> = None;
     for index in range {
-        let cost = cost_into(problem, &assignment, options, &mut loads);
+        let cost = tables.eval(&assignment, &mut loads);
         if best.map(|(c, _)| cost < c).unwrap_or(true) {
             best = Some((cost, index));
         }
@@ -629,6 +716,47 @@ mod tests {
         let on_cpu = mapping_cost(&problem, &[0, 1, 2], &options);
         let on_acc = mapping_cost(&problem, &[2, 1, 2], &options);
         assert!(on_acc > on_cpu);
+    }
+
+    /// The hoisted evaluation tables must reproduce the reference
+    /// [`cost_into`] bit-for-bit on every assignment, for every pin set
+    /// (which moves the folded prefix boundary) and at a non-trivial
+    /// comm weight (which exercises the ordered term list).
+    #[test]
+    fn hoisted_eval_is_bit_identical_to_cost_into() {
+        let mut problem = small_problem();
+        problem.comm[1][2] = 37; // extra asymmetric traffic in the term list
+        let options = MappingOptions {
+            comm_weight: 0.73,
+            ..MappingOptions::default()
+        };
+        let groups = problem.group_cycles.len();
+        let pes = problem.pes.len();
+        let mut seed = 0x2bad_f00du64;
+        let mut rng = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) as usize
+        };
+        for free in [vec![0, 1, 2], vec![1, 2], vec![2], vec![]] {
+            let mut base: Vec<usize> = (0..groups).map(|g| g % pes).collect();
+            let tables = CostTables::new(&problem, &options, &base, &free);
+            let mut loads = Vec::new();
+            let mut reference = Vec::new();
+            for _ in 0..200 {
+                for &g in &free {
+                    base[g] = rng() % pes;
+                }
+                let hoisted = tables.eval(&base, &mut loads);
+                let plain = cost_into(&problem, &base, &options, &mut reference);
+                assert_eq!(
+                    hoisted.to_bits(),
+                    plain.to_bits(),
+                    "free {free:?}, assignment {base:?}: {hoisted} vs {plain}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -268,6 +268,27 @@ pub struct Simulation {
     pub(crate) lp: Option<Box<LpCtx>>,
 }
 
+/// Runs the simulation-setup lowering as a dry run and returns the
+/// diagnostic it would report, if any: errors with a stable code
+/// (today only `E0410` parameter-range findings) become element-
+/// attributed diagnostics, everything else is a structural condition
+/// the model rules already cover and is suppressed. The caller attaches
+/// document spans through its `SpanIndex`; both the cold `repro check`
+/// pipeline and the incremental query engine share this function so
+/// their findings are byte-identical.
+pub fn setup_diagnostic(system: &SystemModel, config: SimConfig) -> Option<tut_diag::Diagnostic> {
+    match Simulation::from_system(system, config) {
+        Ok(_) => None,
+        Err(e) => e.code().map(|code| {
+            let mut d = tut_diag::Diagnostic::error(code, e.to_string());
+            if let Some(element) = e.element() {
+                d = d.with_element(element);
+            }
+            d
+        }),
+    }
+}
+
 impl Simulation {
     /// Builds a simulation from a validated system model.
     ///

@@ -42,7 +42,7 @@ pub mod report;
 
 pub use calendar::{CalendarQueue, EventQueue, QueueKind};
 pub use config::{SimConfig, TraceOptions, Watchdog};
-pub use engine::Simulation;
+pub use engine::{setup_diagnostic, Simulation};
 pub use error::{SimError, E_PARAM_RANGE};
 pub use intern::{Interner, Sym};
 pub use log::{LogRecord, RecordRef, SimLog};

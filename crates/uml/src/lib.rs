@@ -46,6 +46,7 @@ pub mod error;
 pub mod ids;
 pub mod instances;
 pub mod model;
+pub mod outline;
 pub mod statemachine;
 pub mod textual;
 pub mod validate;

@@ -84,7 +84,12 @@ pub fn check_model(model: &Model) -> DiagnosticBag {
     bag
 }
 
-fn check_unique_names(model: &Model, bag: &mut DiagnosticBag) {
+/// Pass 1: unique class/signal/package names (`E0301`–`E0303`).
+///
+/// The passes below are public so the incremental front end can run (and
+/// cache) each one as its own query; [`check_model`] composes them in a
+/// fixed order and whole-model callers should keep using it.
+pub fn check_unique_names(model: &Model, bag: &mut DiagnosticBag) {
     let mut seen: HashSet<&str> = HashSet::new();
     for (id, class) in model.classes() {
         if !seen.insert(class.name()) {
@@ -117,8 +122,21 @@ fn check_unique_names(model: &Model, bag: &mut DiagnosticBag) {
     }
 }
 
-fn check_parts_and_ports(model: &Model, bag: &mut DiagnosticBag) {
-    for (_, class) in model.classes() {
+/// Pass 2: part/port invariants (`E0304`–`E0306`) for every class, in
+/// class order.
+pub fn check_parts_and_ports(model: &Model, bag: &mut DiagnosticBag) {
+    for (id, _) in model.classes() {
+        check_parts_and_ports_of(model, id, bag);
+    }
+}
+
+/// Pass 2 restricted to one class: duplicate part names, zero
+/// multiplicity, duplicate port names. Reads only the class itself and
+/// the properties/ports it owns, so the incremental front end caches it
+/// per class.
+pub fn check_parts_and_ports_of(model: &Model, class_id: ClassId, bag: &mut DiagnosticBag) {
+    let class = model.class(class_id);
+    {
         let mut seen: HashSet<&str> = HashSet::new();
         for &part in class.parts() {
             let p = model.property(part);
@@ -141,25 +159,26 @@ fn check_parts_and_ports(model: &Model, bag: &mut DiagnosticBag) {
                 ));
             }
         }
-        let mut seen: HashSet<&str> = HashSet::new();
-        for &port in class.ports() {
-            let p = model.port(port);
-            if !seen.insert(p.name()) {
-                bag.push(violation(
-                    E_DUP_PORT,
-                    port,
-                    format!(
-                        "duplicate port name `{}` on class `{}`",
-                        p.name(),
-                        class.name()
-                    ),
-                ));
-            }
+    }
+    let mut seen: HashSet<&str> = HashSet::new();
+    for &port in class.ports() {
+        let p = model.port(port);
+        if !seen.insert(p.name()) {
+            bag.push(violation(
+                E_DUP_PORT,
+                port,
+                format!(
+                    "duplicate port name `{}` on class `{}`",
+                    p.name(),
+                    class.name()
+                ),
+            ));
         }
     }
 }
 
-fn check_connectors(model: &Model, bag: &mut DiagnosticBag) {
+/// Pass 3: connector end/compatibility invariants (`E0307`–`E0310`).
+pub fn check_connectors(model: &Model, bag: &mut DiagnosticBag) {
     for (conn_id, conn) in model.connectors() {
         let owner = conn.owner();
         let mut end_signals: Vec<(HashSet<_>, HashSet<_>)> = Vec::new();
@@ -237,7 +256,8 @@ fn check_connectors(model: &Model, bag: &mut DiagnosticBag) {
     }
 }
 
-fn check_composition_cycles(model: &Model, bag: &mut DiagnosticBag) {
+/// Pass 4: composition acyclicity (`E0311`).
+pub fn check_composition_cycles(model: &Model, bag: &mut DiagnosticBag) {
     // DFS over the "contains a part of type" relation.
     fn visit(
         model: &Model,
@@ -273,58 +293,71 @@ fn check_composition_cycles(model: &Model, bag: &mut DiagnosticBag) {
     }
 }
 
-fn check_behaviors(model: &Model, bag: &mut DiagnosticBag) {
-    for (class_id, class) in model.classes() {
-        match class.behavior() {
-            Some(sm_id) => {
-                let sm = model.state_machine(sm_id);
-                if let Err(err) = sm.check() {
-                    bag.push(violation(E_BAD_STATE_MACHINE, class_id, err.to_string()));
-                }
-                // Signal triggers must be receivable through some port.
-                let provided: HashSet<_> = class
-                    .ports()
-                    .iter()
-                    .flat_map(|&p| model.port(p).provided().iter().copied())
-                    .collect();
-                for sig in sm.input_alphabet() {
-                    if !provided.contains(&sig) {
-                        bag.push(violation(
-                            E_UNPROVIDED_TRIGGER,
-                            class_id,
-                            format!(
-                                "behaviour of `{}` consumes signal `{}` that no port provides",
-                                class.name(),
-                                model.signal(sig).name()
-                            ),
-                        ));
-                    }
-                }
-                // Flow-insensitive action type-check (E0316–E0318),
-                // attributed to the owning class.
-                let element = ElementRef::from(class_id).to_string();
-                for mut diag in crate::action::type_check(model, sm) {
-                    diag.element = Some(element.clone());
-                    bag.push(diag);
-                }
+/// Pass 5: behaviour invariants (`E0312`–`E0314`, plus the action
+/// type-check's `E0316`–`E0318`) for every class, in class order.
+pub fn check_behaviors(model: &Model, bag: &mut DiagnosticBag) {
+    for (class_id, _) in model.classes() {
+        check_behavior_of(model, class_id, bag);
+    }
+}
+
+/// Pass 5 restricted to one class: structural state-machine check,
+/// trigger/port coverage, and the flow-insensitive action type-check.
+/// Reads the class, its ports, its own state machine, and the signal
+/// table, so the incremental front end caches it per class keyed on the
+/// class's behaviour segment.
+pub fn check_behavior_of(model: &Model, class_id: ClassId, bag: &mut DiagnosticBag) {
+    let class = model.class(class_id);
+    match class.behavior() {
+        Some(sm_id) => {
+            let sm = model.state_machine(sm_id);
+            if let Err(err) = sm.check() {
+                bag.push(violation(E_BAD_STATE_MACHINE, class_id, err.to_string()));
             }
-            None => {
-                if class.is_active() {
+            // Signal triggers must be receivable through some port.
+            let provided: HashSet<_> = class
+                .ports()
+                .iter()
+                .flat_map(|&p| model.port(p).provided().iter().copied())
+                .collect();
+            for sig in sm.input_alphabet() {
+                if !provided.contains(&sig) {
                     bag.push(violation(
-                        E_ACTIVE_NO_BEHAVIOUR,
+                        E_UNPROVIDED_TRIGGER,
                         class_id,
                         format!(
-                            "active class `{}` has no classifier behaviour",
-                            class.name()
+                            "behaviour of `{}` consumes signal `{}` that no port provides",
+                            class.name(),
+                            model.signal(sig).name()
                         ),
                     ));
                 }
+            }
+            // Flow-insensitive action type-check (E0316–E0318),
+            // attributed to the owning class.
+            let element = ElementRef::from(class_id).to_string();
+            for mut diag in crate::action::type_check(model, sm) {
+                diag.element = Some(element.clone());
+                bag.push(diag);
+            }
+        }
+        None => {
+            if class.is_active() {
+                bag.push(violation(
+                    E_ACTIVE_NO_BEHAVIOUR,
+                    class_id,
+                    format!(
+                        "active class `{}` has no classifier behaviour",
+                        class.name()
+                    ),
+                ));
             }
         }
     }
 }
 
-fn check_generalisation_cycles(model: &Model, bag: &mut DiagnosticBag) {
+/// Pass 6: generalisation acyclicity (`E0315`).
+pub fn check_generalisation_cycles(model: &Model, bag: &mut DiagnosticBag) {
     for (id, _) in model.classes() {
         let mut slow = id;
         let mut fast = id;

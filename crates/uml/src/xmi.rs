@@ -84,6 +84,13 @@ impl SpanIndex {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Records (or replaces) the declaration span of an element. The
+    /// incremental front end uses this to rebuild the index from an
+    /// outline scan without re-parsing the whole document.
+    pub fn insert(&mut self, element: impl Into<String>, span: Span) {
+        self.entries.insert(element.into(), span);
+    }
 }
 
 /// Serialises a model to an [`XmlNode`] tree.
@@ -375,76 +382,7 @@ pub fn read_model(root: &XmlNode, bag: &mut DiagnosticBag) -> Result<(Model, Spa
         }
     }
     for (i, node) in typed("uml:StateMachine").enumerate() {
-        let mut sm = StateMachine::new(node.required_attr("name")?);
-        for var in node.children_named("variable") {
-            let value_node = var.children.first().ok_or_else(|| {
-                Error::XmiStructure("state-machine variable is missing its init value".into())
-            })?;
-            sm.add_variable(
-                var.required_attr("name")?,
-                parse_type(var)?,
-                decode_value(value_node)?,
-            );
-        }
-        for state in node.children_named("state") {
-            let entry = match state.child("entry") {
-                Some(entry) => decode_program(entry, &model, bag)?,
-                None => Vec::new(),
-            };
-            let sid = sm.add_state_with_entry(state.required_attr("name")?, entry);
-            check_id(state, &sid.to_string())?;
-        }
-        if let Some(initial) = node.child("initial") {
-            sm.set_initial(StateId::from_index(parse_id(
-                initial.required_attr("state")?,
-                "state",
-            )?));
-        }
-        for t in node.children_named("transition") {
-            let source = StateId::from_index(parse_id(t.required_attr("source")?, "state")?);
-            let target = StateId::from_index(parse_id(t.required_attr("target")?, "state")?);
-            let trig_node = t.required_child("trigger")?;
-            let trigger = match trig_node.required_attr("kind")? {
-                "signal" => Trigger::Signal(SignalId::from_index(parse_id(
-                    trig_node.required_attr("signal")?,
-                    "sig",
-                )?)),
-                "timer" => Trigger::Timer(trig_node.required_attr("timer")?.to_owned()),
-                "completion" => Trigger::Completion,
-                other => {
-                    return Err(Error::XmiStructure(format!(
-                        "unknown trigger kind `{other}`"
-                    )))
-                }
-            };
-            let guard = match t.child("guard") {
-                Some(g) => match g.attr("text") {
-                    Some(text) => match textual::parse_expr(text) {
-                        Ok(expr) => Some(expr),
-                        Err(err) => {
-                            let span = g.attr_span("text").unwrap_or(Span::NONE);
-                            bag.push(
-                                Diagnostic::error(textual::E_SYNTAX, format!("in guard: {err}"))
-                                    .with_span(span),
-                            );
-                            None
-                        }
-                    },
-                    None => Some(
-                        g.children
-                            .first()
-                            .ok_or_else(|| Error::XmiStructure("empty guard element".into()))
-                            .and_then(decode_expr)?,
-                    ),
-                },
-                None => None,
-            };
-            let actions = match t.child("actions") {
-                Some(actions) => decode_program(actions, &model, bag)?,
-                None => Vec::new(),
-            };
-            sm.add_transition(source, target, trigger, guard, actions);
-        }
+        let sm = decode_state_machine(node, &model, bag)?;
         let owner = owners.get(i).copied().flatten().ok_or_else(|| {
             Error::XmiStructure(format!("state machine `{}` has no owning class", sm.name()))
         })?;
@@ -456,6 +394,93 @@ pub fn read_model(root: &XmlNode, bag: &mut DiagnosticBag) -> Result<(Model, Spa
         model.class_mut(id).set_active(active);
     }
     Ok((model, index))
+}
+
+/// Decodes the body of one `uml:StateMachine` packaged element —
+/// variables, states (with entry programs), the initial-state marker,
+/// and transitions. Recoverable textual-notation errors are pushed into
+/// `bag` with spans in the node's coordinate system; `model` supplies
+/// the signal table for the textual parser. The caller attaches the
+/// returned machine to its owning class.
+///
+/// This is the per-element unit the incremental front end re-runs when
+/// a single state machine's segment changes.
+pub fn decode_state_machine(
+    node: &XmlNode,
+    model: &Model,
+    bag: &mut DiagnosticBag,
+) -> Result<StateMachine> {
+    let mut sm = StateMachine::new(node.required_attr("name")?);
+    for var in node.children_named("variable") {
+        let value_node = var.children.first().ok_or_else(|| {
+            Error::XmiStructure("state-machine variable is missing its init value".into())
+        })?;
+        sm.add_variable(
+            var.required_attr("name")?,
+            parse_type(var)?,
+            decode_value(value_node)?,
+        );
+    }
+    for state in node.children_named("state") {
+        let entry = match state.child("entry") {
+            Some(entry) => decode_program(entry, model, bag)?,
+            None => Vec::new(),
+        };
+        let sid = sm.add_state_with_entry(state.required_attr("name")?, entry);
+        check_id(state, &sid.to_string())?;
+    }
+    if let Some(initial) = node.child("initial") {
+        sm.set_initial(StateId::from_index(parse_id(
+            initial.required_attr("state")?,
+            "state",
+        )?));
+    }
+    for t in node.children_named("transition") {
+        let source = StateId::from_index(parse_id(t.required_attr("source")?, "state")?);
+        let target = StateId::from_index(parse_id(t.required_attr("target")?, "state")?);
+        let trig_node = t.required_child("trigger")?;
+        let trigger = match trig_node.required_attr("kind")? {
+            "signal" => Trigger::Signal(SignalId::from_index(parse_id(
+                trig_node.required_attr("signal")?,
+                "sig",
+            )?)),
+            "timer" => Trigger::Timer(trig_node.required_attr("timer")?.to_owned()),
+            "completion" => Trigger::Completion,
+            other => {
+                return Err(Error::XmiStructure(format!(
+                    "unknown trigger kind `{other}`"
+                )))
+            }
+        };
+        let guard = match t.child("guard") {
+            Some(g) => match g.attr("text") {
+                Some(text) => match textual::parse_expr(text) {
+                    Ok(expr) => Some(expr),
+                    Err(err) => {
+                        let span = g.attr_span("text").unwrap_or(Span::NONE);
+                        bag.push(
+                            Diagnostic::error(textual::E_SYNTAX, format!("in guard: {err}"))
+                                .with_span(span),
+                        );
+                        None
+                    }
+                },
+                None => Some(
+                    g.children
+                        .first()
+                        .ok_or_else(|| Error::XmiStructure("empty guard element".into()))
+                        .and_then(decode_expr)?,
+                ),
+            },
+            None => None,
+        };
+        let actions = match t.child("actions") {
+            Some(actions) => decode_program(actions, model, bag)?,
+            None => Vec::new(),
+        };
+        sm.add_transition(source, target, trigger, guard, actions);
+    }
+    Ok(sm)
 }
 
 /// Decodes an `<entry>` or `<actions>` element: structural children by

@@ -25,7 +25,7 @@
 
 use std::fmt::Write as _;
 
-use tut_diag::{SourceMap, Span};
+use tut_diag::{locate_in, Span};
 
 use crate::error::{Error, Result};
 
@@ -177,6 +177,25 @@ impl XmlNode {
         let _ = writeln!(out, "</{}>", self.name);
     }
 
+    /// Shifts this node's span and attribute spans — and recursively
+    /// every descendant's — by `delta` bytes. Used by the incremental
+    /// front end to rebase a tree parsed from a document fragment into
+    /// whole-document coordinates. [`Span::NONE`] spans are left alone:
+    /// they mean "no location", not offset zero.
+    pub fn offset_spans(&mut self, delta: usize) {
+        if self.span != Span::NONE {
+            self.span = self.span.offset(delta);
+        }
+        for span in &mut self.attr_spans {
+            if *span != Span::NONE {
+                *span = span.offset(delta);
+            }
+        }
+        for child in &mut self.children {
+            child.offset_spans(delta);
+        }
+    }
+
     /// Parses a document and returns its root element.
     ///
     /// # Errors
@@ -222,11 +241,11 @@ struct Parser<'a> {
 }
 
 impl<'a> Parser<'a> {
-    /// Builds an [`Error::XmlSyntax`] at the current position. Line/column
-    /// resolution indexes the whole document, which is fine on the
-    /// fail-fast error path.
+    /// Builds an [`Error::XmlSyntax`] at the current position. Uses the
+    /// allocation-free scan rather than building a throwaway `SourceMap`
+    /// (which would clone and index the whole document for one lookup).
     fn error(&self, message: impl Into<String>) -> Error {
-        let at = SourceMap::new("input", self.text).locate(self.pos);
+        let at = locate_in(self.text, self.pos);
         Error::XmlSyntax {
             offset: self.pos,
             line: at.line,
@@ -576,6 +595,25 @@ mod tests {
         assert!(root.child("z").is_none());
         assert!(root.required_child("z").is_err());
         assert!(root.required_attr("missing").is_err());
+    }
+
+    #[test]
+    fn offset_spans_rebases_recursively() {
+        let doc = "<root name=\"top\">\n  <leaf kind=\"x\"/>\n</root>";
+        let padded = format!("{}{doc}", " ".repeat(10));
+        let mut parsed = XmlNode::parse(doc).unwrap();
+        parsed.offset_spans(10);
+        assert_eq!(&padded[parsed.span.start..parsed.span.end], "<root");
+        let leaf = &parsed.children[0];
+        assert_eq!(&padded[leaf.span.start..leaf.span.end], "<leaf");
+        let kind = leaf.attr_span("kind").unwrap();
+        assert_eq!(&padded[kind.start..kind.end], "x");
+        // NONE spans stay NONE instead of becoming a real location.
+        let mut built = XmlNode::new("n");
+        built.set_attr("a", "1");
+        built.offset_spans(10);
+        assert_eq!(built.span, Span::NONE);
+        assert_eq!(built.attr_span("a"), Some(Span::NONE));
     }
 
     #[test]

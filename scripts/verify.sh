@@ -98,6 +98,26 @@ if ! grep -q "E0410" <<< "$range_out"; then
     echo "repro check on check_param_range.xml did not report E0410"; exit 1;
 fi
 
+echo "==> repro check --store (warm re-check drill: second process answers from disk)"
+# First process populates the disk report cache; a second process must
+# answer the identical check entirely from the journal (100% hit rate).
+check_store=$(mktemp -d -p "$store_dir")
+cargo run --release -q -p tut-bench --bin repro -- check --cache-stats \
+    --store "$check_store" > /dev/null
+warm_out=$(cargo run --release -q -p tut-bench --bin repro -- check --cache-stats \
+    --store "$check_store")
+if ! grep -q "hit rate 100.0%" <<< "$warm_out"; then
+    echo "repro check --store: second process was not a pure disk hit"; exit 1;
+fi
+
+echo "==> repro bench-check (cold vs warm floor, byte-identity, BENCH_check.json)"
+# Full mode: enforces the >=10x warm re-check floor, verifies every warm
+# report byte-identical to the cold pipeline, writes BENCH_check.json.
+cargo run --release -q -p tut-bench --bin repro -- bench-check > /dev/null
+if ! grep -q '"speedup"' BENCH_check.json; then
+    echo "repro bench-check did not write BENCH_check.json"; exit 1;
+fi
+
 if [[ "$quick" -eq 0 ]]; then
     echo "==> cargo clippy --workspace --all-targets -- -D warnings"
     cargo clippy --workspace --all-targets -- -D warnings
